@@ -1,0 +1,71 @@
+// Ablation: Unified Genotyper (Table 2 v1) versus Haplotype Caller
+// (Table 2 v2) on the same sample — call-set agreement, truth-set scores,
+// and the degrees of parallelism each permits (UG partitions per site,
+// HC's greedy sequential segmentation constrains partitioning, §3.2-3).
+
+#include <cstdio>
+
+#include "align/aligner.h"
+#include "analysis/genotyper.h"
+#include "analysis/haplotype_caller.h"
+#include "analysis/steps.h"
+#include "gesall/diagnosis.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "report.h"
+
+using namespace gesall;
+
+int main() {
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 2;
+  ro.chromosome_length = 120'000;
+  auto reference = GenerateReference(ro);
+  auto donor = PlantVariants(reference, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = 25.0;
+  auto sample = SimulateReads(donor, so);
+  GenomeIndex index(reference);
+  PairedEndAligner aligner(index);
+  auto interleaved =
+      InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+  auto records = aligner.AlignPairs(interleaved);
+  SamHeader header = aligner.MakeHeader();
+  CleanSam(header, &records);
+  SortSamByCoordinate(&header, &records);
+
+  UnifiedGenotyper ug(reference);
+  auto ug_calls = ug.CallAll(records);
+  HaplotypeCaller hc(reference);
+  auto hc_calls = hc.CallAll(records);
+
+  auto ug_score = EvaluateAgainstTruth(ug_calls, donor.truth);
+  auto hc_score = EvaluateAgainstTruth(hc_calls, donor.truth);
+  auto agreement = CompareVariants(ug_calls, hc_calls);
+
+  bench::Title("Ablation: Unified Genotyper vs Haplotype Caller");
+  std::printf("  %-18s %8s %10s %12s\n", "Caller", "calls", "precision",
+              "sensitivity");
+  std::printf("  %-18s %8zu %10.3f %12.3f\n", "UnifiedGenotyper",
+              ug_calls.size(), ug_score.precision, ug_score.sensitivity);
+  std::printf("  %-18s %8zu %10.3f %12.3f\n", "HaplotypeCaller",
+              hc_calls.size(), hc_score.precision, hc_score.sensitivity);
+  std::printf("  agreement: %zu shared, %zu UG-only, %zu HC-only\n",
+              agreement.concordant.size(), agreement.only_first.size(),
+              agreement.only_second.size());
+
+  bench::Note("");
+  bench::Note("Claims:");
+  bool ok = true;
+  ok &= bench::Check(ug_score.precision > 0.85 && hc_score.precision > 0.85,
+                     "both callers are precise on clean synthetic data");
+  ok &= bench::Check(
+      agreement.concordant.size() >
+          5 * (agreement.only_first.size() + agreement.only_second.size()),
+      "the callers agree on the vast majority of sites");
+  // HC's active windows suppress isolated low-evidence sites that UG's
+  // per-site walk emits.
+  ok &= bench::Check(hc_calls.size() <= ug_calls.size(),
+                     "HC (active windows) calls no more sites than UG");
+  return ok ? 0 : 1;
+}

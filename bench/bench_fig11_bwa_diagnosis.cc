@@ -1,0 +1,79 @@
+// Fig. 11 (Appendix B.2): error diagnosis of parallel-vs-serial Bwa —
+//   (a) disagreeing pairs cluster around hard-to-map regions
+//       (centromeres, blacklisted low-complexity stretches);
+//   (b) joint MAPQ distribution of disagreeing reads (mass at low MAPQ);
+//   (c) disagreeing pairs versus insert size (mass at the distribution
+//       edges, where the batch-estimated proper-pair window flips).
+
+#include <cstdio>
+
+#include "functional_fixture.h"
+#include "report.h"
+
+using namespace gesall;
+
+int main() {
+  auto f = bench::BuildFixture();
+  auto disc =
+      CompareAlignments(f.reference, f.serial.aligned, f.parallel_aligned);
+
+  bench::Title("Fig 11(a): discordant reads by genomic region class");
+  std::printf("  %-22s %10s\n", "Region", "Discordant");
+  std::printf("  %-22s %10lld\n", "centromere",
+              static_cast<long long>(disc.discordant_centromere));
+  std::printf("  %-22s %10lld\n", "blacklist",
+              static_cast<long long>(disc.discordant_blacklist));
+  std::printf("  %-22s %10lld\n", "elsewhere",
+              static_cast<long long>(disc.discordant_elsewhere));
+  std::printf("  after MAPQ>30 + region filters: %lld of %lld reads "
+              "(paper: 0.025%% of pairs)\n",
+              static_cast<long long>(disc.discordant_after_filters),
+              static_cast<long long>(disc.total_reads));
+
+  bench::Title("Fig 11(b): MAPQ distribution of disagreeing reads");
+  std::printf("  serial-mapq-bucket x parallel-mapq-bucket (x10):\n");
+  long long low_low = 0, high_high = 0;
+  for (const auto& [buckets, count] : disc.mapq_buckets) {
+    std::printf("    serial %2d0-%2d9  parallel %2d0-%2d9 : %lld\n",
+                buckets.first, buckets.first, buckets.second, buckets.second,
+                static_cast<long long>(count));
+    if (buckets.first <= 3 && buckets.second <= 3) low_low += count;
+    if (buckets.first >= 5 && buckets.second >= 5) high_high += count;
+  }
+
+  bench::Title("Fig 11(c): disagreeing pairs by insert size");
+  double sum = 0, n = 0;
+  for (const auto& [bucket, count] : disc.insert_size_buckets) {
+    sum += static_cast<double>(bucket) * count;
+    n += static_cast<double>(count);
+  }
+  double mean_disagree_insert = n > 0 ? sum / n : 0;
+  for (const auto& [bucket, count] : disc.insert_size_buckets) {
+    std::string bar(std::min<long long>(50, count), '#');
+    std::printf("    %5lld-%-5lld %s\n", static_cast<long long>(bucket),
+                static_cast<long long>(bucket + 9), bar.c_str());
+  }
+  std::printf("  mean insert size of disagreeing pairs: %.0f "
+              "(simulated library: mean 400, sd 40)\n",
+              mean_disagree_insert);
+
+  bench::Note("");
+  bench::Note("Paper shape claims:");
+  bool ok = true;
+  double sensitive = static_cast<double>(disc.discordant_centromere +
+                                         disc.discordant_blacklist);
+  double genome_sensitive_fraction = 0.05;  // centromere+blacklist share
+  ok &= bench::Check(
+      disc.d_count > 0 && sensitive / disc.d_count >
+                              3 * genome_sensitive_fraction,
+      "disagreements are strongly enriched in hard-to-map regions");
+  ok &= bench::Check(low_low > high_high,
+                     "most disagreeing reads have low MAPQ on both sides");
+  ok &= bench::Check(disc.discordant_after_filters <
+                         disc.d_count / 2 + 1,
+                     "standard filters remove most of the disagreement");
+  ok &= bench::Check(
+      n == 0 || std::abs(mean_disagree_insert - 400.0) > 10.0,
+      "disagreeing pairs sit off-center of the insert distribution");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Fig. 5(a): CPU cycles and cache misses of the alignment job as the
+// number of input logical partitions grows — every mapper re-loads and
+// re-parses the reference genome index, so per-mapper overheads dominate
+// at fine granularity (paper §4.2 "granularity of scheduling").
+
+#include <cstdio>
+
+#include "report.h"
+#include "sim/genomics.h"
+
+using namespace gesall;
+
+int main() {
+  bench::Title("Fig 5(a): alignment CPU cycles & cache misses vs partitions");
+  auto workload = WorkloadSpec::NA12878();
+  GenomicsRates rates;
+
+  std::printf("  %12s %22s %24s\n", "Partitions", "CPU cycles (x10^12)",
+              "Cache misses (x10^9)");
+  double first_cycles = 0, last_cycles = 0;
+  double first_misses = 0, last_misses = 0;
+  for (int p : {15, 90, 480, 960, 2400, 4800}) {
+    auto est = EstimateAlignmentCpuCache(workload, rates, p);
+    std::printf("  %12d %22.1f %24.1f\n", p, est.cycles_trillions,
+                est.cache_misses_billions);
+    if (p == 15) {
+      first_cycles = est.cycles_trillions;
+      first_misses = est.cache_misses_billions;
+    }
+    if (p == 4800) {
+      last_cycles = est.cycles_trillions;
+      last_misses = est.cache_misses_billions;
+    }
+  }
+
+  bench::Note("");
+  bool ok = true;
+  ok &= bench::Check(last_cycles > 1.05 * first_cycles,
+                     "4800 partitions burn measurably more CPU cycles");
+  ok &= bench::Check(last_misses > 1.5 * first_misses,
+                     "cache misses grow sharply with partition count");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Fig. 6: overheads in shuffling-intensive jobs —
+//   (a) share of task time in Hadoop<->program data transformation
+//       (paper: 12-49%);
+//   (b) ratio of external-program time under Hadoop (repeated,
+//       partitioned invocations) to the single-node program run once on
+//       the complete input (paper: > 1, e.g. CleanSam 11h03m vs 7h33m).
+//
+// Two views are reported. The MODEL view uses the calibrated cost rates
+// (the same ones the performance simulator runs on), where the wrapped
+// programs are JVM-era PicardTools/GATK. The FUNCTIONAL view measures
+// this repository's own pipeline; our C++ reimplementations of the
+// record-level cleaning steps are so much faster than Picard that the
+// transformation share comes out *higher* than the paper's — the
+// absolute transform cost per record is comparable, the program cost is
+// not. The functional numbers document that honestly.
+
+#include <cstdio>
+
+#include "functional_fixture.h"
+#include "gesall/transform.h"
+#include "report.h"
+#include "sim/genomics.h"
+
+using namespace gesall;
+
+int main() {
+  GenomicsRates rates;
+
+  bench::Title("Fig 6(a) MODEL: transformation share per wrapped program");
+  struct Step {
+    const char* name;
+    double program_rate;
+    double transforms;  // conversions per record around the program
+  };
+  const Step steps[] = {
+      {"AddReplRG", rates.add_replace_groups, 1.0},
+      {"CleanSam", rates.clean_sam, 1.0},
+      {"FixMateInfo", rates.fix_mate_info, 2.0},
+      {"SortSam", rates.sort_sam, 1.0},
+      {"MarkDuplicates", rates.mark_duplicates, 2.0},
+  };
+  double min_share = 1.0, max_share = 0.0;
+  std::printf("  %-18s %10s\n", "Program", "share");
+  for (const auto& s : steps) {
+    double transform = s.transforms * rates.transform_per_record;
+    double share = transform / (transform + s.program_rate);
+    std::printf("  %-18s %9.0f%%\n", s.name, share * 100);
+    min_share = std::min(min_share, share);
+    max_share = std::max(max_share, share);
+  }
+
+  bench::Title("Fig 6(b) MODEL: Hadoop vs single-node program time ratio");
+  std::printf("  %-18s %8s   (repeated-invocation penalty on "
+              "partitioned data)\n",
+              "Program", "ratio");
+  for (const auto& s : steps) {
+    double extra_records = s.name == std::string("MarkDuplicates") ||
+                                   s.name == std::string("SortSam")
+                               ? 1.03
+                               : 1.0;
+    std::printf("  %-18s %8.2f\n", s.name,
+                rates.repeated_call_penalty * extra_records);
+  }
+
+  // ----------------------------------------------------------------------
+  auto f = bench::BuildFixture();
+  bench::Title("Fig 6(a) FUNCTIONAL: measured on this repo's pipeline");
+  std::printf("  %-28s %12s %12s %10s\n", "Round", "transform(s)",
+              "program(s)", "share");
+  double func_transform = 0, func_program = 0;
+  for (const auto& s : f.pipeline->stats()) {
+    double transform = s.counters.Get(kTransformMicros) / 1e6;
+    double program = s.counters.Get(kProgramMicros) / 1e6;
+    if (transform + program <= 0) continue;
+    std::printf("  %-28s %12.2f %12.2f %9.0f%%\n", s.name.c_str(),
+                transform, program,
+                100 * transform / (transform + program));
+    func_transform += transform;
+    func_program += program;
+  }
+  std::printf("  (our C++ cleaning steps are far cheaper than Picard, so "
+              "the share runs higher than 12-49%%)\n");
+
+  bench::Title("Fig 6(b) FUNCTIONAL: Hadoop vs serial program seconds");
+  auto serial_group = [&](std::initializer_list<const char*> names) {
+    double total = 0;
+    for (const char* n : names) {
+      auto it = f.serial.step_seconds.find(n);
+      if (it != f.serial.step_seconds.end()) total += it->second;
+    }
+    return total;
+  };
+  double serial_r2 =
+      serial_group({"add_replace_groups", "clean_sam", "fix_mate_info"});
+  double hadoop_r2 = 0;
+  for (const auto& s : f.pipeline->stats()) {
+    if (s.name == "round2_cleaning") {
+      hadoop_r2 = s.counters.Get(kProgramMicros) / 1e6;
+    }
+  }
+  std::printf("  AddRepl+CleanSam+FixMate: hadoop %.3fs vs serial %.3fs "
+              "(ratio %.2f)\n",
+              hadoop_r2, serial_r2,
+              serial_r2 > 0 ? hadoop_r2 / serial_r2 : 0.0);
+
+  bench::Note("");
+  bench::Note("Paper shape claims:");
+  bool ok = true;
+  ok &= bench::Check(min_share >= 0.10 && max_share <= 0.55,
+                     "MODEL: transformation takes 12-49% of wrapped-"
+                     "program task time");
+  ok &= bench::Check(rates.repeated_call_penalty > 1.0,
+                     "MODEL: repeated partitioned invocation costs more "
+                     "than one whole-input run (all ratios > 1)");
+  ok &= bench::Check(func_transform > 0 && func_program > 0,
+                     "FUNCTIONAL: both costs are real and measured");
+  ok &= bench::Check(
+      func_transform / (func_transform + func_program) > 0.05,
+      "FUNCTIONAL: transformation is a nontrivial share end-to-end");
+  return ok ? 0 : 1;
+}

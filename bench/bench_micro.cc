@@ -1,0 +1,151 @@
+// Core-component microbenchmarks (google-benchmark): FM-index seeding,
+// Smith-Waterman extension, BGZF block compression, BAM record codec,
+// bloom filter probes, suffix array construction, and the MapReduce
+// sort-merge shuffle.
+
+#include <benchmark/benchmark.h>
+
+#include "align/aligner.h"
+#include "align/fm_index.h"
+#include "align/suffix_array.h"
+#include "formats/bam.h"
+#include "genome/reference_generator.h"
+#include "mr/mapreduce.h"
+#include "util/bgzf.h"
+#include "util/bloom_filter.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+std::string RandomDna(int64_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::string s(n, 'A');
+  for (auto& c : s) c = "ACGT"[rng.Uniform(4)];
+  return s;
+}
+
+void BM_SuffixArrayBuild(benchmark::State& state) {
+  std::string text = RandomDna(state.range(0));
+  text.push_back('\0');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildSuffixArray(text));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArrayBuild)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FmIndexSeedSearch(benchmark::State& state) {
+  std::string text = RandomDna(1 << 18);
+  FmIndex fm(text);
+  Rng rng(3);
+  for (auto _ : state) {
+    int64_t pos = rng.Uniform(text.size() - 19);
+    benchmark::DoNotOptimize(fm.Search(text.substr(pos, 19)));
+  }
+}
+BENCHMARK(BM_FmIndexSeedSearch);
+
+void BM_SmithWatermanExtend(benchmark::State& state) {
+  std::string window = RandomDna(148, 5);
+  std::string read = window.substr(24, 100);
+  read[10] = read[10] == 'A' ? 'C' : 'A';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmithWaterman(read, window));
+  }
+}
+BENCHMARK(BM_SmithWatermanExtend);
+
+void BM_AlignRead(benchmark::State& state) {
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 1;
+  ro.chromosome_length = 200'000;
+  static const ReferenceGenome genome = GenerateReference(ro);
+  static const GenomeIndex index(genome);
+  ReadAligner aligner(index);
+  Rng rng(7);
+  for (auto _ : state) {
+    int64_t pos = rng.Uniform(200'000 - 100);
+    benchmark::DoNotOptimize(
+        aligner.AlignRead(genome.chromosomes[0].sequence.substr(pos, 100)));
+  }
+}
+BENCHMARK(BM_AlignRead);
+
+void BM_BgzfCompressBlock(benchmark::State& state) {
+  std::string block = RandomDna(kBgzfBlockSize, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BgzfCompressBlock(block));
+  }
+  state.SetBytesProcessed(state.iterations() * kBgzfBlockSize);
+}
+BENCHMARK(BM_BgzfCompressBlock);
+
+void BM_BamRecordCodec(benchmark::State& state) {
+  SamRecord rec;
+  rec.qname = "read-123456";
+  rec.ref_id = 0;
+  rec.pos = 123'456;
+  rec.mapq = 60;
+  rec.cigar = {{'S', 5}, {'M', 95}};
+  rec.seq = RandomDna(100, 11);
+  rec.qual = std::string(100, 'I');
+  rec.SetTag("AS", 'i', "95");
+  for (auto _ : state) {
+    std::string encoded = EncodeBamRecord(rec);
+    size_t offset = 0;
+    benchmark::DoNotOptimize(DecodeBamRecord(encoded, &offset));
+  }
+}
+BENCHMARK(BM_BamRecordCodec);
+
+void BM_BloomFilterProbe(benchmark::State& state) {
+  BloomFilter filter(1'000'000, 0.01);
+  Rng rng(13);
+  for (int i = 0; i < 1'000'000; ++i) filter.Insert(rng.Next());
+  Rng probe(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(probe.Next()));
+  }
+}
+BENCHMARK(BM_BloomFilterProbe);
+
+class CountMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    for (size_t i = 0; i + 8 <= input.size(); i += 8) {
+      ctx->Emit(input.substr(i, 8), "1");
+    }
+    return Status::OK();
+  }
+};
+class CountReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    ctx->Emit(key + std::to_string(values.size()));
+    return Status::OK();
+  }
+};
+
+void BM_MapReduceShuffle(benchmark::State& state) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 4; ++i) {
+    splits.push_back(InlineSplit(RandomDna(1 << 16, 100 + i)));
+  }
+  for (auto _ : state) {
+    MapReduceJob job;
+    benchmark::DoNotOptimize(
+        job.Run(
+            splits, [] { return std::make_unique<CountMapper>(); },
+            [] { return std::make_unique<CountReducer>(); }));
+  }
+  state.SetBytesProcessed(state.iterations() * 4 * (1 << 16));
+}
+BENCHMARK(BM_MapReduceShuffle);
+
+}  // namespace
+}  // namespace gesall
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 2: the GATK-best-practices pipeline on a single 12-core server
+// (12 x Intel Xeon 2.40 GHz, 64 GB, 7200 RPM HDD) for the NA12878 64x
+// sample. The paper reports the pipeline takes "about two weeks"; its
+// prose anchors individual steps (Clean Sam 7h33m in §4.4, Mark
+// Duplicates 14h26m in Table 7).
+
+#include <cstdio>
+
+#include "report.h"
+#include "sim/genomics.h"
+
+using namespace gesall;
+
+int main() {
+  bench::Title("Table 2: single-server pipeline (simulated)");
+  auto workload = WorkloadSpec::NA12878();
+  GenomicsRates rates;
+  auto server = ClusterSpec::SingleServer();
+  auto steps = SingleServerPipeline(workload, rates, server);
+
+  std::printf("  %-28s %10s\n", "Step", "Time (hrs)");
+  double total = 0, clean_sam = 0, markdup = 0;
+  for (const auto& s : steps) {
+    std::printf("  %-28s %10.1f\n", s.name.c_str(), s.hours);
+    total += s.hours;
+    if (s.name == "4. Clean Sam") clean_sam = s.hours;
+    if (s.name == "6. Mark Duplicates") markdup = s.hours;
+  }
+  std::printf("  %-28s %10.1f  (%.1f days)\n", "TOTAL", total, total / 24);
+
+  bench::Note("");
+  bench::Note("Paper anchors:");
+  bench::Check(total / 24 > 7 && total / 24 < 21,
+               "pipeline takes 'about two weeks' (7-21 days simulated)");
+  bench::Check(clean_sam > 5.5 && clean_sam < 9.5,
+               "Clean Sam ~7.5 h single node (paper 7h33m)");
+  bench::Check(markdup > 11 && markdup < 18,
+               "Mark Duplicates ~14.5 h single node (paper 14h26m)");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 7: validation on the NYGC production cluster (Cluster B, 4 nodes
+// x 16 cores, 256 GB, 6 disks, 10 Gbps):
+//   - alignment as 4x4x4 (4 mappers x 4 threads) vs 4x16x1 (16
+//     single-threaded mappers) vs the in-house parallel aligner;
+//   - MarkDup_reg with 1/2/3/6 disks and MarkDup_opt with 1/6 disks
+//     (the "1 disk per 100 GB shuffled" rule, Appendix B.1);
+//   - the in-house single-threaded Mark Duplicates (14h26m).
+
+#include <cstdio>
+
+#include "report.h"
+#include "sim/genomics.h"
+
+using namespace gesall;
+
+int main() {
+  auto workload = WorkloadSpec::NA12878();
+  GenomicsRates rates;
+
+  bench::Title("Table 7 (alignment on Cluster B)");
+  std::printf("  %-26s %16s %14s\n", "Configuration", "Wall clock",
+              "Avg map time");
+
+  ClusterSpec b = ClusterSpec::B();
+  auto j444 = AlignmentJob(workload, rates, b, /*partitions=*/64,
+                           /*maps_per_node=*/4, /*threads_per_map=*/4);
+  auto r444 = SimulateMrJob(b, j444);
+  std::printf("  %-26s %16s %14s\n", "Align:Hadoop 4x4x4",
+              bench::Hms(r444.wall_seconds).c_str(),
+              bench::Hms(r444.avg_map_seconds).c_str());
+
+  auto j4161 = AlignmentJob(workload, rates, b, /*partitions=*/64,
+                            /*maps_per_node=*/16, /*threads_per_map=*/1);
+  auto r4161 = SimulateMrJob(b, j4161);
+  std::printf("  %-26s %16s %14s\n", "Align:Hadoop 4x16x1",
+              bench::Hms(r4161.wall_seconds).c_str(),
+              bench::Hms(r4161.avg_map_seconds).c_str());
+
+  // In-house aligner: same process layout, no Hadoop streaming/transform.
+  auto jinh = j4161;
+  const int64_t reads_per_task = workload.total_reads() / 64;
+  jinh.map_cpu_seconds_per_task = reads_per_task * rates.bwa;
+  jinh.task_startup_seconds = 0.5;
+  auto rinh = SimulateMrJob(b, jinh);
+  std::printf("  %-26s %16s %14s\n", "Align:in_house 4x16x1",
+              bench::Hms(rinh.wall_seconds).c_str(),
+              bench::Hms(rinh.avg_map_seconds).c_str());
+
+  bench::Title("Table 7 (Mark Duplicates on Cluster B)");
+  std::printf("  %-26s %14s %10s %17s %14s\n", "Configuration", "Wall clock",
+              "Avg map", "Avg shuffle+merge", "Avg reduce");
+  struct Row {
+    const char* name;
+    bool optimized;
+    int disks;
+    double wall;
+  };
+  std::vector<Row> rows = {
+      {"MarkDup_reg 1 disk", false, 1, 0}, {"MarkDup_reg 2 disks", false, 2, 0},
+      {"MarkDup_reg 3 disks", false, 3, 0}, {"MarkDup_reg 6 disks", false, 6, 0},
+      {"MarkDup_opt 1 disk", true, 1, 0},  {"MarkDup_opt 6 disks", true, 6, 0},
+  };
+  for (auto& row : rows) {
+    ClusterSpec cb = ClusterSpec::B(row.disks);
+    auto job = MarkDuplicatesJob(workload, rates, cb, row.optimized,
+                                 /*partitions=*/510, /*slots_per_node=*/16);
+    auto result = SimulateMrJob(cb, job);
+    row.wall = result.wall_seconds;
+    std::printf("  %-26s %14s %10s %17s %14s\n", row.name,
+                bench::Hms(result.wall_seconds).c_str(),
+                bench::Hms(result.avg_map_seconds).c_str(),
+                bench::Hms(result.avg_shuffle_merge_seconds).c_str(),
+                bench::Hms(result.avg_reduce_seconds).c_str());
+  }
+  double inhouse_md = SingleNodeStepSeconds(
+      rates.sort_sam + rates.mark_duplicates, workload.total_reads(),
+      ClusterSpec::B(6), 1, 3 * workload.bam_bytes());
+  std::printf("  %-26s %14s   (paper: 14h 26m)\n", "MarkDup:in_house 1x1x1",
+              bench::Hms(inhouse_md).c_str());
+
+  bench::Note("");
+  bench::Note("Paper shape claims:");
+  bool ok = true;
+  ok &= bench::Check(r4161.wall_seconds < r444.wall_seconds,
+                     "16 single-threaded mappers beat 4x4-threaded "
+                     "(paper: 3h45m vs 4h57m)");
+  ok &= bench::Check(
+      rinh.wall_seconds <= r4161.wall_seconds &&
+          r4161.wall_seconds < 1.25 * rinh.wall_seconds,
+      "Hadoop alignment within ~25% of the in-house solution");
+  ok &= bench::Check(rows[0].wall > rows[1].wall && rows[1].wall > rows[2].wall &&
+                         rows[2].wall > rows[3].wall,
+                     "MarkDup_reg improves monotonically with 1->6 disks");
+  // Paper: opt runs 1h27m on 1 disk vs 1h22m on 6 — ~100 GB shuffled per
+  // disk is sustainable. In the model the footprint is the *relative*
+  // penalty of losing disks: far smaller for opt than for reg.
+  double opt_penalty = rows[4].wall / rows[5].wall;
+  double reg_penalty = rows[0].wall / rows[3].wall;
+  ok &= bench::Check(opt_penalty < 0.8 * reg_penalty,
+                     "MarkDup_opt tolerates 1 disk far better than "
+                     "MarkDup_reg (~100 GB shuffled per disk rule)");
+  ok &= bench::Check(rows[0].wall > 1.5 * rows[4].wall,
+                     "at 1 disk, reg is far slower than opt");
+  ok &= bench::Check(inhouse_md > 8 * rows[4].wall,
+                     "parallel MarkDup (<1.5h) vs single-thread (14.5h)");
+  return ok ? 0 : 1;
+}

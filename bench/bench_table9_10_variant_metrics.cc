@@ -1,0 +1,77 @@
+// Tables 9-10 (Appendix B.3): quality metrics of the variant sets found
+// by both pipelines (Intersection) versus only by the hybrid or only by
+// the serial pipeline — MQ, DP, FS, AB, Ti/Tv, Het/Hom — plus the
+// GiaB-style precision/sensitivity of both pipelines against the planted
+// truth set.
+
+#include <cstdio>
+
+#include "functional_fixture.h"
+#include "report.h"
+
+using namespace gesall;
+
+namespace {
+
+void PrintRow(const char* name, const VariantSetStats& s) {
+  std::printf("  %-14s %8lld %8.1f %8.1f %8.1f %8.1f %8.2f %8.2f %8.2f\n",
+              name, static_cast<long long>(s.count), s.mean_qual, s.mean_mq,
+              s.mean_dp, s.mean_fs, s.mean_ab, s.titv_ratio,
+              s.het_hom_ratio);
+}
+
+}  // namespace
+
+int main() {
+  auto f = bench::BuildFixture();
+
+  // Hybrid pipeline: parallel through Mark Duplicates, serial HC tail.
+  auto hybrid = SerialTailFromDeduped(f.reference, f.serial.header,
+                                      f.parallel_deduped)
+                    .ValueOrDie();
+  auto disc = CompareVariants(f.serial.variants, hybrid);
+
+  auto inter = ComputeVariantSetStats(disc.concordant);
+  auto serial_only = ComputeVariantSetStats(disc.only_first);
+  auto hybrid_only = ComputeVariantSetStats(disc.only_second);
+
+  bench::Title("Tables 9-10: variant metrics by concordance class");
+  std::printf("  %-14s %8s %8s %8s %8s %8s %8s %8s %8s\n", "Set", "count",
+              "QUAL", "MQ", "DP", "FS", "AB", "Ti/Tv", "Het/Hom");
+  PrintRow("Intersection", inter);
+  PrintRow("Serial-only", serial_only);
+  PrintRow("Hybrid-only", hybrid_only);
+
+  // GiaB-style evaluation against planted truth.
+  auto serial_ps = EvaluateAgainstTruth(f.serial.variants, f.donor.truth);
+  auto hybrid_ps = EvaluateAgainstTruth(hybrid, f.donor.truth);
+  bench::Title("Appendix B.3: precision / sensitivity vs truth set");
+  std::printf("  %-10s precision %.4f  sensitivity %.4f\n", "serial",
+              serial_ps.precision, serial_ps.sensitivity);
+  std::printf("  %-10s precision %.4f  sensitivity %.4f\n", "hybrid",
+              hybrid_ps.precision, hybrid_ps.sensitivity);
+
+  bench::Note("");
+  bench::Note("Paper shape claims:");
+  bool ok = true;
+  double total = static_cast<double>(inter.count) + disc.d_count();
+  ok &= bench::Check(disc.d_count() / total < 0.02,
+                     "discordant calls are a small fraction of all calls "
+                     "(paper: ~0.1%)");
+  bool lower_quality =
+      (serial_only.count == 0 || serial_only.mean_qual < inter.mean_qual) &&
+      (hybrid_only.count == 0 || hybrid_only.mean_qual < inter.mean_qual);
+  ok &= bench::Check(lower_quality,
+                     "discordant variants are lower quality than the "
+                     "concordant set");
+  ok &= bench::Check(std::abs(serial_ps.precision - hybrid_ps.precision) <
+                             0.01 &&
+                         std::abs(serial_ps.sensitivity -
+                                  hybrid_ps.sensitivity) < 0.01,
+                     "no significant truth-set difference between serial "
+                     "and hybrid pipelines");
+  ok &= bench::Check(inter.titv_ratio > 1.2,
+                     "concordant SNPs are transition-dominated "
+                     "(paper expects Ti/Tv ~ 2 in good call sets)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Shared functional fixture for the accuracy harnesses (Table 8,
+// Tables 9-10, Fig. 11): one synthetic sample pushed through both the
+// serial reference pipeline and the parallel Gesall pipeline.
+//
+// Scale is configurable through GESALL_BENCH_SCALE (1 = default ~6 Mb
+// of read data; larger values grow the genome proportionally).
+
+#ifndef GESALL_BENCH_FUNCTIONAL_FIXTURE_H_
+#define GESALL_BENCH_FUNCTIONAL_FIXTURE_H_
+
+#include <cstdlib>
+#include <memory>
+
+#include "gesall/diagnosis.h"
+#include "gesall/pipeline.h"
+#include "gesall/serial_pipeline.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "util/logging.h"
+
+namespace gesall::bench {
+
+struct FunctionalFixture {
+  ReferenceGenome reference;
+  DonorGenome donor;
+  SimulatedSample sample;
+  std::unique_ptr<GenomeIndex> index;
+  std::vector<FastqRecord> interleaved;
+
+  SerialStageOutputs serial;
+
+  std::unique_ptr<Dfs> dfs;
+  std::unique_ptr<GesallPipeline> pipeline;
+  std::vector<VariantRecord> parallel_variants;
+  std::vector<SamRecord> parallel_aligned;
+  std::vector<SamRecord> parallel_deduped;
+};
+
+inline FunctionalFixture BuildFixture() {
+  int scale = 1;
+  if (const char* env = std::getenv("GESALL_BENCH_SCALE")) {
+    scale = std::max(1, std::atoi(env));
+  }
+  FunctionalFixture f;
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 2;
+  ro.chromosome_length = 120'000 * scale;
+  f.reference = GenerateReference(ro);
+  f.donor = PlantVariants(f.reference, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = 25.0;
+  f.sample = SimulateReads(f.donor, so);
+  f.index = std::make_unique<GenomeIndex>(f.reference);
+  f.interleaved =
+      InterleavePairs(f.sample.mate1, f.sample.mate2).ValueOrDie();
+
+  f.serial = RunSerialPipeline(f.reference, *f.index, f.interleaved)
+                 .ValueOrDie();
+
+  DfsOptions dopt;
+  dopt.block_size = 256 * 1024;
+  dopt.num_data_nodes = 4;
+  f.dfs = std::make_unique<Dfs>(dopt);
+  PipelineConfig config;
+  config.alignment_partitions = 6;
+  f.pipeline = std::make_unique<GesallPipeline>(f.reference, *f.index,
+                                                f.dfs.get(), config);
+  GESALL_CHECK(f.pipeline->LoadSample(f.sample.mate1, f.sample.mate2).ok());
+  auto variants = f.pipeline->RunAll();
+  GESALL_CHECK(variants.ok()) << variants.status().ToString();
+  f.parallel_variants = variants.MoveValueUnsafe();
+  f.parallel_aligned =
+      f.pipeline->ReadStageRecords("aligned").ValueOrDie();
+  f.parallel_deduped = f.pipeline->ReadStageRecords("dedup").ValueOrDie();
+  return f;
+}
+
+}  // namespace gesall::bench
+
+#endif  // GESALL_BENCH_FUNCTIONAL_FIXTURE_H_

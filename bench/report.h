@@ -1,0 +1,46 @@
+// Shared formatting helpers for the experiment harnesses. Each bench
+// binary regenerates one table or figure of the paper and prints the
+// paper-reported values (where the text preserves them) next to the
+// simulated/measured ones.
+
+#ifndef GESALL_BENCH_REPORT_H_
+#define GESALL_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+
+namespace gesall::bench {
+
+inline void Title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// "4h 57m 16s" style rendering of a duration.
+inline std::string Hms(double seconds) {
+  int s = static_cast<int>(seconds + 0.5);
+  int h = s / 3600, m = (s % 3600) / 60, sec = s % 60;
+  char buf[48];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%dh %02dm %02ds", h, m, sec);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof(buf), "%dm %02ds", m, sec);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ds", sec);
+  }
+  return buf;
+}
+
+/// Prints PASS/CHECK lines for shape assertions so the harness output
+/// documents whether the paper's qualitative claims reproduce.
+inline bool Check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "OK  " : "FAIL", claim.c_str());
+  return ok;
+}
+
+}  // namespace gesall::bench
+
+#endif  // GESALL_BENCH_REPORT_H_

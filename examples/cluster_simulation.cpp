@@ -1,0 +1,74 @@
+// Capacity planning with the cluster simulator: predict how long the
+// five pipeline rounds take for a paper-scale sample (1.24 G read pairs)
+// on Cluster A, Cluster B, and a user-sized cluster — the kind of
+// what-if a genome center asks before buying hardware (paper §4).
+//
+//   $ ./cluster_simulation [nodes] [cores] [disks]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/genomics.h"
+
+using namespace gesall;
+
+namespace {
+
+void SimulatePipeline(const ClusterSpec& cluster) {
+  auto workload = WorkloadSpec::NA12878();
+  GenomicsRates rates;
+  const int slots = std::max(1, cluster.node.cores / 4);
+  std::printf("\n--- %s: %d nodes x %d cores, %d disk(s) ---\n",
+              cluster.name.c_str(), cluster.num_data_nodes,
+              cluster.node.cores, cluster.node.num_disks);
+
+  double total = 0;
+  auto report = [&](const MrSimResult& r, const char* name) {
+    std::printf("  %-28s %12.0f s  (%.2f h)\n", name, r.wall_seconds,
+                r.wall_seconds / 3600);
+    total += r.wall_seconds;
+  };
+  report(SimulateMrJob(
+             cluster, AlignmentJob(workload, rates, cluster,
+                                   cluster.num_data_nodes * slots * 4,
+                                   slots, 4)),
+         "round 1: alignment");
+  report(SimulateMrJob(cluster, CleaningJob(workload, rates, cluster, 510,
+                                            slots)),
+         "round 2: cleaning");
+  report(SimulateMrJob(cluster,
+                       MarkDuplicatesJob(workload, rates, cluster, true,
+                                         510, slots)),
+         "round 3: mark duplicates");
+  report(SimulateMrJob(cluster, SortJob(workload, rates, cluster, 510,
+                                        slots)),
+         "round 4: sort + index");
+  report(SimulateMrJob(cluster, HaplotypeCallerJob(workload, rates, cluster,
+                                                   23, slots)),
+         "round 5: haplotype caller");
+  std::printf("  %-28s %12.0f s  (%.2f h)\n", "TOTAL", total, total / 3600);
+  std::printf("  clinic target: 1-2 days -> %s\n",
+              total < 2 * 86400 ? "MET" : "NOT met");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimulatePipeline(ClusterSpec::A());
+  SimulatePipeline(ClusterSpec::B());
+
+  if (argc > 3) {
+    ClusterSpec custom;
+    custom.name = "Custom cluster";
+    custom.num_data_nodes = std::atoi(argv[1]);
+    custom.node.cores = std::atoi(argv[2]);
+    custom.node.num_disks = std::atoi(argv[3]);
+    custom.node.memory_bytes = 128LL << 30;
+    custom.node.disk_mbps = 140;
+    custom.node.network_gbps = 10;
+    SimulatePipeline(custom);
+  } else {
+    std::printf("\n(pass `nodes cores disks` to size your own cluster)\n");
+  }
+  return 0;
+}

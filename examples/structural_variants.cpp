@@ -1,0 +1,110 @@
+// Structural variant detection: plant large deletions, insertions and
+// inversions into a donor, sequence it, align it, and recover the events
+// from discordant read pairs — the GASV-style large-variant analysis the
+// paper is bringing into its pipeline (§2.1).
+//
+//   $ ./structural_variants
+
+#include <cstdio>
+
+#include "align/aligner.h"
+#include "analysis/steps.h"
+#include "analysis/sv_caller.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "genome/sv_planter.h"
+
+using namespace gesall;
+
+namespace {
+const char* TruthName(StructuralVariantTruth::Type t) {
+  switch (t) {
+    case StructuralVariantTruth::Type::kDeletion:
+      return "DEL";
+    case StructuralVariantTruth::Type::kInsertion:
+      return "INS";
+    case StructuralVariantTruth::Type::kInversion:
+      return "INV";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 2;
+  ro.chromosome_length = 150'000;
+  ReferenceGenome reference = GenerateReference(ro);
+
+  VariantPlanterOptions vp;
+  vp.snp_rate = 0.0005;
+  vp.indel_rate = 0.0;
+  DonorGenome donor = PlantVariants(reference, vp);
+  SvPlanterOptions sv_options;
+  sv_options.min_length = 1'500;
+  sv_options.max_length = 2'500;
+  auto truth = PlantStructuralVariants(&donor, sv_options);
+
+  std::printf("planted structural variants:\n");
+  for (const auto& sv : truth) {
+    std::printf("  %s %s:%lld-%lld (%lld bp)\n", TruthName(sv.type),
+                reference.chromosomes[sv.chrom].name.c_str(),
+                static_cast<long long>(sv.start),
+                static_cast<long long>(sv.end),
+                static_cast<long long>(sv.length));
+  }
+
+  ReadSimulatorOptions so;
+  so.coverage = 25.0;
+  auto sample = SimulateReads(donor, so);
+  GenomeIndex index(reference);
+  PairedEndAligner aligner(index);
+  auto interleaved = InterleavePairs(sample.mate1, sample.mate2);
+  if (!interleaved.ok()) return 1;
+  auto records = aligner.AlignPairs(interleaved.ValueOrDie());
+  if (!FixMateInformation(&records).ok()) return 1;
+  std::printf("\naligned %zu reads at %.0fx\n", records.size(), so.coverage);
+
+  auto calls = CallStructuralVariants(records);
+  std::printf("\ndetected structural variants:\n");
+  for (const auto& call : calls) {
+    if (call.type == StructuralVariantCall::Type::kTranslocation) {
+      std::printf("  TRA %s:%lld <-> %s:%lld (support %d)\n",
+                  reference.chromosomes[call.chrom].name.c_str(),
+                  static_cast<long long>(call.start),
+                  reference.chromosomes[call.chrom2].name.c_str(),
+                  static_cast<long long>(call.pos2), call.support);
+    } else {
+      std::printf("  %s %s:%lld-%lld (support %d)\n",
+                  StructuralVariantCall::TypeName(call.type),
+                  reference.chromosomes[call.chrom].name.c_str(),
+                  static_cast<long long>(call.start),
+                  static_cast<long long>(call.end), call.support);
+    }
+  }
+
+  // Score against truth (breakpoints within library slack).
+  int recovered = 0;
+  for (const auto& sv : truth) {
+    for (const auto& call : calls) {
+      bool type_match =
+          (sv.type == StructuralVariantTruth::Type::kDeletion &&
+           call.type == StructuralVariantCall::Type::kDeletion) ||
+          (sv.type == StructuralVariantTruth::Type::kInsertion &&
+           call.type == StructuralVariantCall::Type::kInsertion) ||
+          (sv.type == StructuralVariantTruth::Type::kInversion &&
+           call.type == StructuralVariantCall::Type::kInversion);
+      if (type_match && call.chrom == sv.chrom &&
+          std::llabs(call.start - sv.start) < 800) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  std::printf("\nrecovered %d of %zu planted events\n", recovered,
+              truth.size());
+  std::printf("(insertions longer than the library insert size leave no "
+              "short-span signature;\n detecting them requires split-read "
+              "evidence, which this caller does not use)\n");
+  return 0;
+}

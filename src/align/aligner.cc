@@ -1,0 +1,368 @@
+#include "align/aligner.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gesall {
+
+ReadAligner::ReadAligner(const GenomeIndex& index, AlignerOptions options)
+    : index_(&index), options_(options) {}
+
+namespace {
+
+// Groups sorted candidate start positions that lie within `slack` of each
+// other; returns (representative_start, votes) pairs.
+std::vector<std::pair<int64_t, int>> ClusterStarts(
+    std::vector<int64_t>* starts, int64_t slack) {
+  std::vector<std::pair<int64_t, int>> clusters;
+  std::sort(starts->begin(), starts->end());
+  for (int64_t s : *starts) {
+    if (!clusters.empty() && s - clusters.back().first <= slack) {
+      ++clusters.back().second;
+    } else {
+      clusters.emplace_back(s, 1);
+    }
+  }
+  return clusters;
+}
+
+}  // namespace
+
+std::vector<Alignment> ReadAligner::AlignRead(std::string_view seq) const {
+  const auto& opt = options_;
+  const int len = static_cast<int>(seq.size());
+  std::vector<Alignment> alignments;
+  if (len < opt.seed_length) return alignments;
+
+  std::string reverse_seq = ReverseComplement(std::string(seq));
+  const int64_t total_len = index_->fm().text_length();
+
+  for (int strand = 0; strand < 2; ++strand) {
+    const bool reverse = strand == 1;
+    std::string_view s = reverse ? std::string_view(reverse_seq) : seq;
+
+    // Exact-match seeds at fixed stride (plus one flush-right seed).
+    std::vector<int64_t> starts;
+    std::vector<int> offsets;
+    for (int o = 0; o + opt.seed_length <= len; o += opt.seed_stride) {
+      offsets.push_back(o);
+    }
+    if (offsets.empty() || offsets.back() != len - opt.seed_length) {
+      offsets.push_back(len - opt.seed_length);
+    }
+    for (int o : offsets) {
+      SaInterval hit = index_->fm().Search(s.substr(o, opt.seed_length));
+      if (hit.empty() || hit.size() > opt.max_seed_hits) continue;
+      for (int64_t p : index_->fm().LocateAll(hit, opt.max_seed_hits)) {
+        starts.push_back(p - o);
+      }
+    }
+    if (starts.empty()) continue;
+
+    auto clusters = ClusterStarts(&starts, /*slack=*/16);
+    // Most-voted clusters first; ties by position for determinism.
+    std::stable_sort(clusters.begin(), clusters.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.second != b.second) return a.second > b.second;
+                       return a.first < b.first;
+                     });
+    if (static_cast<int>(clusters.size()) > opt.max_candidates) {
+      clusters.resize(opt.max_candidates);
+    }
+
+    for (const auto& [start, votes] : clusters) {
+      int64_t clamped = std::clamp<int64_t>(start, 0, total_len - 1);
+      int32_t chrom;
+      int64_t pos;
+      if (!index_->ToChromPos(clamped, &chrom, &pos)) continue;
+      int64_t window_start;
+      std::string_view window =
+          index_->Window(chrom, pos - opt.window_pad,
+                         len + 2 * opt.window_pad, &window_start);
+      if (window.empty()) continue;
+      SwAlignment sw = SmithWaterman(s, window, opt.scoring);
+      if (!sw.aligned || sw.score < opt.min_score) continue;
+      Alignment a;
+      a.ref_id = chrom;
+      a.pos = window_start + sw.window_start;
+      a.reverse = reverse;
+      a.cigar = std::move(sw.cigar);
+      a.score = sw.score;
+      a.edit_distance = sw.edit_distance;
+      alignments.push_back(std::move(a));
+    }
+  }
+
+  // Dedupe by (ref, pos, strand), keeping the best score.
+  std::sort(alignments.begin(), alignments.end(),
+            [](const Alignment& a, const Alignment& b) {
+              if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
+              if (a.pos != b.pos) return a.pos < b.pos;
+              if (a.reverse != b.reverse) return a.reverse < b.reverse;
+              return a.score > b.score;
+            });
+  alignments.erase(
+      std::unique(alignments.begin(), alignments.end(),
+                  [](const Alignment& a, const Alignment& b) {
+                    return a.ref_id == b.ref_id && a.pos == b.pos &&
+                           a.reverse == b.reverse;
+                  }),
+      alignments.end());
+  // Final order: by descending score, position-stable for determinism.
+  std::stable_sort(alignments.begin(), alignments.end(),
+                   [](const Alignment& a, const Alignment& b) {
+                     return a.score > b.score;
+                   });
+  return alignments;
+}
+
+PairedEndAligner::PairedEndAligner(const GenomeIndex& index,
+                                   PairedAlignerOptions options)
+    : index_(&index), options_(options),
+      read_aligner_(index, options.aligner) {}
+
+SamHeader PairedEndAligner::MakeHeader() const {
+  SamHeader header;
+  for (const auto& c : index_->genome().chromosomes) {
+    header.refs.push_back({c.name, static_cast<int64_t>(c.sequence.size())});
+  }
+  header.programs.push_back("gesall-bwa");
+  return header;
+}
+
+InsertStats PairedEndAligner::EstimateInsertStats(
+    const std::vector<std::vector<Alignment>>& cand1,
+    const std::vector<std::vector<Alignment>>& cand2) const {
+  // Use only confidently, uniquely aligned proper-orientation pairs — the
+  // same reads every batch would agree on — so the statistics drift only
+  // through batch composition, as in BWA.
+  RunningStats stats;
+  auto confident = [](const std::vector<Alignment>& c) {
+    if (c.empty()) return false;
+    if (c.size() == 1) return true;
+    return c[0].score - c[1].score >= 20;
+  };
+  for (size_t i = 0; i < cand1.size(); ++i) {
+    if (!confident(cand1[i]) || !confident(cand2[i])) continue;
+    const Alignment& a = cand1[i][0];
+    const Alignment& b = cand2[i][0];
+    if (a.ref_id != b.ref_id || a.reverse == b.reverse) continue;
+    const Alignment& fwd = a.reverse ? b : a;
+    const Alignment& rev = a.reverse ? a : b;
+    int64_t insert = rev.pos + CigarReferenceLength(rev.cigar) - fwd.pos;
+    if (insert <= 0 || insert > 100'000) continue;
+    stats.Add(static_cast<double>(insert));
+  }
+  InsertStats out;
+  out.samples = stats.count();
+  if (stats.count() < 32) {
+    out.mean = options_.fallback_insert_mean;
+    out.sd = options_.fallback_insert_sd;
+  } else {
+    out.mean = stats.mean();
+    out.sd = std::max(1.0, stats.stddev());
+  }
+  return out;
+}
+
+namespace {
+
+// Candidate index pair plus the combined pairing score.
+struct PairChoice {
+  int i1 = -1;  // -1 = mate unmapped
+  int i2 = -1;
+  int score = 0;
+  bool proper = false;
+};
+
+int64_t PairInsert(const Alignment& a, const Alignment& b) {
+  if (a.ref_id != b.ref_id || a.reverse == b.reverse) return -1;
+  const Alignment& fwd = a.reverse ? b : a;
+  const Alignment& rev = a.reverse ? a : b;
+  int64_t insert = rev.pos + CigarReferenceLength(rev.cigar) - fwd.pos;
+  return insert > 0 ? insert : -1;
+}
+
+// Builds the SAM record for one mate of a resolved pair.
+SamRecord MakeRecord(const FastqRecord& read, const Alignment* aln,
+                     const Alignment* mate_aln, bool first_of_pair,
+                     bool proper, int mapq, int own_second_score) {
+  SamRecord rec;
+  rec.qname = read.name;
+  rec.flag = sam_flags::kPaired;
+  rec.SetFlag(first_of_pair ? sam_flags::kFirstOfPair
+                            : sam_flags::kSecondOfPair,
+              true);
+  if (aln != nullptr) {
+    rec.ref_id = aln->ref_id;
+    rec.pos = aln->pos;
+    rec.mapq = mapq;
+    rec.cigar = aln->cigar;
+    if (aln->reverse) {
+      rec.SetFlag(sam_flags::kReverse, true);
+      rec.seq = ReverseComplement(read.sequence);
+      rec.qual = std::string(read.quality.rbegin(), read.quality.rend());
+    } else {
+      rec.seq = read.sequence;
+      rec.qual = read.quality;
+    }
+    rec.SetTag("AS", 'i', std::to_string(aln->score));
+    rec.SetTag("XS", 'i', std::to_string(own_second_score));
+    rec.SetTag("NM", 'i', std::to_string(aln->edit_distance));
+    if (proper) rec.SetFlag(sam_flags::kProperPair, true);
+  } else {
+    rec.SetFlag(sam_flags::kUnmapped, true);
+    rec.seq = read.sequence;
+    rec.qual = read.quality;
+    // Convention: an unmapped mate is placed at its mapped mate's locus.
+    if (mate_aln != nullptr) {
+      rec.ref_id = mate_aln->ref_id;
+      rec.pos = mate_aln->pos;
+    }
+  }
+  if (mate_aln != nullptr) {
+    rec.mate_ref_id = mate_aln->ref_id;
+    rec.mate_pos = mate_aln->pos;
+    if (mate_aln->reverse) rec.SetFlag(sam_flags::kMateReverse, true);
+  } else {
+    rec.SetFlag(sam_flags::kMateUnmapped, true);
+    if (aln != nullptr) {
+      rec.mate_ref_id = aln->ref_id;
+      rec.mate_pos = aln->pos;
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
+                                  size_t begin, size_t end,
+                                  std::vector<SamRecord>* out) const {
+  const size_t n_pairs = (end - begin) / 2;
+  std::vector<std::vector<Alignment>> cand1(n_pairs), cand2(n_pairs);
+  for (size_t i = 0; i < n_pairs; ++i) {
+    cand1[i] = read_aligner_.AlignRead(interleaved[begin + 2 * i].sequence);
+    cand2[i] =
+        read_aligner_.AlignRead(interleaved[begin + 2 * i + 1].sequence);
+  }
+
+  InsertStats stats = EstimateInsertStats(cand1, cand2);
+  const double lo = stats.mean - options_.proper_range_sds * stats.sd;
+  const double hi = stats.mean + options_.proper_range_sds * stats.sd;
+
+  // Batch-content-derived tie-break RNG (see file comment).
+  uint64_t seed = options_.seed;
+  for (size_t i = 0; i < std::min<size_t>(n_pairs, 16); ++i) {
+    seed = MixSeeds(seed, Fnv1a64(interleaved[begin + 2 * i].name));
+  }
+  seed = MixSeeds(seed, n_pairs);
+  Rng rng(seed);
+
+  const int k = options_.top_k;
+  for (size_t i = 0; i < n_pairs; ++i) {
+    const auto& c1 = cand1[i];
+    const auto& c2 = cand2[i];
+    const int k1 = std::min<int>(k, static_cast<int>(c1.size()));
+    const int k2 = std::min<int>(k, static_cast<int>(c2.size()));
+
+    // Enumerate pairings, including half-mapped options.
+    std::vector<PairChoice> cobest;
+    int best = INT32_MIN, second = INT32_MIN;
+    auto consider = [&](PairChoice choice) {
+      if (choice.score > best) {
+        second = best;
+        best = choice.score;
+        cobest.clear();
+        cobest.push_back(choice);
+      } else if (choice.score == best) {
+        cobest.push_back(choice);
+      } else if (choice.score > second) {
+        second = choice.score;
+      }
+    };
+    for (int a = 0; a < k1; ++a) {
+      for (int b = 0; b < k2; ++b) {
+        PairChoice pc;
+        pc.i1 = a;
+        pc.i2 = b;
+        pc.score = c1[a].score + c2[b].score;
+        int64_t insert = PairInsert(c1[a], c2[b]);
+        if (insert > 0 && insert >= lo && insert <= hi) {
+          pc.score += options_.pair_bonus;
+          pc.proper = true;
+        }
+        consider(pc);
+      }
+    }
+    for (int a = 0; a < k1; ++a) consider({a, -1, c1[a].score, false});
+    for (int b = 0; b < k2; ++b) consider({-1, b, c2[b].score, false});
+
+    PairChoice chosen;
+    if (!cobest.empty()) {
+      chosen = cobest.size() == 1
+                   ? cobest[0]
+                   : cobest[rng.Uniform(cobest.size())];  // random tie-break
+    }
+    const bool ambiguous = cobest.size() > 1;
+    const int pair_gap = (second == INT32_MIN) ? 60 : best - second;
+
+    auto mapq_for = [&](const std::vector<Alignment>& own,
+                        int idx) -> int {
+      if (idx < 0) return 0;
+      if (ambiguous) return 0;
+      int own_best = own[0].score;
+      int own_second = own.size() > 1 ? own[1].score
+                                      : options_.aligner.min_score - 10;
+      int gap = own_best - own_second;
+      if (own[idx].score < own_best) {
+        // Chosen by mate rescue over a better solo alignment.
+        return std::clamp(6 * pair_gap, 0, 30);
+      }
+      int mapq = std::clamp(6 * gap, 0, 60);
+      return std::min(mapq, std::clamp(6 * pair_gap + 10, 0, 60));
+    };
+
+    const Alignment* a1 = chosen.i1 >= 0 ? &c1[chosen.i1] : nullptr;
+    const Alignment* a2 = chosen.i2 >= 0 ? &c2[chosen.i2] : nullptr;
+    int own_second1 =
+        c1.size() > 1 ? c1[1].score : 0;
+    int own_second2 =
+        c2.size() > 1 ? c2[1].score : 0;
+
+    SamRecord r1 = MakeRecord(interleaved[begin + 2 * i], a1, a2,
+                              /*first_of_pair=*/true, chosen.proper,
+                              mapq_for(c1, chosen.i1), own_second1);
+    SamRecord r2 = MakeRecord(interleaved[begin + 2 * i + 1], a2, a1,
+                              /*first_of_pair=*/false, chosen.proper,
+                              mapq_for(c2, chosen.i2), own_second2);
+
+    // Signed template length when both mates map to one chromosome.
+    if (a1 != nullptr && a2 != nullptr && a1->ref_id == a2->ref_id) {
+      int64_t left = std::min(a1->pos, a2->pos);
+      int64_t right = std::max(a1->pos + CigarReferenceLength(a1->cigar),
+                               a2->pos + CigarReferenceLength(a2->cigar));
+      int64_t tlen = right - left;
+      r1.tlen = a1->pos <= a2->pos ? tlen : -tlen;
+      r2.tlen = -r1.tlen;
+    }
+    out->push_back(std::move(r1));
+    out->push_back(std::move(r2));
+  }
+}
+
+std::vector<SamRecord> PairedEndAligner::AlignPairs(
+    const std::vector<FastqRecord>& interleaved) const {
+  std::vector<SamRecord> out;
+  out.reserve(interleaved.size());
+  const size_t batch_reads = static_cast<size_t>(options_.batch_size) * 2;
+  for (size_t begin = 0; begin < interleaved.size(); begin += batch_reads) {
+    size_t end = std::min(interleaved.size(), begin + batch_reads);
+    AlignBatch(interleaved, begin, end, &out);
+  }
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,125 @@
+// BWA-style seed-chain-extend read aligner and paired-end resolution.
+//
+// Two properties are deliberately faithful to BWA because they are the
+// root cause of the paper's serial-vs-parallel discordance (App. B.2):
+//
+//  1. *Batch statistics*: the insert-size distribution used to score pair
+//     candidates is estimated from each batch of reads, so partitioning
+//     the input changes batch boundaries and therefore pairing decisions
+//     near the edges of the insert-size distribution (paper Fig. 11c).
+//  2. *Random tie-breaking*: when multiple alignments (or pairings) score
+//     equally — common in repetitive regions — one is chosen at random,
+//     from an RNG seeded by batch content (paper Fig. 11a).
+
+#ifndef GESALL_ALIGN_ALIGNER_H_
+#define GESALL_ALIGN_ALIGNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/genome_index.h"
+#include "align/smith_waterman.h"
+#include "formats/fastq.h"
+#include "formats/sam.h"
+
+namespace gesall {
+
+/// \brief One candidate alignment of a read.
+struct Alignment {
+  int32_t ref_id = -1;
+  int64_t pos = -1;      // 0-based leftmost reference position
+  bool reverse = false;  // aligned to the reverse strand
+  Cigar cigar;           // oriented along the forward reference strand
+  int score = 0;
+  int edit_distance = 0;
+};
+
+/// \brief Single-read alignment parameters.
+struct AlignerOptions {
+  int seed_length = 19;
+  int seed_stride = 11;
+  /// Seeds with more exact hits than this are skipped (repeats).
+  int max_seed_hits = 32;
+  /// Candidate windows extended with Smith-Waterman per read.
+  int max_candidates = 8;
+  int window_pad = 24;
+  SwScoring scoring;
+  /// Alignments scoring below this are discarded.
+  int min_score = 30;
+};
+
+/// \brief Aligns individual reads against a GenomeIndex.
+class ReadAligner {
+ public:
+  explicit ReadAligner(const GenomeIndex& index, AlignerOptions options = {});
+
+  /// Returns candidate alignments sorted by descending score (deduped by
+  /// position). Empty when the read is unalignable.
+  std::vector<Alignment> AlignRead(std::string_view seq) const;
+
+ private:
+  const GenomeIndex* index_;
+  AlignerOptions options_;
+};
+
+/// \brief Paired-end alignment parameters.
+struct PairedAlignerOptions {
+  AlignerOptions aligner;
+  /// Pairs per batch; insert statistics and the tie-break RNG are
+  /// per-batch, which is what makes results partitioning-sensitive.
+  int batch_size = 2048;
+  /// Candidate alignments per mate considered during pairing.
+  int top_k = 4;
+  /// A pair within mean +/- this many (batch-estimated) SDs of insert size
+  /// earns the pair score bonus (step function, as in BWA).
+  double proper_range_sds = 4.0;
+  int pair_bonus = 17;
+  /// Global seed mixed into per-batch content-derived seeds.
+  uint64_t seed = 11;
+  /// Fallback insert stats used when a batch has too few confident pairs.
+  double fallback_insert_mean = 400.0;
+  double fallback_insert_sd = 60.0;
+};
+
+/// \brief Batch-estimated insert-size statistics (exposed for tests).
+struct InsertStats {
+  double mean = 0.0;
+  double sd = 0.0;
+  int64_t samples = 0;
+};
+
+/// \brief Aligns read pairs and emits SAM records (two per pair).
+///
+/// Input is interleaved (mate1, mate2, mate1, mate2, ...), the layout
+/// Gesall feeds to wrapped aligners (paper §3.2 "Group Partitioning").
+class PairedEndAligner {
+ public:
+  PairedEndAligner(const GenomeIndex& index,
+                   PairedAlignerOptions options = {});
+
+  /// Aligns all pairs, processing them in batches of batch_size.
+  std::vector<SamRecord> AlignPairs(
+      const std::vector<FastqRecord>& interleaved) const;
+
+  /// Header matching the index's reference dictionary.
+  SamHeader MakeHeader() const;
+
+  /// Estimates insert statistics the way a batch does (exposed for tests).
+  InsertStats EstimateInsertStats(
+      const std::vector<std::vector<Alignment>>& cand1,
+      const std::vector<std::vector<Alignment>>& cand2) const;
+
+ private:
+  void AlignBatch(const std::vector<FastqRecord>& interleaved, size_t begin,
+                  size_t end, std::vector<SamRecord>* out) const;
+
+  const GenomeIndex* index_;
+  PairedAlignerOptions options_;
+  ReadAligner read_aligner_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_ALIGNER_H_

@@ -1,0 +1,136 @@
+#include "align/fm_index.h"
+
+#include <bit>
+
+#include "align/suffix_array.h"
+#include "util/logging.h"
+
+namespace gesall {
+
+int FmIndex::CharRank(char c) {
+  switch (c) {
+    case 'A':
+      return 1;
+    case 'C':
+      return 2;
+    case 'G':
+      return 3;
+    case 'T':
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+FmIndex::FmIndex(const std::string& text, int sa_sample_rate)
+    : sa_sample_rate_(sa_sample_rate) {
+  // Coerce to rank bytes: sentinel 0, A..T -> 1..4 (N and friends -> 1).
+  std::string ranks(text.size() + 1, '\0');
+  for (size_t i = 0; i < text.size(); ++i) {
+    int r = CharRank(text[i]);
+    ranks[i] = static_cast<char>(r < 0 ? 1 : r);
+  }
+  n_ = static_cast<int64_t>(ranks.size());
+
+  std::vector<int32_t> sa = BuildSuffixArray(ranks);
+
+  // BWT and SA samples (sampled by text position: SA value % rate == 0).
+  bwt_.resize(n_);
+  std::vector<uint64_t> bitmap((n_ + 63) / 64, 0);
+  std::vector<std::pair<int64_t, int64_t>> samples;  // (sa_index, value)
+  for (int64_t i = 0; i < n_; ++i) {
+    int64_t v = sa[i];
+    bwt_[i] = v == 0 ? '\0' : ranks[v - 1];
+    if (v % sa_sample_rate_ == 0) {
+      bitmap[i / 64] |= (1ULL << (i % 64));
+      samples.emplace_back(i, v);
+    }
+  }
+  // Pack the bitmap into bytes plus a per-word rank prefix for O(1) lookup.
+  bitmap_words_ = std::move(bitmap);
+  word_rank_.resize(bitmap_words_.size() + 1, 0);
+  for (size_t w = 0; w < bitmap_words_.size(); ++w) {
+    word_rank_[w + 1] =
+        word_rank_[w] + std::popcount(bitmap_words_[w]);
+  }
+  sampled_sa_.resize(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    sampled_sa_[i] = samples[i].second;
+  }
+
+  // C table: counts of characters strictly smaller than each rank.
+  std::array<int64_t, 6> counts{};
+  for (char c : bwt_) ++counts[static_cast<unsigned char>(c) + 1];
+  c_[0] = 0;
+  for (int r = 1; r < 6; ++r) c_[r] = c_[r - 1] + counts[r];
+
+  // Occurrence checkpoints every checkpoint_stride_ BWT positions.
+  int64_t n_cp = n_ / checkpoint_stride_ + 1;
+  checkpoints_.assign(n_cp, {});
+  std::array<int64_t, 5> running{};
+  for (int64_t i = 0; i < n_; ++i) {
+    if (i % checkpoint_stride_ == 0) {
+      checkpoints_[i / checkpoint_stride_] = running;
+    }
+    ++running[static_cast<unsigned char>(bwt_[i])];
+  }
+}
+
+int64_t FmIndex::Occ(int r, int64_t pos) const {
+  int64_t cp = pos / checkpoint_stride_;
+  int64_t count = checkpoints_[cp][r];
+  for (int64_t i = cp * checkpoint_stride_; i < pos; ++i) {
+    if (static_cast<unsigned char>(bwt_[i]) == r) ++count;
+  }
+  return count;
+}
+
+SaInterval FmIndex::ExtendLeft(const SaInterval& interval, char c) const {
+  int r = CharRank(c);
+  if (r < 0 || interval.empty()) return {0, 0};
+  SaInterval out;
+  out.lo = c_[r] + Occ(r, interval.lo);
+  out.hi = c_[r] + Occ(r, interval.hi);
+  return out;
+}
+
+SaInterval FmIndex::Search(std::string_view pattern) const {
+  SaInterval interval = WholeInterval();
+  for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+    interval = ExtendLeft(interval, *it);
+    if (interval.empty()) break;
+  }
+  return interval;
+}
+
+int64_t FmIndex::Locate(int64_t sa_index) const {
+  int64_t steps = 0;
+  int64_t pos = sa_index;
+  for (;;) {
+    // Sampled?
+    uint64_t word = bitmap_words_[pos / 64];
+    if (word & (1ULL << (pos % 64))) {
+      int64_t rank = word_rank_[pos / 64] +
+                     std::popcount(word & ((1ULL << (pos % 64)) - 1));
+      return sampled_sa_[rank] + steps;
+    }
+    int r = static_cast<unsigned char>(bwt_[pos]);
+    // r == 0 (sentinel) implies SA value 0, which is always sampled, so we
+    // can never be here with r == 0.
+    pos = c_[r] + Occ(r, pos);
+    ++steps;
+  }
+}
+
+std::vector<int64_t> FmIndex::LocateAll(const SaInterval& interval,
+                                        int64_t limit) const {
+  std::vector<int64_t> out;
+  int64_t count = std::min<int64_t>(interval.size(), limit);
+  out.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    out.push_back(Locate(interval.lo + i));
+  }
+  return out;
+}
+
+}  // namespace gesall

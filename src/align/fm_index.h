@@ -1,0 +1,73 @@
+// FM-index (Burrows-Wheeler transform + checkpointed occurrence counts +
+// sampled suffix array) over the A/C/G/T alphabet, supporting backward
+// search for exact seed matching and position lookup — the core of the
+// BWA-style aligner [Li & Durbin 2009].
+
+#ifndef GESALL_ALIGN_FM_INDEX_H_
+#define GESALL_ALIGN_FM_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gesall {
+
+/// \brief SA interval [lo, hi) of suffixes prefixed by the query pattern.
+struct SaInterval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+
+/// \brief FM-index over text of alphabet {$, A, C, G, T}; other letters are
+/// coerced to 'A' at build time and never match exactly (the aligner's
+/// Smith-Waterman stage tolerates them as mismatches).
+class FmIndex {
+ public:
+  /// Builds the index. `text` must NOT contain '\0'; a sentinel is
+  /// appended internally. `sa_sample_rate` trades memory for locate speed.
+  explicit FmIndex(const std::string& text, int sa_sample_rate = 8);
+
+  /// Length of the indexed text (without the sentinel).
+  int64_t text_length() const { return n_ - 1; }
+
+  /// Backward search for an exact occurrence of `pattern`.
+  SaInterval Search(std::string_view pattern) const;
+
+  /// Extends an interval by one character on the left: interval for
+  /// (c + current pattern). Empty result if no occurrence.
+  SaInterval ExtendLeft(const SaInterval& interval, char c) const;
+
+  /// Interval covering all suffixes (the search starting point).
+  SaInterval WholeInterval() const { return {0, n_}; }
+
+  /// Text position of the suffix at SA index `sa_index`.
+  int64_t Locate(int64_t sa_index) const;
+
+  /// Text positions for every suffix in the interval (capped at `limit`).
+  std::vector<int64_t> LocateAll(const SaInterval& interval,
+                                 int64_t limit) const;
+
+ private:
+  static int CharRank(char c);
+
+  /// Number of occurrences of character-rank `r` in bwt_[0, pos).
+  int64_t Occ(int r, int64_t pos) const;
+
+  int64_t n_ = 0;                 // text length including sentinel
+  std::string bwt_;               // BWT as rank bytes (0..4)
+  std::array<int64_t, 6> c_{};    // C[r]: # of chars with rank < r
+  int checkpoint_stride_ = 128;
+  std::vector<std::array<int64_t, 5>> checkpoints_;
+  int sa_sample_rate_;
+  std::vector<int64_t> sampled_sa_;     // SA values at sampled SA indexes
+  std::vector<uint64_t> bitmap_words_;  // bitmap: is SA index sampled?
+  std::vector<int64_t> word_rank_;      // prefix popcounts of bitmap words
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_FM_INDEX_H_

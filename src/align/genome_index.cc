@@ -1,0 +1,52 @@
+#include "align/genome_index.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+namespace {
+std::string Concatenate(const ReferenceGenome& genome) {
+  std::string text;
+  int64_t total = genome.TotalLength();
+  text.reserve(total);
+  for (const auto& c : genome.chromosomes) text += c.sequence;
+  return text;
+}
+}  // namespace
+
+GenomeIndex::GenomeIndex(const ReferenceGenome& genome)
+    : genome_(&genome), fm_(Concatenate(genome)) {
+  int64_t off = 0;
+  for (const auto& c : genome.chromosomes) {
+    offsets_.push_back(off);
+    off += static_cast<int64_t>(c.sequence.size());
+  }
+  total_len_ = off;
+}
+
+bool GenomeIndex::ToChromPos(int64_t text_pos, int32_t* chrom,
+                             int64_t* pos) const {
+  if (text_pos < 0 || text_pos >= total_len_) return false;
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), text_pos);
+  int32_t ci = static_cast<int32_t>(it - offsets_.begin()) - 1;
+  *chrom = ci;
+  *pos = text_pos - offsets_[ci];
+  return true;
+}
+
+int64_t GenomeIndex::ToTextPos(int32_t chrom, int64_t pos) const {
+  return offsets_[chrom] + pos;
+}
+
+std::string_view GenomeIndex::Window(int32_t chrom, int64_t start,
+                                     int64_t len,
+                                     int64_t* clamped_start) const {
+  const std::string& seq = genome_->chromosomes[chrom].sequence;
+  int64_t s = std::max<int64_t>(0, start);
+  int64_t e = std::min<int64_t>(static_cast<int64_t>(seq.size()), start + len);
+  if (clamped_start != nullptr) *clamped_start = s;
+  if (e <= s) return {};
+  return std::string_view(seq).substr(s, e - s);
+}
+
+}  // namespace gesall

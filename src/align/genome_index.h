@@ -1,0 +1,52 @@
+// Alignment index over a multi-chromosome reference: the FM-index of the
+// concatenated sequence plus coordinate translation. Loading this index is
+// the dominant per-mapper startup cost the paper's Table 4 / Fig. 5(a)
+// experiments study.
+
+#ifndef GESALL_ALIGN_GENOME_INDEX_H_
+#define GESALL_ALIGN_GENOME_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/fm_index.h"
+#include "formats/fasta.h"
+
+namespace gesall {
+
+/// \brief FM-index plus chromosome offset table for a reference genome.
+class GenomeIndex {
+ public:
+  explicit GenomeIndex(const ReferenceGenome& genome);
+
+  const ReferenceGenome& genome() const { return *genome_; }
+  const FmIndex& fm() const { return fm_; }
+
+  /// Translates a concatenated-text position to (chromosome, position).
+  /// Returns false if the position is out of range.
+  bool ToChromPos(int64_t text_pos, int32_t* chrom, int64_t* pos) const;
+
+  /// Translates (chromosome, position) to a concatenated-text position.
+  int64_t ToTextPos(int32_t chrom, int64_t pos) const;
+
+  int64_t chromosome_length(int32_t chrom) const {
+    return static_cast<int64_t>(genome_->chromosomes[chrom].sequence.size());
+  }
+
+  /// Reference window [start, start+len) on a chromosome, clamped to the
+  /// chromosome bounds. `*clamped_start` receives the actual start.
+  std::string_view Window(int32_t chrom, int64_t start, int64_t len,
+                          int64_t* clamped_start) const;
+
+ private:
+  const ReferenceGenome* genome_;
+  std::vector<int64_t> offsets_;  // text offset of each chromosome start
+  int64_t total_len_ = 0;
+  FmIndex fm_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_GENOME_INDEX_H_

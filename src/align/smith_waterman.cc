@@ -1,0 +1,113 @@
+#include "align/smith_waterman.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gesall {
+
+namespace {
+constexpr int kNegInf = -(1 << 28);
+}  // namespace
+
+// Classic three-matrix affine-gap Smith-Waterman over the full
+// read x window rectangle (windows are small: read length + 2*pad).
+// Traceback is a state machine over the H/E/F matrices.
+SwAlignment SmithWaterman(std::string_view read, std::string_view window,
+                          const SwScoring& sc) {
+  const int m = static_cast<int>(read.size());
+  const int n = static_cast<int>(window.size());
+  SwAlignment result;
+  if (m == 0 || n == 0) return result;
+
+  // H: best local score ending at (i,j); E: alignment ending in a gap that
+  // consumes reference (CIGAR 'D'); F: gap consuming read (CIGAR 'I').
+  std::vector<int> h((m + 1) * (n + 1), 0);
+  std::vector<int> e((m + 1) * (n + 1), kNegInf);
+  std::vector<int> f((m + 1) * (n + 1), kNegInf);
+  auto idx = [n](int i, int j) { return i * (n + 1) + j; };
+
+  int best = 0, best_i = 0, best_j = 0;
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      int sub = (read[i - 1] == window[j - 1]) ? sc.match : sc.mismatch;
+      int diag = h[idx(i - 1, j - 1)] + sub;
+      e[idx(i, j)] = std::max(h[idx(i, j - 1)] + sc.gap_open,
+                              e[idx(i, j - 1)] + sc.gap_extend);
+      f[idx(i, j)] = std::max(h[idx(i - 1, j)] + sc.gap_open,
+                              f[idx(i - 1, j)] + sc.gap_extend);
+      int v = std::max({0, diag, e[idx(i, j)], f[idx(i, j)]});
+      h[idx(i, j)] = v;
+      if (v > best) {
+        best = v;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (best <= 0) return result;
+
+  // Traceback.
+  Cigar rev_ops;
+  auto push = [&rev_ops](char op) {
+    if (!rev_ops.empty() && rev_ops.back().op == op) {
+      ++rev_ops.back().len;
+    } else {
+      rev_ops.push_back({op, 1});
+    }
+  };
+  enum class State { kH, kE, kF };
+  State state = State::kH;
+  int i = best_i, j = best_j, edits = 0;
+  while (i > 0 || j > 0) {
+    if (state == State::kH) {
+      int v = h[idx(i, j)];
+      if (v == 0) break;
+      int sub = (i > 0 && j > 0 && read[i - 1] == window[j - 1])
+                    ? sc.match
+                    : sc.mismatch;
+      if (i > 0 && j > 0 && v == h[idx(i - 1, j - 1)] + sub) {
+        push('M');
+        if (read[i - 1] != window[j - 1]) ++edits;
+        --i;
+        --j;
+      } else if (v == e[idx(i, j)]) {
+        state = State::kE;
+      } else {
+        state = State::kF;
+      }
+    } else if (state == State::kE) {
+      push('D');
+      ++edits;
+      if (e[idx(i, j)] == e[idx(i, j - 1)] + sc.gap_extend) {
+        --j;
+      } else {
+        --j;
+        state = State::kH;
+      }
+    } else {  // State::kF
+      push('I');
+      ++edits;
+      if (f[idx(i, j)] == f[idx(i - 1, j)] + sc.gap_extend) {
+        --i;
+      } else {
+        --i;
+        state = State::kH;
+      }
+    }
+  }
+
+  SwAlignment out;
+  out.aligned = true;
+  out.score = best;
+  out.window_start = j;
+  out.window_end = best_j;
+  out.edit_distance = edits;
+  if (i > 0) out.cigar.push_back({'S', i});  // leading soft clip
+  for (auto it = rev_ops.rbegin(); it != rev_ops.rend(); ++it) {
+    out.cigar.push_back(*it);
+  }
+  if (best_i < m) out.cigar.push_back({'S', m - best_i});
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,40 @@
+// Local alignment of a read against a reference window with affine gap
+// penalties, producing a soft-clipped CIGAR by traceback (the extension
+// stage of the seed-and-extend aligner).
+
+#ifndef GESALL_ALIGN_SMITH_WATERMAN_H_
+#define GESALL_ALIGN_SMITH_WATERMAN_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "formats/cigar.h"
+
+namespace gesall {
+
+/// \brief Alignment scoring parameters (BWA-MEM-like defaults).
+struct SwScoring {
+  int match = 1;
+  int mismatch = -4;
+  int gap_open = -6;    // charged for the first base of a gap
+  int gap_extend = -1;  // charged for each further base
+};
+
+/// \brief Result of a local alignment of `read` within `window`.
+struct SwAlignment {
+  int score = 0;
+  int64_t window_start = 0;  // window offset of the first aligned ref base
+  int64_t window_end = 0;    // one past the last aligned ref base
+  Cigar cigar;               // includes leading/trailing soft clips (S)
+  int edit_distance = 0;     // NM: mismatches + gap bases
+  bool aligned = false;
+};
+
+/// \brief Smith-Waterman with affine gaps; unaligned read ends become
+/// soft clips. Returns aligned=false when the best score is <= 0.
+SwAlignment SmithWaterman(std::string_view read, std::string_view window,
+                          const SwScoring& scoring = SwScoring());
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_SMITH_WATERMAN_H_

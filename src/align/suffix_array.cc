@@ -1,0 +1,65 @@
+#include "align/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gesall {
+
+// Prefix doubling: sort suffixes by their first 2^k characters, doubling k
+// each round. Each round is two stable counting sorts (by the second then
+// the first rank component).
+std::vector<int32_t> BuildSuffixArray(const std::string& text) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  std::vector<int32_t> sa(n), rank(n), tmp(n), count;
+  if (n == 0) return sa;
+
+  // Initial ranks from single characters.
+  std::iota(sa.begin(), sa.end(), 0);
+  {
+    count.assign(256, 0);
+    for (unsigned char c : text) ++count[c];
+    std::partial_sum(count.begin(), count.end(), count.begin());
+    for (int32_t i = n - 1; i >= 0; --i) {
+      sa[--count[static_cast<unsigned char>(text[i])]] = i;
+    }
+    rank[sa[0]] = 0;
+    for (int32_t i = 1; i < n; ++i) {
+      rank[sa[i]] = rank[sa[i - 1]] + (text[sa[i]] != text[sa[i - 1]] ? 1 : 0);
+    }
+  }
+
+  std::vector<int32_t> sa2(n);
+  for (int32_t k = 1; k < n; k <<= 1) {
+    if (rank[sa[n - 1]] == n - 1) break;  // all ranks distinct
+
+    // Sort by second component: suffixes i with i+k >= n come first, then
+    // the rest in the order of sa (stable bucket trick).
+    int32_t p = 0;
+    for (int32_t i = n - k; i < n; ++i) sa2[p++] = i;
+    for (int32_t i = 0; i < n; ++i) {
+      if (sa[i] >= k) sa2[p++] = sa[i] - k;
+    }
+
+    // Stable counting sort by first component.
+    count.assign(n, 0);
+    for (int32_t i = 0; i < n; ++i) ++count[rank[i]];
+    std::partial_sum(count.begin(), count.end(), count.begin());
+    for (int32_t i = n - 1; i >= 0; --i) {
+      sa[--count[rank[sa2[i]]]] = sa2[i];
+    }
+
+    // Re-rank.
+    tmp[sa[0]] = 0;
+    for (int32_t i = 1; i < n; ++i) {
+      int32_t a = sa[i - 1], b = sa[i];
+      bool same = rank[a] == rank[b] &&
+                  ((a + k < n ? rank[a + k] : -1) ==
+                   (b + k < n ? rank[b + k] : -1));
+      tmp[b] = tmp[a] + (same ? 0 : 1);
+    }
+    rank.swap(tmp);
+  }
+  return sa;
+}
+
+}  // namespace gesall

@@ -1,0 +1,21 @@
+// Suffix array construction (prefix doubling with radix sort, O(n log n)).
+
+#ifndef GESALL_ALIGN_SUFFIX_ARRAY_H_
+#define GESALL_ALIGN_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gesall {
+
+/// \brief Builds the suffix array of `text`.
+///
+/// The caller must guarantee that the final character of `text` is a
+/// sentinel strictly smaller than every other character (the genome index
+/// appends '\0').
+std::vector<int32_t> BuildSuffixArray(const std::string& text);
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_SUFFIX_ARRAY_H_

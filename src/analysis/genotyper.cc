@@ -1,0 +1,264 @@
+#include "analysis/genotyper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace gesall {
+
+void DownsampleColumn(PileupColumn* column, int max_depth, Rng* rng) {
+  if (column->depth() <= max_depth) return;
+  // Partial Fisher-Yates: pick max_depth entries at random.
+  auto& e = column->entries;
+  for (int i = 0; i < max_depth; ++i) {
+    size_t j = i + rng->Uniform(e.size() - i);
+    std::swap(e[i], e[j]);
+  }
+  e.resize(max_depth);
+}
+
+namespace {
+
+struct GenotypePosteriors {
+  double qual = 0.0;        // -10 log10 P(hom-ref | data)
+  Genotype genotype = Genotype::kHet;
+};
+
+// Normalizes three log10 genotype likelihoods with priors into the call
+// confidence and the most likely non-ref genotype.
+GenotypePosteriors Posteriors(double l_rr, double l_ra, double l_aa,
+                              const GenotyperOptions& opt) {
+  double p_rr = l_rr + std::log10(1.0 - opt.het_prior - opt.hom_prior);
+  double p_ra = l_ra + std::log10(opt.het_prior);
+  double p_aa = l_aa + std::log10(opt.hom_prior);
+  double m = std::max({p_rr, p_ra, p_aa});
+  double s = std::pow(10.0, p_rr - m) + std::pow(10.0, p_ra - m) +
+             std::pow(10.0, p_aa - m);
+  double post_rr = std::pow(10.0, p_rr - m) / s;
+  GenotypePosteriors out;
+  out.qual = std::min(1000.0, -10.0 * std::log10(std::max(post_rr, 1e-100)));
+  out.genotype = p_ra >= p_aa ? Genotype::kHet : Genotype::kHomAlt;
+  return out;
+}
+
+double RmsMapq(const PileupColumn& column) {
+  if (column.entries.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& e : column.entries) {
+    sum += static_cast<double>(e.mapq) * e.mapq;
+  }
+  return std::sqrt(sum / column.entries.size());
+}
+
+}  // namespace
+
+std::optional<VariantRecord> CallSnpSite(char ref_base,
+                                         const PileupColumn& column,
+                                         int32_t chrom, int64_t pos,
+                                         const GenotyperOptions& opt) {
+  if (column.depth() < opt.min_depth) return std::nullopt;
+
+  // Most frequent non-reference base is the candidate allele.
+  int counts[4] = {0, 0, 0, 0};
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  auto base_index = [](char b) {
+    switch (b) {
+      case 'A':
+        return 0;
+      case 'C':
+        return 1;
+      case 'G':
+        return 2;
+      default:
+        return 3;
+    }
+  };
+  for (const auto& e : column.entries) {
+    if (e.base == 'A' || e.base == 'C' || e.base == 'G' || e.base == 'T') {
+      ++counts[base_index(e.base)];
+    }
+  }
+  int alt_idx = -1;
+  for (int i = 0; i < 4; ++i) {
+    if (kBases[i] == ref_base) continue;
+    if (alt_idx < 0 || counts[i] > counts[alt_idx]) alt_idx = i;
+  }
+  if (alt_idx < 0 || counts[alt_idx] < opt.min_alt_count) return std::nullopt;
+  const char alt_base = kBases[alt_idx];
+
+  double l_rr = 0, l_ra = 0, l_aa = 0;
+  int ref_fwd = 0, ref_rev = 0, alt_fwd = 0, alt_rev = 0;
+  for (const auto& e : column.entries) {
+    double err = ErrorProbFromPhred(e.qual);
+    double p_if_ref = e.base == ref_base ? 1.0 - err : err / 3.0;
+    double p_if_alt = e.base == alt_base ? 1.0 - err : err / 3.0;
+    l_rr += std::log10(p_if_ref);
+    l_aa += std::log10(p_if_alt);
+    l_ra += std::log10(0.5 * p_if_ref + 0.5 * p_if_alt);
+    if (e.base == ref_base) {
+      (e.reverse ? ref_rev : ref_fwd) += 1;
+    } else if (e.base == alt_base) {
+      (e.reverse ? alt_rev : alt_fwd) += 1;
+    }
+  }
+  GenotypePosteriors post = Posteriors(l_rr, l_ra, l_aa, opt);
+  if (post.qual < opt.emit_qual) return std::nullopt;
+
+  VariantRecord v;
+  v.chrom = chrom;
+  v.pos = pos;
+  v.ref = std::string(1, ref_base);
+  v.alt = std::string(1, alt_base);
+  v.qual = post.qual;
+  v.genotype = post.genotype;
+  v.mq = RmsMapq(column);
+  v.dp = column.depth();
+  v.fs = FisherStrandPhred(ref_fwd, ref_rev, alt_fwd, alt_rev);
+  int denom = ref_fwd + ref_rev + alt_fwd + alt_rev;
+  v.ab = denom > 0 ? (alt_fwd + alt_rev) / static_cast<double>(denom) : 0.0;
+  return v;
+}
+
+std::optional<VariantRecord> CallIndelSite(const ReferenceGenome& reference,
+                                           const PileupColumn& column,
+                                           int32_t chrom, int64_t pos,
+                                           const GenotyperOptions& opt) {
+  if (column.indels.empty()) return std::nullopt;
+
+  // Majority indel allele at this anchor.
+  std::vector<std::pair<const IndelObservation*, int>> alleles;
+  for (const auto& obs : column.indels) {
+    bool found = false;
+    for (auto& [rep, count] : alleles) {
+      if (rep->SameAllele(obs)) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) alleles.emplace_back(&obs, 1);
+  }
+  auto best = std::max_element(
+      alleles.begin(), alleles.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  const IndelObservation& allele = *best->first;
+  const int k = best->second;
+  if (k < opt.min_indel_count) return std::nullopt;
+
+  const int depth = std::max(column.depth(), k);
+  if (depth < opt.min_depth) return std::nullopt;
+  const int non_carriers = depth - k;
+
+  const double e = opt.indel_error;
+  double l_rr = k * std::log10(e) + non_carriers * std::log10(1.0 - e);
+  double l_aa = k * std::log10(1.0 - e) + non_carriers * std::log10(e);
+  double l_ra = depth * std::log10(0.5);
+  GenotypePosteriors post = Posteriors(l_rr, l_ra, l_aa, opt);
+  if (post.qual < opt.emit_qual) return std::nullopt;
+
+  const std::string& ref_seq = reference.chromosomes[chrom].sequence;
+  VariantRecord v;
+  v.chrom = chrom;
+  v.pos = pos;
+  if (!allele.inserted.empty()) {
+    v.ref = ref_seq.substr(pos, 1);
+    v.alt = v.ref + allele.inserted;
+  } else {
+    if (pos + 1 + allele.deleted > static_cast<int64_t>(ref_seq.size())) {
+      return std::nullopt;
+    }
+    v.ref = ref_seq.substr(pos, 1 + allele.deleted);
+    v.alt = ref_seq.substr(pos, 1);
+  }
+  v.qual = post.qual;
+  v.genotype = post.genotype;
+  v.mq = RmsMapq(column);
+  v.dp = depth;
+  int alt_fwd = 0, alt_rev = 0, ref_fwd = 0, ref_rev = 0;
+  for (const auto& obs : column.indels) {
+    if (obs.SameAllele(allele)) (obs.reverse ? alt_rev : alt_fwd) += 1;
+  }
+  for (const auto& entry : column.entries) {
+    (entry.reverse ? ref_rev : ref_fwd) += 1;
+  }
+  // Non-carrier counts include the carriers' base entries; approximate the
+  // ref strand split by subtracting carriers proportionally.
+  v.fs = FisherStrandPhred(std::max(0, ref_fwd - alt_fwd),
+                           std::max(0, ref_rev - alt_rev), alt_fwd, alt_rev);
+  v.ab = depth > 0 ? k / static_cast<double>(depth) : 0.0;
+  return v;
+}
+
+UnifiedGenotyper::UnifiedGenotyper(const ReferenceGenome& reference,
+                                   GenotyperOptions options)
+    : reference_(&reference), options_(options),
+      rng_(options.downsample_seed) {}
+
+std::vector<VariantRecord> UnifiedGenotyper::CallRegion(
+    const std::vector<SamRecord>& records, int32_t chrom, int64_t start,
+    int64_t end) {
+  std::vector<VariantRecord> out;
+  const std::string& ref_seq = reference_->chromosomes[chrom].sequence;
+  end = std::min<int64_t>(end, static_cast<int64_t>(ref_seq.size()));
+  if (start >= end) return out;
+  RegionPileup pileup =
+      RegionPileup::Build(records, chrom, start, end, options_.pileup);
+  for (int64_t pos = start; pos < end; ++pos) {
+    PileupColumn column = pileup.at(pos);
+    if (column.depth() == 0 && column.indels.empty()) continue;
+    DownsampleColumn(&column, options_.max_depth, &rng_);
+    if (auto v = CallSnpSite(ref_seq[pos], column, chrom, pos, options_)) {
+      out.push_back(std::move(*v));
+    }
+    if (auto v = CallIndelSite(*reference_, column, chrom, pos, options_)) {
+      out.push_back(std::move(*v));
+    }
+  }
+  return out;
+}
+
+std::vector<VariantRecord> UnifiedGenotyper::CallChromosome(
+    const std::vector<SamRecord>& records, int32_t chrom) {
+  std::vector<VariantRecord> out;
+  const int64_t chrom_len =
+      static_cast<int64_t>(reference_->chromosomes[chrom].sequence.size());
+  constexpr int64_t kChunk = 1 << 16;
+  // Records are coordinate-sorted; slice the relevant span per chunk.
+  auto chrom_begin = std::lower_bound(
+      records.begin(), records.end(), chrom,
+      [](const SamRecord& r, int32_t c) {
+        return !r.IsUnmapped() && r.ref_id < c;
+      });
+  auto chrom_end = std::lower_bound(
+      chrom_begin, records.end(), chrom + 1,
+      [](const SamRecord& r, int32_t c) {
+        return !r.IsUnmapped() && r.ref_id < c;
+      });
+  std::vector<SamRecord> slice;  // reused buffer
+  auto lo = chrom_begin;
+  for (int64_t start = 0; start < chrom_len; start += kChunk) {
+    int64_t end = std::min(chrom_len, start + kChunk);
+    // Advance lo past records that end before this chunk.
+    while (lo != chrom_end && lo->AlignmentEnd() + 1000 < start) ++lo;
+    slice.clear();
+    for (auto it = lo; it != chrom_end && it->pos < end; ++it) {
+      if (it->AlignmentEnd() > start) slice.push_back(*it);
+    }
+    auto part = CallRegion(slice, chrom, start, end);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<VariantRecord> UnifiedGenotyper::CallAll(
+    const std::vector<SamRecord>& records) {
+  std::vector<VariantRecord> out;
+  for (size_t c = 0; c < reference_->chromosomes.size(); ++c) {
+    auto part = CallChromosome(records, static_cast<int32_t>(c));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,87 @@
+// Small-variant calling: the Unified Genotyper (paper Table 2 step v1),
+// a per-site diploid pileup genotyper, plus the shared site-calling engine
+// reused by the Haplotype Caller.
+//
+// High-coverage sites are randomly downsampled using an RNG owned by the
+// caller instance whose state advances sequentially across every site it
+// processes. This mirrors GATK's downsampling and is the mechanistic
+// reason even chromosome-level partitioning can produce slightly
+// different results from a single serial run (paper §3.2-3: "quality
+// control tests show that even chromosome-level partitioning gives
+// slightly different results").
+
+#ifndef GESALL_ANALYSIS_GENOTYPER_H_
+#define GESALL_ANALYSIS_GENOTYPER_H_
+
+#include <optional>
+#include <vector>
+
+#include "analysis/pileup.h"
+#include "formats/fasta.h"
+#include "formats/sam.h"
+#include "formats/vcf.h"
+#include "util/rng.h"
+
+namespace gesall {
+
+/// \brief Genotyping parameters.
+struct GenotyperOptions {
+  PileupOptions pileup;
+  int min_depth = 4;
+  /// Sites deeper than this are randomly downsampled (GATK-style).
+  int max_depth = 100;
+  /// Minimum phred-scaled call confidence to emit.
+  double emit_qual = 30.0;
+  double het_prior = 2e-3;
+  double hom_prior = 1e-3;
+  int min_alt_count = 2;
+  int min_indel_count = 3;
+  /// Per-read probability of a spurious indel observation.
+  double indel_error = 0.005;
+  uint64_t downsample_seed = 101;
+};
+
+/// \brief Downsamples a column to max_depth in place, consuming RNG state
+/// only when the column is over-deep (exposed for tests and the HC).
+void DownsampleColumn(PileupColumn* column, int max_depth, Rng* rng);
+
+/// \brief Calls a SNP at one site, if the evidence supports one.
+std::optional<VariantRecord> CallSnpSite(char ref_base,
+                                         const PileupColumn& column,
+                                         int32_t chrom, int64_t pos,
+                                         const GenotyperOptions& options);
+
+/// \brief Calls an indel anchored at one site, if supported.
+std::optional<VariantRecord> CallIndelSite(const ReferenceGenome& reference,
+                                           const PileupColumn& column,
+                                           int32_t chrom, int64_t pos,
+                                           const GenotyperOptions& options);
+
+/// \brief Per-site diploid genotyper over coordinate-sorted alignments.
+class UnifiedGenotyper {
+ public:
+  UnifiedGenotyper(const ReferenceGenome& reference,
+                   GenotyperOptions options = {});
+
+  /// Calls variants in [start, end) of one chromosome. The downsampling
+  /// RNG state carries over between calls on the same instance.
+  std::vector<VariantRecord> CallRegion(const std::vector<SamRecord>& records,
+                                        int32_t chrom, int64_t start,
+                                        int64_t end);
+
+  /// Calls a whole chromosome (chunked internally).
+  std::vector<VariantRecord> CallChromosome(
+      const std::vector<SamRecord>& records, int32_t chrom);
+
+  /// Calls every chromosome in order (the serial single-node program).
+  std::vector<VariantRecord> CallAll(const std::vector<SamRecord>& records);
+
+ private:
+  const ReferenceGenome* reference_;
+  GenotyperOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_GENOTYPER_H_

@@ -1,0 +1,146 @@
+#include "analysis/haplotype_caller.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+std::vector<ActiveWindow> SegmentActiveWindows(
+    const std::vector<double>& activity, int64_t region_start,
+    int64_t region_end, const HaplotypeCallerOptions& opt) {
+  std::vector<ActiveWindow> windows;
+  int64_t win_start = -1, last_active = -1;
+
+  auto close = [&](int64_t end_active) {
+    ActiveWindow w;
+    w.start = std::max(region_start, win_start - opt.window_pad);
+    w.end = std::min(region_end, end_active + 1 + opt.window_pad);
+    // Enforce the minimum window length by symmetric extension.
+    while (w.end - w.start < opt.min_window &&
+           (w.start > region_start || w.end < region_end)) {
+      if (w.start > region_start) --w.start;
+      if (w.end - w.start < opt.min_window && w.end < region_end) ++w.end;
+    }
+    windows.push_back(w);
+    win_start = -1;
+    last_active = -1;
+  };
+
+  for (int64_t pos = region_start; pos < region_end; ++pos) {
+    double a = activity[static_cast<size_t>(pos - region_start)];
+    bool active = a >= opt.activity_threshold;
+    if (active) {
+      if (win_start < 0) win_start = pos;
+      last_active = pos;
+      // The maximum window constraint forces a close (greedy step 2).
+      if (pos - win_start + 1 >= opt.max_window) close(pos);
+    } else if (win_start >= 0 && pos - last_active > opt.window_gap) {
+      close(last_active);
+    }
+  }
+  if (win_start >= 0) close(last_active);
+  return windows;
+}
+
+HaplotypeCaller::HaplotypeCaller(const ReferenceGenome& reference,
+                                 HaplotypeCallerOptions options)
+    : reference_(&reference), options_(options),
+      rng_(options.genotyper.downsample_seed) {}
+
+std::vector<VariantRecord> HaplotypeCaller::CallRegion(
+    const std::vector<SamRecord>& records, int32_t chrom, int64_t start,
+    int64_t end, int64_t emit_start, int64_t emit_end) {
+  std::vector<VariantRecord> out;
+  const std::string& ref_seq = reference_->chromosomes[chrom].sequence;
+  start = std::max<int64_t>(0, start);
+  end = std::min<int64_t>(end, static_cast<int64_t>(ref_seq.size()));
+  if (start >= end) return out;
+
+  RegionPileup pileup = RegionPileup::Build(records, chrom, start, end,
+                                            options_.genotyper.pileup);
+
+  // Operation 1 of the greedy walk: per-position activity from the
+  // fraction of non-reference evidence.
+  std::vector<double> activity(static_cast<size_t>(end - start), 0.0);
+  for (int64_t pos = start; pos < end; ++pos) {
+    const PileupColumn& col = pileup.at(pos);
+    int depth = col.depth();
+    if (depth < options_.min_active_depth) continue;
+    int nonref = static_cast<int>(col.indels.size()) * 2;
+    for (const auto& e : col.entries) nonref += e.base != ref_seq[pos];
+    activity[static_cast<size_t>(pos - start)] =
+        nonref / static_cast<double>(depth);
+  }
+
+  // Operation 2: greedy segmentation into active windows.
+  auto windows = SegmentActiveWindows(activity, start, end, options_);
+
+  // Operation 3: detect mutations inside each window.
+  for (const auto& w : windows) {
+    for (int64_t pos = w.start; pos < w.end; ++pos) {
+      PileupColumn column = pileup.at(pos);
+      if (column.depth() == 0 && column.indels.empty()) continue;
+      DownsampleColumn(&column, options_.genotyper.max_depth, &rng_);
+      if (auto v = CallSnpSite(ref_seq[pos], column, chrom, pos,
+                               options_.genotyper)) {
+        if (v->pos >= emit_start && v->pos < emit_end) {
+          out.push_back(std::move(*v));
+        }
+      }
+      if (auto v = CallIndelSite(*reference_, column, chrom, pos,
+                                 options_.genotyper)) {
+        if (v->pos >= emit_start && v->pos < emit_end) {
+          out.push_back(std::move(*v));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VariantRecord> HaplotypeCaller::CallChromosome(
+    const std::vector<SamRecord>& records, int32_t chrom) {
+  std::vector<VariantRecord> out;
+  const int64_t chrom_len =
+      static_cast<int64_t>(reference_->chromosomes[chrom].sequence.size());
+  constexpr int64_t kChunk = 1 << 16;
+  auto chrom_begin = std::lower_bound(
+      records.begin(), records.end(), chrom,
+      [](const SamRecord& r, int32_t c) {
+        return !r.IsUnmapped() && r.ref_id < c;
+      });
+  auto chrom_end = std::lower_bound(
+      chrom_begin, records.end(), chrom + 1,
+      [](const SamRecord& r, int32_t c) {
+        return !r.IsUnmapped() && r.ref_id < c;
+      });
+  std::vector<SamRecord> slice;
+  auto lo = chrom_begin;
+  const int64_t overlap = options_.max_window + options_.window_pad;
+  for (int64_t start = 0; start < chrom_len; start += kChunk) {
+    int64_t end = std::min(chrom_len, start + kChunk);
+    // Pad the processed region so windows straddling the chunk boundary
+    // see their full context; emit only inside the chunk.
+    int64_t pstart = std::max<int64_t>(0, start - overlap);
+    int64_t pend = std::min(chrom_len, end + overlap);
+    while (lo != chrom_end && lo->AlignmentEnd() + 1000 < pstart) ++lo;
+    slice.clear();
+    for (auto it = lo; it != chrom_end && it->pos < pend; ++it) {
+      if (it->AlignmentEnd() > pstart) slice.push_back(*it);
+    }
+    auto part = CallRegion(slice, chrom, pstart, pend, start, end);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<VariantRecord> HaplotypeCaller::CallAll(
+    const std::vector<SamRecord>& records) {
+  std::vector<VariantRecord> out;
+  for (size_t c = 0; c < reference_->chromosomes.size(); ++c) {
+    auto part = CallChromosome(records, static_cast<int32_t>(c));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,87 @@
+// Haplotype Caller (paper Table 2 step v2): small-variant calling driven
+// by *greedy sequential segmentation* of the genome into active windows
+// (paper §3.2-3). The caller walks every position, computes an activity
+// score from the pileup, greedily opens/extends/closes active windows
+// under minimum/maximum length constraints, and genotypes sites inside
+// each window.
+//
+// The sequential walk plus the stateful downsampling RNG are what make
+// fine-grained range partitioning of this program non-trivial — the
+// motivation for Gesall's overlapping range-partitioning scheme.
+
+#ifndef GESALL_ANALYSIS_HAPLOTYPE_CALLER_H_
+#define GESALL_ANALYSIS_HAPLOTYPE_CALLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/genotyper.h"
+#include "formats/fasta.h"
+#include "formats/sam.h"
+#include "formats/vcf.h"
+
+namespace gesall {
+
+/// \brief Haplotype Caller parameters.
+struct HaplotypeCallerOptions {
+  GenotyperOptions genotyper = [] {
+    GenotyperOptions g;
+    g.max_depth = 60;  // HC downsamples harder than UG
+    return g;
+  }();
+  /// Fraction of non-reference evidence that makes a position active.
+  double activity_threshold = 0.12;
+  /// Depth below which a position can never be active.
+  int min_active_depth = 3;
+  /// Active windows are padded, and bounded in [min_window, max_window].
+  int window_pad = 10;
+  int min_window = 40;
+  int max_window = 300;
+  /// An inactive run of this many positions closes the current window.
+  int window_gap = 20;
+};
+
+/// \brief Half-open active window [start, end).
+struct ActiveWindow {
+  int64_t start = 0;
+  int64_t end = 0;
+  bool operator==(const ActiveWindow&) const = default;
+};
+
+/// \brief Greedy sequential segmentation of an activity track into active
+/// windows (exposed for tests and for the overlap-sizing analysis).
+std::vector<ActiveWindow> SegmentActiveWindows(
+    const std::vector<double>& activity, int64_t region_start,
+    int64_t region_end, const HaplotypeCallerOptions& options);
+
+/// \brief Active-window small-variant caller.
+class HaplotypeCaller {
+ public:
+  HaplotypeCaller(const ReferenceGenome& reference,
+                  HaplotypeCallerOptions options = {});
+
+  /// Calls variants in [start, end) of one chromosome, emitting only
+  /// variants whose position falls in [emit_start, emit_end) — the hook
+  /// Gesall's overlapping range partitioning uses (context beyond the
+  /// emit range still shapes windows near the boundary).
+  std::vector<VariantRecord> CallRegion(const std::vector<SamRecord>& records,
+                                        int32_t chrom, int64_t start,
+                                        int64_t end, int64_t emit_start,
+                                        int64_t emit_end);
+
+  /// Calls a whole chromosome with a sequential walk.
+  std::vector<VariantRecord> CallChromosome(
+      const std::vector<SamRecord>& records, int32_t chrom);
+
+  /// Serial single-node program: every chromosome in order, one RNG.
+  std::vector<VariantRecord> CallAll(const std::vector<SamRecord>& records);
+
+ private:
+  const ReferenceGenome* reference_;
+  HaplotypeCallerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_HAPLOTYPE_CALLER_H_

@@ -1,0 +1,137 @@
+#include "analysis/mark_duplicates.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace gesall {
+
+uint64_t ReadEndKey::Fingerprint() const {
+  uint64_t h = MixSeeds(static_cast<uint64_t>(ref_id) + 1,
+                        static_cast<uint64_t>(unclipped_5p) + 1);
+  return MixSeeds(h, reverse ? 2 : 3);
+}
+
+ReadEndKey KeyOf(const SamRecord& rec) {
+  ReadEndKey k;
+  k.ref_id = rec.ref_id;
+  k.unclipped_5p = rec.UnclippedFivePrimePos();
+  k.reverse = rec.IsReverse();
+  return k;
+}
+
+namespace {
+
+struct PairInfo {
+  size_t first_idx = 0;   // index of the first record of the group
+  size_t second_idx = 0;  // == first_idx for singletons
+  bool complete = false;
+  ReadEndKey k1, k2;      // normalized: k1 <= k2 for complete pairs
+  int64_t quality = 0;
+  const std::string* qname = nullptr;
+};
+
+// Deterministic contest: higher quality wins; ties go to the smaller name.
+bool Beats(const PairInfo& a, const PairInfo& b) {
+  if (a.quality != b.quality) return a.quality > b.quality;
+  return *a.qname < *b.qname;
+}
+
+}  // namespace
+
+Result<MarkDuplicatesStats> MarkDuplicates(std::vector<SamRecord>* records) {
+  MarkDuplicatesStats stats;
+  std::vector<PairInfo> complete, partial;
+  std::set<ReadEndKey> complete_ends;
+
+  // Pass 1: collect pair information (input grouped by read name).
+  for (size_t i = 0; i < records->size();) {
+    SamRecord& a = (*records)[i];
+    a.SetFlag(sam_flags::kDuplicate, false);
+    size_t group_end = i + 1;
+    while (group_end < records->size() &&
+           (*records)[group_end].qname == a.qname) {
+      (*records)[group_end].SetFlag(sam_flags::kDuplicate, false);
+      ++group_end;
+    }
+    if (a.IsPaired() && group_end - i != 2) {
+      return Status::InvalidArgument(
+          "input not grouped by read name: group of " +
+          std::to_string(group_end - i) + " for " + a.qname);
+    }
+
+    PairInfo info;
+    info.first_idx = i;
+    info.second_idx = group_end - 1;
+    info.qname = &a.qname;
+    const SamRecord& b = (*records)[info.second_idx];
+    const bool a_mapped = !a.IsUnmapped();
+    const bool b_mapped = group_end - i == 2 && !b.IsUnmapped();
+    if (a_mapped && b_mapped) {
+      info.complete = true;
+      info.k1 = KeyOf(a);
+      info.k2 = KeyOf(b);
+      if (info.k2 < info.k1) std::swap(info.k1, info.k2);
+      info.quality = a.BaseQualityScore() + b.BaseQualityScore();
+      complete.push_back(info);
+      complete_ends.insert(info.k1);
+      complete_ends.insert(info.k2);
+      ++stats.complete_pairs;
+    } else if (a_mapped || b_mapped) {
+      info.k1 = KeyOf(a_mapped ? a : b);
+      info.quality =
+          (a_mapped ? a : b).BaseQualityScore();
+      partial.push_back(info);
+      ++stats.partial_pairs;
+    }
+    i = group_end;
+  }
+
+  auto flag_pair = [records](const PairInfo& p) {
+    (*records)[p.first_idx].SetFlag(sam_flags::kDuplicate, true);
+    if (p.second_idx != p.first_idx) {
+      (*records)[p.second_idx].SetFlag(sam_flags::kDuplicate, true);
+    }
+  };
+
+  // Criterion 1: complete pairs sharing both 5' ends.
+  std::map<std::pair<ReadEndKey, ReadEndKey>, const PairInfo*> best_complete;
+  for (const auto& p : complete) {
+    auto [it, inserted] = best_complete.try_emplace({p.k1, p.k2}, &p);
+    if (!inserted) {
+      if (Beats(p, *it->second)) {
+        flag_pair(*it->second);
+        it->second = &p;
+      } else {
+        flag_pair(p);
+      }
+      ++stats.duplicate_pairs;
+    }
+  }
+
+  // Criterion 2: partial pairs whose mapped end coincides with any
+  // complete-pair read end, or lose the contest among partials.
+  std::map<ReadEndKey, const PairInfo*> best_partial;
+  for (const auto& p : partial) {
+    if (complete_ends.count(p.k1) > 0) {
+      flag_pair(p);
+      ++stats.duplicate_partials;
+      continue;
+    }
+    auto [it, inserted] = best_partial.try_emplace(p.k1, &p);
+    if (!inserted) {
+      if (Beats(p, *it->second)) {
+        flag_pair(*it->second);
+        it->second = &p;
+      } else {
+        flag_pair(p);
+      }
+      ++stats.duplicate_partials;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gesall

@@ -1,0 +1,59 @@
+// Mark Duplicates (paper §3.2 "Compound Group Partitioning", Fig. 4).
+//
+// Flags read pairs mapped to exactly the same 5' unclipped start/end
+// positions as duplicates, keeping the pair with the highest summed base
+// quality. Two criteria:
+//   1. complete matching pairs (both mates mapped) keyed by the unclipped
+//      5' ends of both mates plus orientations;
+//   2. partial matching pairs (one mate unmapped): the mapped read's 5'
+//      end is compared against the 5' ends of *all* reads — it is a
+//      duplicate if it coincides with any complete-pair read, or loses the
+//      quality contest among partials sharing the key.
+//
+// Tie-breaking is deterministic by content (quality, then read name), so
+// the same input always yields the same output regardless of execution
+// order — the property behind the paper's observation that parallel
+// Mark Duplicates matches serial output on identical input (§4.5.2).
+
+#ifndef GESALL_ANALYSIS_MARK_DUPLICATES_H_
+#define GESALL_ANALYSIS_MARK_DUPLICATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/sam.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One mate's duplicate key: (reference, 5' unclipped end, strand).
+struct ReadEndKey {
+  int32_t ref_id = -1;
+  int64_t unclipped_5p = -1;
+  bool reverse = false;
+
+  auto operator<=>(const ReadEndKey&) const = default;
+
+  /// 64-bit fingerprint used by the bloom-filter optimization.
+  uint64_t Fingerprint() const;
+};
+
+/// Extracts the duplicate key of one mapped record.
+ReadEndKey KeyOf(const SamRecord& rec);
+
+/// \brief Statistics reported by MarkDuplicates.
+struct MarkDuplicatesStats {
+  int64_t complete_pairs = 0;
+  int64_t partial_pairs = 0;
+  int64_t duplicate_pairs = 0;    // complete pairs flagged
+  int64_t duplicate_partials = 0; // partial pairs flagged
+};
+
+/// \brief Serial reference implementation (single-node PicardTools
+/// equivalent). Requires records grouped by read name; sets the duplicate
+/// FLAG in place.
+Result<MarkDuplicatesStats> MarkDuplicates(std::vector<SamRecord>* records);
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_MARK_DUPLICATES_H_

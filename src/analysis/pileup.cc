@@ -1,0 +1,86 @@
+#include "analysis/pileup.h"
+
+namespace gesall {
+
+RegionPileup RegionPileup::Build(const std::vector<SamRecord>& records,
+                                 int32_t chrom, int64_t start, int64_t end,
+                                 const PileupOptions& opt) {
+  RegionPileup p;
+  p.chrom_ = chrom;
+  p.start_ = start;
+  p.end_ = end;
+  p.columns_.resize(static_cast<size_t>(end - start));
+
+  for (const auto& r : records) {
+    if (r.IsUnmapped() || r.ref_id != chrom) continue;
+    if (opt.skip_duplicates && r.IsDuplicate()) continue;
+    if (opt.skip_secondary && (r.IsSecondary() || r.IsSupplementary())) {
+      continue;
+    }
+    if (r.mapq < opt.min_mapq) continue;
+    if (r.AlignmentEnd() <= start || r.pos >= end) continue;
+
+    int64_t ref_pos = r.pos;
+    int64_t read_pos = 0;
+    for (const auto& op : r.cigar) {
+      switch (op.op) {
+        case 'M':
+        case '=':
+        case 'X':
+          for (int32_t i = 0; i < op.len; ++i) {
+            int64_t rp = ref_pos + i;
+            if (rp < start || rp >= end) continue;
+            int qual = read_pos + i < static_cast<int64_t>(r.qual.size())
+                           ? r.qual[read_pos + i] - 33
+                           : 0;
+            if (qual < opt.min_base_qual) continue;
+            PileupEntry e;
+            e.base = r.seq[read_pos + i];
+            e.qual = qual;
+            e.mapq = r.mapq;
+            e.reverse = r.IsReverse();
+            p.columns_[static_cast<size_t>(rp - start)].entries.push_back(e);
+          }
+          ref_pos += op.len;
+          read_pos += op.len;
+          break;
+        case 'I': {
+          int64_t anchor = ref_pos - 1;
+          if (anchor >= start && anchor < end) {
+            IndelObservation obs;
+            obs.inserted = r.seq.substr(read_pos, op.len);
+            obs.mapq = r.mapq;
+            obs.reverse = r.IsReverse();
+            p.columns_[static_cast<size_t>(anchor - start)].indels.push_back(
+                std::move(obs));
+          }
+          read_pos += op.len;
+          break;
+        }
+        case 'D':
+        case 'N': {
+          int64_t anchor = ref_pos - 1;
+          if (op.op == 'D' && anchor >= start && anchor < end) {
+            IndelObservation obs;
+            obs.deleted = op.len;
+            obs.mapq = r.mapq;
+            obs.reverse = r.IsReverse();
+            p.columns_[static_cast<size_t>(anchor - start)].indels.push_back(
+                std::move(obs));
+          }
+          ref_pos += op.len;
+          break;
+        }
+        case 'S':
+          read_pos += op.len;
+          break;
+        case 'H':
+        default:
+          break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace gesall

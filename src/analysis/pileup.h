@@ -1,0 +1,80 @@
+// Pileup engine: per-reference-position stacks of aligned bases and indel
+// observations, the substrate shared by the Base Recalibrator and both
+// variant callers.
+
+#ifndef GESALL_ANALYSIS_PILEUP_H_
+#define GESALL_ANALYSIS_PILEUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+
+namespace gesall {
+
+/// \brief One aligned base observed at a reference position.
+struct PileupEntry {
+  char base = 'N';
+  int qual = 0;       // phred base quality
+  int mapq = 0;
+  bool reverse = false;
+};
+
+/// \brief One indel observation anchored at a reference position (the
+/// base *before* the event, VCF-style).
+struct IndelObservation {
+  std::string inserted;  // non-empty for insertions
+  int32_t deleted = 0;   // >0 for deletions
+  int mapq = 0;
+  bool reverse = false;
+
+  bool SameAllele(const IndelObservation& other) const {
+    return inserted == other.inserted && deleted == other.deleted;
+  }
+};
+
+/// \brief All observations at one reference position.
+struct PileupColumn {
+  std::vector<PileupEntry> entries;
+  std::vector<IndelObservation> indels;
+
+  int depth() const { return static_cast<int>(entries.size()); }
+};
+
+/// \brief Pileup filtering options.
+struct PileupOptions {
+  int min_mapq = 10;
+  int min_base_qual = 6;
+  bool skip_duplicates = true;
+  bool skip_secondary = true;
+};
+
+/// \brief Pileup over one reference region [start, end) of one chromosome.
+class RegionPileup {
+ public:
+  /// Builds the pileup from records (any order; records outside the region
+  /// or chromosome, unmapped, filtered reads are skipped).
+  static RegionPileup Build(const std::vector<SamRecord>& records,
+                            int32_t chrom, int64_t start, int64_t end,
+                            const PileupOptions& options = {});
+
+  int32_t chrom() const { return chrom_; }
+  int64_t start() const { return start_; }
+  int64_t end() const { return end_; }
+
+  /// Column at an absolute reference position inside the region.
+  const PileupColumn& at(int64_t pos) const {
+    return columns_[static_cast<size_t>(pos - start_)];
+  }
+
+ private:
+  int32_t chrom_ = 0;
+  int64_t start_ = 0;
+  int64_t end_ = 0;
+  std::vector<PileupColumn> columns_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_PILEUP_H_

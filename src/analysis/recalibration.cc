@@ -1,0 +1,165 @@
+#include "analysis/recalibration.h"
+
+#include <algorithm>
+
+#include "util/io.h"
+#include "util/stats.h"
+
+namespace gesall {
+
+void RecalibrationTable::Observe(const CovariateKey& key, bool mismatch) {
+  Counts& c = counts_[key];
+  ++c.observations;
+  if (mismatch) ++c.mismatches;
+}
+
+int RecalibrationTable::EmpiricalQuality(const CovariateKey& key) const {
+  auto it = counts_.find(key);
+  if (it == counts_.end()) return key.reported_quality;
+  const Counts& c = it->second;
+  double p = (c.mismatches + 1.0) / (c.observations + 2.0);
+  return PhredFromErrorProb(p, /*cap=*/45);
+}
+
+int64_t RecalibrationTable::total_observations() const {
+  int64_t n = 0;
+  for (const auto& [k, c] : counts_) n += c.observations;
+  return n;
+}
+
+int64_t RecalibrationTable::total_mismatches() const {
+  int64_t n = 0;
+  for (const auto& [k, c] : counts_) n += c.mismatches;
+  return n;
+}
+
+void RecalibrationTable::Merge(const RecalibrationTable& other) {
+  for (const auto& [k, c] : other.counts_) {
+    Counts& mine = counts_[k];
+    mine.observations += c.observations;
+    mine.mismatches += c.mismatches;
+  }
+}
+
+std::string RecalibrationTable::Serialize() const {
+  std::string out;
+  BufferWriter w(&out);
+  w.PutU64(counts_.size());
+  for (const auto& [k, c] : counts_) {
+    w.PutString(k.read_group);
+    w.PutI32(k.reported_quality);
+    w.PutI32(k.cycle_bucket);
+    w.PutU8(static_cast<uint8_t>(k.prev_base));
+    w.PutI64(c.observations);
+    w.PutI64(c.mismatches);
+  }
+  return out;
+}
+
+Result<RecalibrationTable> RecalibrationTable::Deserialize(
+    const std::string& data) {
+  RecalibrationTable table;
+  BufferReader r(data);
+  uint64_t n;
+  GESALL_RETURN_NOT_OK(r.GetU64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    CovariateKey k;
+    Counts c;
+    GESALL_RETURN_NOT_OK(r.GetString(&k.read_group));
+    GESALL_RETURN_NOT_OK(r.GetI32(&k.reported_quality));
+    GESALL_RETURN_NOT_OK(r.GetI32(&k.cycle_bucket));
+    uint8_t prev;
+    GESALL_RETURN_NOT_OK(r.GetU8(&prev));
+    k.prev_base = static_cast<char>(prev);
+    GESALL_RETURN_NOT_OK(r.GetI64(&c.observations));
+    GESALL_RETURN_NOT_OK(r.GetI64(&c.mismatches));
+    table.counts_[k] = c;
+  }
+  return table;
+}
+
+namespace {
+
+// Visits every aligned (M/=/X) base of a record, reporting the read
+// cycle, read base, and matching reference base.
+template <typename Fn>
+void ForEachAlignedBase(const ReferenceGenome& reference,
+                        const SamRecord& rec, Fn&& fn) {
+  if (rec.IsUnmapped() || rec.ref_id < 0 ||
+      rec.ref_id >= static_cast<int32_t>(reference.chromosomes.size())) {
+    return;
+  }
+  const std::string& ref_seq = reference.chromosomes[rec.ref_id].sequence;
+  int64_t ref_pos = rec.pos;
+  int64_t read_pos = 0;
+  for (const auto& op : rec.cigar) {
+    switch (op.op) {
+      case 'M':
+      case '=':
+      case 'X':
+        for (int32_t i = 0; i < op.len; ++i) {
+          int64_t rp = ref_pos + i;
+          int64_t qp = read_pos + i;
+          if (rp < 0 || rp >= static_cast<int64_t>(ref_seq.size())) continue;
+          fn(qp, rec.seq[qp], ref_seq[rp]);
+        }
+        ref_pos += op.len;
+        read_pos += op.len;
+        break;
+      case 'I':
+      case 'S':
+        read_pos += op.len;
+        break;
+      case 'D':
+      case 'N':
+        ref_pos += op.len;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+CovariateKey KeyFor(const SamRecord& rec, int64_t cycle) {
+  CovariateKey k;
+  k.read_group = rec.GetTag("RG").value_or("");
+  k.reported_quality = cycle < static_cast<int64_t>(rec.qual.size())
+                           ? rec.qual[cycle] - 33
+                           : 0;
+  k.cycle_bucket = static_cast<int>(cycle / 10);
+  k.prev_base = cycle > 0 ? rec.seq[cycle - 1] : 'N';
+  return k;
+}
+
+}  // namespace
+
+RecalibrationTable BaseRecalibrator(const ReferenceGenome& reference,
+                                    const std::vector<SamRecord>& records) {
+  RecalibrationTable table;
+  for (const auto& rec : records) {
+    if (rec.IsDuplicate() || rec.IsSecondary() || rec.IsSupplementary()) {
+      continue;
+    }
+    ForEachAlignedBase(reference, rec,
+                       [&](int64_t cycle, char read_base, char ref_base) {
+                         table.Observe(KeyFor(rec, cycle),
+                                       read_base != ref_base);
+                       });
+  }
+  return table;
+}
+
+void PrintReads(const RecalibrationTable& table,
+                std::vector<SamRecord>* records) {
+  for (auto& rec : *records) {
+    std::string new_qual = rec.qual;
+    for (int64_t cycle = 0;
+         cycle < static_cast<int64_t>(rec.qual.size()); ++cycle) {
+      int q = table.EmpiricalQuality(KeyFor(rec, cycle));
+      new_qual[cycle] = static_cast<char>(std::clamp(q, 2, 60) + 33);
+    }
+    rec.qual = std::move(new_qual);
+  }
+}
+
+}  // namespace gesall

@@ -1,0 +1,75 @@
+// Base Quality Score Recalibration (paper Table 2 steps 11-12).
+//
+// BaseRecalibrator tabulates empirical mismatch rates per covariate group
+// (read group, reported quality, machine cycle, dinucleotide context);
+// PrintReads rewrites base qualities from the table. The table supports
+// Merge/serialization because Gesall's group-partitioning scheme builds
+// per-partition tables and combines them (paper §3.2: "partitioning by
+// user-defined covariates").
+
+#ifndef GESALL_ANALYSIS_RECALIBRATION_H_
+#define GESALL_ANALYSIS_RECALIBRATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "formats/fasta.h"
+#include "formats/sam.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Covariate key of one observed base.
+struct CovariateKey {
+  std::string read_group;
+  int reported_quality = 0;
+  int cycle_bucket = 0;   // sequencing cycle / 10
+  char prev_base = 'N';   // dinucleotide context (previous read base)
+
+  auto operator<=>(const CovariateKey&) const = default;
+};
+
+/// \brief Empirical (observations, mismatches) counts per covariate.
+class RecalibrationTable {
+ public:
+  void Observe(const CovariateKey& key, bool mismatch);
+
+  /// Phred-scaled empirical quality with +1/+2 smoothing.
+  int EmpiricalQuality(const CovariateKey& key) const;
+
+  /// Number of distinct covariate groups.
+  size_t size() const { return counts_.size(); }
+
+  int64_t total_observations() const;
+  int64_t total_mismatches() const;
+
+  /// Adds another table's counts into this one.
+  void Merge(const RecalibrationTable& other);
+
+  std::string Serialize() const;
+  static Result<RecalibrationTable> Deserialize(const std::string& data);
+
+ private:
+  struct Counts {
+    int64_t observations = 0;
+    int64_t mismatches = 0;
+  };
+  std::map<CovariateKey, Counts> counts_;
+};
+
+/// \brief Builds the recalibration table from aligned records against the
+/// reference (only M/=/X positions of primary, non-duplicate reads count).
+RecalibrationTable BaseRecalibrator(const ReferenceGenome& reference,
+                                    const std::vector<SamRecord>& records);
+
+/// \brief Rewrites every base quality from the table (pipeline step 12).
+/// Covariates are recomputed from the *reported* (current) qualities, so
+/// apply exactly once.
+void PrintReads(const RecalibrationTable& table,
+                std::vector<SamRecord>* records);
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_RECALIBRATION_H_

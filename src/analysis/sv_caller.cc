@@ -1,0 +1,142 @@
+#include "analysis/sv_caller.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gesall {
+
+const char* StructuralVariantCall::TypeName(Type type) {
+  switch (type) {
+    case Type::kDeletion:
+      return "DEL";
+    case Type::kInsertion:
+      return "INS";
+    case Type::kInversion:
+      return "INV";
+    case Type::kTranslocation:
+      return "TRA";
+  }
+  return "?";
+}
+
+namespace {
+
+using Type = StructuralVariantCall::Type;
+
+// One discordant pair signature.
+struct Signature {
+  int64_t left = 0;    // left breakpoint evidence (left mate's end)
+  int64_t right = 0;   // right breakpoint evidence (right mate's start)
+  int32_t chrom2 = -1; // translocations only
+  int64_t pos2 = 0;
+};
+
+struct ClusterKey {
+  Type type;
+  int32_t chrom;
+  int32_t chrom2;
+  auto operator<=>(const ClusterKey&) const = default;
+};
+
+int64_t Median(std::vector<int64_t>* v) {
+  std::sort(v->begin(), v->end());
+  return (*v)[v->size() / 2];
+}
+
+}  // namespace
+
+std::vector<StructuralVariantCall> CallStructuralVariants(
+    const std::vector<SamRecord>& records, const SvCallerOptions& opt) {
+  const double hi = opt.insert_mean + opt.z_threshold * opt.insert_sd;
+  const double lo = opt.insert_mean - opt.z_threshold * opt.insert_sd;
+
+  std::map<ClusterKey, std::vector<Signature>> signatures;
+  for (const auto& r : records) {
+    if (!r.IsPaired() || !r.IsFirstOfPair()) continue;
+    if (r.IsUnmapped() || r.IsMateUnmapped()) continue;
+    if (r.IsSecondary() || r.IsSupplementary() || r.IsDuplicate()) continue;
+    if (r.mapq < opt.min_mapq) continue;
+
+    if (r.ref_id != r.mate_ref_id) {
+      Signature sig;
+      sig.left = r.pos;
+      sig.right = r.pos;
+      sig.chrom2 = r.mate_ref_id;
+      sig.pos2 = r.mate_pos;
+      int32_t c1 = r.ref_id, c2 = r.mate_ref_id;
+      signatures[{Type::kTranslocation, std::min(c1, c2), std::max(c1, c2)}]
+          .push_back(sig);
+      continue;
+    }
+
+    const bool r_is_left = r.pos <= r.mate_pos;
+    const int64_t left_pos = std::min(r.pos, r.mate_pos);
+    const int64_t right_pos = std::max(r.pos, r.mate_pos);
+    const bool left_reverse = r_is_left ? r.IsReverse() : r.IsMateReverse();
+    const bool right_reverse = r_is_left ? r.IsMateReverse() : r.IsReverse();
+
+    Signature sig;
+    // Left breakpoint evidence: the left mate's alignment end; the mate's
+    // CIGAR is unavailable, so approximate its span by the read length.
+    int64_t read_span = static_cast<int64_t>(r.seq.size());
+    sig.left = r_is_left ? r.AlignmentEnd() : left_pos + read_span;
+    sig.right = right_pos;
+
+    if (left_reverse == right_reverse) {
+      signatures[{Type::kInversion, r.ref_id, -1}].push_back(sig);
+      continue;
+    }
+    if (left_reverse && !right_reverse) continue;  // divergent: not modeled
+
+    int64_t span = r.tlen != 0 ? std::abs(r.tlen)
+                               : right_pos + read_span - left_pos;
+    if (span > hi) {
+      signatures[{Type::kDeletion, r.ref_id, -1}].push_back(sig);
+    } else if (span < lo && span > 0) {
+      signatures[{Type::kInsertion, r.ref_id, -1}].push_back(sig);
+    }
+  }
+
+  std::vector<StructuralVariantCall> calls;
+  for (auto& [key, sigs] : signatures) {
+    std::sort(sigs.begin(), sigs.end(),
+              [](const Signature& a, const Signature& b) {
+                return a.left < b.left;
+              });
+    size_t begin = 0;
+    while (begin < sigs.size()) {
+      size_t end = begin + 1;
+      while (end < sigs.size() &&
+             sigs[end].left - sigs[end - 1].left <= opt.cluster_window) {
+        ++end;
+      }
+      if (static_cast<int>(end - begin) >= opt.min_support) {
+        std::vector<int64_t> lefts, rights, pos2s;
+        for (size_t i = begin; i < end; ++i) {
+          lefts.push_back(sigs[i].left);
+          rights.push_back(sigs[i].right);
+          pos2s.push_back(sigs[i].pos2);
+        }
+        StructuralVariantCall call;
+        call.type = key.type;
+        call.chrom = key.chrom;
+        call.start = Median(&lefts);
+        call.end = Median(&rights);
+        call.chrom2 = key.chrom2;
+        if (key.type == Type::kTranslocation) call.pos2 = Median(&pos2s);
+        call.support = static_cast<int>(end - begin);
+        calls.push_back(call);
+      }
+      begin = end;
+    }
+  }
+  std::sort(calls.begin(), calls.end(),
+            [](const StructuralVariantCall& a,
+               const StructuralVariantCall& b) {
+              if (a.chrom != b.chrom) return a.chrom < b.chrom;
+              return a.start < b.start;
+            });
+  return calls;
+}
+
+}  // namespace gesall

@@ -1,0 +1,62 @@
+// GASV-style structural variant caller [Sindi et al. 2012], the large-
+// variant detection the paper is integrating into its pipeline (§2.1).
+//
+// Paired-end signatures: a concordant pair maps to one chromosome, in
+// convergent (forward-reverse) orientation, at a distance within the
+// library's insert-size distribution. Discordant pairs are classified by
+// how they violate that —
+//   span too long            -> deletion between the mates
+//   span too short           -> (novel) insertion between the mates
+//   same-strand orientation  -> inversion
+//   mates on different chromosomes -> translocation
+// — and clustered by position; clusters with enough support become calls.
+
+#ifndef GESALL_ANALYSIS_SV_CALLER_H_
+#define GESALL_ANALYSIS_SV_CALLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+
+namespace gesall {
+
+/// \brief One structural variant call.
+struct StructuralVariantCall {
+  enum class Type { kDeletion, kInsertion, kInversion, kTranslocation };
+  Type type = Type::kDeletion;
+  int32_t chrom = 0;
+  int64_t start = 0;   // left breakpoint estimate
+  int64_t end = 0;     // right breakpoint estimate (same chrom)
+  int32_t chrom2 = -1; // partner chromosome for translocations
+  int64_t pos2 = 0;    // partner breakpoint for translocations
+  int support = 0;     // discordant pairs in the cluster
+
+  static const char* TypeName(Type type);
+};
+
+/// \brief Caller parameters.
+struct SvCallerOptions {
+  /// Library insert-size distribution; pairs outside
+  /// mean +/- z_threshold * sd are discordant by span.
+  double insert_mean = 400.0;
+  double insert_sd = 40.0;
+  double z_threshold = 5.0;
+  int min_mapq = 20;
+  /// Minimum discordant pairs per cluster to emit a call.
+  int min_support = 4;
+  /// Pairs whose left breakpoints are within this distance cluster.
+  int64_t cluster_window = 400;
+};
+
+/// \brief Calls structural variants from aligned records. Uses each
+/// pair's first-of-pair record (mate info must be consistent, i.e. Fix
+/// Mate Information has run). Records may be in any order.
+std::vector<StructuralVariantCall> CallStructuralVariants(
+    const std::vector<SamRecord>& records,
+    const SvCallerOptions& options = {});
+
+}  // namespace gesall
+
+#endif  // GESALL_ANALYSIS_SV_CALLER_H_

@@ -1,0 +1,49 @@
+// The custom RecordReader of paper §3.1: presents each DFS block of a BAM
+// file as a stream of whole records. A split owns every BGZF chunk that
+// *starts* inside it; the trailing chunk may span into the next DFS block
+// and is read across the boundary. The header is fetched from the file's
+// first chunk regardless of the split.
+
+#ifndef GESALL_DFS_BAM_SPLIT_READER_H_
+#define GESALL_DFS_BAM_SPLIT_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "formats/sam.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One input split of a DFS-resident BAM file.
+struct BamSplit {
+  int64_t begin = 0;  // byte range [begin, end) of the BAM file
+  int64_t end = 0;
+  std::vector<int> preferred_nodes;  // replicas of the underlying block
+};
+
+/// \brief One split per DFS block of the file.
+Result<std::vector<BamSplit>> ComputeBamSplits(const Dfs& dfs,
+                                               const std::string& path);
+
+/// \brief Reads the SAM header from the file's first chunk.
+Result<SamHeader> ReadBamHeaderFromDfs(const Dfs& dfs,
+                                       const std::string& path);
+
+/// \brief Decompresses the record bytes of every chunk starting inside the
+/// split (skipping the header chunk), reading past split.end for a chunk
+/// that spans the boundary. Feed the result to BamRecordIterator.
+Result<std::string> ReadBamSplitRecords(const Dfs& dfs,
+                                        const std::string& path,
+                                        const BamSplit& split);
+
+/// \brief Convenience: decode all records of a split.
+Result<std::vector<SamRecord>> ReadBamSplit(const Dfs& dfs,
+                                            const std::string& path,
+                                            const BamSplit& split);
+
+}  // namespace gesall
+
+#endif  // GESALL_DFS_BAM_SPLIT_READER_H_

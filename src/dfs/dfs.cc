@@ -1,0 +1,196 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gesall {
+
+std::vector<int> DefaultPlacementPolicy::Place(const std::string& path,
+                                               int64_t block_index,
+                                               int num_nodes,
+                                               int replication) {
+  // Primary rotates pseudo-randomly per (file, block); replicas follow on
+  // consecutive nodes, as with Hadoop's rack-unaware default.
+  int primary = static_cast<int>(
+      MixSeeds(Fnv1a64(path), static_cast<uint64_t>(block_index)) %
+      static_cast<uint64_t>(num_nodes));
+  std::vector<int> out;
+  replication = std::min(replication, num_nodes);
+  for (int i = 0; i < replication; ++i) {
+    out.push_back((primary + i) % num_nodes);
+  }
+  return out;
+}
+
+int LogicalPartitionPlacementPolicy::PrimaryNodeFor(const std::string& path,
+                                                    int num_nodes) {
+  return static_cast<int>(Fnv1a64(path) % static_cast<uint64_t>(num_nodes));
+}
+
+std::vector<int> LogicalPartitionPlacementPolicy::Place(
+    const std::string& path, int64_t /*block_index*/, int num_nodes,
+    int replication) {
+  int primary = PrimaryNodeFor(path, num_nodes);
+  std::vector<int> out;
+  replication = std::min(replication, num_nodes);
+  for (int i = 0; i < replication; ++i) {
+    out.push_back((primary + i) % num_nodes);
+  }
+  return out;
+}
+
+Dfs::Dfs(DfsOptions options) : options_(options) {
+  nodes_.resize(options_.num_data_nodes);
+}
+
+Status Dfs::Write(const std::string& path, std::string_view data,
+                  BlockPlacementPolicy* policy) {
+  if (options_.num_data_nodes <= 0) {
+    return Status::Internal("no data nodes");
+  }
+  if (policy == nullptr) policy = &default_policy_;
+  // Replace semantics: drop any existing file first.
+  if (Exists(path)) GESALL_RETURN_NOT_OK(Delete(path));
+
+  FileMeta meta;
+  meta.size = static_cast<int64_t>(data.size());
+  int64_t n_blocks =
+      (meta.size + options_.block_size - 1) / options_.block_size;
+  if (n_blocks == 0) n_blocks = 1;  // empty file still has a (empty) block
+  for (int64_t b = 0; b < n_blocks; ++b) {
+    int64_t off = b * options_.block_size;
+    int64_t len =
+        std::min<int64_t>(options_.block_size, meta.size - off);
+    if (len < 0) len = 0;
+    std::vector<int> replicas = policy->Place(
+        path, b, options_.num_data_nodes, options_.replication);
+    if (replicas.empty()) {
+      return Status::Internal("placement policy returned no nodes");
+    }
+    int64_t id = next_block_id_++;
+    BlockMeta bm;
+    bm.length = len;
+    bm.replicas = replicas;
+    blocks_[id] = bm;
+    for (int node : replicas) {
+      nodes_[node].blocks[id] = std::string(data.substr(off, len));
+    }
+    meta.blocks.push_back(id);
+  }
+  files_[path] = std::move(meta);
+  return Status::OK();
+}
+
+Result<const Dfs::FileMeta*> Dfs::Meta(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return &it->second;
+}
+
+Result<std::string> Dfs::Read(const std::string& path) const {
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  return ReadRange(path, 0, meta->size);
+}
+
+Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
+                                   int64_t length) const {
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  if (offset < 0 || offset + length > meta->size) {
+    return Status::OutOfRange("read range outside file");
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  int64_t pos = offset;
+  while (length > 0) {
+    int64_t block_index = pos / options_.block_size;
+    int64_t intra = pos % options_.block_size;
+    int64_t block_id = meta->blocks[block_index];
+    const BlockMeta& bm = blocks_.at(block_id);
+    const std::string* bytes = nullptr;
+    for (int node : bm.replicas) {
+      if (nodes_[node].up) {
+        bytes = &nodes_[node].blocks.at(block_id);
+        break;
+      }
+    }
+    if (bytes == nullptr) {
+      return Status::IOError("all replicas of block unavailable");
+    }
+    int64_t take = std::min<int64_t>(length, bm.length - intra);
+    out.append(*bytes, static_cast<size_t>(intra),
+               static_cast<size_t>(take));
+    pos += take;
+    length -= take;
+  }
+  return out;
+}
+
+Result<std::vector<BlockLocation>> Dfs::Locate(
+    const std::string& path) const {
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  std::vector<BlockLocation> out;
+  int64_t off = 0;
+  for (int64_t id : meta->blocks) {
+    const BlockMeta& bm = blocks_.at(id);
+    out.push_back({id, off, bm.length, bm.replicas});
+    off += bm.length;
+  }
+  return out;
+}
+
+Result<int64_t> Dfs::FileSize(const std::string& path) const {
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  return meta->size;
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  for (int64_t id : it->second.blocks) {
+    const BlockMeta& bm = blocks_.at(id);
+    for (int node : bm.replicas) nodes_[node].blocks.erase(id);
+    blocks_.erase(id);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Dfs::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, meta] : files_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+Status Dfs::MarkNodeDown(int node) {
+  if (node < 0 || node >= options_.num_data_nodes) {
+    return Status::InvalidArgument("bad node id");
+  }
+  nodes_[node].up = false;
+  return Status::OK();
+}
+
+Status Dfs::MarkNodeUp(int node) {
+  if (node < 0 || node >= options_.num_data_nodes) {
+    return Status::InvalidArgument("bad node id");
+  }
+  nodes_[node].up = true;
+  return Status::OK();
+}
+
+int64_t Dfs::BytesStoredOn(int node) const {
+  if (node < 0 || node >= options_.num_data_nodes) return 0;
+  int64_t n = 0;
+  for (const auto& [id, bytes] : nodes_[node].blocks) {
+    n += static_cast<int64_t>(bytes.size());
+  }
+  return n;
+}
+
+}  // namespace gesall

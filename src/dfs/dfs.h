@@ -1,0 +1,126 @@
+// HDFS-like distributed block store (paper §3.1 substrate).
+//
+// Files are split into fixed-size blocks, replicated across data nodes.
+// Placement is pluggable: the default policy spreads blocks, while
+// LogicalPartitionPlacementPolicy pins all blocks of one file to one data
+// node — the custom BlockPlacementPolicy Gesall registers so logical
+// partitions are never split across nodes (paper §3.1 feature 2).
+
+#ifndef GESALL_DFS_DFS_H_
+#define GESALL_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Cluster-level DFS parameters.
+struct DfsOptions {
+  int64_t block_size = 128 * 1024 * 1024;  // Hadoop default: 128 MB
+  int replication = 3;
+  int num_data_nodes = 4;
+};
+
+/// \brief Location metadata of one stored block.
+struct BlockLocation {
+  int64_t block_id = 0;
+  int64_t offset = 0;  // byte offset within the file
+  int64_t length = 0;
+  std::vector<int> replicas;  // data node ids
+};
+
+/// \brief Chooses data nodes for each block of a file.
+class BlockPlacementPolicy {
+ public:
+  virtual ~BlockPlacementPolicy() = default;
+  /// Returns `replication` distinct node ids (first is primary).
+  virtual std::vector<int> Place(const std::string& path,
+                                 int64_t block_index, int num_nodes,
+                                 int replication) = 0;
+};
+
+/// \brief Hadoop-like default: primary rotates per block, replicas follow.
+class DefaultPlacementPolicy : public BlockPlacementPolicy {
+ public:
+  std::vector<int> Place(const std::string& path, int64_t block_index,
+                         int num_nodes, int replication) override;
+};
+
+/// \brief Gesall's custom policy: ALL blocks of a file land on the same
+/// primary node (chosen by file-path hash), so a logical partition is
+/// readable node-locally by one task.
+class LogicalPartitionPlacementPolicy : public BlockPlacementPolicy {
+ public:
+  std::vector<int> Place(const std::string& path, int64_t block_index,
+                         int num_nodes, int replication) override;
+
+  /// The primary node a path maps to (exposed for scheduling/locality).
+  static int PrimaryNodeFor(const std::string& path, int num_nodes);
+};
+
+/// \brief In-process DFS: namespace + replicated block storage.
+class Dfs {
+ public:
+  explicit Dfs(DfsOptions options = {});
+
+  /// Writes (or replaces) a file. `policy` defaults to the spread policy.
+  Status Write(const std::string& path, std::string_view data,
+               BlockPlacementPolicy* policy = nullptr);
+
+  Result<std::string> Read(const std::string& path) const;
+
+  /// Reads [offset, offset+length) of a file.
+  Result<std::string> ReadRange(const std::string& path, int64_t offset,
+                                int64_t length) const;
+
+  Result<std::vector<BlockLocation>> Locate(const std::string& path) const;
+  Result<int64_t> FileSize(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+
+  /// Paths starting with `prefix`, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  /// Marks a data node unavailable; reads fall back to other replicas.
+  Status MarkNodeDown(int node);
+  Status MarkNodeUp(int node);
+
+  /// Bytes of block data stored on one node (replicas included).
+  int64_t BytesStoredOn(int node) const;
+
+  int num_data_nodes() const { return options_.num_data_nodes; }
+  int64_t block_size() const { return options_.block_size; }
+
+ private:
+  struct FileMeta {
+    std::vector<int64_t> blocks;
+    int64_t size = 0;
+  };
+  struct DataNode {
+    std::map<int64_t, std::string> blocks;
+    bool up = true;
+  };
+  struct BlockMeta {
+    int64_t length = 0;
+    std::vector<int> replicas;
+  };
+
+  Result<const FileMeta*> Meta(const std::string& path) const;
+
+  DfsOptions options_;
+  DefaultPlacementPolicy default_policy_;
+  std::map<std::string, FileMeta> files_;
+  std::map<int64_t, BlockMeta> blocks_;
+  std::vector<DataNode> nodes_;
+  int64_t next_block_id_ = 1;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_DFS_DFS_H_

@@ -1,0 +1,86 @@
+// BAM: binary, compressed SAM over BGZF blocks (paper §3.1).
+//
+// Layout: the serialized header occupies its own leading BGZF block(s)
+// (the writer flushes after the header), followed by record blocks. The
+// writer also flushes before a record that would straddle a block, so
+// every BGZF chunk after the header contains whole records. This is the
+// property Gesall's storage substrate exploits: a DFS split that starts at
+// a chunk boundary can be decoded into a valid record stream after
+// fetching the header from the file's first chunk.
+
+#ifndef GESALL_FORMATS_BAM_H_
+#define GESALL_FORMATS_BAM_H_
+
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+#include "util/bgzf.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// Serializes one record into the custom binary layout (length-prefixed).
+std::string EncodeBamRecord(const SamRecord& rec);
+
+/// Decodes one record from `data` starting at *offset; advances *offset.
+Result<SamRecord> DecodeBamRecord(std::string_view data, size_t* offset);
+
+/// \brief Streaming BAM writer: header first, then records, chunk-aligned.
+class BamWriter {
+ public:
+  explicit BamWriter(std::string* out) : out_(out), bgzf_(out) {}
+
+  /// Must be called exactly once, before any record.
+  Status WriteHeader(const SamHeader& header);
+
+  Status WriteRecord(const SamRecord& rec);
+
+  /// Flushes the trailing partial block. Must be called last.
+  Status Finish();
+
+ private:
+  std::string* out_;
+  BgzfWriter bgzf_;
+  bool header_written_ = false;
+};
+
+/// Serializes a complete BAM file in one call.
+Result<std::string> WriteBam(const SamHeader& header,
+                             const std::vector<SamRecord>& records);
+
+/// Parses a complete BAM file.
+Result<std::pair<SamHeader, std::vector<SamRecord>>> ReadBam(
+    std::string_view bam);
+
+/// Parses only the header (first chunk) of a BAM file.
+Result<SamHeader> ReadBamHeader(std::string_view bam);
+
+/// \brief Iterates records from a decompressed byte stream of record
+/// chunks (no header), as Gesall's record reader presents DFS splits.
+class BamRecordIterator {
+ public:
+  explicit BamRecordIterator(std::string_view decompressed_records)
+      : data_(decompressed_records) {}
+
+  bool Done() const { return offset_ >= data_.size(); }
+
+  /// Decodes the next record; call only when !Done().
+  Result<SamRecord> Next();
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+/// \brief Decompresses the record region (everything after the header
+/// blocks) of a BAM byte string.
+Result<std::string> DecompressBamRecords(std::string_view bam);
+
+/// \brief Returns the file offset where record chunks begin (i.e. one past
+/// the header's BGZF blocks).
+Result<size_t> BamRecordsStartOffset(std::string_view bam);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_BAM_H_

@@ -1,0 +1,98 @@
+#include "formats/cigar.h"
+
+namespace gesall {
+
+namespace {
+bool ConsumesReference(char op) {
+  return op == 'M' || op == 'D' || op == 'N' || op == '=' || op == 'X';
+}
+bool ConsumesQuery(char op) {
+  return op == 'M' || op == 'I' || op == 'S' || op == '=' || op == 'X';
+}
+bool IsValidOp(char op) {
+  return op == 'M' || op == 'I' || op == 'D' || op == 'S' || op == 'H' ||
+         op == 'N' || op == '=' || op == 'X';
+}
+}  // namespace
+
+std::string CigarToString(const Cigar& cigar) {
+  if (cigar.empty()) return "*";
+  std::string out;
+  for (const auto& c : cigar) {
+    out += std::to_string(c.len);
+    out += c.op;
+  }
+  return out;
+}
+
+Result<Cigar> ParseCigar(const std::string& text) {
+  Cigar cigar;
+  if (text == "*") return cigar;
+  int64_t len = 0;
+  bool have_len = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      len = len * 10 + (c - '0');
+      have_len = true;
+      if (len > INT32_MAX) return Status::Corruption("CIGAR length overflow");
+    } else if (IsValidOp(c)) {
+      if (!have_len || len == 0) {
+        return Status::Corruption("CIGAR op without length");
+      }
+      cigar.push_back({c, static_cast<int32_t>(len)});
+      len = 0;
+      have_len = false;
+    } else {
+      return Status::Corruption("invalid CIGAR character");
+    }
+  }
+  if (have_len) return Status::Corruption("trailing CIGAR length");
+  return cigar;
+}
+
+int64_t CigarReferenceLength(const Cigar& cigar) {
+  int64_t n = 0;
+  for (const auto& c : cigar) {
+    if (ConsumesReference(c.op)) n += c.len;
+  }
+  return n;
+}
+
+int64_t CigarQueryLength(const Cigar& cigar) {
+  int64_t n = 0;
+  for (const auto& c : cigar) {
+    if (ConsumesQuery(c.op)) n += c.len;
+  }
+  return n;
+}
+
+int32_t LeadingClip(const Cigar& cigar) {
+  int32_t n = 0;
+  for (const auto& c : cigar) {
+    if (c.op == 'S' || c.op == 'H') {
+      n += c.len;
+    } else {
+      break;
+    }
+  }
+  return n;
+}
+
+int32_t TrailingClip(const Cigar& cigar) {
+  int32_t n = 0;
+  for (auto it = cigar.rbegin(); it != cigar.rend(); ++it) {
+    if (it->op == 'S' || it->op == 'H') {
+      n += it->len;
+    } else {
+      break;
+    }
+  }
+  return n;
+}
+
+int64_t UnclippedFivePrime(int64_t pos, const Cigar& cigar, bool reverse) {
+  if (!reverse) return pos - LeadingClip(cigar);
+  return pos + CigarReferenceLength(cigar) - 1 + TrailingClip(cigar);
+}
+
+}  // namespace gesall

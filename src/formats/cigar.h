@@ -1,0 +1,51 @@
+// CIGAR strings: alignment operation runs, plus the derived coordinates the
+// pipeline depends on — in particular the 5' unclipped end used as the
+// Mark Duplicates partitioning key (paper §3.2, Fig. 3).
+
+#ifndef GESALL_FORMATS_CIGAR_H_
+#define GESALL_FORMATS_CIGAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One CIGAR operation run.
+struct CigarOp {
+  char op = 'M';   // M, I, D, S, H, N, =, X
+  int32_t len = 0;
+
+  bool operator==(const CigarOp&) const = default;
+};
+
+using Cigar = std::vector<CigarOp>;
+
+/// Renders e.g. {M:50, S:10} as "50M10S"; empty cigar renders as "*".
+std::string CigarToString(const Cigar& cigar);
+
+/// Parses "50M10S" style text ("*" yields empty).
+Result<Cigar> ParseCigar(const std::string& text);
+
+/// Number of reference bases the alignment spans (M/D/N/=/X).
+int64_t CigarReferenceLength(const Cigar& cigar);
+
+/// Number of read bases the alignment consumes (M/I/S/=/X).
+int64_t CigarQueryLength(const Cigar& cigar);
+
+/// Soft/hard clip lengths at the left / right end of the CIGAR.
+int32_t LeadingClip(const Cigar& cigar);
+int32_t TrailingClip(const Cigar& cigar);
+
+/// \brief 5' unclipped position of a read (paper Fig. 3 derived attribute).
+///
+/// For a forward-strand read this is POS minus the leading clip; for a
+/// reverse-strand read it is the alignment end plus the trailing clip
+/// (the 5' end of the original fragment is at the right).
+int64_t UnclippedFivePrime(int64_t pos, const Cigar& cigar, bool reverse);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_CIGAR_H_

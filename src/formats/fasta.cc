@@ -1,0 +1,103 @@
+#include "formats/fasta.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+namespace {
+bool Intersects(const std::vector<ReferenceGenome::Region>& regions,
+                int chrom, int64_t pos, int64_t len) {
+  for (const auto& r : regions) {
+    if (r.chrom == chrom && pos < r.end && pos + len > r.start) return true;
+  }
+  return false;
+}
+}  // namespace
+
+int ReferenceGenome::FindChromosome(const std::string& name) const {
+  for (size_t i = 0; i < chromosomes.size(); ++i) {
+    if (chromosomes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ReferenceGenome::InCentromere(int chrom, int64_t pos, int64_t len) const {
+  return Intersects(centromeres, chrom, pos, len);
+}
+
+bool ReferenceGenome::InBlacklist(int chrom, int64_t pos, int64_t len) const {
+  return Intersects(blacklist, chrom, pos, len);
+}
+
+std::string WriteFasta(const ReferenceGenome& genome) {
+  std::string out;
+  for (const auto& c : genome.chromosomes) {
+    out += ">";
+    out += c.name;
+    out += "\n";
+    for (size_t i = 0; i < c.sequence.size(); i += 60) {
+      out.append(c.sequence, i, std::min<size_t>(60, c.sequence.size() - i));
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<ReferenceGenome> ParseFasta(const std::string& text) {
+  ReferenceGenome genome;
+  Chromosome* current = nullptr;
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t eol = text.find('\n', i);
+    if (eol == std::string::npos) eol = text.size();
+    std::string_view line(text.data() + i, eol - i);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      if (line[0] == '>') {
+        genome.chromosomes.emplace_back();
+        current = &genome.chromosomes.back();
+        // Name is the first whitespace-delimited token after '>'.
+        size_t sp = line.find_first_of(" \t", 1);
+        current->name = std::string(
+            line.substr(1, sp == std::string_view::npos ? line.size() - 1
+                                                        : sp - 1));
+      } else {
+        if (current == nullptr) {
+          return Status::Corruption("FASTA sequence data before header");
+        }
+        for (char c : line) {
+          char u = static_cast<char>(std::toupper(c));
+          if (u != 'A' && u != 'C' && u != 'G' && u != 'T' && u != 'N') {
+            return Status::Corruption("invalid FASTA base");
+          }
+          current->sequence.push_back(u);
+        }
+      }
+    }
+    i = eol + 1;
+  }
+  return genome;
+}
+
+char ComplementBase(char base) {
+  switch (base) {
+    case 'A':
+      return 'T';
+    case 'C':
+      return 'G';
+    case 'G':
+      return 'C';
+    case 'T':
+      return 'A';
+    default:
+      return 'N';
+  }
+}
+
+std::string ReverseComplement(const std::string& seq) {
+  std::string out(seq.rbegin(), seq.rend());
+  for (char& c : out) c = ComplementBase(c);
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,65 @@
+// Reference genome container and FASTA text codec.
+
+#ifndef GESALL_FORMATS_FASTA_H_
+#define GESALL_FORMATS_FASTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One reference sequence (chromosome).
+struct Chromosome {
+  std::string name;
+  std::string sequence;  // upper-case A/C/G/T/N
+};
+
+/// \brief A reference genome: ordered chromosomes plus annotation tracks
+/// used by the error-diagnosis experiments (centromeres, blacklist).
+struct ReferenceGenome {
+  std::vector<Chromosome> chromosomes;
+
+  /// Half-open [start, end) intervals per chromosome index.
+  struct Region {
+    int chrom = 0;
+    int64_t start = 0;
+    int64_t end = 0;
+  };
+  std::vector<Region> centromeres;
+  std::vector<Region> blacklist;
+
+  int64_t TotalLength() const {
+    int64_t n = 0;
+    for (const auto& c : chromosomes) {
+      n += static_cast<int64_t>(c.sequence.size());
+    }
+    return n;
+  }
+
+  /// Index of a chromosome by name, or -1.
+  int FindChromosome(const std::string& name) const;
+
+  /// True if [pos, pos+len) on `chrom` intersects a centromere region.
+  bool InCentromere(int chrom, int64_t pos, int64_t len = 1) const;
+  /// True if [pos, pos+len) on `chrom` intersects a blacklist region.
+  bool InBlacklist(int chrom, int64_t pos, int64_t len = 1) const;
+};
+
+/// \brief Serializes a genome to FASTA text (60-column wrapped).
+std::string WriteFasta(const ReferenceGenome& genome);
+
+/// \brief Parses FASTA text into a genome (annotations left empty).
+Result<ReferenceGenome> ParseFasta(const std::string& text);
+
+/// \brief Complement of one base (N maps to N).
+char ComplementBase(char base);
+
+/// \brief Reverse complement of a sequence.
+std::string ReverseComplement(const std::string& seq);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_FASTA_H_

@@ -1,0 +1,72 @@
+#include "formats/fastq.h"
+
+namespace gesall {
+
+std::string WriteFastq(const std::vector<FastqRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += "@";
+    out += r.name;
+    out += "\n";
+    out += r.sequence;
+    out += "\n+\n";
+    out += r.quality;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::vector<FastqRecord>> ParseFastq(const std::string& text) {
+  std::vector<FastqRecord> records;
+  size_t i = 0;
+  auto next_line = [&](std::string_view* line) -> bool {
+    if (i >= text.size()) return false;
+    size_t eol = text.find('\n', i);
+    if (eol == std::string::npos) eol = text.size();
+    *line = std::string_view(text.data() + i, eol - i);
+    if (!line->empty() && line->back() == '\r') line->remove_suffix(1);
+    i = eol + 1;
+    return true;
+  };
+  std::string_view l1, l2, l3, l4;
+  while (next_line(&l1)) {
+    if (l1.empty()) continue;
+    if (l1[0] != '@') return Status::Corruption("FASTQ record missing '@'");
+    if (!next_line(&l2) || !next_line(&l3) || !next_line(&l4)) {
+      return Status::Corruption("truncated FASTQ record");
+    }
+    if (l3.empty() || l3[0] != '+') {
+      return Status::Corruption("FASTQ record missing '+'");
+    }
+    if (l2.size() != l4.size()) {
+      return Status::Corruption("FASTQ sequence/quality length mismatch");
+    }
+    FastqRecord r;
+    r.name = std::string(l1.substr(1));
+    r.sequence = std::string(l2);
+    r.quality = std::string(l4);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<std::vector<FastqRecord>> InterleavePairs(
+    const std::vector<FastqRecord>& mate1,
+    const std::vector<FastqRecord>& mate2) {
+  if (mate1.size() != mate2.size()) {
+    return Status::InvalidArgument("mate file record counts differ");
+  }
+  std::vector<FastqRecord> out;
+  out.reserve(mate1.size() * 2);
+  for (size_t i = 0; i < mate1.size(); ++i) {
+    if (mate1[i].name != mate2[i].name) {
+      return Status::Corruption("read name mismatch between mate files at " +
+                                std::to_string(i));
+    }
+    out.push_back(mate1[i]);
+    out.push_back(mate2[i]);
+  }
+  return out;
+}
+
+}  // namespace gesall

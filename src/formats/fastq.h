@@ -1,0 +1,39 @@
+// FASTQ records and text codec, including the interleaved paired layout
+// that Gesall uses as alignment input (paper §3.2: the two per-mate FASTQ
+// files are merged into a single read-name-sorted file of pairs before
+// logical partitioning).
+
+#ifndef GESALL_FORMATS_FASTQ_H_
+#define GESALL_FORMATS_FASTQ_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One unaligned read: name, bases, phred+33 qualities.
+struct FastqRecord {
+  std::string name;
+  std::string sequence;
+  std::string quality;  // ASCII phred+33, same length as sequence
+
+  bool operator==(const FastqRecord&) const = default;
+};
+
+/// \brief Serializes records as standard 4-line FASTQ text.
+std::string WriteFastq(const std::vector<FastqRecord>& records);
+
+/// \brief Parses 4-line FASTQ text.
+Result<std::vector<FastqRecord>> ParseFastq(const std::string& text);
+
+/// \brief Interleaves two mate files (sorted by read name) into one stream
+/// of alternating mate1/mate2 records, validating the pairing.
+Result<std::vector<FastqRecord>> InterleavePairs(
+    const std::vector<FastqRecord>& mate1,
+    const std::vector<FastqRecord>& mate2);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_FASTQ_H_

@@ -1,0 +1,247 @@
+#include "formats/sam.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace gesall {
+
+std::optional<std::string> SamRecord::GetTag(const std::string& key) const {
+  for (const auto& t : tags) {
+    if (t.key == key) return t.value;
+  }
+  return std::nullopt;
+}
+
+void SamRecord::SetTag(const std::string& key, char type, std::string value) {
+  for (auto& t : tags) {
+    if (t.key == key) {
+      t.type = type;
+      t.value = std::move(value);
+      return;
+    }
+  }
+  tags.push_back({key, type, std::move(value)});
+}
+
+std::optional<int64_t> SamRecord::GetIntTag(const std::string& key) const {
+  auto v = GetTag(key);
+  if (!v) return std::nullopt;
+  int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || ptr != v->data() + v->size()) return std::nullopt;
+  return out;
+}
+
+int64_t SamRecord::BaseQualityScore() const {
+  int64_t score = 0;
+  for (char c : qual) {
+    int q = c - 33;
+    if (q >= 15) score += q;
+  }
+  return score;
+}
+
+std::string WriteSamHeader(const SamHeader& header) {
+  std::string out = "@HD\tVN:1.6\tSO:" + header.sort_order + "\n";
+  for (const auto& r : header.refs) {
+    out += "@SQ\tSN:" + r.name + "\tLN:" + std::to_string(r.length) + "\n";
+  }
+  for (const auto& rg : header.read_groups) {
+    out += "@RG\tID:" + rg.id + "\tSM:" + rg.sample + "\tLB:" + rg.library +
+           "\n";
+  }
+  for (const auto& pg : header.programs) {
+    out += "@PG\tID:" + pg + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+// Extracts "XX:value" style header sub-field.
+std::string HeaderField(const std::vector<std::string>& fields,
+                        const std::string& key) {
+  for (const auto& f : fields) {
+    if (f.size() > 3 && f.compare(0, 2, key) == 0 && f[2] == ':') {
+      return f.substr(3);
+    }
+  }
+  return "";
+}
+
+Result<int64_t> ParseI64(const std::string& s) {
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::Corruption("bad integer field: " + s);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<SamHeader> ParseSamHeader(const std::string& text) {
+  SamHeader header;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '@') continue;
+    auto fields = SplitTabs(line);
+    const std::string& tag = fields[0];
+    if (tag == "@HD") {
+      std::string so = HeaderField(fields, "SO");
+      if (!so.empty()) header.sort_order = so;
+    } else if (tag == "@SQ") {
+      SamHeader::RefSeq r;
+      r.name = HeaderField(fields, "SN");
+      GESALL_ASSIGN_OR_RETURN(r.length, ParseI64(HeaderField(fields, "LN")));
+      if (r.name.empty()) return Status::Corruption("@SQ missing SN");
+      header.refs.push_back(std::move(r));
+    } else if (tag == "@RG") {
+      ReadGroup rg;
+      rg.id = HeaderField(fields, "ID");
+      rg.sample = HeaderField(fields, "SM");
+      rg.library = HeaderField(fields, "LB");
+      header.read_groups.push_back(std::move(rg));
+    } else if (tag == "@PG") {
+      header.programs.push_back(HeaderField(fields, "ID"));
+    }
+  }
+  return header;
+}
+
+std::string WriteSamLine(const SamRecord& rec, const SamHeader& header) {
+  auto ref_name = [&](int32_t id) -> std::string {
+    if (id < 0 || id >= static_cast<int32_t>(header.refs.size())) return "*";
+    return header.refs[id].name;
+  };
+  std::string out;
+  out += rec.qname;
+  out += '\t';
+  out += std::to_string(rec.flag);
+  out += '\t';
+  out += ref_name(rec.ref_id);
+  out += '\t';
+  out += std::to_string(rec.pos + 1);  // SAM text is 1-based
+  out += '\t';
+  out += std::to_string(rec.mapq);
+  out += '\t';
+  out += CigarToString(rec.cigar);
+  out += '\t';
+  if (rec.mate_ref_id >= 0 && rec.mate_ref_id == rec.ref_id) {
+    out += "=";
+  } else {
+    out += ref_name(rec.mate_ref_id);
+  }
+  out += '\t';
+  out += std::to_string(rec.mate_pos + 1);
+  out += '\t';
+  out += std::to_string(rec.tlen);
+  out += '\t';
+  out += rec.seq.empty() ? "*" : rec.seq;
+  out += '\t';
+  out += rec.qual.empty() ? "*" : rec.qual;
+  for (const auto& t : rec.tags) {
+    out += '\t';
+    out += t.key;
+    out += ':';
+    out += t.type;
+    out += ':';
+    out += t.value;
+  }
+  return out;
+}
+
+Result<SamRecord> ParseSamLine(const std::string& line,
+                               const SamHeader& header) {
+  auto fields = SplitTabs(line);
+  if (fields.size() < 11) return Status::Corruption("SAM line too short");
+  SamRecord rec;
+  rec.qname = fields[0];
+  GESALL_ASSIGN_OR_RETURN(int64_t flag, ParseI64(fields[1]));
+  rec.flag = static_cast<uint16_t>(flag);
+  rec.ref_id = fields[2] == "*" ? -1 : header.FindRef(fields[2]);
+  if (fields[2] != "*" && rec.ref_id < 0) {
+    return Status::Corruption("unknown reference name " + fields[2]);
+  }
+  GESALL_ASSIGN_OR_RETURN(int64_t pos1, ParseI64(fields[3]));
+  rec.pos = pos1 - 1;
+  GESALL_ASSIGN_OR_RETURN(int64_t mapq, ParseI64(fields[4]));
+  rec.mapq = static_cast<int>(mapq);
+  GESALL_ASSIGN_OR_RETURN(rec.cigar, ParseCigar(fields[5]));
+  if (fields[6] == "=") {
+    rec.mate_ref_id = rec.ref_id;
+  } else if (fields[6] == "*") {
+    rec.mate_ref_id = -1;
+  } else {
+    rec.mate_ref_id = header.FindRef(fields[6]);
+    if (rec.mate_ref_id < 0) {
+      return Status::Corruption("unknown mate reference name " + fields[6]);
+    }
+  }
+  GESALL_ASSIGN_OR_RETURN(int64_t mpos1, ParseI64(fields[7]));
+  rec.mate_pos = mpos1 - 1;
+  GESALL_ASSIGN_OR_RETURN(rec.tlen, ParseI64(fields[8]));
+  rec.seq = fields[9] == "*" ? "" : fields[9];
+  rec.qual = fields[10] == "*" ? "" : fields[10];
+  for (size_t i = 11; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.size() < 5 || f[2] != ':' || f[4] != ':') {
+      return Status::Corruption("malformed SAM tag: " + f);
+    }
+    rec.tags.push_back({f.substr(0, 2), f[3], f.substr(5)});
+  }
+  return rec;
+}
+
+std::string WriteSamText(const SamHeader& header,
+                         const std::vector<SamRecord>& records) {
+  std::string out = WriteSamHeader(header);
+  for (const auto& r : records) {
+    out += WriteSamLine(r, header);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::pair<SamHeader, std::vector<SamRecord>>> ParseSamText(
+    const std::string& text) {
+  std::string header_text;
+  std::vector<std::string> record_lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '@') {
+      header_text += line;
+      header_text += '\n';
+    } else {
+      record_lines.push_back(line);
+    }
+  }
+  GESALL_ASSIGN_OR_RETURN(SamHeader header, ParseSamHeader(header_text));
+  std::vector<SamRecord> records;
+  records.reserve(record_lines.size());
+  for (const auto& rl : record_lines) {
+    GESALL_ASSIGN_OR_RETURN(SamRecord rec, ParseSamLine(rl, header));
+    records.push_back(std::move(rec));
+  }
+  return std::make_pair(std::move(header), std::move(records));
+}
+
+}  // namespace gesall

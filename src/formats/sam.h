@@ -1,0 +1,153 @@
+// SAM alignment records, header, and text codec (paper §3.1, Fig. 3).
+//
+// Positions are 0-based internally and converted to 1-based in SAM text.
+
+#ifndef GESALL_FORMATS_SAM_H_
+#define GESALL_FORMATS_SAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "formats/cigar.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// SAM FLAG bits.
+namespace sam_flags {
+inline constexpr uint16_t kPaired = 0x1;
+inline constexpr uint16_t kProperPair = 0x2;
+inline constexpr uint16_t kUnmapped = 0x4;
+inline constexpr uint16_t kMateUnmapped = 0x8;
+inline constexpr uint16_t kReverse = 0x10;
+inline constexpr uint16_t kMateReverse = 0x20;
+inline constexpr uint16_t kFirstOfPair = 0x40;
+inline constexpr uint16_t kSecondOfPair = 0x80;
+inline constexpr uint16_t kSecondary = 0x100;
+inline constexpr uint16_t kQcFail = 0x200;
+inline constexpr uint16_t kDuplicate = 0x400;
+inline constexpr uint16_t kSupplementary = 0x800;
+}  // namespace sam_flags
+
+/// \brief Optional typed tag attached to a record ("RG:Z:g1" style).
+struct SamTag {
+  std::string key;   // two-character tag
+  char type = 'Z';   // Z (string), i (int), f (float), A (char)
+  std::string value;
+
+  bool operator==(const SamTag&) const = default;
+};
+
+/// \brief One alignment record (one mapping of one read).
+struct SamRecord {
+  std::string qname;        // read name (QNAME)
+  uint16_t flag = 0;        // FLAG
+  int32_t ref_id = -1;      // reference index; -1 renders as '*'
+  int64_t pos = -1;         // 0-based leftmost mapping position (POS)
+  int mapq = 0;             // MAPQ
+  Cigar cigar;              // CIGAR
+  int32_t mate_ref_id = -1; // RNEXT as reference index
+  int64_t mate_pos = -1;    // PNEXT, 0-based
+  int64_t tlen = 0;         // TLEN (signed template length)
+  std::string seq;          // SEQ
+  std::string qual;         // QUAL, phred+33 ASCII
+  std::vector<SamTag> tags;
+
+  bool operator==(const SamRecord&) const = default;
+
+  bool IsPaired() const { return flag & sam_flags::kPaired; }
+  bool IsUnmapped() const { return flag & sam_flags::kUnmapped; }
+  bool IsMateUnmapped() const { return flag & sam_flags::kMateUnmapped; }
+  bool IsReverse() const { return flag & sam_flags::kReverse; }
+  bool IsMateReverse() const { return flag & sam_flags::kMateReverse; }
+  bool IsFirstOfPair() const { return flag & sam_flags::kFirstOfPair; }
+  bool IsSecondary() const { return flag & sam_flags::kSecondary; }
+  bool IsDuplicate() const { return flag & sam_flags::kDuplicate; }
+  bool IsSupplementary() const { return flag & sam_flags::kSupplementary; }
+
+  void SetFlag(uint16_t bit, bool on) {
+    if (on) {
+      flag |= bit;
+    } else {
+      flag &= static_cast<uint16_t>(~bit);
+    }
+  }
+
+  /// 0-based position one past the last reference base of the alignment.
+  int64_t AlignmentEnd() const { return pos + CigarReferenceLength(cigar); }
+
+  /// 5' unclipped end (paper Fig. 3); meaningful only when mapped.
+  int64_t UnclippedFivePrimePos() const {
+    return UnclippedFivePrime(pos, cigar, IsReverse());
+  }
+
+  /// Returns the value of a tag, if present.
+  std::optional<std::string> GetTag(const std::string& key) const;
+  /// Sets (or replaces) a tag.
+  void SetTag(const std::string& key, char type, std::string value);
+  /// Returns an integer tag value, if present and parseable.
+  std::optional<int64_t> GetIntTag(const std::string& key) const;
+
+  /// Sum of base qualities >= 15, the PicardTools duplicate-scoring rule.
+  int64_t BaseQualityScore() const;
+};
+
+/// \brief Read group metadata (@RG line).
+struct ReadGroup {
+  std::string id;
+  std::string sample;
+  std::string library;
+
+  bool operator==(const ReadGroup&) const = default;
+};
+
+/// \brief SAM header: reference dictionary, sort order, read groups,
+/// program chain.
+struct SamHeader {
+  struct RefSeq {
+    std::string name;
+    int64_t length = 0;
+    bool operator==(const RefSeq&) const = default;
+  };
+
+  std::vector<RefSeq> refs;
+  std::string sort_order = "unsorted";  // unsorted|queryname|coordinate
+  std::vector<ReadGroup> read_groups;
+  std::vector<std::string> programs;
+
+  bool operator==(const SamHeader&) const = default;
+
+  int FindRef(const std::string& name) const {
+    for (size_t i = 0; i < refs.size(); ++i) {
+      if (refs[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Renders the header as @HD/@SQ/@RG/@PG text lines.
+std::string WriteSamHeader(const SamHeader& header);
+
+/// Parses @-prefixed header lines.
+Result<SamHeader> ParseSamHeader(const std::string& text);
+
+/// Renders one record as a SAM text line (no trailing newline).
+std::string WriteSamLine(const SamRecord& rec, const SamHeader& header);
+
+/// Parses one SAM text line.
+Result<SamRecord> ParseSamLine(const std::string& line,
+                               const SamHeader& header);
+
+/// Renders a full SAM text file (header + records).
+std::string WriteSamText(const SamHeader& header,
+                         const std::vector<SamRecord>& records);
+
+/// Parses a full SAM text file.
+Result<std::pair<SamHeader, std::vector<SamRecord>>> ParseSamText(
+    const std::string& text);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_SAM_H_

@@ -1,0 +1,145 @@
+#include "formats/vcf.h"
+
+#include <algorithm>
+
+#include "util/io.h"
+
+namespace gesall {
+
+bool VariantRecord::IsTransition() const {
+  if (!IsSnp()) return false;
+  char r = ref[0], a = alt[0];
+  return (r == 'A' && a == 'G') || (r == 'G' && a == 'A') ||
+         (r == 'C' && a == 'T') || (r == 'T' && a == 'C');
+}
+
+std::string VariantRecord::Key() const {
+  return std::to_string(chrom) + ":" + std::to_string(pos) + ":" + ref + ">" +
+         alt;
+}
+
+bool VariantLess(const VariantRecord& a, const VariantRecord& b) {
+  if (a.chrom != b.chrom) return a.chrom < b.chrom;
+  if (a.pos != b.pos) return a.pos < b.pos;
+  if (a.ref != b.ref) return a.ref < b.ref;
+  return a.alt < b.alt;
+}
+
+std::string WriteVcfText(const std::vector<VariantRecord>& variants,
+                         const std::vector<std::string>& chrom_names) {
+  std::string out =
+      "#CHROM\tPOS\tREF\tALT\tQUAL\tGT\tMQ\tDP\tFS\tAB\n";
+  char buf[64];
+  for (const auto& v : variants) {
+    out += (v.chrom >= 0 && v.chrom < static_cast<int32_t>(chrom_names.size())
+                ? chrom_names[v.chrom]
+                : "?");
+    out += '\t';
+    out += std::to_string(v.pos + 1);
+    out += '\t';
+    out += v.ref;
+    out += '\t';
+    out += v.alt;
+    out += '\t';
+    std::snprintf(buf, sizeof(buf), "%.1f", v.qual);
+    out += buf;
+    out += '\t';
+    out += v.genotype == Genotype::kHet ? "0/1" : "1/1";
+    std::snprintf(buf, sizeof(buf), "\t%.1f\t%d\t%.1f\t%.2f\n", v.mq, v.dp,
+                  v.fs, v.ab);
+    out += buf;
+  }
+  return out;
+}
+
+VariantSetStats ComputeVariantSetStats(
+    const std::vector<VariantRecord>& variants) {
+  VariantSetStats s;
+  s.count = static_cast<int64_t>(variants.size());
+  if (variants.empty()) return s;
+  int64_t ti = 0, tv = 0, het = 0, hom = 0;
+  double sum_qual = 0, sum_mq = 0, sum_dp = 0, sum_fs = 0, sum_ab = 0;
+  for (const auto& v : variants) {
+    if (v.IsSnp()) {
+      ++s.snps;
+      if (v.IsTransition()) {
+        ++ti;
+      } else {
+        ++tv;
+      }
+    } else {
+      ++s.indels;
+    }
+    if (v.genotype == Genotype::kHet) {
+      ++het;
+    } else {
+      ++hom;
+    }
+    sum_qual += v.qual;
+    sum_mq += v.mq;
+    sum_dp += v.dp;
+    sum_fs += v.fs;
+    sum_ab += v.ab;
+  }
+  double n = static_cast<double>(s.count);
+  s.mean_qual = sum_qual / n;
+  s.mean_mq = sum_mq / n;
+  s.mean_dp = sum_dp / n;
+  s.mean_fs = sum_fs / n;
+  s.mean_ab = sum_ab / n;
+  s.titv_ratio = tv > 0 ? static_cast<double>(ti) / tv : 0.0;
+  s.het_hom_ratio = hom > 0 ? static_cast<double>(het) / hom : 0.0;
+  return s;
+}
+
+}  // namespace gesall
+
+namespace gesall {
+
+std::string EncodeVariantBinary(const VariantRecord& v) {
+  std::string body;
+  BufferWriter w(&body);
+  w.PutI32(v.chrom);
+  w.PutI64(v.pos);
+  w.PutString(v.ref);
+  w.PutString(v.alt);
+  w.PutF64(v.qual);
+  w.PutU8(v.genotype == Genotype::kHet ? 0 : 1);
+  w.PutF64(v.mq);
+  w.PutI32(v.dp);
+  w.PutF64(v.fs);
+  w.PutF64(v.ab);
+  std::string out;
+  BufferWriter lw(&out);
+  lw.PutU32(static_cast<uint32_t>(body.size()));
+  out += body;
+  return out;
+}
+
+Result<VariantRecord> DecodeVariantBinary(std::string_view data,
+                                          size_t* offset) {
+  BufferReader lr(data.substr(*offset));
+  uint32_t len;
+  GESALL_RETURN_NOT_OK(lr.GetU32(&len));
+  if (lr.remaining() < len) {
+    return Status::Corruption("truncated variant record");
+  }
+  BufferReader r(data.substr(*offset + 4, len));
+  VariantRecord v;
+  GESALL_RETURN_NOT_OK(r.GetI32(&v.chrom));
+  GESALL_RETURN_NOT_OK(r.GetI64(&v.pos));
+  GESALL_RETURN_NOT_OK(r.GetString(&v.ref));
+  GESALL_RETURN_NOT_OK(r.GetString(&v.alt));
+  GESALL_RETURN_NOT_OK(r.GetF64(&v.qual));
+  uint8_t gt;
+  GESALL_RETURN_NOT_OK(r.GetU8(&gt));
+  v.genotype = gt == 0 ? Genotype::kHet : Genotype::kHomAlt;
+  GESALL_RETURN_NOT_OK(r.GetF64(&v.mq));
+  GESALL_RETURN_NOT_OK(r.GetI32(&v.dp));
+  GESALL_RETURN_NOT_OK(r.GetF64(&v.fs));
+  GESALL_RETURN_NOT_OK(r.GetF64(&v.ab));
+  *offset += 4 + len;
+  return v;
+}
+
+}  // namespace gesall

@@ -1,0 +1,77 @@
+// Variant records (VCF-like) with the quality annotations used by the
+// paper's accuracy study (Tables 9-10): MQ, DP, FS, AB, plus genotype and
+// transition/transversion classification.
+
+#ifndef GESALL_FORMATS_VCF_H_
+#define GESALL_FORMATS_VCF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Diploid genotype call.
+enum class Genotype { kHet, kHomAlt };
+
+/// \brief One called variant (SNP or small indel).
+struct VariantRecord {
+  int32_t chrom = 0;         // reference index
+  int64_t pos = 0;           // 0-based position of the first ref base
+  std::string ref;           // reference allele
+  std::string alt;           // alternate allele
+  double qual = 0.0;         // phred-scaled call confidence
+  Genotype genotype = Genotype::kHet;
+
+  // Annotations (Tables 9-10 metrics).
+  double mq = 0.0;   // RMS mapping quality of covering reads
+  int32_t dp = 0;    // read depth at the site
+  double fs = 0.0;   // phred-scaled Fisher strand-bias p-value
+  double ab = 0.0;   // allele balance: ALT / (REF + ALT) reads
+
+  bool IsSnp() const { return ref.size() == 1 && alt.size() == 1; }
+  bool IsIndel() const { return !IsSnp(); }
+
+  /// Transitions: A<->G, C<->T (expect Ti/Tv ~ 2 in good call sets).
+  bool IsTransition() const;
+
+  /// Identity key (site + alleles), used by concordance analysis.
+  std::string Key() const;
+
+  bool operator==(const VariantRecord&) const = default;
+};
+
+/// Sorts by (chrom, pos, ref, alt).
+bool VariantLess(const VariantRecord& a, const VariantRecord& b);
+
+/// Renders records as tab-separated VCF-like text lines.
+std::string WriteVcfText(const std::vector<VariantRecord>& variants,
+                         const std::vector<std::string>& chrom_names);
+
+/// \brief Aggregate statistics over a call set (Tables 9-10 columns).
+struct VariantSetStats {
+  int64_t count = 0;
+  int64_t snps = 0;
+  int64_t indels = 0;
+  double mean_qual = 0.0;
+  double mean_mq = 0.0;
+  double mean_dp = 0.0;
+  double mean_fs = 0.0;
+  double mean_ab = 0.0;
+  double titv_ratio = 0.0;     // transitions / transversions
+  double het_hom_ratio = 0.0;  // het calls / hom-alt calls
+};
+
+VariantSetStats ComputeVariantSetStats(
+    const std::vector<VariantRecord>& variants);
+
+/// Binary codec for shipping variants through MapReduce values.
+std::string EncodeVariantBinary(const VariantRecord& v);
+Result<VariantRecord> DecodeVariantBinary(std::string_view data,
+                                          size_t* offset);
+
+}  // namespace gesall
+
+#endif  // GESALL_FORMATS_VCF_H_

@@ -1,0 +1,151 @@
+#include "genome/donor.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/rng.h"
+
+namespace gesall {
+
+int64_t CoordinateMap::FromReference(int64_t ref_pos) const {
+  if (segments_.empty()) return ref_pos;
+  // Last segment whose ref_start <= ref_pos (segments are ordered by both
+  // coordinates since indels never reorder).
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), ref_pos,
+      [](int64_t pos, const Segment& s) { return pos < s.ref_start; });
+  if (it == segments_.begin()) return ref_pos;
+  --it;
+  return it->hap_start + (ref_pos - it->ref_start);
+}
+
+int64_t CoordinateMap::ToReference(int64_t hap_pos) const {
+  if (segments_.empty()) return hap_pos;
+  // Find the last segment whose hap_start <= hap_pos.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), hap_pos,
+      [](int64_t pos, const Segment& s) { return pos < s.hap_start; });
+  if (it == segments_.begin()) return hap_pos;
+  --it;
+  return it->ref_start + (hap_pos - it->hap_start);
+}
+
+namespace {
+
+char MutateBase(Rng& rng, char base) {
+  // Transition-biased substitution (Ti:Tv ~ 2:1), matching real genomes so
+  // that called variant Ti/Tv ratios are meaningful.
+  static const char kTransition[256] = {};
+  (void)kTransition;
+  char transition;
+  switch (base) {
+    case 'A':
+      transition = 'G';
+      break;
+    case 'G':
+      transition = 'A';
+      break;
+    case 'C':
+      transition = 'T';
+      break;
+    case 'T':
+      transition = 'C';
+      break;
+    default:
+      return 'A';
+  }
+  if (rng.Bernoulli(2.0 / 3.0)) return transition;
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  char out = base;
+  while (out == base || out == transition) out = kBases[rng.Uniform(4)];
+  return out;
+}
+
+std::string RandomInsert(Rng& rng, int length) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(length, 'A');
+  for (auto& c : s) c = kBases[rng.Uniform(4)];
+  return s;
+}
+
+// Applies the subset of variants carried by one haplotype to a chromosome.
+DonorGenome::HaplotypeSeq BuildHaplotype(
+    const std::string& ref_seq, const std::vector<PlantedVariant>& variants,
+    int haplotype) {
+  DonorGenome::HaplotypeSeq out;
+  out.sequence.reserve(ref_seq.size());
+  out.to_reference.AddSegment(0, 0);
+  int64_t ref_cursor = 0;
+  for (const auto& v : variants) {
+    if (!v.homozygous && v.haplotype != haplotype) continue;
+    if (v.pos < ref_cursor) continue;  // overlapping variant: skip
+    out.sequence.append(ref_seq, ref_cursor, v.pos - ref_cursor);
+    int64_t hap_pos = static_cast<int64_t>(out.sequence.size());
+    out.sequence.append(v.alt);
+    ref_cursor = v.pos + static_cast<int64_t>(v.ref.size());
+    // After an indel the hap->ref linear relation shifts; record it.
+    if (v.ref.size() != v.alt.size()) {
+      out.to_reference.AddSegment(
+          hap_pos + static_cast<int64_t>(v.alt.size()), ref_cursor);
+    }
+  }
+  out.sequence.append(ref_seq, ref_cursor,
+                      ref_seq.size() - static_cast<size_t>(ref_cursor));
+  return out;
+}
+
+}  // namespace
+
+DonorGenome PlantVariants(const ReferenceGenome& reference,
+                          const VariantPlanterOptions& options) {
+  Rng rng(options.seed);
+  DonorGenome donor;
+  donor.reference = &reference;
+
+  for (size_t ci = 0; ci < reference.chromosomes.size(); ++ci) {
+    const std::string& seq = reference.chromosomes[ci].sequence;
+    std::vector<PlantedVariant> variants;
+    int64_t pos = 0;
+    const double site_rate = options.snp_rate + options.indel_rate;
+    while (site_rate > 0 && pos < static_cast<int64_t>(seq.size())) {
+      // Distance to next variant ~ geometric(site_rate).
+      double u = rng.NextDouble();
+      int64_t gap =
+          1 + static_cast<int64_t>(-std::log(1.0 - u) / site_rate);
+      pos += gap;
+      if (pos >= static_cast<int64_t>(seq.size()) - 1) break;
+      PlantedVariant v;
+      v.chrom = static_cast<int32_t>(ci);
+      v.pos = pos;
+      v.homozygous = rng.Bernoulli(options.hom_fraction);
+      v.haplotype = static_cast<int>(rng.Uniform(2));
+      bool is_snp = rng.NextDouble() < options.snp_rate / site_rate;
+      if (is_snp) {
+        v.ref = seq.substr(pos, 1);
+        v.alt = std::string(1, MutateBase(rng, seq[pos]));
+      } else {
+        int len = 1 + static_cast<int>(
+                          rng.Uniform(options.max_indel_length));
+        if (rng.Bernoulli(0.5)) {
+          // Deletion: ref = anchor + deleted bases, alt = anchor.
+          if (pos + 1 + len >= static_cast<int64_t>(seq.size())) continue;
+          v.ref = seq.substr(pos, 1 + len);
+          v.alt = seq.substr(pos, 1);
+        } else {
+          // Insertion: ref = anchor, alt = anchor + inserted bases.
+          v.ref = seq.substr(pos, 1);
+          v.alt = v.ref + RandomInsert(rng, len);
+        }
+      }
+      variants.push_back(std::move(v));
+      pos += static_cast<int64_t>(variants.back().ref.size());
+    }
+
+    donor.haplotypes.push_back(
+        {BuildHaplotype(seq, variants, 0), BuildHaplotype(seq, variants, 1)});
+    for (auto& v : variants) donor.truth.push_back(std::move(v));
+  }
+  return donor;
+}
+
+}  // namespace gesall

@@ -1,0 +1,88 @@
+// Diploid donor genome: the reference plus planted germline variants
+// (the truth set the GiaB-style precision/sensitivity evaluation in
+// Appendix B.3 is scored against).
+
+#ifndef GESALL_GENOME_DONOR_H_
+#define GESALL_GENOME_DONOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/fasta.h"
+
+namespace gesall {
+
+/// \brief One planted germline variant in reference coordinates.
+struct PlantedVariant {
+  int32_t chrom = 0;
+  int64_t pos = 0;     // 0-based position of the first ref base
+  std::string ref;
+  std::string alt;
+  bool homozygous = false;  // present on both haplotypes?
+  int haplotype = 0;        // for het variants: which haplotype carries it
+
+  bool IsSnp() const { return ref.size() == 1 && alt.size() == 1; }
+};
+
+/// \brief Maps positions on a mutated haplotype back to reference
+/// coordinates (piecewise-linear segments around indels).
+class CoordinateMap {
+ public:
+  struct Segment {
+    int64_t hap_start;
+    int64_t ref_start;
+  };
+
+  /// Appends a co-linear segment starting at the given coordinates.
+  void AddSegment(int64_t hap_start, int64_t ref_start) {
+    segments_.push_back({hap_start, ref_start});
+  }
+
+  /// Reference position corresponding to a haplotype position.
+  int64_t ToReference(int64_t hap_pos) const;
+
+  /// Approximate inverse: a haplotype position mapping to `ref_pos`
+  /// (exact within co-linear segments).
+  int64_t FromReference(int64_t ref_pos) const;
+
+  /// Piecewise segments, ordered by hap_start (used by the SV planter to
+  /// splice maps).
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// \brief A diploid donor: two haplotype sequences per chromosome, each
+/// with a map back to reference coordinates, plus the variant truth set.
+struct DonorGenome {
+  const ReferenceGenome* reference = nullptr;
+
+  struct HaplotypeSeq {
+    std::string sequence;
+    CoordinateMap to_reference;
+  };
+  // haplotypes[chrom][0..1]
+  std::vector<std::array<HaplotypeSeq, 2>> haplotypes;
+
+  std::vector<PlantedVariant> truth;  // sorted by (chrom, pos)
+};
+
+/// \brief Variant-planting parameters (human-like defaults).
+struct VariantPlanterOptions {
+  double snp_rate = 0.001;       // ~1 SNP per kb
+  double indel_rate = 0.0001;    // ~1 indel per 10 kb
+  int max_indel_length = 8;
+  double hom_fraction = 0.35;    // fraction of variants homozygous
+  uint64_t seed = 2;
+};
+
+/// \brief Plants variants into the reference, producing the diploid donor.
+DonorGenome PlantVariants(const ReferenceGenome& reference,
+                          const VariantPlanterOptions& options);
+
+}  // namespace gesall
+
+#endif  // GESALL_GENOME_DONOR_H_

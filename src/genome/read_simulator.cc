@@ -1,0 +1,145 @@
+#include "genome/read_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gesall {
+
+namespace {
+
+struct Fragment {
+  int32_t chrom;
+  int haplotype;
+  int64_t hap_start;
+  int64_t hap_end;
+};
+
+char MutateBase(Rng& rng, char base) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  char out = base;
+  while (out == base) out = kBases[rng.Uniform(4)];
+  return out;
+}
+
+// Applies quality decay and sequencing errors to a raw read sequence.
+void SequenceRead(Rng& rng, const ReadSimulatorOptions& opt,
+                  bool low_quality, std::string* seq, std::string* qual) {
+  qual->resize(seq->size());
+  for (size_t cycle = 0; cycle < seq->size(); ++cycle) {
+    double q = opt.max_base_quality -
+               opt.quality_decay_per_cycle * static_cast<double>(cycle) +
+               rng.Gaussian(0.0, 2.0);
+    if (low_quality) q -= 20.0;
+    int phred = std::clamp(static_cast<int>(q + 0.5), 2, opt.max_base_quality);
+    (*qual)[cycle] = static_cast<char>(phred + 33);
+    if (rng.Bernoulli(ErrorProbFromPhred(phred))) {
+      (*seq)[cycle] = MutateBase(rng, (*seq)[cycle]);
+    }
+  }
+}
+
+std::string RandomJunk(Rng& rng, int length) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(length, 'A');
+  for (auto& c : s) c = kBases[rng.Uniform(4)];
+  return s;
+}
+
+}  // namespace
+
+SimulatedSample SimulateReads(const DonorGenome& donor,
+                              const ReadSimulatorOptions& options) {
+  Rng rng(options.seed);
+  SimulatedSample sample;
+  const auto& ref = *donor.reference;
+
+  const int64_t genome_len = ref.TotalLength();
+  const int64_t n_pairs = static_cast<int64_t>(
+      options.coverage * static_cast<double>(genome_len) /
+      (2.0 * options.read_length));
+
+  // Chromosome sampling weights proportional to length.
+  std::vector<int64_t> cumulative;
+  int64_t total = 0;
+  for (const auto& c : ref.chromosomes) {
+    total += static_cast<int64_t>(c.sequence.size());
+    cumulative.push_back(total);
+  }
+
+  std::vector<Fragment> fragments;  // pool for duplicate re-emission
+  const int L = options.read_length;
+
+  for (int64_t i = 0; i < n_pairs; ++i) {
+    Fragment frag;
+    bool is_duplicate = !fragments.empty() &&
+                        rng.Bernoulli(options.duplicate_rate);
+    if (is_duplicate) {
+      frag = fragments[rng.Uniform(fragments.size())];
+    } else {
+      int64_t g = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(total)));
+      int32_t chrom = 0;
+      while (cumulative[chrom] <= g) ++chrom;
+      frag.chrom = chrom;
+      frag.haplotype = static_cast<int>(rng.Uniform(2));
+      const std::string& hap =
+          donor.haplotypes[chrom][frag.haplotype].sequence;
+      int64_t insert = std::max<int64_t>(
+          L, static_cast<int64_t>(
+                 rng.Gaussian(options.insert_mean, options.insert_sd) + 0.5));
+      insert = std::min<int64_t>(insert, static_cast<int64_t>(hap.size()));
+      frag.hap_start = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(hap.size() - insert + 1)));
+      frag.hap_end = frag.hap_start + insert;
+      fragments.push_back(frag);
+    }
+
+    const auto& hap_info = donor.haplotypes[frag.chrom][frag.haplotype];
+    const std::string& hap = hap_info.sequence;
+
+    // Mate 1 reads the fragment's left end on the forward strand; mate 2
+    // reads the right end on the reverse strand.
+    std::string m1 = hap.substr(frag.hap_start,
+                                std::min<int64_t>(L, frag.hap_end -
+                                                         frag.hap_start));
+    int64_t m2_start = std::max<int64_t>(frag.hap_start, frag.hap_end - L);
+    std::string m2 =
+        ReverseComplement(hap.substr(m2_start, frag.hap_end - m2_start));
+
+    bool low_quality = rng.Bernoulli(options.low_quality_fraction);
+    bool junk2 = rng.Bernoulli(options.junk_mate_rate);
+
+    FastqRecord r1, r2;
+    r1.name = "p";
+    r1.name += std::to_string(i);
+    r2.name = r1.name;
+    r1.sequence = std::move(m1);
+    SequenceRead(rng, options, low_quality, &r1.sequence, &r1.quality);
+    if (junk2) {
+      r2.sequence = RandomJunk(rng, L);
+      SequenceRead(rng, options, /*low_quality=*/true, &r2.sequence,
+                   &r2.quality);
+    } else {
+      r2.sequence = std::move(m2);
+      SequenceRead(rng, options, low_quality, &r2.sequence, &r2.quality);
+    }
+
+    ReadPairTruth truth;
+    truth.chrom = frag.chrom;
+    truth.ref_start = hap_info.to_reference.ToReference(frag.hap_start);
+    truth.ref_end = hap_info.to_reference.ToReference(frag.hap_end - 1) + 1;
+    truth.haplotype = frag.haplotype;
+    truth.duplicate = is_duplicate;
+    truth.junk_mate2 = junk2;
+
+    sample.mate1.push_back(std::move(r1));
+    sample.mate2.push_back(std::move(r2));
+    sample.truth.push_back(truth);
+  }
+  return sample;
+}
+
+}  // namespace gesall

@@ -1,0 +1,65 @@
+// Paired-end read simulation (primary analysis substitute, DESIGN.md §1).
+//
+// Produces the FASTQ pair files that secondary analysis consumes, plus a
+// per-pair truth record used by tests and by the accuracy harnesses.
+// Models the phenomena the paper's pipeline steps exist to handle:
+// position-dependent base quality decay, sequencing errors, PCR
+// duplicates (same fragment, fresh errors), and junk mates that fail to
+// align (partial matching pairs for Mark Duplicates criterion 2).
+
+#ifndef GESALL_GENOME_READ_SIMULATOR_H_
+#define GESALL_GENOME_READ_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "formats/fastq.h"
+#include "genome/donor.h"
+
+namespace gesall {
+
+/// \brief Read simulation parameters.
+struct ReadSimulatorOptions {
+  int read_length = 100;
+  double coverage = 30.0;      // mean depth over the reference
+  double insert_mean = 400.0;  // outer fragment length
+  double insert_sd = 40.0;
+
+  /// Probability that a pair is a PCR duplicate of an earlier fragment.
+  double duplicate_rate = 0.02;
+  /// Probability that mate 2 is replaced by unalignable junk sequence.
+  double junk_mate_rate = 0.003;
+  /// Fraction of pairs with globally degraded base quality.
+  double low_quality_fraction = 0.01;
+
+  int max_base_quality = 40;
+  /// Mean phred-quality loss per sequencing cycle (end-of-read decay).
+  double quality_decay_per_cycle = 0.12;
+
+  uint64_t seed = 3;
+};
+
+/// \brief Ground truth for one simulated pair.
+struct ReadPairTruth {
+  int32_t chrom = 0;
+  int64_t ref_start = 0;    // reference coordinate of the fragment start
+  int64_t ref_end = 0;      // one past the fragment end
+  int haplotype = 0;
+  bool duplicate = false;   // PCR duplicate of an earlier pair
+  bool junk_mate2 = false;  // mate 2 is unalignable
+};
+
+/// \brief A simulated sample: two mate FASTQ streams plus truth.
+struct SimulatedSample {
+  std::vector<FastqRecord> mate1;
+  std::vector<FastqRecord> mate2;
+  std::vector<ReadPairTruth> truth;
+};
+
+/// \brief Simulates a whole-genome paired-end sample from a donor.
+SimulatedSample SimulateReads(const DonorGenome& donor,
+                              const ReadSimulatorOptions& options);
+
+}  // namespace gesall
+
+#endif  // GESALL_GENOME_READ_SIMULATOR_H_

@@ -1,0 +1,112 @@
+#include "genome/reference_generator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gesall {
+
+namespace {
+
+char RandomBase(Rng& rng, double gc) {
+  if (rng.NextDouble() < gc) {
+    return rng.Bernoulli(0.5) ? 'G' : 'C';
+  }
+  return rng.Bernoulli(0.5) ? 'A' : 'T';
+}
+
+std::string RandomSequence(Rng& rng, int64_t length, double gc) {
+  std::string s(length, 'N');
+  for (auto& c : s) c = RandomBase(rng, gc);
+  return s;
+}
+
+char MutateBase(Rng& rng, char base) {
+  static const char kBases[] = {'A', 'C', 'G', 'T'};
+  char out = base;
+  while (out == base) out = kBases[rng.Uniform(4)];
+  return out;
+}
+
+// Copies `element` into `chrom` at `pos` with per-base divergence.
+void PasteRepeat(Rng& rng, const std::string& element, double divergence,
+                 std::string* chrom, int64_t pos) {
+  for (size_t i = 0; i < element.size(); ++i) {
+    int64_t p = pos + static_cast<int64_t>(i);
+    if (p < 0 || p >= static_cast<int64_t>(chrom->size())) break;
+    char base = element[i];
+    if (rng.Bernoulli(divergence)) base = MutateBase(rng, base);
+    (*chrom)[p] = base;
+  }
+}
+
+}  // namespace
+
+ReferenceGenome GenerateReference(const ReferenceGeneratorOptions& options) {
+  Rng rng(options.seed);
+  ReferenceGenome genome;
+
+  // One genome-wide repeat element family so copies on different
+  // chromosomes cross-map (multi-mapping ambiguity).
+  std::string repeat_element =
+      RandomSequence(rng, options.repeat_element_length, options.gc_content);
+  std::string satellite_motif =
+      RandomSequence(rng, options.satellite_motif_length, options.gc_content);
+
+  for (int ci = 0; ci < options.num_chromosomes; ++ci) {
+    Chromosome chrom;
+    chrom.name = "chr" + std::to_string(ci + 1);
+    chrom.sequence =
+        RandomSequence(rng, options.chromosome_length, options.gc_content);
+    const int64_t len = options.chromosome_length;
+
+    // Interspersed repeats: copies until the target fraction is covered.
+    int64_t repeat_target =
+        static_cast<int64_t>(options.repeat_fraction * len);
+    int64_t pasted = 0;
+    while (pasted < repeat_target) {
+      int64_t pos = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(len)));
+      PasteRepeat(rng, repeat_element, options.repeat_divergence,
+                  &chrom.sequence, pos);
+      pasted += options.repeat_element_length;
+    }
+
+    // Centromere: noisy tandem satellite in the middle of the chromosome.
+    int64_t cen_len = static_cast<int64_t>(options.centromere_fraction * len);
+    int64_t cen_start = len / 2 - cen_len / 2;
+    for (int64_t p = cen_start; p < cen_start + cen_len;
+         p += options.satellite_motif_length) {
+      PasteRepeat(rng, satellite_motif, 0.02, &chrom.sequence, p);
+    }
+    if (cen_len > 0) {
+      genome.centromeres.push_back({ci, cen_start, cen_start + cen_len});
+    }
+
+    genome.chromosomes.push_back(std::move(chrom));
+
+    // Blacklist regions: low-complexity homopolymer-ish stretches outside
+    // the centromere.
+    std::string& seq = genome.chromosomes.back().sequence;
+    for (int b = 0; b < options.blacklist_per_chromosome; ++b) {
+      int64_t bl_len = std::min<int64_t>(options.blacklist_length, len / 10);
+      int64_t start;
+      do {
+        start = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(len - bl_len)));
+      } while (start < cen_start + cen_len && start + bl_len > cen_start);
+      // Two-base microsatellite (e.g. ATATAT...) with light noise.
+      char b1 = RandomBase(rng, options.gc_content);
+      char b2 = RandomBase(rng, options.gc_content);
+      for (int64_t p = start; p < start + bl_len; ++p) {
+        char base = ((p - start) % 2 == 0) ? b1 : b2;
+        if (rng.Bernoulli(0.02)) base = MutateBase(rng, base);
+        seq[p] = base;
+      }
+      genome.blacklist.push_back({ci, start, start + bl_len});
+    }
+  }
+  return genome;
+}
+
+}  // namespace gesall

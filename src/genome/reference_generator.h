@@ -1,0 +1,50 @@
+// Synthetic reference genome generation.
+//
+// Substitutes for the human reference (DESIGN.md §1). The generator plants
+// the structural features the paper's accuracy analysis depends on:
+// interspersed repeat elements, highly repetitive centromeres, and
+// low-complexity blacklist regions — the "hard-to-map" regions where most
+// serial-vs-parallel alignment disagreements cluster (paper Fig. 11a).
+
+#ifndef GESALL_GENOME_REFERENCE_GENERATOR_H_
+#define GESALL_GENOME_REFERENCE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "formats/fasta.h"
+
+namespace gesall {
+
+/// \brief Parameters of the synthetic reference.
+struct ReferenceGeneratorOptions {
+  int num_chromosomes = 4;
+  int64_t chromosome_length = 500'000;
+  double gc_content = 0.41;  // human-like GC fraction
+
+  /// Fraction of each chromosome covered by interspersed repeat copies
+  /// (ALU-like elements with per-copy mutations).
+  double repeat_fraction = 0.08;
+  int repeat_element_length = 300;
+  /// Per-base mutation rate applied to each repeat copy (divergence).
+  double repeat_divergence = 0.03;
+
+  /// Centromere length as a fraction of the chromosome; placed mid-arm and
+  /// filled with a noisy tandem satellite repeat.
+  double centromere_fraction = 0.03;
+  int satellite_motif_length = 171;  // alpha-satellite-like monomer
+
+  /// Number and length of blacklist (low-complexity) regions per
+  /// chromosome.
+  int blacklist_per_chromosome = 2;
+  int64_t blacklist_length = 2'000;
+
+  uint64_t seed = 1;
+};
+
+/// \brief Generates a reference genome with annotated centromere and
+/// blacklist regions.
+ReferenceGenome GenerateReference(const ReferenceGeneratorOptions& options);
+
+}  // namespace gesall
+
+#endif  // GESALL_GENOME_REFERENCE_GENERATOR_H_

@@ -1,0 +1,139 @@
+#include "genome/sv_planter.h"
+
+#include <algorithm>
+
+#include "formats/fasta.h"
+#include "util/rng.h"
+
+namespace gesall {
+
+namespace {
+
+using Type = StructuralVariantTruth::Type;
+
+// Applies one SV to a haplotype (sequence + coordinate map), splicing the
+// piecewise-linear map. `hap_start`/`hap_end` are haplotype coordinates.
+//
+// Mapping conventions for the edited block:
+//  - deletion: the right flank's segments shift left;
+//  - insertion: inserted bases map (approximately) to the insertion
+//    point, the right flank shifts right;
+//  - inversion: the sequence is reverse-complemented in place and the
+//    (ascending) map is left untouched — breakpoints stay exact, interior
+//    coordinates are approximate, which is what the SV caller consumes.
+void ApplySv(DonorGenome::HaplotypeSeq* hap, Type type, int64_t hap_start,
+             int64_t hap_end, const std::string& insert_seq) {
+  std::string& seq = hap->sequence;
+  const auto& old_segments = hap->to_reference.segments();
+
+  if (type == Type::kInversion) {
+    std::string block = seq.substr(hap_start, hap_end - hap_start);
+    block = ReverseComplement(block);
+    seq.replace(hap_start, hap_end - hap_start, block);
+    return;
+  }
+
+  int64_t delta;  // shift applied to the right flank's hap coordinates
+  if (type == Type::kDeletion) {
+    delta = -(hap_end - hap_start);
+    seq.erase(static_cast<size_t>(hap_start),
+              static_cast<size_t>(hap_end - hap_start));
+  } else {
+    delta = static_cast<int64_t>(insert_seq.size());
+    seq.insert(static_cast<size_t>(hap_start), insert_seq);
+    hap_end = hap_start;  // insertions have an empty source range
+  }
+
+  CoordinateMap spliced;
+  int64_t ref_at_end = hap->to_reference.ToReference(hap_end);
+  bool boundary_added = false;
+  for (const auto& s : old_segments) {
+    if (s.hap_start < hap_start) {
+      spliced.AddSegment(s.hap_start, s.ref_start);
+    } else {
+      if (!boundary_added) {
+        spliced.AddSegment(hap_start + (type == Type::kInsertion ? delta : 0),
+                           ref_at_end);
+        boundary_added = true;
+      }
+      if (s.hap_start >= hap_end) {
+        spliced.AddSegment(s.hap_start + delta, s.ref_start);
+      }
+    }
+  }
+  if (!boundary_added) {
+    spliced.AddSegment(hap_start + (type == Type::kInsertion ? delta : 0),
+                       ref_at_end);
+  }
+  hap->to_reference = std::move(spliced);
+}
+
+}  // namespace
+
+std::vector<StructuralVariantTruth> PlantStructuralVariants(
+    DonorGenome* donor, const SvPlanterOptions& options) {
+  Rng rng(options.seed);
+  std::vector<StructuralVariantTruth> truth;
+  const auto& reference = *donor->reference;
+
+  for (size_t chrom = 0; chrom < reference.chromosomes.size(); ++chrom) {
+    const int64_t chrom_len = static_cast<int64_t>(
+        reference.chromosomes[chrom].sequence.size());
+    // Place SVs left-to-right with margins, then apply RIGHT-to-LEFT so
+    // earlier haplotype coordinates stay valid during editing.
+    std::vector<StructuralVariantTruth> planned;
+    int64_t cursor = options.margin;
+    auto plan = [&](Type type, int count) {
+      for (int i = 0; i < count; ++i) {
+        int64_t len = options.min_length +
+                      static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+                          options.max_length - options.min_length + 1)));
+        int64_t gap = options.margin +
+                      static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+                          options.margin)));
+        int64_t start = cursor + gap;
+        int64_t end = type == Type::kInsertion ? start : start + len;
+        if (end + options.margin >= chrom_len) return;
+        StructuralVariantTruth sv;
+        sv.type = type;
+        sv.chrom = static_cast<int32_t>(chrom);
+        sv.start = start;
+        sv.end = end;
+        sv.length = len;
+        planned.push_back(sv);
+        cursor = end;
+      }
+    };
+    plan(Type::kDeletion, options.deletions_per_chromosome);
+    plan(Type::kInsertion, options.insertions_per_chromosome);
+    plan(Type::kInversion, options.inversions_per_chromosome);
+
+    for (auto it = planned.rbegin(); it != planned.rend(); ++it) {
+      std::string insert_seq;
+      if (it->type == Type::kInsertion) {
+        insert_seq.resize(static_cast<size_t>(it->length));
+        for (auto& c : insert_seq) c = "ACGT"[rng.Uniform(4)];
+      }
+      for (int hap = 0; hap < 2; ++hap) {
+        auto& h = donor->haplotypes[chrom][hap];
+        int64_t hs = h.to_reference.FromReference(it->start);
+        int64_t he = h.to_reference.FromReference(it->end);
+        hs = std::clamp<int64_t>(hs, 0,
+                                 static_cast<int64_t>(h.sequence.size()));
+        he = std::clamp<int64_t>(he, hs,
+                                 static_cast<int64_t>(h.sequence.size()));
+        ApplySv(&h, it->type, hs, he, insert_seq);
+      }
+    }
+    truth.insert(truth.end(), planned.begin(), planned.end());
+  }
+  std::sort(truth.begin(), truth.end(),
+            [](const StructuralVariantTruth& a,
+               const StructuralVariantTruth& b) {
+              if (a.chrom != b.chrom) return a.chrom < b.chrom;
+              return a.start < b.start;
+            });
+  return truth;
+}
+
+}  // namespace gesall

@@ -1,0 +1,45 @@
+// Structural variant planting: edits a donor genome with large deletions,
+// novel insertions, and inversions, recording breakpoint truth. Supports
+// the GASV-style large-variant detection the paper is bringing into its
+// pipeline (§2.1 "Large structure variants span thousands of bases").
+
+#ifndef GESALL_GENOME_SV_PLANTER_H_
+#define GESALL_GENOME_SV_PLANTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/donor.h"
+
+namespace gesall {
+
+/// \brief A planted structural variant, in reference coordinates.
+struct StructuralVariantTruth {
+  enum class Type { kDeletion, kInsertion, kInversion };
+  Type type = Type::kDeletion;
+  int32_t chrom = 0;
+  int64_t start = 0;  // reference position of the left breakpoint
+  int64_t end = 0;    // right breakpoint (== start for insertions)
+  int64_t length = 0; // deleted/inserted/inverted bases
+};
+
+/// \brief SV planting parameters.
+struct SvPlanterOptions {
+  int deletions_per_chromosome = 1;
+  int insertions_per_chromosome = 1;
+  int inversions_per_chromosome = 1;
+  int64_t min_length = 1'000;
+  int64_t max_length = 3'000;
+  /// Keep SVs away from chromosome ends and from each other.
+  int64_t margin = 5'000;
+  uint64_t seed = 23;
+};
+
+/// \brief Applies homozygous SVs to both haplotypes of every chromosome
+/// (the donor must not yet carry reads). Returns the breakpoint truth.
+std::vector<StructuralVariantTruth> PlantStructuralVariants(
+    DonorGenome* donor, const SvPlanterOptions& options);
+
+}  // namespace gesall
+
+#endif  // GESALL_GENOME_SV_PLANTER_H_

@@ -1,0 +1,129 @@
+#include "gesall/contracts.h"
+
+namespace gesall {
+
+const char* DataPropertyName(DataProperty property) {
+  switch (property) {
+    case DataProperty::kNone:
+      return "none";
+    case DataProperty::kGroupedByReadName:
+      return "grouped-by-read-name";
+    case DataProperty::kCompoundDuplicateKeys:
+      return "compound-duplicate-keys";
+    case DataProperty::kSortedByCoordinate:
+      return "sorted-by-coordinate";
+    case DataProperty::kRangeByChromosome:
+      return "range-by-chromosome";
+    case DataProperty::kWholeGenome:
+      return "whole-genome";
+  }
+  return "?";
+}
+
+bool Satisfies(DataProperty provided, DataProperty required) {
+  if (required == DataProperty::kNone) return true;
+  if (provided == required) return true;
+  // Chromosome range partitions are coordinate-sorted inside.
+  if (required == DataProperty::kSortedByCoordinate &&
+      provided == DataProperty::kRangeByChromosome) {
+    return true;
+  }
+  return false;
+}
+
+ProgramContract BwaContract() {
+  return {"Bwa", DataProperty::kGroupedByReadName,
+          DataProperty::kGroupedByReadName, false};
+}
+ProgramContract SamToBamContract() {
+  return {"SamToBam", DataProperty::kNone, DataProperty::kNone, false};
+}
+ProgramContract AddReplaceReadGroupsContract() {
+  return {"AddReplaceReadGroups", DataProperty::kNone, DataProperty::kNone,
+          false};
+}
+ProgramContract CleanSamContract() {
+  return {"CleanSam", DataProperty::kNone, DataProperty::kNone, false};
+}
+ProgramContract FixMateInformationContract() {
+  return {"FixMateInformation", DataProperty::kGroupedByReadName,
+          DataProperty::kGroupedByReadName, false};
+}
+ProgramContract MarkDuplicatesContract() {
+  return {"MarkDuplicates", DataProperty::kCompoundDuplicateKeys,
+          DataProperty::kNone, true};
+}
+ProgramContract SortSamContract() {
+  // The parallel sort round uses the chromosome range partitioner, so its
+  // output is both range-partitioned and coordinate-sorted (§4.1 Round 4).
+  return {"SortSam", DataProperty::kNone, DataProperty::kRangeByChromosome,
+          true, /*is_repartitioner=*/true};
+}
+ProgramContract BaseRecalibratorContract() {
+  // Covariate counting commutes over any partitioning (tables merge).
+  return {"BaseRecalibrator", DataProperty::kNone, DataProperty::kNone,
+          false};
+}
+ProgramContract PrintReadsContract() {
+  return {"PrintReads", DataProperty::kNone, DataProperty::kNone, false};
+}
+ProgramContract UnifiedGenotyperContract() {
+  return {"UnifiedGenotyper", DataProperty::kRangeByChromosome,
+          DataProperty::kNone, true};
+}
+ProgramContract HaplotypeCallerContract() {
+  return {"HaplotypeCaller", DataProperty::kRangeByChromosome,
+          DataProperty::kNone, true};
+}
+
+Result<PipelinePlanCheck> ValidatePipeline(
+    const std::vector<ProgramContract>& steps, DataProperty initial) {
+  PipelinePlanCheck check;
+  DataProperty current = initial;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const ProgramContract& step = steps[i];
+    if (step.requires_property == DataProperty::kWholeGenome) {
+      return Status::InvalidArgument(
+          step.name + " requires the whole genome: no safe partitioning");
+    }
+    std::string line = step.name;
+    if (step.is_repartitioner) {
+      check.shuffle_before_step.push_back(i);
+      ++check.required_rounds;
+      line += " [SHUFFLE: repartitioning step]";
+    } else if (!Satisfies(current, step.requires_property)) {
+      check.shuffle_before_step.push_back(i);
+      ++check.required_rounds;
+      line += " [SHUFFLE: " + std::string(DataPropertyName(current)) +
+              " -> " + DataPropertyName(step.requires_property) + "]";
+      current = step.requires_property;
+    }
+    // The step's output property.
+    if (step.provides_property != DataProperty::kNone) {
+      current = step.provides_property;
+    } else if (step.destroys_input_property) {
+      current = DataProperty::kNone;
+    }
+    line += " (data now: " + std::string(DataPropertyName(current)) + ")";
+    check.trace.push_back(std::move(line));
+  }
+  return check;
+}
+
+std::vector<ProgramContract> StandardPipelineContracts(
+    bool include_recalibration) {
+  std::vector<ProgramContract> steps = {
+      BwaContract(),          SamToBamContract(),
+      AddReplaceReadGroupsContract(), CleanSamContract(),
+      FixMateInformationContract(),   MarkDuplicatesContract(),
+  };
+  if (include_recalibration) {
+    steps.push_back(BaseRecalibratorContract());
+    steps.push_back(PrintReadsContract());
+  }
+  steps.push_back(SortSamContract());
+  steps.push_back(HaplotypeCallerContract());
+  return steps;
+}
+
+}  // namespace gesall

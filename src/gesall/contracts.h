@@ -1,0 +1,90 @@
+// Partitioning contracts (paper Appendix C, research question 1:
+// "automatic safe partitioning of genomic analysis programs").
+//
+// Every wrapped analysis program declares the data property its input
+// must satisfy to run safely on partitions (the GDPT schemes of §3.2),
+// and the property its output provides. A pipeline is a sequence of
+// steps; the validator walks it and proves either that each step's
+// requirement is met by the running data property, or reports the exact
+// step where a shuffle (repartitioning round) is required — mechanizing
+// the manual analysis of Appendix A.2 ("as soon as the partitioning
+// scheme of the next analysis program differs from that of the previous
+// program, we start a new round of MapReduce").
+
+#ifndef GESALL_GESALL_CONTRACTS_H_
+#define GESALL_GESALL_CONTRACTS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Data-layout properties over partitioned genomic datasets.
+enum class DataProperty {
+  kNone,                   // arbitrary partitioning
+  kGroupedByReadName,      // both mates of a pair co-partitioned, adjacent
+  kCompoundDuplicateKeys,  // grouped by MarkDuplicates pair/end keys
+  kSortedByCoordinate,     // coordinate-sorted within partitions
+  kRangeByChromosome,      // partitioned by chromosome, sorted inside
+  kWholeGenome,            // the program must see ALL data (unsafe to
+                           // partition at any granularity)
+};
+
+const char* DataPropertyName(DataProperty property);
+
+/// \brief Whether data holding `provided` also satisfies `required`.
+bool Satisfies(DataProperty provided, DataProperty required);
+
+/// \brief One wrapped program's declared contract.
+struct ProgramContract {
+  std::string name;
+  DataProperty requires_property = DataProperty::kNone;
+  DataProperty provides_property = DataProperty::kNone;
+  /// True if the program destroys input ordering guarantees beyond what
+  /// it provides (e.g. emits records in shuffled key order).
+  bool destroys_input_property = false;
+  /// True if the program's parallel execution is itself a shuffle round
+  /// (e.g. SortSam repartitions by coordinate range).
+  bool is_repartitioner = false;
+};
+
+/// Contracts of every program in this repository's pipeline.
+ProgramContract BwaContract();
+ProgramContract SamToBamContract();
+ProgramContract AddReplaceReadGroupsContract();
+ProgramContract CleanSamContract();
+ProgramContract FixMateInformationContract();
+ProgramContract MarkDuplicatesContract();
+ProgramContract SortSamContract();
+ProgramContract BaseRecalibratorContract();
+ProgramContract PrintReadsContract();
+ProgramContract UnifiedGenotyperContract();
+ProgramContract HaplotypeCallerContract();
+
+/// \brief Validation outcome for one pipeline.
+struct PipelinePlanCheck {
+  /// Steps where the running property fails the requirement, i.e. where a
+  /// shuffle round must be inserted.
+  std::vector<size_t> shuffle_before_step;
+  /// Human-readable per-step trace.
+  std::vector<std::string> trace;
+  /// Number of MapReduce rounds the pipeline needs (1 + shuffles).
+  int required_rounds = 1;
+};
+
+/// \brief Walks a step sequence starting from `initial` data property and
+/// computes where shuffles are required. Returns InvalidArgument if any
+/// step requires kWholeGenome (no safe partitioning exists).
+Result<PipelinePlanCheck> ValidatePipeline(
+    const std::vector<ProgramContract>& steps,
+    DataProperty initial = DataProperty::kNone);
+
+/// \brief The paper's secondary-analysis pipeline (Table 2 order).
+std::vector<ProgramContract> StandardPipelineContracts(
+    bool include_recalibration = false);
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_CONTRACTS_H_

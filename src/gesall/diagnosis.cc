@@ -1,0 +1,183 @@
+#include "gesall/diagnosis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace gesall {
+
+namespace {
+
+// Mate-aware identity of a read within a sample.
+std::string ReadKey(const SamRecord& rec) {
+  return rec.qname + (rec.IsFirstOfPair() ? "/1" : "/2");
+}
+
+bool SameAlignment(const SamRecord& a, const SamRecord& b) {
+  if (a.IsUnmapped() != b.IsUnmapped()) return false;
+  if (a.IsUnmapped()) return true;
+  return a.ref_id == b.ref_id && a.pos == b.pos &&
+         a.IsReverse() == b.IsReverse();
+}
+
+int MapqBucket(int mapq) { return std::min(mapq, 60) / 10; }
+
+}  // namespace
+
+AlignmentDiscordance CompareAlignments(
+    const ReferenceGenome& reference, const std::vector<SamRecord>& serial,
+    const std::vector<SamRecord>& parallel) {
+  AlignmentDiscordance out;
+  LogisticWeight weight(30, 55);
+
+  std::unordered_map<std::string, const SamRecord*> parallel_by_key;
+  parallel_by_key.reserve(parallel.size());
+  for (const auto& r : parallel) parallel_by_key[ReadKey(r)] = &r;
+
+  std::set<std::string> discordant_pairs;  // for Fig 11(c)
+  std::unordered_map<std::string, const SamRecord*> serial_by_qname;
+
+  for (const auto& s : serial) {
+    ++out.total_reads;
+    auto it = parallel_by_key.find(ReadKey(s));
+    if (it == parallel_by_key.end()) continue;  // lost read: skip
+    const SamRecord& p = *it->second;
+    if (SameAlignment(s, p)) continue;
+
+    ++out.d_count;
+    int mapq = std::max(s.mapq, p.mapq);
+    out.weighted_d_count += weight(mapq);
+    out.mapq_buckets[{MapqBucket(s.mapq), MapqBucket(p.mapq)}] += 1;
+    discordant_pairs.insert(s.qname);
+
+    // Region classification at the serial position (or parallel if the
+    // serial read is unmapped).
+    const SamRecord& located = s.IsUnmapped() ? p : s;
+    bool sensitive_region = false;
+    if (!located.IsUnmapped()) {
+      int64_t len = CigarReferenceLength(located.cigar);
+      if (reference.InCentromere(located.ref_id, located.pos, len)) {
+        ++out.discordant_centromere;
+        sensitive_region = true;
+      } else if (reference.InBlacklist(located.ref_id, located.pos, len)) {
+        ++out.discordant_blacklist;
+        sensitive_region = true;
+      } else {
+        ++out.discordant_elsewhere;
+      }
+    } else {
+      ++out.discordant_elsewhere;
+    }
+    if (!sensitive_region && mapq > 30) ++out.discordant_after_filters;
+  }
+
+  // Fig 11(c): insert-size distribution of disagreeing pairs, taken from
+  // the serial records of those pairs (bucket width 10).
+  for (const auto& s : serial) {
+    if (discordant_pairs.count(s.qname) == 0) continue;
+    if (!s.IsFirstOfPair() || s.tlen == 0) continue;
+    int64_t insert = s.tlen > 0 ? s.tlen : -s.tlen;
+    out.insert_size_buckets[insert / 10 * 10] += 1;
+  }
+
+  out.weighted_d_count_pct =
+      out.total_reads > 0
+          ? 100.0 * out.weighted_d_count / static_cast<double>(out.total_reads)
+          : 0.0;
+  return out;
+}
+
+DuplicateDiscordance CompareDuplicates(
+    const std::vector<SamRecord>& serial,
+    const std::vector<SamRecord>& parallel) {
+  DuplicateDiscordance out;
+  LogisticWeight weight(30, 55);
+  std::unordered_map<std::string, const SamRecord*> parallel_by_key;
+  parallel_by_key.reserve(parallel.size());
+  for (const auto& r : parallel) {
+    parallel_by_key[ReadKey(r)] = &r;
+    out.duplicates_parallel += r.IsDuplicate();
+  }
+  for (const auto& s : serial) {
+    out.duplicates_serial += s.IsDuplicate();
+    auto it = parallel_by_key.find(ReadKey(s));
+    if (it == parallel_by_key.end()) continue;
+    if (s.IsDuplicate() != it->second->IsDuplicate()) {
+      ++out.d_count;
+      out.weighted_d_count += weight(std::max(s.mapq, it->second->mapq));
+    }
+  }
+  return out;
+}
+
+VariantDiscordance CompareVariants(const std::vector<VariantRecord>& first,
+                                   const std::vector<VariantRecord>& second) {
+  VariantDiscordance out;
+  LogisticWeight weight(30, 55);
+  std::unordered_map<std::string, const VariantRecord*> second_by_key;
+  second_by_key.reserve(second.size());
+  for (const auto& v : second) second_by_key[v.Key()] = &v;
+
+  std::set<std::string> matched;
+  for (const auto& v : first) {
+    auto it = second_by_key.find(v.Key());
+    if (it != second_by_key.end()) {
+      out.concordant.push_back(v);
+      matched.insert(v.Key());
+    } else {
+      out.only_first.push_back(v);
+      out.weighted_d_count += weight(std::min(v.qual, 60.0));
+    }
+  }
+  for (const auto& v : second) {
+    if (matched.count(v.Key()) == 0) {
+      out.only_second.push_back(v);
+      out.weighted_d_count += weight(std::min(v.qual, 60.0));
+    }
+  }
+  int64_t total = static_cast<int64_t>(out.concordant.size()) + out.d_count();
+  out.weighted_d_count_pct =
+      total > 0 ? 100.0 * out.weighted_d_count / static_cast<double>(total)
+                : 0.0;
+  return out;
+}
+
+PrecisionSensitivity EvaluateAgainstTruth(
+    const std::vector<VariantRecord>& calls,
+    const std::vector<PlantedVariant>& truth) {
+  PrecisionSensitivity out;
+  std::set<std::string> truth_keys;
+  for (const auto& t : truth) {
+    VariantRecord v;
+    v.chrom = t.chrom;
+    v.pos = t.pos;
+    v.ref = t.ref;
+    v.alt = t.alt;
+    truth_keys.insert(v.Key());
+  }
+  std::set<std::string> called;
+  for (const auto& c : calls) {
+    called.insert(c.Key());
+    if (truth_keys.count(c.Key()) > 0) {
+      ++out.true_positives;
+    } else {
+      ++out.false_positives;
+    }
+  }
+  for (const auto& k : truth_keys) {
+    if (called.count(k) == 0) ++out.false_negatives;
+  }
+  int64_t called_total = out.true_positives + out.false_positives;
+  int64_t truth_total = out.true_positives + out.false_negatives;
+  out.precision = called_total > 0
+                      ? static_cast<double>(out.true_positives) / called_total
+                      : 0.0;
+  out.sensitivity =
+      truth_total > 0 ? static_cast<double>(out.true_positives) / truth_total
+                      : 0.0;
+  return out;
+}
+
+}  // namespace gesall

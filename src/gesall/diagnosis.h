@@ -1,0 +1,106 @@
+// Error Diagnosis Toolkit (paper §3.4 and §4.5.2).
+//
+// Quantifies how a parallel pipeline's output differs from the serial
+// reference: discordant counts (D_count), quality-weighted variants via
+// the generalized logistic weighting, discordant variant impact
+// (D_impact, computed by the caller through hybrid pipelines), and the
+// Fig. 11 breakdowns (hard-to-map regions, MAPQ distribution, insert
+// size) plus GiaB-style precision/sensitivity against planted truth.
+
+#ifndef GESALL_GESALL_DIAGNOSIS_H_
+#define GESALL_GESALL_DIAGNOSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "formats/fasta.h"
+#include "formats/sam.h"
+#include "formats/vcf.h"
+#include "genome/donor.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Alignment-level discordance between two pipelines (paper
+/// Table 8 row "Bwa" and Fig. 11).
+struct AlignmentDiscordance {
+  int64_t total_reads = 0;
+  int64_t d_count = 0;           // primary alignments that differ
+  double weighted_d_count = 0;   // logistic(30..55) MAPQ weighting
+  double weighted_d_count_pct = 0;
+
+  // Fig. 11(a): where do disagreements fall?
+  int64_t discordant_centromere = 0;
+  int64_t discordant_blacklist = 0;
+  int64_t discordant_elsewhere = 0;
+
+  // Fig. 11(b): joint MAPQ distribution of disagreeing reads, bucketed
+  // by 10 ((serial_bucket, parallel_bucket) -> count).
+  std::map<std::pair<int, int>, int64_t> mapq_buckets;
+
+  // Fig. 11(c): disagreeing proper pairs by (bucketed) insert size.
+  std::map<int64_t, int64_t> insert_size_buckets;
+
+  /// Disagreements surviving the two standard filters (MAPQ > 30, not in
+  /// a blacklisted/centromeric region) — the paper's 0.025% remnant.
+  int64_t discordant_after_filters = 0;
+};
+
+/// \brief Compares primary alignments keyed by (read name, mate).
+AlignmentDiscordance CompareAlignments(
+    const ReferenceGenome& reference, const std::vector<SamRecord>& serial,
+    const std::vector<SamRecord>& parallel);
+
+/// \brief Duplicate-flag discordance (paper Table 8 row "MarkDuplicates").
+struct DuplicateDiscordance {
+  int64_t d_count = 0;          // reads whose duplicate flag differs
+  double weighted_d_count = 0;  // MAPQ-weighted
+  int64_t duplicates_serial = 0;
+  int64_t duplicates_parallel = 0;
+
+  /// |#duplicates_serial - #duplicates_parallel| (the paper's "difference
+  /// in number of duplicates is only 259").
+  int64_t duplicate_count_delta() const {
+    return duplicates_serial > duplicates_parallel
+               ? duplicates_serial - duplicates_parallel
+               : duplicates_parallel - duplicates_serial;
+  }
+};
+
+DuplicateDiscordance CompareDuplicates(const std::vector<SamRecord>& serial,
+                                       const std::vector<SamRecord>& parallel);
+
+/// \brief Variant-set discordance (paper Tables 8-10): concordant set
+/// Phi+, discordant sets, and quality-weighted counts.
+struct VariantDiscordance {
+  std::vector<VariantRecord> concordant;
+  std::vector<VariantRecord> only_first;   // "Serial"-only calls
+  std::vector<VariantRecord> only_second;  // "Hybrid"/parallel-only calls
+
+  int64_t d_count() const {
+    return static_cast<int64_t>(only_first.size() + only_second.size());
+  }
+  double weighted_d_count = 0;  // logistic weighting on variant QUAL
+  double weighted_d_count_pct = 0;
+};
+
+VariantDiscordance CompareVariants(const std::vector<VariantRecord>& first,
+                                   const std::vector<VariantRecord>& second);
+
+/// \brief GiaB-style evaluation against the planted truth set.
+struct PrecisionSensitivity {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  double precision = 0;
+  double sensitivity = 0;
+};
+
+PrecisionSensitivity EvaluateAgainstTruth(
+    const std::vector<VariantRecord>& calls,
+    const std::vector<PlantedVariant>& truth);
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_DIAGNOSIS_H_

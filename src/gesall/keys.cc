@@ -1,0 +1,95 @@
+#include "gesall/keys.h"
+
+#include "formats/bam.h"
+#include "util/rng.h"
+
+namespace gesall {
+
+void AppendOrderedU64(std::string* key, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    key->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+namespace {
+// Biases signed values into unsigned order-preserving space.
+uint64_t Ordered(int64_t v) {
+  return static_cast<uint64_t>(v) + (1ULL << 63);
+}
+}  // namespace
+
+std::string EncodeCoordinateKey(const SamRecord& rec) {
+  std::string key;
+  key.reserve(25);
+  // Unmapped records sort last (samtools convention).
+  key.push_back(rec.IsUnmapped() ? '\x7f' : '\x01');
+  if (rec.IsUnmapped()) {
+    AppendOrderedU64(&key, Fnv1a64(rec.qname));
+    return key;
+  }
+  AppendOrderedU64(&key, Ordered(rec.ref_id));
+  AppendOrderedU64(&key, Ordered(rec.pos));
+  AppendOrderedU64(&key, Fnv1a64(rec.qname));
+  return key;
+}
+
+std::string EncodeCoordinateBoundary(int32_t ref_id, int64_t pos) {
+  std::string key;
+  key.push_back('\x01');
+  AppendOrderedU64(&key, Ordered(ref_id));
+  AppendOrderedU64(&key, Ordered(pos));
+  return key;
+}
+
+namespace {
+void AppendEnd(std::string* key, const ReadEndKey& k) {
+  AppendOrderedU64(key, Ordered(k.ref_id));
+  AppendOrderedU64(key, Ordered(k.unclipped_5p));
+  key->push_back(k.reverse ? 'R' : 'F');
+}
+}  // namespace
+
+std::string EncodePairKey(const ReadEndKey& k1, const ReadEndKey& k2) {
+  std::string key;
+  key.push_back('P');
+  AppendEnd(&key, k1);
+  AppendEnd(&key, k2);
+  return key;
+}
+
+std::string EncodeEndKey(const ReadEndKey& k) {
+  std::string key;
+  key.push_back('E');
+  AppendEnd(&key, k);
+  return key;
+}
+
+std::string EncodePassthroughKey(const std::string& qname) {
+  return "U" + qname;
+}
+
+std::string EncodeMarkDupValue(MarkDupRole role, const SamRecord& first,
+                               const SamRecord* second) {
+  std::string out;
+  out.push_back(static_cast<char>(role));
+  out.push_back(second != nullptr ? 2 : 1);
+  out += EncodeBamRecord(first);
+  if (second != nullptr) out += EncodeBamRecord(*second);
+  return out;
+}
+
+Result<MarkDupValue> DecodeMarkDupValue(const std::string& value) {
+  if (value.size() < 2) return Status::Corruption("short markdup value");
+  MarkDupValue out;
+  out.role = static_cast<MarkDupRole>(value[0]);
+  int count = value[1];
+  size_t offset = 2;
+  GESALL_ASSIGN_OR_RETURN(out.first, DecodeBamRecord(value, &offset));
+  if (count == 2) {
+    out.has_second = true;
+    GESALL_ASSIGN_OR_RETURN(out.second, DecodeBamRecord(value, &offset));
+  }
+  return out;
+}
+
+}  // namespace gesall

@@ -1,0 +1,66 @@
+// GDPT key encodings (paper §3.2).
+//
+// MapReduce keys are byte strings compared lexicographically, so every
+// encoding here is order-preserving where ordering matters (big-endian
+// fixed-width integers for coordinates). Three key families:
+//
+//   group keys      — read name (Bwa, Fix Mate Info grouping)
+//   compound keys   — Mark Duplicates pair/end keys (criteria 1 and 2)
+//   range keys      — (reference, position) coordinate keys for sorting
+//                     and chromosome/segment range partitioning
+
+#ifndef GESALL_GESALL_KEYS_H_
+#define GESALL_GESALL_KEYS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/mark_duplicates.h"
+#include "formats/sam.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// Role of a record value shuffled in the Mark Duplicates round.
+enum class MarkDupRole : uint8_t {
+  kCompletePair = 1,   // bundle of both mates of a complete pair
+  kEndRepresentative,  // one complete-pair read standing in for its 5' end
+  kPartialPair,        // bundle of a partial matching pair
+  kPassthrough,        // both mates unmapped; carried through unchanged
+};
+
+/// Appends a big-endian (order-preserving) u64 to a key.
+void AppendOrderedU64(std::string* key, uint64_t v);
+
+/// \brief Coordinate key: sorts by (unmapped-last, ref, pos, name hash).
+std::string EncodeCoordinateKey(const SamRecord& rec);
+
+/// Coordinate key for a bare (ref, pos) — used as range boundaries.
+std::string EncodeCoordinateBoundary(int32_t ref_id, int64_t pos);
+
+/// \brief Mark Duplicates pair key over both normalized 5' ends.
+std::string EncodePairKey(const ReadEndKey& k1, const ReadEndKey& k2);
+
+/// \brief Mark Duplicates individual-end key (criterion 2).
+std::string EncodeEndKey(const ReadEndKey& k);
+
+/// \brief Passthrough key for fully-unmapped pairs.
+std::string EncodePassthroughKey(const std::string& qname);
+
+/// \brief Serializes one-or-two records plus a role into an MR value.
+std::string EncodeMarkDupValue(MarkDupRole role, const SamRecord& first,
+                               const SamRecord* second = nullptr);
+
+/// \brief Decoded Mark Duplicates value.
+struct MarkDupValue {
+  MarkDupRole role = MarkDupRole::kPassthrough;
+  SamRecord first;
+  bool has_second = false;
+  SamRecord second;
+};
+
+Result<MarkDupValue> DecodeMarkDupValue(const std::string& value);
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_KEYS_H_

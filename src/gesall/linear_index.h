@@ -1,0 +1,64 @@
+// Linear BAM index (.bai analog): maps genomic windows of a coordinate-
+// sorted BAM partition to the BGZF virtual offset of the first record
+// at-or-after the window start. Round 4's reducers build one per sorted
+// partition ("sorting and building the BAM file index in the reducer",
+// paper §4.1); Round 5's overlapping-segment tasks use it to read only
+// the chunks covering their segment instead of the whole partition.
+
+#ifndef GESALL_GESALL_LINEAR_INDEX_H_
+#define GESALL_GESALL_LINEAR_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "formats/sam.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Linear index over one coordinate-sorted BAM file.
+class LinearBamIndex {
+ public:
+  /// Window width in reference bases (16 kb, like .bai).
+  static constexpr int64_t kWindowBases = 16 * 1024;
+
+  /// Builds the index from a BAM byte string whose records are
+  /// coordinate-sorted and belong to a single chromosome (plus possibly
+  /// unmapped records at the end, which are not indexed).
+  static Result<LinearBamIndex> Build(std::string_view bam);
+
+  /// First BGZF virtual offset whose chunk can contain a record with
+  /// AlignmentEnd() > pos. Records spanning into the window from the
+  /// left are covered by `max_span_` slack.
+  uint64_t LowerBoundOffset(int64_t pos) const;
+
+  /// Virtual offset one past the last record starting before `pos`
+  /// (conservative: the offset of the first window starting at/after pos).
+  uint64_t UpperBoundOffset(int64_t pos) const;
+
+  int64_t record_count() const { return record_count_; }
+  int64_t max_span() const { return max_span_; }
+  size_t window_count() const { return window_offsets_.size(); }
+
+  std::string Serialize() const;
+  static Result<LinearBamIndex> Deserialize(const std::string& data);
+
+ private:
+  // window_offsets_[w] = virtual offset of the first record whose start
+  // position falls in window w or later.
+  std::vector<uint64_t> window_offsets_;
+  uint64_t end_offset_ = 0;  // virtual offset past the last mapped record
+  int64_t record_count_ = 0;
+  int64_t max_span_ = 0;  // longest reference span of any record
+};
+
+/// \brief Reads only the records of `bam` overlapping [start, end),
+/// using the index to bound the decompressed byte range.
+Result<std::vector<SamRecord>> ReadBamRegion(std::string_view bam,
+                                             const LinearBamIndex& index,
+                                             int64_t start, int64_t end);
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_LINEAR_INDEX_H_

@@ -1,0 +1,958 @@
+#include "gesall/pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/mark_duplicates.h"
+#include "analysis/recalibration.h"
+#include "analysis/steps.h"
+#include "dfs/bam_split_reader.h"
+#include "gesall/keys.h"
+#include "gesall/linear_index.h"
+#include "gesall/streaming.h"
+#include "gesall/transform.h"
+#include "util/bloom_filter.h"
+#include "util/io.h"
+#include "util/stopwatch.h"
+
+namespace gesall {
+
+namespace {
+
+constexpr char kInputDir[] = "/gesall/input/";
+constexpr char kAlignedDir[] = "/gesall/aligned/";
+constexpr char kCleanedDir[] = "/gesall/cleaned/";
+constexpr char kDedupDir[] = "/gesall/dedup/";
+constexpr char kRecalDir[] = "/gesall/recal/";
+constexpr char kSortedDir[] = "/gesall/sorted/";
+
+std::string PartPath(const std::string& dir, int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "part-%05d", index);
+  return dir + buf;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Partition data files only (index sidecars filtered out).
+std::vector<std::string> ListBams(const Dfs& dfs, const std::string& dir) {
+  std::vector<std::string> out;
+  for (auto& path : dfs.List(dir)) {
+    if (HasSuffix(path, ".bam")) out.push_back(std::move(path));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Round 1: map-only alignment (Bwa wrapper + SamToBam via "streaming").
+
+class AlignmentMapper : public Mapper {
+ public:
+  AlignmentMapper(const GenomeIndex* index, const PairedAlignerOptions& opt,
+                  bool use_streaming)
+      : index_(index), options_(opt), use_streaming_(use_streaming) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    if (use_streaming_) return MapStreaming(input, ctx);
+    return MapNative(input, ctx);
+  }
+
+ private:
+  // Fig. 8 dataflow: FASTQ text lines -> pipe -> bwa mem -> pipe ->
+  // SamToBam, with pipe statistics exposed as counters.
+  Status MapStreaming(const std::string& input, MapContext* ctx) {
+    BwaStreamProgram bwa(*index_, options_);
+    StreamingStats stats;
+    GESALL_ASSIGN_OR_RETURN(
+        std::string sam_text, RunWrappedProgram(ctx, [&] {
+          return RunStreamingChain(input, {&bwa}, &stats);
+        }));
+    ctx->IncrementCounter("streaming_pipe_flushes", stats.pipe_flushes);
+    ctx->IncrementCounter("streaming_bytes_out", stats.output_bytes);
+    // Wrapped external program #2: SamToBam on the piped SAM text.
+    GESALL_ASSIGN_OR_RETURN(std::string bam, RunWrappedProgram(ctx, [&] {
+                              return SamTextToBam(sam_text);
+                            }));
+    ctx->Emit("", std::move(bam));
+    return Status::OK();
+  }
+
+  Status MapNative(const std::string& input, MapContext* ctx) {
+    // Transform: text FASTQ -> record structs (TextInputWriter analog).
+    PairedEndAligner aligner(*index_, options_);
+    std::vector<FastqRecord> reads;
+    {
+      CounterTimer timer(ctx, kTransformMicros);
+      GESALL_ASSIGN_OR_RETURN(reads, ParseFastq(input));
+    }
+    // Wrapped external program #1: bwa mem.
+    std::vector<SamRecord> records = RunWrappedProgram(
+        ctx, [&] { return aligner.AlignPairs(reads); });
+    // Wrapped external program #2: SamToBam.
+    GESALL_ASSIGN_OR_RETURN(std::string bam, RunWrappedProgram(ctx, [&] {
+                              return SamToBam(aligner.MakeHeader(), records);
+                            }));
+    ctx->Emit("", std::move(bam));
+    return Status::OK();
+  }
+
+  const GenomeIndex* index_;
+  PairedAlignerOptions options_;
+  bool use_streaming_;
+};
+
+// ---------------------------------------------------------------------
+// Round 2: AddReplaceReadGroups + CleanSam in the map, shuffle by read
+// name, FixMateInformation in the reduce.
+
+class CleaningMapper : public Mapper {
+ public:
+  CleaningMapper(const SamHeader* header, const ReadGroup& rg)
+      : header_(header), read_group_(rg) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    // Input is the decompressed record byte stream of one BAM split.
+    std::vector<SamRecord> records;
+    {
+      CounterTimer timer(ctx, kTransformMicros);
+      BamRecordIterator it(input);
+      while (!it.Done()) {
+        GESALL_ASSIGN_OR_RETURN(SamRecord rec, it.Next());
+        records.push_back(std::move(rec));
+      }
+    }
+    SamHeader local = *header_;
+    GESALL_RETURN_NOT_OK(RunWrappedProgram(ctx, [&] {
+      return AddReplaceReadGroups(read_group_, &local, &records);
+    }));
+    auto clean_stats = RunWrappedProgram(
+        ctx, [&] { return CleanSam(local, &records); });
+    ctx->IncrementCounter("cleansam_clipped", clean_stats.clipped_overhangs);
+    ctx->IncrementCounter("cleansam_dropped", clean_stats.dropped_invalid);
+    {
+      CounterTimer timer(ctx, kTransformMicros);
+      for (const auto& r : records) {
+        ctx->Emit(r.qname, EncodeBamRecord(r));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const SamHeader* header_;
+  ReadGroup read_group_;
+};
+
+class FixMateReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    (void)key;
+    GESALL_ASSIGN_OR_RETURN(std::vector<SamRecord> records,
+                            RecordsFromValues(values, ctx));
+    if (records.size() == 2) {
+      GESALL_RETURN_NOT_OK(RunWrappedProgram(
+          ctx, [&] { return FixMateInformation(&records); }));
+    } else {
+      ctx->IncrementCounter("lone_mates", 1);
+    }
+    CounterTimer timer(ctx, kTransformMicros);
+    for (const auto& r : records) ctx->Emit(EncodeBamRecord(r));
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Bloom pre-round for MarkDup_opt: record the 5' ends of partial pairs.
+
+class BloomMapper : public Mapper {
+ public:
+  BloomMapper(size_t expected, double fpr) : expected_(expected), fpr_(fpr) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
+    BloomFilter filter(expected_, fpr_);
+    auto& records = dataset.second;
+    for (size_t i = 0; i + 1 < records.size(); i += 2) {
+      const SamRecord& a = records[i];
+      const SamRecord& b = records[i + 1];
+      bool a_mapped = !a.IsUnmapped(), b_mapped = !b.IsUnmapped();
+      if (a_mapped == b_mapped) continue;  // only partial pairs
+      filter.Insert(KeyOf(a_mapped ? a : b).Fingerprint());
+    }
+    ctx->Emit("bloom", filter.Serialize());
+    return Status::OK();
+  }
+
+ private:
+  size_t expected_;
+  double fpr_;
+};
+
+// ---------------------------------------------------------------------
+// Round 3: compound-key extraction + duplicate marking.
+
+class MarkDupMapper : public Mapper {
+ public:
+  explicit MarkDupMapper(const BloomFilter* bloom) : bloom_(bloom) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
+    auto& records = dataset.second;
+    // Map-side filter: one representative per 5' end per mapper.
+    std::set<ReadEndKey> emitted_ends;
+    for (size_t i = 0; i < records.size();) {
+      const SamRecord& a = records[i];
+      if (i + 1 >= records.size() || records[i + 1].qname != a.qname) {
+        // Lone mate (its pair was dropped upstream): route it like a
+        // partial pair with no unmapped companion.
+        ++i;
+        if (a.IsUnmapped()) {
+          ctx->Emit(EncodePassthroughKey(a.qname),
+                    EncodeMarkDupValue(MarkDupRole::kPassthrough, a));
+        } else {
+          ctx->Emit(EncodeEndKey(KeyOf(a)),
+                    EncodeMarkDupValue(MarkDupRole::kPartialPair, a));
+        }
+        continue;
+      }
+      const SamRecord& b = records[i + 1];
+      i += 2;
+      bool a_mapped = !a.IsUnmapped(), b_mapped = !b.IsUnmapped();
+      if (a_mapped && b_mapped) {
+        ReadEndKey k1 = KeyOf(a), k2 = KeyOf(b);
+        if (k2 < k1) std::swap(k1, k2);
+        ctx->Emit(EncodePairKey(k1, k2),
+                  EncodeMarkDupValue(MarkDupRole::kCompletePair, a, &b));
+        // Criterion 2 representatives, bloom-filtered in MarkDup_opt.
+        for (const auto* rec : {&a, &b}) {
+          ReadEndKey k = KeyOf(*rec);
+          if (emitted_ends.count(k) > 0) continue;
+          if (bloom_ != nullptr && !bloom_->MayContain(k.Fingerprint())) {
+            ctx->IncrementCounter("bloom_suppressed_representatives", 1);
+            continue;
+          }
+          emitted_ends.insert(k);
+          ctx->Emit(EncodeEndKey(k),
+                    EncodeMarkDupValue(MarkDupRole::kEndRepresentative,
+                                       *rec));
+        }
+      } else if (a_mapped || b_mapped) {
+        const SamRecord& mapped = a_mapped ? a : b;
+        const SamRecord& unmapped = a_mapped ? b : a;
+        ctx->Emit(EncodeEndKey(KeyOf(mapped)),
+                  EncodeMarkDupValue(MarkDupRole::kPartialPair, mapped,
+                                     &unmapped));
+      } else {
+        ctx->Emit(EncodePassthroughKey(a.qname),
+                  EncodeMarkDupValue(MarkDupRole::kPassthrough, a, &b));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const BloomFilter* bloom_;
+};
+
+class MarkDupReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    std::vector<MarkDupValue> decoded;
+    {
+      CounterTimer timer(ctx, kTransformMicros);
+      decoded.reserve(values.size());
+      for (const auto& v : values) {
+        GESALL_ASSIGN_OR_RETURN(MarkDupValue mv, DecodeMarkDupValue(v));
+        decoded.push_back(std::move(mv));
+      }
+    }
+    CounterTimer program_timer(ctx, kProgramMicros);
+    auto emit_pair = [&](MarkDupValue& mv, bool duplicate) {
+      mv.first.SetFlag(sam_flags::kDuplicate, duplicate);
+      ctx->Emit(EncodeBamRecord(mv.first));
+      if (mv.has_second) {
+        mv.second.SetFlag(sam_flags::kDuplicate, duplicate);
+        ctx->Emit(EncodeBamRecord(mv.second));
+      }
+      if (duplicate) ctx->IncrementCounter("duplicate_pairs_marked", 1);
+    };
+
+    if (key.empty()) return Status::Internal("empty markdup key");
+    switch (key[0]) {
+      case 'P': {
+        // Criterion 1: complete pairs sharing both ends; best survives.
+        int best = -1;
+        int64_t best_quality = -1;
+        for (size_t i = 0; i < decoded.size(); ++i) {
+          int64_t q = decoded[i].first.BaseQualityScore() +
+                      (decoded[i].has_second
+                           ? decoded[i].second.BaseQualityScore()
+                           : 0);
+          if (q > best_quality ||
+              (q == best_quality &&
+               decoded[i].first.qname < decoded[best].first.qname)) {
+            best = static_cast<int>(i);
+            best_quality = q;
+          }
+        }
+        for (size_t i = 0; i < decoded.size(); ++i) {
+          emit_pair(decoded[i], static_cast<int>(i) != best);
+        }
+        break;
+      }
+      case 'E': {
+        // Criterion 2: partials vs complete-pair representatives.
+        bool has_representative = false;
+        for (const auto& mv : decoded) {
+          has_representative |= mv.role == MarkDupRole::kEndRepresentative;
+        }
+        int best = -1;
+        int64_t best_quality = -1;
+        if (!has_representative) {
+          for (size_t i = 0; i < decoded.size(); ++i) {
+            if (decoded[i].role != MarkDupRole::kPartialPair) continue;
+            int64_t q = decoded[i].first.BaseQualityScore();
+            if (q > best_quality ||
+                (q == best_quality &&
+                 decoded[i].first.qname < decoded[best].first.qname)) {
+              best = static_cast<int>(i);
+              best_quality = q;
+            }
+          }
+        }
+        for (size_t i = 0; i < decoded.size(); ++i) {
+          if (decoded[i].role != MarkDupRole::kPartialPair) continue;
+          bool dup = has_representative || static_cast<int>(i) != best;
+          emit_pair(decoded[i], dup);
+        }
+        break;
+      }
+      case 'U':
+        for (auto& mv : decoded) emit_pair(mv, false);
+        break;
+      default:
+        return Status::Internal("unknown markdup key tag");
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Optional recalibration rounds (Table 2 steps 11-12): build covariate
+// tables per partition (merged by the driver), then rewrite qualities.
+
+class RecalTableMapper : public Mapper {
+ public:
+  explicit RecalTableMapper(const ReferenceGenome* reference)
+      : reference_(reference) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
+    RecalibrationTable table = RunWrappedProgram(ctx, [&] {
+      return BaseRecalibrator(*reference_, dataset.second);
+    });
+    ctx->Emit("table", table.Serialize());
+    return Status::OK();
+  }
+
+ private:
+  const ReferenceGenome* reference_;
+};
+
+class RecalApplyMapper : public Mapper {
+ public:
+  explicit RecalApplyMapper(const RecalibrationTable* table)
+      : table_(table) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
+    RunWrappedProgram(ctx, [&] {
+      PrintReads(*table_, &dataset.second);
+      return 0;
+    });
+    GESALL_ASSIGN_OR_RETURN(
+        std::string bam,
+        DatasetToBam(dataset.first, dataset.second, ctx));
+    ctx->Emit("", std::move(bam));
+    return Status::OK();
+  }
+
+ private:
+  const RecalibrationTable* table_;
+};
+
+// ---------------------------------------------------------------------
+// Round 4: coordinate sort via range partitioning.
+
+class SortMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
+    CounterTimer timer(ctx, kTransformMicros);
+    for (const auto& r : dataset.second) {
+      ctx->Emit(EncodeCoordinateKey(r), EncodeBamRecord(r));
+    }
+    return Status::OK();
+  }
+};
+
+class IdentityReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    (void)key;
+    for (const auto& v : values) ctx->Emit(v);
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------
+// Round 5: Haplotype Caller over range partitions.
+//
+// Each split is an envelope: chrom id, processed region, emit range,
+// followed by the partition's BAM bytes.
+
+struct HcEnvelope {
+  int32_t chrom = 0;
+  int64_t start = 0, end = 0;
+  int64_t emit_start = 0, emit_end = 0;
+  std::string bam;
+};
+
+std::string EncodeHcEnvelope(int32_t chrom, int64_t start, int64_t end,
+                             int64_t emit_start, int64_t emit_end,
+                             std::string bam) {
+  std::string out;
+  BufferWriter w(&out);
+  w.PutI32(chrom);
+  w.PutI64(start);
+  w.PutI64(end);
+  w.PutI64(emit_start);
+  w.PutI64(emit_end);
+  out += bam;
+  return out;
+}
+
+Result<HcEnvelope> DecodeHcEnvelope(const std::string& data) {
+  HcEnvelope e;
+  BufferReader r(data);
+  GESALL_RETURN_NOT_OK(r.GetI32(&e.chrom));
+  GESALL_RETURN_NOT_OK(r.GetI64(&e.start));
+  GESALL_RETURN_NOT_OK(r.GetI64(&e.end));
+  GESALL_RETURN_NOT_OK(r.GetI64(&e.emit_start));
+  GESALL_RETURN_NOT_OK(r.GetI64(&e.emit_end));
+  e.bam = data.substr(r.position());
+  return e;
+}
+
+class UnifiedGenotyperMapper : public Mapper {
+ public:
+  UnifiedGenotyperMapper(const ReferenceGenome* reference,
+                         const GenotyperOptions& options)
+      : reference_(reference), options_(options) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(HcEnvelope env, DecodeHcEnvelope(input));
+    if (env.bam.empty()) return Status::OK();
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(env.bam, ctx));
+    UnifiedGenotyper caller(*reference_, options_);
+    std::vector<VariantRecord> variants = RunWrappedProgram(ctx, [&] {
+      auto all =
+          caller.CallRegion(dataset.second, env.chrom, env.start, env.end);
+      std::vector<VariantRecord> emitted;
+      for (auto& v : all) {
+        if (v.pos >= env.emit_start && v.pos < env.emit_end) {
+          emitted.push_back(std::move(v));
+        }
+      }
+      return emitted;
+    });
+    CounterTimer timer(ctx, kTransformMicros);
+    for (const auto& v : variants) ctx->Emit("", EncodeVariantBinary(v));
+    return Status::OK();
+  }
+
+ private:
+  const ReferenceGenome* reference_;
+  GenotyperOptions options_;
+};
+
+class HaplotypeCallerMapper : public Mapper {
+ public:
+  HaplotypeCallerMapper(const ReferenceGenome* reference,
+                        const HaplotypeCallerOptions& options)
+      : reference_(reference), options_(options) {}
+
+  Status Map(const std::string& input, MapContext* ctx) override {
+    GESALL_ASSIGN_OR_RETURN(HcEnvelope env, DecodeHcEnvelope(input));
+    if (env.bam.empty()) return Status::OK();
+    GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(env.bam, ctx));
+    HaplotypeCaller caller(*reference_, options_);
+    std::vector<VariantRecord> variants = RunWrappedProgram(ctx, [&] {
+      if (env.start == 0 &&
+          env.end == static_cast<int64_t>(
+                         reference_->chromosomes[env.chrom].sequence.size())
+          && env.emit_start == env.start && env.emit_end == env.end) {
+        return caller.CallChromosome(dataset.second, env.chrom);
+      }
+      return caller.CallRegion(dataset.second, env.chrom, env.start, env.end,
+                               env.emit_start, env.emit_end);
+    });
+    CounterTimer timer(ctx, kTransformMicros);
+    for (const auto& v : variants) ctx->Emit("", EncodeVariantBinary(v));
+    return Status::OK();
+  }
+
+ private:
+  const ReferenceGenome* reference_;
+  HaplotypeCallerOptions options_;
+};
+
+}  // namespace
+
+// -----------------------------------------------------------------------
+
+GesallPipeline::GesallPipeline(const ReferenceGenome& reference,
+                               const GenomeIndex& index, Dfs* dfs,
+                               PipelineConfig config)
+    : reference_(&reference), index_(&index), dfs_(dfs), config_(config) {
+  for (const auto& c : reference.chromosomes) {
+    header_.refs.push_back({c.name, static_cast<int64_t>(c.sequence.size())});
+  }
+  header_.read_groups.push_back(config_.read_group);
+  header_.programs.push_back("gesall");
+}
+
+JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
+  JobConfig cfg;
+  cfg.num_reducers = reducers;
+  cfg.max_parallel_tasks = config_.max_parallel_tasks;
+  cfg.sort_buffer_bytes = config_.sort_buffer_bytes;
+  return cfg;
+}
+
+Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,
+                                  const std::vector<FastqRecord>& mate2) {
+  GESALL_ASSIGN_OR_RETURN(std::vector<FastqRecord> interleaved,
+                          InterleavePairs(mate1, mate2));
+  const int P = std::max(1, config_.alignment_partitions);
+  const size_t n_pairs = interleaved.size() / 2;
+  LogicalPartitionPlacementPolicy policy;
+  for (int p = 0; p < P; ++p) {
+    size_t begin = 2 * (n_pairs * p / P);
+    size_t end = 2 * (n_pairs * (p + 1) / P);
+    std::vector<FastqRecord> part(interleaved.begin() + begin,
+                                  interleaved.begin() + end);
+    GESALL_RETURN_NOT_OK(
+        dfs_->Write(PartPath(kInputDir, p), WriteFastq(part), &policy));
+  }
+  return Status::OK();
+}
+
+Status GesallPipeline::RunRound1Alignment() {
+  Stopwatch clock;
+  std::vector<std::string> inputs = dfs_->List(kInputDir);
+  if (inputs.empty()) return Status::InvalidArgument("no input partitions");
+  std::vector<InputSplit> splits;
+  for (const auto& path : inputs) {
+    InputSplit s;
+    Dfs* dfs = dfs_;
+    s.load = [dfs, path]() { return dfs->Read(path); };
+    splits.push_back(std::move(s));
+  }
+  MapReduceJob job(MakeJobConfig(0));
+  const GenomeIndex* index = index_;
+  PairedAlignerOptions opt = config_.aligner;
+  bool streaming = config_.use_streaming_alignment;
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult result,
+      job.RunMapOnly(splits, [index, opt, streaming] {
+        return std::make_unique<AlignmentMapper>(index, opt, streaming);
+      }));
+  LogicalPartitionPlacementPolicy policy;
+  for (size_t i = 0; i < result.reducer_outputs.size(); ++i) {
+    if (result.reducer_outputs[i].empty()) continue;
+    GESALL_RETURN_NOT_OK(
+        dfs_->Write(PartPath(kAlignedDir, static_cast<int>(i)) + ".bam",
+                    result.reducer_outputs[i][0], &policy));
+  }
+  stats_.push_back({"round1_alignment", clock.ElapsedSeconds(),
+                    std::move(result.counters), std::move(result.tasks)});
+  return Status::OK();
+}
+
+Status GesallPipeline::RunRound2Cleaning() {
+  Stopwatch clock;
+  // Map input: DFS block splits of every aligned partition (the custom
+  // RecordReader path of §3.1).
+  std::vector<InputSplit> splits;
+  for (const auto& path : ListBams(*dfs_, kAlignedDir)) {
+    GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
+    for (const auto& bs : bam_splits) {
+      InputSplit s;
+      Dfs* dfs = dfs_;
+      s.load = [dfs, path, bs]() {
+        return ReadBamSplitRecords(*dfs, path, bs);
+      };
+      s.preferred_node = bs.preferred_nodes.empty() ? -1
+                                                    : bs.preferred_nodes[0];
+      splits.push_back(std::move(s));
+    }
+  }
+  MapReduceJob job(MakeJobConfig(config_.cleaning_reducers));
+  const SamHeader* header = &header_;
+  ReadGroup rg = config_.read_group;
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult result,
+      job.Run(
+          splits,
+          [header, rg] { return std::make_unique<CleaningMapper>(header, rg); },
+          [] { return std::make_unique<FixMateReducer>(); }));
+
+  std::vector<std::string> outputs;
+  for (auto& values : result.reducer_outputs) {
+    std::string bam;
+    BamWriter writer(&bam);
+    GESALL_RETURN_NOT_OK(writer.WriteHeader(header_));
+    for (const auto& v : values) {
+      size_t offset = 0;
+      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
+      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
+    }
+    GESALL_RETURN_NOT_OK(writer.Finish());
+    outputs.push_back(std::move(bam));
+  }
+  GESALL_RETURN_NOT_OK(WritePartitions(kCleanedDir, outputs));
+  stats_.push_back({"round2_cleaning", clock.ElapsedSeconds(),
+                    std::move(result.counters), std::move(result.tasks)});
+  return Status::OK();
+}
+
+Result<std::string> GesallPipeline::BuildBloomFilter() {
+  std::vector<InputSplit> splits;
+  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+    InputSplit s;
+    Dfs* dfs = dfs_;
+    s.load = [dfs, path]() { return dfs->Read(path); };
+    splits.push_back(std::move(s));
+  }
+  MapReduceJob job(MakeJobConfig(0));
+  size_t expected = config_.bloom_expected_items;
+  double fpr = config_.bloom_fpr;
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult result, job.RunMapOnly(splits, [expected, fpr] {
+        return std::make_unique<BloomMapper>(expected, fpr);
+      }));
+  BloomFilter merged(expected, fpr);
+  for (const auto& out : result.reducer_outputs) {
+    for (const auto& v : out) {
+      GESALL_ASSIGN_OR_RETURN(BloomFilter f, BloomFilter::Deserialize(v));
+      GESALL_RETURN_NOT_OK(merged.Union(f));
+    }
+  }
+  stats_.push_back({"round3_bloom_preround", 0.0,
+                    std::move(result.counters), std::move(result.tasks)});
+  return merged.Serialize();
+}
+
+Status GesallPipeline::RunRound3MarkDuplicates() {
+  Stopwatch clock;
+  std::unique_ptr<BloomFilter> bloom;
+  if (config_.markdup_use_bloom) {
+    GESALL_ASSIGN_OR_RETURN(std::string serialized, BuildBloomFilter());
+    GESALL_ASSIGN_OR_RETURN(BloomFilter f,
+                            BloomFilter::Deserialize(serialized));
+    bloom = std::make_unique<BloomFilter>(std::move(f));
+  }
+
+  // Logical partition inputs: whole cleaned files (map benefits from the
+  // read-name grouping of the previous round, Appendix A.2).
+  std::vector<InputSplit> splits;
+  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+    InputSplit s;
+    Dfs* dfs = dfs_;
+    s.load = [dfs, path]() { return dfs->Read(path); };
+    s.preferred_node =
+        LogicalPartitionPlacementPolicy::PrimaryNodeFor(path,
+                                                        dfs_->num_data_nodes());
+    splits.push_back(std::move(s));
+  }
+  MapReduceJob job(MakeJobConfig(config_.markdup_reducers));
+  const BloomFilter* bloom_ptr = bloom.get();
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult result,
+      job.Run(
+          splits,
+          [bloom_ptr] { return std::make_unique<MarkDupMapper>(bloom_ptr); },
+          [] { return std::make_unique<MarkDupReducer>(); }));
+
+  std::vector<std::string> outputs;
+  for (auto& values : result.reducer_outputs) {
+    std::string bam;
+    BamWriter writer(&bam);
+    GESALL_RETURN_NOT_OK(writer.WriteHeader(header_));
+    for (const auto& v : values) {
+      size_t offset = 0;
+      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
+      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
+    }
+    GESALL_RETURN_NOT_OK(writer.Finish());
+    outputs.push_back(std::move(bam));
+  }
+  GESALL_RETURN_NOT_OK(WritePartitions(kDedupDir, outputs));
+  stats_.push_back({config_.markdup_use_bloom ? "round3_markdup_opt"
+                                              : "round3_markdup_reg",
+                    clock.ElapsedSeconds(), std::move(result.counters),
+                    std::move(result.tasks)});
+  return Status::OK();
+}
+
+Status GesallPipeline::RunRecalibrationRounds() {
+  Stopwatch clock;
+  auto make_splits = [this] {
+    std::vector<InputSplit> splits;
+    for (const auto& path : ListBams(*dfs_, kDedupDir)) {
+      InputSplit s;
+      Dfs* dfs = dfs_;
+      s.load = [dfs, path]() { return dfs->Read(path); };
+      splits.push_back(std::move(s));
+    }
+    return splits;
+  };
+
+  // Round 3.5a: per-partition covariate tables, merged by the driver
+  // (GDPT group partitioning by user-defined covariates, §3.2).
+  MapReduceJob build_job(MakeJobConfig(0));
+  const ReferenceGenome* reference = reference_;
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult build_result,
+      build_job.RunMapOnly(make_splits(), [reference] {
+        return std::make_unique<RecalTableMapper>(reference);
+      }));
+  RecalibrationTable merged;
+  for (const auto& out : build_result.reducer_outputs) {
+    for (const auto& v : out) {
+      GESALL_ASSIGN_OR_RETURN(RecalibrationTable t,
+                              RecalibrationTable::Deserialize(v));
+      merged.Merge(t);
+    }
+  }
+  stats_.push_back({"round3.5_base_recalibrator", clock.ElapsedSeconds(),
+                    std::move(build_result.counters),
+                    std::move(build_result.tasks)});
+
+  // Round 3.5b: PrintReads with the merged table.
+  Stopwatch apply_clock;
+  MapReduceJob apply_job(MakeJobConfig(0));
+  const RecalibrationTable* table = &merged;
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult apply_result,
+      apply_job.RunMapOnly(make_splits(), [table] {
+        return std::make_unique<RecalApplyMapper>(table);
+      }));
+  std::vector<std::string> outputs;
+  for (auto& out : apply_result.reducer_outputs) {
+    if (!out.empty()) outputs.push_back(std::move(out[0]));
+  }
+  GESALL_RETURN_NOT_OK(WritePartitions(kRecalDir, outputs));
+  stats_.push_back({"round3.5_print_reads", apply_clock.ElapsedSeconds(),
+                    std::move(apply_result.counters),
+                    std::move(apply_result.tasks)});
+  return Status::OK();
+}
+
+Status GesallPipeline::RunRound4Sort() {
+  Stopwatch clock;
+  // Input: recalibrated partitions when the optional rounds ran.
+  std::string input_dir =
+      ListBams(*dfs_, kRecalDir).empty() ? kDedupDir : kRecalDir;
+  std::vector<InputSplit> splits;
+  for (const auto& path : ListBams(*dfs_, input_dir)) {
+    InputSplit s;
+    Dfs* dfs = dfs_;
+    s.load = [dfs, path]() { return dfs->Read(path); };
+    splits.push_back(std::move(s));
+  }
+  const int C = static_cast<int>(reference_->chromosomes.size());
+  std::vector<std::string> boundaries;
+  for (int c = 1; c < C; ++c) {
+    boundaries.push_back(EncodeCoordinateBoundary(c, 0));
+  }
+  boundaries.push_back("\x7f");  // unmapped records partition
+  RangePartitioner partitioner(boundaries);
+  MapReduceJob job(MakeJobConfig(C + 1));
+  GESALL_ASSIGN_OR_RETURN(
+      JobResult result,
+      job.Run(
+          splits, [] { return std::make_unique<SortMapper>(); },
+          [] { return std::make_unique<IdentityReducer>(); }, &partitioner));
+
+  SamHeader sorted_header = header_;
+  sorted_header.sort_order = "coordinate";
+  std::vector<std::string> outputs;
+  for (auto& values : result.reducer_outputs) {
+    std::string bam;
+    BamWriter writer(&bam);
+    GESALL_RETURN_NOT_OK(writer.WriteHeader(sorted_header));
+    for (const auto& v : values) {
+      size_t offset = 0;
+      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
+      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
+    }
+    GESALL_RETURN_NOT_OK(writer.Finish());
+    outputs.push_back(std::move(bam));
+  }
+  GESALL_RETURN_NOT_OK(WritePartitions(kSortedDir, outputs));
+  // "Sorting and building the BAM file index in the reducer" (§4.1):
+  // a linear index sidecar per sorted partition, used by the
+  // overlapping-segment Round 5 to read only the relevant chunk ranges.
+  LogicalPartitionPlacementPolicy policy;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    GESALL_ASSIGN_OR_RETURN(LinearBamIndex index,
+                            LinearBamIndex::Build(outputs[i]));
+    GESALL_RETURN_NOT_OK(
+        dfs_->Write(PartPath(kSortedDir, static_cast<int>(i)) + ".bai",
+                    index.Serialize(), &policy));
+  }
+  stats_.push_back({"round4_sort", clock.ElapsedSeconds(),
+                    std::move(result.counters), std::move(result.tasks)});
+  return Status::OK();
+}
+
+Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
+  Stopwatch clock;
+  const int C = static_cast<int>(reference_->chromosomes.size());
+  std::vector<InputSplit> splits;
+  for (int c = 0; c < C; ++c) {
+    std::string path = PartPath(kSortedDir, c) + ".bam";
+    if (!dfs_->Exists(path)) continue;
+    int64_t chrom_len =
+        static_cast<int64_t>(reference_->chromosomes[c].sequence.size());
+    Dfs* dfs = dfs_;
+    if (config_.hc_partitioning == PipelineConfig::HcPartitioning::kChromosome) {
+      InputSplit s;
+      s.load = [dfs, path, c, chrom_len]() -> Result<std::string> {
+        GESALL_ASSIGN_OR_RETURN(std::string bam, dfs->Read(path));
+        return EncodeHcEnvelope(c, 0, chrom_len, 0, chrom_len,
+                                std::move(bam));
+      };
+      splits.push_back(std::move(s));
+    } else {
+      const int S = std::max(1, config_.hc_segments_per_chromosome);
+      const int64_t overlap =
+          config_.hc.max_window + config_.hc.window_pad;
+      for (int seg = 0; seg < S; ++seg) {
+        int64_t emit_start = chrom_len * seg / S;
+        int64_t emit_end = chrom_len * (seg + 1) / S;
+        int64_t start = std::max<int64_t>(0, emit_start - overlap);
+        int64_t end = std::min(chrom_len, emit_end + overlap);
+        InputSplit s;
+        std::string index_path = PartPath(kSortedDir, c) + ".bai";
+        SamHeader header = header_;
+        s.load = [dfs, path, index_path, header, c, start, end, emit_start,
+                  emit_end]() -> Result<std::string> {
+          GESALL_ASSIGN_OR_RETURN(std::string bam, dfs->Read(path));
+          if (dfs->Exists(index_path)) {
+            // Use the Round-4 linear index to carry only the records
+            // overlapping this segment.
+            GESALL_ASSIGN_OR_RETURN(std::string raw, dfs->Read(index_path));
+            GESALL_ASSIGN_OR_RETURN(LinearBamIndex index,
+                                    LinearBamIndex::Deserialize(raw));
+            GESALL_ASSIGN_OR_RETURN(
+                std::vector<SamRecord> region,
+                ReadBamRegion(bam, index, start, end));
+            GESALL_ASSIGN_OR_RETURN(std::string subset,
+                                    WriteBam(header, region));
+            return EncodeHcEnvelope(c, start, end, emit_start, emit_end,
+                                    std::move(subset));
+          }
+          return EncodeHcEnvelope(c, start, end, emit_start, emit_end,
+                                  std::move(bam));
+        };
+        splits.push_back(std::move(s));
+      }
+    }
+  }
+  MapReduceJob job(MakeJobConfig(0));
+  const ReferenceGenome* reference = reference_;
+  MapperFactory factory;
+  if (config_.variant_caller == PipelineConfig::VariantCaller::
+                                    kUnifiedGenotyper) {
+    GenotyperOptions ug = config_.ug;
+    factory = [reference, ug] {
+      return std::make_unique<UnifiedGenotyperMapper>(reference, ug);
+    };
+  } else {
+    HaplotypeCallerOptions hc = config_.hc;
+    factory = [reference, hc] {
+      return std::make_unique<HaplotypeCallerMapper>(reference, hc);
+    };
+  }
+  GESALL_ASSIGN_OR_RETURN(JobResult result,
+                          job.RunMapOnly(splits, factory));
+  std::vector<VariantRecord> variants;
+  for (const auto& out : result.reducer_outputs) {
+    for (const auto& v : out) {
+      size_t offset = 0;
+      GESALL_ASSIGN_OR_RETURN(VariantRecord rec,
+                              DecodeVariantBinary(v, &offset));
+      variants.push_back(std::move(rec));
+    }
+  }
+  std::sort(variants.begin(), variants.end(), VariantLess);
+  stats_.push_back(
+      {config_.variant_caller ==
+               PipelineConfig::VariantCaller::kUnifiedGenotyper
+           ? "round5_unified_genotyper"
+           : "round5_haplotype_caller",
+       clock.ElapsedSeconds(), std::move(result.counters),
+       std::move(result.tasks)});
+  return variants;
+}
+
+Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
+  GESALL_RETURN_NOT_OK(RunRound1Alignment());
+  GESALL_RETURN_NOT_OK(RunRound2Cleaning());
+  GESALL_RETURN_NOT_OK(RunRound3MarkDuplicates());
+  if (config_.run_recalibration) {
+    GESALL_RETURN_NOT_OK(RunRecalibrationRounds());
+  }
+  GESALL_RETURN_NOT_OK(RunRound4Sort());
+  return RunRound5VariantCalling();
+}
+
+Status GesallPipeline::WritePartitions(
+    const std::string& stage, const std::vector<std::string>& bam_files) {
+  LogicalPartitionPlacementPolicy policy;
+  for (size_t i = 0; i < bam_files.size(); ++i) {
+    GESALL_RETURN_NOT_OK(dfs_->Write(
+        PartPath(stage, static_cast<int>(i)) + ".bam", bam_files[i],
+        &policy));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SamRecord>> GesallPipeline::ReadStageRecords(
+    const std::string& stage) const {
+  std::string dir = "/gesall/" + stage + "/";
+  std::vector<std::string> paths = ListBams(*dfs_, dir);
+  if (paths.empty()) return Status::NotFound("no partitions in " + dir);
+  std::sort(paths.begin(), paths.end());
+  std::vector<SamRecord> all;
+  for (const auto& path : paths) {
+    GESALL_ASSIGN_OR_RETURN(std::string bam, dfs_->Read(path));
+    GESALL_ASSIGN_OR_RETURN(auto dataset, ReadBam(bam));
+    all.insert(all.end(), dataset.second.begin(), dataset.second.end());
+  }
+  return all;
+}
+
+}  // namespace gesall

@@ -1,0 +1,121 @@
+#include "gesall/report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gesall {
+
+namespace {
+
+void Append(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+Result<DiagnosisReport> GenerateDiagnosisReport(
+    const DiagnosisReportInputs& in) {
+  if (in.reference == nullptr || in.serial == nullptr ||
+      in.parallel_aligned == nullptr || in.parallel_deduped == nullptr ||
+      in.parallel_variants == nullptr) {
+    return Status::InvalidArgument("missing diagnosis report inputs");
+  }
+  DiagnosisReport report;
+  report.alignment = CompareAlignments(*in.reference, in.serial->aligned,
+                                       *in.parallel_aligned);
+  report.duplicates =
+      CompareDuplicates(in.serial->deduped, *in.parallel_deduped);
+  report.variants =
+      CompareVariants(in.serial->variants, *in.parallel_variants);
+  if (in.truth != nullptr) {
+    report.serial_truth_score =
+        EvaluateAgainstTruth(in.serial->variants, *in.truth);
+    report.parallel_truth_score =
+        EvaluateAgainstTruth(*in.parallel_variants, *in.truth);
+  }
+
+  report.discordance_is_low_quality =
+      report.alignment.d_count == 0 ||
+      report.alignment.weighted_d_count <
+          0.5 * static_cast<double>(report.alignment.d_count);
+  int64_t total_calls = static_cast<int64_t>(report.variants.concordant.size()) +
+                        report.variants.d_count();
+  report.variant_impact_small =
+      total_calls == 0 || report.variants.d_count() * 100 <= total_calls;
+  report.truth_scores_match =
+      in.truth == nullptr ||
+      (std::abs(report.serial_truth_score.precision -
+                report.parallel_truth_score.precision) < 0.01 &&
+       std::abs(report.serial_truth_score.sensitivity -
+                report.parallel_truth_score.sensitivity) < 0.01);
+
+  std::string& md = report.markdown;
+  md += "# Parallel pipeline error-tracking report\n\n";
+
+  md += "## Stage 1: alignment (Bwa)\n\n";
+  Append(&md, "- reads compared: %lld\n",
+         static_cast<long long>(report.alignment.total_reads));
+  Append(&md, "- discordant (D_count): %lld\n",
+         static_cast<long long>(report.alignment.d_count));
+  Append(&md, "- weighted D_count (logistic MAPQ 30..55): %.2f\n",
+         report.alignment.weighted_d_count);
+  Append(&md, "- in centromeres: %lld, in blacklist: %lld, elsewhere: "
+              "%lld\n",
+         static_cast<long long>(report.alignment.discordant_centromere),
+         static_cast<long long>(report.alignment.discordant_blacklist),
+         static_cast<long long>(report.alignment.discordant_elsewhere));
+  Append(&md, "- surviving MAPQ>30 + region filters: %lld\n\n",
+         static_cast<long long>(report.alignment.discordant_after_filters));
+
+  md += "## Stage 2: duplicate marking\n\n";
+  Append(&md, "- flags differing: %lld (weighted %.2f)\n",
+         static_cast<long long>(report.duplicates.d_count),
+         report.duplicates.weighted_d_count);
+  Append(&md, "- duplicate totals: serial %lld vs parallel %lld "
+              "(delta %lld)\n\n",
+         static_cast<long long>(report.duplicates.duplicates_serial),
+         static_cast<long long>(report.duplicates.duplicates_parallel),
+         static_cast<long long>(report.duplicates.duplicate_count_delta()));
+
+  md += "## Stage 3: final variant calls\n\n";
+  Append(&md, "- concordant: %zu, serial-only: %zu, parallel-only: %zu\n",
+         report.variants.concordant.size(),
+         report.variants.only_first.size(),
+         report.variants.only_second.size());
+  Append(&md, "- weighted discordance: %.2f (%.4f%% of calls)\n\n",
+         report.variants.weighted_d_count,
+         report.variants.weighted_d_count_pct);
+
+  if (in.truth != nullptr) {
+    md += "## Truth-set scoring\n\n";
+    Append(&md, "- serial:   precision %.4f, sensitivity %.4f\n",
+           report.serial_truth_score.precision,
+           report.serial_truth_score.sensitivity);
+    Append(&md, "- parallel: precision %.4f, sensitivity %.4f\n\n",
+           report.parallel_truth_score.precision,
+           report.parallel_truth_score.sensitivity);
+  }
+
+  md += "## Verdict\n\n";
+  Append(&md, "- [%c] discordant reads are predominantly low quality\n",
+         report.discordance_is_low_quality ? 'x' : ' ');
+  Append(&md, "- [%c] impact on final variant calls is small (<1%%)\n",
+         report.variant_impact_small ? 'x' : ' ');
+  Append(&md, "- [%c] truth-set scores are unchanged by parallelization\n",
+         report.truth_scores_match ? 'x' : ' ');
+  md += report.discordance_is_low_quality && report.variant_impact_small &&
+                report.truth_scores_match
+            ? "\nACCEPT: data partitioning does not increase error rates "
+              "or reduce correct calls.\n"
+            : "\nREVIEW: at least one acceptance criterion failed; "
+              "diagnose before production use.\n";
+  return report;
+}
+
+}  // namespace gesall

@@ -1,0 +1,124 @@
+#include "gesall/serial_pipeline.h"
+
+#include <algorithm>
+
+#include "analysis/genotyper.h"
+#include "analysis/mark_duplicates.h"
+#include "analysis/recalibration.h"
+#include "analysis/steps.h"
+#include "util/stopwatch.h"
+
+namespace gesall {
+
+namespace {
+
+// Groups records by read name (pairs adjacent) without changing the
+// relative order of pairs — the precondition of FixMateInformation and
+// MarkDuplicates. Alignment output is already pair-adjacent; this guards
+// hybrid inputs assembled from partition files.
+void GroupByName(std::vector<SamRecord>* records) {
+  for (size_t i = 0; i + 1 < records->size(); i += 2) {
+    if ((*records)[i].qname != (*records)[i + 1].qname) {
+      std::stable_sort(records->begin(), records->end(),
+                       [](const SamRecord& a, const SamRecord& b) {
+                         return a.qname < b.qname;
+                       });
+      return;
+    }
+  }
+}
+
+Status CleanAndFix(const ReferenceGenome& reference,
+                   const SerialPipelineConfig& config, SamHeader* header,
+                   std::vector<SamRecord>* records,
+                   std::map<std::string, double>* timings) {
+  (void)reference;
+  Stopwatch sw;
+  GESALL_RETURN_NOT_OK(
+      AddReplaceReadGroups(config.read_group, header, records));
+  (*timings)["add_replace_groups"] += sw.ElapsedSeconds();
+  sw.Restart();
+  CleanSam(*header, records);
+  (*timings)["clean_sam"] += sw.ElapsedSeconds();
+  sw.Restart();
+  GESALL_RETURN_NOT_OK(FixMateInformation(records));
+  (*timings)["fix_mate_info"] += sw.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<VariantRecord>> SortRecalibrateCall(
+    const ReferenceGenome& reference, const SerialPipelineConfig& config,
+    SamHeader header, std::vector<SamRecord>* records,
+    std::map<std::string, double>* timings,
+    std::vector<SamRecord>* sorted_out) {
+  Stopwatch sw;
+  SortSamByCoordinate(&header, records);
+  (*timings)["sort_sam"] += sw.ElapsedSeconds();
+  if (config.run_recalibration) {
+    sw.Restart();
+    RecalibrationTable table = BaseRecalibrator(reference, *records);
+    (*timings)["base_recalibrator"] += sw.ElapsedSeconds();
+    sw.Restart();
+    PrintReads(table, records);
+    (*timings)["print_reads"] += sw.ElapsedSeconds();
+  }
+  if (sorted_out != nullptr) *sorted_out = *records;
+  sw.Restart();
+  HaplotypeCaller caller(reference, config.hc);
+  auto variants = caller.CallAll(*records);
+  (*timings)["haplotype_caller"] += sw.ElapsedSeconds();
+  return variants;
+}
+
+}  // namespace
+
+Result<SerialStageOutputs> RunSerialPipeline(
+    const ReferenceGenome& reference, const GenomeIndex& index,
+    const std::vector<FastqRecord>& interleaved,
+    const SerialPipelineConfig& config) {
+  SerialStageOutputs out;
+  Stopwatch sw;
+  PairedEndAligner aligner(index, config.aligner);
+  out.aligned = aligner.AlignPairs(interleaved);
+  out.header = aligner.MakeHeader();
+  out.step_seconds["bwa"] = sw.ElapsedSeconds();
+
+  out.cleaned = out.aligned;
+  GESALL_RETURN_NOT_OK(CleanAndFix(reference, config, &out.header,
+                                   &out.cleaned, &out.step_seconds));
+
+  out.deduped = out.cleaned;
+  sw.Restart();
+  GESALL_RETURN_NOT_OK(MarkDuplicates(&out.deduped).status());
+  out.step_seconds["mark_duplicates"] = sw.ElapsedSeconds();
+
+  std::vector<SamRecord> working = out.deduped;
+  GESALL_ASSIGN_OR_RETURN(
+      out.variants,
+      SortRecalibrateCall(reference, config, out.header, &working,
+                          &out.step_seconds, &out.sorted));
+  return out;
+}
+
+Result<std::vector<VariantRecord>> SerialTailFromAligned(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> aligned, const SerialPipelineConfig& config) {
+  GroupByName(&aligned);
+  SamHeader local = header;
+  std::map<std::string, double> timings;
+  GESALL_RETURN_NOT_OK(
+      CleanAndFix(reference, config, &local, &aligned, &timings));
+  GESALL_RETURN_NOT_OK(MarkDuplicates(&aligned).status());
+  return SortRecalibrateCall(reference, config, local, &aligned, &timings,
+                             nullptr);
+}
+
+Result<std::vector<VariantRecord>> SerialTailFromDeduped(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> deduped, const SerialPipelineConfig& config) {
+  std::map<std::string, double> timings;
+  return SortRecalibrateCall(reference, config, header, &deduped, &timings,
+                             nullptr);
+}
+
+}  // namespace gesall

@@ -1,0 +1,63 @@
+// Serial reference pipeline (the paper's single-node "gold standard",
+// GATK best practices): the same wrapped programs executed in one process
+// over the complete dataset, plus hybrid tails used to compute the
+// discordant-impact (D_impact) measures of §4.5.2.
+
+#ifndef GESALL_GESALL_SERIAL_PIPELINE_H_
+#define GESALL_GESALL_SERIAL_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "analysis/haplotype_caller.h"
+#include "formats/fastq.h"
+#include "formats/vcf.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Serial pipeline configuration.
+struct SerialPipelineConfig {
+  PairedAlignerOptions aligner;
+  ReadGroup read_group{"rg1", "sample1", "lib1"};
+  HaplotypeCallerOptions hc;
+  /// Include BaseRecalibrator + PrintReads (Table 2 steps 11-12).
+  bool run_recalibration = false;
+};
+
+/// \brief Intermediate and final outputs of the serial pipeline (the R_i
+/// of the error-diagnosis formalism).
+struct SerialStageOutputs {
+  SamHeader header;
+  std::vector<SamRecord> aligned;
+  std::vector<SamRecord> cleaned;  // + read groups + fixed mates
+  std::vector<SamRecord> deduped;
+  std::vector<SamRecord> sorted;
+  std::vector<VariantRecord> variants;
+  std::map<std::string, double> step_seconds;  // per wrapped program
+};
+
+/// \brief Runs the full serial pipeline on interleaved FASTQ pairs.
+Result<SerialStageOutputs> RunSerialPipeline(
+    const ReferenceGenome& reference, const GenomeIndex& index,
+    const std::vector<FastqRecord>& interleaved,
+    const SerialPipelineConfig& config = {});
+
+/// \brief Hybrid tail for D_impact(P1): serial cleaning -> duplicates ->
+/// sort -> Haplotype Caller, starting from (possibly parallel-produced)
+/// alignment output grouped by read name.
+Result<std::vector<VariantRecord>> SerialTailFromAligned(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> aligned, const SerialPipelineConfig& config = {});
+
+/// \brief Hybrid tail for D_impact(P2): serial sort -> Haplotype Caller
+/// from duplicate-marked records.
+Result<std::vector<VariantRecord>> SerialTailFromDeduped(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> deduped, const SerialPipelineConfig& config = {});
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_SERIAL_PIPELINE_H_

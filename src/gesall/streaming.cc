@@ -1,0 +1,196 @@
+#include "gesall/streaming.h"
+
+#include "formats/bam.h"
+#include "formats/fastq.h"
+
+namespace gesall {
+
+Status PipeBuffer::Write(std::string_view data) {
+  while (!data.empty()) {
+    size_t room = capacity_ - buffer_.size();
+    size_t take = std::min(room, data.size());
+    buffer_.append(data.substr(0, take));
+    data.remove_prefix(take);
+    if (buffer_.size() == capacity_) {
+      GESALL_RETURN_NOT_OK(Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Status PipeBuffer::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  bytes_transferred_ += static_cast<int64_t>(buffer_.size());
+  ++flush_count_;
+  if (consumer_ != nullptr) {
+    GESALL_RETURN_NOT_OK(consumer_(buffer_));
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Result<std::string> RunStreamingChain(std::string_view input,
+                                      const std::vector<LineProgram*>& programs,
+                                      StreamingStats* stats,
+                                      size_t pipe_capacity) {
+  if (programs.empty()) return Status::InvalidArgument("empty chain");
+
+  // One pipe in front of each program plus a terminal collector. Each
+  // pipe's consumer splits flushed bytes into lines for its program;
+  // partial lines are carried between flushes.
+  struct Stage {
+    LineProgram* program;
+    PipeBuffer pipe;
+    std::string carry;  // partial line between flushes
+    explicit Stage(LineProgram* p, size_t cap) : program(p), pipe(cap) {}
+  };
+  std::vector<std::unique_ptr<Stage>> stages;
+  stages.reserve(programs.size());
+  for (LineProgram* p : programs) {
+    stages.push_back(std::make_unique<Stage>(p, pipe_capacity));
+  }
+  std::string output;
+
+  // Wire stage i's program output into stage i+1's pipe (or the output).
+  std::vector<LineProgram::Emit> emits(stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i + 1 < stages.size()) {
+      PipeBuffer* next = &stages[i + 1]->pipe;
+      emits[i] = [next](std::string_view line) -> Status {
+        GESALL_RETURN_NOT_OK(next->Write(line));
+        return next->Write("\n");
+      };
+    } else {
+      emits[i] = [&output](std::string_view line) -> Status {
+        output.append(line);
+        output.push_back('\n');
+        return Status::OK();
+      };
+    }
+  }
+  for (size_t i = 0; i < stages.size(); ++i) {
+    Stage* stage = stages[i].get();
+    const LineProgram::Emit* emit = &emits[i];
+    stage->pipe.SetConsumer([stage, emit](std::string_view data) -> Status {
+      stage->carry.append(data);
+      size_t start = 0;
+      for (;;) {
+        size_t eol = stage->carry.find('\n', start);
+        if (eol == std::string::npos) break;
+        GESALL_RETURN_NOT_OK(stage->program->ConsumeLine(
+            std::string_view(stage->carry).substr(start, eol - start),
+            *emit));
+        start = eol + 1;
+      }
+      stage->carry.erase(0, start);
+      return Status::OK();
+    });
+  }
+
+  GESALL_RETURN_NOT_OK(stages[0]->pipe.Write(input));
+  // Drain: flush pipes and finish programs front to back.
+  for (size_t i = 0; i < stages.size(); ++i) {
+    GESALL_RETURN_NOT_OK(stages[i]->pipe.Flush());
+    if (!stages[i]->carry.empty()) {
+      GESALL_RETURN_NOT_OK(
+          stages[i]->program->ConsumeLine(stages[i]->carry, emits[i]));
+      stages[i]->carry.clear();
+    }
+    GESALL_RETURN_NOT_OK(stages[i]->program->Finish(emits[i]));
+    if (i + 1 < stages.size()) {
+      // Everything this program emitted is sitting in the next pipe.
+      continue;
+    }
+  }
+  // A Finish may have written into downstream pipes after their flush;
+  // drain again until stable.
+  for (size_t round = 0; round < stages.size(); ++round) {
+    for (size_t i = 0; i < stages.size(); ++i) {
+      GESALL_RETURN_NOT_OK(stages[i]->pipe.Flush());
+      if (!stages[i]->carry.empty()) {
+        GESALL_RETURN_NOT_OK(
+            stages[i]->program->ConsumeLine(stages[i]->carry, emits[i]));
+        stages[i]->carry.clear();
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->input_bytes = static_cast<int64_t>(input.size());
+    stats->output_bytes = static_cast<int64_t>(output.size());
+    stats->pipe_flushes = 0;
+    for (const auto& s : stages) {
+      stats->pipe_flushes += s->pipe.flush_count();
+    }
+  }
+  return output;
+}
+
+BwaStreamProgram::BwaStreamProgram(const GenomeIndex& index,
+                                   PairedAlignerOptions options)
+    : aligner_(index, options), header_(aligner_.MakeHeader()),
+      batch_pairs_(static_cast<size_t>(options.batch_size)) {}
+
+Status BwaStreamProgram::ConsumeLine(std::string_view line,
+                                     const Emit& emit) {
+  pending_lines_.emplace_back(line);
+  if (pending_lines_.size() < 4) return Status::OK();
+  // A complete 4-line FASTQ record.
+  if (pending_lines_[0].empty() || pending_lines_[0][0] != '@') {
+    return Status::Corruption("streaming FASTQ record missing '@'");
+  }
+  FastqRecord rec;
+  rec.name = pending_lines_[0].substr(1);
+  rec.sequence = std::move(pending_lines_[1]);
+  rec.quality = std::move(pending_lines_[3]);
+  if (rec.sequence.size() != rec.quality.size()) {
+    return Status::Corruption("streaming FASTQ seq/qual length mismatch");
+  }
+  pending_lines_.clear();
+  pending_reads_.push_back(std::move(rec));
+  if (pending_reads_.size() >= 2 * batch_pairs_) {
+    return FlushBatch(emit);
+  }
+  return Status::OK();
+}
+
+Status BwaStreamProgram::FlushBatch(const Emit& emit) {
+  if (!header_emitted_) {
+    // Header lines precede records in SAM text output.
+    std::string header_text = WriteSamHeader(header_);
+    size_t start = 0;
+    while (start < header_text.size()) {
+      size_t eol = header_text.find('\n', start);
+      if (eol == std::string::npos) eol = header_text.size();
+      GESALL_RETURN_NOT_OK(
+          emit(std::string_view(header_text).substr(start, eol - start)));
+      start = eol + 1;
+    }
+    header_emitted_ = true;
+  }
+  if (pending_reads_.empty()) return Status::OK();
+  std::vector<SamRecord> records = aligner_.AlignPairs(pending_reads_);
+  pending_reads_.clear();
+  for (const auto& r : records) {
+    GESALL_RETURN_NOT_OK(emit(WriteSamLine(r, header_)));
+  }
+  return Status::OK();
+}
+
+Status BwaStreamProgram::Finish(const Emit& emit) {
+  if (!pending_lines_.empty()) {
+    return Status::Corruption("truncated trailing FASTQ record");
+  }
+  if (pending_reads_.size() % 2 != 0) {
+    return Status::Corruption("odd number of interleaved reads");
+  }
+  return FlushBatch(emit);
+}
+
+Result<std::string> SamTextToBam(std::string_view sam_text) {
+  GESALL_ASSIGN_OR_RETURN(auto dataset,
+                          ParseSamText(std::string(sam_text)));
+  return WriteBam(dataset.first, dataset.second);
+}
+
+}  // namespace gesall

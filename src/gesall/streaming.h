@@ -1,0 +1,109 @@
+// Hadoop Streaming analog (paper §3.3, Fig. 8): native "C programs" are
+// modeled as line-oriented processes connected by fixed-capacity pipe
+// buffers — TextInputWriter feeds the first program's stdin, programs
+// write stdout lines into the next pipe, and BytesOutputReader collects
+// the terminal byte stream. Pipe statistics (bytes moved, buffer fills)
+// expose the data-transformation overhead of running external programs
+// inside map tasks.
+
+#ifndef GESALL_GESALL_STREAMING_H_
+#define GESALL_GESALL_STREAMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/aligner.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief A fixed-capacity pipe between streaming stages. Writes are
+/// buffered; each time the buffer fills it "flushes" to the consumer.
+/// Counts bytes and flushes for overhead accounting.
+class PipeBuffer {
+ public:
+  /// Hadoop Streaming's default pipe buffer is 64 KB (Fig. 8).
+  explicit PipeBuffer(size_t capacity = 64 * 1024) : capacity_(capacity) {}
+
+  /// Sets the consumer invoked on every flush.
+  void SetConsumer(std::function<Status(std::string_view)> consumer) {
+    consumer_ = std::move(consumer);
+  }
+
+  Status Write(std::string_view data);
+  /// Flushes any buffered bytes to the consumer.
+  Status Flush();
+
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+  int64_t flush_count() const { return flush_count_; }
+
+ private:
+  size_t capacity_;
+  std::string buffer_;
+  std::function<Status(std::string_view)> consumer_;
+  int64_t bytes_transferred_ = 0;
+  int64_t flush_count_ = 0;
+};
+
+/// \brief A line-oriented external program: consumes stdin lines, emits
+/// stdout lines. Emitted lines must not contain '\n'.
+class LineProgram {
+ public:
+  using Emit = std::function<Status(std::string_view line)>;
+
+  virtual ~LineProgram() = default;
+  /// One input line (without trailing newline).
+  virtual Status ConsumeLine(std::string_view line, const Emit& emit) = 0;
+  /// End of stdin; flush any batched state.
+  virtual Status Finish(const Emit& emit) {
+    (void)emit;
+    return Status::OK();
+  }
+};
+
+/// \brief Statistics of one streaming run.
+struct StreamingStats {
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;
+  int64_t pipe_flushes = 0;
+};
+
+/// \brief Runs `programs` as a pipeline over `input` text: input lines ->
+/// program 1 -> pipe -> program 2 -> ... -> output text. Returns the
+/// final stage's output.
+Result<std::string> RunStreamingChain(
+    std::string_view input, const std::vector<LineProgram*>& programs,
+    StreamingStats* stats = nullptr, size_t pipe_capacity = 64 * 1024);
+
+/// \brief `bwa mem` as a streaming program: consumes interleaved 4-line
+/// FASTQ records (name/seq/+/qual, alternating mates), aligns pairs in
+/// batches (preserving PairedEndAligner's batch statistics), and emits
+/// SAM text lines (header first).
+class BwaStreamProgram : public LineProgram {
+ public:
+  BwaStreamProgram(const GenomeIndex& index, PairedAlignerOptions options);
+
+  Status ConsumeLine(std::string_view line, const Emit& emit) override;
+  Status Finish(const Emit& emit) override;
+
+ private:
+  Status FlushBatch(const Emit& emit);
+
+  PairedEndAligner aligner_;
+  SamHeader header_;
+  bool header_emitted_ = false;
+  size_t batch_pairs_;
+  std::vector<std::string> pending_lines_;  // accumulating FASTQ lines
+  std::vector<FastqRecord> pending_reads_;
+};
+
+/// \brief SamToBam as the terminal stage: parses SAM text into BAM bytes.
+Result<std::string> SamTextToBam(std::string_view sam_text);
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_STREAMING_H_

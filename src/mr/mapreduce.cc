@@ -1,0 +1,355 @@
+#include "mr/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <queue>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gesall {
+
+int HashPartitioner::Partition(const std::string& key,
+                               int num_partitions) const {
+  return static_cast<int>(Fnv1a64(key) %
+                          static_cast<uint64_t>(num_partitions));
+}
+
+int RangePartitioner::Partition(const std::string& key,
+                                int num_partitions) const {
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
+  int p = static_cast<int>(it - boundaries_.begin());
+  return std::min(p, num_partitions - 1);
+}
+
+InputSplit InlineSplit(std::string data) {
+  auto shared = std::make_shared<std::string>(std::move(data));
+  InputSplit split;
+  split.load = [shared]() -> Result<std::string> { return *shared; };
+  return split;
+}
+
+namespace {
+
+// A sorted run of one map task's output for one reduce partition.
+using SortedRun = std::vector<KeyValue>;
+
+// Per-map-task output: runs[partition] = list of sorted spill runs.
+struct MapTaskOutput {
+  std::vector<std::vector<SortedRun>> runs;
+  JobCounters counters;
+  TaskRecord record;
+  Status status;
+};
+
+class MapContextImpl : public MapContext {
+ public:
+  MapContextImpl(const Partitioner* partitioner, int num_partitions,
+                 int64_t sort_buffer_bytes, MapTaskOutput* out)
+      : partitioner_(partitioner), num_partitions_(num_partitions),
+        sort_buffer_bytes_(sort_buffer_bytes), out_(out) {
+    buffer_.resize(num_partitions);
+    out_->runs.resize(num_partitions);
+  }
+
+  void Emit(std::string key, std::string value) override {
+    int p = partitioner_->Partition(key, num_partitions_);
+    buffered_bytes_ +=
+        static_cast<int64_t>(key.size() + value.size() + 16);
+    out_->counters.Add("map_output_records", 1);
+    out_->counters.Add("map_output_bytes",
+                       static_cast<int64_t>(key.size() + value.size()));
+    buffer_[p].push_back({std::move(key), std::move(value)});
+    if (buffered_bytes_ > sort_buffer_bytes_) Spill();
+  }
+
+  void IncrementCounter(const std::string& name, int64_t delta) override {
+    out_->counters.Add(name, delta);
+  }
+
+  // Sorts and freezes the current buffer as one spill run per partition.
+  void Spill() {
+    bool any = false;
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (buffer_[p].empty()) continue;
+      any = true;
+      std::stable_sort(buffer_[p].begin(), buffer_[p].end(),
+                       [](const KeyValue& a, const KeyValue& b) {
+                         return a.key < b.key;
+                       });
+      out_->runs[p].push_back(std::move(buffer_[p]));
+      buffer_[p].clear();
+    }
+    if (any) out_->counters.Add("map_spills", 1);
+    buffered_bytes_ = 0;
+  }
+
+  // Map-side merge: collapses spill runs into one sorted run per
+  // partition, charging merge bytes (the Fig. 5(b) overhead).
+  void FinishTask() {
+    Spill();
+    for (int p = 0; p < num_partitions_; ++p) {
+      auto& runs = out_->runs[p];
+      if (runs.size() <= 1) continue;
+      int64_t merge_bytes = 0;
+      size_t total = 0;
+      for (const auto& run : runs) {
+        total += run.size();
+        for (const auto& kv : run) {
+          merge_bytes +=
+              static_cast<int64_t>(kv.key.size() + kv.value.size());
+        }
+      }
+      out_->counters.Add("map_merge_bytes", merge_bytes);
+      SortedRun merged;
+      merged.reserve(total);
+      // K-way merge, stable across run creation order.
+      using Cursor = std::pair<size_t, size_t>;  // (run, offset)
+      auto less = [&runs](const Cursor& a, const Cursor& b) {
+        const KeyValue& ka = runs[a.first][a.second];
+        const KeyValue& kb = runs[b.first][b.second];
+        if (ka.key != kb.key) return ka.key > kb.key;  // min-heap
+        return a.first > b.first;
+      };
+      std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)> heap(
+          less);
+      for (size_t r = 0; r < runs.size(); ++r) {
+        if (!runs[r].empty()) heap.push({r, 0});
+      }
+      while (!heap.empty()) {
+        auto [r, o] = heap.top();
+        heap.pop();
+        merged.push_back(std::move(runs[r][o]));
+        if (o + 1 < runs[r].size()) heap.push({r, o + 1});
+      }
+      runs.clear();
+      runs.push_back(std::move(merged));
+    }
+  }
+
+ private:
+  const Partitioner* partitioner_;
+  int num_partitions_;
+  int64_t sort_buffer_bytes_;
+  MapTaskOutput* out_;
+  std::vector<SortedRun> buffer_;
+  int64_t buffered_bytes_ = 0;
+};
+
+class ReduceContextImpl : public ReduceContext {
+ public:
+  explicit ReduceContextImpl(std::vector<std::string>* out,
+                             JobCounters* counters)
+      : out_(out), counters_(counters) {}
+  void Emit(std::string value) override {
+    counters_->Add("reduce_output_records", 1);
+    out_->push_back(std::move(value));
+  }
+  void IncrementCounter(const std::string& name, int64_t delta) override {
+    counters_->Add(name, delta);
+  }
+
+ private:
+  std::vector<std::string>* out_;
+  JobCounters* counters_;
+};
+
+}  // namespace
+
+MapReduceJob::MapReduceJob(JobConfig config) : config_(config) {}
+
+Result<JobResult> MapReduceJob::RunMapOnly(
+    const std::vector<InputSplit>& splits,
+    const MapperFactory& mapper_factory) {
+  // A map-only job is a full job whose "reducers" are identity pass-
+  // throughs keyed by map task, so outputs stay per-task.
+  JobResult result;
+  result.reducer_outputs.resize(splits.size());
+  std::vector<MapTaskOutput> outputs(splits.size());
+  std::vector<std::vector<std::string>> task_values(splits.size());
+  Stopwatch job_clock;
+  {
+    ThreadPool pool(config_.max_parallel_tasks);
+    for (size_t i = 0; i < splits.size(); ++i) {
+      pool.Submit([&, i] {
+        Stopwatch task_clock;
+        double start = job_clock.ElapsedSeconds();
+        auto input = splits[i].load();
+        if (!input.ok()) {
+          outputs[i].status = input.status();
+          return;
+        }
+        // Map-only contexts collect values directly (keys ignored).
+        class MapOnlyContext : public MapContext {
+         public:
+          MapOnlyContext(std::vector<std::string>* values,
+                         JobCounters* counters)
+              : values_(values), counters_(counters) {}
+          void Emit(std::string key, std::string value) override {
+            (void)key;
+            counters_->Add("map_output_records", 1);
+            values_->push_back(std::move(value));
+          }
+          void IncrementCounter(const std::string& name,
+                                int64_t delta) override {
+            counters_->Add(name, delta);
+          }
+
+         private:
+          std::vector<std::string>* values_;
+          JobCounters* counters_;
+        };
+        MapOnlyContext ctx(&task_values[i], &outputs[i].counters);
+        auto mapper = mapper_factory();
+        outputs[i].status = mapper->Map(input.ValueOrDie(), &ctx);
+        outputs[i].record.type = TaskRecord::Type::kMap;
+        outputs[i].record.index = static_cast<int>(i);
+        outputs[i].record.start_seconds = start;
+        outputs[i].record.end_seconds = job_clock.ElapsedSeconds();
+        outputs[i].record.input_bytes =
+            static_cast<int64_t>(input.ValueOrDie().size());
+      });
+    }
+    pool.Wait();
+  }
+  for (size_t i = 0; i < splits.size(); ++i) {
+    GESALL_RETURN_NOT_OK(outputs[i].status);
+    result.counters.Merge(outputs[i].counters);
+    result.tasks.push_back(outputs[i].record);
+    result.reducer_outputs[i] = std::move(task_values[i]);
+  }
+  return result;
+}
+
+Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
+                                    const MapperFactory& mapper_factory,
+                                    const ReducerFactory& reducer_factory,
+                                    const Partitioner* partitioner) {
+  HashPartitioner default_partitioner;
+  if (partitioner == nullptr) partitioner = &default_partitioner;
+  const int R = config_.num_reducers;
+
+  std::vector<MapTaskOutput> outputs(splits.size());
+  Stopwatch job_clock;
+  {
+    ThreadPool pool(config_.max_parallel_tasks);
+    for (size_t i = 0; i < splits.size(); ++i) {
+      pool.Submit([&, i] {
+        double start = job_clock.ElapsedSeconds();
+        auto input = splits[i].load();
+        if (!input.ok()) {
+          outputs[i].status = input.status();
+          return;
+        }
+        MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
+                           &outputs[i]);
+        auto mapper = mapper_factory();
+        outputs[i].status = mapper->Map(input.ValueOrDie(), &ctx);
+        if (outputs[i].status.ok()) ctx.FinishTask();
+        outputs[i].record.type = TaskRecord::Type::kMap;
+        outputs[i].record.index = static_cast<int>(i);
+        outputs[i].record.start_seconds = start;
+        outputs[i].record.end_seconds = job_clock.ElapsedSeconds();
+        outputs[i].record.input_bytes =
+            static_cast<int64_t>(input.ValueOrDie().size());
+      });
+    }
+    pool.Wait();
+  }
+
+  JobResult result;
+  for (auto& out : outputs) {
+    GESALL_RETURN_NOT_OK(out.status);
+    result.counters.Merge(out.counters);
+    result.tasks.push_back(out.record);
+  }
+
+  // Shuffle + reduce.
+  result.reducer_outputs.resize(R);
+  std::vector<JobCounters> reduce_counters(R);
+  std::vector<TaskRecord> reduce_records(R);
+  std::vector<Status> reduce_status(R);
+  {
+    ThreadPool pool(config_.max_parallel_tasks);
+    for (int r = 0; r < R; ++r) {
+      pool.Submit([&, r] {
+        double start = job_clock.ElapsedSeconds();
+        // Gather this partition's sorted run from every map task (each
+        // task has at most one run per partition after the map-side
+        // merge) and merge them, stable by map task index.
+        std::vector<const SortedRun*> runs;
+        int64_t shuffle_bytes = 0, shuffle_records = 0;
+        for (const auto& out : outputs) {
+          if (r < static_cast<int>(out.runs.size())) {
+            for (const auto& run : out.runs[r]) {
+              runs.push_back(&run);
+              shuffle_records += static_cast<int64_t>(run.size());
+              for (const auto& kv : run) {
+                shuffle_bytes +=
+                    static_cast<int64_t>(kv.key.size() + kv.value.size());
+              }
+            }
+          }
+        }
+        reduce_counters[r].Add("reduce_shuffle_bytes", shuffle_bytes);
+        reduce_counters[r].Add("reduce_shuffle_records", shuffle_records);
+
+        using Cursor = std::pair<size_t, size_t>;
+        auto less = [&runs](const Cursor& a, const Cursor& b) {
+          const KeyValue& ka = (*runs[a.first])[a.second];
+          const KeyValue& kb = (*runs[b.first])[b.second];
+          if (ka.key != kb.key) return ka.key > kb.key;
+          return a.first > b.first;
+        };
+        std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)>
+            heap(less);
+        for (size_t i = 0; i < runs.size(); ++i) {
+          if (!runs[i]->empty()) heap.push({i, 0});
+        }
+
+        ReduceContextImpl ctx(&result.reducer_outputs[r],
+                              &reduce_counters[r]);
+        auto reducer = reducer_factory();
+        std::string current_key;
+        std::vector<std::string> values;
+        bool have_key = false;
+        auto flush = [&]() -> Status {
+          if (!have_key) return Status::OK();
+          return reducer->Reduce(current_key, values, &ctx);
+        };
+        Status st;
+        while (!heap.empty() && st.ok()) {
+          auto [run_idx, off] = heap.top();
+          heap.pop();
+          const KeyValue& kv = (*runs[run_idx])[off];
+          if (!have_key || kv.key != current_key) {
+            st = flush();
+            current_key = kv.key;
+            values.clear();
+            have_key = true;
+          }
+          values.push_back(kv.value);
+          if (off + 1 < runs[run_idx]->size()) heap.push({run_idx, off + 1});
+        }
+        if (st.ok()) st = flush();
+        reduce_status[r] = st;
+        reduce_records[r].type = TaskRecord::Type::kReduce;
+        reduce_records[r].index = r;
+        reduce_records[r].start_seconds = start;
+        reduce_records[r].end_seconds = job_clock.ElapsedSeconds();
+        reduce_records[r].input_bytes = shuffle_bytes;
+      });
+    }
+    pool.Wait();
+  }
+  for (int r = 0; r < R; ++r) {
+    GESALL_RETURN_NOT_OK(reduce_status[r]);
+    result.counters.Merge(reduce_counters[r]);
+    result.tasks.push_back(reduce_records[r]);
+  }
+  return result;
+}
+
+}  // namespace gesall

@@ -1,0 +1,173 @@
+// In-process MapReduce runtime (functional analog of Hadoop MR, paper §3).
+//
+// Map tasks consume input splits and emit key-value pairs into
+// per-reducer buffers with sort-and-spill semantics (the
+// mapreduce.task.io.sort.mb behavior the paper tunes in §4.2); reduce
+// tasks merge the sorted map outputs and invoke the reducer per key
+// group. Execution is multi-threaded but the output is deterministic:
+// ties between equal keys resolve by (map task index, emission order).
+
+#ifndef GESALL_MR_MAPREDUCE_H_
+#define GESALL_MR_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One intermediate record.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// \brief Named job counters (Hadoop-counter analog).
+class JobCounters {
+ public:
+  void Add(const std::string& name, int64_t delta) { values_[name] += delta; }
+  int64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  void Merge(const JobCounters& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+/// \brief Context passed to map functions.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void IncrementCounter(const std::string& name,
+                                int64_t delta = 1) = 0;
+};
+
+/// \brief Context passed to reduce functions.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  /// Emits one output value (order preserved per reducer).
+  virtual void Emit(std::string value) = 0;
+  virtual void IncrementCounter(const std::string& name,
+                                int64_t delta = 1) = 0;
+};
+
+/// \brief User map function over one input split.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual Status Map(const std::string& input, MapContext* ctx) = 0;
+};
+
+/// \brief User reduce function over one key group (values arrive in
+/// deterministic shuffle order).
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual Status Reduce(const std::string& key,
+                        const std::vector<std::string>& values,
+                        ReduceContext* ctx) = 0;
+};
+
+/// \brief Routes keys to reducers.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual int Partition(const std::string& key,
+                        int num_partitions) const = 0;
+};
+
+/// \brief Default: stable hash of the key bytes.
+class HashPartitioner : public Partitioner {
+ public:
+  int Partition(const std::string& key, int num_partitions) const override;
+};
+
+/// \brief Range partitioner over sorted split points: keys below
+/// boundaries[i] (bytewise) go to partition i; the rest to the last.
+class RangePartitioner : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> boundaries)
+      : boundaries_(std::move(boundaries)) {}
+  int Partition(const std::string& key, int num_partitions) const override;
+
+ private:
+  std::vector<std::string> boundaries_;
+};
+
+/// \brief Lazily-loaded input split with optional locality hint.
+struct InputSplit {
+  std::function<Result<std::string>()> load;
+  int preferred_node = -1;
+};
+
+/// \brief Wraps in-memory bytes as a split.
+InputSplit InlineSplit(std::string data);
+
+/// \brief Job-level configuration (Hadoop-parameter analogs).
+struct JobConfig {
+  int num_reducers = 4;
+  /// Concurrent tasks (threads) — the cluster's task slots.
+  int max_parallel_tasks = 4;
+  /// Map-side sort buffer; exceeding it spills a sorted run to "disk".
+  int64_t sort_buffer_bytes = 64LL << 20;
+  /// Fraction of maps that must finish before reducers start (recorded in
+  /// counters for the simulator; functional execution is unaffected).
+  double slowstart_completed_maps = 0.05;
+};
+
+/// \brief Wall-clock record of one task, for progress plots (paper Fig 7).
+struct TaskRecord {
+  enum class Type { kMap, kReduce };
+  Type type = Type::kMap;
+  int index = 0;
+  double start_seconds = 0;
+  double end_seconds = 0;
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;
+};
+
+/// \brief Result of a job: per-reducer emitted values + counters.
+struct JobResult {
+  std::vector<std::vector<std::string>> reducer_outputs;
+  JobCounters counters;
+  std::vector<TaskRecord> tasks;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// \brief Executes MapReduce jobs on a thread pool.
+class MapReduceJob {
+ public:
+  explicit MapReduceJob(JobConfig config = {});
+
+  /// Full map-shuffle-reduce round.
+  Result<JobResult> Run(const std::vector<InputSplit>& splits,
+                        const MapperFactory& mapper_factory,
+                        const ReducerFactory& reducer_factory,
+                        const Partitioner* partitioner = nullptr);
+
+  /// Map-only round (paper Round 1): reducer_outputs[i] holds the values
+  /// emitted by map task i, in emission order.
+  Result<JobResult> RunMapOnly(const std::vector<InputSplit>& splits,
+                               const MapperFactory& mapper_factory);
+
+ private:
+  JobConfig config_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_MR_MAPREDUCE_H_

@@ -1,0 +1,44 @@
+#include "sim/cluster.h"
+
+namespace gesall {
+
+ClusterSpec ClusterSpec::A() {
+  ClusterSpec c;
+  c.name = "Cluster A (research)";
+  c.num_data_nodes = 15;
+  c.node.cores = 24;
+  c.node.core_ghz = 2.66;
+  c.node.memory_bytes = 64LL << 30;
+  c.node.num_disks = 1;
+  c.node.disk_mbps = 140.0;
+  c.node.network_gbps = 1.0;
+  return c;
+}
+
+ClusterSpec ClusterSpec::B(int disks_in_use) {
+  ClusterSpec c;
+  c.name = "Cluster B (NYGC production)";
+  c.num_data_nodes = 4;
+  c.node.cores = 16;  // hyper-threading off, as in §4.5.1
+  c.node.core_ghz = 2.4;
+  c.node.memory_bytes = 256LL << 30;
+  c.node.num_disks = disks_in_use;
+  c.node.disk_mbps = 100.0;
+  c.node.network_gbps = 10.0;
+  return c;
+}
+
+ClusterSpec ClusterSpec::SingleServer() {
+  ClusterSpec c;
+  c.name = "Single server (Table 2)";
+  c.num_data_nodes = 1;
+  c.node.cores = 12;
+  c.node.core_ghz = 2.40;
+  c.node.memory_bytes = 64LL << 30;
+  c.node.num_disks = 1;
+  c.node.disk_mbps = 120.0;  // 7200 RPM HDD
+  c.node.network_gbps = 1.0;
+  return c;
+}
+
+}  // namespace gesall

@@ -1,0 +1,72 @@
+// Cluster hardware specifications (paper Table 3) and the multithreaded
+// program scaling model (paper Fig. 5c).
+
+#ifndef GESALL_SIM_CLUSTER_H_
+#define GESALL_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gesall {
+
+/// \brief One data node's hardware.
+struct NodeSpec {
+  int cores = 24;
+  double core_ghz = 2.66;
+  int64_t memory_bytes = 64LL << 30;
+  int num_disks = 1;
+  double disk_mbps = 140.0;     // sequential MB/s
+  double network_gbps = 1.0;
+};
+
+/// \brief A cluster: data nodes only (name nodes are not modeled).
+struct ClusterSpec {
+  std::string name;
+  int num_data_nodes = 1;
+  NodeSpec node;
+
+  /// Research cluster A: 15 data nodes, 24 cores @ 2.66 GHz, 64 GB,
+  /// 1 x 3 TB disk @ 140 MB/s, 1 Gbps.
+  static ClusterSpec A();
+
+  /// Production cluster B at NYGC: 4 data nodes, 16 cores @ 2.4 GHz,
+  /// 256 GB, 6 x 1 TB disks @ 100 MB/s, 10 Gbps.
+  static ClusterSpec B(int disks_in_use = 6);
+
+  /// The single 12-core server of Table 2.
+  static ClusterSpec SingleServer();
+
+  /// Relative per-core speed against the 2.66 GHz reference core that the
+  /// cost-model rates are calibrated to.
+  double CoreSpeedFactor() const { return node.core_ghz / 2.66; }
+};
+
+/// \brief Multithreaded program scaling (the Bwa thread model of
+/// Fig. 5c): an Amdahl-style serialized read-and-parse section whose
+/// serial fraction depends on the readahead buffer, plus a linear
+/// synchronization cost ("threads wait for all other threads to finish
+/// before issuing a common read and parse request").
+struct ThreadScalingModel {
+  /// Serial fraction of per-batch work spent in the synchronized
+  /// read+parse call.
+  double serial_fraction = 0.025;
+  /// Extra per-thread barrier overhead (fraction of work per thread).
+  double barrier_cost = 0.0006;
+
+  /// Speedup over one thread when running with `threads` threads.
+  double Speedup(int threads) const {
+    if (threads <= 1) return 1.0;
+    double t = threads;
+    double time = serial_fraction + (1.0 - serial_fraction) / t +
+                  barrier_cost * (t - 1);
+    return 1.0 / time;
+  }
+
+  /// The paper's two configurations.
+  static ThreadScalingModel Readahead128KB() { return {0.062, 0.0012}; }
+  static ThreadScalingModel Readahead64MB() { return {0.025, 0.0006}; }
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_CLUSTER_H_

@@ -1,0 +1,21 @@
+#include "sim/engine.h"
+
+#include "util/logging.h"
+
+namespace gesall {
+
+void SimEngine::At(double time, Callback cb) {
+  GESALL_CHECK(time >= now_) << "event scheduled in the past";
+  queue_.push({time, next_seq_++, std::move(cb)});
+}
+
+void SimEngine::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+  }
+}
+
+}  // namespace gesall

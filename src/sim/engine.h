@@ -1,0 +1,51 @@
+// Discrete-event simulation core: a time-ordered event queue with
+// deterministic FIFO tie-breaking.
+
+#ifndef GESALL_SIM_ENGINE_H_
+#define GESALL_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gesall {
+
+/// \brief Minimal discrete-event engine. Events scheduled for the same
+/// instant fire in scheduling order.
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedules a callback at an absolute simulated time (>= now).
+  void At(double time, Callback cb);
+
+  /// Schedules a callback `delay` seconds from now.
+  void After(double delay, Callback cb) { At(now_ + delay, std::move(cb)); }
+
+  /// Runs until the event queue drains.
+  void Run();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_ENGINE_H_

@@ -1,0 +1,227 @@
+#include "sim/genomics.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+CpuCacheEstimate EstimateAlignmentCpuCache(const WorkloadSpec& workload,
+                                           const GenomicsRates& rates,
+                                           int num_partitions) {
+  CpuCacheEstimate out;
+  const double ref_hz = 2.66e9;
+  double work_cycles =
+      static_cast<double>(workload.total_reads()) * rates.bwa * ref_hz;
+  double per_task_cycles = rates.bwa_index_cpu_seconds * ref_hz;
+  out.cycles_trillions =
+      (work_cycles + per_task_cycles * num_partitions) / 1e12;
+  out.cache_misses_billions =
+      (static_cast<double>(workload.total_reads()) *
+           rates.cache_misses_per_read +
+       rates.cache_misses_per_index_load * num_partitions) /
+      1e9;
+  return out;
+}
+
+MrJobSpec AlignmentJob(const WorkloadSpec& workload,
+                       const GenomicsRates& rates, const ClusterSpec& cluster,
+                       int partitions, int maps_per_node, int threads_per_map,
+                       ThreadScalingModel thread_model) {
+  MrJobSpec job;
+  job.name = "round1_alignment";
+  job.num_map_tasks = partitions;
+  const int64_t reads_per_task = workload.total_reads() / partitions;
+  job.map_input_bytes_per_task = workload.compressed_fastq_bytes / partitions;
+  job.map_cpu_seconds_per_task =
+      reads_per_task *
+      (rates.bwa + (rates.samtobam + rates.transform_per_record) *
+                       rates.repeated_call_penalty);
+  job.threads_per_map = threads_per_map;
+  job.thread_model = thread_model;
+  job.map_fixed_cpu_seconds = rates.bwa_index_cpu_seconds;
+  job.map_fixed_read_bytes = rates.bwa_index_bytes;
+  job.map_final_write_bytes_per_task = workload.bam_bytes() / partitions;
+  job.map_slots_per_node = maps_per_node;
+  (void)cluster;
+  return job;
+}
+
+MrJobSpec CleaningJob(const WorkloadSpec& workload,
+                      const GenomicsRates& rates, const ClusterSpec& cluster,
+                      int partitions, int slots_per_node) {
+  MrJobSpec job;
+  job.name = "round2_cleaning";
+  job.num_map_tasks = partitions;
+  const int64_t reads_per_task = workload.total_reads() / partitions;
+  job.map_input_bytes_per_task = workload.bam_bytes() / partitions;
+  job.map_cpu_seconds_per_task =
+      reads_per_task *
+      ((rates.add_replace_groups + rates.clean_sam) *
+           rates.repeated_call_penalty +
+       2 * rates.transform_per_record + rates.extract_key);
+  job.map_output_bytes_per_task = static_cast<int64_t>(
+      reads_per_task * workload.shuffle_bytes_per_record);
+  job.num_reduce_tasks = cluster.num_data_nodes * slots_per_node;
+  const int64_t reads_per_reducer =
+      workload.total_reads() / std::max(job.num_reduce_tasks, 1);
+  job.reduce_cpu_seconds_per_task =
+      reads_per_reducer *
+      (rates.fix_mate_info * rates.repeated_call_penalty +
+       2 * rates.transform_per_record);
+  job.reduce_output_write_bytes_per_task =
+      workload.bam_bytes() / std::max(job.num_reduce_tasks, 1);
+  job.map_slots_per_node = slots_per_node;
+  job.reduce_slots_per_node = slots_per_node;
+  return job;
+}
+
+MrJobSpec MarkDuplicatesJob(const WorkloadSpec& workload,
+                            const GenomicsRates& rates,
+                            const ClusterSpec& cluster, bool optimized,
+                            int partitions, int slots_per_node) {
+  MrJobSpec job;
+  job.name = optimized ? "round3_markdup_opt" : "round3_markdup_reg";
+  job.num_map_tasks = partitions;
+  const double shuffle_ratio = optimized ? 1.03 : 1.92;
+  const double bytes_per_record = optimized
+                                      ? workload.shuffle_bytes_per_record
+                                      : workload.shuffle_bytes_per_record_reg;
+  const int64_t reads_per_task = workload.total_reads() / partitions;
+  job.map_input_bytes_per_task = workload.bam_bytes() / partitions;
+  job.map_cpu_seconds_per_task =
+      reads_per_task *
+      (rates.extract_key + rates.transform_per_record) * shuffle_ratio;
+  job.map_output_bytes_per_task = static_cast<int64_t>(
+      reads_per_task * shuffle_ratio * bytes_per_record);
+  job.num_reduce_tasks = cluster.num_data_nodes * slots_per_node;
+  const int64_t reads_per_reducer =
+      static_cast<int64_t>(workload.total_reads() * shuffle_ratio) /
+      std::max(job.num_reduce_tasks, 1);
+  job.reduce_cpu_seconds_per_task =
+      reads_per_reducer *
+      ((rates.sort_sam + rates.mark_duplicates) *
+           rates.repeated_call_penalty +
+       2 * rates.transform_per_record);
+  job.reduce_output_write_bytes_per_task =
+      workload.bam_bytes() / std::max(job.num_reduce_tasks, 1);
+  job.map_slots_per_node = slots_per_node;
+  job.reduce_slots_per_node = slots_per_node;
+  return job;
+}
+
+MrJobSpec SortJob(const WorkloadSpec& workload, const GenomicsRates& rates,
+                  const ClusterSpec& cluster, int partitions,
+                  int slots_per_node) {
+  MrJobSpec job;
+  job.name = "round4_sort";
+  job.num_map_tasks = partitions;
+  const int64_t reads_per_task = workload.total_reads() / partitions;
+  job.map_input_bytes_per_task = workload.bam_bytes() / partitions;
+  job.map_cpu_seconds_per_task =
+      reads_per_task * (rates.extract_key + rates.transform_per_record);
+  job.map_output_bytes_per_task = static_cast<int64_t>(
+      reads_per_task * workload.shuffle_bytes_per_record);
+  // 23 chromosome range partitions in the paper.
+  job.num_reduce_tasks = 23;
+  const int64_t reads_per_reducer = workload.total_reads() / 23;
+  job.reduce_cpu_seconds_per_task =
+      reads_per_reducer *
+      (rates.sort_sam + rates.samtools_index + rates.transform_per_record);
+  job.reduce_output_write_bytes_per_task = workload.bam_bytes() / 23;
+  job.map_slots_per_node = slots_per_node;
+  job.reduce_slots_per_node = slots_per_node;
+  (void)cluster;
+  return job;
+}
+
+MrJobSpec HaplotypeCallerJob(const WorkloadSpec& workload,
+                             const GenomicsRates& rates,
+                             const ClusterSpec& cluster, int num_partitions,
+                             int slots_per_node) {
+  MrJobSpec job;
+  job.name = "round5_haplotype_caller";
+  job.num_map_tasks = num_partitions;
+  // Chromosome partitions are skewed; model the wall time by the largest
+  // chromosome (chr1 ~ 8% of the genome when 23 partitions are used).
+  const double skew = num_partitions == 23 ? 1.85 : 1.15;
+  const int64_t reads_per_task =
+      static_cast<int64_t>(skew * workload.total_reads() / num_partitions);
+  job.map_input_bytes_per_task =
+      static_cast<int64_t>(skew * workload.bam_bytes() / num_partitions);
+  job.map_cpu_seconds_per_task =
+      reads_per_task * (rates.haplotype_caller * rates.repeated_call_penalty +
+                        rates.transform_per_record);
+  job.map_slots_per_node = slots_per_node;
+  (void)cluster;
+  return job;
+}
+
+double SingleNodeStepSeconds(double per_read_cpu, int64_t reads,
+                             const ClusterSpec& server, int threads,
+                             int64_t io_bytes,
+                             ThreadScalingModel thread_model) {
+  double cpu = per_read_cpu * static_cast<double>(reads) /
+               server.CoreSpeedFactor();
+  if (threads > 1) cpu /= thread_model.Speedup(threads);
+  double io = static_cast<double>(io_bytes) /
+              (server.node.disk_mbps * 1e6 * server.node.num_disks);
+  // CPU and sequential I/O overlap poorly on the single-disk servers the
+  // paper profiles; take the max plus a fraction of the smaller term.
+  return std::max(cpu, io) + 0.2 * std::min(cpu, io);
+}
+
+std::vector<SingleServerStep> SingleServerPipeline(
+    const WorkloadSpec& workload, const GenomicsRates& rates,
+    const ClusterSpec& server) {
+  const int64_t reads = workload.total_reads();
+  const int64_t bam = workload.bam_bytes();
+  const int threads = server.node.cores;
+  auto hours = [](double seconds) { return seconds / 3600.0; };
+  std::vector<SingleServerStep> steps;
+  steps.push_back(
+      {"1. Bwa (mem)",
+       hours(SingleNodeStepSeconds(rates.bwa, reads, server, threads,
+                                   workload.uncompressed_fastq_bytes))});
+  steps.push_back({"2. Samtools Index",
+                   hours(SingleNodeStepSeconds(rates.samtools_index, reads,
+                                               server, 1, 2 * bam))});
+  steps.push_back({"3. Add Replace Groups",
+                   hours(SingleNodeStepSeconds(rates.add_replace_groups,
+                                               reads, server, 1, 2 * bam))});
+  steps.push_back({"4. Clean Sam",
+                   hours(SingleNodeStepSeconds(rates.clean_sam, reads, server,
+                                               1, 2 * bam))});
+  steps.push_back({"5. Fix Mate Info",
+                   hours(SingleNodeStepSeconds(rates.fix_mate_info, reads,
+                                               server, 1, 2 * bam))});
+  steps.push_back({"6. Mark Duplicates",
+                   hours(SingleNodeStepSeconds(
+                       rates.sort_sam + rates.mark_duplicates, reads, server,
+                       1, 3 * bam))});
+  steps.push_back({"11. Base Recalibrator",
+                   hours(SingleNodeStepSeconds(rates.base_recalibrator,
+                                               reads, server, threads,
+                                               bam))});
+  steps.push_back({"12. Print Reads",
+                   hours(SingleNodeStepSeconds(rates.print_reads, reads,
+                                               server, 1, 2 * bam))});
+  steps.push_back({"v1. Unified Genotyper",
+                   hours(SingleNodeStepSeconds(rates.unified_genotyper,
+                                               reads, server, threads,
+                                               bam))});
+  steps.push_back({"v2. Haplotype Caller",
+                   hours(SingleNodeStepSeconds(rates.haplotype_caller, reads,
+                                               server, 1, bam))});
+  return steps;
+}
+
+SpeedupMetrics ComputeSpeedup(double baseline_seconds, int baseline_cores,
+                              double parallel_seconds, int parallel_cores) {
+  SpeedupMetrics m;
+  if (parallel_seconds <= 0 || parallel_cores <= 0) return m;
+  m.speedup = baseline_seconds / parallel_seconds;
+  m.efficiency =
+      m.speedup * static_cast<double>(baseline_cores) / parallel_cores;
+  return m;
+}
+
+}  // namespace gesall

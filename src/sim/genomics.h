@@ -1,0 +1,157 @@
+// Genomic workload description and cost model for the performance
+// experiments (paper §4): the NA12878 64x sample, per-program CPU rates
+// calibrated to the paper's single-node anchors (Clean Sam 7h33m,
+// Mark Duplicates 14h26m, alignment 3h45m on Cluster B, shuffle sizes
+// 375/785 GB), and builders that turn pipeline rounds into MrJobSpecs.
+
+#ifndef GESALL_SIM_GENOMICS_H_
+#define GESALL_SIM_GENOMICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/mr_sim.h"
+
+namespace gesall {
+
+/// \brief The whole-genome sample of the evaluation (§4.1).
+struct WorkloadSpec {
+  int64_t read_pairs = 1'240'000'000;  // 1.24 billion pairs
+  int read_length = 100;
+  int64_t total_reads() const { return 2 * read_pairs; }
+
+  int64_t uncompressed_fastq_bytes = 564LL * 1000 * 1000 * 1000;  // 2x282GB
+  int64_t compressed_fastq_bytes = 220LL * 1000 * 1000 * 1000;
+  /// On-disk BAM bytes per record (BGZF compressed).
+  double bam_bytes_per_record = 100.0;
+  /// Intermediate shuffle bytes per record (Snappy-compressed map output;
+  /// MarkDup_opt: 375 GB for 1.03x of 2.48 G records ~ 147 B/record).
+  double shuffle_bytes_per_record = 147.0;
+  /// MarkDup_reg records carry larger compound keys and pair bundles:
+  /// 785 GB for 1.92x of 2.48 G records ~ 165 B/record.
+  double shuffle_bytes_per_record_reg = 165.0;
+
+  int64_t bam_bytes() const {
+    return static_cast<int64_t>(total_reads() * bam_bytes_per_record);
+  }
+
+  static WorkloadSpec NA12878() { return WorkloadSpec(); }
+};
+
+/// \brief Per-read single-thread CPU seconds on the 2.66 GHz reference
+/// core, per wrapped program, plus fixed per-invocation overheads.
+struct GenomicsRates {
+  double bwa = 3.15e-4;            // anchored to 3h45m on Cluster B 4x16x1
+  double samtobam = 4.0e-6;
+  double samtools_index = 2.5e-6;
+  double add_replace_groups = 4.5e-6;
+  double clean_sam = 9.9e-6;       // anchored to 7h33m single-node
+  double fix_mate_info = 7.0e-6;
+  double sort_sam = 6.0e-6;
+  double mark_duplicates = 1.45e-5;  // with sort: 14h26m single-node
+  double base_recalibrator = 2.5e-5;
+  double print_reads = 3.5e-5;
+  double unified_genotyper = 2.5e-5;
+  double haplotype_caller = 1.05e-4;
+
+  /// Hadoop <-> external program data transformation per record
+  /// (the 12-49% overhead of Fig. 6a).
+  double transform_per_record = 3.0e-6;
+  /// Map-side key extraction per record.
+  double extract_key = 1.5e-6;
+  /// Multiplicative penalty for repeatedly invoking an external program
+  /// on partitions vs once on the whole input (Fig. 6b: cache warmup,
+  /// startup, lost batching) — applied to per-record program rates in
+  /// Hadoop execution.
+  double repeated_call_penalty = 1.30;
+
+  /// BWA reference index: bytes read and CPU to build in-memory
+  /// structures, paid by EVERY mapper (Table 4 / Fig. 5a).
+  int64_t bwa_index_bytes = 5LL * 1000 * 1000 * 1000;
+  double bwa_index_cpu_seconds = 35.0;
+  /// Cache misses incurred per index load (billions) and per read
+  /// processed (for the Fig. 5a estimate).
+  double cache_misses_per_index_load = 2.5e9;
+  double cache_misses_per_read = 6.0;
+};
+
+/// \brief Estimated CPU cycles / cache misses of the alignment job as a
+/// function of the number of logical partitions (Fig. 5a).
+struct CpuCacheEstimate {
+  double cycles_trillions = 0;
+  double cache_misses_billions = 0;
+};
+
+CpuCacheEstimate EstimateAlignmentCpuCache(const WorkloadSpec& workload,
+                                           const GenomicsRates& rates,
+                                           int num_partitions);
+
+// --- MapReduce job builders (one per pipeline round) ---------------------
+
+/// Round 1: map-only Bwa + SamToBam over `partitions` logical partitions,
+/// `maps_per_node` x `threads_per_map` per node.
+MrJobSpec AlignmentJob(const WorkloadSpec& workload,
+                       const GenomicsRates& rates, const ClusterSpec& cluster,
+                       int partitions, int maps_per_node, int threads_per_map,
+                       ThreadScalingModel thread_model =
+                           ThreadScalingModel::Readahead64MB());
+
+/// Round 2: AddReplaceReadGroups + CleanSam | shuffle | FixMateInfo.
+MrJobSpec CleaningJob(const WorkloadSpec& workload,
+                      const GenomicsRates& rates, const ClusterSpec& cluster,
+                      int partitions, int slots_per_node);
+
+/// Round 3: Mark Duplicates. `optimized` selects MarkDup_opt (1.03x
+/// records shuffled) vs MarkDup_reg (1.92x).
+MrJobSpec MarkDuplicatesJob(const WorkloadSpec& workload,
+                            const GenomicsRates& rates,
+                            const ClusterSpec& cluster, bool optimized,
+                            int partitions, int slots_per_node);
+
+/// Round 4: coordinate sort + index via range partitioning.
+MrJobSpec SortJob(const WorkloadSpec& workload, const GenomicsRates& rates,
+                  const ClusterSpec& cluster, int partitions,
+                  int slots_per_node);
+
+/// Round 5: Haplotype Caller over `num_partitions` range partitions
+/// (23 chromosomes in the paper).
+MrJobSpec HaplotypeCallerJob(const WorkloadSpec& workload,
+                             const GenomicsRates& rates,
+                             const ClusterSpec& cluster, int num_partitions,
+                             int slots_per_node);
+
+// --- Single-node baselines ----------------------------------------------
+
+/// Wall seconds of one pipeline step run serially on `server` with
+/// `threads` threads (threads > 1 uses the Fig. 5c scaling model).
+double SingleNodeStepSeconds(double per_read_cpu, int64_t reads,
+                             const ClusterSpec& server, int threads,
+                             int64_t io_bytes,
+                             ThreadScalingModel thread_model =
+                                 ThreadScalingModel::Readahead64MB());
+
+/// \brief Table 2: every step of the single-server pipeline, in hours.
+struct SingleServerStep {
+  std::string name;
+  double hours;
+};
+std::vector<SingleServerStep> SingleServerPipeline(
+    const WorkloadSpec& workload, const GenomicsRates& rates,
+    const ClusterSpec& server);
+
+/// \brief Speedup and the paper's resource-efficiency metric.
+/// Efficiency normalizes by the cores each side uses:
+///   efficiency = speedup * baseline_cores / parallel_cores
+/// (with a single-threaded baseline this is the usual speedup/cores).
+struct SpeedupMetrics {
+  double speedup = 0;
+  double efficiency = 0;
+};
+SpeedupMetrics ComputeSpeedup(double baseline_seconds, int baseline_cores,
+                              double parallel_seconds, int parallel_cores);
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_GENOMICS_H_

@@ -1,0 +1,289 @@
+#include "sim/mr_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/logging.h"
+
+namespace gesall {
+
+namespace {
+
+// Whole-job simulation state shared by the task state machines.
+class JobSim {
+ public:
+  JobSim(const ClusterSpec& cluster, const MrJobSpec& spec)
+      : cluster_(cluster), spec_(spec) {
+    const int nodes = cluster.num_data_nodes;
+    disks_.resize(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      for (int d = 0; d < cluster.node.num_disks; ++d) {
+        disks_[n].push_back(std::make_unique<FifoServer>(
+            &engine_, cluster.node.disk_mbps * 1e6,
+            "node" + std::to_string(n) + "-disk" + std::to_string(d)));
+      }
+      nics_.push_back(std::make_unique<FifoServer>(
+          &engine_, cluster.node.network_gbps * 1e9 / 8,
+          "node" + std::to_string(n) + "-nic"));
+    }
+    free_map_slots_.assign(nodes, spec.map_slots_per_node);
+    free_reduce_slots_.assign(nodes, spec.reduce_slots_per_node);
+    for (int i = 0; i < spec.num_map_tasks; ++i) pending_maps_.push_back(i);
+    for (int i = 0; i < spec.num_reduce_tasks; ++i) {
+      pending_reduces_.push_back(i);
+    }
+    tasks_.resize(spec.num_map_tasks + spec.num_reduce_tasks);
+    total_map_output_ = static_cast<int64_t>(spec.num_map_tasks) *
+                        spec.map_output_bytes_per_task;
+  }
+
+  MrSimResult Run() {
+    engine_.After(0, [this] { TrySchedule(); });
+    engine_.Run();
+    return Finalize();
+  }
+
+ private:
+  SimTask& MapTask(int i) { return tasks_[i]; }
+  SimTask& ReduceTask(int i) { return tasks_[spec_.num_map_tasks + i]; }
+
+  FifoServer* DiskFor(int node, int seq) {
+    return disks_[node][seq % disks_[node].size()].get();
+  }
+
+  double CoreSpeed() const { return cluster_.CoreSpeedFactor(); }
+
+  void TrySchedule() {
+    bool reducers_ready =
+        completed_maps_ >=
+        static_cast<int>(spec_.slowstart * spec_.num_map_tasks + 1e-9);
+    // Reducers may also start when there simply are no maps.
+    if (spec_.num_map_tasks == 0) reducers_ready = true;
+    for (int n = 0; n < cluster_.num_data_nodes; ++n) {
+      while (free_map_slots_[n] > 0 && !pending_maps_.empty()) {
+        int task = pending_maps_.front();
+        pending_maps_.pop_front();
+        --free_map_slots_[n];
+        StartMap(task, n);
+      }
+      if (reducers_ready) {
+        while (free_reduce_slots_[n] > 0 && !pending_reduces_.empty()) {
+          int task = pending_reduces_.front();
+          pending_reduces_.pop_front();
+          --free_reduce_slots_[n];
+          StartReduce(task, n);
+        }
+      }
+    }
+  }
+
+  void StartMap(int id, int node) {
+    SimTask& t = MapTask(id);
+    t.type = SimTask::Type::kMap;
+    t.index = id;
+    t.node = node;
+    t.start = engine_.now();
+    FifoServer* disk = DiskFor(node, id);
+
+    // Startup -> fixed read (index) + input read -> CPU -> spill/merge ->
+    // final write -> done.
+    engine_.After(spec_.task_startup_seconds, [this, id, node, disk] {
+      int64_t read_bytes =
+          spec_.map_fixed_read_bytes + spec_.map_input_bytes_per_task;
+      disk->Request(read_bytes, [this, id, node, disk] {
+        MapTask(id).map_read_end = engine_.now();
+        double speedup = spec_.threads_per_map > 1
+                             ? spec_.thread_model.Speedup(spec_.threads_per_map)
+                             : 1.0;
+        double cpu = (spec_.map_fixed_cpu_seconds +
+                      spec_.map_cpu_seconds_per_task / speedup) /
+                     CoreSpeed();
+        engine_.After(cpu, [this, id, node, disk] {
+          MapTask(id).map_cpu_end = engine_.now();
+          // Sort/spill: intermediate output written once; if it exceeds
+          // the sort buffer, a map-side merge re-reads and re-writes it
+          // (the Fig. 5(b) overhead).
+          int64_t inter = spec_.map_output_bytes_per_task;
+          int64_t spills =
+              inter > 0 ? (inter + spec_.sort_buffer_bytes - 1) /
+                              spec_.sort_buffer_bytes
+                        : 0;
+          int64_t spill_io = inter;
+          if (spills > 1) spill_io += 2 * inter;  // merge read + write
+          disk->Request(spill_io, [this, id, node, disk] {
+            MapTask(id).map_merge_end = engine_.now();
+            disk->Request(spec_.map_final_write_bytes_per_task,
+                          [this, id, node] { FinishMap(id, node); });
+          });
+        });
+      });
+    });
+  }
+
+  void FinishMap(int id, int node) {
+    SimTask& t = MapTask(id);
+    t.end = engine_.now();
+    map_phase_end_ = std::max(map_phase_end_, t.end);
+    ++free_map_slots_[node];
+    ++completed_maps_;
+    if (completed_maps_ == spec_.num_map_tasks) {
+      auto waiters = std::move(waiting_for_maps_);
+      waiting_for_maps_.clear();
+      for (auto& cb : waiters) engine_.After(0, std::move(cb));
+    }
+    TrySchedule();
+  }
+
+  // Reduce-side merge I/O, multipass model [Li et al., TODS'12]: the
+  // reducer's shuffled bytes arrive as ~B_r/shuffle_buffer sorted runs.
+  // The final merge pass streams into the reduce function for free (one
+  // read of B_r); every time the run count exceeds the merge fan-in an
+  // extra intermediate pass re-reads and re-writes all B_r bytes. Run
+  // counts — hence passes, hence bytes moved — grow with the data each
+  // disk handles and shrink with the number of reducer shuffle buffers
+  // per disk, reproducing the paper's "1 disk per 100 GB shuffled" rule.
+  int64_t ReduceMergeBytes(int64_t bytes_per_reducer) const {
+    int64_t runs =
+        (bytes_per_reducer + spec_.reduce_shuffle_buffer_bytes - 1) /
+        std::max<int64_t>(spec_.reduce_shuffle_buffer_bytes, 1);
+    int extra_passes = 0;
+    while (runs > spec_.merge_factor) {
+      runs = (runs + spec_.merge_factor - 1) / spec_.merge_factor;
+      ++extra_passes;
+    }
+    return bytes_per_reducer * (1 + 2 * extra_passes);
+  }
+
+  void StartReduce(int id, int node) {
+    SimTask& t = ReduceTask(id);
+    t.type = SimTask::Type::kReduce;
+    t.index = id;
+    t.node = node;
+    t.start = engine_.now();
+    const int64_t fetch_bytes =
+        spec_.num_reduce_tasks > 0
+            ? total_map_output_ / spec_.num_reduce_tasks
+            : 0;
+
+    engine_.After(spec_.task_startup_seconds, [this, id, node, fetch_bytes] {
+      // Shuffle: fetch what already exists, then the rest as maps finish.
+      double done_fraction =
+          spec_.num_map_tasks > 0
+              ? static_cast<double>(completed_maps_) / spec_.num_map_tasks
+              : 1.0;
+      int64_t first_chunk =
+          static_cast<int64_t>(done_fraction * fetch_bytes);
+      nics_[node]->Request(first_chunk, [this, id, node, fetch_bytes,
+                                         first_chunk] {
+        auto fetch_rest = [this, id, node, fetch_bytes, first_chunk] {
+          nics_[node]->Request(fetch_bytes - first_chunk, [this, id, node,
+                                                           fetch_bytes] {
+            FifoServer* disk = DiskFor(node, spec_.num_map_tasks + id);
+            // Shuffled data spills to disk, then the multipass merge.
+            // When a node's whole shuffle share fits comfortably in
+            // memory, the merge reads hit the page cache and cost no
+            // disk I/O (the Cluster-B 256 GB effect, §4.5.1).
+            disk->Request(fetch_bytes, [this, id, node, disk, fetch_bytes] {
+              int reducers_per_node = std::max(
+                  1, std::min(spec_.reduce_slots_per_node,
+                              (spec_.num_reduce_tasks +
+                               cluster_.num_data_nodes - 1) /
+                                  cluster_.num_data_nodes));
+              bool cached = fetch_bytes * reducers_per_node <=
+                            cluster_.node.memory_bytes / 2;
+              int64_t merge =
+                  cached ? 0 : ReduceMergeBytes(fetch_bytes);
+              reduce_merge_bytes_ += merge;
+              disk->Request(merge, [this, id, node, disk] {
+                SimTask& t = ReduceTask(id);
+                t.shuffle_merge_end = engine_.now();
+                double cpu = spec_.reduce_cpu_seconds_per_task / CoreSpeed();
+                engine_.After(cpu, [this, id, node, disk] {
+                  disk->Request(spec_.reduce_output_write_bytes_per_task,
+                                [this, id, node] { FinishReduce(id, node); });
+                });
+              });
+            });
+          });
+        };
+        if (completed_maps_ == spec_.num_map_tasks) {
+          fetch_rest();
+        } else {
+          waiting_for_maps_.push_back(fetch_rest);
+        }
+      });
+    });
+  }
+
+  void FinishReduce(int id, int node) {
+    SimTask& t = ReduceTask(id);
+    t.end = engine_.now();
+    ++free_reduce_slots_[node];
+    TrySchedule();
+  }
+
+  MrSimResult Finalize() {
+    MrSimResult result;
+    result.tasks = tasks_;
+    result.map_phase_end = map_phase_end_;
+    result.reduce_merge_bytes = reduce_merge_bytes_;
+    double wall = 0;
+    double map_sum = 0, sm_sum = 0, reduce_sum = 0;
+    for (const auto& t : tasks_) {
+      wall = std::max(wall, t.end);
+      double cores = t.type == SimTask::Type::kMap
+                         ? static_cast<double>(spec_.threads_per_map)
+                         : 1.0;
+      result.serial_slot_seconds += (t.end - t.start) * cores;
+      if (t.type == SimTask::Type::kMap) {
+        map_sum += t.end - t.start;
+      } else {
+        sm_sum += t.shuffle_merge_end - t.start;
+        reduce_sum += t.end - t.shuffle_merge_end;
+      }
+    }
+    result.wall_seconds = wall;
+    if (spec_.num_map_tasks > 0) {
+      result.avg_map_seconds = map_sum / spec_.num_map_tasks;
+    }
+    if (spec_.num_reduce_tasks > 0) {
+      result.avg_shuffle_merge_seconds = sm_sum / spec_.num_reduce_tasks;
+      result.avg_reduce_seconds = reduce_sum / spec_.num_reduce_tasks;
+    }
+    // Disk utilization traces (Fig. 10).
+    result.utilization_bucket_seconds = std::max(wall / 200.0, 1.0);
+    for (const auto& node_disks : disks_) {
+      for (const auto& disk : node_disks) {
+        result.disk_utilization.push_back(disk->UtilizationTrace(
+            result.utilization_bucket_seconds, wall));
+      }
+    }
+    return result;
+  }
+
+  ClusterSpec cluster_;
+  MrJobSpec spec_;
+  SimEngine engine_;
+  std::vector<std::vector<std::unique_ptr<FifoServer>>> disks_;
+  std::vector<std::unique_ptr<FifoServer>> nics_;
+  std::vector<int> free_map_slots_, free_reduce_slots_;
+  std::deque<int> pending_maps_, pending_reduces_;
+  std::vector<SimEngine::Callback> waiting_for_maps_;
+  std::vector<SimTask> tasks_;
+  int completed_maps_ = 0;
+  double map_phase_end_ = 0;
+  int64_t total_map_output_ = 0;
+  int64_t reduce_merge_bytes_ = 0;
+};
+
+}  // namespace
+
+MrSimResult SimulateMrJob(const ClusterSpec& cluster, const MrJobSpec& spec) {
+  JobSim sim(cluster, spec);
+  return sim.Run();
+}
+
+}  // namespace gesall

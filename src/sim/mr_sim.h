@@ -1,0 +1,100 @@
+// MapReduce job simulator: replays one Hadoop job's task DAG on the
+// discrete-event cluster (slots, disks, NIC) with the paper's cost
+// structure — per-task startup and index-load overheads (Table 4 /
+// Fig. 5a), map-side sort-spill-merge (Fig. 5b), slow-start reducer
+// scheduling (Table 5), and the Scalla multipass reduce-merge model
+// [Li et al., TODS'12] behind the "1 disk per 100 GB shuffled" rule
+// (Table 7 / Fig. 10 / Appendix B.1).
+
+#ifndef GESALL_SIM_MR_SIM_H_
+#define GESALL_SIM_MR_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace gesall {
+
+/// \brief Cost description of one MapReduce job.
+struct MrJobSpec {
+  std::string name;
+
+  // --- map side ---------------------------------------------------------
+  int num_map_tasks = 1;
+  /// Node-local input bytes read by each map task.
+  int64_t map_input_bytes_per_task = 0;
+  /// Single-thread CPU seconds per map task on the reference core.
+  double map_cpu_seconds_per_task = 0;
+  /// Threads the wrapped program runs with inside one task.
+  int threads_per_map = 1;
+  /// Scaling of the multithreaded wrapped program (Fig. 5c model).
+  ThreadScalingModel thread_model = ThreadScalingModel::Readahead64MB();
+  /// Fixed per-task CPU (e.g. parsing/loading the reference index).
+  double map_fixed_cpu_seconds = 0;
+  /// Fixed per-task bytes read from disk (e.g. the 5 GB BWA index).
+  int64_t map_fixed_read_bytes = 0;
+  /// Intermediate map output per task (after compression).
+  int64_t map_output_bytes_per_task = 0;
+  /// Final DFS write per task (map-only jobs).
+  int64_t map_final_write_bytes_per_task = 0;
+
+  // --- reduce side ------------------------------------------------------
+  int num_reduce_tasks = 0;  // 0 = map-only job
+  double reduce_cpu_seconds_per_task = 0;
+  int64_t reduce_output_write_bytes_per_task = 0;
+  /// Fraction of maps that must complete before reducers are scheduled
+  /// (mapreduce.job.reduce.slowstart.completedmaps).
+  double slowstart = 0.05;
+
+  // --- scheduling & buffers ---------------------------------------------
+  int map_slots_per_node = 1;
+  int reduce_slots_per_node = 1;
+  double task_startup_seconds = 3.0;  // container/JVM launch
+  int64_t sort_buffer_bytes = 2LL << 30;           // io.sort.mb cap
+  int64_t reduce_shuffle_buffer_bytes = 1LL << 30;
+  /// Merge fan-in (io.sort.factor analog): more sorted runs than this
+  /// force an extra multipass-merge pass over the reducer's data.
+  int64_t merge_factor = 10;
+};
+
+/// \brief Per-task simulated timing.
+struct SimTask {
+  enum class Type { kMap, kReduce };
+  Type type = Type::kMap;
+  int index = 0;
+  int node = 0;
+  double start = 0;
+  double end = 0;
+  // Reduce-phase breakdown (Fig. 7 / Table 7 columns).
+  double shuffle_merge_end = 0;  // when shuffle + merge finished
+  // Map-phase breakdown (Fig. 5b): read -> cpu+sort -> spill/merge.
+  double map_read_end = 0;
+  double map_cpu_end = 0;
+  double map_merge_end = 0;
+};
+
+/// \brief Result of one simulated job.
+struct MrSimResult {
+  double wall_seconds = 0;
+  double map_phase_end = 0;  // completion of the last map task
+  double avg_map_seconds = 0;
+  double avg_shuffle_merge_seconds = 0;
+  double avg_reduce_seconds = 0;
+  /// Sum over tasks of duration x cores requested (paper metric 4).
+  double serial_slot_seconds = 0;
+  std::vector<SimTask> tasks;
+  /// Utilization traces per (node, disk), bucketed.
+  std::vector<std::vector<double>> disk_utilization;
+  double utilization_bucket_seconds = 0;
+  /// Total bytes moved during reduce-side merge (model diagnostics).
+  int64_t reduce_merge_bytes = 0;
+};
+
+/// \brief Simulates one job on a cluster.
+MrSimResult SimulateMrJob(const ClusterSpec& cluster, const MrJobSpec& spec);
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_MR_SIM_H_

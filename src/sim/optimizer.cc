@@ -1,0 +1,136 @@
+#include "sim/optimizer.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+std::string PipelinePlan::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "align %dx%dx%d (%d waves), shuffle parts %d, slots %d, "
+                "MarkDup_%s, slowstart %.2f",
+                align_maps_per_node, align_threads_per_map,
+                align_maps_per_node * align_threads_per_map, align_waves,
+                shuffle_partitions, shuffle_slots_per_node,
+                markdup_optimized ? "opt" : "reg", slowstart);
+  return buf;
+}
+
+PipelineOptimizer::PipelineOptimizer(const ClusterSpec& cluster,
+                                     const WorkloadSpec& workload,
+                                     const GenomicsRates& rates)
+    : cluster_(cluster), workload_(workload), rates_(rates) {}
+
+PipelinePlan PipelineOptimizer::Evaluate(PipelinePlan plan) const {
+  plan.wall_seconds = 0;
+  plan.slot_seconds = 0;
+  plan.round_walls.clear();
+
+  auto account = [&](const MrSimResult& r, const char* name) {
+    plan.wall_seconds += r.wall_seconds;
+    plan.slot_seconds += r.serial_slot_seconds;
+    plan.round_walls.emplace_back(name, r.wall_seconds);
+  };
+
+  const int align_partitions = cluster_.num_data_nodes *
+                               plan.align_maps_per_node * plan.align_waves;
+  account(SimulateMrJob(cluster_,
+                        AlignmentJob(workload_, rates_, cluster_,
+                                     align_partitions,
+                                     plan.align_maps_per_node,
+                                     plan.align_threads_per_map)),
+          "round1_alignment");
+
+  auto cleaning = CleaningJob(workload_, rates_, cluster_,
+                              plan.shuffle_partitions,
+                              plan.shuffle_slots_per_node);
+  cleaning.slowstart = plan.slowstart;
+  account(SimulateMrJob(cluster_, cleaning), "round2_cleaning");
+
+  auto markdup = MarkDuplicatesJob(workload_, rates_, cluster_,
+                                   plan.markdup_optimized,
+                                   plan.shuffle_partitions,
+                                   plan.shuffle_slots_per_node);
+  markdup.slowstart = plan.slowstart;
+  account(SimulateMrJob(cluster_, markdup), "round3_markdup");
+
+  auto sort = SortJob(workload_, rates_, cluster_, plan.shuffle_partitions,
+                      plan.shuffle_slots_per_node);
+  sort.slowstart = plan.slowstart;
+  account(SimulateMrJob(cluster_, sort), "round4_sort");
+
+  account(SimulateMrJob(cluster_,
+                        HaplotypeCallerJob(workload_, rates_, cluster_, 23,
+                                           plan.shuffle_slots_per_node)),
+          "round5_haplotype_caller");
+  return plan;
+}
+
+std::vector<PipelinePlan> PipelineOptimizer::EnumeratePlans() const {
+  std::vector<PipelinePlan> plans;
+  const int cores = cluster_.node.cores;
+  // Memory bounds concurrent tasks: ~13 GB per task as in the paper.
+  const int max_slots = std::max<int>(
+      1, static_cast<int>(cluster_.node.memory_bytes / (13LL << 30)));
+
+  for (int threads : {1, 2, 4, 8}) {
+    if (threads > cores) continue;
+    int maps = std::min(cores / threads, max_slots);
+    if (maps < 1) continue;
+    for (int waves : {1, 2, 4}) {
+      for (int slots : {std::min(max_slots, cores / 4),
+                        std::min(max_slots, cores)}) {
+        if (slots < 1) continue;
+        for (int parts : {cluster_.num_data_nodes * slots, 510, 2040}) {
+          for (bool opt : {true, false}) {
+            for (double slowstart : {0.05, 0.80}) {
+              PipelinePlan p;
+              p.align_threads_per_map = threads;
+              p.align_maps_per_node = maps;
+              p.align_waves = waves;
+              p.shuffle_partitions = parts;
+              p.shuffle_slots_per_node = slots;
+              p.markdup_optimized = opt;
+              p.slowstart = slowstart;
+              plans.push_back(p);
+            }
+          }
+        }
+      }
+    }
+  }
+  // Dedup identical knob combinations (slots may collide).
+  std::sort(plans.begin(), plans.end(),
+            [](const PipelinePlan& a, const PipelinePlan& b) {
+              return a.Describe() < b.Describe();
+            });
+  plans.erase(std::unique(plans.begin(), plans.end(),
+                          [](const PipelinePlan& a, const PipelinePlan& b) {
+                            return a.Describe() == b.Describe();
+                          }),
+              plans.end());
+  return plans;
+}
+
+PipelinePlan PipelineOptimizer::Optimize(
+    const OptimizerObjective& objective) const {
+  PipelinePlan best_feasible, fastest;
+  bool have_feasible = false, have_any = false;
+  for (const PipelinePlan& candidate : EnumeratePlans()) {
+    PipelinePlan evaluated = Evaluate(candidate);
+    if (!have_any || evaluated.wall_seconds < fastest.wall_seconds) {
+      fastest = evaluated;
+      have_any = true;
+    }
+    if (evaluated.wall_seconds <= objective.deadline_seconds) {
+      if (!have_feasible ||
+          evaluated.slot_seconds < best_feasible.slot_seconds) {
+        best_feasible = evaluated;
+        have_feasible = true;
+      }
+    }
+  }
+  return have_feasible ? best_feasible : fastest;
+}
+
+}  // namespace gesall

@@ -1,0 +1,74 @@
+// Pipeline optimizer (the paper's future research question 4, App. C):
+// "a pipeline optimizer that can best configure the execution plan of a
+// deep pipeline to meet both user requirements on running time and a
+// genome center's requirements on throughput or efficiency."
+//
+// The optimizer enumerates execution plans (per-round partition counts,
+// process-thread layout, MarkDup variant, slow-start) over the calibrated
+// cluster simulator and picks the cheapest plan — measured in slot-
+// seconds, i.e. cluster occupancy, the genome center's shared-farm
+// currency — whose predicted wall time meets the user's deadline. If no
+// plan meets the deadline it falls back to the fastest plan.
+
+#ifndef GESALL_SIM_OPTIMIZER_H_
+#define GESALL_SIM_OPTIMIZER_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/genomics.h"
+
+namespace gesall {
+
+/// \brief One candidate execution plan and its predicted cost.
+struct PipelinePlan {
+  // Knobs.
+  int align_threads_per_map = 1;
+  int align_maps_per_node = 1;
+  int align_waves = 1;  // alignment partitions = concurrent maps x waves
+  int shuffle_partitions = 510;
+  int shuffle_slots_per_node = 4;
+  bool markdup_optimized = true;
+  double slowstart = 0.05;
+
+  // Predictions (filled by the optimizer).
+  double wall_seconds = 0;
+  double slot_seconds = 0;  // total cluster occupancy
+  std::vector<std::pair<std::string, double>> round_walls;
+
+  std::string Describe() const;
+};
+
+/// \brief User + genome-center objective (paper §2.2 "Performance
+/// Goals"): a turnaround deadline and minimal occupancy of the shared
+/// compute farm.
+struct OptimizerObjective {
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// \brief Enumerative plan optimizer over the cluster simulator.
+class PipelineOptimizer {
+ public:
+  PipelineOptimizer(const ClusterSpec& cluster, const WorkloadSpec& workload,
+                    const GenomicsRates& rates);
+
+  /// Predicts one plan's wall and slot-seconds (5 simulated rounds).
+  PipelinePlan Evaluate(PipelinePlan plan) const;
+
+  /// The candidate search space for this cluster.
+  std::vector<PipelinePlan> EnumeratePlans() const;
+
+  /// Cheapest feasible plan; fastest plan when the deadline is
+  /// unachievable.
+  PipelinePlan Optimize(const OptimizerObjective& objective) const;
+
+ private:
+  ClusterSpec cluster_;
+  WorkloadSpec workload_;
+  GenomicsRates rates_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_OPTIMIZER_H_

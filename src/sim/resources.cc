@@ -1,0 +1,63 @@
+#include "sim/resources.h"
+
+#include <algorithm>
+
+namespace gesall {
+
+void FifoServer::Request(int64_t bytes, SimEngine::Callback on_done) {
+  if (bytes <= 0) {
+    // Zero-byte requests complete immediately (still asynchronously, to
+    // keep callback ordering uniform).
+    engine_->After(0, std::move(on_done));
+    return;
+  }
+  queue_.push_back({bytes, std::move(on_done)});
+  if (!busy_) StartNext();
+}
+
+void FifoServer::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending job = std::move(queue_.front());
+  queue_.pop_front();
+  double duration = static_cast<double>(job.bytes) / rate_;
+  double start = engine_->now();
+  busy_seconds_ += duration;
+  bytes_served_ += job.bytes;
+  // Coalesce adjacent intervals to keep traces compact.
+  if (!busy_intervals_.empty() &&
+      busy_intervals_.back().second >= start - 1e-9) {
+    busy_intervals_.back().second = start + duration;
+  } else {
+    busy_intervals_.emplace_back(start, start + duration);
+  }
+  engine_->After(duration, [this, cb = std::move(job.on_done)]() mutable {
+    cb();
+    StartNext();
+  });
+}
+
+std::vector<double> FifoServer::UtilizationTrace(double bucket_seconds,
+                                                 double until) const {
+  size_t n = static_cast<size_t>(until / bucket_seconds) + 1;
+  std::vector<double> trace(n, 0.0);
+  for (const auto& [start, end] : busy_intervals_) {
+    double e = std::min(end, until);
+    if (e <= start) continue;
+    // Iterate bucket indices directly (never loops on FP boundaries).
+    size_t b0 = static_cast<size_t>(start / bucket_seconds);
+    size_t b1 = std::min(n - 1, static_cast<size_t>(e / bucket_seconds));
+    for (size_t b = b0; b <= b1; ++b) {
+      double lo = std::max(start, b * bucket_seconds);
+      double hi = std::min(e, (b + 1) * bucket_seconds);
+      if (hi > lo) trace[b] += (hi - lo) / bucket_seconds;
+    }
+  }
+  for (auto& u : trace) u = std::min(u, 1.0);
+  return trace;
+}
+
+}  // namespace gesall

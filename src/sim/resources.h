@@ -1,0 +1,63 @@
+// Simulated hardware resources: FIFO bandwidth servers (disks, NICs).
+//
+// Cores are not modeled as a contended resource: every experiment in the
+// paper configures task slots x threads <= cores per node, so compute is
+// a pure delay; concurrency control happens at the slot scheduler.
+
+#ifndef GESALL_SIM_RESOURCES_H_
+#define GESALL_SIM_RESOURCES_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace gesall {
+
+/// \brief A sequential-bandwidth device (disk / NIC): requests are served
+/// FIFO at a fixed byte rate. Records busy intervals for utilization
+/// traces (paper Fig. 10).
+class FifoServer {
+ public:
+  FifoServer(SimEngine* engine, double bytes_per_second, std::string name)
+      : engine_(engine), rate_(bytes_per_second), name_(std::move(name)) {}
+
+  /// Enqueues a transfer; `on_done` fires when it completes.
+  void Request(int64_t bytes, SimEngine::Callback on_done);
+
+  double busy_seconds() const { return busy_seconds_; }
+  int64_t bytes_served() const { return bytes_served_; }
+  const std::string& name() const { return name_; }
+
+  /// Busy intervals [start, end) in simulated time.
+  const std::vector<std::pair<double, double>>& busy_intervals() const {
+    return busy_intervals_;
+  }
+
+  /// Utilization (0..1) per time bucket of the given width, up to `until`.
+  std::vector<double> UtilizationTrace(double bucket_seconds,
+                                       double until) const;
+
+ private:
+  struct Pending {
+    int64_t bytes;
+    SimEngine::Callback on_done;
+  };
+
+  void StartNext();
+
+  SimEngine* engine_;
+  double rate_;
+  std::string name_;
+  bool busy_ = false;
+  std::deque<Pending> queue_;
+  double busy_seconds_ = 0;
+  int64_t bytes_served_ = 0;
+  std::vector<std::pair<double, double>> busy_intervals_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_SIM_RESOURCES_H_

@@ -1,0 +1,183 @@
+#include "util/bgzf.h"
+
+#include <zlib.h>
+
+#include <cstring>
+
+#include "util/io.h"
+
+namespace gesall {
+
+namespace {
+constexpr char kMagic[4] = {'G', 'B', 'Z', '1'};
+
+Status CheckMagic(std::string_view data) {
+  if (data.size() < kBgzfHeaderSize) {
+    return Status::Corruption("truncated BGZF block header");
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad BGZF magic");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::string> BgzfCompressBlock(std::string_view data) {
+  if (data.size() > kBgzfBlockSize) {
+    return Status::InvalidArgument("BGZF block payload too large");
+  }
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  std::string payload(bound, '\0');
+  int rc = compress2(reinterpret_cast<Bytef*>(payload.data()), &bound,
+                     reinterpret_cast<const Bytef*>(data.data()),
+                     static_cast<uLong>(data.size()), Z_DEFAULT_COMPRESSION);
+  if (rc != Z_OK) return Status::Internal("zlib compress failed");
+  payload.resize(bound);
+
+  std::string block;
+  block.reserve(kBgzfHeaderSize + payload.size());
+  block.append(kMagic, 4);
+  BufferWriter w(&block);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(static_cast<uint32_t>(data.size()));
+  block.append(payload);
+  return block;
+}
+
+Result<size_t> BgzfPeekBlockSize(std::string_view data) {
+  GESALL_RETURN_NOT_OK(CheckMagic(data));
+  BufferReader r(data.substr(4));
+  uint32_t csize;
+  GESALL_RETURN_NOT_OK(r.GetU32(&csize));
+  return kBgzfHeaderSize + static_cast<size_t>(csize);
+}
+
+Result<std::string> BgzfDecompressBlock(std::string_view data,
+                                        size_t* consumed) {
+  GESALL_RETURN_NOT_OK(CheckMagic(data));
+  BufferReader r(data.substr(4));
+  uint32_t csize, usize;
+  GESALL_RETURN_NOT_OK(r.GetU32(&csize));
+  GESALL_RETURN_NOT_OK(r.GetU32(&usize));
+  if (data.size() < kBgzfHeaderSize + csize) {
+    return Status::Corruption("truncated BGZF block payload");
+  }
+  if (usize > kBgzfBlockSize) {
+    return Status::Corruption("BGZF block uncompressed size too large");
+  }
+  std::string out(usize, '\0');
+  uLongf out_len = usize;
+  int rc = uncompress(
+      reinterpret_cast<Bytef*>(out.data()), &out_len,
+      reinterpret_cast<const Bytef*>(data.data() + kBgzfHeaderSize), csize);
+  if (rc != Z_OK || out_len != usize) {
+    return Status::Corruption("zlib uncompress failed");
+  }
+  if (consumed != nullptr) *consumed = kBgzfHeaderSize + csize;
+  return out;
+}
+
+uint64_t BgzfWriter::Tell() const {
+  return (static_cast<uint64_t>(out_->size()) << 16) |
+         (pending_.size() & 0xffff);
+}
+
+Status BgzfWriter::Append(std::string_view data) {
+  while (!data.empty()) {
+    size_t room = kBgzfBlockSize - pending_.size();
+    size_t take = std::min(room, data.size());
+    pending_.append(data.substr(0, take));
+    data.remove_prefix(take);
+    if (pending_.size() == kBgzfBlockSize) {
+      GESALL_RETURN_NOT_OK(Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Status BgzfWriter::Flush() {
+  if (pending_.empty()) return Status::OK();
+  GESALL_ASSIGN_OR_RETURN(std::string block, BgzfCompressBlock(pending_));
+  out_->append(block);
+  pending_.clear();
+  return Status::OK();
+}
+
+Status BgzfReader::Seek(uint64_t virtual_offset) {
+  block_offset_ = static_cast<size_t>(virtual_offset >> 16);
+  intra_ = static_cast<size_t>(virtual_offset & 0xffff);
+  loaded_ = false;
+  if (block_offset_ > data_.size()) {
+    return Status::OutOfRange("seek past end of BGZF stream");
+  }
+  if (block_offset_ < data_.size()) {
+    GESALL_RETURN_NOT_OK(EnsureBlock());
+    if (intra_ > block_.size()) {
+      return Status::OutOfRange("intra-block offset past block end");
+    }
+  } else if (intra_ != 0) {
+    return Status::OutOfRange("seek past end of BGZF stream");
+  }
+  return Status::OK();
+}
+
+uint64_t BgzfReader::Tell() const {
+  return (static_cast<uint64_t>(block_offset_) << 16) | (intra_ & 0xffff);
+}
+
+Status BgzfReader::EnsureBlock() {
+  if (loaded_) return Status::OK();
+  size_t consumed = 0;
+  GESALL_ASSIGN_OR_RETURN(
+      block_, BgzfDecompressBlock(data_.substr(block_offset_), &consumed));
+  next_offset_ = block_offset_ + consumed;
+  loaded_ = true;
+  return Status::OK();
+}
+
+bool BgzfReader::AtEnd() {
+  if (loaded_ && intra_ < block_.size()) return false;
+  if (!loaded_) return block_offset_ >= data_.size();
+  // Current block exhausted; at end iff no further block.
+  return next_offset_ >= data_.size();
+}
+
+Status BgzfReader::Read(size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  while (n > 0) {
+    if (block_offset_ >= data_.size()) {
+      return Status::OutOfRange("read past end of BGZF stream");
+    }
+    GESALL_RETURN_NOT_OK(EnsureBlock());
+    if (intra_ >= block_.size()) {
+      block_offset_ = next_offset_;
+      intra_ = 0;
+      loaded_ = false;
+      continue;
+    }
+    size_t take = std::min(n, block_.size() - intra_);
+    out->append(block_, intra_, take);
+    intra_ += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> BgzfListBlocks(
+    std::string_view compressed) {
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t off = 0;
+  while (off < compressed.size()) {
+    GESALL_ASSIGN_OR_RETURN(size_t sz,
+                            BgzfPeekBlockSize(compressed.substr(off)));
+    if (off + sz > compressed.size()) {
+      return Status::Corruption("truncated trailing BGZF block");
+    }
+    spans.emplace_back(off, sz);
+    off += sz;
+  }
+  return spans;
+}
+
+}  // namespace gesall

@@ -1,0 +1,100 @@
+// BGZF-style blocked compression.
+//
+// BAM files are a series of independently-deflated blocks so that a reader
+// can start decompressing at any block boundary — the property Gesall's
+// storage substrate relies on to split BAM files into DFS blocks (paper
+// §3.1). This implementation mirrors the real BGZF container: each block is
+//
+//   magic "GBZ1" | u32 compressed_size | u32 uncompressed_size | payload
+//
+// with payload deflated via zlib (raw deflate). Virtual offsets pack
+// (block file offset << 16 | intra-block offset) exactly like samtools.
+
+#ifndef GESALL_UTIL_BGZF_H_
+#define GESALL_UTIL_BGZF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// Maximum uncompressed payload per BGZF block (64 KiB, as in samtools).
+inline constexpr size_t kBgzfBlockSize = 64 * 1024;
+
+/// Byte size of the per-block header (magic + two u32 sizes).
+inline constexpr size_t kBgzfHeaderSize = 12;
+
+/// \brief Compresses `data` into one BGZF block (must fit kBgzfBlockSize).
+Result<std::string> BgzfCompressBlock(std::string_view data);
+
+/// \brief Decompresses exactly one block starting at `data`.
+/// On success sets `*consumed` to the block's total on-disk size.
+Result<std::string> BgzfDecompressBlock(std::string_view data,
+                                        size_t* consumed);
+
+/// \brief Returns the total on-disk size of the block starting at `data`,
+/// without decompressing. Fails if `data` is shorter than a header.
+Result<size_t> BgzfPeekBlockSize(std::string_view data);
+
+/// \brief Streaming writer that packs appended bytes into BGZF blocks.
+class BgzfWriter {
+ public:
+  /// Appended bytes never straddle a block if `Flush()` is called between
+  /// logical chunks; otherwise blocks are cut at kBgzfBlockSize.
+  explicit BgzfWriter(std::string* out) : out_(out) {}
+
+  /// Returns the virtual offset (coffset<<16 | uoffset) of the next byte.
+  uint64_t Tell() const;
+
+  Status Append(std::string_view data);
+
+  /// Compresses and emits the pending partial block, if any.
+  Status Flush();
+
+ private:
+  std::string* out_;
+  std::string pending_;
+};
+
+/// \brief Reader over a concatenation of BGZF blocks.
+///
+/// Supports starting mid-file at a block boundary (as the DFS record
+/// reader does) and reading across block boundaries.
+class BgzfReader {
+ public:
+  explicit BgzfReader(std::string_view compressed) : data_(compressed) {}
+
+  /// Positions the reader at a virtual offset.
+  Status Seek(uint64_t virtual_offset);
+
+  /// Current virtual offset.
+  uint64_t Tell() const;
+
+  bool AtEnd();
+
+  /// Reads exactly n bytes (failing with OutOfRange at true EOF).
+  Status Read(size_t n, std::string* out);
+
+ private:
+  Status EnsureBlock();
+
+  std::string_view data_;
+  size_t block_offset_ = 0;   // file offset of current block
+  size_t next_offset_ = 0;    // file offset of next block
+  std::string block_;         // decompressed current block
+  size_t intra_ = 0;          // position within block_
+  bool loaded_ = false;
+};
+
+/// \brief Splits a compressed stream into per-block (offset, size) spans.
+/// Used by the storage layer to align DFS blocks with BGZF chunks.
+Result<std::vector<std::pair<size_t, size_t>>> BgzfListBlocks(
+    std::string_view compressed);
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_BGZF_H_

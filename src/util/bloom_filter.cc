@@ -1,0 +1,82 @@
+#include "util/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace gesall {
+
+BloomFilter::BloomFilter(size_t expected_items, double target_fpr) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  target_fpr = std::clamp(target_fpr, 1e-9, 0.5);
+  const double ln2 = 0.6931471805599453;
+  double bits = -static_cast<double>(expected_items) * std::log(target_fpr) /
+                (ln2 * ln2);
+  bit_count_ = std::max<size_t>(static_cast<size_t>(bits) + 1, 64);
+  hash_count_ = std::max(
+      1, static_cast<int>(std::lround(ln2 * bits / expected_items)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::IndexesFor(uint64_t key, std::vector<size_t>* idx) const {
+  // Kirsch-Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x).
+  uint64_t s = key;
+  uint64_t h1 = SplitMix64(s);
+  uint64_t h2 = SplitMix64(s) | 1;
+  idx->clear();
+  for (int i = 0; i < hash_count_; ++i) {
+    idx->push_back((h1 + static_cast<uint64_t>(i) * h2) % bit_count_);
+  }
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  std::vector<size_t> idx;
+  IndexesFor(key, &idx);
+  for (size_t b : idx) bits_[b / 64] |= (1ULL << (b % 64));
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  std::vector<size_t> idx;
+  IndexesFor(key, &idx);
+  for (size_t b : idx) {
+    if ((bits_[b / 64] & (1ULL << (b % 64))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Union(const BloomFilter& other) {
+  if (other.bit_count_ != bit_count_ || other.hash_count_ != hash_count_) {
+    return Status::InvalidArgument("bloom filter geometry mismatch");
+  }
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return Status::OK();
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  BufferWriter w(&out);
+  w.PutU64(bit_count_);
+  w.PutU32(static_cast<uint32_t>(hash_count_));
+  w.PutU64(bits_.size());
+  for (uint64_t word : bits_) w.PutU64(word);
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(const std::string& data) {
+  BufferReader r(data);
+  BloomFilter f;
+  uint64_t bit_count, words;
+  uint32_t hashes;
+  GESALL_RETURN_NOT_OK(r.GetU64(&bit_count));
+  GESALL_RETURN_NOT_OK(r.GetU32(&hashes));
+  GESALL_RETURN_NOT_OK(r.GetU64(&words));
+  f.bit_count_ = static_cast<size_t>(bit_count);
+  f.hash_count_ = static_cast<int>(hashes);
+  f.bits_.resize(static_cast<size_t>(words));
+  for (auto& word : f.bits_) GESALL_RETURN_NOT_OK(r.GetU64(&word));
+  return f;
+}
+
+}  // namespace gesall

@@ -1,0 +1,50 @@
+// Bloom filter used by the MarkDup_opt optimization (paper §3.2):
+// a map-side precomputation records the 5' unclipped positions of reads in
+// partial matching pairs, so the compound partitioning scheme can avoid
+// emitting a second copy of complete-pair reads whose positions never need
+// partial-duplicate checks.
+
+#ifndef GESALL_UTIL_BLOOM_FILTER_H_
+#define GESALL_UTIL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Standard k-hash Bloom filter over 64-bit keys.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at the given false-positive rate.
+  BloomFilter(size_t expected_items, double target_fpr);
+
+  void Insert(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  /// Merges another filter with identical geometry (bitwise OR).
+  Status Union(const BloomFilter& other);
+
+  size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  size_t byte_size() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Serialization for shipping the filter between MapReduce rounds.
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(const std::string& data);
+
+ private:
+  BloomFilter() = default;
+
+  void IndexesFor(uint64_t key, std::vector<size_t>* idx) const;
+
+  size_t bit_count_ = 0;
+  int hash_count_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_BLOOM_FILTER_H_

@@ -1,0 +1,32 @@
+#include "util/io.h"
+
+#include <cstdio>
+
+namespace gesall {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IOError("read failed on " + path);
+  return data;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  bool bad = n != data.size();
+  if (std::fclose(f) != 0) bad = true;
+  if (bad) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace gesall

@@ -1,0 +1,59 @@
+// Minimal leveled logging for library and harness code.
+
+#ifndef GESALL_UTIL_LOGGING_H_
+#define GESALL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gesall {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GESALL_LOG(level)                                        \
+  if (::gesall::LogLevel::level < ::gesall::GetLogLevel()) {     \
+  } else                                                         \
+    ::gesall::internal::LogMessage(::gesall::LogLevel::level).stream()
+
+#define GESALL_CHECK(cond)                                                  \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::gesall::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* cond);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_LOGGING_H_

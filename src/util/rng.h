@@ -1,0 +1,132 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in Gesall (read simulation, aligner
+// tie-breaking, duplicate tie-breaking) draws from a seeded Rng so that
+// experiments are exactly reproducible. The aligner additionally derives
+// per-batch seeds from batch content — the mechanism behind the paper's
+// serial-vs-parallel discordance (Appendix B.2).
+
+#ifndef GESALL_UTIL_RNG_H_
+#define GESALL_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace gesall {
+
+/// \brief SplitMix64 step; used for seeding and cheap hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief 64-bit FNV-1a hash of a byte string.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes two 64-bit values into one (for composing seeds).
+inline uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+/// \brief xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+    have_gauss_ = false;
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling (biased tail rejected).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    double u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gauss_ = r * std::sin(theta);
+    have_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double sd) { return mean + sd * Gaussian(); }
+
+  /// Geometric-ish small count: number of successes before failure.
+  int GeometricCount(double p_continue, int max_count) {
+    int n = 0;
+    while (n < max_count && Bernoulli(p_continue)) ++n;
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_RNG_H_

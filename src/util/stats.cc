@@ -1,0 +1,61 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gesall {
+
+namespace {
+
+// log(n!) with memoized table for small n and Stirling fallback.
+double LogFactorial(int n) {
+  static std::vector<double> table = [] {
+    std::vector<double> t(4096);
+    t[0] = 0.0;
+    for (size_t i = 1; i < t.size(); ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  if (n < 0) return 0.0;
+  if (static_cast<size_t>(n) < table.size()) return table[n];
+  double x = n;
+  return x * std::log(x) - x + 0.5 * std::log(2.0 * 3.141592653589793 * x) +
+         1.0 / (12.0 * x);
+}
+
+// log of the hypergeometric probability of table [[a,b],[c,d]].
+double LogHypergeom(int a, int b, int c, int d) {
+  return LogFactorial(a + b) + LogFactorial(c + d) + LogFactorial(a + c) +
+         LogFactorial(b + d) - LogFactorial(a) - LogFactorial(b) -
+         LogFactorial(c) - LogFactorial(d) - LogFactorial(a + b + c + d);
+}
+
+}  // namespace
+
+double FisherExactTwoSided(int a, int b, int c, int d) {
+  if (a < 0 || b < 0 || c < 0 || d < 0) return 1.0;
+  int row1 = a + b, col1 = a + c, n = a + b + c + d;
+  if (n == 0) return 1.0;
+  double log_p_obs = LogHypergeom(a, b, c, d);
+  // Sum over all tables with the same margins whose probability does not
+  // exceed the observed one (two-sided definition used by R / GATK).
+  int lo = std::max(0, row1 + col1 - n);
+  int hi = std::min(row1, col1);
+  double p = 0.0;
+  const double kEps = 1e-7;
+  for (int x = lo; x <= hi; ++x) {
+    double lp = LogHypergeom(x, row1 - x, col1 - x, n - row1 - col1 + x);
+    if (lp <= log_p_obs + kEps) p += std::exp(lp);
+  }
+  return std::min(p, 1.0);
+}
+
+double FisherStrandPhred(int ref_fwd, int ref_rev, int alt_fwd, int alt_rev) {
+  double p = FisherExactTwoSided(ref_fwd, ref_rev, alt_fwd, alt_rev);
+  if (p <= 0) return 600.0;
+  double fs = -10.0 * std::log10(p);
+  return fs < 0 ? 0.0 : fs;
+}
+
+}  // namespace gesall

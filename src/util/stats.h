@@ -1,0 +1,77 @@
+// Statistical utilities used by the variant callers and the error
+// diagnosis toolkit: Fisher's exact test (strand bias, FS metric),
+// the generalized logistic weighting function (weighted D_count/D_impact,
+// paper §4.5.2), and phred-scale conversions.
+
+#ifndef GESALL_UTIL_STATS_H_
+#define GESALL_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace gesall {
+
+/// \brief Converts an error probability to a phred quality (capped).
+inline int PhredFromErrorProb(double p, int cap = 60) {
+  if (p <= 0) return cap;
+  int q = static_cast<int>(-10.0 * std::log10(p) + 0.5);
+  return q < 0 ? 0 : (q > cap ? cap : q);
+}
+
+/// \brief Converts a phred quality to an error probability.
+inline double ErrorProbFromPhred(int q) { return std::pow(10.0, -q / 10.0); }
+
+/// \brief Two-sided Fisher's exact test p-value for a 2x2 table
+/// [[a, b], [c, d]]. Used for the FS (Fisher strand) variant metric,
+/// reported as -10*log10(p) like GATK.
+double FisherExactTwoSided(int a, int b, int c, int d);
+
+/// \brief FS metric: phred-scaled Fisher strand-bias p-value.
+double FisherStrandPhred(int ref_fwd, int ref_rev, int alt_fwd, int alt_rev);
+
+/// \brief Generalized logistic weighting of quality scores (paper §4.5.2).
+///
+/// Maps a quality score to a weight in [0,1]: ~0 below `lo`, ~1 above `hi`,
+/// following a logistic curve in between. The paper uses lo=30, hi=55 for
+/// mapping quality, reflecting the filtering behavior of analysis programs.
+class LogisticWeight {
+ public:
+  LogisticWeight(double lo, double hi) : mid_((lo + hi) / 2.0) {
+    // Choose steepness so that weight(lo) ~ 0.02 and weight(hi) ~ 0.98.
+    steepness_ = 2.0 * std::log(49.0) / (hi - lo);
+  }
+
+  double operator()(double quality) const {
+    return 1.0 / (1.0 + std::exp(-steepness_ * (quality - mid_)));
+  }
+
+ private:
+  double mid_;
+  double steepness_;
+};
+
+/// \brief Welford-style running mean / variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_STATS_H_

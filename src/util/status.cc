@@ -1,0 +1,48 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gesall {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code());
+  s += ": ";
+  s += message();
+  return s;
+}
+
+void AbortOnBadResult(const Status& st) {
+  std::fprintf(stderr, "Fatal: ValueOrDie on error result: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace gesall

@@ -1,0 +1,174 @@
+// Status / Result error model for Gesall.
+//
+// Follows the Arrow/RocksDB idiom: no exceptions cross public API
+// boundaries; fallible functions return Status (or Result<T> for a value).
+
+#ifndef GESALL_UTIL_STATUS_H_
+#define GESALL_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gesall {
+
+/// \brief Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kCorruption,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kCancelled,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// The OK state carries no allocation; error states allocate a small
+/// state object so that Status stays one pointer wide.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// Renders like "IOError: disk unreachable" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status cheaply copyable; error paths are cold.
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Modeled after arrow::Result. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status st) : v_(std::move(st)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(v_));
+  }
+
+  /// Moves the value out; valid only when ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(v_)); }
+
+ private:
+  void CheckOk() const;
+
+  std::variant<T, Status> v_;
+};
+
+[[noreturn]] void AbortOnBadResult(const Status& st);
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) AbortOnBadResult(status());
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define GESALL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::gesall::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define GESALL_CONCAT_IMPL(a, b) a##b
+#define GESALL_CONCAT(a, b) GESALL_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure returns the error Status from the enclosing function.
+#define GESALL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  GESALL_ASSIGN_OR_RETURN_IMPL(                                    \
+      GESALL_CONCAT(_gesall_result_, __LINE__), lhs, rexpr)
+
+#define GESALL_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = result_name.MoveValueUnsafe()
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_STATUS_H_

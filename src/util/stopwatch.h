@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for harness-side measurements.
+
+#ifndef GESALL_UTIL_STOPWATCH_H_
+#define GESALL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gesall {
+
+/// \brief Measures elapsed wall time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_STOPWATCH_H_

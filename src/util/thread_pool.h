@@ -1,0 +1,48 @@
+// Fixed-size thread pool used by the functional MapReduce engine to run
+// map/reduce tasks concurrently (the paper's "process-thread hierarchy"
+// is modeled by the simulator; the functional engine just needs workers).
+
+#ifndef GESALL_UTIL_THREAD_POOL_H_
+#define GESALL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gesall {
+
+/// \brief Simple FIFO thread pool. Submit returns immediately; Wait blocks
+/// until all submitted tasks have completed.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,122 @@
+// Property tests over the aligner's output: structural invariants that
+// must hold for EVERY record it emits on simulated whole-genome samples.
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+class AlignerPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    ReferenceGeneratorOptions ro;
+    ro.num_chromosomes = 2;
+    ro.chromosome_length = 80'000;
+    ref_ = new ReferenceGenome(GenerateReference(ro));
+    index_ = new GenomeIndex(*ref_);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete ref_;
+  }
+  static ReferenceGenome* ref_;
+  static GenomeIndex* index_;
+};
+
+ReferenceGenome* AlignerPropertyTest::ref_ = nullptr;
+GenomeIndex* AlignerPropertyTest::index_ = nullptr;
+
+TEST_P(AlignerPropertyTest, OutputInvariants) {
+  DonorGenome donor = PlantVariants(*ref_, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = 3.0;
+  so.seed = GetParam();
+  auto sample = SimulateReads(donor, so);
+  auto interleaved =
+      InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+  PairedEndAligner aligner(*index_);
+  auto records = aligner.AlignPairs(interleaved);
+
+  ASSERT_EQ(records.size(), interleaved.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SamRecord& r = records[i];
+    SCOPED_TRACE(r.qname);
+
+    // Pairing structure: interleaved mate order preserved.
+    EXPECT_TRUE(r.IsPaired());
+    EXPECT_EQ(r.IsFirstOfPair(), i % 2 == 0);
+    EXPECT_EQ(r.qname, interleaved[i].name);
+
+    if (r.IsUnmapped()) {
+      EXPECT_TRUE(r.cigar.empty());
+      EXPECT_EQ(r.mapq, 0);
+      // Original sequence preserved verbatim.
+      EXPECT_EQ(r.seq, interleaved[i].sequence);
+      continue;
+    }
+
+    // CIGAR consumes the whole read.
+    EXPECT_EQ(CigarQueryLength(r.cigar),
+              static_cast<int64_t>(r.seq.size()));
+    // Alignment lies within the chromosome.
+    ASSERT_GE(r.ref_id, 0);
+    ASSERT_LT(r.ref_id, 2);
+    EXPECT_GE(r.pos, 0);
+    EXPECT_LE(r.AlignmentEnd(),
+              static_cast<int64_t>(
+                  ref_->chromosomes[r.ref_id].sequence.size()));
+    // MAPQ in range.
+    EXPECT_GE(r.mapq, 0);
+    EXPECT_LE(r.mapq, 60);
+    // SEQ orientation: reverse-strand records store the reverse
+    // complement of the input read.
+    if (r.IsReverse()) {
+      EXPECT_EQ(r.seq, ReverseComplement(interleaved[i].sequence));
+    } else {
+      EXPECT_EQ(r.seq, interleaved[i].sequence);
+    }
+    // Score tags present and sane.
+    auto as = r.GetIntTag("AS");
+    ASSERT_TRUE(as.has_value());
+    EXPECT_GT(*as, 0);
+    EXPECT_LE(*as, static_cast<int64_t>(r.seq.size()));
+  }
+
+  // Mate-field symmetry within each pair.
+  for (size_t i = 0; i + 1 < records.size(); i += 2) {
+    const SamRecord& a = records[i];
+    const SamRecord& b = records[i + 1];
+    EXPECT_EQ(a.qname, b.qname);
+    if (!a.IsUnmapped() && !b.IsUnmapped()) {
+      EXPECT_EQ(a.mate_pos, b.pos);
+      EXPECT_EQ(b.mate_pos, a.pos);
+      EXPECT_EQ(a.mate_ref_id, b.ref_id);
+      EXPECT_EQ(a.IsMateReverse(), b.IsReverse());
+      EXPECT_EQ(a.tlen, -b.tlen);
+    }
+    EXPECT_EQ(a.IsMateUnmapped(), b.IsUnmapped());
+    EXPECT_EQ(b.IsMateUnmapped(), a.IsUnmapped());
+  }
+}
+
+TEST_P(AlignerPropertyTest, DeterministicAcrossRuns) {
+  DonorGenome donor = PlantVariants(*ref_, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = 1.0;
+  so.seed = GetParam();
+  auto sample = SimulateReads(donor, so);
+  auto interleaved =
+      InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+  PairedEndAligner a(*index_), b(*index_);
+  EXPECT_EQ(a.AlignPairs(interleaved), b.AlignPairs(interleaved));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignerPropertyTest,
+                         testing::Values(3u, 17u, 4242u));
+
+}  // namespace
+}  // namespace gesall

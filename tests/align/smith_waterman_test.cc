@@ -1,0 +1,123 @@
+#include "align/smith_waterman.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(SmithWatermanTest, ExactMatch) {
+  auto a = SmithWaterman("ACGTACGT", "TTACGTACGTTT");
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(a.score, 8);
+  EXPECT_EQ(a.window_start, 2);
+  EXPECT_EQ(a.window_end, 10);
+  EXPECT_EQ(CigarToString(a.cigar), "8M");
+  EXPECT_EQ(a.edit_distance, 0);
+}
+
+TEST(SmithWatermanTest, SingleMismatch) {
+  //            v
+  auto a = SmithWaterman("ACGTACGTACGT", "ACGTACCTACGT");
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(CigarToString(a.cigar), "12M");
+  EXPECT_EQ(a.edit_distance, 1);
+  EXPECT_EQ(a.score, 11 - 4);
+}
+
+TEST(SmithWatermanTest, SoftClipsUnalignableEnds) {
+  // Read has 4 junk bases at the front.
+  auto a = SmithWaterman("TTTTACGTACGTACGT", "GGACGTACGTACGTGG");
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(CigarToString(a.cigar), "4S12M");
+}
+
+TEST(SmithWatermanTest, TrailingSoftClip) {
+  auto a = SmithWaterman("ACGTACGTACGTTTTT", "GGACGTACGTACGTGG");
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(CigarToString(a.cigar), "12M4S");
+}
+
+TEST(SmithWatermanTest, InsertionInRead) {
+  // Read = ref with "GG" inserted in the middle; flanks long enough that
+  // the gapped alignment strictly beats soft-clipping one side.
+  std::string ref = "ACGTTGCAACGGATCCTAGGATCGATCGTTAACCGG";
+  std::string read = ref.substr(0, 18) + "GG" + ref.substr(18);
+  auto a = SmithWaterman(read, ref);
+  ASSERT_TRUE(a.aligned);
+  int64_t ins = 0, del = 0;
+  for (const auto& op : a.cigar) {
+    if (op.op == 'I') ins += op.len;
+    if (op.op == 'D') del += op.len;
+  }
+  EXPECT_EQ(ins, 2);
+  EXPECT_EQ(del, 0);
+  EXPECT_EQ(a.score, 36 - 6 - 1);
+}
+
+TEST(SmithWatermanTest, DeletionInRead) {
+  std::string ref = "ACGTTGCAACGGATCCTAGGATCGATCGTTAACCGG";
+  std::string read = ref.substr(0, 17) + ref.substr(20);  // 3 bases gone
+  auto a = SmithWaterman(read, ref);
+  ASSERT_TRUE(a.aligned);
+  int64_t del = 0;
+  for (const auto& op : a.cigar) {
+    if (op.op == 'D') del += op.len;
+  }
+  EXPECT_EQ(del, 3);
+}
+
+TEST(SmithWatermanTest, NoAlignmentBelowZero) {
+  auto a = SmithWaterman("AAAA", "TTTT");
+  EXPECT_FALSE(a.aligned);
+}
+
+TEST(SmithWatermanTest, EmptyInputs) {
+  EXPECT_FALSE(SmithWaterman("", "ACGT").aligned);
+  EXPECT_FALSE(SmithWaterman("ACGT", "").aligned);
+}
+
+TEST(SmithWatermanTest, CigarConsumesWholeRead) {
+  std::string read = "TTTTACGTACGTACGTCCCC";
+  auto a = SmithWaterman(read, "GGACGTACGTACGTGG");
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(CigarQueryLength(a.cigar), static_cast<int64_t>(read.size()));
+}
+
+TEST(SmithWatermanTest, ReferenceSpanMatchesCigar) {
+  std::string ref = "ACACACTGGGTGTGCATCAT";
+  std::string read = "ACACACTGTGTGCATCAT";
+  auto a = SmithWaterman(read, ref);
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(a.window_end - a.window_start, CigarReferenceLength(a.cigar));
+}
+
+TEST(SmithWatermanTest, AffineGapPreferredOverScattered) {
+  // With affine gaps, one contiguous 4-base deletion appears as a single
+  // 'D' run rather than scattered gaps.
+  SwScoring sc;
+  std::string ref = "ACGTTGCAACGGATCCTAGGATCGATCGTTAACCGGACGT";
+  std::string read = ref.substr(0, 20) + ref.substr(24);
+  auto a = SmithWaterman(read, ref, sc);
+  ASSERT_TRUE(a.aligned);
+  int runs = 0;
+  int64_t del = 0;
+  for (const auto& op : a.cigar) {
+    if (op.op == 'D') {
+      ++runs;
+      del += op.len;
+    }
+  }
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(del, 4);
+}
+
+TEST(SmithWatermanTest, ScoringParametersRespected) {
+  SwScoring sc;
+  sc.match = 2;
+  auto a = SmithWaterman("ACGT", "ACGT", sc);
+  ASSERT_TRUE(a.aligned);
+  EXPECT_EQ(a.score, 8);
+}
+
+}  // namespace
+}  // namespace gesall

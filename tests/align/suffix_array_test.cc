@@ -1,0 +1,77 @@
+#include "align/suffix_array.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+std::vector<int32_t> NaiveSuffixArray(const std::string& text) {
+  std::vector<int32_t> sa(text.size());
+  for (size_t i = 0; i < sa.size(); ++i) sa[i] = static_cast<int32_t>(i);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return text.compare(a, std::string::npos, text, b, std::string::npos) < 0;
+  });
+  return sa;
+}
+
+std::string WithSentinel(std::string s) {
+  s.push_back('\0');
+  return s;
+}
+
+TEST(SuffixArrayTest, Banana) {
+  std::string text = WithSentinel("banana");
+  EXPECT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text));
+}
+
+TEST(SuffixArrayTest, Empty) {
+  EXPECT_TRUE(BuildSuffixArray("").empty());
+}
+
+TEST(SuffixArrayTest, SingleChar) {
+  std::string text = WithSentinel("a");
+  EXPECT_EQ(BuildSuffixArray(text), (std::vector<int32_t>{1, 0}));
+}
+
+TEST(SuffixArrayTest, AllSameCharacter) {
+  std::string text = WithSentinel(std::string(100, 'G'));
+  EXPECT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text));
+}
+
+TEST(SuffixArrayTest, MatchesNaiveOnRandomDna) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s;
+    int len = 1 + static_cast<int>(rng.Uniform(500));
+    for (int i = 0; i < len; ++i) s.push_back("ACGT"[rng.Uniform(4)]);
+    std::string text = WithSentinel(s);
+    ASSERT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text))
+        << "trial " << trial;
+  }
+}
+
+TEST(SuffixArrayTest, MatchesNaiveOnRepetitiveText) {
+  std::string s;
+  for (int i = 0; i < 50; ++i) s += "ACGTACG";
+  std::string text = WithSentinel(s);
+  EXPECT_EQ(BuildSuffixArray(text), NaiveSuffixArray(text));
+}
+
+TEST(SuffixArrayTest, IsPermutation) {
+  Rng rng(7);
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s.push_back("ACGT"[rng.Uniform(4)]);
+  auto sa = BuildSuffixArray(WithSentinel(s));
+  std::vector<int32_t> sorted = sa;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gesall

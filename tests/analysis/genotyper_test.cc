@@ -1,0 +1,229 @@
+#include "analysis/genotyper.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gesall {
+namespace {
+
+ReferenceGenome UniformRef(char base = 'A', int64_t len = 2000) {
+  ReferenceGenome g;
+  g.chromosomes.push_back({"chr1", std::string(len, base)});
+  return g;
+}
+
+SamRecord ReadAt(int64_t pos, const std::string& seq,
+                 uint16_t flags = 0) {
+  SamRecord r;
+  r.qname = "r" + std::to_string(pos) + "_" + std::to_string(flags);
+  r.flag = flags;
+  r.ref_id = 0;
+  r.pos = pos;
+  r.mapq = 60;
+  r.cigar = {{'M', static_cast<int32_t>(seq.size())}};
+  r.seq = seq;
+  r.qual = std::string(seq.size(), 'I');
+  return r;
+}
+
+// 30 reads covering [0, 50); `alt_every` of them carry G at position 25.
+std::vector<SamRecord> SnpStack(int n_reads, int n_alt) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < n_reads; ++i) {
+    std::string seq(50, 'A');
+    if (i < n_alt) seq[25] = 'G';
+    records.push_back(
+        ReadAt(0, seq, i % 2 == 0 ? 0 : sam_flags::kReverse));
+    records.back().qname = "r" + std::to_string(i);
+  }
+  return records;
+}
+
+TEST(CallSnpSiteTest, HetCalled) {
+  auto ref = UniformRef();
+  auto records = SnpStack(30, 15);
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  PileupColumn col = pileup.at(25);
+  GenotyperOptions opt;
+  auto v = CallSnpSite('A', col, 0, 25, opt);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ref, "A");
+  EXPECT_EQ(v->alt, "G");
+  EXPECT_EQ(v->genotype, Genotype::kHet);
+  EXPECT_GT(v->qual, 100);
+  EXPECT_EQ(v->dp, 30);
+  EXPECT_NEAR(v->ab, 0.5, 0.01);
+  EXPECT_NEAR(v->mq, 60.0, 0.01);
+  EXPECT_LT(v->fs, 10.0);  // alt spread across both strands
+}
+
+TEST(CallSnpSiteTest, HomCalled) {
+  auto records = SnpStack(30, 30);
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  auto v = CallSnpSite('A', pileup.at(25), 0, 25, GenotyperOptions{});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->genotype, Genotype::kHomAlt);
+  EXPECT_NEAR(v->ab, 1.0, 0.01);
+}
+
+TEST(CallSnpSiteTest, CleanReferenceNotCalled) {
+  auto records = SnpStack(30, 0);
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  EXPECT_FALSE(
+      CallSnpSite('A', pileup.at(25), 0, 25, GenotyperOptions{}).has_value());
+}
+
+TEST(CallSnpSiteTest, SingleErrorNotCalled) {
+  auto records = SnpStack(30, 1);
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  EXPECT_FALSE(
+      CallSnpSite('A', pileup.at(25), 0, 25, GenotyperOptions{}).has_value());
+}
+
+TEST(CallSnpSiteTest, LowDepthNotCalled) {
+  auto records = SnpStack(3, 2);
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  EXPECT_FALSE(
+      CallSnpSite('A', pileup.at(25), 0, 25, GenotyperOptions{}).has_value());
+}
+
+TEST(CallSnpSiteTest, StrandBiasReflectedInFs) {
+  // All alt reads on the forward strand only.
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    std::string seq(50, 'A');
+    bool alt = i < 20;
+    if (alt) seq[25] = 'G';
+    // alt reads all forward; ref reads all reverse.
+    records.push_back(ReadAt(0, seq, alt ? 0 : sam_flags::kReverse));
+    records.back().qname = "r" + std::to_string(i);
+  }
+  auto pileup = RegionPileup::Build(records, 0, 0, 50);
+  auto v = CallSnpSite('A', pileup.at(25), 0, 25, GenotyperOptions{});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GT(v->fs, 30.0);
+}
+
+TEST(CallIndelSiteTest, InsertionCalled) {
+  auto ref = UniformRef();
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    SamRecord r = ReadAt(0, std::string(52, 'A'));
+    r.qname = "r" + std::to_string(i);
+    if (i < 10) {
+      r.cigar = ParseCigar("26M2I24M").ValueOrDie();
+      r.seq[26] = 'G';
+      r.seq[27] = 'G';
+    } else {
+      r.seq.resize(50);
+      r.cigar = ParseCigar("50M").ValueOrDie();
+    }
+    records.push_back(std::move(r));
+  }
+  auto pileup = RegionPileup::Build(records, 0, 0, 60);
+  auto v = CallIndelSite(ref, pileup.at(25), 0, 25, GenotyperOptions{});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ref, "A");
+  EXPECT_EQ(v->alt, "AGG");
+  EXPECT_EQ(v->genotype, Genotype::kHet);
+}
+
+TEST(CallIndelSiteTest, DeletionCalled) {
+  auto ref = UniformRef();
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    SamRecord r = ReadAt(0, std::string(50, 'A'));
+    r.qname = "r" + std::to_string(i);
+    r.cigar = ParseCigar("26M3D24M").ValueOrDie();
+    records.push_back(std::move(r));
+  }
+  auto pileup = RegionPileup::Build(records, 0, 0, 60);
+  auto v = CallIndelSite(ref, pileup.at(25), 0, 25, GenotyperOptions{});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->ref.size(), 4u);
+  EXPECT_EQ(v->alt.size(), 1u);
+  EXPECT_EQ(v->genotype, Genotype::kHomAlt);
+}
+
+TEST(CallIndelSiteTest, FewObservationsNotCalled) {
+  auto ref = UniformRef();
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 30; ++i) {
+    SamRecord r = ReadAt(0, std::string(50, 'A'));
+    r.qname = "r" + std::to_string(i);
+    if (i < 2) r.cigar = ParseCigar("26M3D24M").ValueOrDie();
+    records.push_back(std::move(r));
+  }
+  auto pileup = RegionPileup::Build(records, 0, 0, 60);
+  EXPECT_FALSE(
+      CallIndelSite(ref, pileup.at(25), 0, 25, GenotyperOptions{})
+          .has_value());
+}
+
+TEST(DownsampleTest, ShallowColumnUntouched) {
+  PileupColumn col;
+  for (int i = 0; i < 10; ++i) col.entries.push_back({'A', 40, 60, false});
+  Rng rng(1);
+  uint64_t before = rng.Next();
+  Rng rng2(1);
+  DownsampleColumn(&col, 100, &rng2);
+  EXPECT_EQ(col.depth(), 10);
+  // RNG state untouched for shallow columns.
+  EXPECT_EQ(rng2.Next(), before);
+}
+
+TEST(DownsampleTest, DeepColumnReduced) {
+  PileupColumn col;
+  for (int i = 0; i < 500; ++i) {
+    col.entries.push_back({"ACGT"[i % 4], 40, 60, false});
+  }
+  Rng rng(1);
+  DownsampleColumn(&col, 100, &rng);
+  EXPECT_EQ(col.depth(), 100);
+}
+
+TEST(DownsampleTest, RngStateDependence) {
+  // Different RNG states select different subsets — the mechanism behind
+  // partitioning-sensitive caller output.
+  auto make_col = [] {
+    PileupColumn col;
+    for (int i = 0; i < 500; ++i) {
+      col.entries.push_back({'A', i % 40, 60, false});
+    }
+    return col;
+  };
+  PileupColumn a = make_col(), b = make_col();
+  Rng rng1(1), rng2(2);
+  DownsampleColumn(&a, 100, &rng1);
+  DownsampleColumn(&b, 100, &rng2);
+  bool same = true;
+  for (int i = 0; i < 100; ++i) same &= a.entries[i].qual == b.entries[i].qual;
+  EXPECT_FALSE(same);
+}
+
+TEST(UnifiedGenotyperTest, RegionRespected) {
+  auto ref = UniformRef();
+  auto records = SnpStack(30, 15);
+  UnifiedGenotyper ug(ref);
+  auto in_range = ug.CallRegion(records, 0, 0, 50);
+  EXPECT_EQ(in_range.size(), 1u);
+  UnifiedGenotyper ug2(ref);
+  auto out_of_range = ug2.CallRegion(records, 0, 30, 50);
+  EXPECT_TRUE(out_of_range.empty());
+}
+
+TEST(UnifiedGenotyperTest, ChromosomeCallMatchesRegionCall) {
+  auto ref = UniformRef('A', 5000);
+  auto records = SnpStack(30, 15);
+  UnifiedGenotyper a(ref), b(ref);
+  auto whole = a.CallChromosome(records, 0);
+  auto region = b.CallRegion(records, 0, 0, 5000);
+  ASSERT_EQ(whole.size(), region.size());
+  for (size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(whole[i].Key(), region[i].Key());
+  }
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,217 @@
+#include "analysis/haplotype_caller.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "align/aligner.h"
+#include "analysis/steps.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+TEST(SegmentActiveWindowsTest, NoActivityNoWindows) {
+  std::vector<double> activity(1000, 0.0);
+  auto w = SegmentActiveWindows(activity, 0, 1000, HaplotypeCallerOptions{});
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SegmentActiveWindowsTest, SingleSpikeMakesMinWindow) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(1000, 0.0);
+  activity[500] = 0.5;
+  auto w = SegmentActiveWindows(activity, 0, 1000, opt);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_GE(w[0].end - w[0].start, opt.min_window);
+  EXPECT_LE(w[0].start, 500);
+  EXPECT_GT(w[0].end, 500);
+}
+
+TEST(SegmentActiveWindowsTest, NearbySpikesMerge) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(1000, 0.0);
+  activity[500] = 0.5;
+  activity[510] = 0.5;  // within window_gap of 500
+  auto w = SegmentActiveWindows(activity, 0, 1000, opt);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SegmentActiveWindowsTest, DistantSpikesSeparate) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(1000, 0.0);
+  activity[200] = 0.5;
+  activity[700] = 0.5;
+  auto w = SegmentActiveWindows(activity, 0, 1000, opt);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SegmentActiveWindowsTest, MaxWindowEnforced) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(2000, 0.5);  // everything active
+  auto w = SegmentActiveWindows(activity, 0, 2000, opt);
+  ASSERT_GT(w.size(), 1u);
+  for (const auto& win : w) {
+    EXPECT_LE(win.end - win.start, opt.max_window + 2 * opt.window_pad);
+  }
+}
+
+TEST(SegmentActiveWindowsTest, RegionOffsetsHonored) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(100, 0.0);
+  activity[50] = 0.5;  // absolute position 1050
+  auto w = SegmentActiveWindows(activity, 1000, 1100, opt);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_GE(w[0].start, 1000);
+  EXPECT_LE(w[0].end, 1100);
+  EXPECT_LE(w[0].start, 1050);
+  EXPECT_GT(w[0].end, 1050);
+}
+
+TEST(SegmentActiveWindowsTest, TrailingWindowClosed) {
+  HaplotypeCallerOptions opt;
+  std::vector<double> activity(100, 0.0);
+  activity[99] = 0.5;
+  auto w = SegmentActiveWindows(activity, 0, 100, opt);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].end, 100);
+}
+
+// End-to-end: simulate → align → clean → sort → HC call → compare truth.
+class HaplotypeCallerPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ReferenceGeneratorOptions ro;
+    ro.num_chromosomes = 2;
+    ro.chromosome_length = 120'000;
+    ref_ = new ReferenceGenome(GenerateReference(ro));
+    donor_ = new DonorGenome(PlantVariants(*ref_, VariantPlanterOptions{}));
+    ReadSimulatorOptions so;
+    so.coverage = 30.0;
+    auto sample = SimulateReads(*donor_, so);
+    auto interleaved =
+        InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+    GenomeIndex index(*ref_);
+    PairedEndAligner aligner(index);
+    records_ = new std::vector<SamRecord>(aligner.AlignPairs(interleaved));
+    header_ = new SamHeader(aligner.MakeHeader());
+    CleanSam(*header_, records_);
+    SortSamByCoordinate(header_, records_);
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    delete header_;
+    delete donor_;
+    delete ref_;
+  }
+
+  static ReferenceGenome* ref_;
+  static DonorGenome* donor_;
+  static std::vector<SamRecord>* records_;
+  static SamHeader* header_;
+};
+
+ReferenceGenome* HaplotypeCallerPipelineTest::ref_ = nullptr;
+DonorGenome* HaplotypeCallerPipelineTest::donor_ = nullptr;
+std::vector<SamRecord>* HaplotypeCallerPipelineTest::records_ = nullptr;
+SamHeader* HaplotypeCallerPipelineTest::header_ = nullptr;
+
+TEST_F(HaplotypeCallerPipelineTest, SensitivityAndPrecisionAgainstTruth) {
+  HaplotypeCaller hc(*ref_);
+  auto calls = hc.CallAll(*records_);
+  ASSERT_GT(calls.size(), 50u);
+
+  std::set<std::string> truth_keys;
+  for (const auto& v : donor_->truth) {
+    VariantRecord t;
+    t.chrom = v.chrom;
+    t.pos = v.pos;
+    t.ref = v.ref;
+    t.alt = v.alt;
+    truth_keys.insert(t.Key());
+  }
+  int64_t tp = 0;
+  for (const auto& c : calls) tp += truth_keys.count(c.Key()) > 0;
+  double precision = tp / static_cast<double>(calls.size());
+  double sensitivity = tp / static_cast<double>(truth_keys.size());
+  // SNP-dominated truth on clean synthetic data: expect strong recovery.
+  EXPECT_GT(precision, 0.85);
+  EXPECT_GT(sensitivity, 0.6);
+}
+
+TEST_F(HaplotypeCallerPipelineTest, UnifiedGenotyperAlsoRecoversTruth) {
+  UnifiedGenotyper ug(*ref_);
+  auto calls = ug.CallAll(*records_);
+  ASSERT_GT(calls.size(), 50u);
+  std::set<std::string> truth_keys;
+  for (const auto& v : donor_->truth) {
+    VariantRecord t;
+    t.chrom = v.chrom;
+    t.pos = v.pos;
+    t.ref = v.ref;
+    t.alt = v.alt;
+    truth_keys.insert(t.Key());
+  }
+  int64_t tp = 0;
+  for (const auto& c : calls) tp += truth_keys.count(c.Key()) > 0;
+  EXPECT_GT(tp / static_cast<double>(calls.size()), 0.85);
+}
+
+TEST_F(HaplotypeCallerPipelineTest, ChromosomePartitioningNearlySerial) {
+  // Chromosome-level partitioning: one HC instance per chromosome versus
+  // one serial instance. Differences are possible (downsampling RNG) but
+  // must be a small fraction (paper: "slightly different results").
+  HaplotypeCaller serial(*ref_);
+  auto serial_calls = serial.CallAll(*records_);
+
+  std::vector<VariantRecord> parallel_calls;
+  for (size_t c = 0; c < ref_->chromosomes.size(); ++c) {
+    HaplotypeCaller per_chrom(*ref_);  // fresh instance per partition
+    auto part = per_chrom.CallChromosome(*records_,
+                                         static_cast<int32_t>(c));
+    parallel_calls.insert(parallel_calls.end(), part.begin(), part.end());
+  }
+  std::set<std::string> s_keys, p_keys;
+  for (const auto& v : serial_calls) s_keys.insert(v.Key());
+  for (const auto& v : parallel_calls) p_keys.insert(v.Key());
+  std::vector<std::string> discordant;
+  std::set_symmetric_difference(s_keys.begin(), s_keys.end(), p_keys.begin(),
+                                p_keys.end(),
+                                std::back_inserter(discordant));
+  EXPECT_LT(discordant.size(), s_keys.size() / 20 + 10);
+}
+
+TEST_F(HaplotypeCallerPipelineTest, OverlappingRegionsMatchWholeChromosome) {
+  // Gesall's fine-grained scheme: overlapping segments with emit ranges
+  // reproduce the whole-chromosome walk when overlap >= max window.
+  HaplotypeCallerOptions opt;
+  HaplotypeCaller whole(*ref_);
+  auto expected = whole.CallChromosome(*records_, 0);
+
+  const int64_t len =
+      static_cast<int64_t>(ref_->chromosomes[0].sequence.size());
+  const int64_t overlap = opt.max_window + opt.window_pad;
+  std::vector<VariantRecord> pieces;
+  const int64_t step = 30'000;
+  for (int64_t s = 0; s < len; s += step) {
+    int64_t e = std::min(len, s + step);
+    HaplotypeCaller part(*ref_);
+    auto out = part.CallRegion(*records_, 0, std::max<int64_t>(0, s - overlap),
+                               std::min(len, e + overlap), s, e);
+    pieces.insert(pieces.end(), out.begin(), out.end());
+  }
+  std::set<std::string> exp_keys, got_keys;
+  for (const auto& v : expected) exp_keys.insert(v.Key());
+  for (const auto& v : pieces) got_keys.insert(v.Key());
+  std::vector<std::string> discordant;
+  std::set_symmetric_difference(exp_keys.begin(), exp_keys.end(),
+                                got_keys.begin(), got_keys.end(),
+                                std::back_inserter(discordant));
+  // Bounded boundary error (paper §3.2-3: "bound the probability of
+  // errors produced by this scheme").
+  EXPECT_LT(discordant.size(), exp_keys.size() / 20 + 5);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,193 @@
+#include "analysis/mark_duplicates.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+// Builds a complete pair at (pos1 fwd, pos2 rev) with a given base
+// quality character.
+std::vector<SamRecord> Pair(const std::string& name, int64_t pos1,
+                            int64_t pos2, char qual = 'I') {
+  SamRecord a;
+  a.qname = name;
+  a.flag = sam_flags::kPaired | sam_flags::kFirstOfPair;
+  a.ref_id = 0;
+  a.pos = pos1;
+  a.mapq = 60;
+  a.cigar = {{'M', 100}};
+  a.seq = std::string(100, 'A');
+  a.qual = std::string(100, qual);
+  SamRecord b = a;
+  b.flag = sam_flags::kPaired | sam_flags::kSecondOfPair |
+           sam_flags::kReverse;
+  b.pos = pos2;
+  return {a, b};
+}
+
+std::vector<SamRecord> PartialPair(const std::string& name, int64_t pos,
+                                   bool reverse = false, char qual = 'I') {
+  auto pair = Pair(name, pos, pos, qual);
+  pair[1].SetFlag(sam_flags::kUnmapped, true);
+  pair[1].cigar.clear();
+  pair[1].mapq = 0;
+  pair[0].SetFlag(sam_flags::kMateUnmapped, true);
+  if (reverse) pair[0].SetFlag(sam_flags::kReverse, true);
+  return pair;
+}
+
+void Append(std::vector<SamRecord>* out, std::vector<SamRecord> recs) {
+  for (auto& r : recs) out->push_back(std::move(r));
+}
+
+TEST(ReadEndKeyTest, ForwardUsesUnclippedStart) {
+  SamRecord r;
+  r.ref_id = 2;
+  r.pos = 1000;
+  r.cigar = ParseCigar("5S95M").ValueOrDie();
+  ReadEndKey k = KeyOf(r);
+  EXPECT_EQ(k.ref_id, 2);
+  EXPECT_EQ(k.unclipped_5p, 995);
+  EXPECT_FALSE(k.reverse);
+}
+
+TEST(ReadEndKeyTest, FingerprintDistinguishes) {
+  ReadEndKey a{0, 100, false}, b{0, 100, true}, c{0, 101, false};
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_EQ(a.Fingerprint(), (ReadEndKey{0, 100, false}).Fingerprint());
+}
+
+TEST(MarkDuplicatesTest, IdenticalPairsOneSurvives) {
+  std::vector<SamRecord> records;
+  Append(&records, Pair("p1", 100, 400, 'I'));
+  Append(&records, Pair("p2", 100, 400, '5'));  // lower quality
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.complete_pairs, 2);
+  EXPECT_EQ(stats.duplicate_pairs, 1);
+  // p1 has higher quality: p2 is the duplicate.
+  EXPECT_FALSE(records[0].IsDuplicate());
+  EXPECT_FALSE(records[1].IsDuplicate());
+  EXPECT_TRUE(records[2].IsDuplicate());
+  EXPECT_TRUE(records[3].IsDuplicate());
+}
+
+TEST(MarkDuplicatesTest, DistinctPositionsKept) {
+  std::vector<SamRecord> records;
+  Append(&records, Pair("p1", 100, 400));
+  Append(&records, Pair("p2", 101, 400));
+  Append(&records, Pair("p3", 100, 401));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.duplicate_pairs, 0);
+  for (const auto& r : records) EXPECT_FALSE(r.IsDuplicate());
+}
+
+TEST(MarkDuplicatesTest, ClippingDoesNotHideDuplicates) {
+  // Same fragment, one alignment soft-clipped: 5' unclipped ends match.
+  std::vector<SamRecord> records;
+  Append(&records, Pair("p1", 100, 400));
+  auto clipped = Pair("p2", 105, 400, '5');
+  clipped[0].cigar = ParseCigar("5S95M").ValueOrDie();  // unclipped = 100
+  Append(&records, std::move(clipped));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.duplicate_pairs, 1);
+  EXPECT_TRUE(records[2].IsDuplicate());
+}
+
+TEST(MarkDuplicatesTest, TieBrokenByName) {
+  // Equal quality: deterministic winner is the smaller read name.
+  std::vector<SamRecord> records;
+  Append(&records, Pair("pB", 100, 400));
+  Append(&records, Pair("pA", 100, 400));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.duplicate_pairs, 1);
+  EXPECT_TRUE(records[0].IsDuplicate());   // pB loses
+  EXPECT_FALSE(records[2].IsDuplicate());  // pA wins
+}
+
+TEST(MarkDuplicatesTest, OrderIndependentOutput) {
+  // The paper relies on parallel == serial for identical input; our
+  // implementation must be insensitive to record group order.
+  std::vector<SamRecord> forward, backward;
+  Append(&forward, Pair("p1", 100, 400, 'I'));
+  Append(&forward, Pair("p2", 100, 400, '5'));
+  Append(&forward, Pair("p3", 200, 600, '5'));
+  backward.insert(backward.end(), forward.begin() + 4, forward.end());
+  backward.insert(backward.end(), forward.begin() + 2, forward.begin() + 4);
+  backward.insert(backward.end(), forward.begin(), forward.begin() + 2);
+  ASSERT_TRUE(MarkDuplicates(&forward).ok());
+  ASSERT_TRUE(MarkDuplicates(&backward).ok());
+  auto dup_names = [](const std::vector<SamRecord>& rs) {
+    std::set<std::string> names;
+    for (const auto& r : rs) {
+      if (r.IsDuplicate()) names.insert(r.qname);
+    }
+    return names;
+  };
+  EXPECT_EQ(dup_names(forward), dup_names(backward));
+}
+
+TEST(MarkDuplicatesTest, PartialMatchingAgainstCompletePair) {
+  // Paper Fig. 4: partial pair R7 coincides with a complete-pair read end
+  // and is marked as a duplicate.
+  std::vector<SamRecord> records;
+  Append(&records, Pair("p1", 100, 400));
+  Append(&records, PartialPair("p7", 100));  // same 5' end as p1's mate 1
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.partial_pairs, 1);
+  EXPECT_EQ(stats.duplicate_partials, 1);
+  EXPECT_TRUE(records[2].IsDuplicate());
+  EXPECT_FALSE(records[0].IsDuplicate());  // complete pair never flagged
+}
+
+TEST(MarkDuplicatesTest, PartialVersusPartialQualityContest) {
+  std::vector<SamRecord> records;
+  Append(&records, PartialPair("pa", 5000, false, 'I'));
+  Append(&records, PartialPair("pb", 5000, false, '5'));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.duplicate_partials, 1);
+  EXPECT_FALSE(records[0].IsDuplicate());
+  EXPECT_TRUE(records[2].IsDuplicate());
+}
+
+TEST(MarkDuplicatesTest, PartialDifferentStrandNotDuplicate) {
+  std::vector<SamRecord> records;
+  Append(&records, PartialPair("pa", 5000, false));
+  Append(&records, PartialPair("pb", 5000, true));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.duplicate_partials, 0);
+}
+
+TEST(MarkDuplicatesTest, ResetsPreviousFlags) {
+  std::vector<SamRecord> records;
+  Append(&records, Pair("p1", 100, 400));
+  records[0].SetFlag(sam_flags::kDuplicate, true);
+  records[1].SetFlag(sam_flags::kDuplicate, true);
+  ASSERT_TRUE(MarkDuplicates(&records).ok());
+  EXPECT_FALSE(records[0].IsDuplicate());
+  EXPECT_FALSE(records[1].IsDuplicate());
+}
+
+TEST(MarkDuplicatesTest, RejectsUngroupedInput) {
+  std::vector<SamRecord> records;
+  auto p1 = Pair("p1", 100, 400);
+  auto p2 = Pair("p2", 100, 400);
+  records = {p1[0], p2[0], p1[1], p2[1]};
+  EXPECT_TRUE(MarkDuplicates(&records).status().IsInvalidArgument());
+}
+
+TEST(MarkDuplicatesTest, BothUnmappedIgnored) {
+  std::vector<SamRecord> records;
+  auto p = Pair("p1", 100, 400);
+  for (auto& r : p) {
+    r.SetFlag(sam_flags::kUnmapped, true);
+    r.cigar.clear();
+  }
+  Append(&records, std::move(p));
+  auto stats = MarkDuplicates(&records).ValueOrDie();
+  EXPECT_EQ(stats.complete_pairs, 0);
+  EXPECT_EQ(stats.partial_pairs, 0);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,116 @@
+#include "analysis/pileup.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+SamRecord Read(int64_t pos, const std::string& seq, const char* cigar,
+               int mapq = 60, uint16_t flags = 0) {
+  SamRecord r;
+  r.qname = "r";
+  r.flag = flags;
+  r.ref_id = 0;
+  r.pos = pos;
+  r.mapq = mapq;
+  r.cigar = ParseCigar(cigar).ValueOrDie();
+  r.seq = seq;
+  r.qual = std::string(seq.size(), 'I');
+  return r;
+}
+
+TEST(PileupTest, SimpleMatchColumns) {
+  std::vector<SamRecord> records = {Read(10, "ACGT", "4M"),
+                                    Read(12, "GTAC", "4M")};
+  auto p = RegionPileup::Build(records, 0, 0, 20);
+  EXPECT_EQ(p.at(10).depth(), 1);
+  EXPECT_EQ(p.at(12).depth(), 2);
+  EXPECT_EQ(p.at(12).entries[0].base, 'G');
+  EXPECT_EQ(p.at(12).entries[1].base, 'G');
+  EXPECT_EQ(p.at(16).depth(), 0);
+}
+
+TEST(PileupTest, SoftClipSkipped) {
+  // 2S2M: only the last two bases align, at pos 10-11.
+  std::vector<SamRecord> records = {Read(10, "TTGG", "2S2M")};
+  auto p = RegionPileup::Build(records, 0, 0, 20);
+  EXPECT_EQ(p.at(10).depth(), 1);
+  EXPECT_EQ(p.at(10).entries[0].base, 'G');
+  EXPECT_EQ(p.at(12).depth(), 0);
+}
+
+TEST(PileupTest, InsertionAnchored) {
+  // 2M2I2M: insertion "GG" anchored at ref pos 11 (base before event).
+  std::vector<SamRecord> records = {Read(10, "ACGGTT", "2M2I2M")};
+  auto p = RegionPileup::Build(records, 0, 0, 20);
+  ASSERT_EQ(p.at(11).indels.size(), 1u);
+  EXPECT_EQ(p.at(11).indels[0].inserted, "GG");
+  EXPECT_EQ(p.at(11).indels[0].deleted, 0);
+  // The bases after the insertion continue at ref 12.
+  EXPECT_EQ(p.at(12).entries[0].base, 'T');
+}
+
+TEST(PileupTest, DeletionAnchored) {
+  // 2M3D2M: deletion of 3 ref bases anchored at pos 11.
+  std::vector<SamRecord> records = {Read(10, "ACTT", "2M3D2M")};
+  auto p = RegionPileup::Build(records, 0, 0, 20);
+  ASSERT_EQ(p.at(11).indels.size(), 1u);
+  EXPECT_EQ(p.at(11).indels[0].deleted, 3);
+  // Deleted positions have no base entries from this read.
+  EXPECT_EQ(p.at(12).depth(), 0);
+  EXPECT_EQ(p.at(15).entries[0].base, 'T');
+}
+
+TEST(PileupTest, FiltersRespected) {
+  PileupOptions opt;
+  opt.min_mapq = 20;
+  std::vector<SamRecord> records = {
+      Read(10, "ACGT", "4M", /*mapq=*/10),
+      Read(10, "ACGT", "4M", 60, sam_flags::kDuplicate),
+      Read(10, "ACGT", "4M", 60, sam_flags::kSecondary),
+      Read(10, "ACGT", "4M", 60, sam_flags::kUnmapped),
+      Read(10, "ACGT", "4M", 60),
+  };
+  auto p = RegionPileup::Build(records, 0, 0, 20, opt);
+  EXPECT_EQ(p.at(10).depth(), 1);
+}
+
+TEST(PileupTest, LowBaseQualitySkipped) {
+  PileupOptions opt;
+  opt.min_base_qual = 20;
+  SamRecord r = Read(10, "ACGT", "4M");
+  r.qual = "I!I!";  // phred 40, 0, 40, 0
+  auto p = RegionPileup::Build({r}, 0, 0, 20, opt);
+  EXPECT_EQ(p.at(10).depth(), 1);
+  EXPECT_EQ(p.at(11).depth(), 0);
+  EXPECT_EQ(p.at(12).depth(), 1);
+}
+
+TEST(PileupTest, RegionBoundariesRespected) {
+  std::vector<SamRecord> records = {Read(10, std::string(20, 'A'), "20M")};
+  auto p = RegionPileup::Build(records, 0, 15, 25);
+  EXPECT_EQ(p.at(15).depth(), 1);
+  EXPECT_EQ(p.at(24).depth(), 1);
+  EXPECT_EQ(p.start(), 15);
+  EXPECT_EQ(p.end(), 25);
+}
+
+TEST(PileupTest, WrongChromosomeSkipped) {
+  SamRecord r = Read(10, "ACGT", "4M");
+  r.ref_id = 3;
+  auto p = RegionPileup::Build({r}, 0, 0, 20);
+  EXPECT_EQ(p.at(10).depth(), 0);
+}
+
+TEST(PileupTest, StrandRecorded) {
+  std::vector<SamRecord> records = {
+      Read(10, "ACGT", "4M"),
+      Read(10, "ACGT", "4M", 60, sam_flags::kReverse)};
+  auto p = RegionPileup::Build(records, 0, 0, 20);
+  ASSERT_EQ(p.at(10).depth(), 2);
+  EXPECT_FALSE(p.at(10).entries[0].reverse);
+  EXPECT_TRUE(p.at(10).entries[1].reverse);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,124 @@
+#include "analysis/recalibration.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+ReferenceGenome SmallRef() {
+  ReferenceGenome g;
+  g.chromosomes.push_back({"chr1", std::string(1000, 'A')});
+  return g;
+}
+
+SamRecord ReadAt(int64_t pos, const std::string& seq, char qual_char = 'I') {
+  SamRecord r;
+  r.qname = "r";
+  r.ref_id = 0;
+  r.pos = pos;
+  r.mapq = 60;
+  r.cigar = {{'M', static_cast<int32_t>(seq.size())}};
+  r.seq = seq;
+  r.qual = std::string(seq.size(), qual_char);
+  r.SetTag("RG", 'Z', "rg1");
+  return r;
+}
+
+TEST(RecalibrationTableTest, EmpiricalQualityFromCounts) {
+  RecalibrationTable t;
+  CovariateKey k{"rg1", 40, 0, 'A'};
+  // 1000 observations, 10 mismatches -> p ~ 0.011 -> Q ~ 20.
+  for (int i = 0; i < 990; ++i) t.Observe(k, false);
+  for (int i = 0; i < 10; ++i) t.Observe(k, true);
+  EXPECT_NEAR(t.EmpiricalQuality(k), 20, 1);
+}
+
+TEST(RecalibrationTableTest, UnseenKeyKeepsReportedQuality) {
+  RecalibrationTable t;
+  CovariateKey k{"rg1", 37, 2, 'C'};
+  EXPECT_EQ(t.EmpiricalQuality(k), 37);
+}
+
+TEST(RecalibrationTableTest, MergeAddsCounts) {
+  RecalibrationTable a, b;
+  CovariateKey k{"rg1", 40, 0, 'A'};
+  for (int i = 0; i < 50; ++i) a.Observe(k, i < 25);
+  for (int i = 0; i < 50; ++i) b.Observe(k, false);
+  a.Merge(b);
+  EXPECT_EQ(a.total_observations(), 100);
+  EXPECT_EQ(a.total_mismatches(), 25);
+}
+
+TEST(RecalibrationTableTest, SerializationRoundTrip) {
+  RecalibrationTable t;
+  t.Observe({"rg1", 40, 0, 'A'}, true);
+  t.Observe({"rg2", 30, 5, 'G'}, false);
+  auto restored = RecalibrationTable::Deserialize(t.Serialize()).ValueOrDie();
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.total_observations(), 2);
+  EXPECT_EQ(restored.total_mismatches(), 1);
+}
+
+TEST(BaseRecalibratorTest, CountsMismatchesAgainstReference) {
+  auto ref = SmallRef();
+  // Reference is all-A; read "AAAC" has one mismatch.
+  std::vector<SamRecord> records = {ReadAt(100, "AAAC")};
+  auto table = BaseRecalibrator(ref, records);
+  EXPECT_EQ(table.total_observations(), 4);
+  EXPECT_EQ(table.total_mismatches(), 1);
+}
+
+TEST(BaseRecalibratorTest, SkipsDuplicates) {
+  auto ref = SmallRef();
+  SamRecord dup = ReadAt(100, "AAAC");
+  dup.SetFlag(sam_flags::kDuplicate, true);
+  auto table = BaseRecalibrator(ref, {dup});
+  EXPECT_EQ(table.total_observations(), 0);
+}
+
+TEST(BaseRecalibratorTest, PerPartitionTablesMergeToSerialTable) {
+  // The GDPT covariate-partitioning contract: building tables on
+  // partitions and merging equals building one table serially.
+  auto ref = SmallRef();
+  std::vector<SamRecord> all = {ReadAt(10, "AAAA"), ReadAt(20, "AACA"),
+                                ReadAt(30, "CAAA", '5'),
+                                ReadAt(40, "AAAA", '5')};
+  auto serial = BaseRecalibrator(ref, all);
+  auto part1 = BaseRecalibrator(
+      ref, std::vector<SamRecord>(all.begin(), all.begin() + 2));
+  auto part2 = BaseRecalibrator(
+      ref, std::vector<SamRecord>(all.begin() + 2, all.end()));
+  part1.Merge(part2);
+  EXPECT_EQ(part1.Serialize(), serial.Serialize());
+}
+
+TEST(PrintReadsTest, RewritesQualitiesFromTable) {
+  auto ref = SmallRef();
+  // Train: reported Q40 bases actually mismatch 10% of the time.
+  std::vector<SamRecord> train;
+  for (int i = 0; i < 100; ++i) {
+    // 10-base reads; one mismatching base each -> 10% mismatch rate.
+    std::string seq = "AAAAAAAAAC";
+    train.push_back(ReadAt(i * 10, seq));
+  }
+  auto table = BaseRecalibrator(ref, train);
+  std::vector<SamRecord> apply = {ReadAt(500, "AAAAAAAAAA")};
+  std::string before = apply[0].qual;
+  PrintReads(table, &apply);
+  EXPECT_NE(apply[0].qual, before);
+  // Mid-read bases in context 'A' at Q40 should drop to ~Q10.
+  int q5 = apply[0].qual[5] - 33;
+  EXPECT_LT(q5, 20);
+  EXPECT_GT(q5, 5);
+}
+
+TEST(PrintReadsTest, UncoveredCovariatesUnchanged) {
+  RecalibrationTable empty;
+  std::vector<SamRecord> records = {ReadAt(500, "AAAA")};
+  std::string before = records[0].qual;
+  PrintReads(empty, &records);
+  EXPECT_EQ(records[0].qual, before);
+}
+
+}  // namespace
+}  // namespace gesall

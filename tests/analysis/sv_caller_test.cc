@@ -1,0 +1,203 @@
+#include "analysis/sv_caller.h"
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "analysis/steps.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "genome/sv_planter.h"
+
+namespace gesall {
+namespace {
+
+using CallType = StructuralVariantCall::Type;
+
+// --- Unit tests on hand-built discordant pairs -------------------------
+
+SamRecord Pair1(int32_t chrom, int64_t pos, int32_t mate_chrom,
+                int64_t mate_pos, bool reverse, bool mate_reverse,
+                int64_t tlen) {
+  SamRecord r;
+  r.qname = "p" + std::to_string(pos);
+  r.flag = sam_flags::kPaired | sam_flags::kFirstOfPair;
+  r.ref_id = chrom;
+  r.pos = pos;
+  r.mapq = 60;
+  r.cigar = {{'M', 100}};
+  r.mate_ref_id = mate_chrom;
+  r.mate_pos = mate_pos;
+  r.tlen = tlen;
+  if (reverse) r.SetFlag(sam_flags::kReverse, true);
+  if (mate_reverse) r.SetFlag(sam_flags::kMateReverse, true);
+  r.seq = std::string(100, 'A');
+  r.qual = std::string(100, 'I');
+  return r;
+}
+
+TEST(SvCallerUnitTest, DeletionFromLongSpans) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    // Convergent pairs spanning 2400 bases (library mean 400).
+    records.push_back(Pair1(0, 10'000 + 10 * i, 0, 12'300 + 10 * i,
+                            false, true, 2400));
+    records.back().qname = "d" + std::to_string(i);
+  }
+  auto calls = CallStructuralVariants(records);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].type, CallType::kDeletion);
+  EXPECT_EQ(calls[0].support, 6);
+  EXPECT_NEAR(static_cast<double>(calls[0].start), 10'120, 50);
+  EXPECT_NEAR(static_cast<double>(calls[0].end), 12'320, 50);
+}
+
+TEST(SvCallerUnitTest, InversionFromSameStrandPairs) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(Pair1(1, 40'000 + 15 * i, 1, 41'500 + 15 * i,
+                            false, false, 1500));  // both forward
+    records.back().qname = "v" + std::to_string(i);
+  }
+  auto calls = CallStructuralVariants(records);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].type, CallType::kInversion);
+  EXPECT_EQ(calls[0].chrom, 1);
+}
+
+TEST(SvCallerUnitTest, TranslocationFromCrossChromosomePairs) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(Pair1(0, 20'000 + 20 * i, 2, 70'000 + 20 * i,
+                            false, true, 0));
+    records.back().qname = "t" + std::to_string(i);
+  }
+  auto calls = CallStructuralVariants(records);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].type, CallType::kTranslocation);
+  EXPECT_EQ(calls[0].chrom, 0);
+  EXPECT_EQ(calls[0].chrom2, 2);
+  EXPECT_NEAR(static_cast<double>(calls[0].pos2), 70'040, 60);
+}
+
+TEST(SvCallerUnitTest, ConcordantPairsProduceNoCalls) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(
+        Pair1(0, 1000 * i, 0, 1000 * i + 300, false, true, 400));
+    records.back().qname = "c" + std::to_string(i);
+  }
+  EXPECT_TRUE(CallStructuralVariants(records).empty());
+}
+
+TEST(SvCallerUnitTest, MinSupportRespected) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 3; ++i) {  // below min_support = 4
+    records.push_back(Pair1(0, 10'000 + 10 * i, 0, 12'300 + 10 * i,
+                            false, true, 2400));
+    records.back().qname = "d" + std::to_string(i);
+  }
+  EXPECT_TRUE(CallStructuralVariants(records).empty());
+}
+
+TEST(SvCallerUnitTest, LowMapqFiltered) {
+  std::vector<SamRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    auto r = Pair1(0, 10'000 + 10 * i, 0, 12'300 + 10 * i, false, true,
+                   2400);
+    r.mapq = 5;
+    r.qname = "d" + std::to_string(i);
+    records.push_back(std::move(r));
+  }
+  EXPECT_TRUE(CallStructuralVariants(records).empty());
+}
+
+// --- End-to-end: plant SVs, simulate, align, detect --------------------
+
+TEST(SvCallerPipelineTest, RecoversPlantedDeletionsAndInsertions) {
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 1;
+  ro.chromosome_length = 150'000;
+  auto ref = GenerateReference(ro);
+  VariantPlanterOptions vp;
+  vp.snp_rate = 0.0005;
+  vp.indel_rate = 0.0;
+  auto donor = PlantVariants(ref, vp);
+  SvPlanterOptions sv_opt;
+  sv_opt.deletions_per_chromosome = 2;
+  sv_opt.insertions_per_chromosome = 0;
+  sv_opt.inversions_per_chromosome = 0;
+  sv_opt.min_length = 1'500;
+  sv_opt.max_length = 2'500;
+  auto svs = PlantStructuralVariants(&donor, sv_opt);
+  ASSERT_EQ(svs.size(), 2u);
+
+  ReadSimulatorOptions so;
+  so.coverage = 20.0;
+  auto sample = SimulateReads(donor, so);
+  GenomeIndex index(ref);
+  PairedEndAligner aligner(index);
+  auto interleaved =
+      InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+  auto records = aligner.AlignPairs(interleaved);
+  SamHeader header = aligner.MakeHeader();
+  ASSERT_TRUE(FixMateInformation(&records).ok());
+
+  auto calls = CallStructuralVariants(records);
+  // Every planted deletion must be recovered within library slack.
+  for (const auto& sv : svs) {
+    bool found = false;
+    for (const auto& call : calls) {
+      if (call.type != CallType::kDeletion) continue;
+      if (std::abs(call.start - sv.start) < 600 &&
+          std::abs(call.end - sv.end) < 600) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "deletion at " << sv.start << ".." << sv.end;
+  }
+  // And no flood of false calls.
+  EXPECT_LE(calls.size(), 4u);
+}
+
+TEST(SvCallerPipelineTest, RecoversPlantedInversion) {
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 1;
+  ro.chromosome_length = 120'000;
+  auto ref = GenerateReference(ro);
+  VariantPlanterOptions vp;
+  vp.snp_rate = 0.0;
+  vp.indel_rate = 0.0;
+  auto donor = PlantVariants(ref, vp);
+  SvPlanterOptions sv_opt;
+  sv_opt.deletions_per_chromosome = 0;
+  sv_opt.insertions_per_chromosome = 0;
+  sv_opt.inversions_per_chromosome = 1;
+  sv_opt.min_length = 2'000;
+  sv_opt.max_length = 3'000;
+  auto svs = PlantStructuralVariants(&donor, sv_opt);
+  ASSERT_EQ(svs.size(), 1u);
+
+  ReadSimulatorOptions so;
+  so.coverage = 25.0;
+  auto sample = SimulateReads(donor, so);
+  GenomeIndex index(ref);
+  PairedEndAligner aligner(index);
+  auto interleaved =
+      InterleavePairs(sample.mate1, sample.mate2).ValueOrDie();
+  auto records = aligner.AlignPairs(interleaved);
+  ASSERT_TRUE(FixMateInformation(&records).ok());
+
+  auto calls = CallStructuralVariants(records);
+  bool found = false;
+  for (const auto& call : calls) {
+    if (call.type != CallType::kInversion) continue;
+    if (call.start > svs[0].start - 800 && call.end < svs[0].end + 800) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "inversion at " << svs[0].start << ".."
+                     << svs[0].end;
+}
+
+}  // namespace
+}  // namespace gesall

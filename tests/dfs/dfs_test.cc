@@ -1,0 +1,176 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+DfsOptions SmallOptions() {
+  DfsOptions o;
+  o.block_size = 1024;
+  o.replication = 2;
+  o.num_data_nodes = 5;
+  return o;
+}
+
+std::string RandomData(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>('a' + rng.Uniform(26));
+  return s;
+}
+
+TEST(DfsTest, WriteReadRoundTrip) {
+  Dfs dfs(SmallOptions());
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/a/file", data).ok());
+  EXPECT_EQ(dfs.Read("/a/file").ValueOrDie(), data);
+  EXPECT_EQ(dfs.FileSize("/a/file").ValueOrDie(), 5000);
+}
+
+TEST(DfsTest, SplitsIntoBlocks) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/f", RandomData(5000)).ok());
+  auto locations = dfs.Locate("/f").ValueOrDie();
+  ASSERT_EQ(locations.size(), 5u);  // ceil(5000/1024)
+  EXPECT_EQ(locations[0].length, 1024);
+  EXPECT_EQ(locations[4].length, 5000 - 4 * 1024);
+  EXPECT_EQ(locations[2].offset, 2048);
+  for (const auto& loc : locations) {
+    EXPECT_EQ(loc.replicas.size(), 2u);
+  }
+}
+
+TEST(DfsTest, RangeRead) {
+  Dfs dfs(SmallOptions());
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+  // Cross-block range.
+  EXPECT_EQ(dfs.ReadRange("/f", 1000, 100).ValueOrDie(),
+            data.substr(1000, 100));
+  EXPECT_EQ(dfs.ReadRange("/f", 0, 1).ValueOrDie(), data.substr(0, 1));
+  EXPECT_EQ(dfs.ReadRange("/f", 4999, 1).ValueOrDie(), data.substr(4999));
+  EXPECT_TRUE(dfs.ReadRange("/f", 4999, 2).status().IsOutOfRange());
+}
+
+TEST(DfsTest, MissingFileNotFound) {
+  Dfs dfs(SmallOptions());
+  EXPECT_TRUE(dfs.Read("/nope").status().IsNotFound());
+  EXPECT_TRUE(dfs.Delete("/nope").IsNotFound());
+}
+
+TEST(DfsTest, OverwriteReplaces) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/f", "old-contents").ok());
+  ASSERT_TRUE(dfs.Write("/f", "new").ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), "new");
+}
+
+TEST(DfsTest, DeleteFreesStorage) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/f", RandomData(5000)).ok());
+  int64_t before = 0;
+  for (int n = 0; n < 5; ++n) before += dfs.BytesStoredOn(n);
+  EXPECT_EQ(before, 2 * 5000);  // replication 2
+  ASSERT_TRUE(dfs.Delete("/f").ok());
+  int64_t after = 0;
+  for (int n = 0; n < 5; ++n) after += dfs.BytesStoredOn(n);
+  EXPECT_EQ(after, 0);
+}
+
+TEST(DfsTest, ListByPrefix) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/x/1", "a").ok());
+  ASSERT_TRUE(dfs.Write("/x/2", "b").ok());
+  ASSERT_TRUE(dfs.Write("/y/1", "c").ok());
+  auto xs = dfs.List("/x/");
+  EXPECT_EQ(xs, (std::vector<std::string>{"/x/1", "/x/2"}));
+}
+
+TEST(DfsTest, ReplicaFailover) {
+  Dfs dfs(SmallOptions());
+  std::string data = RandomData(3000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+  auto locations = dfs.Locate("/f").ValueOrDie();
+  // Take down every primary; reads must use the second replica.
+  std::set<int> primaries;
+  for (const auto& loc : locations) primaries.insert(loc.replicas[0]);
+  for (int p : primaries) ASSERT_TRUE(dfs.MarkNodeDown(p).ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+}
+
+TEST(DfsTest, AllReplicasDownFails) {
+  DfsOptions o = SmallOptions();
+  o.replication = 1;
+  Dfs dfs(o);
+  ASSERT_TRUE(dfs.Write("/f", "data").ok());
+  for (int n = 0; n < o.num_data_nodes; ++n) {
+    ASSERT_TRUE(dfs.MarkNodeDown(n).ok());
+  }
+  EXPECT_TRUE(dfs.Read("/f").status().IsIOError());
+  for (int n = 0; n < o.num_data_nodes; ++n) {
+    ASSERT_TRUE(dfs.MarkNodeUp(n).ok());
+  }
+  EXPECT_TRUE(dfs.Read("/f").ok());
+}
+
+TEST(DfsTest, EmptyFileSupported) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/empty", "").ok());
+  EXPECT_EQ(dfs.Read("/empty").ValueOrDie(), "");
+  EXPECT_EQ(dfs.FileSize("/empty").ValueOrDie(), 0);
+}
+
+TEST(PlacementTest, DefaultSpreadsBlocks) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/big", RandomData(30 * 1024)).ok());
+  auto locations = dfs.Locate("/big").ValueOrDie();
+  std::set<int> primaries;
+  for (const auto& loc : locations) primaries.insert(loc.replicas[0]);
+  EXPECT_GT(primaries.size(), 1u);  // 30 blocks over 5 nodes
+}
+
+TEST(PlacementTest, LogicalPartitionPinsToOneNode) {
+  // Gesall's custom policy: all blocks of one file on one primary node
+  // (paper §3.1 feature 2).
+  Dfs dfs(SmallOptions());
+  LogicalPartitionPlacementPolicy policy;
+  ASSERT_TRUE(dfs.Write("/part-00001", RandomData(30 * 1024), &policy).ok());
+  auto locations = dfs.Locate("/part-00001").ValueOrDie();
+  std::set<int> primaries;
+  for (const auto& loc : locations) primaries.insert(loc.replicas[0]);
+  EXPECT_EQ(primaries.size(), 1u);
+  EXPECT_EQ(*primaries.begin(),
+            LogicalPartitionPlacementPolicy::PrimaryNodeFor("/part-00001",
+                                                            5));
+}
+
+TEST(PlacementTest, LogicalPartitionsSpreadAcrossFiles) {
+  // Different partition files should land on different nodes overall.
+  std::set<int> nodes;
+  for (int i = 0; i < 20; ++i) {
+    nodes.insert(LogicalPartitionPlacementPolicy::PrimaryNodeFor(
+        "/part-" + std::to_string(i), 5));
+  }
+  EXPECT_GT(nodes.size(), 2u);
+}
+
+TEST(PlacementTest, ReplicasDistinct) {
+  DefaultPlacementPolicy policy;
+  auto nodes = policy.Place("/f", 3, 5, 3);
+  std::set<int> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(PlacementTest, ReplicationCappedByClusterSize) {
+  DefaultPlacementPolicy policy;
+  auto nodes = policy.Place("/f", 0, 2, 3);
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,85 @@
+#include "formats/cigar.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(CigarTest, ParseAndRender) {
+  auto c = ParseCigar("5S90M3I2D10M5H").ValueOrDie();
+  ASSERT_EQ(c.size(), 6u);
+  EXPECT_EQ(c[0], (CigarOp{'S', 5}));
+  EXPECT_EQ(c[2], (CigarOp{'I', 3}));
+  EXPECT_EQ(CigarToString(c), "5S90M3I2D10M5H");
+}
+
+TEST(CigarTest, StarIsEmpty) {
+  EXPECT_TRUE(ParseCigar("*").ValueOrDie().empty());
+  EXPECT_EQ(CigarToString({}), "*");
+}
+
+TEST(CigarTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseCigar("M5").ok());    // op before length
+  EXPECT_FALSE(ParseCigar("5").ok());     // dangling length
+  EXPECT_FALSE(ParseCigar("5Q").ok());    // invalid op
+  EXPECT_FALSE(ParseCigar("0M").ok());    // zero-length op
+}
+
+TEST(CigarTest, ReferenceLength) {
+  auto c = ParseCigar("5S90M3I2D10M").ValueOrDie();
+  // M(90) + D(2) + M(10) consume reference.
+  EXPECT_EQ(CigarReferenceLength(c), 102);
+}
+
+TEST(CigarTest, QueryLength) {
+  auto c = ParseCigar("5S90M3I2D10M").ValueOrDie();
+  // S(5) + M(90) + I(3) + M(10) consume the read.
+  EXPECT_EQ(CigarQueryLength(c), 108);
+}
+
+TEST(CigarTest, ClipLengths) {
+  auto c = ParseCigar("3H5S90M4S").ValueOrDie();
+  EXPECT_EQ(LeadingClip(c), 8);
+  EXPECT_EQ(TrailingClip(c), 4);
+  auto unclipped = ParseCigar("100M").ValueOrDie();
+  EXPECT_EQ(LeadingClip(unclipped), 0);
+  EXPECT_EQ(TrailingClip(unclipped), 0);
+}
+
+TEST(CigarTest, UnclippedFivePrimeForward) {
+  // Forward read: 5' end is POS minus leading clip (paper Fig. 3).
+  auto c = ParseCigar("5S95M").ValueOrDie();
+  EXPECT_EQ(UnclippedFivePrime(1000, c, /*reverse=*/false), 995);
+}
+
+TEST(CigarTest, UnclippedFivePrimeReverse) {
+  // Reverse read: 5' end is alignment end plus trailing clip.
+  auto c = ParseCigar("95M5S").ValueOrDie();
+  // end = 1000 + 95 - 1 = 1094, + 5 clip = 1099.
+  EXPECT_EQ(UnclippedFivePrime(1000, c, /*reverse=*/true), 1099);
+}
+
+TEST(CigarTest, UnclippedFivePrimeNoClipEqualsPos) {
+  auto c = ParseCigar("100M").ValueOrDie();
+  EXPECT_EQ(UnclippedFivePrime(500, c, false), 500);
+  EXPECT_EQ(UnclippedFivePrime(500, c, true), 599);
+}
+
+// Property: for any cigar, clipping only ever moves the forward 5' end
+// left and the reverse 5' end right.
+class CigarClipProperty : public testing::TestWithParam<const char*> {};
+
+TEST_P(CigarClipProperty, FivePrimeOrdering) {
+  auto c = ParseCigar(GetParam()).ValueOrDie();
+  EXPECT_LE(UnclippedFivePrime(1000, c, false), 1000);
+  EXPECT_GE(UnclippedFivePrime(1000, c, true),
+            1000 + CigarReferenceLength(c) - 1 - 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cigars, CigarClipProperty,
+                         testing::Values("100M", "10S90M", "90M10S",
+                                         "5S45M5I45M5S", "20S30M2D50M",
+                                         "1S98M1S"));
+
+}  // namespace
+}  // namespace gesall

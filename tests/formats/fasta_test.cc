@@ -1,0 +1,89 @@
+#include "formats/fasta.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+ReferenceGenome TwoChromGenome() {
+  ReferenceGenome g;
+  g.chromosomes.push_back({"chr1", "ACGTACGTAC"});
+  g.chromosomes.push_back({"chr2", "TTTTGGGGCC"});
+  return g;
+}
+
+TEST(FastaTest, RoundTrip) {
+  ReferenceGenome g = TwoChromGenome();
+  auto parsed = ParseFasta(WriteFasta(g)).ValueOrDie();
+  ASSERT_EQ(parsed.chromosomes.size(), 2u);
+  EXPECT_EQ(parsed.chromosomes[0].name, "chr1");
+  EXPECT_EQ(parsed.chromosomes[0].sequence, "ACGTACGTAC");
+  EXPECT_EQ(parsed.chromosomes[1].sequence, "TTTTGGGGCC");
+}
+
+TEST(FastaTest, WrapsLongLines) {
+  ReferenceGenome g;
+  g.chromosomes.push_back({"chr1", std::string(150, 'A')});
+  std::string text = WriteFasta(g);
+  // 150 bases -> 3 sequence lines of <= 60 chars.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  auto parsed = ParseFasta(text).ValueOrDie();
+  EXPECT_EQ(parsed.chromosomes[0].sequence.size(), 150u);
+}
+
+TEST(FastaTest, RejectsInvalidBase) {
+  EXPECT_FALSE(ParseFasta(">x\nACGZ\n").ok());
+}
+
+TEST(FastaTest, RejectsSequenceBeforeHeader) {
+  EXPECT_FALSE(ParseFasta("ACGT\n").ok());
+}
+
+TEST(FastaTest, LowercaseNormalized) {
+  auto g = ParseFasta(">c\nacgt\n").ValueOrDie();
+  EXPECT_EQ(g.chromosomes[0].sequence, "ACGT");
+}
+
+TEST(FastaTest, HeaderNameStopsAtWhitespace) {
+  auto g = ParseFasta(">chr9 extra description\nAC\n").ValueOrDie();
+  EXPECT_EQ(g.chromosomes[0].name, "chr9");
+}
+
+TEST(ReferenceGenomeTest, FindChromosome) {
+  ReferenceGenome g = TwoChromGenome();
+  EXPECT_EQ(g.FindChromosome("chr2"), 1);
+  EXPECT_EQ(g.FindChromosome("chrX"), -1);
+}
+
+TEST(ReferenceGenomeTest, TotalLength) {
+  EXPECT_EQ(TwoChromGenome().TotalLength(), 20);
+}
+
+TEST(ReferenceGenomeTest, RegionIntersection) {
+  ReferenceGenome g = TwoChromGenome();
+  g.centromeres.push_back({0, 4, 6});
+  EXPECT_TRUE(g.InCentromere(0, 4));
+  EXPECT_TRUE(g.InCentromere(0, 5));
+  EXPECT_FALSE(g.InCentromere(0, 6));  // half-open end
+  EXPECT_FALSE(g.InCentromere(1, 4));
+  EXPECT_TRUE(g.InCentromere(0, 0, 5));  // [0,5) touches [4,6)
+  EXPECT_FALSE(g.InCentromere(0, 0, 4));
+}
+
+TEST(SequenceTest, ReverseComplement) {
+  EXPECT_EQ(ReverseComplement("ACGT"), "ACGT");
+  EXPECT_EQ(ReverseComplement("AACC"), "GGTT");
+  EXPECT_EQ(ReverseComplement("ANT"), "ANT");
+  EXPECT_EQ(ReverseComplement(""), "");
+}
+
+TEST(SequenceTest, ComplementBase) {
+  EXPECT_EQ(ComplementBase('A'), 'T');
+  EXPECT_EQ(ComplementBase('T'), 'A');
+  EXPECT_EQ(ComplementBase('G'), 'C');
+  EXPECT_EQ(ComplementBase('C'), 'G');
+  EXPECT_EQ(ComplementBase('N'), 'N');
+}
+
+}  // namespace
+}  // namespace gesall

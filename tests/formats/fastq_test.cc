@@ -1,0 +1,59 @@
+#include "formats/fastq.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(FastqTest, RoundTrip) {
+  std::vector<FastqRecord> records = {
+      {"r1", "ACGT", "IIII"},
+      {"r2", "GGCC", "!!II"},
+  };
+  auto parsed = ParseFastq(WriteFastq(records)).ValueOrDie();
+  EXPECT_EQ(parsed, records);
+}
+
+TEST(FastqTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(ParseFastq("@r\nACGT\n+\nII\n").ok());
+}
+
+TEST(FastqTest, RejectsMissingAt) {
+  EXPECT_FALSE(ParseFastq("r\nACGT\n+\nIIII\n").ok());
+}
+
+TEST(FastqTest, RejectsTruncatedRecord) {
+  EXPECT_FALSE(ParseFastq("@r\nACGT\n").ok());
+}
+
+TEST(FastqTest, EmptyInputYieldsNoRecords) {
+  EXPECT_TRUE(ParseFastq("").ValueOrDie().empty());
+}
+
+TEST(FastqTest, InterleaveValidPairs) {
+  std::vector<FastqRecord> m1 = {{"p0", "AAAA", "IIII"},
+                                 {"p1", "CCCC", "IIII"}};
+  std::vector<FastqRecord> m2 = {{"p0", "TTTT", "IIII"},
+                                 {"p1", "GGGG", "IIII"}};
+  auto inter = InterleavePairs(m1, m2).ValueOrDie();
+  ASSERT_EQ(inter.size(), 4u);
+  EXPECT_EQ(inter[0].sequence, "AAAA");
+  EXPECT_EQ(inter[1].sequence, "TTTT");
+  EXPECT_EQ(inter[2].sequence, "CCCC");
+  EXPECT_EQ(inter[3].sequence, "GGGG");
+}
+
+TEST(FastqTest, InterleaveRejectsNameMismatch) {
+  std::vector<FastqRecord> m1 = {{"p0", "AAAA", "IIII"}};
+  std::vector<FastqRecord> m2 = {{"p9", "TTTT", "IIII"}};
+  EXPECT_TRUE(InterleavePairs(m1, m2).status().IsCorruption());
+}
+
+TEST(FastqTest, InterleaveRejectsCountMismatch) {
+  std::vector<FastqRecord> m1 = {{"p0", "AAAA", "IIII"}};
+  std::vector<FastqRecord> m2;
+  EXPECT_TRUE(InterleavePairs(m1, m2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,143 @@
+#include "formats/sam.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+SamHeader TestHeader() {
+  SamHeader h;
+  h.refs = {{"chr1", 10000}, {"chr2", 5000}};
+  h.sort_order = "coordinate";
+  h.read_groups = {{"rg1", "sample1", "lib1"}};
+  h.programs = {"bwa"};
+  return h;
+}
+
+SamRecord TestRecord() {
+  SamRecord r;
+  r.qname = "read7";
+  r.flag = sam_flags::kPaired | sam_flags::kFirstOfPair;
+  r.ref_id = 0;
+  r.pos = 99;  // renders as 100 in SAM text
+  r.mapq = 60;
+  r.cigar = ParseCigar("5S95M").ValueOrDie();
+  r.mate_ref_id = 0;
+  r.mate_pos = 349;
+  r.tlen = 350;
+  r.seq = std::string(100, 'A');
+  r.qual = std::string(100, 'I');
+  r.SetTag("RG", 'Z', "rg1");
+  r.SetTag("NM", 'i', "2");
+  return r;
+}
+
+TEST(SamHeaderTest, RoundTrip) {
+  SamHeader h = TestHeader();
+  auto parsed = ParseSamHeader(WriteSamHeader(h)).ValueOrDie();
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(SamHeaderTest, FindRef) {
+  SamHeader h = TestHeader();
+  EXPECT_EQ(h.FindRef("chr2"), 1);
+  EXPECT_EQ(h.FindRef("chrM"), -1);
+}
+
+TEST(SamRecordTest, LineRoundTrip) {
+  SamHeader h = TestHeader();
+  SamRecord r = TestRecord();
+  std::string line = WriteSamLine(r, h);
+  auto parsed = ParseSamLine(line, h).ValueOrDie();
+  EXPECT_EQ(parsed, r);
+}
+
+TEST(SamRecordTest, OneBasedPositionInText) {
+  SamHeader h = TestHeader();
+  std::string line = WriteSamLine(TestRecord(), h);
+  EXPECT_NE(line.find("\t100\t"), std::string::npos);
+}
+
+TEST(SamRecordTest, MateSameRefRendersEquals) {
+  SamHeader h = TestHeader();
+  std::string line = WriteSamLine(TestRecord(), h);
+  EXPECT_NE(line.find("\t=\t"), std::string::npos);
+}
+
+TEST(SamRecordTest, UnmappedRendersStar) {
+  SamHeader h = TestHeader();
+  SamRecord r;
+  r.qname = "u";
+  r.flag = sam_flags::kUnmapped;
+  r.seq = "ACGT";
+  r.qual = "IIII";
+  std::string line = WriteSamLine(r, h);
+  auto parsed = ParseSamLine(line, h).ValueOrDie();
+  EXPECT_EQ(parsed.ref_id, -1);
+  EXPECT_TRUE(parsed.IsUnmapped());
+  EXPECT_TRUE(parsed.cigar.empty());
+}
+
+TEST(SamRecordTest, FlagHelpers) {
+  SamRecord r;
+  r.flag = sam_flags::kPaired | sam_flags::kReverse | sam_flags::kDuplicate;
+  EXPECT_TRUE(r.IsPaired());
+  EXPECT_TRUE(r.IsReverse());
+  EXPECT_TRUE(r.IsDuplicate());
+  EXPECT_FALSE(r.IsUnmapped());
+  r.SetFlag(sam_flags::kDuplicate, false);
+  EXPECT_FALSE(r.IsDuplicate());
+}
+
+TEST(SamRecordTest, Tags) {
+  SamRecord r = TestRecord();
+  EXPECT_EQ(r.GetTag("RG"), "rg1");
+  EXPECT_EQ(r.GetIntTag("NM"), 2);
+  EXPECT_FALSE(r.GetTag("XX").has_value());
+  r.SetTag("NM", 'i', "5");  // replace
+  EXPECT_EQ(r.GetIntTag("NM"), 5);
+  EXPECT_EQ(r.tags.size(), 2u);
+}
+
+TEST(SamRecordTest, AlignmentEnd) {
+  SamRecord r = TestRecord();
+  EXPECT_EQ(r.AlignmentEnd(), 99 + 95);
+}
+
+TEST(SamRecordTest, UnclippedFivePrime) {
+  SamRecord r = TestRecord();  // 5S95M at pos 99, forward
+  EXPECT_EQ(r.UnclippedFivePrimePos(), 94);
+  r.SetFlag(sam_flags::kReverse, true);
+  r.cigar = ParseCigar("95M5S").ValueOrDie();
+  EXPECT_EQ(r.UnclippedFivePrimePos(), 99 + 95 - 1 + 5);
+}
+
+TEST(SamRecordTest, BaseQualityScoreIgnoresLowQuality) {
+  SamRecord r;
+  r.qual = "!!II";  // phred 0,0,40,40; only >= 15 count
+  EXPECT_EQ(r.BaseQualityScore(), 80);
+}
+
+TEST(SamTextTest, FullFileRoundTrip) {
+  SamHeader h = TestHeader();
+  std::vector<SamRecord> records = {TestRecord(), TestRecord()};
+  records[1].qname = "read8";
+  records[1].pos = 200;
+  auto [ph, pr] = ParseSamText(WriteSamText(h, records)).ValueOrDie();
+  EXPECT_EQ(ph, h);
+  EXPECT_EQ(pr, records);
+}
+
+TEST(SamTextTest, RejectsUnknownReference) {
+  SamHeader h = TestHeader();
+  std::string line = "r\t0\tchrZ\t1\t0\t*\t*\t0\t0\tA\tI";
+  EXPECT_TRUE(ParseSamLine(line, h).status().IsCorruption());
+}
+
+TEST(SamTextTest, RejectsShortLine) {
+  SamHeader h = TestHeader();
+  EXPECT_FALSE(ParseSamLine("a\tb\tc", h).ok());
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,81 @@
+#include "formats/vcf.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+VariantRecord Snp(int chrom, int64_t pos, const char* ref, const char* alt) {
+  VariantRecord v;
+  v.chrom = chrom;
+  v.pos = pos;
+  v.ref = ref;
+  v.alt = alt;
+  v.qual = 50;
+  return v;
+}
+
+TEST(VariantTest, SnpVsIndel) {
+  EXPECT_TRUE(Snp(0, 1, "A", "G").IsSnp());
+  EXPECT_TRUE(Snp(0, 1, "A", "AT").IsIndel());
+  EXPECT_TRUE(Snp(0, 1, "AT", "A").IsIndel());
+}
+
+TEST(VariantTest, TransitionClassification) {
+  EXPECT_TRUE(Snp(0, 1, "A", "G").IsTransition());
+  EXPECT_TRUE(Snp(0, 1, "C", "T").IsTransition());
+  EXPECT_FALSE(Snp(0, 1, "A", "T").IsTransition());
+  EXPECT_FALSE(Snp(0, 1, "A", "C").IsTransition());
+  EXPECT_FALSE(Snp(0, 1, "AT", "A").IsTransition());  // indel never
+}
+
+TEST(VariantTest, KeyIdentity) {
+  EXPECT_EQ(Snp(1, 100, "A", "G").Key(), Snp(1, 100, "A", "G").Key());
+  EXPECT_NE(Snp(1, 100, "A", "G").Key(), Snp(1, 100, "A", "C").Key());
+  EXPECT_NE(Snp(1, 100, "A", "G").Key(), Snp(2, 100, "A", "G").Key());
+}
+
+TEST(VariantTest, Ordering) {
+  EXPECT_TRUE(VariantLess(Snp(0, 5, "A", "G"), Snp(0, 6, "A", "G")));
+  EXPECT_TRUE(VariantLess(Snp(0, 5, "A", "G"), Snp(1, 1, "A", "G")));
+  EXPECT_FALSE(VariantLess(Snp(0, 5, "A", "G"), Snp(0, 5, "A", "G")));
+}
+
+TEST(VariantStatsTest, EmptySet) {
+  auto s = ComputeVariantSetStats({});
+  EXPECT_EQ(s.count, 0);
+}
+
+TEST(VariantStatsTest, TiTvAndHetHom) {
+  std::vector<VariantRecord> vs;
+  auto add = [&](const char* ref, const char* alt, Genotype gt) {
+    VariantRecord v = Snp(0, static_cast<int64_t>(vs.size()), ref, alt);
+    v.genotype = gt;
+    v.mq = 60;
+    v.dp = 30;
+    vs.push_back(v);
+  };
+  add("A", "G", Genotype::kHet);   // transition
+  add("C", "T", Genotype::kHet);   // transition
+  add("A", "T", Genotype::kHomAlt);  // transversion
+  add("A", "AT", Genotype::kHet);  // indel, ignored in Ti/Tv
+
+  auto s = ComputeVariantSetStats(vs);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_EQ(s.snps, 3);
+  EXPECT_EQ(s.indels, 1);
+  EXPECT_DOUBLE_EQ(s.titv_ratio, 2.0);
+  EXPECT_DOUBLE_EQ(s.het_hom_ratio, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_mq, 60.0);
+  EXPECT_DOUBLE_EQ(s.mean_dp, 30.0);
+}
+
+TEST(VcfTextTest, RendersHeaderAndRows) {
+  std::vector<VariantRecord> vs = {Snp(0, 99, "A", "G")};
+  std::string text = WriteVcfText(vs, {"chr1"});
+  EXPECT_NE(text.find("#CHROM"), std::string::npos);
+  EXPECT_NE(text.find("chr1\t100\tA\tG"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,130 @@
+#include "genome/donor.h"
+
+#include <gtest/gtest.h>
+
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+ReferenceGenome SmallReference() {
+  ReferenceGeneratorOptions o;
+  o.num_chromosomes = 2;
+  o.chromosome_length = 100'000;
+  return GenerateReference(o);
+}
+
+TEST(CoordinateMapTest, IdentityWhenEmpty) {
+  CoordinateMap m;
+  EXPECT_EQ(m.ToReference(1234), 1234);
+}
+
+TEST(CoordinateMapTest, ShiftsAfterIndel) {
+  CoordinateMap m;
+  m.AddSegment(0, 0);
+  // 3-base insertion at hap position 100: hap 103 maps back to ref 100.
+  m.AddSegment(103, 100);
+  EXPECT_EQ(m.ToReference(50), 50);
+  EXPECT_EQ(m.ToReference(103), 100);
+  EXPECT_EQ(m.ToReference(200), 197);
+}
+
+TEST(DonorTest, TruthSetDensityNearRates) {
+  auto ref = SmallReference();
+  VariantPlanterOptions o;
+  auto donor = PlantVariants(ref, o);
+  double per_base =
+      donor.truth.size() / static_cast<double>(ref.TotalLength());
+  EXPECT_NEAR(per_base, o.snp_rate + o.indel_rate, 3e-4);
+  int64_t snps = 0;
+  for (const auto& v : donor.truth) snps += v.IsSnp();
+  EXPECT_GT(snps, static_cast<int64_t>(donor.truth.size() * 0.8));
+}
+
+TEST(DonorTest, VariantsMatchReferenceAllele) {
+  auto ref = SmallReference();
+  auto donor = PlantVariants(ref, VariantPlanterOptions{});
+  for (const auto& v : donor.truth) {
+    ASSERT_EQ(ref.chromosomes[v.chrom].sequence.substr(v.pos, v.ref.size()),
+              v.ref);
+    EXPECT_NE(v.ref, v.alt);
+  }
+}
+
+TEST(DonorTest, HaplotypesCarryPlantedSnps) {
+  auto ref = SmallReference();
+  auto donor = PlantVariants(ref, VariantPlanterOptions{});
+  int checked = 0;
+  for (const auto& v : donor.truth) {
+    if (!v.IsSnp()) continue;
+    for (int hap = 0; hap < 2; ++hap) {
+      bool carried = v.homozygous || v.haplotype == hap;
+      const auto& h = donor.haplotypes[v.chrom][hap];
+      // Walk the haplotype to locate the reference position: use the
+      // coordinate map inverse by scanning nearby hap positions.
+      // For SNP-only mapping the offset is piecewise constant, so probe a
+      // window around v.pos.
+      bool found_alt = false, found_ref = false;
+      for (int64_t hp = std::max<int64_t>(0, v.pos - 64);
+           hp < std::min<int64_t>(
+                    static_cast<int64_t>(h.sequence.size()), v.pos + 64);
+           ++hp) {
+        if (h.to_reference.ToReference(hp) == v.pos) {
+          found_alt = h.sequence[hp] == v.alt[0];
+          found_ref = h.sequence[hp] == v.ref[0];
+          break;
+        }
+      }
+      if (carried) {
+        EXPECT_TRUE(found_alt) << "variant at " << v.pos;
+      } else {
+        EXPECT_TRUE(found_ref) << "variant at " << v.pos;
+      }
+      ++checked;
+    }
+    if (checked > 200) break;  // sample is enough
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DonorTest, HomFractionRespected) {
+  auto ref = SmallReference();
+  VariantPlanterOptions o;
+  o.hom_fraction = 0.35;
+  auto donor = PlantVariants(ref, o);
+  int64_t hom = 0;
+  for (const auto& v : donor.truth) hom += v.homozygous;
+  double frac = hom / static_cast<double>(donor.truth.size());
+  EXPECT_NEAR(frac, 0.35, 0.1);
+}
+
+TEST(DonorTest, IndelsShiftCoordinates) {
+  auto ref = SmallReference();
+  VariantPlanterOptions o;
+  o.snp_rate = 0.0;
+  o.indel_rate = 0.001;
+  auto donor = PlantVariants(ref, o);
+  // With indels-only planting, haplotype length differs from reference.
+  bool any_length_change = false;
+  for (size_t c = 0; c < ref.chromosomes.size(); ++c) {
+    for (int hap = 0; hap < 2; ++hap) {
+      if (donor.haplotypes[c][hap].sequence.size() !=
+          ref.chromosomes[c].sequence.size()) {
+        any_length_change = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_length_change);
+  // Terminal positions still map within the reference.
+  for (size_t c = 0; c < ref.chromosomes.size(); ++c) {
+    const auto& h = donor.haplotypes[c][0];
+    int64_t last = static_cast<int64_t>(h.sequence.size()) - 1;
+    int64_t mapped = h.to_reference.ToReference(last);
+    EXPECT_NEAR(static_cast<double>(mapped),
+                static_cast<double>(ref.chromosomes[c].sequence.size() - 1),
+                200.0);
+  }
+}
+
+}  // namespace
+}  // namespace gesall

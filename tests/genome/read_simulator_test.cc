@@ -1,0 +1,122 @@
+#include "genome/read_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+struct Fixture {
+  ReferenceGenome ref;
+  DonorGenome donor;
+  SimulatedSample sample;
+};
+
+Fixture MakeFixture(double coverage = 5.0) {
+  Fixture f;
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 2;
+  ro.chromosome_length = 100'000;
+  f.ref = GenerateReference(ro);
+  f.donor = PlantVariants(f.ref, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = coverage;
+  f.sample = SimulateReads(f.donor, so);
+  return f;
+}
+
+TEST(ReadSimulatorTest, PairCountMatchesCoverage) {
+  auto f = MakeFixture(5.0);
+  int64_t expected = static_cast<int64_t>(
+      5.0 * f.ref.TotalLength() / (2.0 * 100));
+  EXPECT_EQ(static_cast<int64_t>(f.sample.mate1.size()), expected);
+  EXPECT_EQ(f.sample.mate1.size(), f.sample.mate2.size());
+  EXPECT_EQ(f.sample.mate1.size(), f.sample.truth.size());
+}
+
+TEST(ReadSimulatorTest, ReadShape) {
+  auto f = MakeFixture(2.0);
+  for (size_t i = 0; i < f.sample.mate1.size(); ++i) {
+    EXPECT_EQ(f.sample.mate1[i].sequence.size(), 100u);
+    EXPECT_EQ(f.sample.mate1[i].quality.size(), 100u);
+    EXPECT_EQ(f.sample.mate1[i].name, f.sample.mate2[i].name);
+  }
+}
+
+TEST(ReadSimulatorTest, MatesComeFromFragmentEnds) {
+  auto f = MakeFixture(2.0);
+  int verified = 0;
+  for (size_t i = 0; i < f.sample.truth.size() && verified < 50; ++i) {
+    const auto& t = f.sample.truth[i];
+    if (t.junk_mate2) continue;
+    // Mate 1 should roughly match the donor haplotype at the fragment
+    // start (allowing sequencing errors).
+    const auto& hap = f.donor.haplotypes[t.chrom][t.haplotype].sequence;
+    // Locate the fragment start on the haplotype by scanning around the
+    // reference coordinate (SNP-dominated maps are near-identity).
+    const std::string& m1 = f.sample.mate1[i].sequence;
+    int best = 0;
+    for (int64_t s = std::max<int64_t>(0, t.ref_start - 32);
+         s <= t.ref_start + 32 &&
+         s + 100 <= static_cast<int64_t>(hap.size());
+         ++s) {
+      int same = 0;
+      for (int j = 0; j < 100; ++j) same += hap[s + j] == m1[j];
+      best = std::max(best, same);
+    }
+    EXPECT_GT(best, 90) << "pair " << i;
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(ReadSimulatorTest, DuplicateRateNearTarget) {
+  auto f = MakeFixture(8.0);
+  int64_t dups = 0;
+  for (const auto& t : f.sample.truth) dups += t.duplicate;
+  double rate = dups / static_cast<double>(f.sample.truth.size());
+  EXPECT_NEAR(rate, 0.02, 0.01);
+}
+
+TEST(ReadSimulatorTest, JunkMateRateNearTarget) {
+  auto f = MakeFixture(8.0);
+  int64_t junk = 0;
+  for (const auto& t : f.sample.truth) junk += t.junk_mate2;
+  double rate = junk / static_cast<double>(f.sample.truth.size());
+  EXPECT_NEAR(rate, 0.003, 0.003);
+}
+
+TEST(ReadSimulatorTest, QualityDecaysAlongRead) {
+  auto f = MakeFixture(5.0);
+  double head = 0, tail = 0;
+  int64_t n = 0;
+  for (const auto& r : f.sample.mate1) {
+    head += r.quality[5] - 33;
+    tail += r.quality[95] - 33;
+    ++n;
+  }
+  EXPECT_GT(head / n, tail / n + 5);
+}
+
+TEST(ReadSimulatorTest, Deterministic) {
+  auto a = MakeFixture(2.0);
+  auto b = MakeFixture(2.0);
+  ASSERT_EQ(a.sample.mate1.size(), b.sample.mate1.size());
+  EXPECT_EQ(a.sample.mate1[0], b.sample.mate1[0]);
+  EXPECT_EQ(a.sample.mate2.back(), b.sample.mate2.back());
+}
+
+TEST(ReadSimulatorTest, InsertSizesNearDistribution) {
+  auto f = MakeFixture(5.0);
+  double sum = 0;
+  int64_t n = 0;
+  for (const auto& t : f.sample.truth) {
+    sum += static_cast<double>(t.ref_end - t.ref_start);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 400.0, 15.0);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,101 @@
+#include "genome/reference_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+ReferenceGeneratorOptions SmallOptions() {
+  ReferenceGeneratorOptions o;
+  o.num_chromosomes = 3;
+  o.chromosome_length = 50'000;
+  return o;
+}
+
+TEST(ReferenceGeneratorTest, Shape) {
+  auto g = GenerateReference(SmallOptions());
+  ASSERT_EQ(g.chromosomes.size(), 3u);
+  for (const auto& c : g.chromosomes) {
+    EXPECT_EQ(c.sequence.size(), 50'000u);
+  }
+  EXPECT_EQ(g.chromosomes[0].name, "chr1");
+  EXPECT_EQ(g.chromosomes[2].name, "chr3");
+  EXPECT_EQ(g.TotalLength(), 150'000);
+}
+
+TEST(ReferenceGeneratorTest, OnlyValidBases) {
+  auto g = GenerateReference(SmallOptions());
+  for (const auto& c : g.chromosomes) {
+    for (char b : c.sequence) {
+      EXPECT_TRUE(b == 'A' || b == 'C' || b == 'G' || b == 'T') << b;
+    }
+  }
+}
+
+TEST(ReferenceGeneratorTest, Deterministic) {
+  auto a = GenerateReference(SmallOptions());
+  auto b = GenerateReference(SmallOptions());
+  EXPECT_EQ(a.chromosomes[0].sequence, b.chromosomes[0].sequence);
+}
+
+TEST(ReferenceGeneratorTest, SeedChangesSequence) {
+  auto o = SmallOptions();
+  auto a = GenerateReference(o);
+  o.seed = 99;
+  auto b = GenerateReference(o);
+  EXPECT_NE(a.chromosomes[0].sequence, b.chromosomes[0].sequence);
+}
+
+TEST(ReferenceGeneratorTest, GcContentNearTarget) {
+  auto o = SmallOptions();
+  o.repeat_fraction = 0;  // repeats skew local GC
+  auto g = GenerateReference(o);
+  int64_t gc = 0, total = 0;
+  for (const auto& c : g.chromosomes) {
+    for (char b : c.sequence) {
+      gc += (b == 'G' || b == 'C');
+      ++total;
+    }
+  }
+  EXPECT_NEAR(gc / static_cast<double>(total), 0.41, 0.02);
+}
+
+TEST(ReferenceGeneratorTest, AnnotatesCentromeres) {
+  auto g = GenerateReference(SmallOptions());
+  ASSERT_EQ(g.centromeres.size(), 3u);
+  for (const auto& r : g.centromeres) {
+    EXPECT_GT(r.end, r.start);
+    // Mid-chromosome placement.
+    EXPECT_GT(r.start, 50'000 / 4);
+    EXPECT_LT(r.end, 3 * 50'000 / 4);
+    EXPECT_TRUE(g.InCentromere(r.chrom, (r.start + r.end) / 2));
+  }
+}
+
+TEST(ReferenceGeneratorTest, AnnotatesBlacklist) {
+  auto o = SmallOptions();
+  auto g = GenerateReference(o);
+  EXPECT_EQ(g.blacklist.size(),
+            static_cast<size_t>(o.num_chromosomes *
+                                o.blacklist_per_chromosome));
+  for (const auto& r : g.blacklist) {
+    EXPECT_EQ(r.end - r.start, o.blacklist_length);
+  }
+}
+
+TEST(ReferenceGeneratorTest, CentromereIsRepetitive) {
+  // A window inside the centromere should recur elsewhere in the
+  // centromere (satellite tandem structure).
+  auto g = GenerateReference(SmallOptions());
+  const auto& cen = g.centromeres[0];
+  const std::string& seq = g.chromosomes[0].sequence;
+  std::string probe = seq.substr(cen.start + 171, 40);
+  // The same motif offset one monomer later should be nearly identical.
+  std::string next = seq.substr(cen.start + 2 * 171, 40);
+  int same = 0;
+  for (int i = 0; i < 40; ++i) same += probe[i] == next[i];
+  EXPECT_GT(same, 30);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,156 @@
+#include "genome/sv_planter.h"
+
+#include <gtest/gtest.h>
+
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+using Type = StructuralVariantTruth::Type;
+
+struct Fixture {
+  ReferenceGenome ref;
+  DonorGenome donor;
+  std::vector<StructuralVariantTruth> svs;
+};
+
+Fixture Make(SvPlanterOptions opt = {}) {
+  Fixture f;
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 2;
+  ro.chromosome_length = 100'000;
+  f.ref = GenerateReference(ro);
+  VariantPlanterOptions vp;
+  vp.snp_rate = 0.0005;
+  vp.indel_rate = 0.0;
+  f.donor = PlantVariants(f.ref, vp);
+  f.svs = PlantStructuralVariants(&f.donor, opt);
+  return f;
+}
+
+TEST(SvPlanterTest, PlantsRequestedCounts) {
+  auto f = Make();
+  int dels = 0, inss = 0, invs = 0;
+  for (const auto& sv : f.svs) {
+    dels += sv.type == Type::kDeletion;
+    inss += sv.type == Type::kInsertion;
+    invs += sv.type == Type::kInversion;
+  }
+  EXPECT_EQ(dels, 2);  // 1 per chromosome x 2 chromosomes
+  EXPECT_EQ(inss, 2);
+  EXPECT_EQ(invs, 2);
+}
+
+TEST(SvPlanterTest, DeletionShrinksHaplotypes) {
+  SvPlanterOptions opt;
+  opt.insertions_per_chromosome = 0;
+  opt.inversions_per_chromosome = 0;
+  auto f = Make(opt);
+  for (size_t c = 0; c < 2; ++c) {
+    int64_t deleted = 0;
+    for (const auto& sv : f.svs) {
+      if (sv.chrom == static_cast<int32_t>(c) &&
+          sv.type == Type::kDeletion) {
+        deleted += sv.length;
+      }
+    }
+    ASSERT_GT(deleted, 0);
+    for (int hap = 0; hap < 2; ++hap) {
+      int64_t hap_len =
+          static_cast<int64_t>(f.donor.haplotypes[c][hap].sequence.size());
+      EXPECT_NEAR(static_cast<double>(hap_len),
+                  static_cast<double>(100'000 - deleted), 1.0)
+          << "chrom " << c << " hap " << hap;
+    }
+  }
+}
+
+TEST(SvPlanterTest, InsertionGrowsHaplotypes) {
+  SvPlanterOptions opt;
+  opt.deletions_per_chromosome = 0;
+  opt.inversions_per_chromosome = 0;
+  auto f = Make(opt);
+  for (size_t c = 0; c < 2; ++c) {
+    int64_t inserted = 0;
+    for (const auto& sv : f.svs) {
+      if (sv.chrom == static_cast<int32_t>(c)) inserted += sv.length;
+    }
+    int64_t hap_len =
+        static_cast<int64_t>(f.donor.haplotypes[c][0].sequence.size());
+    EXPECT_NEAR(static_cast<double>(hap_len),
+                static_cast<double>(100'000 + inserted), 1.0);
+  }
+}
+
+TEST(SvPlanterTest, CoordinateMapSkipsDeletions) {
+  SvPlanterOptions opt;
+  opt.insertions_per_chromosome = 0;
+  opt.inversions_per_chromosome = 0;
+  auto f = Make(opt);
+  const auto& sv = f.svs[0];
+  const auto& hap = f.donor.haplotypes[sv.chrom][0];
+  // A haplotype position just past the deletion's left breakpoint maps
+  // to a reference position at/after the right breakpoint.
+  int64_t hap_at_break = hap.to_reference.FromReference(sv.start);
+  int64_t ref_after = hap.to_reference.ToReference(hap_at_break + 10);
+  EXPECT_GE(ref_after, sv.end);
+}
+
+TEST(SvPlanterTest, SequenceMatchesReferenceOutsideSvs) {
+  auto f = Make();
+  const auto& hap = f.donor.haplotypes[0][0];
+  // Sample positions far from any SV: the haplotype base must match the
+  // reference (modulo planted SNPs, excluded by snp-free window checks).
+  const std::string& ref_seq = f.ref.chromosomes[0].sequence;
+  int checked = 0, matches = 0;
+  for (int64_t hp = 100; hp < static_cast<int64_t>(hap.sequence.size());
+       hp += 977) {
+    int64_t rp = hap.to_reference.ToReference(hp);
+    bool near_sv = false;
+    for (const auto& sv : f.svs) {
+      if (sv.chrom == 0 && rp > sv.start - 100 && rp < sv.end + 100) {
+        near_sv = true;
+      }
+    }
+    if (near_sv || rp >= static_cast<int64_t>(ref_seq.size())) continue;
+    ++checked;
+    matches += hap.sequence[hp] == ref_seq[rp];
+  }
+  ASSERT_GT(checked, 20);
+  // SNPs are rare (5e-4): the vast majority must match.
+  EXPECT_GT(matches, checked * 0.97);
+}
+
+TEST(SvPlanterTest, InversionPreservesLength) {
+  SvPlanterOptions opt;
+  opt.deletions_per_chromosome = 0;
+  opt.insertions_per_chromosome = 0;
+  auto f = Make(opt);
+  for (size_t c = 0; c < 2; ++c) {
+    // SNP-only donors have reference-length haplotypes; inversions keep it.
+    EXPECT_EQ(f.donor.haplotypes[c][0].sequence.size(), 100'000u);
+  }
+  // The inverted block differs from the reference.
+  const auto& sv = f.svs[0];
+  const auto& hap = f.donor.haplotypes[sv.chrom][0].sequence;
+  const std::string& ref_seq = f.ref.chromosomes[sv.chrom].sequence;
+  int diff = 0;
+  for (int64_t p = sv.start; p < sv.end; ++p) diff += hap[p] != ref_seq[p];
+  EXPECT_GT(diff, sv.length / 3);
+}
+
+TEST(SvPlanterTest, Deterministic) {
+  auto a = Make();
+  auto b = Make();
+  ASSERT_EQ(a.svs.size(), b.svs.size());
+  for (size_t i = 0; i < a.svs.size(); ++i) {
+    EXPECT_EQ(a.svs[i].start, b.svs[i].start);
+    EXPECT_EQ(a.svs[i].length, b.svs[i].length);
+  }
+  EXPECT_EQ(a.donor.haplotypes[0][0].sequence,
+            b.donor.haplotypes[0][0].sequence);
+}
+
+}  // namespace
+}  // namespace gesall

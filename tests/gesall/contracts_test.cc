@@ -1,0 +1,112 @@
+#include "gesall/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(SatisfiesTest, NoneAlwaysSatisfied) {
+  for (auto p : {DataProperty::kNone, DataProperty::kGroupedByReadName,
+                 DataProperty::kSortedByCoordinate}) {
+    EXPECT_TRUE(Satisfies(p, DataProperty::kNone));
+  }
+}
+
+TEST(SatisfiesTest, ExactMatch) {
+  EXPECT_TRUE(Satisfies(DataProperty::kGroupedByReadName,
+                        DataProperty::kGroupedByReadName));
+  EXPECT_FALSE(Satisfies(DataProperty::kGroupedByReadName,
+                         DataProperty::kSortedByCoordinate));
+}
+
+TEST(SatisfiesTest, ChromosomeRangeImpliesSorted) {
+  EXPECT_TRUE(Satisfies(DataProperty::kRangeByChromosome,
+                        DataProperty::kSortedByCoordinate));
+  EXPECT_FALSE(Satisfies(DataProperty::kSortedByCoordinate,
+                         DataProperty::kRangeByChromosome));
+}
+
+TEST(ValidatePipelineTest, StandardPipelineNeedsFourLogicalRounds) {
+  // Minimum semantically-required rounds: initial partitioning for Bwa,
+  // the MarkDuplicates compound-key shuffle, and the coordinate sort.
+  auto check =
+      ValidatePipeline(StandardPipelineContracts()).ValueOrDie();
+  EXPECT_EQ(check.required_rounds, 4);
+  ASSERT_EQ(check.shuffle_before_step.size(), 3u);
+  EXPECT_EQ(check.shuffle_before_step[0], 0u);  // Bwa: group by read name
+  EXPECT_EQ(check.shuffle_before_step[1], 5u);  // MarkDuplicates
+  EXPECT_EQ(check.shuffle_before_step[2], 6u);  // SortSam repartitioner
+  EXPECT_EQ(check.trace.size(), 8u);
+}
+
+TEST(ValidatePipelineTest, FixMateNeedsNoShuffleAfterBwa) {
+  // Bwa output is grouped by read name at the logical-partition level, so
+  // FixMateInformation is semantically shuffle-free — the production
+  // pipeline's Round-2 shuffle exists only because its mappers read
+  // physical block splits (paper Appendix A.2).
+  auto check =
+      ValidatePipeline(StandardPipelineContracts()).ValueOrDie();
+  for (size_t idx : check.shuffle_before_step) {
+    EXPECT_NE(idx, 4u) << "FixMateInformation should not need a shuffle";
+  }
+}
+
+TEST(ValidatePipelineTest, RecalibrationAddsNoShuffles) {
+  // Covariate tables merge, PrintReads is per-record: same round count.
+  auto with = ValidatePipeline(StandardPipelineContracts(true)).ValueOrDie();
+  auto without =
+      ValidatePipeline(StandardPipelineContracts(false)).ValueOrDie();
+  EXPECT_EQ(with.required_rounds, without.required_rounds);
+}
+
+TEST(ValidatePipelineTest, HaplotypeCallerRunsMapOnlyAfterSort) {
+  auto check =
+      ValidatePipeline(StandardPipelineContracts()).ValueOrDie();
+  // The last step (HC) must not be preceded by a shuffle: the sort round
+  // already range-partitioned by chromosome.
+  size_t hc_index = StandardPipelineContracts().size() - 1;
+  for (size_t idx : check.shuffle_before_step) {
+    EXPECT_NE(idx, hc_index);
+  }
+}
+
+TEST(ValidatePipelineTest, WholeGenomeProgramRejected) {
+  ProgramContract monolith{"Theta", DataProperty::kWholeGenome,
+                           DataProperty::kNone, false, false};
+  auto result = ValidatePipeline({BwaContract(), monolith});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ValidatePipelineTest, DestructiveStepForcesLaterShuffle) {
+  // A program that destroys grouping forces a re-shuffle before the next
+  // grouping-dependent program.
+  ProgramContract scrambler{"Scrambler", DataProperty::kNone,
+                            DataProperty::kNone, true, false};
+  auto check = ValidatePipeline(
+                   {BwaContract(), scrambler, FixMateInformationContract()})
+                   .ValueOrDie();
+  // Shuffles: before Bwa, and again before FixMate (grouping destroyed).
+  EXPECT_EQ(check.required_rounds, 3);
+}
+
+TEST(ValidatePipelineTest, TraceMentionsShuffles) {
+  auto check =
+      ValidatePipeline(StandardPipelineContracts()).ValueOrDie();
+  int shuffle_lines = 0;
+  for (const auto& line : check.trace) {
+    if (line.find("SHUFFLE") != std::string::npos) ++shuffle_lines;
+  }
+  EXPECT_EQ(shuffle_lines, 3);
+}
+
+TEST(ValidatePipelineTest, InitialPropertyHonored) {
+  // If the FASTQ is already interleaved into name-grouped partitions,
+  // Bwa needs no shuffle.
+  auto check = ValidatePipeline(StandardPipelineContracts(),
+                                DataProperty::kGroupedByReadName)
+                   .ValueOrDie();
+  EXPECT_EQ(check.required_rounds, 3);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,195 @@
+#include "gesall/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+ReferenceGenome AnnotatedRef() {
+  ReferenceGenome g;
+  g.chromosomes.push_back({"chr1", std::string(100'000, 'A')});
+  g.centromeres.push_back({0, 40'000, 45'000});
+  g.blacklist.push_back({0, 80'000, 82'000});
+  return g;
+}
+
+SamRecord Rec(const std::string& name, bool first, int64_t pos, int mapq,
+              bool duplicate = false, bool unmapped = false) {
+  SamRecord r;
+  r.qname = name;
+  r.flag = sam_flags::kPaired;
+  r.SetFlag(first ? sam_flags::kFirstOfPair : sam_flags::kSecondOfPair,
+            true);
+  if (unmapped) {
+    r.SetFlag(sam_flags::kUnmapped, true);
+  } else {
+    r.ref_id = 0;
+    r.pos = pos;
+    r.mapq = mapq;
+    r.cigar = {{'M', 100}};
+  }
+  if (duplicate) r.SetFlag(sam_flags::kDuplicate, true);
+  r.seq = std::string(100, 'A');
+  r.qual = std::string(100, 'I');
+  r.tlen = first ? 400 : -400;
+  return r;
+}
+
+TEST(CompareAlignmentsTest, IdenticalSetsNoDiscordance) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 60),
+                              Rec("p1", false, 400, 60)};
+  auto d = CompareAlignments(ref, a, a);
+  EXPECT_EQ(d.total_reads, 2);
+  EXPECT_EQ(d.d_count, 0);
+  EXPECT_DOUBLE_EQ(d.weighted_d_count, 0.0);
+}
+
+TEST(CompareAlignmentsTest, PositionChangeCounted) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 60)};
+  std::vector<SamRecord> b = {Rec("p1", true, 2'000, 60)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.d_count, 1);
+  EXPECT_GT(d.weighted_d_count, 0.9);  // high mapq -> weight ~1
+  EXPECT_EQ(d.discordant_elsewhere, 1);
+  EXPECT_EQ(d.discordant_after_filters, 1);
+}
+
+TEST(CompareAlignmentsTest, LowQualityDisagreementWeighsLittle) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 5)};
+  std::vector<SamRecord> b = {Rec("p1", true, 2'000, 8)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.d_count, 1);
+  EXPECT_LT(d.weighted_d_count, 0.05);
+  EXPECT_EQ(d.discordant_after_filters, 0);  // mapq filter removes it
+}
+
+TEST(CompareAlignmentsTest, CentromereClassified) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 41'000, 20)};
+  std::vector<SamRecord> b = {Rec("p1", true, 42'000, 20)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.discordant_centromere, 1);
+  EXPECT_EQ(d.discordant_after_filters, 0);
+}
+
+TEST(CompareAlignmentsTest, BlacklistClassified) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 80'500, 60)};
+  std::vector<SamRecord> b = {Rec("p1", true, 9'000, 60)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.discordant_blacklist, 1);
+}
+
+TEST(CompareAlignmentsTest, UnmappedVsMappedIsDiscordant) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 0, 0, false, true)};
+  std::vector<SamRecord> b = {Rec("p1", true, 500, 40)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.d_count, 1);
+}
+
+TEST(CompareAlignmentsTest, MatesComparedIndependently) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 60),
+                              Rec("p1", false, 400, 60)};
+  std::vector<SamRecord> b = {Rec("p1", true, 100, 60),
+                              Rec("p1", false, 5'000, 60)};
+  auto d = CompareAlignments(ref, a, b);
+  EXPECT_EQ(d.d_count, 1);
+}
+
+TEST(CompareAlignmentsTest, InsertSizeBucketsFilled) {
+  auto ref = AnnotatedRef();
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 60),
+                              Rec("p1", false, 400, 60)};
+  std::vector<SamRecord> b = {Rec("p1", true, 900, 60),
+                              Rec("p1", false, 400, 60)};
+  auto d = CompareAlignments(ref, a, b);
+  ASSERT_EQ(d.insert_size_buckets.size(), 1u);
+  EXPECT_EQ(d.insert_size_buckets.begin()->first, 400);
+}
+
+TEST(CompareDuplicatesTest, FlagDifferenceCounted) {
+  std::vector<SamRecord> a = {Rec("p1", true, 100, 60, /*duplicate=*/true),
+                              Rec("p2", true, 200, 60, false)};
+  std::vector<SamRecord> b = {Rec("p1", true, 100, 60, false),
+                              Rec("p2", true, 200, 60, false)};
+  auto d = CompareDuplicates(a, b);
+  EXPECT_EQ(d.d_count, 1);
+  EXPECT_EQ(d.duplicates_serial, 1);
+  EXPECT_EQ(d.duplicates_parallel, 0);
+  EXPECT_EQ(d.duplicate_count_delta(), 1);
+}
+
+VariantRecord Var(int64_t pos, const char* ref, const char* alt,
+                  double qual = 60) {
+  VariantRecord v;
+  v.chrom = 0;
+  v.pos = pos;
+  v.ref = ref;
+  v.alt = alt;
+  v.qual = qual;
+  return v;
+}
+
+TEST(CompareVariantsTest, PartitionsIntoThreeSets) {
+  std::vector<VariantRecord> a = {Var(10, "A", "G"), Var(20, "C", "T")};
+  std::vector<VariantRecord> b = {Var(10, "A", "G"), Var(30, "G", "A")};
+  auto d = CompareVariants(a, b);
+  EXPECT_EQ(d.concordant.size(), 1u);
+  EXPECT_EQ(d.only_first.size(), 1u);
+  EXPECT_EQ(d.only_second.size(), 1u);
+  EXPECT_EQ(d.d_count(), 2);
+  EXPECT_GT(d.weighted_d_count, 1.5);  // two high-qual discordant calls
+}
+
+TEST(CompareVariantsTest, LowQualityDiscordanceWeighsLess) {
+  std::vector<VariantRecord> a = {Var(10, "A", "G", 5)};
+  std::vector<VariantRecord> b = {};
+  auto d = CompareVariants(a, b);
+  EXPECT_EQ(d.d_count(), 1);
+  EXPECT_LT(d.weighted_d_count, 0.05);
+}
+
+TEST(CompareVariantsTest, AlleleMismatchIsDiscordant) {
+  std::vector<VariantRecord> a = {Var(10, "A", "G")};
+  std::vector<VariantRecord> b = {Var(10, "A", "C")};
+  auto d = CompareVariants(a, b);
+  EXPECT_EQ(d.concordant.size(), 0u);
+  EXPECT_EQ(d.d_count(), 2);
+}
+
+TEST(EvaluateAgainstTruthTest, PerfectCalls) {
+  std::vector<PlantedVariant> truth = {{0, 10, "A", "G", false, 0},
+                                       {0, 20, "C", "T", true, 0}};
+  std::vector<VariantRecord> calls = {Var(10, "A", "G"), Var(20, "C", "T")};
+  auto ps = EvaluateAgainstTruth(calls, truth);
+  EXPECT_EQ(ps.true_positives, 2);
+  EXPECT_DOUBLE_EQ(ps.precision, 1.0);
+  EXPECT_DOUBLE_EQ(ps.sensitivity, 1.0);
+}
+
+TEST(EvaluateAgainstTruthTest, FalsePositivesAndNegatives) {
+  std::vector<PlantedVariant> truth = {{0, 10, "A", "G", false, 0},
+                                       {0, 20, "C", "T", true, 0}};
+  std::vector<VariantRecord> calls = {Var(10, "A", "G"), Var(99, "T", "A")};
+  auto ps = EvaluateAgainstTruth(calls, truth);
+  EXPECT_EQ(ps.true_positives, 1);
+  EXPECT_EQ(ps.false_positives, 1);
+  EXPECT_EQ(ps.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(ps.precision, 0.5);
+  EXPECT_DOUBLE_EQ(ps.sensitivity, 0.5);
+}
+
+TEST(EvaluateAgainstTruthTest, EmptyCalls) {
+  std::vector<PlantedVariant> truth = {{0, 10, "A", "G", false, 0}};
+  auto ps = EvaluateAgainstTruth({}, truth);
+  EXPECT_EQ(ps.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(ps.sensitivity, 0.0);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,101 @@
+#include "gesall/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+SamRecord Rec(int32_t ref, int64_t pos, bool reverse = false,
+              bool unmapped = false) {
+  SamRecord r;
+  r.qname = "q" + std::to_string(pos);
+  r.ref_id = unmapped ? -1 : ref;
+  r.pos = unmapped ? -1 : pos;
+  r.cigar = unmapped ? Cigar{} : Cigar{{'M', 100}};
+  if (reverse) r.SetFlag(sam_flags::kReverse, true);
+  if (unmapped) r.SetFlag(sam_flags::kUnmapped, true);
+  r.seq = std::string(100, 'A');
+  r.qual = std::string(100, 'I');
+  return r;
+}
+
+TEST(CoordinateKeyTest, OrderMatchesCoordinateOrder) {
+  // Byte order of keys must equal (ref, pos) order.
+  EXPECT_LT(EncodeCoordinateKey(Rec(0, 100)), EncodeCoordinateKey(Rec(0, 101)));
+  EXPECT_LT(EncodeCoordinateKey(Rec(0, 1'000'000)),
+            EncodeCoordinateKey(Rec(1, 0)));
+  EXPECT_LT(EncodeCoordinateKey(Rec(1, 5)), EncodeCoordinateKey(Rec(2, 0)));
+}
+
+TEST(CoordinateKeyTest, UnmappedSortLast) {
+  EXPECT_LT(EncodeCoordinateKey(Rec(30, 1'000'000'000)),
+            EncodeCoordinateKey(Rec(0, 0, false, /*unmapped=*/true)));
+}
+
+TEST(CoordinateKeyTest, BoundaryBelowAllPositionsOfChromosome) {
+  std::string boundary = EncodeCoordinateBoundary(2, 0);
+  EXPECT_LT(EncodeCoordinateKey(Rec(1, 999'999)), boundary);
+  EXPECT_LE(boundary, EncodeCoordinateKey(Rec(2, 0)));
+  EXPECT_LT(boundary, EncodeCoordinateKey(Rec(2, 1)));
+}
+
+TEST(PairEndKeyTest, DistinctFamilies) {
+  ReadEndKey k1{0, 100, false}, k2{0, 400, true};
+  std::string pair_key = EncodePairKey(k1, k2);
+  std::string end_key = EncodeEndKey(k1);
+  std::string pass_key = EncodePassthroughKey("q1");
+  EXPECT_EQ(pair_key[0], 'P');
+  EXPECT_EQ(end_key[0], 'E');
+  EXPECT_EQ(pass_key[0], 'U');
+  EXPECT_NE(pair_key, end_key);
+}
+
+TEST(PairEndKeyTest, EndKeyDistinguishesStrand) {
+  EXPECT_NE(EncodeEndKey({0, 100, false}), EncodeEndKey({0, 100, true}));
+  EXPECT_NE(EncodeEndKey({0, 100, false}), EncodeEndKey({1, 100, false}));
+}
+
+TEST(PairEndKeyTest, PairKeySensitiveToBothEnds) {
+  ReadEndKey a{0, 100, false}, b{0, 400, true}, c{0, 401, true};
+  EXPECT_NE(EncodePairKey(a, b), EncodePairKey(a, c));
+}
+
+TEST(MarkDupValueTest, SingleRecordRoundTrip) {
+  SamRecord r = Rec(1, 555);
+  auto decoded = DecodeMarkDupValue(
+                     EncodeMarkDupValue(MarkDupRole::kEndRepresentative, r))
+                     .ValueOrDie();
+  EXPECT_EQ(decoded.role, MarkDupRole::kEndRepresentative);
+  EXPECT_EQ(decoded.first, r);
+  EXPECT_FALSE(decoded.has_second);
+}
+
+TEST(MarkDupValueTest, PairRoundTrip) {
+  SamRecord a = Rec(1, 555), b = Rec(1, 900, true);
+  auto decoded =
+      DecodeMarkDupValue(EncodeMarkDupValue(MarkDupRole::kCompletePair, a, &b))
+          .ValueOrDie();
+  EXPECT_EQ(decoded.role, MarkDupRole::kCompletePair);
+  EXPECT_EQ(decoded.first, a);
+  ASSERT_TRUE(decoded.has_second);
+  EXPECT_EQ(decoded.second, b);
+}
+
+TEST(MarkDupValueTest, CorruptValueRejected) {
+  EXPECT_FALSE(DecodeMarkDupValue("x").ok());
+  EXPECT_FALSE(DecodeMarkDupValue("\x01\x01garbage").ok());
+}
+
+TEST(OrderedU64Test, PreservesOrder) {
+  std::string a, b;
+  AppendOrderedU64(&a, 5);
+  AppendOrderedU64(&b, 600);
+  EXPECT_LT(a, b);
+  std::string c, d;
+  AppendOrderedU64(&c, 0);
+  AppendOrderedU64(&d, UINT64_MAX);
+  EXPECT_LT(c, d);
+}
+
+}  // namespace
+}  // namespace gesall

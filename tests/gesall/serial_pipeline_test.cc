@@ -1,0 +1,150 @@
+#include "gesall/serial_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/mark_duplicates.h"
+#include "analysis/steps.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+class SerialPipelineTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ReferenceGeneratorOptions ro;
+    ro.num_chromosomes = 2;
+    ro.chromosome_length = 70'000;
+    ref_ = new ReferenceGenome(GenerateReference(ro));
+    donor_ = new DonorGenome(PlantVariants(*ref_, VariantPlanterOptions{}));
+    ReadSimulatorOptions so;
+    so.coverage = 12.0;
+    auto sample = SimulateReads(*donor_, so);
+    index_ = new GenomeIndex(*ref_);
+    interleaved_ = new std::vector<FastqRecord>(
+        InterleavePairs(sample.mate1, sample.mate2).ValueOrDie());
+    outputs_ = new SerialStageOutputs(
+        RunSerialPipeline(*ref_, *index_, *interleaved_).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete outputs_;
+    delete interleaved_;
+    delete index_;
+    delete donor_;
+    delete ref_;
+  }
+
+  static ReferenceGenome* ref_;
+  static DonorGenome* donor_;
+  static GenomeIndex* index_;
+  static std::vector<FastqRecord>* interleaved_;
+  static SerialStageOutputs* outputs_;
+};
+
+ReferenceGenome* SerialPipelineTest::ref_ = nullptr;
+DonorGenome* SerialPipelineTest::donor_ = nullptr;
+GenomeIndex* SerialPipelineTest::index_ = nullptr;
+std::vector<FastqRecord>* SerialPipelineTest::interleaved_ = nullptr;
+SerialStageOutputs* SerialPipelineTest::outputs_ = nullptr;
+
+TEST_F(SerialPipelineTest, EveryStagePreservesReadCount) {
+  const size_t n = interleaved_->size();
+  EXPECT_EQ(outputs_->aligned.size(), n);
+  EXPECT_EQ(outputs_->cleaned.size(), n);
+  EXPECT_EQ(outputs_->deduped.size(), n);
+  EXPECT_EQ(outputs_->sorted.size(), n);
+}
+
+TEST_F(SerialPipelineTest, StepTimingsRecorded) {
+  for (const char* step :
+       {"bwa", "add_replace_groups", "clean_sam", "fix_mate_info",
+        "mark_duplicates", "sort_sam", "haplotype_caller"}) {
+    auto it = outputs_->step_seconds.find(step);
+    ASSERT_NE(it, outputs_->step_seconds.end()) << step;
+    EXPECT_GE(it->second, 0.0) << step;
+  }
+}
+
+TEST_F(SerialPipelineTest, CleanedStageHasReadGroups) {
+  ASSERT_FALSE(outputs_->header.read_groups.empty());
+  for (const auto& r : outputs_->cleaned) {
+    EXPECT_EQ(r.GetTag("RG"), outputs_->header.read_groups[0].id);
+  }
+}
+
+TEST_F(SerialPipelineTest, SortedStageIsCoordinateOrdered) {
+  const auto& sorted = outputs_->sorted;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_FALSE(CoordinateLess(sorted[i], sorted[i - 1])) << i;
+  }
+}
+
+TEST_F(SerialPipelineTest, MarkDuplicatesIsIdempotent) {
+  std::vector<SamRecord> again = outputs_->deduped;
+  // Re-running on already-marked data must not change any flag.
+  ASSERT_TRUE(MarkDuplicates(&again).ok());
+  EXPECT_EQ(again, outputs_->deduped);
+}
+
+TEST_F(SerialPipelineTest, FixMateInformationIsIdempotent) {
+  std::vector<SamRecord> again = outputs_->cleaned;
+  ASSERT_TRUE(FixMateInformation(&again).ok());
+  EXPECT_EQ(again, outputs_->cleaned);
+}
+
+TEST_F(SerialPipelineTest, DuplicateRateNearSimulatedRate) {
+  int64_t dups = 0;
+  for (const auto& r : outputs_->deduped) dups += r.IsDuplicate();
+  double rate = dups / static_cast<double>(outputs_->deduped.size());
+  // The simulator plants ~2% PCR duplicates; detection should land near
+  // that (plus random fragment collisions, minus unmapped pairs).
+  EXPECT_GT(rate, 0.008);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST_F(SerialPipelineTest, HybridTailEqualsSerialTailOnSerialPrefix) {
+  // Feeding the serial pipeline's own alignment output through the
+  // hybrid tail must reproduce the serial variant calls exactly.
+  auto hybrid = SerialTailFromAligned(*ref_, outputs_->header,
+                                      outputs_->aligned)
+                    .ValueOrDie();
+  ASSERT_EQ(hybrid.size(), outputs_->variants.size());
+  for (size_t i = 0; i < hybrid.size(); ++i) {
+    EXPECT_EQ(hybrid[i].Key(), outputs_->variants[i].Key());
+  }
+}
+
+TEST_F(SerialPipelineTest, DedupedTailEqualsSerialTail) {
+  auto hybrid = SerialTailFromDeduped(*ref_, outputs_->header,
+                                      outputs_->deduped)
+                    .ValueOrDie();
+  ASSERT_EQ(hybrid.size(), outputs_->variants.size());
+  for (size_t i = 0; i < hybrid.size(); ++i) {
+    EXPECT_EQ(hybrid[i].Key(), outputs_->variants[i].Key());
+  }
+}
+
+TEST_F(SerialPipelineTest, RecalibrationChangesQualitiesNotCalls) {
+  SerialPipelineConfig config;
+  config.run_recalibration = true;
+  auto with_recal =
+      RunSerialPipeline(*ref_, *index_, *interleaved_, config).ValueOrDie();
+  // Qualities in the sorted stage differ from the non-recalibrated run.
+  ASSERT_EQ(with_recal.sorted.size(), outputs_->sorted.size());
+  int64_t changed = 0;
+  for (size_t i = 0; i < with_recal.sorted.size(); ++i) {
+    changed += with_recal.sorted[i].qual != outputs_->sorted[i].qual;
+  }
+  EXPECT_GT(changed, static_cast<int64_t>(with_recal.sorted.size() / 2));
+  // Variant calls barely move (clean synthetic data is well calibrated).
+  double delta =
+      std::abs(static_cast<double>(with_recal.variants.size()) -
+               static_cast<double>(outputs_->variants.size()));
+  EXPECT_LT(delta / outputs_->variants.size(), 0.15);
+}
+
+}  // namespace
+}  // namespace gesall

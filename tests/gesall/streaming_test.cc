@@ -1,0 +1,198 @@
+#include "gesall/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "formats/bam.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+// A trivial program: upper-cases each line.
+class UpcaseProgram : public LineProgram {
+ public:
+  Status ConsumeLine(std::string_view line, const Emit& emit) override {
+    std::string out(line);
+    for (char& c : out) c = static_cast<char>(std::toupper(c));
+    return emit(out);
+  }
+};
+
+// Emits every line twice.
+class DoubleProgram : public LineProgram {
+ public:
+  Status ConsumeLine(std::string_view line, const Emit& emit) override {
+    GESALL_RETURN_NOT_OK(emit(line));
+    return emit(line);
+  }
+};
+
+// Batches lines and emits them joined at Finish (tests drain logic).
+class JoinAtFinishProgram : public LineProgram {
+ public:
+  Status ConsumeLine(std::string_view line, const Emit&) override {
+    lines_.emplace_back(line);
+    return Status::OK();
+  }
+  Status Finish(const Emit& emit) override {
+    std::string joined;
+    for (const auto& l : lines_) joined += l + "|";
+    return emit(joined);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(PipeBufferTest, FlushesAtCapacity) {
+  PipeBuffer pipe(8);
+  std::string seen;
+  int flushes = 0;
+  pipe.SetConsumer([&](std::string_view d) {
+    seen.append(d);
+    ++flushes;
+    return Status::OK();
+  });
+  ASSERT_TRUE(pipe.Write("0123456789abcdef").ok());  // 2 full buffers
+  EXPECT_EQ(flushes, 2);
+  EXPECT_EQ(seen, "0123456789abcdef");
+  ASSERT_TRUE(pipe.Write("xy").ok());
+  EXPECT_EQ(flushes, 2);  // buffered, below capacity
+  ASSERT_TRUE(pipe.Flush().ok());
+  EXPECT_EQ(flushes, 3);
+  EXPECT_EQ(pipe.bytes_transferred(), 18);
+}
+
+TEST(StreamingChainTest, SingleProgram) {
+  UpcaseProgram up;
+  auto out = RunStreamingChain("hello\nworld\n", {&up}).ValueOrDie();
+  EXPECT_EQ(out, "HELLO\nWORLD\n");
+}
+
+TEST(StreamingChainTest, TwoProgramChain) {
+  UpcaseProgram up;
+  DoubleProgram dbl;
+  auto out = RunStreamingChain("ab\ncd\n", {&up, &dbl}).ValueOrDie();
+  EXPECT_EQ(out, "AB\nAB\nCD\nCD\n");
+}
+
+TEST(StreamingChainTest, FinishOutputPropagatesThroughChain) {
+  JoinAtFinishProgram join;
+  UpcaseProgram up;
+  auto out = RunStreamingChain("a\nb\nc\n", {&join, &up}).ValueOrDie();
+  EXPECT_EQ(out, "A|B|C|\n");
+}
+
+TEST(StreamingChainTest, SmallPipeStillCorrect) {
+  // A 4-byte pipe forces many flushes and split lines.
+  UpcaseProgram up;
+  StreamingStats stats;
+  auto out = RunStreamingChain("abcdefgh\nij\n", {&up}, &stats,
+                               /*pipe_capacity=*/4)
+                 .ValueOrDie();
+  EXPECT_EQ(out, "ABCDEFGH\nIJ\n");
+  EXPECT_GT(stats.pipe_flushes, 2);
+}
+
+TEST(StreamingChainTest, MissingTrailingNewlineHandled) {
+  UpcaseProgram up;
+  auto out = RunStreamingChain("no-newline", {&up}).ValueOrDie();
+  EXPECT_EQ(out, "NO-NEWLINE\n");
+}
+
+TEST(StreamingChainTest, EmptyChainRejected) {
+  EXPECT_TRUE(RunStreamingChain("x", {}).status().IsInvalidArgument());
+}
+
+TEST(StreamingChainTest, StatsPopulated) {
+  UpcaseProgram up;
+  StreamingStats stats;
+  ASSERT_TRUE(RunStreamingChain("abc\ndef\n", {&up}, &stats).ok());
+  EXPECT_EQ(stats.input_bytes, 8);
+  EXPECT_EQ(stats.output_bytes, 8);
+  EXPECT_GE(stats.pipe_flushes, 1);
+}
+
+// --- BwaStreamProgram: Fig. 8 fidelity --------------------------------
+
+class BwaStreamTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ReferenceGeneratorOptions ro;
+    ro.num_chromosomes = 1;
+    ro.chromosome_length = 60'000;
+    ref_ = new ReferenceGenome(GenerateReference(ro));
+    index_ = new GenomeIndex(*ref_);
+    DonorGenome donor = PlantVariants(*ref_, VariantPlanterOptions{});
+    ReadSimulatorOptions so;
+    so.coverage = 4.0;
+    sample_ = new SimulatedSample(SimulateReads(donor, so));
+  }
+  static void TearDownTestSuite() {
+    delete sample_;
+    delete index_;
+    delete ref_;
+  }
+  static ReferenceGenome* ref_;
+  static GenomeIndex* index_;
+  static SimulatedSample* sample_;
+};
+
+ReferenceGenome* BwaStreamTest::ref_ = nullptr;
+GenomeIndex* BwaStreamTest::index_ = nullptr;
+SimulatedSample* BwaStreamTest::sample_ = nullptr;
+
+TEST_F(BwaStreamTest, StreamingMatchesNativeAlignment) {
+  auto interleaved =
+      InterleavePairs(sample_->mate1, sample_->mate2).ValueOrDie();
+  PairedAlignerOptions opt;
+  opt.batch_size = 128;  // several batches
+
+  // Native path.
+  PairedEndAligner native(*index_, opt);
+  auto native_records = native.AlignPairs(interleaved);
+
+  // Streaming path: FASTQ text -> bwa -> SAM text -> parse.
+  BwaStreamProgram bwa(*index_, opt);
+  auto sam_text =
+      RunStreamingChain(WriteFastq(interleaved), {&bwa}).ValueOrDie();
+  auto [header, streamed_records] =
+      ParseSamText(sam_text).ValueOrDie();
+
+  ASSERT_EQ(streamed_records.size(), native_records.size());
+  for (size_t i = 0; i < native_records.size(); ++i) {
+    EXPECT_EQ(streamed_records[i], native_records[i]) << i;
+  }
+}
+
+TEST_F(BwaStreamTest, SamTextToBamRoundTrip) {
+  auto interleaved =
+      InterleavePairs(sample_->mate1, sample_->mate2).ValueOrDie();
+  PairedAlignerOptions opt;
+  BwaStreamProgram bwa(*index_, opt);
+  auto sam_text =
+      RunStreamingChain(WriteFastq(interleaved), {&bwa}).ValueOrDie();
+  auto bam = SamTextToBam(sam_text).ValueOrDie();
+  auto [header, records] = ReadBam(bam).ValueOrDie();
+  EXPECT_EQ(records.size(), interleaved.size());
+  EXPECT_EQ(header.refs.size(), 1u);
+}
+
+TEST_F(BwaStreamTest, TruncatedRecordRejected) {
+  PairedAlignerOptions opt;
+  BwaStreamProgram bwa(*index_, opt);
+  auto result = RunStreamingChain("@r1\nACGT\n+\n", {&bwa});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(BwaStreamTest, OddReadCountRejected) {
+  PairedAlignerOptions opt;
+  BwaStreamProgram bwa(*index_, opt);
+  std::string one_read = "@r1\nACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIII\n";
+  auto result = RunStreamingChain(one_read, {&bwa});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,140 @@
+// Property tests on the MapReduce engine: output invariance under
+// concurrency, buffer sizes, and reducer counts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mr/mapreduce.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+// Emits (key, value) pairs parsed from "key=value" tokens.
+class KvMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    size_t start = 0;
+    while (start < input.size()) {
+      size_t space = input.find(' ', start);
+      if (space == std::string::npos) space = input.size();
+      std::string token = input.substr(start, space - start);
+      size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        ctx->Emit(token.substr(0, eq), token.substr(eq + 1));
+      }
+      start = space + 1;
+    }
+    return Status::OK();
+  }
+};
+
+// Emits "key:v1,v2,..." preserving value order.
+class JoinReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    std::string out = key + ":";
+    for (const auto& v : values) {
+      out += v;
+      out += ',';
+    }
+    ctx->Emit(std::move(out));
+    return Status::OK();
+  }
+};
+
+std::vector<InputSplit> RandomSplits(uint64_t seed, int n_splits,
+                                     int tokens_per_split) {
+  Rng rng(seed);
+  std::vector<InputSplit> splits;
+  for (int s = 0; s < n_splits; ++s) {
+    std::string data;
+    for (int t = 0; t < tokens_per_split; ++t) {
+      data += "k" + std::to_string(rng.Uniform(40)) + "=v" +
+              std::to_string(rng.Uniform(1000)) + " ";
+    }
+    splits.push_back(InlineSplit(data));
+  }
+  return splits;
+}
+
+std::multiset<std::string> Flatten(const JobResult& result) {
+  std::multiset<std::string> out;
+  for (const auto& ro : result.reducer_outputs) {
+    for (const auto& v : ro) out.insert(v);
+  }
+  return out;
+}
+
+JobResult RunJob(const std::vector<InputSplit>& splits, JobConfig cfg) {
+  MapReduceJob job(cfg);
+  return job
+      .Run(splits, [] { return std::make_unique<KvMapper>(); },
+           [] { return std::make_unique<JoinReducer>(); })
+      .ValueOrDie();
+}
+
+class MrInvarianceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(MrInvarianceTest, OutputInvariantUnderThreadCount) {
+  auto splits = RandomSplits(GetParam(), 12, 80);
+  JobConfig one;
+  one.max_parallel_tasks = 1;
+  JobConfig many;
+  many.max_parallel_tasks = 8;
+  EXPECT_EQ(Flatten(RunJob(splits, one)), Flatten(RunJob(splits, many)));
+}
+
+TEST_P(MrInvarianceTest, OutputInvariantUnderSortBuffer) {
+  auto splits = RandomSplits(GetParam(), 6, 200);
+  JobConfig big;
+  JobConfig tiny;
+  tiny.sort_buffer_bytes = 64;  // dozens of spills per task
+  EXPECT_EQ(Flatten(RunJob(splits, big)), Flatten(RunJob(splits, tiny)));
+}
+
+TEST_P(MrInvarianceTest, KeySetInvariantUnderReducerCount) {
+  auto splits = RandomSplits(GetParam(), 6, 200);
+  JobConfig r2;
+  r2.num_reducers = 2;
+  JobConfig r16;
+  r16.num_reducers = 16;
+  // Reducer routing changes, but the set of (key -> joined values) lines
+  // must be identical: value order within a key is shuffle-deterministic.
+  EXPECT_EQ(Flatten(RunJob(splits, r2)), Flatten(RunJob(splits, r16)));
+}
+
+TEST_P(MrInvarianceTest, KeysSortedWithinReducer) {
+  auto splits = RandomSplits(GetParam(), 6, 120);
+  auto result = RunJob(splits, JobConfig{});
+  for (const auto& ro : result.reducer_outputs) {
+    for (size_t i = 1; i < ro.size(); ++i) {
+      std::string prev_key = ro[i - 1].substr(0, ro[i - 1].find(':'));
+      std::string key = ro[i].substr(0, ro[i].find(':'));
+      EXPECT_LT(prev_key, key);
+    }
+  }
+}
+
+TEST_P(MrInvarianceTest, EveryEmittedValueReachesExactlyOneReducer) {
+  auto splits = RandomSplits(GetParam(), 8, 100);
+  auto result = RunJob(splits, JobConfig{});
+  int64_t values_out = 0;
+  for (const auto& ro : result.reducer_outputs) {
+    for (const auto& line : ro) {
+      values_out +=
+          std::count(line.begin(), line.end(), ',');
+    }
+  }
+  EXPECT_EQ(values_out, result.counters.Get("map_output_records"));
+  EXPECT_EQ(values_out, result.counters.Get("reduce_shuffle_records"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrInvarianceTest,
+                         testing::Values(1u, 77u, 991u));
+
+}  // namespace
+}  // namespace gesall

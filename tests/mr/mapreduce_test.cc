@@ -1,0 +1,248 @@
+#include "mr/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+namespace gesall {
+namespace {
+
+// Word-count mapper/reducer used by several tests.
+class WordCountMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    std::istringstream in(input);
+    std::string word;
+    while (in >> word) ctx->Emit(word, "1");
+    return Status::OK();
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    ctx->Emit(key + ":" + std::to_string(values.size()));
+    return Status::OK();
+  }
+};
+
+std::map<std::string, int> CollectCounts(const JobResult& result) {
+  std::map<std::string, int> counts;
+  for (const auto& out : result.reducer_outputs) {
+    for (const auto& v : out) {
+      auto colon = v.rfind(':');
+      counts[v.substr(0, colon)] = std::stoi(v.substr(colon + 1));
+    }
+  }
+  return counts;
+}
+
+TEST(MapReduceTest, WordCount) {
+  MapReduceJob job;
+  std::vector<InputSplit> splits = {
+      InlineSplit("a b a"),
+      InlineSplit("b c"),
+      InlineSplit("a"),
+  };
+  auto result = job.Run(
+                       splits, [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  auto counts = CollectCounts(result);
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+}
+
+TEST(MapReduceTest, CountersTrackRecords) {
+  MapReduceJob job;
+  std::vector<InputSplit> splits = {InlineSplit("x y z x")};
+  auto result = job.Run(
+                       splits, [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  EXPECT_EQ(result.counters.Get("map_output_records"), 4);
+  EXPECT_EQ(result.counters.Get("reduce_shuffle_records"), 4);
+  EXPECT_EQ(result.counters.Get("reduce_output_records"), 3);
+}
+
+TEST(MapReduceTest, DeterministicAcrossRuns) {
+  std::vector<InputSplit> splits;
+  for (int i = 0; i < 16; ++i) {
+    splits.push_back(InlineSplit("k" + std::to_string(i % 5) + " common"));
+  }
+  JobConfig cfg;
+  cfg.max_parallel_tasks = 8;
+  auto run = [&] {
+    MapReduceJob job(cfg);
+    return job.Run(
+                  splits, [] { return std::make_unique<WordCountMapper>(); },
+                  [] { return std::make_unique<SumReducer>(); })
+        .ValueOrDie()
+        .reducer_outputs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MapReduceTest, ValuesArriveInMapTaskOrder) {
+  // Values for one key must arrive ordered by (map task, emission order).
+  class TagMapper : public Mapper {
+   public:
+    Status Map(const std::string& input, MapContext* ctx) override {
+      ctx->Emit("k", input);
+      return Status::OK();
+    }
+  };
+  class ConcatReducer : public Reducer {
+   public:
+    Status Reduce(const std::string& key,
+                  const std::vector<std::string>& values,
+                  ReduceContext* ctx) override {
+      std::string all;
+      for (const auto& v : values) all += v;
+      ctx->Emit(key + "=" + all);
+      return Status::OK();
+    }
+  };
+  MapReduceJob job;
+  std::vector<InputSplit> splits = {InlineSplit("1"), InlineSplit("2"),
+                                    InlineSplit("3"), InlineSplit("4")};
+  auto result = job.Run(
+                       splits, [] { return std::make_unique<TagMapper>(); },
+                       [] { return std::make_unique<ConcatReducer>(); })
+                    .ValueOrDie();
+  std::string found;
+  for (const auto& out : result.reducer_outputs) {
+    for (const auto& v : out) found = v;
+  }
+  EXPECT_EQ(found, "k=1234");
+}
+
+TEST(MapReduceTest, SpillsWhenBufferSmall) {
+  JobConfig cfg;
+  cfg.sort_buffer_bytes = 64;  // force many spills
+  MapReduceJob job(cfg);
+  std::string big_input;
+  for (int i = 0; i < 200; ++i) big_input += "w" + std::to_string(i) + " ";
+  auto result = job.Run(
+                       {InlineSplit(big_input)},
+                       [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  EXPECT_GT(result.counters.Get("map_spills"), 1);
+  EXPECT_GT(result.counters.Get("map_merge_bytes"), 0);
+  // Spilling must not change results.
+  auto counts = CollectCounts(result);
+  EXPECT_EQ(static_cast<int>(counts.size()), 200);
+}
+
+TEST(MapReduceTest, MapErrorPropagates) {
+  class FailingMapper : public Mapper {
+   public:
+    Status Map(const std::string&, MapContext*) override {
+      return Status::Internal("mapper exploded");
+    }
+  };
+  MapReduceJob job;
+  auto result = job.Run(
+      {InlineSplit("x")}, [] { return std::make_unique<FailingMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(MapReduceTest, ReduceErrorPropagates) {
+  class FailingReducer : public Reducer {
+   public:
+    Status Reduce(const std::string&, const std::vector<std::string>&,
+                  ReduceContext*) override {
+      return Status::Internal("reducer exploded");
+    }
+  };
+  MapReduceJob job;
+  auto result = job.Run(
+      {InlineSplit("x")}, [] { return std::make_unique<WordCountMapper>(); },
+      [] { return std::make_unique<FailingReducer>(); });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapReduceTest, SplitLoadErrorPropagates) {
+  MapReduceJob job;
+  InputSplit bad;
+  bad.load = []() -> Result<std::string> {
+    return Status::IOError("split gone");
+  };
+  auto result =
+      job.Run({bad}, [] { return std::make_unique<WordCountMapper>(); },
+              [] { return std::make_unique<SumReducer>(); });
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(MapReduceTest, MapOnlyKeepsPerTaskOutputs) {
+  class EchoMapper : public Mapper {
+   public:
+    Status Map(const std::string& input, MapContext* ctx) override {
+      ctx->Emit("", input + "!");
+      return Status::OK();
+    }
+  };
+  MapReduceJob job;
+  auto result = job.RunMapOnly(
+                       {InlineSplit("a"), InlineSplit("b")},
+                       [] { return std::make_unique<EchoMapper>(); })
+                    .ValueOrDie();
+  ASSERT_EQ(result.reducer_outputs.size(), 2u);
+  EXPECT_EQ(result.reducer_outputs[0], (std::vector<std::string>{"a!"}));
+  EXPECT_EQ(result.reducer_outputs[1], (std::vector<std::string>{"b!"}));
+}
+
+TEST(MapReduceTest, TaskTimelineRecorded) {
+  MapReduceJob job;
+  auto result = job.Run(
+                       {InlineSplit("a b"), InlineSplit("c")},
+                       [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  int maps = 0, reduces = 0;
+  for (const auto& t : result.tasks) {
+    EXPECT_GE(t.end_seconds, t.start_seconds);
+    if (t.type == TaskRecord::Type::kMap) {
+      ++maps;
+    } else {
+      ++reduces;
+    }
+  }
+  EXPECT_EQ(maps, 2);
+  EXPECT_EQ(reduces, 4);  // default num_reducers
+}
+
+TEST(HashPartitionerTest, StableAndInRange) {
+  HashPartitioner p;
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "key" + std::to_string(i);
+    int part = p.Partition(key, 7);
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 7);
+    EXPECT_EQ(part, p.Partition(key, 7));
+  }
+}
+
+TEST(RangePartitionerTest, BoundariesRespected) {
+  RangePartitioner p({"g", "n"});  // [<g], [g..n), [>=n]
+  EXPECT_EQ(p.Partition("a", 3), 0);
+  EXPECT_EQ(p.Partition("g", 3), 1);
+  EXPECT_EQ(p.Partition("m", 3), 1);
+  EXPECT_EQ(p.Partition("n", 3), 2);
+  EXPECT_EQ(p.Partition("z", 3), 2);
+}
+
+TEST(RangePartitionerTest, ClampsToNumPartitions) {
+  RangePartitioner p({"b", "c", "d"});
+  EXPECT_EQ(p.Partition("z", 2), 1);
+}
+
+}  // namespace
+}  // namespace gesall

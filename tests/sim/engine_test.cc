@@ -1,0 +1,117 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/resources.h"
+
+namespace gesall {
+namespace {
+
+TEST(SimEngineTest, EventsFireInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.At(5.0, [&] { order.push_back(2); });
+  engine.At(1.0, [&] { order.push_back(1); });
+  engine.At(9.0, [&] { order.push_back(3); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(SimEngineTest, TiesFireInScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngineTest, NestedScheduling) {
+  SimEngine engine;
+  double fired_at = -1;
+  engine.After(1.0, [&] {
+    engine.After(2.0, [&] { fired_at = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(FifoServerTest, SequentialService) {
+  SimEngine engine;
+  FifoServer disk(&engine, 100.0, "d");  // 100 bytes/sec
+  std::vector<double> completions;
+  disk.Request(200, [&] { completions.push_back(engine.now()); });
+  disk.Request(300, [&] { completions.push_back(engine.now()); });
+  engine.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 5.0);  // FIFO: starts after the first
+  EXPECT_DOUBLE_EQ(disk.busy_seconds(), 5.0);
+  EXPECT_EQ(disk.bytes_served(), 500);
+}
+
+TEST(FifoServerTest, ZeroByteRequestCompletesImmediately) {
+  SimEngine engine;
+  FifoServer disk(&engine, 100.0, "d");
+  bool fired = false;
+  disk.Request(0, [&] { fired = true; });
+  engine.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(disk.busy_seconds(), 0.0);
+}
+
+TEST(FifoServerTest, IdleGapsTracked) {
+  SimEngine engine;
+  FifoServer disk(&engine, 100.0, "d");
+  engine.After(0.0, [&] { disk.Request(100, [] {}); });
+  engine.After(10.0, [&] { disk.Request(100, [] {}); });
+  engine.Run();
+  ASSERT_EQ(disk.busy_intervals().size(), 2u);
+  EXPECT_DOUBLE_EQ(disk.busy_seconds(), 2.0);
+  // Utilization trace: busy at t=0..1 and t=10..11, idle between.
+  auto trace = disk.UtilizationTrace(1.0, 11.0);
+  EXPECT_GT(trace[0], 0.9);
+  EXPECT_LT(trace[5], 0.01);
+  EXPECT_GT(trace[10], 0.9);
+}
+
+TEST(ThreadScalingTest, MonotoneButSaturating) {
+  auto model = ThreadScalingModel::Readahead128KB();
+  double prev = 0;
+  for (int t = 1; t <= 16; ++t) {
+    double s = model.Speedup(t);
+    EXPECT_GT(s, prev);
+    EXPECT_LE(s, t);  // never superlinear
+    prev = s;
+  }
+}
+
+TEST(ThreadScalingTest, BiggerReadaheadScalesBetter) {
+  auto small = ThreadScalingModel::Readahead128KB();
+  auto big = ThreadScalingModel::Readahead64MB();
+  for (int t : {4, 8, 16, 24}) {
+    EXPECT_GT(big.Speedup(t), small.Speedup(t)) << t;
+  }
+  // Paper Fig. 5c shape: 128 KB saturates well below the 64 MB curve at
+  // 24 threads.
+  EXPECT_LT(small.Speedup(24), 9.0);
+  EXPECT_GT(big.Speedup(24), 11.0);
+}
+
+TEST(ClusterSpecTest, Table3Values) {
+  auto a = ClusterSpec::A();
+  EXPECT_EQ(a.num_data_nodes, 15);
+  EXPECT_EQ(a.node.cores, 24);
+  EXPECT_EQ(a.node.num_disks, 1);
+  auto b = ClusterSpec::B();
+  EXPECT_EQ(b.num_data_nodes, 4);
+  EXPECT_EQ(b.node.cores, 16);
+  EXPECT_EQ(b.node.num_disks, 6);
+  EXPECT_GT(b.node.network_gbps, a.node.network_gbps);
+}
+
+}  // namespace
+}  // namespace gesall

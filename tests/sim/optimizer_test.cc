@@ -1,0 +1,92 @@
+#include "sim/optimizer.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+class OptimizerTest : public testing::Test {
+ protected:
+  OptimizerTest()
+      : optimizer_(ClusterSpec::A(), WorkloadSpec::NA12878(),
+                   GenomicsRates{}) {}
+  PipelineOptimizer optimizer_;
+};
+
+TEST_F(OptimizerTest, EnumeratesNontrivialSearchSpace) {
+  auto plans = optimizer_.EnumeratePlans();
+  EXPECT_GT(plans.size(), 50u);
+}
+
+TEST_F(OptimizerTest, EvaluateFillsPredictions) {
+  PipelinePlan plan;
+  plan.align_maps_per_node = 4;
+  plan.align_threads_per_map = 4;
+  auto evaluated = optimizer_.Evaluate(plan);
+  EXPECT_GT(evaluated.wall_seconds, 0);
+  EXPECT_GT(evaluated.slot_seconds, 0);
+  EXPECT_EQ(evaluated.round_walls.size(), 5u);
+}
+
+TEST_F(OptimizerTest, UnboundedDeadlinePicksCheapestPlan) {
+  OptimizerObjective objective;  // infinite deadline
+  auto chosen = optimizer_.Optimize(objective);
+  // Every enumerated plan must cost at least as much in slot-seconds.
+  for (const auto& p : optimizer_.EnumeratePlans()) {
+    auto e = optimizer_.Evaluate(p);
+    EXPECT_GE(e.slot_seconds, chosen.slot_seconds - 1e-6);
+  }
+}
+
+TEST_F(OptimizerTest, TightDeadlineFallsBackToFastest) {
+  OptimizerObjective impossible;
+  impossible.deadline_seconds = 1.0;
+  auto chosen = optimizer_.Optimize(impossible);
+  for (const auto& p : optimizer_.EnumeratePlans()) {
+    auto e = optimizer_.Evaluate(p);
+    EXPECT_GE(e.wall_seconds, chosen.wall_seconds - 1e-6);
+  }
+}
+
+TEST_F(OptimizerTest, DeadlineTradesOccupancyForSpeed) {
+  OptimizerObjective loose;
+  loose.deadline_seconds = 4.0 * 86400;
+  OptimizerObjective tight;
+  tight.deadline_seconds = 0.75 * 86400;
+  auto cheap = optimizer_.Optimize(loose);
+  auto fast = optimizer_.Optimize(tight);
+  EXPECT_LE(fast.wall_seconds, tight.deadline_seconds);
+  EXPECT_LE(cheap.slot_seconds, fast.slot_seconds + 1e-6);
+}
+
+TEST_F(OptimizerTest, ChosenPlanPrefersMarkDupOpt) {
+  // MarkDup_opt dominates reg in both wall and occupancy, so no deadline
+  // should ever select reg.
+  for (double deadline : {0.5 * 86400, 1.0 * 86400, 7.0 * 86400}) {
+    OptimizerObjective objective;
+    objective.deadline_seconds = deadline;
+    auto plan = optimizer_.Optimize(objective);
+    EXPECT_TRUE(plan.markdup_optimized) << deadline;
+  }
+}
+
+TEST_F(OptimizerTest, MemoryBoundsSlots) {
+  // Cluster A has 64 GB per node -> at most 4 tasks of 13 GB.
+  for (const auto& p : optimizer_.EnumeratePlans()) {
+    EXPECT_LE(p.shuffle_slots_per_node, 4);
+    EXPECT_LE(p.align_maps_per_node, 24);
+  }
+}
+
+TEST(OptimizerClusterBTest, LargeMemoryAllowsMoreSlots) {
+  PipelineOptimizer optimizer(ClusterSpec::B(), WorkloadSpec::NA12878(),
+                              GenomicsRates{});
+  int max_slots = 0;
+  for (const auto& p : optimizer.EnumeratePlans()) {
+    max_slots = std::max(max_slots, p.shuffle_slots_per_node);
+  }
+  EXPECT_GE(max_slots, 16);  // 256 GB / 13 GB, capped by 16 cores
+}
+
+}  // namespace
+}  // namespace gesall

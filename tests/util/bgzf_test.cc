@@ -1,0 +1,113 @@
+#include "util/bgzf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.Uniform(256));
+  return s;
+}
+
+TEST(BgzfTest, SingleBlockRoundTrip) {
+  auto block = BgzfCompressBlock("hello bgzf").ValueOrDie();
+  size_t consumed = 0;
+  auto data = BgzfDecompressBlock(block, &consumed).ValueOrDie();
+  EXPECT_EQ(data, "hello bgzf");
+  EXPECT_EQ(consumed, block.size());
+}
+
+TEST(BgzfTest, RejectsOversizedPayload) {
+  std::string big(kBgzfBlockSize + 1, 'a');
+  EXPECT_TRUE(BgzfCompressBlock(big).status().IsInvalidArgument());
+}
+
+TEST(BgzfTest, RejectsBadMagic) {
+  std::string junk = "XXXX00000000";
+  EXPECT_TRUE(BgzfDecompressBlock(junk, nullptr).status().IsCorruption());
+}
+
+TEST(BgzfTest, WriterSplitsIntoBlocks) {
+  Rng rng(5);
+  std::string payload = RandomBytes(rng, 3 * kBgzfBlockSize + 777);
+  std::string compressed;
+  BgzfWriter w(&compressed);
+  ASSERT_TRUE(w.Append(payload).ok());
+  ASSERT_TRUE(w.Flush().ok());
+
+  auto blocks = BgzfListBlocks(compressed).ValueOrDie();
+  EXPECT_EQ(blocks.size(), 4u);
+
+  BgzfReader r(compressed);
+  std::string out;
+  ASSERT_TRUE(r.Read(payload.size(), &out).ok());
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BgzfTest, ReadAcrossBlockBoundary) {
+  std::string compressed;
+  BgzfWriter w(&compressed);
+  std::string a(kBgzfBlockSize - 10, 'a');
+  ASSERT_TRUE(w.Append(a).ok());
+  ASSERT_TRUE(w.Append(std::string(20, 'b')).ok());
+  ASSERT_TRUE(w.Flush().ok());
+
+  BgzfReader r(compressed);
+  std::string out;
+  ASSERT_TRUE(r.Seek((0ULL << 16) | (kBgzfBlockSize - 10 - 5)).ok());
+  ASSERT_TRUE(r.Read(15, &out).ok());
+  EXPECT_EQ(out, "aaaaabbbbbbbbbb");
+}
+
+TEST(BgzfTest, VirtualOffsetsSeekable) {
+  std::string compressed;
+  BgzfWriter w(&compressed);
+  ASSERT_TRUE(w.Append("first-chunk").ok());
+  uint64_t voffset_before_flush = w.Tell();
+  EXPECT_EQ(voffset_before_flush & 0xffff, 11u);
+  ASSERT_TRUE(w.Flush().ok());
+  uint64_t voffset = w.Tell();
+  ASSERT_TRUE(w.Append("second-chunk").ok());
+  ASSERT_TRUE(w.Flush().ok());
+
+  BgzfReader r(compressed);
+  ASSERT_TRUE(r.Seek(voffset).ok());
+  std::string out;
+  ASSERT_TRUE(r.Read(12, &out).ok());
+  EXPECT_EQ(out, "second-chunk");
+}
+
+TEST(BgzfTest, ReadPastEndFails) {
+  std::string compressed;
+  BgzfWriter w(&compressed);
+  ASSERT_TRUE(w.Append("tiny").ok());
+  ASSERT_TRUE(w.Flush().ok());
+  BgzfReader r(compressed);
+  std::string out;
+  EXPECT_TRUE(r.Read(5, &out).IsOutOfRange());
+}
+
+TEST(BgzfTest, EmptyStreamAtEnd) {
+  BgzfReader r("");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BgzfTest, TruncatedStreamDetected) {
+  auto block = BgzfCompressBlock("payload-data").ValueOrDie();
+  std::string truncated = block.substr(0, block.size() - 3);
+  EXPECT_FALSE(BgzfListBlocks(truncated).ok());
+}
+
+TEST(BgzfTest, CompressionShrinksRepetitiveData) {
+  std::string data(kBgzfBlockSize, 'G');
+  auto block = BgzfCompressBlock(data).ValueOrDie();
+  EXPECT_LT(block.size(), data.size() / 10);
+}
+
+}  // namespace
+}  // namespace gesall

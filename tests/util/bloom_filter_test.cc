@@ -1,0 +1,74 @@
+#include "util/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(1000, 0.01);
+  for (uint64_t k = 0; k < 1000; ++k) f.Insert(k * 7919);
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(f.MayContain(k * 7919));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  const size_t n = 10'000;
+  BloomFilter f(n, 0.01);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) f.Insert(rng.Next());
+  int fp = 0;
+  const int probes = 100'000;
+  Rng probe_rng(999);  // disjoint key space with high probability
+  for (int i = 0; i < probes; ++i) {
+    if (f.MayContain(probe_rng.Next())) ++fp;
+  }
+  double rate = fp / static_cast<double>(probes);
+  EXPECT_LT(rate, 0.03);
+}
+
+TEST(BloomFilterTest, SerializationRoundTrip) {
+  BloomFilter f(100, 0.05);
+  for (uint64_t k = 0; k < 100; ++k) f.Insert(k);
+  auto restored = BloomFilter::Deserialize(f.Serialize()).ValueOrDie();
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(restored.MayContain(k));
+  EXPECT_EQ(restored.bit_count(), f.bit_count());
+  EXPECT_EQ(restored.hash_count(), f.hash_count());
+}
+
+TEST(BloomFilterTest, UnionCombinesSets) {
+  BloomFilter a(100, 0.01), b(100, 0.01);
+  a.Insert(1);
+  b.Insert(2);
+  ASSERT_TRUE(a.Union(b).ok());
+  EXPECT_TRUE(a.MayContain(1));
+  EXPECT_TRUE(a.MayContain(2));
+}
+
+TEST(BloomFilterTest, UnionRejectsGeometryMismatch) {
+  BloomFilter a(100, 0.01), b(5000, 0.01);
+  EXPECT_TRUE(a.Union(b).IsInvalidArgument());
+}
+
+// Property sweep: FPR should stay within ~3x of the target across sizes.
+class BloomFprTest : public testing::TestWithParam<double> {};
+
+TEST_P(BloomFprTest, TargetRespected) {
+  const double target = GetParam();
+  const size_t n = 5000;
+  BloomFilter f(n, target);
+  for (size_t i = 0; i < n; ++i) f.Insert(i * 1'000'003ULL);
+  int fp = 0;
+  const int probes = 50'000;
+  for (int i = 0; i < probes; ++i) {
+    if (f.MayContain(0x8000000000000000ULL + i)) ++fp;
+  }
+  EXPECT_LT(fp / static_cast<double>(probes), 3 * target + 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BloomFprTest,
+                         testing::Values(0.001, 0.01, 0.05, 0.1));
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,81 @@
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gesall {
+namespace {
+
+TEST(BufferTest, RoundTripAllTypes) {
+  std::string buf;
+  BufferWriter w(&buf);
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1'000'000'000'000LL);
+  w.PutF64(3.14159);
+  w.PutString("hello");
+
+  BufferReader r(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  double f64;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI32(&i32).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetF64(&f64).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1'000'000'000'000LL);
+  EXPECT_DOUBLE_EQ(f64, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BufferTest, UnderflowReported) {
+  std::string buf = "ab";
+  BufferReader r(buf);
+  uint32_t v;
+  EXPECT_TRUE(r.GetU32(&v).IsOutOfRange());
+}
+
+TEST(BufferTest, LittleEndianLayout) {
+  std::string buf;
+  BufferWriter w(&buf);
+  w.PutU32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(FileIoTest, RoundTrip) {
+  std::string path = testing::TempDir() + "/gesall_io_test.bin";
+  std::string data = "binary\0data", big(100'000, 'x');
+  ASSERT_TRUE(WriteStringToFile(path, big).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), big);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadFileToString("/no/such/file").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace gesall

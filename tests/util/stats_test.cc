@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(PhredTest, RoundTrip) {
+  EXPECT_EQ(PhredFromErrorProb(0.1), 10);
+  EXPECT_EQ(PhredFromErrorProb(0.01), 20);
+  EXPECT_NEAR(ErrorProbFromPhred(30), 0.001, 1e-9);
+  EXPECT_EQ(PhredFromErrorProb(0.0), 60);  // capped
+}
+
+TEST(FisherTest, ExtremeTableIsSignificant) {
+  // Strong strand bias: all ref reads forward, all alt reads reverse.
+  double p = FisherExactTwoSided(20, 0, 0, 20);
+  EXPECT_LT(p, 1e-8);
+}
+
+TEST(FisherTest, BalancedTableNotSignificant) {
+  double p = FisherExactTwoSided(10, 10, 10, 10);
+  EXPECT_GT(p, 0.9);
+}
+
+TEST(FisherTest, KnownValue) {
+  // R: fisher.test(matrix(c(1,9,11,3),2,2))$p.value = 0.002759...
+  double p = FisherExactTwoSided(1, 9, 11, 3);
+  EXPECT_NEAR(p, 0.002759, 0.0002);
+}
+
+TEST(FisherTest, EmptyTableIsOne) {
+  EXPECT_DOUBLE_EQ(FisherExactTwoSided(0, 0, 0, 0), 1.0);
+}
+
+TEST(FisherTest, PhredScaleMonotone) {
+  double weak = FisherStrandPhred(10, 8, 9, 11);
+  double strong = FisherStrandPhred(20, 0, 0, 20);
+  EXPECT_LT(weak, strong);
+  EXPECT_GE(weak, 0.0);
+}
+
+TEST(LogisticWeightTest, PaperEndpoints) {
+  // Paper: weight ~0 at mapq 30, ~1 at mapq 55 (§4.5.2).
+  LogisticWeight w(30, 55);
+  EXPECT_LT(w(30), 0.05);
+  EXPECT_GT(w(55), 0.95);
+  EXPECT_NEAR(w(42.5), 0.5, 1e-9);
+  EXPECT_LT(w(0), 0.01);
+  EXPECT_GT(w(60), 0.99);
+}
+
+TEST(LogisticWeightTest, Monotone) {
+  LogisticWeight w(30, 55);
+  double prev = -1;
+  for (int q = 0; q <= 60; ++q) {
+    double v = w(q);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+}
+
+TEST(RunningStatsTest, SingleValueZeroVariance) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace gesall

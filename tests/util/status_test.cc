@@ -1,0 +1,76 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gesall {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk gone");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "disk gone");
+  EXPECT_EQ(st.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Corruption("bad block");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad block");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> Doubler(Result<int> in) {
+  GESALL_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).ValueOrDie(), 42);
+  EXPECT_TRUE(Doubler(Status::Internal("boom")).status().code() ==
+              StatusCode::kInternal);
+}
+
+Status FailThrough() {
+  GESALL_RETURN_NOT_OK(Status::OK());
+  GESALL_RETURN_NOT_OK(Status::Cancelled("stop"));
+  return Status::Internal("unreachable");
+}
+
+TEST(ResultTest, ReturnNotOkShortCircuits) {
+  EXPECT_EQ(FailThrough().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace gesall

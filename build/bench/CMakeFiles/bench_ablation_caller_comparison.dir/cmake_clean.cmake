@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_caller_comparison.dir/bench_ablation_caller_comparison.cc.o"
+  "CMakeFiles/bench_ablation_caller_comparison.dir/bench_ablation_caller_comparison.cc.o.d"
+  "bench_ablation_caller_comparison"
+  "bench_ablation_caller_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_caller_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

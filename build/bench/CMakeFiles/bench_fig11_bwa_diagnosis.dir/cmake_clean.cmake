@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bwa_diagnosis.dir/bench_fig11_bwa_diagnosis.cc.o"
+  "CMakeFiles/bench_fig11_bwa_diagnosis.dir/bench_fig11_bwa_diagnosis.cc.o.d"
+  "bench_fig11_bwa_diagnosis"
+  "bench_fig11_bwa_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bwa_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

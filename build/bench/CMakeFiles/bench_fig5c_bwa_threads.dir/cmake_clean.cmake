@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_bwa_threads.dir/bench_fig5c_bwa_threads.cc.o"
+  "CMakeFiles/bench_fig5c_bwa_threads.dir/bench_fig5c_bwa_threads.cc.o.d"
+  "bench_fig5c_bwa_threads"
+  "bench_fig5c_bwa_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_bwa_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

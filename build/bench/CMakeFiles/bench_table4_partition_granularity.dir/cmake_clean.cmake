@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_partition_granularity.dir/bench_table4_partition_granularity.cc.o"
+  "CMakeFiles/bench_table4_partition_granularity.dir/bench_table4_partition_granularity.cc.o.d"
+  "bench_table4_partition_granularity"
+  "bench_table4_partition_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_partition_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

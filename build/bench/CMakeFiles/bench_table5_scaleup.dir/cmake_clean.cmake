@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_scaleup.dir/bench_table5_scaleup.cc.o"
+  "CMakeFiles/bench_table5_scaleup.dir/bench_table5_scaleup.cc.o.d"
+  "bench_table5_scaleup"
+  "bench_table5_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_rounds.dir/bench_table6_rounds.cc.o"
+  "CMakeFiles/bench_table6_rounds.dir/bench_table6_rounds.cc.o.d"
+  "bench_table6_rounds"
+  "bench_table6_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

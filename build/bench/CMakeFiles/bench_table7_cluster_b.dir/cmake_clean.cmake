@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_cluster_b.dir/bench_table7_cluster_b.cc.o"
+  "CMakeFiles/bench_table7_cluster_b.dir/bench_table7_cluster_b.cc.o.d"
+  "bench_table7_cluster_b"
+  "bench_table7_cluster_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_cluster_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_diagnosis.dir/accuracy_diagnosis.cpp.o"
+  "CMakeFiles/accuracy_diagnosis.dir/accuracy_diagnosis.cpp.o.d"
+  "accuracy_diagnosis"
+  "accuracy_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gesall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesall/CMakeFiles/gesall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/gesall_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gesall_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gesall_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gesall_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gesall_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

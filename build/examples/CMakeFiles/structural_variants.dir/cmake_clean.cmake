@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_variants.dir/structural_variants.cpp.o"
+  "CMakeFiles/structural_variants.dir/structural_variants.cpp.o.d"
+  "structural_variants"
+  "structural_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgs_pipeline.dir/wgs_pipeline.cpp.o"
+  "CMakeFiles/wgs_pipeline.dir/wgs_pipeline.cpp.o.d"
+  "wgs_pipeline"
+  "wgs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

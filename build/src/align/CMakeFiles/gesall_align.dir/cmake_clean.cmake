@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_align.dir/aligner.cc.o"
+  "CMakeFiles/gesall_align.dir/aligner.cc.o.d"
+  "CMakeFiles/gesall_align.dir/fm_index.cc.o"
+  "CMakeFiles/gesall_align.dir/fm_index.cc.o.d"
+  "CMakeFiles/gesall_align.dir/genome_index.cc.o"
+  "CMakeFiles/gesall_align.dir/genome_index.cc.o.d"
+  "CMakeFiles/gesall_align.dir/smith_waterman.cc.o"
+  "CMakeFiles/gesall_align.dir/smith_waterman.cc.o.d"
+  "CMakeFiles/gesall_align.dir/suffix_array.cc.o"
+  "CMakeFiles/gesall_align.dir/suffix_array.cc.o.d"
+  "libgesall_align.a"
+  "libgesall_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

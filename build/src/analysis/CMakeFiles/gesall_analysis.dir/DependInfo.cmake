@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/genotyper.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/genotyper.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/genotyper.cc.o.d"
+  "/root/repo/src/analysis/haplotype_caller.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/haplotype_caller.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/haplotype_caller.cc.o.d"
+  "/root/repo/src/analysis/mark_duplicates.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/mark_duplicates.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/mark_duplicates.cc.o.d"
+  "/root/repo/src/analysis/pileup.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/pileup.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/pileup.cc.o.d"
+  "/root/repo/src/analysis/recalibration.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/recalibration.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/recalibration.cc.o.d"
+  "/root/repo/src/analysis/steps.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/steps.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/steps.cc.o.d"
+  "/root/repo/src/analysis/sv_caller.cc" "src/analysis/CMakeFiles/gesall_analysis.dir/sv_caller.cc.o" "gcc" "src/analysis/CMakeFiles/gesall_analysis.dir/sv_caller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

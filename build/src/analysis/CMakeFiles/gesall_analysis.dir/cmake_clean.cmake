@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_analysis.dir/genotyper.cc.o"
+  "CMakeFiles/gesall_analysis.dir/genotyper.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/haplotype_caller.cc.o"
+  "CMakeFiles/gesall_analysis.dir/haplotype_caller.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/mark_duplicates.cc.o"
+  "CMakeFiles/gesall_analysis.dir/mark_duplicates.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/pileup.cc.o"
+  "CMakeFiles/gesall_analysis.dir/pileup.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/recalibration.cc.o"
+  "CMakeFiles/gesall_analysis.dir/recalibration.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/steps.cc.o"
+  "CMakeFiles/gesall_analysis.dir/steps.cc.o.d"
+  "CMakeFiles/gesall_analysis.dir/sv_caller.cc.o"
+  "CMakeFiles/gesall_analysis.dir/sv_caller.cc.o.d"
+  "libgesall_analysis.a"
+  "libgesall_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

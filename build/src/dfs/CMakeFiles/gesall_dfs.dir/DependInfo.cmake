@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/bam_split_reader.cc" "src/dfs/CMakeFiles/gesall_dfs.dir/bam_split_reader.cc.o" "gcc" "src/dfs/CMakeFiles/gesall_dfs.dir/bam_split_reader.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/dfs/CMakeFiles/gesall_dfs.dir/dfs.cc.o" "gcc" "src/dfs/CMakeFiles/gesall_dfs.dir/dfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_dfs.dir/bam_split_reader.cc.o"
+  "CMakeFiles/gesall_dfs.dir/bam_split_reader.cc.o.d"
+  "CMakeFiles/gesall_dfs.dir/dfs.cc.o"
+  "CMakeFiles/gesall_dfs.dir/dfs.cc.o.d"
+  "libgesall_dfs.a"
+  "libgesall_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

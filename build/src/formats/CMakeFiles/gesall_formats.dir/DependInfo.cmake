@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/bam.cc" "src/formats/CMakeFiles/gesall_formats.dir/bam.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/bam.cc.o.d"
+  "/root/repo/src/formats/cigar.cc" "src/formats/CMakeFiles/gesall_formats.dir/cigar.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/cigar.cc.o.d"
+  "/root/repo/src/formats/fasta.cc" "src/formats/CMakeFiles/gesall_formats.dir/fasta.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/fasta.cc.o.d"
+  "/root/repo/src/formats/fastq.cc" "src/formats/CMakeFiles/gesall_formats.dir/fastq.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/fastq.cc.o.d"
+  "/root/repo/src/formats/sam.cc" "src/formats/CMakeFiles/gesall_formats.dir/sam.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/sam.cc.o.d"
+  "/root/repo/src/formats/vcf.cc" "src/formats/CMakeFiles/gesall_formats.dir/vcf.cc.o" "gcc" "src/formats/CMakeFiles/gesall_formats.dir/vcf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

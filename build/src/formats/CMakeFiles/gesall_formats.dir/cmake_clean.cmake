@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_formats.dir/bam.cc.o"
+  "CMakeFiles/gesall_formats.dir/bam.cc.o.d"
+  "CMakeFiles/gesall_formats.dir/cigar.cc.o"
+  "CMakeFiles/gesall_formats.dir/cigar.cc.o.d"
+  "CMakeFiles/gesall_formats.dir/fasta.cc.o"
+  "CMakeFiles/gesall_formats.dir/fasta.cc.o.d"
+  "CMakeFiles/gesall_formats.dir/fastq.cc.o"
+  "CMakeFiles/gesall_formats.dir/fastq.cc.o.d"
+  "CMakeFiles/gesall_formats.dir/sam.cc.o"
+  "CMakeFiles/gesall_formats.dir/sam.cc.o.d"
+  "CMakeFiles/gesall_formats.dir/vcf.cc.o"
+  "CMakeFiles/gesall_formats.dir/vcf.cc.o.d"
+  "libgesall_formats.a"
+  "libgesall_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgesall_formats.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/donor.cc" "src/genome/CMakeFiles/gesall_genome.dir/donor.cc.o" "gcc" "src/genome/CMakeFiles/gesall_genome.dir/donor.cc.o.d"
+  "/root/repo/src/genome/read_simulator.cc" "src/genome/CMakeFiles/gesall_genome.dir/read_simulator.cc.o" "gcc" "src/genome/CMakeFiles/gesall_genome.dir/read_simulator.cc.o.d"
+  "/root/repo/src/genome/reference_generator.cc" "src/genome/CMakeFiles/gesall_genome.dir/reference_generator.cc.o" "gcc" "src/genome/CMakeFiles/gesall_genome.dir/reference_generator.cc.o.d"
+  "/root/repo/src/genome/sv_planter.cc" "src/genome/CMakeFiles/gesall_genome.dir/sv_planter.cc.o" "gcc" "src/genome/CMakeFiles/gesall_genome.dir/sv_planter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_genome.dir/donor.cc.o"
+  "CMakeFiles/gesall_genome.dir/donor.cc.o.d"
+  "CMakeFiles/gesall_genome.dir/read_simulator.cc.o"
+  "CMakeFiles/gesall_genome.dir/read_simulator.cc.o.d"
+  "CMakeFiles/gesall_genome.dir/reference_generator.cc.o"
+  "CMakeFiles/gesall_genome.dir/reference_generator.cc.o.d"
+  "CMakeFiles/gesall_genome.dir/sv_planter.cc.o"
+  "CMakeFiles/gesall_genome.dir/sv_planter.cc.o.d"
+  "libgesall_genome.a"
+  "libgesall_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gesall/contracts.cc" "src/gesall/CMakeFiles/gesall_core.dir/contracts.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/contracts.cc.o.d"
+  "/root/repo/src/gesall/diagnosis.cc" "src/gesall/CMakeFiles/gesall_core.dir/diagnosis.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/diagnosis.cc.o.d"
+  "/root/repo/src/gesall/keys.cc" "src/gesall/CMakeFiles/gesall_core.dir/keys.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/keys.cc.o.d"
+  "/root/repo/src/gesall/linear_index.cc" "src/gesall/CMakeFiles/gesall_core.dir/linear_index.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/linear_index.cc.o.d"
+  "/root/repo/src/gesall/pipeline.cc" "src/gesall/CMakeFiles/gesall_core.dir/pipeline.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/gesall/report.cc" "src/gesall/CMakeFiles/gesall_core.dir/report.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/report.cc.o.d"
+  "/root/repo/src/gesall/serial_pipeline.cc" "src/gesall/CMakeFiles/gesall_core.dir/serial_pipeline.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/serial_pipeline.cc.o.d"
+  "/root/repo/src/gesall/streaming.cc" "src/gesall/CMakeFiles/gesall_core.dir/streaming.cc.o" "gcc" "src/gesall/CMakeFiles/gesall_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/gesall_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gesall_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gesall_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/gesall_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gesall_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

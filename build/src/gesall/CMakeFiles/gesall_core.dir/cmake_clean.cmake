@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_core.dir/contracts.cc.o"
+  "CMakeFiles/gesall_core.dir/contracts.cc.o.d"
+  "CMakeFiles/gesall_core.dir/diagnosis.cc.o"
+  "CMakeFiles/gesall_core.dir/diagnosis.cc.o.d"
+  "CMakeFiles/gesall_core.dir/keys.cc.o"
+  "CMakeFiles/gesall_core.dir/keys.cc.o.d"
+  "CMakeFiles/gesall_core.dir/linear_index.cc.o"
+  "CMakeFiles/gesall_core.dir/linear_index.cc.o.d"
+  "CMakeFiles/gesall_core.dir/pipeline.cc.o"
+  "CMakeFiles/gesall_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/gesall_core.dir/report.cc.o"
+  "CMakeFiles/gesall_core.dir/report.cc.o.d"
+  "CMakeFiles/gesall_core.dir/serial_pipeline.cc.o"
+  "CMakeFiles/gesall_core.dir/serial_pipeline.cc.o.d"
+  "CMakeFiles/gesall_core.dir/streaming.cc.o"
+  "CMakeFiles/gesall_core.dir/streaming.cc.o.d"
+  "libgesall_core.a"
+  "libgesall_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

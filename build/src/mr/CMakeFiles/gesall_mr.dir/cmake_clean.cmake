@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_mr.dir/mapreduce.cc.o"
+  "CMakeFiles/gesall_mr.dir/mapreduce.cc.o.d"
+  "libgesall_mr.a"
+  "libgesall_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

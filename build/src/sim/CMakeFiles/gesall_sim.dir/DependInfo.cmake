@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/gesall_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/gesall_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/genomics.cc" "src/sim/CMakeFiles/gesall_sim.dir/genomics.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/genomics.cc.o.d"
+  "/root/repo/src/sim/mr_sim.cc" "src/sim/CMakeFiles/gesall_sim.dir/mr_sim.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/mr_sim.cc.o.d"
+  "/root/repo/src/sim/optimizer.cc" "src/sim/CMakeFiles/gesall_sim.dir/optimizer.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/optimizer.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/sim/CMakeFiles/gesall_sim.dir/resources.cc.o" "gcc" "src/sim/CMakeFiles/gesall_sim.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_sim.dir/cluster.cc.o"
+  "CMakeFiles/gesall_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/gesall_sim.dir/engine.cc.o"
+  "CMakeFiles/gesall_sim.dir/engine.cc.o.d"
+  "CMakeFiles/gesall_sim.dir/genomics.cc.o"
+  "CMakeFiles/gesall_sim.dir/genomics.cc.o.d"
+  "CMakeFiles/gesall_sim.dir/mr_sim.cc.o"
+  "CMakeFiles/gesall_sim.dir/mr_sim.cc.o.d"
+  "CMakeFiles/gesall_sim.dir/optimizer.cc.o"
+  "CMakeFiles/gesall_sim.dir/optimizer.cc.o.d"
+  "CMakeFiles/gesall_sim.dir/resources.cc.o"
+  "CMakeFiles/gesall_sim.dir/resources.cc.o.d"
+  "libgesall_sim.a"
+  "libgesall_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_util.dir/bgzf.cc.o"
+  "CMakeFiles/gesall_util.dir/bgzf.cc.o.d"
+  "CMakeFiles/gesall_util.dir/bloom_filter.cc.o"
+  "CMakeFiles/gesall_util.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/gesall_util.dir/io.cc.o"
+  "CMakeFiles/gesall_util.dir/io.cc.o.d"
+  "CMakeFiles/gesall_util.dir/logging.cc.o"
+  "CMakeFiles/gesall_util.dir/logging.cc.o.d"
+  "CMakeFiles/gesall_util.dir/stats.cc.o"
+  "CMakeFiles/gesall_util.dir/stats.cc.o.d"
+  "CMakeFiles/gesall_util.dir/status.cc.o"
+  "CMakeFiles/gesall_util.dir/status.cc.o.d"
+  "CMakeFiles/gesall_util.dir/thread_pool.cc.o"
+  "CMakeFiles/gesall_util.dir/thread_pool.cc.o.d"
+  "libgesall_util.a"
+  "libgesall_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

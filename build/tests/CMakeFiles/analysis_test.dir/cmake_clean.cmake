@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/genotyper_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/genotyper_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/haplotype_caller_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/haplotype_caller_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/mark_duplicates_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/mark_duplicates_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/pileup_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/pileup_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/recalibration_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/recalibration_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/steps_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/steps_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/sv_caller_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/sv_caller_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/formats/bam_fuzz_test.cc" "tests/CMakeFiles/formats_test.dir/formats/bam_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/bam_fuzz_test.cc.o.d"
+  "/root/repo/tests/formats/bam_test.cc" "tests/CMakeFiles/formats_test.dir/formats/bam_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/bam_test.cc.o.d"
+  "/root/repo/tests/formats/cigar_test.cc" "tests/CMakeFiles/formats_test.dir/formats/cigar_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/cigar_test.cc.o.d"
+  "/root/repo/tests/formats/fasta_test.cc" "tests/CMakeFiles/formats_test.dir/formats/fasta_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/fasta_test.cc.o.d"
+  "/root/repo/tests/formats/fastq_test.cc" "tests/CMakeFiles/formats_test.dir/formats/fastq_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/fastq_test.cc.o.d"
+  "/root/repo/tests/formats/sam_test.cc" "tests/CMakeFiles/formats_test.dir/formats/sam_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/sam_test.cc.o.d"
+  "/root/repo/tests/formats/vcf_test.cc" "tests/CMakeFiles/formats_test.dir/formats/vcf_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats/vcf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gesall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesall/CMakeFiles/gesall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/gesall_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gesall_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gesall_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gesall_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gesall_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

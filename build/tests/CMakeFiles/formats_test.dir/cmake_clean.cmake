@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formats_test.dir/formats/bam_fuzz_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/bam_fuzz_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/bam_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/bam_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/cigar_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/cigar_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/fasta_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/fasta_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/fastq_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/fastq_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/sam_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/sam_test.cc.o.d"
+  "CMakeFiles/formats_test.dir/formats/vcf_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats/vcf_test.cc.o.d"
+  "formats_test"
+  "formats_test.pdb"
+  "formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/genome/donor_test.cc" "tests/CMakeFiles/genome_test.dir/genome/donor_test.cc.o" "gcc" "tests/CMakeFiles/genome_test.dir/genome/donor_test.cc.o.d"
+  "/root/repo/tests/genome/read_simulator_test.cc" "tests/CMakeFiles/genome_test.dir/genome/read_simulator_test.cc.o" "gcc" "tests/CMakeFiles/genome_test.dir/genome/read_simulator_test.cc.o.d"
+  "/root/repo/tests/genome/reference_generator_test.cc" "tests/CMakeFiles/genome_test.dir/genome/reference_generator_test.cc.o" "gcc" "tests/CMakeFiles/genome_test.dir/genome/reference_generator_test.cc.o.d"
+  "/root/repo/tests/genome/sv_planter_test.cc" "tests/CMakeFiles/genome_test.dir/genome/sv_planter_test.cc.o" "gcc" "tests/CMakeFiles/genome_test.dir/genome/sv_planter_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gesall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesall/CMakeFiles/gesall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/gesall_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gesall_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gesall_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gesall_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gesall_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

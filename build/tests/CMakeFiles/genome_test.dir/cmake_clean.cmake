@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_test.dir/genome/donor_test.cc.o"
+  "CMakeFiles/genome_test.dir/genome/donor_test.cc.o.d"
+  "CMakeFiles/genome_test.dir/genome/read_simulator_test.cc.o"
+  "CMakeFiles/genome_test.dir/genome/read_simulator_test.cc.o.d"
+  "CMakeFiles/genome_test.dir/genome/reference_generator_test.cc.o"
+  "CMakeFiles/genome_test.dir/genome/reference_generator_test.cc.o.d"
+  "CMakeFiles/genome_test.dir/genome/sv_planter_test.cc.o"
+  "CMakeFiles/genome_test.dir/genome/sv_planter_test.cc.o.d"
+  "genome_test"
+  "genome_test.pdb"
+  "genome_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesall_test.dir/gesall/contracts_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/contracts_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/diagnosis_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/diagnosis_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/keys_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/keys_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/linear_index_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/linear_index_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/pipeline_extensions_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/pipeline_extensions_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/pipeline_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/pipeline_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/report_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/report_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/serial_pipeline_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/serial_pipeline_test.cc.o.d"
+  "CMakeFiles/gesall_test.dir/gesall/streaming_test.cc.o"
+  "CMakeFiles/gesall_test.dir/gesall/streaming_test.cc.o.d"
+  "gesall_test"
+  "gesall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

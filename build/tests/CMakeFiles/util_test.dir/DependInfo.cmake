@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bgzf_test.cc" "tests/CMakeFiles/util_test.dir/util/bgzf_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/bgzf_test.cc.o.d"
+  "/root/repo/tests/util/bloom_filter_test.cc" "tests/CMakeFiles/util_test.dir/util/bloom_filter_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/bloom_filter_test.cc.o.d"
+  "/root/repo/tests/util/io_test.cc" "tests/CMakeFiles/util_test.dir/util/io_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/io_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gesall_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesall/CMakeFiles/gesall_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/gesall_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/gesall_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gesall_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gesall_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/gesall_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/gesall_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gesall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

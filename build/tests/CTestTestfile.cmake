@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/genome_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/align_test[1]_include.cmake")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;59;gesall_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gesall_test "/root/repo/build/tests/gesall_test")
+set_tests_properties(gesall_test PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;69;gesall_add_test;/root/repo/tests/CMakeLists.txt;0;")

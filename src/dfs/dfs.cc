@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace gesall {
@@ -42,6 +43,7 @@ std::vector<int> LogicalPartitionPlacementPolicy::Place(
 
 Dfs::Dfs(DfsOptions options) : options_(options) {
   nodes_.resize(options_.num_data_nodes);
+  health_.resize(options_.num_data_nodes);
 }
 
 Status Dfs::Write(const std::string& path, std::string_view data,
@@ -107,15 +109,10 @@ Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
     int64_t intra = pos % options_.block_size;
     int64_t block_id = meta->blocks[block_index];
     const BlockMeta& bm = blocks_.at(block_id);
-    const std::string* bytes = nullptr;
-    for (int node : bm.replicas) {
-      if (nodes_[node].up) {
-        bytes = &nodes_[node].blocks.at(block_id);
-        break;
-      }
-    }
+    const std::string* bytes = ReadBlockReplicas(block_id, bm);
     if (bytes == nullptr) {
-      return Status::IOError("all replicas of block unavailable");
+      return Status::IOError("all replicas of block " +
+                             std::to_string(block_id) + " unavailable");
     }
     int64_t take = std::min<int64_t>(length, bm.length - intra);
     out.append(*bytes, static_cast<size_t>(intra),
@@ -124,6 +121,44 @@ Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
     length -= take;
   }
   return out;
+}
+
+const std::string* Dfs::ReadBlockReplicas(int64_t block_id,
+                                          const BlockMeta& bm) const {
+  // HDFS read failover: walk the replica list in order, skipping nodes
+  // that are down or blacklisted and replicas the injector fails; the
+  // first healthy replica serves the block. The injector decision is
+  // pure in (block, replica position), so one seed pins one consistent
+  // set of "bad" replicas across repeated reads.
+  std::lock_guard<std::mutex> lock(health_mu_);
+  int failures = 0;
+  for (size_t ri = 0; ri < bm.replicas.size(); ++ri) {
+    int node = bm.replicas[ri];
+    bool failed = !nodes_[node].up || health_[node].blacklisted;
+    if (!failed && injector_ != nullptr &&
+        injector_->ShouldFail(kFaultDfsReadReplica, block_id,
+                              static_cast<int>(ri))) {
+      failed = true;
+      // Injected replica failure counts against the node's health;
+      // blacklist it after blacklist_threshold consecutive failures.
+      NodeHealth& health = health_[node];
+      if (++health.consecutive_failures >= options_.blacklist_threshold &&
+          !health.blacklisted) {
+        health.blacklisted = true;
+        ++stats_.nodes_blacklisted;
+      }
+    }
+    if (failed) {
+      ++failures;
+      ++stats_.replica_read_failures;
+      continue;
+    }
+    health_[node].consecutive_failures = 0;
+    if (failures > 0) ++stats_.blocks_failed_over;
+    return &nodes_[node].blocks.at(block_id);
+  }
+  ++stats_.reads_failed;
+  return nullptr;
 }
 
 Result<std::vector<BlockLocation>> Dfs::Locate(
@@ -181,7 +216,25 @@ Status Dfs::MarkNodeUp(int node) {
     return Status::InvalidArgument("bad node id");
   }
   nodes_[node].up = true;
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_[node] = NodeHealth{};
   return Status::OK();
+}
+
+DfsStats Dfs::stats() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return stats_;
+}
+
+void Dfs::ResetStats() {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  stats_ = DfsStats{};
+}
+
+bool Dfs::IsBlacklisted(int node) const {
+  if (node < 0 || node >= options_.num_data_nodes) return false;
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_[node].blacklisted;
 }
 
 int64_t Dfs::BytesStoredOn(int node) const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,11 +21,28 @@
 
 namespace gesall {
 
+class FaultInjector;
+
 /// \brief Cluster-level DFS parameters.
 struct DfsOptions {
   int64_t block_size = 128 * 1024 * 1024;  // Hadoop default: 128 MB
   int replication = 3;
   int num_data_nodes = 4;
+  /// Consecutive replica-read failures before a data node is blacklisted
+  /// (reads stop trying its replicas until MarkNodeUp).
+  int blacklist_threshold = 3;
+};
+
+/// \brief Read-path fault-tolerance telemetry.
+struct DfsStats {
+  /// Individual replica reads that failed (injected or node down/blacklisted).
+  int64_t replica_read_failures = 0;
+  /// Block reads served by a non-first replica after >= 1 failure.
+  int64_t blocks_failed_over = 0;
+  /// Block reads where every replica failed (surfaced as IOError).
+  int64_t reads_failed = 0;
+  /// Nodes blacklisted after blacklist_threshold consecutive failures.
+  int64_t nodes_blacklisted = 0;
 };
 
 /// \brief Location metadata of one stored block.
@@ -89,10 +107,23 @@ class Dfs {
 
   /// Marks a data node unavailable; reads fall back to other replicas.
   Status MarkNodeDown(int node);
+  /// Restores a node and clears its blacklist/failure state.
   Status MarkNodeUp(int node);
 
   /// Bytes of block data stored on one node (replicas included).
   int64_t BytesStoredOn(int node) const;
+
+  /// Chaos source consulted at the "dfs.read_replica" fault point with
+  /// (key = block id, attempt = replica position). Not owned; nullptr
+  /// disables injection.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Snapshot of the read-path failover telemetry.
+  DfsStats stats() const;
+  void ResetStats();
+
+  /// True when the node was blacklisted by consecutive read failures.
+  bool IsBlacklisted(int node) const;
 
   int num_data_nodes() const { return options_.num_data_nodes; }
   int64_t block_size() const { return options_.block_size; }
@@ -111,7 +142,18 @@ class Dfs {
     std::vector<int> replicas;
   };
 
+  // Mutable read-path health state: reads are logically const but track
+  // failures, blacklisting, and failover telemetry.
+  struct NodeHealth {
+    int consecutive_failures = 0;
+    bool blacklisted = false;
+  };
+
   Result<const FileMeta*> Meta(const std::string& path) const;
+  // Serves one block from the first healthy replica, recording failover
+  // telemetry. Returns nullptr when every replica failed.
+  const std::string* ReadBlockReplicas(int64_t block_id,
+                                       const BlockMeta& bm) const;
 
   DfsOptions options_;
   DefaultPlacementPolicy default_policy_;
@@ -119,6 +161,10 @@ class Dfs {
   std::map<int64_t, BlockMeta> blocks_;
   std::vector<DataNode> nodes_;
   int64_t next_block_id_ = 1;
+  FaultInjector* injector_ = nullptr;
+  mutable std::mutex health_mu_;
+  mutable std::vector<NodeHealth> health_;
+  mutable DfsStats stats_;
 };
 
 }  // namespace gesall

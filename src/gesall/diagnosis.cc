@@ -180,4 +180,20 @@ PrecisionSensitivity EvaluateAgainstTruth(
   return out;
 }
 
+FaultToleranceSummary SummarizeFaultTolerance(const JobCounters& counters,
+                                              const DfsStats* dfs_stats) {
+  FaultToleranceSummary out;
+  out.map_task_retries = counters.Get("map_task_retries");
+  out.reduce_task_retries = counters.Get("reduce_task_retries");
+  out.speculative_launches = counters.Get("speculative_launches");
+  out.speculative_wins = counters.Get("speculative_wins");
+  out.map_splits_skipped = counters.Get("map_splits_skipped");
+  if (dfs_stats != nullptr) {
+    out.blocks_failed_over = dfs_stats->blocks_failed_over;
+    out.replica_read_failures = dfs_stats->replica_read_failures;
+    out.nodes_blacklisted = dfs_stats->nodes_blacklisted;
+  }
+  return out;
+}
+
 }  // namespace gesall

@@ -14,10 +14,12 @@
 #include <map>
 #include <vector>
 
+#include "dfs/dfs.h"
 #include "formats/fasta.h"
 #include "formats/sam.h"
 #include "formats/vcf.h"
 #include "genome/donor.h"
+#include "mr/mapreduce.h"
 #include "util/status.h"
 
 namespace gesall {
@@ -100,6 +102,33 @@ struct PrecisionSensitivity {
 PrecisionSensitivity EvaluateAgainstTruth(
     const std::vector<VariantRecord>& calls,
     const std::vector<PlantedVariant>& truth);
+
+/// \brief Fault-tolerance telemetry of one pipeline execution: task
+/// retries, speculative re-executions, skipped poison splits, and DFS
+/// replica failover (the Hadoop behaviors of paper §3 that make partial
+/// task failures survivable at 220 GB scale).
+struct FaultToleranceSummary {
+  int64_t map_task_retries = 0;
+  int64_t reduce_task_retries = 0;
+  int64_t speculative_launches = 0;
+  int64_t speculative_wins = 0;
+  int64_t map_splits_skipped = 0;
+  int64_t blocks_failed_over = 0;
+  int64_t replica_read_failures = 0;
+  int64_t nodes_blacklisted = 0;
+
+  /// True when any recovery mechanism fired during the run.
+  bool any_faults_survived() const {
+    return map_task_retries > 0 || reduce_task_retries > 0 ||
+           speculative_wins > 0 || map_splits_skipped > 0 ||
+           blocks_failed_over > 0;
+  }
+};
+
+/// \brief Extracts the fault-tolerance telemetry from aggregated job
+/// counters plus (optionally) the DFS read-path stats.
+FaultToleranceSummary SummarizeFaultTolerance(const JobCounters& counters,
+                                              const DfsStats* dfs_stats);
 
 }  // namespace gesall
 

@@ -529,6 +529,9 @@ GesallPipeline::GesallPipeline(const ReferenceGenome& reference,
   }
   header_.read_groups.push_back(config_.read_group);
   header_.programs.push_back("gesall");
+  if (config_.fault_injector != nullptr && dfs_ != nullptr) {
+    dfs_->set_fault_injector(config_.fault_injector);
+  }
 }
 
 JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
@@ -536,7 +539,20 @@ JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
   cfg.num_reducers = reducers;
   cfg.max_parallel_tasks = config_.max_parallel_tasks;
   cfg.sort_buffer_bytes = config_.sort_buffer_bytes;
+  cfg.fault_injector = config_.fault_injector;
+  cfg.max_task_attempts = config_.max_task_attempts;
+  cfg.retry_base_ms = config_.retry_base_ms;
+  cfg.speculative_execution = config_.speculative_execution;
+  cfg.speculative_slow_task_ms = config_.speculative_slow_task_ms;
+  cfg.skip_bad_records = config_.skip_bad_records;
   return cfg;
+}
+
+FaultToleranceSummary GesallPipeline::SummarizeFaultTolerance() const {
+  JobCounters merged;
+  for (const auto& round : stats_) merged.Merge(round.counters);
+  DfsStats dfs_stats = dfs_ != nullptr ? dfs_->stats() : DfsStats{};
+  return gesall::SummarizeFaultTolerance(merged, &dfs_stats);
 }
 
 Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,

@@ -30,10 +30,13 @@
 #include "dfs/dfs.h"
 #include "formats/fastq.h"
 #include "formats/vcf.h"
+#include "gesall/diagnosis.h"
 #include "mr/mapreduce.h"
 #include "util/status.h"
 
 namespace gesall {
+
+class FaultInjector;
 
 /// \brief Pipeline configuration (the paper's tunables: logical partition
 /// granularity, degree of parallelism, MarkDup variant, HC partitioning).
@@ -82,6 +85,17 @@ struct PipelineConfig {
   /// per-mapper filters union).
   size_t bloom_expected_items = 100'000;
   double bloom_fpr = 0.01;
+
+  /// Fault-tolerance knobs, forwarded into every round's JobConfig.
+  /// The injector (optional; not owned) lets chaos tests exercise the
+  /// retry machinery deterministically; it is also installed on the DFS
+  /// read path for the lifetime of the pipeline runs.
+  FaultInjector* fault_injector = nullptr;
+  int max_task_attempts = 2;
+  int retry_base_ms = 0;
+  bool speculative_execution = false;
+  int speculative_slow_task_ms = 100;
+  bool skip_bad_records = false;
 };
 
 /// \brief Wall-clock and counter statistics of one executed round.
@@ -124,6 +138,11 @@ class GesallPipeline {
   const std::vector<RoundStats>& stats() const { return stats_; }
   const SamHeader& header() const { return header_; }
   Dfs* dfs() { return dfs_; }
+
+  /// Aggregates the retry/speculation counters of every executed round
+  /// plus the DFS failover stats into one FaultToleranceSummary, ready
+  /// for GenerateDiagnosisReport.
+  FaultToleranceSummary SummarizeFaultTolerance() const;
 
  private:
   JobConfig MakeJobConfig(int reducers) const;

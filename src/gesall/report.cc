@@ -92,6 +92,29 @@ Result<DiagnosisReport> GenerateDiagnosisReport(
          report.variants.weighted_d_count,
          report.variants.weighted_d_count_pct);
 
+  if (in.fault_tolerance != nullptr) {
+    report.fault_tolerance = *in.fault_tolerance;
+    const FaultToleranceSummary& ft = report.fault_tolerance;
+    md += "## Fault tolerance\n\n";
+    Append(&md, "- map task retries: %lld, reduce task retries: %lld\n",
+           static_cast<long long>(ft.map_task_retries),
+           static_cast<long long>(ft.reduce_task_retries));
+    Append(&md, "- speculative re-executions: %lld launched, %lld won\n",
+           static_cast<long long>(ft.speculative_launches),
+           static_cast<long long>(ft.speculative_wins));
+    Append(&md, "- poison splits skipped: %lld\n",
+           static_cast<long long>(ft.map_splits_skipped));
+    Append(&md, "- DFS replica failures: %lld (blocks failed over: %lld, "
+                "nodes blacklisted: %lld)\n",
+           static_cast<long long>(ft.replica_read_failures),
+           static_cast<long long>(ft.blocks_failed_over),
+           static_cast<long long>(ft.nodes_blacklisted));
+    md += ft.any_faults_survived()
+              ? "- the output above was produced UNDER faults; "
+                "discordance verdicts already include their effect\n\n"
+              : "- no recovery mechanism fired during this run\n\n";
+  }
+
   if (in.truth != nullptr) {
     md += "## Truth-set scoring\n\n";
     Append(&md, "- serial:   precision %.4f, sensitivity %.4f\n",

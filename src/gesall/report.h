@@ -25,6 +25,10 @@ struct DiagnosisReportInputs {
   const std::vector<VariantRecord>* parallel_variants = nullptr;
   /// Optional planted-truth set for GiaB-style scoring.
   const std::vector<PlantedVariant>* truth = nullptr;
+  /// Optional fault-tolerance telemetry of the parallel run (retries,
+  /// speculation, DFS failover) — rendered as its own report section so
+  /// a reviewer sees which recoveries the accepted output survived.
+  const FaultToleranceSummary* fault_tolerance = nullptr;
 };
 
 /// \brief Computed report: the structured verdicts plus markdown text.
@@ -34,6 +38,7 @@ struct DiagnosisReport {
   VariantDiscordance variants;
   PrecisionSensitivity serial_truth_score;    // zero when truth absent
   PrecisionSensitivity parallel_truth_score;
+  FaultToleranceSummary fault_tolerance;      // zero when not supplied
 
   /// The paper's acceptance criteria (§4.5.2 conclusions).
   bool discordance_is_low_quality = false;  // weighted << raw D_count

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <queue>
+#include <thread>
 
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -13,12 +16,14 @@ namespace gesall {
 
 int HashPartitioner::Partition(const std::string& key,
                                int num_partitions) const {
+  if (num_partitions <= 1) return 0;  // <= 0 would be UB in the modulo
   return static_cast<int>(Fnv1a64(key) %
                           static_cast<uint64_t>(num_partitions));
 }
 
 int RangePartitioner::Partition(const std::string& key,
                                 int num_partitions) const {
+  if (num_partitions <= 1) return 0;
   auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
   int p = static_cast<int>(it - boundaries_.begin());
   return std::min(p, num_partitions - 1);
@@ -33,6 +38,26 @@ InputSplit InlineSplit(std::string data) {
 
 namespace {
 
+Status ValidateJobConfig(const JobConfig& c, bool needs_reducers) {
+  if (needs_reducers && c.num_reducers < 1) {
+    return Status::InvalidArgument("num_reducers must be >= 1");
+  }
+  if (c.max_parallel_tasks < 1) {
+    return Status::InvalidArgument("max_parallel_tasks must be >= 1");
+  }
+  if (c.max_task_attempts < 1) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
+  if (c.retry_base_ms < 0 || c.retry_max_backoff_ms < 0) {
+    return Status::InvalidArgument("retry backoff must be non-negative");
+  }
+  if (c.speculative_slow_task_ms < 0) {
+    return Status::InvalidArgument(
+        "speculative_slow_task_ms must be non-negative");
+  }
+  return Status::OK();
+}
+
 // A sorted run of one map task's output for one reduce partition.
 using SortedRun = std::vector<KeyValue>;
 
@@ -42,7 +67,89 @@ struct MapTaskOutput {
   JobCounters counters;
   TaskRecord record;
   Status status;
+  bool skipped = false;
 };
+
+// Per-map-task output of a map-only job: emitted values in order.
+struct MapOnlyTaskOutput {
+  std::vector<std::string> values;
+  JobCounters counters;
+  TaskRecord record;
+  Status status;
+  bool skipped = false;
+};
+
+// Per-reduce-task output.
+struct ReduceTaskOutput {
+  std::vector<std::string> values;
+  JobCounters counters;
+  TaskRecord record;
+  Status status;
+};
+
+// Per-task bookkeeping of the retry/speculation machinery, kept separate
+// from attempt counters so a discarded attempt leaves no counter residue.
+struct AttemptStats {
+  int retries = 0;
+  bool speculative_launched = false;
+  bool speculative_won = false;
+};
+
+// Runs one task through Hadoop-style attempt semantics: retry failed
+// attempts with capped exponential backoff up to max_task_attempts, then
+// optionally re-execute a slow successful attempt once, keeping whichever
+// finished first (speculative execution). `run_attempt(attempt, out)`
+// must fully populate a default-constructed *out, including out->status
+// and the record timestamps; each attempt starts from fresh state so a
+// failed attempt's partial output is discarded. Deterministic: attempt
+// numbering and the duration-based speculation verdict do not depend on
+// thread interleaving when task durations are injection-dominated.
+template <typename TaskOut, typename Fn>
+void RunTaskAttempts(const JobConfig& cfg, const Fn& run_attempt,
+                     TaskOut* out, AttemptStats* stats) {
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      ++stats->retries;
+      if (cfg.retry_base_ms > 0) {
+        int shift = std::min(attempt - 1, 20);
+        int64_t delay =
+            std::min<int64_t>(cfg.retry_max_backoff_ms,
+                              static_cast<int64_t>(cfg.retry_base_ms)
+                                  << shift);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    TaskOut attempt_out{};
+    run_attempt(attempt, &attempt_out);
+    if (attempt_out.status.ok()) {
+      double seconds = attempt_out.record.end_seconds -
+                       attempt_out.record.start_seconds;
+      if (cfg.speculative_execution &&
+          seconds * 1000.0 >= cfg.speculative_slow_task_ms) {
+        // Straggler: launch one backup attempt (numbered past the retry
+        // range so scheduled/latency faults aimed at regular attempts
+        // miss it) and keep whichever finished first.
+        stats->speculative_launched = true;
+        TaskOut backup{};
+        run_attempt(cfg.max_task_attempts + attempt, &backup);
+        double backup_seconds =
+            backup.record.end_seconds - backup.record.start_seconds;
+        if (backup.status.ok() && backup_seconds < seconds) {
+          backup.record.speculative = true;
+          stats->speculative_won = true;
+          *out = std::move(backup);
+          return;
+        }
+      }
+      *out = std::move(attempt_out);
+      return;
+    }
+    if (attempt + 1 >= cfg.max_task_attempts) {
+      *out = std::move(attempt_out);
+      return;
+    }
+  }
+}
 
 class MapContextImpl : public MapContext {
  public:
@@ -145,6 +252,8 @@ class ReduceContextImpl : public ReduceContext {
       : out_(out), counters_(counters) {}
   void Emit(std::string value) override {
     counters_->Add("reduce_output_records", 1);
+    counters_->Add("reduce_output_bytes",
+                   static_cast<int64_t>(value.size()));
     out_->push_back(std::move(value));
   }
   void IncrementCounter(const std::string& name, int64_t delta) override {
@@ -156,6 +265,72 @@ class ReduceContextImpl : public ReduceContext {
   JobCounters* counters_;
 };
 
+// Map-only contexts collect values directly (keys ignored).
+class MapOnlyContext : public MapContext {
+ public:
+  MapOnlyContext(std::vector<std::string>* values, JobCounters* counters)
+      : values_(values), counters_(counters) {}
+  void Emit(std::string key, std::string value) override {
+    (void)key;
+    counters_->Add("map_output_records", 1);
+    counters_->Add("map_output_bytes",
+                   static_cast<int64_t>(value.size()));
+    values_->push_back(std::move(value));
+  }
+  void IncrementCounter(const std::string& name, int64_t delta) override {
+    counters_->Add(name, delta);
+  }
+
+ private:
+  std::vector<std::string>* values_;
+  JobCounters* counters_;
+};
+
+// Shared prologue of one map attempt: injected straggler latency, then
+// the split.load fault point, then the real split load, then the
+// mr.map_attempt fault point. Returns the split bytes on success.
+Result<std::string> LoadSplitAttempt(const InputSplit& split, int index,
+                                     int attempt, FaultInjector* injector) {
+  if (injector != nullptr) {
+    int latency = injector->LatencyMs(kFaultMapAttempt, index, attempt);
+    if (latency > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(latency));
+    }
+    GESALL_RETURN_NOT_OK(injector->MaybeFail(kFaultSplitLoad, index,
+                                             attempt));
+  }
+  GESALL_ASSIGN_OR_RETURN(std::string input, split.load());
+  if (injector != nullptr) {
+    GESALL_RETURN_NOT_OK(injector->MaybeFail(kFaultMapAttempt, index,
+                                             attempt));
+  }
+  return input;
+}
+
+// Folds per-task attempt bookkeeping into the task's own counters and
+// applies skip-bad-records isolation to a map task that exhausted its
+// attempts. TaskOut is one of the map-side outputs.
+template <typename TaskOut>
+void FinalizeMapTask(const JobConfig& cfg, const AttemptStats& stats,
+                     TaskOut* out) {
+  if (!out->status.ok() && cfg.skip_bad_records) {
+    // Poison split: drop the failed attempt's partial output and
+    // counters so job-level counter invariants still hold.
+    TaskRecord record = out->record;
+    *out = TaskOut{};
+    out->record = record;
+    out->skipped = true;
+  }
+  if (stats.retries > 0) {
+    out->counters.Add("map_task_retries", stats.retries);
+  }
+  if (stats.speculative_launched) {
+    out->counters.Add("speculative_launches", 1);
+  }
+  if (stats.speculative_won) out->counters.Add("speculative_wins", 1);
+  if (out->skipped) out->counters.Add("map_splits_skipped", 1);
+}
+
 }  // namespace
 
 MapReduceJob::MapReduceJob(JobConfig config) : config_(config) {}
@@ -163,62 +338,53 @@ MapReduceJob::MapReduceJob(JobConfig config) : config_(config) {}
 Result<JobResult> MapReduceJob::RunMapOnly(
     const std::vector<InputSplit>& splits,
     const MapperFactory& mapper_factory) {
+  GESALL_RETURN_NOT_OK(ValidateJobConfig(config_, /*needs_reducers=*/false));
   // A map-only job is a full job whose "reducers" are identity pass-
   // throughs keyed by map task, so outputs stay per-task.
   JobResult result;
   result.reducer_outputs.resize(splits.size());
-  std::vector<MapTaskOutput> outputs(splits.size());
-  std::vector<std::vector<std::string>> task_values(splits.size());
+  std::vector<MapOnlyTaskOutput> outputs(splits.size());
   Stopwatch job_clock;
   {
     ThreadPool pool(config_.max_parallel_tasks);
     for (size_t i = 0; i < splits.size(); ++i) {
       pool.Submit([&, i] {
-        Stopwatch task_clock;
-        double start = job_clock.ElapsedSeconds();
-        auto input = splits[i].load();
-        if (!input.ok()) {
-          outputs[i].status = input.status();
-          return;
-        }
-        // Map-only contexts collect values directly (keys ignored).
-        class MapOnlyContext : public MapContext {
-         public:
-          MapOnlyContext(std::vector<std::string>* values,
-                         JobCounters* counters)
-              : values_(values), counters_(counters) {}
-          void Emit(std::string key, std::string value) override {
-            (void)key;
-            counters_->Add("map_output_records", 1);
-            values_->push_back(std::move(value));
+        auto run_attempt = [&, i](int attempt, MapOnlyTaskOutput* out) {
+          out->record.type = TaskRecord::Type::kMap;
+          out->record.index = static_cast<int>(i);
+          out->record.attempt = attempt;
+          out->record.start_seconds = job_clock.ElapsedSeconds();
+          auto input =
+              LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
+                               config_.fault_injector);
+          if (input.ok()) {
+            MapOnlyContext ctx(&out->values, &out->counters);
+            auto mapper = mapper_factory();
+            out->status = mapper->Map(input.ValueOrDie(), &ctx);
+            out->record.input_bytes =
+                static_cast<int64_t>(input.ValueOrDie().size());
+            out->record.output_bytes =
+                out->counters.Get("map_output_bytes");
+          } else {
+            out->status = input.status();
           }
-          void IncrementCounter(const std::string& name,
-                                int64_t delta) override {
-            counters_->Add(name, delta);
-          }
-
-         private:
-          std::vector<std::string>* values_;
-          JobCounters* counters_;
+          out->record.end_seconds = job_clock.ElapsedSeconds();
         };
-        MapOnlyContext ctx(&task_values[i], &outputs[i].counters);
-        auto mapper = mapper_factory();
-        outputs[i].status = mapper->Map(input.ValueOrDie(), &ctx);
-        outputs[i].record.type = TaskRecord::Type::kMap;
-        outputs[i].record.index = static_cast<int>(i);
-        outputs[i].record.start_seconds = start;
-        outputs[i].record.end_seconds = job_clock.ElapsedSeconds();
-        outputs[i].record.input_bytes =
-            static_cast<int64_t>(input.ValueOrDie().size());
+        AttemptStats stats;
+        RunTaskAttempts(config_, run_attempt, &outputs[i], &stats);
+        FinalizeMapTask(config_, stats, &outputs[i]);
       });
     }
     pool.Wait();
   }
   for (size_t i = 0; i < splits.size(); ++i) {
     GESALL_RETURN_NOT_OK(outputs[i].status);
+    if (outputs[i].skipped) {
+      result.skipped_splits.push_back(static_cast<int>(i));
+    }
     result.counters.Merge(outputs[i].counters);
     result.tasks.push_back(outputs[i].record);
-    result.reducer_outputs[i] = std::move(task_values[i]);
+    result.reducer_outputs[i] = std::move(outputs[i].values);
   }
   return result;
 }
@@ -227,6 +393,7 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
                                     const MapperFactory& mapper_factory,
                                     const ReducerFactory& reducer_factory,
                                     const Partitioner* partitioner) {
+  GESALL_RETURN_NOT_OK(ValidateJobConfig(config_, /*needs_reducers=*/true));
   HashPartitioner default_partitioner;
   if (partitioner == nullptr) partitioner = &default_partitioner;
   const int R = config_.num_reducers;
@@ -237,23 +404,32 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
     ThreadPool pool(config_.max_parallel_tasks);
     for (size_t i = 0; i < splits.size(); ++i) {
       pool.Submit([&, i] {
-        double start = job_clock.ElapsedSeconds();
-        auto input = splits[i].load();
-        if (!input.ok()) {
-          outputs[i].status = input.status();
-          return;
-        }
-        MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
-                           &outputs[i]);
-        auto mapper = mapper_factory();
-        outputs[i].status = mapper->Map(input.ValueOrDie(), &ctx);
-        if (outputs[i].status.ok()) ctx.FinishTask();
-        outputs[i].record.type = TaskRecord::Type::kMap;
-        outputs[i].record.index = static_cast<int>(i);
-        outputs[i].record.start_seconds = start;
-        outputs[i].record.end_seconds = job_clock.ElapsedSeconds();
-        outputs[i].record.input_bytes =
-            static_cast<int64_t>(input.ValueOrDie().size());
+        auto run_attempt = [&, i](int attempt, MapTaskOutput* out) {
+          out->record.type = TaskRecord::Type::kMap;
+          out->record.index = static_cast<int>(i);
+          out->record.attempt = attempt;
+          out->record.start_seconds = job_clock.ElapsedSeconds();
+          auto input =
+              LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
+                               config_.fault_injector);
+          if (input.ok()) {
+            MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
+                               out);
+            auto mapper = mapper_factory();
+            out->status = mapper->Map(input.ValueOrDie(), &ctx);
+            if (out->status.ok()) ctx.FinishTask();
+            out->record.input_bytes =
+                static_cast<int64_t>(input.ValueOrDie().size());
+            out->record.output_bytes =
+                out->counters.Get("map_output_bytes");
+          } else {
+            out->status = input.status();
+          }
+          out->record.end_seconds = job_clock.ElapsedSeconds();
+        };
+        AttemptStats stats;
+        RunTaskAttempts(config_, run_attempt, &outputs[i], &stats);
+        FinalizeMapTask(config_, stats, &outputs[i]);
       });
     }
     pool.Wait();
@@ -262,92 +438,125 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
   JobResult result;
   for (auto& out : outputs) {
     GESALL_RETURN_NOT_OK(out.status);
+    if (out.skipped) result.skipped_splits.push_back(out.record.index);
     result.counters.Merge(out.counters);
     result.tasks.push_back(out.record);
   }
 
-  // Shuffle + reduce.
+  // Shuffle + reduce (map outputs are stable across reduce attempts, so
+  // a retried reducer re-merges the same runs).
   result.reducer_outputs.resize(R);
-  std::vector<JobCounters> reduce_counters(R);
-  std::vector<TaskRecord> reduce_records(R);
-  std::vector<Status> reduce_status(R);
+  std::vector<ReduceTaskOutput> reduce_outputs(R);
   {
     ThreadPool pool(config_.max_parallel_tasks);
     for (int r = 0; r < R; ++r) {
       pool.Submit([&, r] {
-        double start = job_clock.ElapsedSeconds();
-        // Gather this partition's sorted run from every map task (each
-        // task has at most one run per partition after the map-side
-        // merge) and merge them, stable by map task index.
-        std::vector<const SortedRun*> runs;
-        int64_t shuffle_bytes = 0, shuffle_records = 0;
-        for (const auto& out : outputs) {
-          if (r < static_cast<int>(out.runs.size())) {
-            for (const auto& run : out.runs[r]) {
-              runs.push_back(&run);
-              shuffle_records += static_cast<int64_t>(run.size());
-              for (const auto& kv : run) {
-                shuffle_bytes +=
-                    static_cast<int64_t>(kv.key.size() + kv.value.size());
+        auto run_attempt = [&, r](int attempt, ReduceTaskOutput* out) {
+          out->record.type = TaskRecord::Type::kReduce;
+          out->record.index = r;
+          out->record.attempt = attempt;
+          out->record.start_seconds = job_clock.ElapsedSeconds();
+          FaultInjector* injector = config_.fault_injector;
+          if (injector != nullptr) {
+            int latency = injector->LatencyMs(kFaultReduceAttempt, r,
+                                              attempt);
+            if (latency > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(latency));
+            }
+            out->status = injector->MaybeFail(kFaultReduceAttempt, r,
+                                              attempt);
+            if (!out->status.ok()) {
+              out->record.end_seconds = job_clock.ElapsedSeconds();
+              return;
+            }
+          }
+          // Gather this partition's sorted run from every map task (each
+          // task has at most one run per partition after the map-side
+          // merge) and merge them, stable by map task index.
+          std::vector<const SortedRun*> runs;
+          int64_t shuffle_bytes = 0, shuffle_records = 0;
+          for (const auto& map_out : outputs) {
+            if (r < static_cast<int>(map_out.runs.size())) {
+              for (const auto& run : map_out.runs[r]) {
+                runs.push_back(&run);
+                shuffle_records += static_cast<int64_t>(run.size());
+                for (const auto& kv : run) {
+                  shuffle_bytes +=
+                      static_cast<int64_t>(kv.key.size() + kv.value.size());
+                }
               }
             }
           }
-        }
-        reduce_counters[r].Add("reduce_shuffle_bytes", shuffle_bytes);
-        reduce_counters[r].Add("reduce_shuffle_records", shuffle_records);
+          out->counters.Add("reduce_shuffle_bytes", shuffle_bytes);
+          out->counters.Add("reduce_shuffle_records", shuffle_records);
 
-        using Cursor = std::pair<size_t, size_t>;
-        auto less = [&runs](const Cursor& a, const Cursor& b) {
-          const KeyValue& ka = (*runs[a.first])[a.second];
-          const KeyValue& kb = (*runs[b.first])[b.second];
-          if (ka.key != kb.key) return ka.key > kb.key;
-          return a.first > b.first;
-        };
-        std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)>
-            heap(less);
-        for (size_t i = 0; i < runs.size(); ++i) {
-          if (!runs[i]->empty()) heap.push({i, 0});
-        }
-
-        ReduceContextImpl ctx(&result.reducer_outputs[r],
-                              &reduce_counters[r]);
-        auto reducer = reducer_factory();
-        std::string current_key;
-        std::vector<std::string> values;
-        bool have_key = false;
-        auto flush = [&]() -> Status {
-          if (!have_key) return Status::OK();
-          return reducer->Reduce(current_key, values, &ctx);
-        };
-        Status st;
-        while (!heap.empty() && st.ok()) {
-          auto [run_idx, off] = heap.top();
-          heap.pop();
-          const KeyValue& kv = (*runs[run_idx])[off];
-          if (!have_key || kv.key != current_key) {
-            st = flush();
-            current_key = kv.key;
-            values.clear();
-            have_key = true;
+          using Cursor = std::pair<size_t, size_t>;
+          auto less = [&runs](const Cursor& a, const Cursor& b) {
+            const KeyValue& ka = (*runs[a.first])[a.second];
+            const KeyValue& kb = (*runs[b.first])[b.second];
+            if (ka.key != kb.key) return ka.key > kb.key;
+            return a.first > b.first;
+          };
+          std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)>
+              heap(less);
+          for (size_t i = 0; i < runs.size(); ++i) {
+            if (!runs[i]->empty()) heap.push({i, 0});
           }
-          values.push_back(kv.value);
-          if (off + 1 < runs[run_idx]->size()) heap.push({run_idx, off + 1});
+
+          ReduceContextImpl ctx(&out->values, &out->counters);
+          auto reducer = reducer_factory();
+          std::string current_key;
+          std::vector<std::string> values;
+          bool have_key = false;
+          auto flush = [&]() -> Status {
+            if (!have_key) return Status::OK();
+            return reducer->Reduce(current_key, values, &ctx);
+          };
+          Status st;
+          while (!heap.empty() && st.ok()) {
+            auto [run_idx, off] = heap.top();
+            heap.pop();
+            const KeyValue& kv = (*runs[run_idx])[off];
+            if (!have_key || kv.key != current_key) {
+              st = flush();
+              current_key = kv.key;
+              values.clear();
+              have_key = true;
+            }
+            values.push_back(kv.value);
+            if (off + 1 < runs[run_idx]->size()) {
+              heap.push({run_idx, off + 1});
+            }
+          }
+          if (st.ok()) st = flush();
+          out->status = st;
+          out->record.end_seconds = job_clock.ElapsedSeconds();
+          out->record.input_bytes = shuffle_bytes;
+          out->record.output_bytes =
+              out->counters.Get("reduce_output_bytes");
+        };
+        AttemptStats stats;
+        RunTaskAttempts(config_, run_attempt, &reduce_outputs[r], &stats);
+        if (stats.retries > 0) {
+          reduce_outputs[r].counters.Add("reduce_task_retries",
+                                         stats.retries);
         }
-        if (st.ok()) st = flush();
-        reduce_status[r] = st;
-        reduce_records[r].type = TaskRecord::Type::kReduce;
-        reduce_records[r].index = r;
-        reduce_records[r].start_seconds = start;
-        reduce_records[r].end_seconds = job_clock.ElapsedSeconds();
-        reduce_records[r].input_bytes = shuffle_bytes;
+        if (stats.speculative_launched) {
+          reduce_outputs[r].counters.Add("speculative_launches", 1);
+        }
+        if (stats.speculative_won) {
+          reduce_outputs[r].counters.Add("speculative_wins", 1);
+        }
       });
     }
     pool.Wait();
   }
   for (int r = 0; r < R; ++r) {
-    GESALL_RETURN_NOT_OK(reduce_status[r]);
-    result.counters.Merge(reduce_counters[r]);
-    result.tasks.push_back(reduce_records[r]);
+    GESALL_RETURN_NOT_OK(reduce_outputs[r].status);
+    result.counters.Merge(reduce_outputs[r].counters);
+    result.tasks.push_back(reduce_outputs[r].record);
+    result.reducer_outputs[r] = std::move(reduce_outputs[r].values);
   }
   return result;
 }

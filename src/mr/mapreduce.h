@@ -6,6 +6,15 @@
 // tasks merge the sorted map outputs and invoke the reducer per key
 // group. Execution is multi-threaded but the output is deterministic:
 // ties between equal keys resolve by (map task index, emission order).
+//
+// Fault tolerance mirrors Hadoop's task-attempt model: a failed task
+// attempt (split load error, mapper/reducer error, or injected fault) is
+// retried up to JobConfig::max_task_attempts times with capped
+// exponential backoff; straggler attempts can be speculatively
+// re-executed with first-success-wins resolution; and a poison split can
+// be skipped after exhausted retries (mapreduce.map.skip analog) instead
+// of failing the job. Wire a seeded FaultInjector into
+// JobConfig::fault_injector to exercise these paths reproducibly.
 
 #ifndef GESALL_MR_MAPREDUCE_H_
 #define GESALL_MR_MAPREDUCE_H_
@@ -20,6 +29,8 @@
 #include "util/status.h"
 
 namespace gesall {
+
+class FaultInjector;
 
 /// \brief One intermediate record.
 struct KeyValue {
@@ -125,6 +136,26 @@ struct JobConfig {
   /// Fraction of maps that must finish before reducers start (recorded in
   /// counters for the simulator; functional execution is unaffected).
   double slowstart_completed_maps = 0.05;
+
+  // --- Fault tolerance (Hadoop task-attempt analogs) ---
+
+  /// Attempts per task before the job fails (mapreduce.map/reduce.maxattempts).
+  int max_task_attempts = 2;
+  /// Backoff before retry k is retry_base_ms * 2^(k-1), capped below.
+  /// 0 disables sleeping between attempts.
+  int retry_base_ms = 0;
+  int retry_max_backoff_ms = 1000;
+  /// Re-execute a straggler attempt once and keep whichever finishes
+  /// first (Hadoop speculative execution).
+  bool speculative_execution = false;
+  /// A successful attempt slower than this is considered a straggler.
+  int speculative_slow_task_ms = 100;
+  /// After exhausted map retries, isolate the poison split (counted and
+  /// listed in JobResult::skipped_splits) instead of failing the job
+  /// (mapreduce.map.skip analog).
+  bool skip_bad_records = false;
+  /// Optional chaos source (not owned). nullptr disables injection.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// \brief Wall-clock record of one task, for progress plots (paper Fig 7).
@@ -136,6 +167,10 @@ struct TaskRecord {
   double end_seconds = 0;
   int64_t input_bytes = 0;
   int64_t output_bytes = 0;
+  /// Attempt number that produced this record (0 = first attempt).
+  int attempt = 0;
+  /// True when a speculative re-execution won over the original attempt.
+  bool speculative = false;
 };
 
 /// \brief Result of a job: per-reducer emitted values + counters.
@@ -143,6 +178,8 @@ struct JobResult {
   std::vector<std::vector<std::string>> reducer_outputs;
   JobCounters counters;
   std::vector<TaskRecord> tasks;
+  /// Map task indices isolated by skip_bad_records (empty otherwise).
+  std::vector<int> skipped_splits;
 };
 
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;

@@ -1,0 +1,138 @@
+// DFS read-path failover: injected replica failures fall back to the next
+// replica, repeated failures blacklist a node, and the telemetry that the
+// diagnosis layer surfaces reflects each recovery.
+
+#include <gtest/gtest.h>
+
+#include "dfs/dfs.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+DfsOptions SmallOptions() {
+  DfsOptions o;
+  o.block_size = 1024;
+  o.replication = 2;
+  o.num_data_nodes = 5;
+  o.blacklist_threshold = 3;
+  return o;
+}
+
+std::string RandomData(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>('a' + rng.Uniform(26));
+  return s;
+}
+
+TEST(DfsFailoverTest, ReadFailsOverToSecondReplica) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(1);
+  // The first replica of every block is unavailable.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsReadReplica, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+
+  DfsStats stats = dfs.stats();
+  EXPECT_EQ(stats.blocks_failed_over, 5);  // ceil(5000/1024) blocks
+  EXPECT_EQ(stats.replica_read_failures, 5);
+  EXPECT_EQ(stats.reads_failed, 0);
+}
+
+TEST(DfsFailoverTest, ConsecutiveFailuresBlacklistTheNode) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(1);
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsReadReplica, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  // Logical-partition placement: every block of the file has the SAME
+  // primary node, so its failures are consecutive.
+  LogicalPartitionPlacementPolicy policy;
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/part", data, &policy).ok());
+  int primary = LogicalPartitionPlacementPolicy::PrimaryNodeFor("/part", 5);
+  EXPECT_FALSE(dfs.IsBlacklisted(primary));
+
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);  // 5 blocks, 5 failures
+  EXPECT_TRUE(dfs.IsBlacklisted(primary));
+  EXPECT_EQ(dfs.stats().nodes_blacklisted, 1);
+
+  // A blacklisted node keeps failing reads even after the injector is
+  // disarmed; MarkNodeUp restores it.
+  injector.DisarmAll();
+  dfs.ResetStats();
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  EXPECT_EQ(dfs.stats().blocks_failed_over, 5);
+
+  ASSERT_TRUE(dfs.MarkNodeUp(primary).ok());
+  EXPECT_FALSE(dfs.IsBlacklisted(primary));
+  dfs.ResetStats();
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  EXPECT_EQ(dfs.stats().blocks_failed_over, 0);
+  EXPECT_EQ(dfs.stats().replica_read_failures, 0);
+}
+
+TEST(DfsFailoverTest, SuccessResetsTheConsecutiveFailureCount) {
+  DfsOptions options = SmallOptions();
+  options.blacklist_threshold = 2;
+  Dfs dfs(options);
+  FaultInjector injector(1);
+  dfs.set_fault_injector(&injector);
+
+  LogicalPartitionPlacementPolicy policy;
+  ASSERT_TRUE(dfs.Write("/part", RandomData(3000), &policy).ok());  // 3 blocks
+  auto locations = dfs.Locate("/part").ValueOrDie();
+  ASSERT_EQ(locations.size(), 3u);
+  int primary = LogicalPartitionPlacementPolicy::PrimaryNodeFor("/part", 5);
+
+  // Fail the primary replica of blocks 0 and 2 only: the success on block
+  // 1 breaks the streak, so the threshold of 2 is never reached.
+  injector.ArmSchedule(kFaultDfsReadReplica, locations[0].block_id, {0});
+  injector.ArmSchedule(kFaultDfsReadReplica, locations[2].block_id, {0});
+  ASSERT_TRUE(dfs.Read("/part").ok());
+  EXPECT_FALSE(dfs.IsBlacklisted(primary));
+  EXPECT_EQ(dfs.stats().blocks_failed_over, 2);
+}
+
+TEST(DfsFailoverTest, AllReplicasFailingSurfacesIOError) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(1);
+  // replication = 2, both replica positions armed.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsReadReplica, 2).ok());
+  dfs.set_fault_injector(&injector);
+
+  ASSERT_TRUE(dfs.Write("/f", "payload").ok());
+  auto read = dfs.Read("/f");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIOError());
+  EXPECT_GE(dfs.stats().reads_failed, 1);
+}
+
+TEST(DfsFailoverTest, DownNodeCountsAsFailover) {
+  Dfs dfs(SmallOptions());  // no injector at all
+  std::string data = RandomData(2000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+  auto locations = dfs.Locate("/f").ValueOrDie();
+  ASSERT_TRUE(dfs.MarkNodeDown(locations[0].replicas[0]).ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+  EXPECT_GE(dfs.stats().blocks_failed_over, 1);
+}
+
+TEST(DfsFailoverTest, StatsAreZeroWithoutFaults) {
+  Dfs dfs(SmallOptions());
+  ASSERT_TRUE(dfs.Write("/f", RandomData(5000)).ok());
+  ASSERT_TRUE(dfs.Read("/f").ok());
+  DfsStats stats = dfs.stats();
+  EXPECT_EQ(stats.replica_read_failures, 0);
+  EXPECT_EQ(stats.blocks_failed_over, 0);
+  EXPECT_EQ(stats.reads_failed, 0);
+  EXPECT_EQ(stats.nodes_blacklisted, 0);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,490 @@
+// Shuffle data path benchmark: the pre-arena string-copy shuffle
+// (per-record std::string buffering, per-record counter-map lookups,
+// record-copying merges, reduce groups built from owned strings) against
+// the zero-copy arena shuffle (mr/shuffle_buffer.h) on a 1M-record
+// synthetic genomics workload.
+//
+// The measured path is the full shuffle: map-side emit + sort-and-spill
+// + map-side merge across several simulated map tasks, then the
+// reduce-side k-way merge and key grouping, ending in a streaming
+// consume (FNV digest) that stands in for the reducer. Both engines
+// must produce the same digest and group count.
+//
+// Emits machine-readable results as JSON (argv[1], default
+// BENCH_shuffle.json in the working directory). Heap allocations are
+// counted via a global operator new override, so the "one allocation
+// per record" vs "one per arena block" claim is measured, not estimated.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gesall/keys.h"
+#include "mr/mapreduce.h"
+#include "mr/shuffle_buffer.h"
+#include "report.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace gesall {
+namespace {
+
+constexpr int kNumRecords = 1'000'000;
+constexpr int kNumMapTasks = 4;
+constexpr int kNumPartitions = 8;
+constexpr int64_t kSortBufferBytes = 8LL << 20;  // several spills per task
+constexpr int kIterations = 3;  // best-of to shed scheduler noise
+
+struct Workload {
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+  int64_t payload_bytes = 0;
+};
+
+// Round-4-shaped records: order-preserving binary coordinate keys with a
+// skewed position distribution (duplicate 5' ends) and BAM-record-sized
+// values.
+Workload MakeWorkload() {
+  Workload w;
+  w.keys.reserve(kNumRecords);
+  w.values.reserve(kNumRecords);
+  Rng rng(20170517);
+  for (int i = 0; i < kNumRecords; ++i) {
+    std::string key;
+    key.push_back('\x01');
+    AppendOrderedU64(&key, rng.Uniform(24));             // chromosome
+    AppendOrderedU64(&key, rng.Uniform(250'000));        // position
+    AppendOrderedU64(&key, rng.Next());                  // name hash
+    std::string value(80 + rng.Uniform(41), '\0');
+    for (auto& c : value) {
+      c = static_cast<char>('A' + rng.Uniform(26));
+    }
+    w.payload_bytes += static_cast<int64_t>(key.size() + value.size());
+    w.keys.push_back(std::move(key));
+    w.values.push_back(std::move(value));
+  }
+  return w;
+}
+
+// Order-insensitive-free digest of a (key, values...) group stream: the
+// digest chains, so both engines must produce identical groups in
+// identical order to match.
+struct GroupDigest {
+  uint64_t digest = 1469598103934665603ULL;
+  int64_t groups = 0;
+  int64_t records = 0;
+
+  void Key(std::string_view key) {
+    digest = MixSeeds(digest, Fnv1a64(key));
+    ++groups;
+  }
+  void Value(std::string_view value) {
+    digest = MixSeeds(digest, Fnv1a64(value));
+    ++records;
+  }
+  bool operator==(const GroupDigest&) const = default;
+};
+
+// ---------------------------------------------------------------------
+// Faithful reproduction of the pre-arena shuffle: per-record std::string
+// pairs buffered per partition, two counter-map lookups on every emit,
+// stable_sort of whole records on spill, record-copying merges, and
+// reduce groups materialized as std::vector<std::string>.
+
+struct LegacyKeyValue {
+  std::string key;
+  std::string value;
+};
+using LegacySortedRun = std::vector<LegacyKeyValue>;
+
+class LegacyShuffle {
+ public:
+  LegacyShuffle(const Partitioner* partitioner, int num_partitions,
+                int64_t sort_buffer_bytes)
+      : partitioner_(partitioner), num_partitions_(num_partitions),
+        sort_buffer_bytes_(sort_buffer_bytes), buffer_(num_partitions),
+        runs_(num_partitions) {}
+
+  void Emit(const std::string& key, const std::string& value) {
+    int p = partitioner_->Partition(key, num_partitions_);
+    buffered_bytes_ += static_cast<int64_t>(key.size() + value.size() + 16);
+    counters_.Add("map_output_records", 1);
+    counters_.Add("map_output_bytes",
+                  static_cast<int64_t>(key.size() + value.size()));
+    buffer_[p].push_back({key, value});
+    if (buffered_bytes_ > sort_buffer_bytes_) Spill();
+  }
+
+  void Finish() {
+    Spill();
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (runs_[p].size() > 1) Merge(p);
+    }
+  }
+
+  const std::vector<LegacySortedRun>& runs(int p) const { return runs_[p]; }
+  const JobCounters& counters() const { return counters_; }
+
+ private:
+  void Spill() {
+    bool any = false;
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (buffer_[p].empty()) continue;
+      any = true;
+      std::stable_sort(
+          buffer_[p].begin(), buffer_[p].end(),
+          [](const LegacyKeyValue& a, const LegacyKeyValue& b) {
+            return a.key < b.key;
+          });
+      runs_[p].push_back(std::move(buffer_[p]));
+      buffer_[p].clear();
+    }
+    if (any) counters_.Add("map_spills", 1);
+    buffered_bytes_ = 0;
+  }
+
+  void Merge(int p) {
+    auto& runs = runs_[p];
+    LegacySortedRun merged;
+    size_t total = 0;
+    int64_t merge_bytes = 0;
+    for (const auto& run : runs) {
+      total += run.size();
+      for (const auto& kv : run) {
+        merge_bytes +=
+            static_cast<int64_t>(kv.key.size() + kv.value.size());
+      }
+    }
+    counters_.Add("map_merge_bytes", merge_bytes);
+    merged.reserve(total);
+    using Cursor = std::pair<size_t, size_t>;
+    auto less = [&runs](const Cursor& a, const Cursor& b) {
+      const LegacyKeyValue& ka = runs[a.first][a.second];
+      const LegacyKeyValue& kb = runs[b.first][b.second];
+      if (ka.key != kb.key) return ka.key > kb.key;
+      return a.first > b.first;
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)> heap(
+        less);
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (!runs[r].empty()) heap.push({r, 0});
+    }
+    while (!heap.empty()) {
+      auto [r, o] = heap.top();
+      heap.pop();
+      merged.push_back(std::move(runs[r][o]));
+      if (o + 1 < runs[r].size()) heap.push({r, o + 1});
+    }
+    runs.clear();
+    runs.push_back(std::move(merged));
+  }
+
+  const Partitioner* partitioner_;
+  int num_partitions_;
+  int64_t sort_buffer_bytes_;
+  int64_t buffered_bytes_ = 0;
+  std::vector<LegacySortedRun> buffer_;
+  std::vector<std::vector<LegacySortedRun>> runs_;
+  JobCounters counters_;
+};
+
+struct RunResult {
+  double seconds = 0;
+  int64_t heap_allocations = 0;
+  int64_t spills = 0;
+  int64_t shuffle_bytes = 0;
+  GroupDigest digest;
+};
+
+// Reduce-side walk of the legacy engine: per partition, gather every
+// task's run, k-way merge (stable by task index), group, and build each
+// group's values as owned strings — exactly what the pre-arena reduce
+// path did. `consume(key, values)` stands in for the reducer.
+template <typename Consume>
+void WalkLegacyGroups(const std::vector<LegacyShuffle>& tasks,
+                      const Consume& consume) {
+  for (int p = 0; p < kNumPartitions; ++p) {
+    std::vector<const LegacySortedRun*> runs;
+    for (const auto& t : tasks) {
+      for (const auto& run : t.runs(p)) runs.push_back(&run);
+    }
+    using Cursor = std::pair<size_t, size_t>;
+    auto less = [&runs](const Cursor& a, const Cursor& b) {
+      const LegacyKeyValue& ka = (*runs[a.first])[a.second];
+      const LegacyKeyValue& kb = (*runs[b.first])[b.second];
+      if (ka.key != kb.key) return ka.key > kb.key;
+      return a.first > b.first;
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)> heap(
+        less);
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (!runs[r]->empty()) heap.push({r, 0});
+    }
+    std::string current_key;
+    bool has_current = false;
+    std::vector<std::string> values;
+    while (!heap.empty()) {
+      auto [r, o] = heap.top();
+      heap.pop();
+      const LegacyKeyValue& kv = (*runs[r])[o];
+      if (!has_current || kv.key != current_key) {
+        if (has_current) consume(current_key, values);
+        current_key = kv.key;  // string copy, as in the old engine
+        has_current = true;
+        values.clear();
+      }
+      values.push_back(kv.value);  // string copy, as in the old engine
+      if (o + 1 < runs[r]->size()) heap.push({r, o + 1});
+    }
+    if (has_current) consume(current_key, values);
+  }
+}
+
+// Reduce-side walk of the arena engine: entry-index k-way merge, groups
+// as views into the frozen arenas.
+template <typename Consume>
+void WalkArenaGroups(const std::vector<ShuffleBuffer>& tasks,
+                     const Consume& consume) {
+  for (int p = 0; p < kNumPartitions; ++p) {
+    std::vector<const ShuffleRun*> runs;
+    for (const auto& t : tasks) {
+      for (const auto& run : t.runs(p)) runs.push_back(&run);
+    }
+    ShuffleRunMerger merger(runs);
+    const ShuffleEntry* current = nullptr;
+    std::vector<std::string_view> values;
+    for (const ShuffleEntry* e = merger.Next(); e != nullptr;
+         e = merger.Next()) {
+      if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
+        if (current != nullptr) consume(current->key, values);
+        current = e;
+        values.clear();
+      }
+      values.push_back(e->value);
+    }
+    if (current != nullptr) consume(current->key, values);
+  }
+}
+
+// The timed consumer: touches every group and value size (so the
+// grouping work cannot be elided) without the verification hash, which
+// both engines would pay identically.
+struct CountingConsumer {
+  int64_t groups = 0;
+  int64_t value_bytes = 0;
+  template <typename Values>
+  void operator()(std::string_view, const Values& values) {
+    ++groups;
+    for (const auto& v : values) {
+      value_bytes += static_cast<int64_t>(v.size());
+    }
+  }
+};
+
+RunResult RunLegacy(const Workload& w, const Partitioner& partitioner) {
+  RunResult result;
+  int64_t allocs_before = g_heap_allocations.load();
+  Stopwatch clock;
+  // Map side: kNumMapTasks tasks, each shuffling its slice.
+  std::vector<LegacyShuffle> tasks;
+  tasks.reserve(kNumMapTasks);
+  for (int t = 0; t < kNumMapTasks; ++t) {
+    tasks.emplace_back(&partitioner, kNumPartitions, kSortBufferBytes);
+  }
+  for (int i = 0; i < kNumRecords; ++i) {
+    tasks[static_cast<size_t>(i) * kNumMapTasks / kNumRecords].Emit(
+        w.keys[i], w.values[i]);
+  }
+  for (auto& t : tasks) t.Finish();
+  CountingConsumer counting;
+  WalkLegacyGroups(tasks, [&](std::string_view key,
+                              const std::vector<std::string>& values) {
+    counting(key, values);
+  });
+  result.seconds = clock.ElapsedSeconds();
+  result.heap_allocations = g_heap_allocations.load() - allocs_before;
+
+  // Verification (untimed): digest the full group stream.
+  WalkLegacyGroups(tasks, [&](std::string_view key,
+                              const std::vector<std::string>& values) {
+    result.digest.Key(key);
+    for (const auto& v : values) result.digest.Value(v);
+  });
+  if (result.digest.groups != counting.groups) result.digest.digest = 0;
+  for (const auto& t : tasks) {
+    result.spills += t.counters().Get("map_spills");
+    result.shuffle_bytes += t.counters().Get("map_output_bytes");
+  }
+  return result;
+}
+
+RunResult RunArena(const Workload& w, const Partitioner& partitioner) {
+  RunResult result;
+  int64_t allocs_before = g_heap_allocations.load();
+  Stopwatch clock;
+  std::vector<ShuffleBuffer> tasks;
+  tasks.reserve(kNumMapTasks);
+  for (int t = 0; t < kNumMapTasks; ++t) {
+    tasks.emplace_back(kNumPartitions, kSortBufferBytes);
+  }
+  // Batched engine counters, as in MapContextImpl.
+  int64_t records = 0, bytes = 0;
+  JobCounters counters;
+  for (int i = 0; i < kNumRecords; ++i) {
+    int p = partitioner.PartitionView(w.keys[i], kNumPartitions);
+    ++records;
+    bytes += static_cast<int64_t>(w.keys[i].size() + w.values[i].size());
+    tasks[static_cast<size_t>(i) * kNumMapTasks / kNumRecords]
+        .Add(p, w.keys[i], w.values[i])
+        .ok();
+  }
+  for (auto& t : tasks) t.Finish().ok();
+  counters.Add("map_output_records", records);
+  counters.Add("map_output_bytes", bytes);
+  CountingConsumer counting;
+  WalkArenaGroups(tasks, [&](std::string_view key,
+                             const std::vector<std::string_view>& values) {
+    counting(key, values);
+  });
+  result.seconds = clock.ElapsedSeconds();
+  result.heap_allocations = g_heap_allocations.load() - allocs_before;
+
+  // Verification (untimed): digest the full group stream.
+  WalkArenaGroups(tasks, [&](std::string_view key,
+                             const std::vector<std::string_view>& values) {
+    result.digest.Key(key);
+    for (const auto& v : values) result.digest.Value(v);
+  });
+  if (result.digest.groups != counting.groups) result.digest.digest = 0;
+  for (const auto& t : tasks) result.spills += t.stats().spills;
+  result.shuffle_bytes = counters.Get("map_output_bytes");
+  return result;
+}
+
+template <typename Fn>
+RunResult BestOf(int iterations, const Fn& fn) {
+  RunResult best = fn();
+  for (int i = 1; i < iterations; ++i) {
+    RunResult r = fn();
+    if (r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+void PrintJson(std::FILE* f, const Workload& w, const RunResult& legacy,
+               const RunResult& arena) {
+  auto rate = [&](const RunResult& r) { return kNumRecords / r.seconds; };
+  auto mbps = [&](const RunResult& r) {
+    return static_cast<double>(w.payload_bytes) / (1 << 20) / r.seconds;
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"shuffle\",\n");
+  std::fprintf(f, "  \"records\": %d,\n", kNumRecords);
+  std::fprintf(f, "  \"map_tasks\": %d,\n", kNumMapTasks);
+  std::fprintf(f, "  \"partitions\": %d,\n", kNumPartitions);
+  std::fprintf(f, "  \"payload_bytes\": %lld,\n",
+               static_cast<long long>(w.payload_bytes));
+  std::fprintf(f, "  \"sort_buffer_bytes\": %lld,\n",
+               static_cast<long long>(kSortBufferBytes));
+  std::fprintf(f, "  \"iterations\": %d,\n", kIterations);
+  auto section = [&](const char* name, const RunResult& r) {
+    std::fprintf(f, "  \"%s\": {\n", name);
+    std::fprintf(f, "    \"seconds\": %.4f,\n", r.seconds);
+    std::fprintf(f, "    \"records_per_sec\": %.0f,\n", rate(r));
+    std::fprintf(f, "    \"shuffle_mb_per_sec\": %.1f,\n", mbps(r));
+    std::fprintf(f, "    \"heap_allocations\": %lld,\n",
+                 static_cast<long long>(r.heap_allocations));
+    std::fprintf(f, "    \"spills\": %lld\n",
+                 static_cast<long long>(r.spills));
+    std::fprintf(f, "  },\n");
+  };
+  section("legacy_string_copy", legacy);
+  section("arena_zero_copy", arena);
+  std::fprintf(f, "  \"speedup_records_per_sec\": %.2f,\n",
+               rate(arena) / rate(legacy));
+  std::fprintf(f, "  \"allocation_reduction\": %.1f\n",
+               static_cast<double>(legacy.heap_allocations) /
+                   static_cast<double>(arena.heap_allocations));
+  std::fprintf(f, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  bench::Title("Shuffle data path: string-copy vs zero-copy arena");
+  bench::Note("1M coordinate-keyed records through map spill/sort/merge + "
+              "reduce merge/group");
+
+  Workload w = MakeWorkload();
+  HashPartitioner partitioner;
+
+  RunResult legacy = BestOf(kIterations, [&] {
+    return RunLegacy(w, partitioner);
+  });
+  RunResult arena = BestOf(kIterations, [&] {
+    return RunArena(w, partitioner);
+  });
+
+  bool identical = legacy.digest == arena.digest;
+  double speedup = legacy.seconds / arena.seconds;
+
+  std::printf("  %-22s %10s %14s %12s %14s\n", "engine", "seconds",
+              "records/sec", "MB/sec", "allocations");
+  auto row = [&](const char* name, const RunResult& r) {
+    std::printf("  %-22s %10.3f %14.0f %12.1f %14lld\n", name, r.seconds,
+                kNumRecords / r.seconds,
+                static_cast<double>(w.payload_bytes) / (1 << 20) / r.seconds,
+                static_cast<long long>(r.heap_allocations));
+  };
+  row("legacy string-copy", legacy);
+  row("arena zero-copy", arena);
+  std::printf("  speedup: %.2fx, allocation reduction: %.1fx\n", speedup,
+              static_cast<double>(legacy.heap_allocations) /
+                  static_cast<double>(arena.heap_allocations));
+
+  bool ok = true;
+  ok &= bench::Check(identical,
+                     "both engines produce identical groups (digest match)");
+  ok &= bench::Check(legacy.spills == arena.spills &&
+                         legacy.shuffle_bytes == arena.shuffle_bytes,
+                     "identical spill counts and shuffle bytes");
+  ok &= bench::Check(speedup >= 2.0,
+                     "arena shuffle >= 2x record throughput");
+  ok &= bench::Check(arena.heap_allocations * 10 < legacy.heap_allocations,
+                     "arena path allocates >= 10x less");
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_shuffle.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    PrintJson(f, w, legacy, arena);
+    std::fclose(f);
+    bench::Note(std::string("wrote ") + out_path);
+  } else {
+    bench::Check(false, std::string("failed to open ") + out_path);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gesall
+
+int main(int argc, char** argv) { return gesall::Main(argc, argv); }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an AddressSanitizer pass over the MapReduce
+# shuffle engine.
+#
+#   scripts/check.sh            # full tier-1 build + ctest + ASan mr suites
+#   scripts/check.sh --no-asan  # tier-1 only
+#
+# The ASan build lives in build-asan/ so it never pollutes the regular
+# build directory, and only builds the suites that exercise the arena
+# shuffle (mr_test, util_test): arena lifetime bugs — views outliving a
+# spill, combiner emits into a moved arena — are exactly what ASan
+# catches and what the plain build can silently survive.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  run_asan=0
+fi
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== asan: shuffle engine suites ==="
+  cmake -B build-asan -S . -DGESALL_SANITIZE=address
+  cmake --build build-asan -j --target mr_test util_test
+  ./build-asan/tests/mr_test
+  ./build-asan/tests/util_test
+fi
+
+echo "=== check.sh: all green ==="

@@ -78,7 +78,7 @@ std::string EncodeMarkDupValue(MarkDupRole role, const SamRecord& first,
   return out;
 }
 
-Result<MarkDupValue> DecodeMarkDupValue(const std::string& value) {
+Result<MarkDupValue> DecodeMarkDupValue(std::string_view value) {
   if (value.size() < 2) return Status::Corruption("short markdup value");
   MarkDupValue out;
   out.role = static_cast<MarkDupRole>(value[0]);

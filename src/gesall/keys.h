@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "analysis/mark_duplicates.h"
 #include "formats/sam.h"
@@ -59,7 +60,9 @@ struct MarkDupValue {
   SamRecord second;
 };
 
-Result<MarkDupValue> DecodeMarkDupValue(const std::string& value);
+/// Accepts a view so zero-copy reducers can decode straight out of the
+/// shuffle arena.
+Result<MarkDupValue> DecodeMarkDupValue(std::string_view value);
 
 }  // namespace gesall
 

@@ -135,7 +135,7 @@ class CleaningMapper : public Mapper {
     {
       CounterTimer timer(ctx, kTransformMicros);
       for (const auto& r : records) {
-        ctx->Emit(r.qname, EncodeBamRecord(r));
+        ctx->EmitView(r.qname, EncodeBamRecord(r));
       }
     }
     return Status::OK();
@@ -146,11 +146,46 @@ class CleaningMapper : public Mapper {
   ReadGroup read_group_;
 };
 
+// Round-2 combiner: when both mates of a read-name group land in the
+// same spill run, FixMateInformation is pre-applied map-side. Legal
+// because FixMateInformation is idempotent (each mate's fields are set
+// from the pair's own unmodified fields), so the reducer re-applying it
+// to the combined pair produces identical bytes; groups that span spill
+// runs or map tasks pass through untouched.
+class FixMateCombiner : public Combiner {
+ public:
+  Status Combine(std::string_view key,
+                 const std::vector<std::string_view>& values,
+                 CombineEmitter* out) override {
+    (void)key;
+    if (values.size() != 2) {
+      for (const auto& v : values) out->Emit(v);
+      return Status::OK();
+    }
+    std::vector<SamRecord> records;
+    records.reserve(2);
+    for (const auto& v : values) {
+      size_t offset = 0;
+      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
+      records.push_back(std::move(rec));
+    }
+    GESALL_RETURN_NOT_OK(FixMateInformation(&records));
+    for (const auto& r : records) out->Emit(EncodeBamRecord(r));
+    return Status::OK();
+  }
+};
+
 class FixMateReducer : public Reducer {
  public:
   Status Reduce(const std::string& key,
                 const std::vector<std::string>& values,
                 ReduceContext* ctx) override {
+    return ReduceViews(key, {values.begin(), values.end()}, ctx);
+  }
+
+  Status ReduceViews(std::string_view key,
+                     const std::vector<std::string_view>& values,
+                     ReduceContext* ctx) override {
     (void)key;
     GESALL_ASSIGN_OR_RETURN(std::vector<SamRecord> records,
                             RecordsFromValues(values, ctx));
@@ -259,11 +294,47 @@ class MarkDupMapper : public Mapper {
   const BloomFilter* bloom_;
 };
 
+// Round-3 combiner: defensive dedup of criterion-2 representatives. The
+// 'E'-group reducer treats kEndRepresentative values purely as an
+// existence flag (it never emits them), so dropping all but the first in
+// a spill run cannot change the output. 'P' and 'U' groups pass through
+// untouched: every one of their records survives to the round's output,
+// so there is nothing to collapse map-side.
+class MarkDupCombiner : public Combiner {
+ public:
+  Status Combine(std::string_view key,
+                 const std::vector<std::string_view>& values,
+                 CombineEmitter* out) override {
+    if (key.empty()) return Status::Internal("empty markdup key");
+    if (key[0] != 'E') {
+      for (const auto& v : values) out->Emit(v);
+      return Status::OK();
+    }
+    bool seen_representative = false;
+    for (const auto& v : values) {
+      if (v.empty()) return Status::Corruption("short markdup value");
+      if (static_cast<MarkDupRole>(v[0]) ==
+          MarkDupRole::kEndRepresentative) {
+        if (seen_representative) continue;
+        seen_representative = true;
+      }
+      out->Emit(v);
+    }
+    return Status::OK();
+  }
+};
+
 class MarkDupReducer : public Reducer {
  public:
   Status Reduce(const std::string& key,
                 const std::vector<std::string>& values,
                 ReduceContext* ctx) override {
+    return ReduceViews(key, {values.begin(), values.end()}, ctx);
+  }
+
+  Status ReduceViews(std::string_view key,
+                     const std::vector<std::string_view>& values,
+                     ReduceContext* ctx) override {
     std::vector<MarkDupValue> decoded;
     {
       CounterTimer timer(ctx, kTransformMicros);
@@ -397,7 +468,7 @@ class SortMapper : public Mapper {
     GESALL_ASSIGN_OR_RETURN(auto dataset, BamToDataset(input, ctx));
     CounterTimer timer(ctx, kTransformMicros);
     for (const auto& r : dataset.second) {
-      ctx->Emit(EncodeCoordinateKey(r), EncodeBamRecord(r));
+      ctx->EmitView(EncodeCoordinateKey(r), EncodeBamRecord(r));
     }
     return Status::OK();
   }
@@ -408,8 +479,15 @@ class IdentityReducer : public Reducer {
   Status Reduce(const std::string& key,
                 const std::vector<std::string>& values,
                 ReduceContext* ctx) override {
+    return ReduceViews(key, {values.begin(), values.end()}, ctx);
+  }
+
+  Status ReduceViews(std::string_view key,
+                     const std::vector<std::string_view>& values,
+                     ReduceContext* ctx) override {
     (void)key;
-    for (const auto& v : values) ctx->Emit(v);
+    // First copy of the round: arena views become owned output values.
+    for (const auto& v : values) ctx->Emit(std::string(v));
     return Status::OK();
   }
 };
@@ -623,7 +701,13 @@ Status GesallPipeline::RunRound2Cleaning() {
       splits.push_back(std::move(s));
     }
   }
-  MapReduceJob job(MakeJobConfig(config_.cleaning_reducers));
+  JobConfig job_cfg = MakeJobConfig(config_.cleaning_reducers);
+  if (config_.use_combiners) {
+    job_cfg.combiner_factory = [] {
+      return std::make_unique<FixMateCombiner>();
+    };
+  }
+  MapReduceJob job(job_cfg);
   const SamHeader* header = &header_;
   ReadGroup rg = config_.read_group;
   GESALL_ASSIGN_OR_RETURN(
@@ -701,7 +785,13 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
                                                         dfs_->num_data_nodes());
     splits.push_back(std::move(s));
   }
-  MapReduceJob job(MakeJobConfig(config_.markdup_reducers));
+  JobConfig job_cfg = MakeJobConfig(config_.markdup_reducers);
+  if (config_.use_combiners) {
+    job_cfg.combiner_factory = [] {
+      return std::make_unique<MarkDupCombiner>();
+    };
+  }
+  MapReduceJob job(job_cfg);
   const BloomFilter* bloom_ptr = bloom.get();
   GESALL_ASSIGN_OR_RETURN(
       JobResult result,

@@ -52,6 +52,11 @@ struct PipelineConfig {
   int max_parallel_tasks = 4;
   /// Map-side sort buffer (mapreduce.task.io.sort.mb analog).
   int64_t sort_buffer_bytes = 64LL << 20;
+  /// Arm the map-side combiners of rounds 2 and 3 (Hadoop combiner
+  /// analog). Combiners are output-preserving: variant calls and every
+  /// per-record counter are identical either way; only map-side work
+  /// (pre-applied FixMate, deduped criterion-2 representatives) moves.
+  bool use_combiners = true;
 
   ReadGroup read_group{"rg1", "sample1", "lib1"};
   PairedAlignerOptions aligner;

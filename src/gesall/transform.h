@@ -45,10 +45,11 @@ class CounterTimer {
 };
 
 /// \brief Decodes MR values (each one serialized BAM record) into records,
-/// charging elapsed time to the transform counter.
-template <typename Ctx>
+/// charging elapsed time to the transform counter. Values may be owned
+/// strings or views into the shuffle arenas.
+template <typename Ctx, typename Value>
 Result<std::vector<SamRecord>> RecordsFromValues(
-    const std::vector<std::string>& values, Ctx* ctx) {
+    const std::vector<Value>& values, Ctx* ctx) {
   CounterTimer timer(ctx, kTransformMicros);
   std::vector<SamRecord> records;
   records.reserve(values.size());

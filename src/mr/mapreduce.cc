@@ -7,6 +7,7 @@
 #include <queue>
 #include <thread>
 
+#include "mr/shuffle_buffer.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -14,17 +15,19 @@
 
 namespace gesall {
 
-int HashPartitioner::Partition(const std::string& key,
-                               int num_partitions) const {
+int HashPartitioner::PartitionView(std::string_view key,
+                                   int num_partitions) const {
   if (num_partitions <= 1) return 0;  // <= 0 would be UB in the modulo
   return static_cast<int>(Fnv1a64(key) %
                           static_cast<uint64_t>(num_partitions));
 }
 
-int RangePartitioner::Partition(const std::string& key,
-                                int num_partitions) const {
+int RangePartitioner::PartitionView(std::string_view key,
+                                    int num_partitions) const {
   if (num_partitions <= 1) return 0;
-  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
+  auto it = std::upper_bound(
+      boundaries_.begin(), boundaries_.end(), key,
+      [](std::string_view k, const std::string& b) { return k < b; });
   int p = static_cast<int>(it - boundaries_.begin());
   return std::min(p, num_partitions - 1);
 }
@@ -55,15 +58,17 @@ Status ValidateJobConfig(const JobConfig& c, bool needs_reducers) {
     return Status::InvalidArgument(
         "speculative_slow_task_ms must be non-negative");
   }
+  if (c.speculative_win_margin_ms < 0) {
+    return Status::InvalidArgument(
+        "speculative_win_margin_ms must be non-negative");
+  }
   return Status::OK();
 }
 
-// A sorted run of one map task's output for one reduce partition.
-using SortedRun = std::vector<KeyValue>;
-
-// Per-map-task output: runs[partition] = list of sorted spill runs.
+// Per-map-task output: the frozen arena shuffle (at most one sorted run
+// per partition after Finish) plus bookkeeping.
 struct MapTaskOutput {
-  std::vector<std::vector<SortedRun>> runs;
+  std::unique_ptr<ShuffleBuffer> shuffle;
   JobCounters counters;
   TaskRecord record;
   Status status;
@@ -128,13 +133,21 @@ void RunTaskAttempts(const JobConfig& cfg, const Fn& run_attempt,
           seconds * 1000.0 >= cfg.speculative_slow_task_ms) {
         // Straggler: launch one backup attempt (numbered past the retry
         // range so scheduled/latency faults aimed at regular attempts
-        // miss it) and keep whichever finished first.
+        // miss it) and keep whichever finished first. Tie-break: the
+        // backup must beat the original by MORE than the configured win
+        // margin; otherwise the original deterministically wins. The
+        // margin caps the measured-duration comparison so two attempts
+        // with identical injected latency (which differ only by
+        // scheduler jitter) cannot nondeterministically flip speculative
+        // bookkeeping.
         stats->speculative_launched = true;
         TaskOut backup{};
         run_attempt(cfg.max_task_attempts + attempt, &backup);
         double backup_seconds =
             backup.record.end_seconds - backup.record.start_seconds;
-        if (backup.status.ok() && backup_seconds < seconds) {
+        if (backup.status.ok() &&
+            (seconds - backup_seconds) * 1000.0 >
+                cfg.speculative_win_margin_ms) {
           backup.record.speculative = true;
           stats->speculative_won = true;
           *out = std::move(backup);
@@ -154,95 +167,67 @@ void RunTaskAttempts(const JobConfig& cfg, const Fn& run_attempt,
 class MapContextImpl : public MapContext {
  public:
   MapContextImpl(const Partitioner* partitioner, int num_partitions,
-                 int64_t sort_buffer_bytes, MapTaskOutput* out)
+                 int64_t sort_buffer_bytes, Combiner* combiner,
+                 MapTaskOutput* out)
       : partitioner_(partitioner), num_partitions_(num_partitions),
-        sort_buffer_bytes_(sort_buffer_bytes), out_(out) {
-    buffer_.resize(num_partitions);
-    out_->runs.resize(num_partitions);
+        out_(out) {
+    out_->shuffle = std::make_unique<ShuffleBuffer>(
+        num_partitions, sort_buffer_bytes, combiner);
   }
 
   void Emit(std::string key, std::string value) override {
-    int p = partitioner_->Partition(key, num_partitions_);
-    buffered_bytes_ +=
-        static_cast<int64_t>(key.size() + value.size() + 16);
-    out_->counters.Add("map_output_records", 1);
-    out_->counters.Add("map_output_bytes",
-                       static_cast<int64_t>(key.size() + value.size()));
-    buffer_[p].push_back({std::move(key), std::move(value)});
-    if (buffered_bytes_ > sort_buffer_bytes_) Spill();
+    EmitView(key, value);
+  }
+
+  void EmitView(std::string_view key, std::string_view value) override {
+    if (!emit_status_.ok()) return;  // combiner already failed; drop
+    int p = partitioner_->PartitionView(key, num_partitions_);
+    ++records_;
+    bytes_ += static_cast<int64_t>(key.size() + value.size());
+    emit_status_ = out_->shuffle->Add(p, key, value);
   }
 
   void IncrementCounter(const std::string& name, int64_t delta) override {
     out_->counters.Add(name, delta);
   }
 
-  // Sorts and freezes the current buffer as one spill run per partition.
-  void Spill() {
-    bool any = false;
-    for (int p = 0; p < num_partitions_; ++p) {
-      if (buffer_[p].empty()) continue;
-      any = true;
-      std::stable_sort(buffer_[p].begin(), buffer_[p].end(),
-                       [](const KeyValue& a, const KeyValue& b) {
-                         return a.key < b.key;
-                       });
-      out_->runs[p].push_back(std::move(buffer_[p]));
-      buffer_[p].clear();
+  // Flushes the batched per-record engine counters (hoisted out of the
+  // Emit hot path) into the task counters.
+  void FlushCounters() {
+    if (records_ > 0) {
+      out_->counters.Add("map_output_records", records_);
+      out_->counters.Add("map_output_bytes", bytes_);
     }
-    if (any) out_->counters.Add("map_spills", 1);
-    buffered_bytes_ = 0;
+    records_ = 0;
+    bytes_ = 0;
   }
 
-  // Map-side merge: collapses spill runs into one sorted run per
-  // partition, charging merge bytes (the Fig. 5(b) overhead).
-  void FinishTask() {
-    Spill();
-    for (int p = 0; p < num_partitions_; ++p) {
-      auto& runs = out_->runs[p];
-      if (runs.size() <= 1) continue;
-      int64_t merge_bytes = 0;
-      size_t total = 0;
-      for (const auto& run : runs) {
-        total += run.size();
-        for (const auto& kv : run) {
-          merge_bytes +=
-              static_cast<int64_t>(kv.key.size() + kv.value.size());
-        }
-      }
-      out_->counters.Add("map_merge_bytes", merge_bytes);
-      SortedRun merged;
-      merged.reserve(total);
-      // K-way merge, stable across run creation order.
-      using Cursor = std::pair<size_t, size_t>;  // (run, offset)
-      auto less = [&runs](const Cursor& a, const Cursor& b) {
-        const KeyValue& ka = runs[a.first][a.second];
-        const KeyValue& kb = runs[b.first][b.second];
-        if (ka.key != kb.key) return ka.key > kb.key;  // min-heap
-        return a.first > b.first;
-      };
-      std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)> heap(
-          less);
-      for (size_t r = 0; r < runs.size(); ++r) {
-        if (!runs[r].empty()) heap.push({r, 0});
-      }
-      while (!heap.empty()) {
-        auto [r, o] = heap.top();
-        heap.pop();
-        merged.push_back(std::move(runs[r][o]));
-        if (o + 1 < runs[r].size()) heap.push({r, o + 1});
-      }
-      runs.clear();
-      runs.push_back(std::move(merged));
+  // Final spill + map-side merge (the Fig. 5(b) overhead), then counter
+  // flush. Propagates deferred combiner failures.
+  Status FinishTask() {
+    GESALL_RETURN_NOT_OK(emit_status_);
+    GESALL_RETURN_NOT_OK(out_->shuffle->Finish());
+    FlushCounters();
+    const ShuffleStats& s = out_->shuffle->stats();
+    if (s.spills > 0) out_->counters.Add("map_spills", s.spills);
+    if (s.merge_bytes > 0) {
+      out_->counters.Add("map_merge_bytes", s.merge_bytes);
     }
+    if (s.combine_input_records > 0) {
+      out_->counters.Add("combine_input_records", s.combine_input_records);
+      out_->counters.Add("combine_output_records",
+                         s.combine_output_records);
+    }
+    return Status::OK();
   }
 
  private:
   const Partitioner* partitioner_;
   int num_partitions_;
-  int64_t sort_buffer_bytes_;
   MapTaskOutput* out_;
-  std::vector<SortedRun> buffer_;
-  int64_t buffered_bytes_ = 0;
+  Status emit_status_;
+  int64_t records_ = 0;
+  int64_t bytes_ = 0;
 };
 
 class ReduceContextImpl : public ReduceContext {
@@ -251,18 +236,27 @@ class ReduceContextImpl : public ReduceContext {
                              JobCounters* counters)
       : out_(out), counters_(counters) {}
   void Emit(std::string value) override {
-    counters_->Add("reduce_output_records", 1);
-    counters_->Add("reduce_output_bytes",
-                   static_cast<int64_t>(value.size()));
+    ++records_;
+    bytes_ += static_cast<int64_t>(value.size());
     out_->push_back(std::move(value));
   }
   void IncrementCounter(const std::string& name, int64_t delta) override {
     counters_->Add(name, delta);
   }
+  void FlushCounters() {
+    if (records_ > 0) {
+      counters_->Add("reduce_output_records", records_);
+      counters_->Add("reduce_output_bytes", bytes_);
+    }
+    records_ = 0;
+    bytes_ = 0;
+  }
 
  private:
   std::vector<std::string>* out_;
   JobCounters* counters_;
+  int64_t records_ = 0;
+  int64_t bytes_ = 0;
 };
 
 // Map-only contexts collect values directly (keys ignored).
@@ -272,18 +266,33 @@ class MapOnlyContext : public MapContext {
       : values_(values), counters_(counters) {}
   void Emit(std::string key, std::string value) override {
     (void)key;
-    counters_->Add("map_output_records", 1);
-    counters_->Add("map_output_bytes",
-                   static_cast<int64_t>(value.size()));
+    ++records_;
+    bytes_ += static_cast<int64_t>(value.size());
     values_->push_back(std::move(value));
+  }
+  void EmitView(std::string_view key, std::string_view value) override {
+    (void)key;
+    ++records_;
+    bytes_ += static_cast<int64_t>(value.size());
+    values_->emplace_back(value);
   }
   void IncrementCounter(const std::string& name, int64_t delta) override {
     counters_->Add(name, delta);
+  }
+  void FlushCounters() {
+    if (records_ > 0) {
+      counters_->Add("map_output_records", records_);
+      counters_->Add("map_output_bytes", bytes_);
+    }
+    records_ = 0;
+    bytes_ = 0;
   }
 
  private:
   std::vector<std::string>* values_;
   JobCounters* counters_;
+  int64_t records_ = 0;
+  int64_t bytes_ = 0;
 };
 
 // Shared prologue of one map attempt: injected straggler latency, then
@@ -333,7 +342,7 @@ void FinalizeMapTask(const JobConfig& cfg, const AttemptStats& stats,
 
 }  // namespace
 
-MapReduceJob::MapReduceJob(JobConfig config) : config_(config) {}
+MapReduceJob::MapReduceJob(JobConfig config) : config_(std::move(config)) {}
 
 Result<JobResult> MapReduceJob::RunMapOnly(
     const std::vector<InputSplit>& splits,
@@ -361,6 +370,7 @@ Result<JobResult> MapReduceJob::RunMapOnly(
             MapOnlyContext ctx(&out->values, &out->counters);
             auto mapper = mapper_factory();
             out->status = mapper->Map(input.ValueOrDie(), &ctx);
+            ctx.FlushCounters();
             out->record.input_bytes =
                 static_cast<int64_t>(input.ValueOrDie().size());
             out->record.output_bytes =
@@ -413,11 +423,21 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
               LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
                                config_.fault_injector);
           if (input.ok()) {
+            // Each attempt gets a fresh combiner instance so stateful
+            // combiners cannot leak state across attempts.
+            std::unique_ptr<Combiner> combiner;
+            if (config_.combiner_factory) {
+              combiner = config_.combiner_factory();
+            }
             MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
-                               out);
+                               combiner.get(), out);
             auto mapper = mapper_factory();
             out->status = mapper->Map(input.ValueOrDie(), &ctx);
-            if (out->status.ok()) ctx.FinishTask();
+            if (out->status.ok()) {
+              out->status = ctx.FinishTask();
+            } else {
+              ctx.FlushCounters();
+            }
             out->record.input_bytes =
                 static_cast<int64_t>(input.ValueOrDie().size());
             out->record.output_bytes =
@@ -444,7 +464,7 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
   }
 
   // Shuffle + reduce (map outputs are stable across reduce attempts, so
-  // a retried reducer re-merges the same runs).
+  // a retried reducer re-merges the same frozen runs).
   result.reducer_outputs.resize(R);
   std::vector<ReduceTaskOutput> reduce_outputs(R);
   {
@@ -471,65 +491,49 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
               return;
             }
           }
-          // Gather this partition's sorted run from every map task (each
+          // Gather this partition's frozen run from every map task (each
           // task has at most one run per partition after the map-side
-          // merge) and merge them, stable by map task index.
-          std::vector<const SortedRun*> runs;
+          // merge) and merge the entry indexes, stable by map task
+          // index. No key/value bytes are copied: entries are views into
+          // the map tasks' arenas.
+          std::vector<const ShuffleRun*> runs;
           int64_t shuffle_bytes = 0, shuffle_records = 0;
           for (const auto& map_out : outputs) {
-            if (r < static_cast<int>(map_out.runs.size())) {
-              for (const auto& run : map_out.runs[r]) {
-                runs.push_back(&run);
-                shuffle_records += static_cast<int64_t>(run.size());
-                for (const auto& kv : run) {
-                  shuffle_bytes +=
-                      static_cast<int64_t>(kv.key.size() + kv.value.size());
-                }
+            if (map_out.shuffle == nullptr) continue;  // skipped split
+            if (r >= map_out.shuffle->num_partitions()) continue;
+            for (const auto& run : map_out.shuffle->runs(r)) {
+              runs.push_back(&run);
+              shuffle_records += static_cast<int64_t>(run.size());
+              for (const auto& e : run) {
+                shuffle_bytes +=
+                    static_cast<int64_t>(e.key.size() + e.value.size());
               }
             }
           }
           out->counters.Add("reduce_shuffle_bytes", shuffle_bytes);
           out->counters.Add("reduce_shuffle_records", shuffle_records);
 
-          using Cursor = std::pair<size_t, size_t>;
-          auto less = [&runs](const Cursor& a, const Cursor& b) {
-            const KeyValue& ka = (*runs[a.first])[a.second];
-            const KeyValue& kb = (*runs[b.first])[b.second];
-            if (ka.key != kb.key) return ka.key > kb.key;
-            return a.first > b.first;
-          };
-          std::priority_queue<Cursor, std::vector<Cursor>, decltype(less)>
-              heap(less);
-          for (size_t i = 0; i < runs.size(); ++i) {
-            if (!runs[i]->empty()) heap.push({i, 0});
-          }
-
+          ShuffleRunMerger merger(runs);
           ReduceContextImpl ctx(&out->values, &out->counters);
           auto reducer = reducer_factory();
-          std::string current_key;
-          std::vector<std::string> values;
-          bool have_key = false;
+          const ShuffleEntry* current = nullptr;
+          std::vector<std::string_view> values;
           auto flush = [&]() -> Status {
-            if (!have_key) return Status::OK();
-            return reducer->Reduce(current_key, values, &ctx);
+            if (current == nullptr) return Status::OK();
+            return reducer->ReduceViews(current->key, values, &ctx);
           };
           Status st;
-          while (!heap.empty() && st.ok()) {
-            auto [run_idx, off] = heap.top();
-            heap.pop();
-            const KeyValue& kv = (*runs[run_idx])[off];
-            if (!have_key || kv.key != current_key) {
+          for (const ShuffleEntry* e = merger.Next();
+               e != nullptr && st.ok(); e = merger.Next()) {
+            if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
               st = flush();
-              current_key = kv.key;
+              current = e;  // stable: frozen runs never reallocate
               values.clear();
-              have_key = true;
             }
-            values.push_back(kv.value);
-            if (off + 1 < runs[run_idx]->size()) {
-              heap.push({run_idx, off + 1});
-            }
+            values.push_back(e->value);
           }
           if (st.ok()) st = flush();
+          ctx.FlushCounters();
           out->status = st;
           out->record.end_seconds = job_clock.ElapsedSeconds();
           out->record.input_bytes = shuffle_bytes;

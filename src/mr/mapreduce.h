@@ -7,6 +7,12 @@
 // group. Execution is multi-threaded but the output is deterministic:
 // ties between equal keys resolve by (map task index, emission order).
 //
+// The shuffle data path is zero-copy (see mr/shuffle_buffer.h): emitted
+// bytes land in per-partition arenas, sorting and merging move 40-byte
+// index entries, and reducers receive string_view groups into the frozen
+// arenas. An optional JobConfig::combiner_factory arms a Hadoop-style
+// map-side combiner over every sorted spill run.
+//
 // Fault tolerance mirrors Hadoop's task-attempt model: a failed task
 // attempt (split load error, mapper/reducer error, or injected fault) is
 // retried up to JobConfig::max_task_attempts times with capped
@@ -24,19 +30,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "mr/shuffle_buffer.h"
 #include "util/status.h"
 
 namespace gesall {
 
 class FaultInjector;
-
-/// \brief One intermediate record.
-struct KeyValue {
-  std::string key;
-  std::string value;
-};
 
 /// \brief Named job counters (Hadoop-counter analog).
 class JobCounters {
@@ -60,6 +62,13 @@ class MapContext {
  public:
   virtual ~MapContext() = default;
   virtual void Emit(std::string key, std::string value) = 0;
+  /// Zero-copy emit: the engine copies the bytes straight into its
+  /// shuffle arena, so hot mappers can emit from scratch buffers without
+  /// constructing std::strings. Default bridges to Emit() for custom
+  /// contexts.
+  virtual void EmitView(std::string_view key, std::string_view value) {
+    Emit(std::string(key), std::string(value));
+  }
   virtual void IncrementCounter(const std::string& name,
                                 int64_t delta = 1) = 0;
 };
@@ -89,6 +98,18 @@ class Reducer {
   virtual Status Reduce(const std::string& key,
                         const std::vector<std::string>& values,
                         ReduceContext* ctx) = 0;
+  /// Zero-copy entry point the engine actually calls: key and values are
+  /// views into the frozen shuffle arenas, valid for the duration of the
+  /// call. The default materializes owned strings and delegates to
+  /// Reduce(), so existing reducers work unchanged; hot reducers
+  /// override this to skip the copies.
+  virtual Status ReduceViews(std::string_view key,
+                             const std::vector<std::string_view>& values,
+                             ReduceContext* ctx) {
+    return Reduce(std::string(key),
+                  std::vector<std::string>(values.begin(), values.end()),
+                  ctx);
+  }
 };
 
 /// \brief Routes keys to reducers.
@@ -97,12 +118,20 @@ class Partitioner {
   virtual ~Partitioner() = default;
   virtual int Partition(const std::string& key,
                         int num_partitions) const = 0;
+  /// Zero-copy variant used by the engine's emit path. Default bridges
+  /// to Partition() for custom partitioners.
+  virtual int PartitionView(std::string_view key, int num_partitions) const {
+    return Partition(std::string(key), num_partitions);
+  }
 };
 
 /// \brief Default: stable hash of the key bytes.
 class HashPartitioner : public Partitioner {
  public:
-  int Partition(const std::string& key, int num_partitions) const override;
+  int Partition(const std::string& key, int num_partitions) const override {
+    return PartitionView(key, num_partitions);
+  }
+  int PartitionView(std::string_view key, int num_partitions) const override;
 };
 
 /// \brief Range partitioner over sorted split points: keys below
@@ -111,7 +140,10 @@ class RangePartitioner : public Partitioner {
  public:
   explicit RangePartitioner(std::vector<std::string> boundaries)
       : boundaries_(std::move(boundaries)) {}
-  int Partition(const std::string& key, int num_partitions) const override;
+  int Partition(const std::string& key, int num_partitions) const override {
+    return PartitionView(key, num_partitions);
+  }
+  int PartitionView(std::string_view key, int num_partitions) const override;
 
  private:
   std::vector<std::string> boundaries_;
@@ -136,6 +168,11 @@ struct JobConfig {
   /// Fraction of maps that must finish before reducers start (recorded in
   /// counters for the simulator; functional execution is unaffected).
   double slowstart_completed_maps = 0.05;
+  /// Optional map-side combiner (Hadoop combiner analog): runs over every
+  /// sorted spill run before it freezes, collapsing each key group's
+  /// values. Must be an associative pre-reduce that does not change the
+  /// job's final output (see Combiner). Unset disables combining.
+  CombinerFactory combiner_factory;
 
   // --- Fault tolerance (Hadoop task-attempt analogs) ---
 
@@ -150,6 +187,12 @@ struct JobConfig {
   bool speculative_execution = false;
   /// A successful attempt slower than this is considered a straggler.
   int speculative_slow_task_ms = 100;
+  /// A speculative backup only wins when it beats the original attempt's
+  /// measured duration by MORE than this margin; ties and sub-margin
+  /// differences deterministically keep the original attempt. This caps
+  /// the duration comparison so two attempts suffering identical
+  /// injected latency cannot flip the verdict on scheduler jitter.
+  int speculative_win_margin_ms = 1;
   /// After exhausted map retries, isolate the poison split (counted and
   /// listed in JobResult::skipped_splits) instead of failing the job
   /// (mapreduce.map.skip analog).

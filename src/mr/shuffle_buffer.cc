@@ -1,0 +1,129 @@
+#include "mr/shuffle_buffer.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace gesall {
+
+namespace {
+
+// Appends combiner output for one key group into the frozen run,
+// charging combined values to the partition arena.
+class ArenaCombineEmitter : public CombineEmitter {
+ public:
+  ArenaCombineEmitter(Arena* arena, const ShuffleEntry* group,
+                      ShuffleRun* out, int64_t* emitted)
+      : arena_(arena), group_(group), out_(out), emitted_(emitted) {}
+
+  void Emit(std::string_view value) override {
+    out_->push_back({group_->prefix, group_->prefix2, group_->key,
+                     arena_->Append(value)});
+    ++*emitted_;
+  }
+
+ private:
+  Arena* arena_;
+  const ShuffleEntry* group_;
+  ShuffleRun* out_;
+  int64_t* emitted_;
+};
+
+}  // namespace
+
+ShuffleBuffer::ShuffleBuffer(int num_partitions, int64_t sort_buffer_bytes,
+                             Combiner* combiner)
+    : sort_buffer_bytes_(sort_buffer_bytes), combiner_(combiner),
+      parts_(num_partitions > 0 ? num_partitions : 0) {}
+
+Status ShuffleBuffer::Add(int p, std::string_view key,
+                          std::string_view value) {
+  Partition& part = parts_[p];
+  std::string_view stored_key = part.arena.Append(key);
+  std::string_view stored_value = part.arena.Append(value);
+  part.pending.push_back(MakeShuffleEntry(stored_key, stored_value));
+  // Same accounting as the pre-arena engine: key + value + 16 bytes of
+  // per-record overhead against the sort buffer.
+  buffered_bytes_ += static_cast<int64_t>(key.size() + value.size() + 16);
+  if (buffered_bytes_ > sort_buffer_bytes_) return SpillAll();
+  return Status::OK();
+}
+
+Status ShuffleBuffer::SpillAll() {
+  bool any = false;
+  for (auto& part : parts_) {
+    if (part.pending.empty()) continue;
+    any = true;
+    GESALL_RETURN_NOT_OK(SpillPartition(&part));
+  }
+  if (any) ++stats_.spills;
+  buffered_bytes_ = 0;
+  return Status::OK();
+}
+
+Status ShuffleBuffer::SpillPartition(Partition* part) {
+  // Stable sort keeps equal keys in emission order — the engine's
+  // documented (map task, emission order) tie-break.
+  std::stable_sort(part->pending.begin(), part->pending.end(),
+                   ShuffleKeyLess);
+  if (combiner_ == nullptr) {
+    part->runs.push_back(std::move(part->pending));
+    part->pending.clear();
+    return Status::OK();
+  }
+  ShuffleRun combined;
+  std::vector<std::string_view> values;
+  const ShuffleRun& run = part->pending;
+  for (size_t i = 0; i < run.size();) {
+    size_t j = i;
+    values.clear();
+    while (j < run.size() && ShuffleKeyEqual(run[j], run[i])) {
+      values.push_back(run[j].value);
+      ++j;
+    }
+    stats_.combine_input_records += static_cast<int64_t>(j - i);
+    ArenaCombineEmitter emit(&part->arena, &run[i], &combined,
+                             &stats_.combine_output_records);
+    GESALL_RETURN_NOT_OK(combiner_->Combine(run[i].key, values, &emit));
+    i = j;
+  }
+  part->runs.push_back(std::move(combined));
+  part->pending.clear();
+  return Status::OK();
+}
+
+void ShuffleBuffer::MergePartition(Partition* part) {
+  auto& runs = part->runs;
+  size_t total = 0;
+  for (const auto& run : runs) {
+    total += run.size();
+    for (const auto& e : run) {
+      stats_.merge_bytes +=
+          static_cast<int64_t>(e.key.size() + e.value.size());
+    }
+  }
+  ShuffleRun merged;
+  merged.reserve(total);
+  // K-way merge over the entry index: no key/value bytes move, only
+  // 48-byte entries. Stable across run creation order.
+  std::vector<const ShuffleRun*> run_ptrs;
+  run_ptrs.reserve(runs.size());
+  for (const auto& run : runs) run_ptrs.push_back(&run);
+  ShuffleRunMerger merger(run_ptrs);
+  for (const ShuffleEntry* e = merger.Next(); e != nullptr;
+       e = merger.Next()) {
+    merged.push_back(*e);
+  }
+  runs.clear();
+  runs.push_back(std::move(merged));
+}
+
+Status ShuffleBuffer::Finish() {
+  GESALL_RETURN_NOT_OK(SpillAll());
+  for (auto& part : parts_) {
+    if (part.runs.size() > 1) MergePartition(&part);
+  }
+  return Status::OK();
+}
+
+}  // namespace gesall

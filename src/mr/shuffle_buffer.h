@@ -1,0 +1,259 @@
+// Zero-copy shuffle data path of the MapReduce engine (paper §3.1, the
+// map-side spill/merge machinery measured in Fig. 5(b) and Fig. 6).
+//
+// Every emitted key/value is copied once into a per-partition byte arena
+// and indexed by a 48-byte ShuffleEntry (16-byte inlined key head + two
+// views). Sorting moves entries, not strings; the map-side merge and the
+// reduce-side k-way merge compare the big-endian key-head words first
+// and touch the full key bytes only on a 16-byte tie. Frozen runs stay valid
+// as views into the arenas for the lifetime of the ShuffleBuffer, so the
+// reduce side groups values with zero per-record copies.
+//
+// An optional Combiner (Hadoop combiner semantics: an associative,
+// output-preserving pre-reduce) runs over each sorted spill run before it
+// freezes, collapsing a key group's values map-side; combined values are
+// appended to the same arena.
+
+#ifndef GESALL_MR_SHUFFLE_BUFFER_H_
+#define GESALL_MR_SHUFFLE_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Index entry for one record in a shuffle arena.
+///
+/// The first 16 key bytes are inlined as two big-endian integers so most
+/// comparisons never touch the arena. 16 bytes (not the classic 8)
+/// because GDPT coordinate keys open with a constant flag byte plus the
+/// 0x80-biased high bytes of the reference id — their discriminating
+/// bytes (reference low byte, position) sit at offsets 8..16, where the
+/// second prefix word catches them.
+struct ShuffleEntry {
+  uint64_t prefix = 0;   // key bytes 0..7, big-endian, zero-padded
+  uint64_t prefix2 = 0;  // key bytes 8..15, big-endian, zero-padded
+  std::string_view key;
+  std::string_view value;
+};
+
+/// \brief Big-endian, zero-padded 8-byte word of a key at `offset`.
+inline uint64_t ShuffleKeyWord(std::string_view key, size_t offset) {
+  uint64_t p = 0;
+  const size_t end = key.size() < offset + 8 ? key.size() : offset + 8;
+  for (size_t i = offset; i < end; ++i) {
+    p |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
+         << (56 - 8 * (i - offset));
+  }
+  return p;
+}
+
+/// \brief Big-endian, zero-padded 8-byte prefix of a key.
+inline uint64_t ShuffleKeyPrefix(std::string_view key) {
+  return ShuffleKeyWord(key, 0);
+}
+
+inline ShuffleEntry MakeShuffleEntry(std::string_view key,
+                                     std::string_view value) {
+  return {ShuffleKeyWord(key, 0), ShuffleKeyWord(key, 8), key, value};
+}
+
+/// Bytewise key order (identical to std::string comparison of the keys)
+/// with the integer prefix fast path. A differing prefix word decides
+/// correctly even across key lengths: zero padding sorts a shorter key
+/// before any longer key it prefixes, matching lexicographic order. Only
+/// a full 16-byte tie falls through to the key bytes.
+inline bool ShuffleKeyLess(const ShuffleEntry& a, const ShuffleEntry& b) {
+  if (a.prefix != b.prefix) return a.prefix < b.prefix;
+  if (a.prefix2 != b.prefix2) return a.prefix2 < b.prefix2;
+  if (a.key.size() > 16 && b.key.size() > 16) {
+    return a.key.substr(16) < b.key.substr(16);
+  }
+  return a.key < b.key;
+}
+
+inline bool ShuffleKeyEqual(const ShuffleEntry& a, const ShuffleEntry& b) {
+  return a.prefix == b.prefix && a.prefix2 == b.prefix2 && a.key == b.key;
+}
+
+/// \brief Sink for values a Combiner re-emits for the current key group.
+class CombineEmitter {
+ public:
+  virtual ~CombineEmitter() = default;
+  /// The bytes are copied into the shuffle arena before returning, so
+  /// the caller may reuse its buffer.
+  virtual void Emit(std::string_view value) = 0;
+};
+
+/// \brief Map-side pre-reduce (Hadoop combiner semantics).
+///
+/// Called once per key group of a sorted spill run, with the group's
+/// values in emission order. The values emitted through `out` replace
+/// the group's values (the key is unchanged) in the frozen run. A
+/// combiner MUST be an associative, order-respecting pre-reduce that
+/// does not change the job's final reducer output: the engine may run it
+/// zero or more times over any subset of a key's values (a key group can
+/// span spill runs and map tasks), so `reduce(combine(xs)) ==
+/// reduce(xs)` must hold.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  virtual Status Combine(std::string_view key,
+                         const std::vector<std::string_view>& values,
+                         CombineEmitter* out) = 0;
+};
+
+using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;
+
+/// \brief One frozen, key-sorted run of entries.
+using ShuffleRun = std::vector<ShuffleEntry>;
+
+/// \brief K-way merge over sorted shuffle runs, in key order with ties
+/// broken by run index (run creation order), matching the engine's
+/// (map task, emission order) determinism contract.
+///
+/// The heap nodes cache each run head's 16-byte key head, so a merge
+/// step usually costs a few integer compares with no pointer chasing;
+/// the top cursor is advanced in place (one sift) instead of a
+/// pop-push pair.
+class ShuffleRunMerger {
+ public:
+  explicit ShuffleRunMerger(const std::vector<const ShuffleRun*>& runs) {
+    cursors_.reserve(runs.size());
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (runs[r]->empty()) continue;
+      const ShuffleEntry* first = runs[r]->data();
+      cursors_.push_back({first->prefix, first->prefix2, first,
+                          first + runs[r]->size(), r});
+    }
+    for (size_t i = cursors_.size() / 2; i-- > 0;) SiftDown(i);
+  }
+
+  /// Next entry in merged order, or nullptr when drained. The pointer
+  /// stays valid for the lifetime of the runs.
+  const ShuffleEntry* Next() {
+    if (cursors_.empty()) return nullptr;
+    Cursor& top = cursors_[0];
+    const ShuffleEntry* out = top.cur;
+    ++top.cur;
+    if (top.cur == top.end) {
+      cursors_[0] = cursors_.back();
+      cursors_.pop_back();
+    } else {
+      top.prefix = top.cur->prefix;
+      top.prefix2 = top.cur->prefix2;
+    }
+    if (!cursors_.empty()) SiftDown(0);
+    return out;
+  }
+
+ private:
+  struct Cursor {
+    uint64_t prefix;   // cached cur->prefix
+    uint64_t prefix2;  // cached cur->prefix2
+    const ShuffleEntry* cur;
+    const ShuffleEntry* end;
+    size_t run;
+  };
+
+  // Strict weak order: key bytes, then run index (never equal).
+  bool Before(const Cursor& a, const Cursor& b) const {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    if (a.prefix2 != b.prefix2) return a.prefix2 < b.prefix2;
+    std::string_view ka = a.cur->key;
+    std::string_view kb = b.cur->key;
+    if (ka.size() > 16 && kb.size() > 16) {
+      ka = ka.substr(16);
+      kb = kb.substr(16);
+    }
+    int cmp = ka.compare(kb);
+    if (cmp != 0) return cmp < 0;
+    return a.run < b.run;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = cursors_.size();
+    while (true) {
+      size_t best = i;
+      const size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && Before(cursors_[l], cursors_[best])) best = l;
+      if (r < n && Before(cursors_[r], cursors_[best])) best = r;
+      if (best == i) return;
+      std::swap(cursors_[i], cursors_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Cursor> cursors_;
+};
+
+/// \brief Spill/merge/combine accounting of one map task's shuffle.
+struct ShuffleStats {
+  int64_t spills = 0;
+  /// Bytes rewritten by the map-side merge of multi-run partitions (the
+  /// Fig. 5(b) "merge bytes" overhead).
+  int64_t merge_bytes = 0;
+  int64_t combine_input_records = 0;
+  int64_t combine_output_records = 0;
+};
+
+/// \brief Per-map-task shuffle accumulator: per-partition arenas plus
+/// sorted spill runs, with Hadoop sort-and-spill semantics.
+///
+/// Usage: Add() every record; Finish() once; then read runs(p). After
+/// Finish every partition holds at most one run. Entry views stay valid
+/// for the lifetime of this object (it owns the arenas), including after
+/// the object is moved.
+class ShuffleBuffer {
+ public:
+  /// `sort_buffer_bytes` is the spill threshold over the buffered-record
+  /// accounting (key + value + per-record overhead), the
+  /// mapreduce.task.io.sort.mb analog. `combiner` (optional, not owned)
+  /// runs over every sorted spill run before it freezes.
+  ShuffleBuffer(int num_partitions, int64_t sort_buffer_bytes,
+                Combiner* combiner = nullptr);
+
+  ShuffleBuffer(ShuffleBuffer&&) = default;
+  ShuffleBuffer& operator=(ShuffleBuffer&&) = default;
+
+  /// Copies one record into partition `p`'s arena. May spill (sort +
+  /// combine + freeze) every partition when the buffered accounting
+  /// exceeds the sort buffer. Fails only if the combiner fails.
+  Status Add(int p, std::string_view key, std::string_view value);
+
+  /// Final spill plus the map-side merge: collapses each partition's
+  /// spill runs into one sorted run, charging merge bytes.
+  Status Finish();
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  const std::vector<ShuffleRun>& runs(int p) const { return parts_[p].runs; }
+  const ShuffleStats& stats() const { return stats_; }
+
+ private:
+  struct Partition {
+    Arena arena;
+    ShuffleRun pending;  // unsorted entries since the last spill
+    std::vector<ShuffleRun> runs;
+  };
+
+  Status SpillAll();
+  Status SpillPartition(Partition* part);
+  void MergePartition(Partition* part);
+
+  int64_t sort_buffer_bytes_;
+  int64_t buffered_bytes_ = 0;
+  Combiner* combiner_;
+  ShuffleStats stats_;
+  std::vector<Partition> parts_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_MR_SHUFFLE_BUFFER_H_

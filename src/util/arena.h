@@ -1,0 +1,87 @@
+// Append-only byte arena with stable addresses.
+//
+// The shuffle data path copies every emitted key/value into an arena
+// exactly once and then refers to the bytes through std::string_view for
+// the rest of the round (sort, spill, merge, reduce) — one heap
+// allocation per arena block instead of one per record. Blocks are never
+// reallocated, so views handed out by Append stay valid until Clear()
+// or destruction, including across moves of the Arena itself.
+
+#ifndef GESALL_UTIL_ARENA_H_
+#define GESALL_UTIL_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace gesall {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 1 << 20;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Copies `bytes` into the arena and returns a stable view of the copy.
+  std::string_view Append(std::string_view bytes) {
+    if (bytes.empty()) return std::string_view();
+    if (bytes.size() > remaining_) {
+      // Oversized payloads get a dedicated block so the partially-filled
+      // current block keeps accepting small appends.
+      if (bytes.size() >= block_bytes_ / 2) {
+        char* block = NewBlock(bytes.size());
+        std::memcpy(block, bytes.data(), bytes.size());
+        bytes_used_ += bytes.size();
+        return std::string_view(block, bytes.size());
+      }
+      head_ = NewBlock(block_bytes_);
+      remaining_ = block_bytes_;
+    }
+    char* dst = head_;
+    std::memcpy(dst, bytes.data(), bytes.size());
+    head_ += bytes.size();
+    remaining_ -= bytes.size();
+    bytes_used_ += bytes.size();
+    return std::string_view(dst, bytes.size());
+  }
+
+  /// Payload bytes stored (not block capacity).
+  int64_t bytes_used() const { return bytes_used_; }
+
+  /// Heap allocations performed so far (one per block).
+  int64_t block_allocations() const {
+    return static_cast<int64_t>(blocks_.size());
+  }
+
+  /// Releases every block. Invalidates all previously returned views.
+  void Clear() {
+    blocks_.clear();
+    head_ = nullptr;
+    remaining_ = 0;
+    bytes_used_ = 0;
+  }
+
+ private:
+  char* NewBlock(size_t size) {
+    blocks_.push_back(std::make_unique<char[]>(size));
+    return blocks_.back().get();
+  }
+
+  size_t block_bytes_;
+  char* head_ = nullptr;
+  size_t remaining_ = 0;
+  int64_t bytes_used_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_ARENA_H_

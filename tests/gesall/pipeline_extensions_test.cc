@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "analysis/recalibration.h"
 #include "formats/bam.h"
@@ -216,6 +217,45 @@ TEST_F(PipelineExtensionsTest, OverlappingSegmentsUseIndexAndMatch) {
                               seg_variants.ValueOrDie());
   EXPECT_LT(disc.d_count(),
             static_cast<int64_t>(disc.concordant.size()) / 10 + 5);
+}
+
+TEST_F(PipelineExtensionsTest, CombinerRoundsPreserveOutputExactly) {
+  // The Round-2 FixMate combiner and Round-3 representative-dedup
+  // combiner are output-preserving: with a sort buffer small enough to
+  // force spill-level combining, every stage's records and the final
+  // variant calls must be byte-identical to a combiner-off run.
+  auto run = [&](bool use_combiners) {
+    DfsOptions dopt;
+    dopt.block_size = 256 * 1024;
+    auto dfs = std::make_unique<Dfs>(dopt);
+    PipelineConfig cfg;
+    cfg.use_combiners = use_combiners;
+    cfg.sort_buffer_bytes = 64 << 10;  // spill-heavy
+    auto pipe = MakePipeline(dfs.get(), cfg);
+    auto variants = pipe->RunAll();
+    EXPECT_TRUE(variants.ok()) << variants.status().ToString();
+    return std::make_tuple(std::move(dfs), std::move(pipe),
+                           variants.ValueOrDie());
+  };
+  auto [dfs_on, pipe_on, variants_on] = run(true);
+  auto [dfs_off, pipe_off, variants_off] = run(false);
+
+  EXPECT_EQ(variants_on, variants_off);
+  for (const char* stage : {"cleaned", "dedup", "sorted"}) {
+    EXPECT_EQ(pipe_on->ReadStageRecords(stage).ValueOrDie(),
+              pipe_off->ReadStageRecords(stage).ValueOrDie())
+        << "stage=" << stage;
+  }
+
+  // The combiners actually engaged in rounds 2 and 3.
+  int64_t combine_inputs = 0;
+  for (const auto& s : pipe_on->stats()) {
+    combine_inputs += s.counters.Get("combine_input_records");
+  }
+  EXPECT_GT(combine_inputs, 0);
+  for (const auto& s : pipe_off->stats()) {
+    EXPECT_EQ(s.counters.Get("combine_input_records"), 0) << s.name;
+  }
 }
 
 }  // namespace

@@ -177,6 +177,43 @@ TEST(MapReduceFaultTest, SpeculativeBackupWinsOverStraggler) {
   EXPECT_EQ(speculative_records, 2);
 }
 
+TEST(MapReduceFaultTest, SpeculativeTieKeepsOriginalAttempt) {
+  FaultInjector injector(1);
+  // Every attempt — original and backup alike — suffers the same
+  // injected latency, so their measured durations differ only by
+  // scheduler jitter. With a win margin far above that jitter, the
+  // documented tie-break applies: the original attempt deterministically
+  // keeps the task.
+  ASSERT_TRUE(injector.ArmLatency(kFaultMapAttempt, 1.0, 40).ok());
+  JobConfig cfg;
+  cfg.fault_injector = &injector;
+  cfg.speculative_execution = true;
+  cfg.speculative_slow_task_ms = 20;
+  cfg.speculative_win_margin_ms = 1000;
+  MapReduceJob job(cfg);
+  std::vector<InputSplit> splits = {InlineSplit("a b"), InlineSplit("c")};
+  auto result = job.RunMapOnly(splits, [] {
+                      return std::make_unique<WordCountMapper>();
+                    }).ValueOrDie();
+  EXPECT_EQ(result.counters.Get("speculative_launches"), 2);
+  EXPECT_EQ(result.counters.Get("speculative_wins"), 0);
+  for (const auto& task : result.tasks) {
+    EXPECT_FALSE(task.speculative);
+    EXPECT_EQ(task.attempt, 0);
+  }
+}
+
+TEST(MapReduceFaultTest, NegativeSpeculativeMarginRejected) {
+  JobConfig cfg;
+  cfg.speculative_win_margin_ms = -1;
+  std::vector<InputSplit> splits = {InlineSplit("a")};
+  EXPECT_TRUE(MapReduceJob(cfg)
+                  .RunMapOnly(splits,
+                              [] { return std::make_unique<WordCountMapper>(); })
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(MapReduceFaultTest, RetryMachineryIdleWithoutInjector) {
   JobConfig cfg;
   cfg.max_task_attempts = 4;

@@ -1,0 +1,276 @@
+// The zero-copy shuffle data path and the combiner contract: key-prefix
+// comparator correctness, ShuffleBuffer spill/merge/combine accounting,
+// and the engine-level property that arming an output-preserving
+// combiner never changes a job's reducer outputs — including under
+// injected faults and spill-heavy sort buffers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mr/mapreduce.h"
+#include "mr/shuffle_buffer.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+ShuffleEntry MakeEntry(std::string_view key) {
+  return MakeShuffleEntry(key, std::string_view());
+}
+
+// The comparator must order exactly like std::string comparison of the
+// full keys, for every prefix-length relationship.
+TEST(ShuffleKeyTest, OrdersLikeStringComparison) {
+  const std::vector<std::string> keys = {
+      "",
+      std::string("\0", 1),
+      std::string("a\0", 2),
+      "a",
+      "ab",
+      "abcdefgh",          // exactly the first prefix word
+      "abcdefgha",         // shares the first word
+      "abcdefghz",
+      std::string("abcdefgh\0", 9),  // zero past the first word
+      "abcdefghijklmnop",            // exactly the 16-byte key head
+      "abcdefghijklmnopq",           // shares the full head
+      "abcdefghijklmnopz",
+      std::string("abcdefghijklmnop\0", 17),  // zero past the head
+      "b",
+      "longer-than-eight-bytes",
+      "longer-than-eight-bytez",
+      std::string(3, '\xff'),
+  };
+  for (const auto& a : keys) {
+    for (const auto& b : keys) {
+      EXPECT_EQ(ShuffleKeyLess(MakeEntry(a), MakeEntry(b)), a < b)
+          << "a=" << a << " b=" << b;
+      EXPECT_EQ(ShuffleKeyEqual(MakeEntry(a), MakeEntry(b)), a == b);
+    }
+  }
+}
+
+TEST(ShuffleKeyTest, PrefixIsBigEndianZeroPadded) {
+  EXPECT_EQ(ShuffleKeyPrefix(""), 0u);
+  EXPECT_EQ(ShuffleKeyPrefix("a"), 0x6100000000000000u);
+  EXPECT_EQ(ShuffleKeyPrefix("abcdefghIGNORED"),
+            ShuffleKeyPrefix("abcdefgh"));
+  // Zero-padding means "a" and "a\0" share a prefix; the comparator must
+  // still distinguish them via the full key.
+  EXPECT_EQ(ShuffleKeyPrefix("a"), ShuffleKeyPrefix(std::string("a\0", 2)));
+  // The second key-head word covers bytes 8..15 — where GDPT coordinate
+  // keys carry their discriminating (reference, position) bytes.
+  EXPECT_EQ(ShuffleKeyWord("abcdefgh", 8), 0u);
+  EXPECT_EQ(ShuffleKeyWord("abcdefghZ", 8), 0x5a00000000000000u);
+  EXPECT_EQ(MakeEntry("abcdefghZ").prefix2, 0x5a00000000000000u);
+}
+
+TEST(ShuffleBufferTest, SortsAndMergesAcrossSpills) {
+  // A 1-byte sort buffer forces a spill on every Add.
+  ShuffleBuffer buffer(/*num_partitions=*/1, /*sort_buffer_bytes=*/1);
+  ASSERT_TRUE(buffer.Add(0, "b", "2").ok());
+  ASSERT_TRUE(buffer.Add(0, "a", "1").ok());
+  ASSERT_TRUE(buffer.Add(0, "c", "3").ok());
+  ASSERT_TRUE(buffer.Finish().ok());
+  ASSERT_EQ(buffer.runs(0).size(), 1u);  // merged to one run
+  const ShuffleRun& run = buffer.runs(0)[0];
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run[0].key, "a");
+  EXPECT_EQ(run[1].key, "b");
+  EXPECT_EQ(run[2].key, "c");
+  EXPECT_EQ(buffer.stats().spills, 3);
+  // Merge rewrites every entry of the multi-run partition.
+  EXPECT_EQ(buffer.stats().merge_bytes, 6);
+}
+
+TEST(ShuffleBufferTest, StableForEqualKeys) {
+  ShuffleBuffer buffer(/*num_partitions=*/1, /*sort_buffer_bytes=*/1 << 20);
+  ASSERT_TRUE(buffer.Add(0, "k", "first").ok());
+  ASSERT_TRUE(buffer.Add(0, "k", "second").ok());
+  ASSERT_TRUE(buffer.Finish().ok());
+  const ShuffleRun& run = buffer.runs(0)[0];
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0].value, "first");
+  EXPECT_EQ(run[1].value, "second");
+  EXPECT_EQ(buffer.stats().spills, 1);
+  EXPECT_EQ(buffer.stats().merge_bytes, 0);  // single run: no merge
+}
+
+// Sums decimal values per key group — the canonical associative,
+// output-preserving combiner (paired with SumReducer below).
+class SumCombiner : public Combiner {
+ public:
+  Status Combine(std::string_view key,
+                 const std::vector<std::string_view>& values,
+                 CombineEmitter* out) override {
+    (void)key;
+    int64_t sum = 0;
+    for (const auto& v : values) sum += std::stoll(std::string(v));
+    out->Emit(std::to_string(sum));
+    return Status::OK();
+  }
+};
+
+TEST(ShuffleBufferTest, CombinerCollapsesKeyGroupsPerSpill) {
+  SumCombiner combiner;
+  ShuffleBuffer buffer(/*num_partitions=*/1, /*sort_buffer_bytes=*/1 << 20,
+                       &combiner);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(buffer.Add(0, "k", "2").ok());
+  ASSERT_TRUE(buffer.Add(0, "other", "7").ok());
+  ASSERT_TRUE(buffer.Finish().ok());
+  const ShuffleRun& run = buffer.runs(0)[0];
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0].key, "k");
+  EXPECT_EQ(run[0].value, "10");
+  EXPECT_EQ(run[1].key, "other");
+  EXPECT_EQ(run[1].value, "7");
+  EXPECT_EQ(buffer.stats().combine_input_records, 6);
+  EXPECT_EQ(buffer.stats().combine_output_records, 2);
+}
+
+class CountEmitMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    std::istringstream in(input);
+    std::string word;
+    while (in >> word) ctx->EmitView(word, "1");
+    return Status::OK();
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  Status ReduceViews(std::string_view key,
+                     const std::vector<std::string_view>& values,
+                     ReduceContext* ctx) override {
+    int64_t sum = 0;
+    for (const auto& v : values) sum += std::stoll(std::string(v));
+    ctx->Emit(std::string(key) + ":" + std::to_string(sum));
+    return Status::OK();
+  }
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    return ReduceViews(key, {values.begin(), values.end()}, ctx);
+  }
+};
+
+std::vector<InputSplit> RandomSplits(uint64_t seed, int num_splits) {
+  Rng rng(seed);
+  std::vector<InputSplit> splits;
+  for (int s = 0; s < num_splits; ++s) {
+    std::string data;
+    int words = static_cast<int>(rng.Uniform(200));
+    for (int w = 0; w < words; ++w) {
+      // Skewed key space: some hot keys, some unique ones.
+      data += "key" + std::to_string(rng.Uniform(30));
+      data += ' ';
+    }
+    splits.push_back(InlineSplit(std::move(data)));
+  }
+  return splits;
+}
+
+Result<JobResult> RunSum(const std::vector<InputSplit>& splits,
+                         bool with_combiner, int64_t sort_buffer_bytes,
+                         FaultInjector* injector = nullptr) {
+  JobConfig cfg;
+  cfg.num_reducers = 3;
+  cfg.max_parallel_tasks = 4;
+  cfg.sort_buffer_bytes = sort_buffer_bytes;
+  if (with_combiner) {
+    cfg.combiner_factory = [] { return std::make_unique<SumCombiner>(); };
+  }
+  if (injector != nullptr) {
+    cfg.fault_injector = injector;
+    cfg.max_task_attempts = 8;
+  }
+  MapReduceJob job(cfg);
+  return job.Run(
+      splits, [] { return std::make_unique<CountEmitMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+}
+
+// Property: arming an output-preserving combiner never changes the
+// job's reducer outputs, across random workloads and sort buffers small
+// enough to force many spills (so combining happens run-by-run).
+TEST(CombinerPropertyTest, CombinerOnOffByteIdentical) {
+  const int64_t kSortBuffers[] = {64, 1 << 10, 64LL << 20};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto splits = RandomSplits(seed, /*num_splits=*/6);
+    for (int64_t sort_buffer : kSortBuffers) {
+      auto off = RunSum(splits, /*with_combiner=*/false, sort_buffer)
+                     .ValueOrDie();
+      auto on = RunSum(splits, /*with_combiner=*/true, sort_buffer)
+                    .ValueOrDie();
+      EXPECT_EQ(on.reducer_outputs, off.reducer_outputs)
+          << "seed=" << seed << " sort_buffer=" << sort_buffer;
+      // Map-side collapse actually happened on spill-heavy runs, and the
+      // pre-combine emit counters are unaffected (Hadoop convention).
+      EXPECT_EQ(on.counters.Get("map_output_records"),
+                off.counters.Get("map_output_records"));
+      if (off.counters.Get("map_output_records") > 0) {
+        EXPECT_GT(on.counters.Get("combine_input_records"), 0);
+        EXPECT_LE(on.counters.Get("reduce_shuffle_records"),
+                  off.counters.Get("reduce_shuffle_records"));
+      }
+    }
+  }
+}
+
+// Determinism of the arena shuffle under chaos: the same fault seed
+// yields byte-identical outputs and counters with the combiner armed,
+// and the output matches the fault-free combiner-off run.
+TEST(CombinerPropertyTest, DeterministicUnderFaultsWithCombiner) {
+  auto splits = RandomSplits(/*seed=*/42, /*num_splits=*/8);
+  auto baseline =
+      RunSum(splits, /*with_combiner=*/false, 64LL << 20).ValueOrDie();
+
+  auto chaos_run = [&] {
+    FaultInjector injector(7);
+    EXPECT_TRUE(injector.ArmProbability(kFaultMapAttempt, 0.3).ok());
+    EXPECT_TRUE(injector.ArmProbability(kFaultReduceAttempt, 0.3).ok());
+    EXPECT_TRUE(injector.ArmProbability(kFaultSplitLoad, 0.2).ok());
+    return RunSum(splits, /*with_combiner=*/true, /*sort_buffer_bytes=*/512,
+                  &injector)
+        .ValueOrDie();
+  };
+  JobResult first = chaos_run();
+  JobResult second = chaos_run();
+  EXPECT_EQ(first.reducer_outputs, second.reducer_outputs);
+  EXPECT_EQ(first.counters.values(), second.counters.values());
+  EXPECT_EQ(first.reducer_outputs, baseline.reducer_outputs);
+  EXPECT_GT(first.counters.Get("map_task_retries") +
+                first.counters.Get("reduce_task_retries"),
+            0);
+}
+
+// A failing combiner fails the map task (and surfaces through retries).
+class FailingCombiner : public Combiner {
+ public:
+  Status Combine(std::string_view, const std::vector<std::string_view>&,
+                 CombineEmitter*) override {
+    return Status::Internal("combiner exploded");
+  }
+};
+
+TEST(CombinerPropertyTest, CombinerFailureFailsTheJob) {
+  JobConfig cfg;
+  cfg.combiner_factory = [] { return std::make_unique<FailingCombiner>(); };
+  cfg.max_task_attempts = 1;
+  MapReduceJob job(cfg);
+  std::vector<InputSplit> splits = {InlineSplit("a b c")};
+  auto result = job.Run(
+      splits, [] { return std::make_unique<CountEmitMapper>(); },
+      [] { return std::make_unique<SumReducer>(); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("combiner exploded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -1,0 +1,94 @@
+// Arena invariants the shuffle data path depends on: view stability
+// across growth and moves, block-level allocation accounting, and the
+// oversized-payload path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace gesall {
+namespace {
+
+TEST(ArenaTest, AppendReturnsCopy) {
+  Arena arena;
+  std::string source = "hello";
+  std::string_view view = arena.Append(source);
+  source[0] = 'X';  // mutating the source must not affect the copy
+  EXPECT_EQ(view, "hello");
+  EXPECT_EQ(arena.bytes_used(), 5);
+}
+
+TEST(ArenaTest, ViewsStableAcrossGrowth) {
+  Arena arena(/*block_bytes=*/64);
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 1000; ++i) {
+    expected.push_back("value-" + std::to_string(i));
+    views.push_back(arena.Append(expected.back()));
+  }
+  // Many blocks were allocated; every early view must still be intact.
+  EXPECT_GT(arena.block_allocations(), 10);
+  for (size_t i = 0; i < views.size(); ++i) EXPECT_EQ(views[i], expected[i]);
+}
+
+TEST(ArenaTest, ViewsStableAcrossMove) {
+  Arena arena(/*block_bytes=*/64);
+  std::string_view view = arena.Append("payload");
+  Arena moved = std::move(arena);
+  EXPECT_EQ(view, "payload");
+  EXPECT_EQ(moved.bytes_used(), 7);
+  // The moved-to arena keeps appending into the same block.
+  EXPECT_EQ(moved.Append("more"), "more");
+}
+
+TEST(ArenaTest, SmallAppendsShareOneBlock) {
+  Arena arena(/*block_bytes=*/1024);
+  for (int i = 0; i < 100; ++i) arena.Append("x");
+  EXPECT_EQ(arena.block_allocations(), 1);
+  EXPECT_EQ(arena.bytes_used(), 100);
+}
+
+TEST(ArenaTest, OversizedPayloadGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/64);
+  arena.Append("small");
+  int64_t before = arena.block_allocations();
+  std::string big(500, 'b');
+  std::string_view big_view = arena.Append(big);
+  EXPECT_EQ(big_view, big);
+  EXPECT_EQ(arena.block_allocations(), before + 1);
+  // The partially-filled current block still accepts small appends
+  // without allocating again.
+  arena.Append("tail");
+  EXPECT_EQ(arena.block_allocations(), before + 1);
+}
+
+TEST(ArenaTest, EmptyAppendIsNoop) {
+  Arena arena;
+  EXPECT_TRUE(arena.Append("").empty());
+  EXPECT_EQ(arena.bytes_used(), 0);
+  EXPECT_EQ(arena.block_allocations(), 0);
+}
+
+TEST(ArenaTest, ClearReleasesEverything) {
+  Arena arena(/*block_bytes=*/64);
+  for (int i = 0; i < 100; ++i) arena.Append("payload");
+  arena.Clear();
+  EXPECT_EQ(arena.bytes_used(), 0);
+  EXPECT_EQ(arena.block_allocations(), 0);
+  EXPECT_EQ(arena.Append("fresh"), "fresh");
+}
+
+TEST(ArenaTest, EmbeddedZerosPreserved) {
+  Arena arena;
+  std::string binary("a\0b\0c", 5);
+  std::string_view view = arena.Append(binary);
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(std::string(view), binary);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <queue>
 #include <string>
@@ -29,6 +30,7 @@
 #include "mr/mapreduce.h"
 #include "mr/shuffle_buffer.h"
 #include "report.h"
+#include "util/crc32c.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -214,6 +216,8 @@ struct RunResult {
   int64_t heap_allocations = 0;
   int64_t spills = 0;
   int64_t shuffle_bytes = 0;
+  int64_t checksummed_bytes = 0;
+  bool verified = true;
   GroupDigest digest;
 };
 
@@ -339,14 +343,16 @@ RunResult RunLegacy(const Workload& w, const Partitioner& partitioner) {
   return result;
 }
 
-RunResult RunArena(const Workload& w, const Partitioner& partitioner) {
+RunResult RunArena(const Workload& w, const Partitioner& partitioner,
+                   bool checksum) {
   RunResult result;
   int64_t allocs_before = g_heap_allocations.load();
   Stopwatch clock;
   std::vector<ShuffleBuffer> tasks;
   tasks.reserve(kNumMapTasks);
   for (int t = 0; t < kNumMapTasks; ++t) {
-    tasks.emplace_back(kNumPartitions, kSortBufferBytes);
+    tasks.emplace_back(kNumPartitions, kSortBufferBytes,
+                       /*combiner=*/nullptr, checksum);
   }
   // Batched engine counters, as in MapContextImpl.
   int64_t records = 0, bytes = 0;
@@ -360,6 +366,15 @@ RunResult RunArena(const Workload& w, const Partitioner& partitioner) {
         .ok();
   }
   for (auto& t : tasks) t.Finish().ok();
+  if (checksum) {
+    // Reduce-fetch verification, as MapReduceJob::Run performs before
+    // handing map outputs to the reduce merge: recompute every run CRC.
+    for (const auto& t : tasks) {
+      for (int p = 0; p < kNumPartitions; ++p) {
+        result.verified &= t.VerifyPartition(p).ok();
+      }
+    }
+  }
   counters.Add("map_output_records", records);
   counters.Add("map_output_bytes", bytes);
   CountingConsumer counting;
@@ -377,9 +392,51 @@ RunResult RunArena(const Workload& w, const Partitioner& partitioner) {
     for (const auto& v : values) result.digest.Value(v);
   });
   if (result.digest.groups != counting.groups) result.digest.digest = 0;
-  for (const auto& t : tasks) result.spills += t.stats().spills;
+  for (const auto& t : tasks) {
+    result.spills += t.stats().spills;
+    result.checksummed_bytes += t.stats().checksummed_bytes;
+  }
   result.shuffle_bytes = counters.Get("map_output_bytes");
   return result;
+}
+
+// ---------------------------------------------------------------------
+// Raw CRC32C throughput: the hardware-dispatched path vs the portable
+// slice-by-8 table, over a buffer large enough to stream from memory.
+
+struct CrcThroughput {
+  bool hardware = false;
+  double hardware_mb_per_sec = 0;
+  double portable_mb_per_sec = 0;
+};
+
+CrcThroughput MeasureCrc32c() {
+  constexpr size_t kBufBytes = 64 << 20;
+  std::string buf(kBufBytes, '\0');
+  Rng rng(42);
+  for (size_t i = 0; i + 8 <= buf.size(); i += 8) {
+    uint64_t v = rng.Next();
+    std::memcpy(&buf[i], &v, 8);
+  }
+  auto time_mbps = [&](auto&& extend) {
+    double best = 0;
+    uint32_t sink = 0;
+    for (int i = 0; i < kIterations; ++i) {
+      Stopwatch clock;
+      sink ^= extend(sink, buf.data(), buf.size());
+      double s = clock.ElapsedSeconds();
+      double mbps = static_cast<double>(kBufBytes) / (1 << 20) / s;
+      if (mbps > best) best = mbps;
+    }
+    // Keep the checksum observable so the loop cannot be elided.
+    if (sink == 0x12345678u) std::printf(" ");
+    return best;
+  };
+  CrcThroughput t;
+  t.hardware = Crc32cHardwareAvailable();
+  t.hardware_mb_per_sec = time_mbps(ExtendCrc32c);
+  t.portable_mb_per_sec = time_mbps(ExtendCrc32cPortable);
+  return t;
 }
 
 template <typename Fn>
@@ -393,7 +450,8 @@ RunResult BestOf(int iterations, const Fn& fn) {
 }
 
 void PrintJson(std::FILE* f, const Workload& w, const RunResult& legacy,
-               const RunResult& arena) {
+               const RunResult& arena, const RunResult& arena_checksum,
+               const CrcThroughput& crc) {
   auto rate = [&](const RunResult& r) { return kNumRecords / r.seconds; };
   auto mbps = [&](const RunResult& r) {
     return static_cast<double>(w.payload_bytes) / (1 << 20) / r.seconds;
@@ -421,11 +479,24 @@ void PrintJson(std::FILE* f, const Workload& w, const RunResult& legacy,
   };
   section("legacy_string_copy", legacy);
   section("arena_zero_copy", arena);
+  section("arena_zero_copy_checksummed", arena_checksum);
   std::fprintf(f, "  \"speedup_records_per_sec\": %.2f,\n",
                rate(arena) / rate(legacy));
-  std::fprintf(f, "  \"allocation_reduction\": %.1f\n",
+  std::fprintf(f, "  \"allocation_reduction\": %.1f,\n",
                static_cast<double>(legacy.heap_allocations) /
                    static_cast<double>(arena.heap_allocations));
+  std::fprintf(f, "  \"checksum_overhead_percent\": %.2f,\n",
+               (rate(arena) / rate(arena_checksum) - 1.0) * 100.0);
+  std::fprintf(f, "  \"checksummed_bytes\": %lld,\n",
+               static_cast<long long>(arena_checksum.checksummed_bytes));
+  std::fprintf(f, "  \"crc32c\": {\n");
+  std::fprintf(f, "    \"hardware_dispatch\": %s,\n",
+               crc.hardware ? "true" : "false");
+  std::fprintf(f, "    \"hardware_mb_per_sec\": %.0f,\n",
+               crc.hardware_mb_per_sec);
+  std::fprintf(f, "    \"portable_mb_per_sec\": %.0f\n",
+               crc.portable_mb_per_sec);
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
 }
 
@@ -441,11 +512,18 @@ int Main(int argc, char** argv) {
     return RunLegacy(w, partitioner);
   });
   RunResult arena = BestOf(kIterations, [&] {
-    return RunArena(w, partitioner);
+    return RunArena(w, partitioner, /*checksum=*/false);
   });
+  RunResult arena_checksum = BestOf(kIterations, [&] {
+    return RunArena(w, partitioner, /*checksum=*/true);
+  });
+  CrcThroughput crc = MeasureCrc32c();
 
-  bool identical = legacy.digest == arena.digest;
+  bool identical = legacy.digest == arena.digest &&
+                   legacy.digest == arena_checksum.digest;
   double speedup = legacy.seconds / arena.seconds;
+  double overhead_pct =
+      (arena_checksum.seconds / arena.seconds - 1.0) * 100.0;
 
   std::printf("  %-22s %10s %14s %12s %14s\n", "engine", "seconds",
               "records/sec", "MB/sec", "allocations");
@@ -457,9 +535,17 @@ int Main(int argc, char** argv) {
   };
   row("legacy string-copy", legacy);
   row("arena zero-copy", arena);
+  row("arena + CRC32C", arena_checksum);
   std::printf("  speedup: %.2fx, allocation reduction: %.1fx\n", speedup,
               static_cast<double>(legacy.heap_allocations) /
                   static_cast<double>(arena.heap_allocations));
+  std::printf("  checksum overhead: %.2f%% (spill CRC + fetch verify of "
+              "%lld bytes)\n",
+              overhead_pct,
+              static_cast<long long>(arena_checksum.checksummed_bytes));
+  std::printf("  crc32c: hardware %s, %.0f MB/s hw, %.0f MB/s portable\n",
+              crc.hardware ? "yes" : "no", crc.hardware_mb_per_sec,
+              crc.portable_mb_per_sec);
 
   bool ok = true;
   ok &= bench::Check(identical,
@@ -471,10 +557,15 @@ int Main(int argc, char** argv) {
                      "arena shuffle >= 2x record throughput");
   ok &= bench::Check(arena.heap_allocations * 10 < legacy.heap_allocations,
                      "arena path allocates >= 10x less");
+  ok &= bench::Check(arena_checksum.verified &&
+                         arena_checksum.checksummed_bytes > 0,
+                     "every partition verifies against its run CRCs");
+  ok &= bench::Check(overhead_pct <= 10.0,
+                     "checksum overhead <= 10% on record throughput");
 
   const char* out_path = argc > 1 ? argv[1] : "BENCH_shuffle.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
-    PrintJson(f, w, legacy, arena);
+    PrintJson(f, w, legacy, arena, arena_checksum, crc);
     std::fclose(f);
     bench::Note(std::string("wrote ") + out_path);
   } else {

@@ -1,23 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass over the MapReduce
-# shuffle engine.
+# Tier-1 verification plus sanitizer passes over the failure-handling
+# hot spots.
 #
-#   scripts/check.sh            # full tier-1 build + ctest + ASan mr suites
-#   scripts/check.sh --no-asan  # tier-1 only
+#   scripts/check.sh                 # tier-1 + ASan + UBSan suites
+#   scripts/check.sh --no-asan       # skip the ASan pass
+#   scripts/check.sh --no-sanitizers # tier-1 only
 #
-# The ASan build lives in build-asan/ so it never pollutes the regular
-# build directory, and only builds the suites that exercise the arena
-# shuffle (mr_test, util_test): arena lifetime bugs — views outliving a
-# spill, combiner emits into a moved arena — are exactly what ASan
-# catches and what the plain build can silently survive.
+# The sanitizer builds live in build-asan/ and build-ubsan/ so they
+# never pollute the regular build directory, and only build the suites
+# that exercise the risky machinery.
+#   - ASan (mr_test, util_test): arena lifetime bugs — views outliving a
+#     spill, combiner emits into a moved arena — are exactly what ASan
+#     catches and what the plain build can silently survive.
+#   - UBSan (dfs_test, mr_test): the integrity layer's checksum kernels
+#     (unaligned word loads, table folds, shift combines) and the
+#     fault-injection arithmetic must be free of undefined behavior, or
+#     corruption detection itself can't be trusted.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=1
-if [[ "${1:-}" == "--no-asan" ]]; then
-  run_asan=0
-fi
+run_ubsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-sanitizers) run_asan=0; run_ubsan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S .
@@ -30,6 +41,14 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j --target mr_test util_test
   ./build-asan/tests/mr_test
   ./build-asan/tests/util_test
+fi
+
+if [[ "$run_ubsan" == 1 ]]; then
+  echo "=== ubsan: integrity + failure-model suites ==="
+  cmake -B build-ubsan -S . -DGESALL_SANITIZE=undefined
+  cmake --build build-ubsan -j --target dfs_test mr_test
+  ./build-ubsan/tests/dfs_test
+  ./build-ubsan/tests/mr_test
 fi
 
 echo "=== check.sh: all green ==="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/crc32c.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 
@@ -41,16 +42,61 @@ std::vector<int> LogicalPartitionPlacementPolicy::Place(
   return out;
 }
 
-Dfs::Dfs(DfsOptions options) : options_(options) {
+Status Dfs::ValidateOptions(const DfsOptions& o) {
+  if (o.num_data_nodes < 1) {
+    return Status::InvalidArgument("num_data_nodes must be >= 1");
+  }
+  if (o.replication < 1 || o.replication > o.num_data_nodes) {
+    return Status::InvalidArgument(
+        "replication must be in [1, num_data_nodes]");
+  }
+  if (o.block_size <= 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (o.blacklist_threshold < 1) {
+    return Status::InvalidArgument("blacklist_threshold must be >= 1");
+  }
+  if (o.checksum_chunk_bytes <= 0) {
+    return Status::InvalidArgument("checksum_chunk_bytes must be positive");
+  }
+  if (o.heartbeat_miss_threshold < 1) {
+    return Status::InvalidArgument("heartbeat_miss_threshold must be >= 1");
+  }
+  return Status::OK();
+}
+
+Dfs::Dfs(DfsOptions options)
+    : options_(options), init_status_(ValidateOptions(options)) {
+  if (!init_status_.ok()) return;
   nodes_.resize(options_.num_data_nodes);
   health_.resize(options_.num_data_nodes);
 }
 
+std::vector<uint32_t> Dfs::ChunkSums(std::string_view data) const {
+  std::vector<uint32_t> sums;
+  const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
+  for (size_t off = 0; off < data.size(); off += chunk) {
+    sums.push_back(Crc32c(data.substr(off, chunk)));
+  }
+  return sums;
+}
+
+bool Dfs::ChunksMatch(const std::string& bytes,
+                      const std::vector<uint32_t>& sums) const {
+  const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
+  if (sums.size() != (bytes.size() + chunk - 1) / chunk) return false;
+  for (size_t i = 0; i < sums.size(); ++i) {
+    if (Crc32c(std::string_view(bytes).substr(i * chunk, chunk)) !=
+        sums[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Status Dfs::Write(const std::string& path, std::string_view data,
                   BlockPlacementPolicy* policy) {
-  if (options_.num_data_nodes <= 0) {
-    return Status::Internal("no data nodes");
-  }
+  GESALL_RETURN_NOT_OK(init_status_);
   if (policy == nullptr) policy = &default_policy_;
   // Replace semantics: drop any existing file first.
   if (Exists(path)) GESALL_RETURN_NOT_OK(Delete(path));
@@ -65,19 +111,22 @@ Status Dfs::Write(const std::string& path, std::string_view data,
     int64_t len =
         std::min<int64_t>(options_.block_size, meta.size - off);
     if (len < 0) len = 0;
-    std::vector<int> replicas = policy->Place(
+    std::vector<int> placement = policy->Place(
         path, b, options_.num_data_nodes, options_.replication);
-    if (replicas.empty()) {
+    if (placement.empty()) {
       return Status::Internal("placement policy returned no nodes");
     }
     int64_t id = next_block_id_++;
+    std::string_view block_bytes =
+        data.substr(static_cast<size_t>(off), static_cast<size_t>(len));
     BlockMeta bm;
     bm.length = len;
-    bm.replicas = replicas;
-    blocks_[id] = bm;
-    for (int node : replicas) {
-      nodes_[node].blocks[id] = std::string(data.substr(off, len));
+    for (int node : placement) {
+      bm.replicas.push_back({node, bm.next_ordinal++});
+      nodes_[node].blocks[id] = std::string(block_bytes);
     }
+    bm.chunk_sums = ChunkSums(block_bytes);
+    blocks_[id] = std::move(bm);
     meta.blocks.push_back(id);
   }
   files_[path] = std::move(meta);
@@ -91,12 +140,14 @@ Result<const Dfs::FileMeta*> Dfs::Meta(const std::string& path) const {
 }
 
 Result<std::string> Dfs::Read(const std::string& path) const {
+  GESALL_RETURN_NOT_OK(init_status_);
   GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
   return ReadRange(path, 0, meta->size);
 }
 
 Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
                                    int64_t length) const {
+  GESALL_RETURN_NOT_OK(init_status_);
   GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
   if (offset < 0 || offset + length > meta->size) {
     return Status::OutOfRange("read range outside file");
@@ -108,7 +159,7 @@ Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
     int64_t block_index = pos / options_.block_size;
     int64_t intra = pos % options_.block_size;
     int64_t block_id = meta->blocks[block_index];
-    const BlockMeta& bm = blocks_.at(block_id);
+    BlockMeta& bm = blocks_.at(block_id);
     const std::string* bytes = ReadBlockReplicas(block_id, bm);
     if (bytes == nullptr) {
       return Status::IOError("all replicas of block " +
@@ -123,18 +174,51 @@ Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
   return out;
 }
 
+void Dfs::QuarantineReplicaLocked(int64_t block_id, BlockMeta* bm,
+                                  size_t ri) const {
+  const int node = bm->replicas[ri].node;
+  nodes_[node].blocks.erase(block_id);
+  verified_.erase({block_id, node});
+  bm->replicas.erase(bm->replicas.begin() + static_cast<int64_t>(ri));
+  ++stats_.replicas_quarantined;
+}
+
+bool Dfs::VerifyReplicaLocked(int64_t block_id, BlockMeta* bm,
+                              size_t ri) const {
+  const Replica rep = bm->replicas[ri];
+  std::string& bytes = nodes_[rep.node].blocks.at(block_id);
+  if (injector_ != nullptr && !bytes.empty() &&
+      injector_->ShouldFail(kFaultDfsBlockCorrupt, block_id, rep.ordinal)) {
+    // Lazy corruption: rot one byte of the stored replica the moment it
+    // is read. Detection quarantines the replica immediately, so the
+    // point cannot re-fire for it and toggle the byte back.
+    bytes[static_cast<size_t>(block_id) % bytes.size()] ^= 0x40;
+    verified_.erase({block_id, rep.node});
+  }
+  if (verified_.count({block_id, rep.node}) > 0) return true;
+  if (ChunksMatch(bytes, bm->chunk_sums)) {
+    verified_.insert({block_id, rep.node});
+    return true;
+  }
+  ++stats_.corruptions_detected;
+  QuarantineReplicaLocked(block_id, bm, ri);
+  return false;
+}
+
 const std::string* Dfs::ReadBlockReplicas(int64_t block_id,
-                                          const BlockMeta& bm) const {
+                                          BlockMeta& bm) const {
   // HDFS read failover: walk the replica list in order, skipping nodes
-  // that are down or blacklisted and replicas the injector fails; the
-  // first healthy replica serves the block. The injector decision is
-  // pure in (block, replica position), so one seed pins one consistent
-  // set of "bad" replicas across repeated reads.
+  // that are down, dead, or blacklisted and replicas the injector fails
+  // or whose bytes fail CRC verification; the first healthy replica
+  // serves the block. Injector decisions are pure in (block, replica),
+  // so one seed pins one consistent set of "bad" replicas across
+  // repeated reads.
   std::lock_guard<std::mutex> lock(health_mu_);
   int failures = 0;
-  for (size_t ri = 0; ri < bm.replicas.size(); ++ri) {
-    int node = bm.replicas[ri];
-    bool failed = !nodes_[node].up || health_[node].blacklisted;
+  for (size_t ri = 0; ri < bm.replicas.size();) {
+    int node = bm.replicas[ri].node;
+    bool failed = !nodes_[node].up || nodes_[node].declared_dead ||
+                  health_[node].blacklisted;
     if (!failed && injector_ != nullptr &&
         injector_->ShouldFail(kFaultDfsReadReplica, block_id,
                               static_cast<int>(ri))) {
@@ -151,6 +235,15 @@ const std::string* Dfs::ReadBlockReplicas(int64_t block_id,
     if (failed) {
       ++failures;
       ++stats_.replica_read_failures;
+      ++ri;
+      continue;
+    }
+    if (!VerifyReplicaLocked(block_id, &bm, ri)) {
+      // Corrupt replica: quarantined (a corrupt block is reported to the
+      // namenode, not held against the node's health), and the loop
+      // continues at the same index, which now names the next replica.
+      ++failures;
+      ++stats_.replica_read_failures;
       continue;
     }
     health_[node].consecutive_failures = 0;
@@ -161,20 +254,127 @@ const std::string* Dfs::ReadBlockReplicas(int64_t block_id,
   return nullptr;
 }
 
+const std::string* Dfs::HealthySourceLocked(int64_t block_id,
+                                            BlockMeta* bm) {
+  // Scrubber reads are reads: the source replica is verified (and the
+  // corruption point consulted) exactly like a client read, so a rotted
+  // source cannot be cloned.
+  for (size_t ri = 0; ri < bm->replicas.size();) {
+    const Replica rep = bm->replicas[ri];
+    if (!nodes_[rep.node].up || nodes_[rep.node].declared_dead) {
+      ++ri;
+      continue;
+    }
+    if (!VerifyReplicaLocked(block_id, bm, ri)) continue;
+    return &nodes_[rep.node].blocks.at(block_id);
+  }
+  return nullptr;
+}
+
+void Dfs::RepairBlockLocked(int64_t block_id, BlockMeta* bm) {
+  // The namenode drops a dead node's replicas from the block map; the
+  // node's storage is erased too, so a later restart cannot resurrect
+  // stale bytes.
+  for (size_t i = 0; i < bm->replicas.size();) {
+    const int node = bm->replicas[i].node;
+    if (nodes_[node].declared_dead) {
+      nodes_[node].blocks.erase(block_id);
+      verified_.erase({block_id, node});
+      bm->replicas.erase(bm->replicas.begin() + static_cast<int64_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  int live_nodes = 0;
+  for (const auto& dn : nodes_) {
+    if (dn.up && !dn.declared_dead) ++live_nodes;
+  }
+  // Replicas on silent-but-not-yet-dead nodes still count: HDFS waits
+  // for the dead verdict before re-replicating around a quiet node.
+  const int target = std::min(options_.replication, live_nodes);
+  while (static_cast<int>(bm->replicas.size()) < target) {
+    const std::string* src = HealthySourceLocked(block_id, bm);
+    if (src == nullptr) break;  // no verified copy left to clone
+    int dest = -1;
+    for (int n = 0; n < options_.num_data_nodes; ++n) {
+      if (!nodes_[n].up || nodes_[n].declared_dead) continue;
+      if (nodes_[n].blocks.count(block_id) > 0) continue;
+      dest = n;
+      break;
+    }
+    if (dest < 0) break;
+    nodes_[dest].blocks[block_id] = *src;
+    bm->replicas.push_back({dest, bm->next_ordinal++});
+    verified_.insert({block_id, dest});
+    ++stats_.blocks_re_replicated;
+    stats_.bytes_re_replicated += bm->length;
+  }
+}
+
+void Dfs::ScrubLocked() {
+  for (auto& [id, bm] : blocks_) RepairBlockLocked(id, &bm);
+}
+
+void Dfs::RestartNodeLocked(int node) {
+  DataNode& dn = nodes_[node];
+  dn.up = true;
+  dn.declared_dead = false;
+  dn.last_heartbeat_tick = tick_ - 1;
+  health_[node] = NodeHealth{};
+  ++stats_.node_restarts;
+}
+
+Status Dfs::Tick() {
+  GESALL_RETURN_NOT_OK(init_status_);
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const int64_t tick = tick_++;
+  for (int n = 0; n < options_.num_data_nodes; ++n) {
+    DataNode& dn = nodes_[n];
+    if (injector_ != nullptr && !dn.up &&
+        injector_->ShouldFail(kFaultNodeRestart, n,
+                              static_cast<int>(tick))) {
+      RestartNodeLocked(n);
+    }
+    if (injector_ != nullptr && dn.up &&
+        injector_->ShouldFail(kFaultNodeCrash, n, static_cast<int>(tick))) {
+      dn.up = false;  // crash: stops serving and heartbeating; storage
+                      // survives until the node is declared dead
+    }
+    if (dn.up) {
+      dn.last_heartbeat_tick = tick;
+      dn.declared_dead = false;
+    } else if (!dn.declared_dead &&
+               tick - dn.last_heartbeat_tick >=
+                   options_.heartbeat_miss_threshold) {
+      dn.declared_dead = true;
+      ++stats_.nodes_declared_dead;
+    }
+  }
+  ScrubLocked();
+  return Status::OK();
+}
+
 Result<std::vector<BlockLocation>> Dfs::Locate(
     const std::string& path) const {
+  GESALL_RETURN_NOT_OK(init_status_);
   GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
   std::vector<BlockLocation> out;
   int64_t off = 0;
   for (int64_t id : meta->blocks) {
     const BlockMeta& bm = blocks_.at(id);
-    out.push_back({id, off, bm.length, bm.replicas});
+    BlockLocation loc;
+    loc.block_id = id;
+    loc.offset = off;
+    loc.length = bm.length;
+    for (const Replica& r : bm.replicas) loc.replicas.push_back(r.node);
+    out.push_back(std::move(loc));
     off += bm.length;
   }
   return out;
 }
 
 Result<int64_t> Dfs::FileSize(const std::string& path) const {
+  GESALL_RETURN_NOT_OK(init_status_);
   GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
   return meta->size;
 }
@@ -184,11 +384,15 @@ bool Dfs::Exists(const std::string& path) const {
 }
 
 Status Dfs::Delete(const std::string& path) {
+  GESALL_RETURN_NOT_OK(init_status_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   for (int64_t id : it->second.blocks) {
     const BlockMeta& bm = blocks_.at(id);
-    for (int node : bm.replicas) nodes_[node].blocks.erase(id);
+    for (const Replica& r : bm.replicas) {
+      nodes_[r.node].blocks.erase(id);
+      verified_.erase({id, r.node});
+    }
     blocks_.erase(id);
   }
   files_.erase(it);
@@ -204,20 +408,37 @@ std::vector<std::string> Dfs::List(const std::string& prefix) const {
 }
 
 Status Dfs::MarkNodeDown(int node) {
+  GESALL_RETURN_NOT_OK(init_status_);
   if (node < 0 || node >= options_.num_data_nodes) {
     return Status::InvalidArgument("bad node id");
   }
+  std::lock_guard<std::mutex> lock(health_mu_);
   nodes_[node].up = false;
   return Status::OK();
 }
 
 Status Dfs::MarkNodeUp(int node) {
+  GESALL_RETURN_NOT_OK(init_status_);
   if (node < 0 || node >= options_.num_data_nodes) {
     return Status::InvalidArgument("bad node id");
   }
-  nodes_[node].up = true;
   std::lock_guard<std::mutex> lock(health_mu_);
+  nodes_[node].up = true;
+  nodes_[node].declared_dead = false;
+  nodes_[node].last_heartbeat_tick = tick_ - 1;
   health_[node] = NodeHealth{};
+  return Status::OK();
+}
+
+Status Dfs::CrashNode(int node) { return MarkNodeDown(node); }
+
+Status Dfs::RestartNode(int node) {
+  GESALL_RETURN_NOT_OK(init_status_);
+  if (node < 0 || node >= options_.num_data_nodes) {
+    return Status::InvalidArgument("bad node id");
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (!nodes_[node].up) RestartNodeLocked(node);
   return Status::OK();
 }
 
@@ -232,13 +453,25 @@ void Dfs::ResetStats() {
 }
 
 bool Dfs::IsBlacklisted(int node) const {
-  if (node < 0 || node >= options_.num_data_nodes) return false;
+  if (node < 0 || node >= static_cast<int>(health_.size())) return false;
   std::lock_guard<std::mutex> lock(health_mu_);
   return health_[node].blacklisted;
 }
 
+bool Dfs::IsDeclaredDead(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return false;
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return nodes_[node].declared_dead;
+}
+
+int64_t Dfs::heartbeat_tick() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return tick_;
+}
+
 int64_t Dfs::BytesStoredOn(int node) const {
-  if (node < 0 || node >= options_.num_data_nodes) return 0;
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return 0;
+  std::lock_guard<std::mutex> lock(health_mu_);
   int64_t n = 0;
   for (const auto& [id, bytes] : nodes_[node].blocks) {
     n += static_cast<int64_t>(bytes.size());

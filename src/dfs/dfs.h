@@ -5,6 +5,18 @@
 // LogicalPartitionPlacementPolicy pins all blocks of one file to one data
 // node — the custom BlockPlacementPolicy Gesall registers so logical
 // partitions are never split across nodes (paper §3.1 feature 2).
+//
+// Data integrity and liveness mirror HDFS:
+//  - Every block carries per-chunk CRC32C sums computed at write time
+//    (the .meta checksum file analog). Reads verify a replica before
+//    serving it; a corrupted replica is detected, skipped via the normal
+//    failover path, quarantined (dropped from the block map), and later
+//    re-replicated from a healthy copy.
+//  - Tick() advances a logical heartbeat clock. Nodes that stop
+//    heartbeating (crashed via CrashNode or the "node.crash" fault
+//    point) are declared dead after heartbeat_miss_threshold missed
+//    intervals; the namenode then drops their replicas and a scrubber
+//    pass re-replicates every under-replicated block onto live nodes.
 
 #ifndef GESALL_DFS_DFS_H_
 #define GESALL_DFS_DFS_H_
@@ -13,8 +25,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -31,9 +45,17 @@ struct DfsOptions {
   /// Consecutive replica-read failures before a data node is blacklisted
   /// (reads stop trying its replicas until MarkNodeUp).
   int blacklist_threshold = 3;
+  /// Granularity of the per-block CRC32C sums (HDFS stores one sum per
+  /// io.bytes.per.checksum slice; 64 KiB keeps metadata small while
+  /// localizing corruption).
+  int64_t checksum_chunk_bytes = 64 * 1024;
+  /// Missed heartbeat intervals before a silent node is declared dead
+  /// and its blocks are re-replicated (dfs.namenode.heartbeat
+  /// recheck-interval analog, in Tick() units).
+  int heartbeat_miss_threshold = 2;
 };
 
-/// \brief Read-path fault-tolerance telemetry.
+/// \brief Read-path fault-tolerance and integrity telemetry.
 struct DfsStats {
   /// Individual replica reads that failed (injected or node down/blacklisted).
   int64_t replica_read_failures = 0;
@@ -43,6 +65,18 @@ struct DfsStats {
   int64_t reads_failed = 0;
   /// Nodes blacklisted after blacklist_threshold consecutive failures.
   int64_t nodes_blacklisted = 0;
+  /// Replicas whose bytes failed CRC32C verification on read or scrub.
+  int64_t corruptions_detected = 0;
+  /// Corrupt replicas dropped from the block map (always re-replicated
+  /// by the next scrubber pass while a healthy copy exists).
+  int64_t replicas_quarantined = 0;
+  /// New replicas created by the scrubber for under-replicated blocks.
+  int64_t blocks_re_replicated = 0;
+  int64_t bytes_re_replicated = 0;
+  /// Nodes declared dead after heartbeat_miss_threshold missed beats.
+  int64_t nodes_declared_dead = 0;
+  /// Nodes brought back via RestartNode or the "node.restart" point.
+  int64_t node_restarts = 0;
 };
 
 /// \brief Location metadata of one stored block.
@@ -85,9 +119,16 @@ class LogicalPartitionPlacementPolicy : public BlockPlacementPolicy {
 /// \brief In-process DFS: namespace + replicated block storage.
 class Dfs {
  public:
+  /// Rejects inconsistent cluster parameters (replication outside
+  /// [1, num_data_nodes], non-positive block/chunk sizes, ...). A Dfs
+  /// constructed from invalid options returns this status from every
+  /// operation instead of silently misbehaving.
+  static Status ValidateOptions(const DfsOptions& options);
+
   explicit Dfs(DfsOptions options = {});
 
   /// Writes (or replaces) a file. `policy` defaults to the spread policy.
+  /// Per-chunk CRC32C sums are computed for every block at write time.
   Status Write(const std::string& path, std::string_view data,
                BlockPlacementPolicy* policy = nullptr);
 
@@ -110,12 +151,30 @@ class Dfs {
   /// Restores a node and clears its blacklist/failure state.
   Status MarkNodeUp(int node);
 
+  /// Whole-node crash: the node stops serving reads and stops
+  /// heartbeating; its stored blocks survive until it is declared dead.
+  Status CrashNode(int node);
+  /// Crash recovery: the node rejoins with its storage intact (stale
+  /// replicas of blocks the namenode already dropped are not re-added).
+  Status RestartNode(int node);
+
+  /// Advances the heartbeat clock by one interval: applies the
+  /// "node.crash"/"node.restart" fault points (key = node id, attempt =
+  /// tick), records heartbeats from live nodes, declares silent nodes
+  /// dead after heartbeat_miss_threshold missed intervals (dropping
+  /// their replicas), and runs a scrubber pass that re-replicates every
+  /// under-replicated block from a CRC-verified healthy replica.
+  Status Tick();
+
   /// Bytes of block data stored on one node (replicas included).
   int64_t BytesStoredOn(int node) const;
 
   /// Chaos source consulted at the "dfs.read_replica" fault point with
-  /// (key = block id, attempt = replica position). Not owned; nullptr
-  /// disables injection.
+  /// (key = block id, attempt = replica position) and at
+  /// "dfs.block_corrupt" with (key = block id, attempt = write-time
+  /// replica ordinal — stable, so re-replicated copies are never
+  /// re-corrupted by ArmFirstAttempts). Not owned; nullptr disables
+  /// injection.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Snapshot of the read-path failover telemetry.
@@ -124,9 +183,13 @@ class Dfs {
 
   /// True when the node was blacklisted by consecutive read failures.
   bool IsBlacklisted(int node) const;
+  /// True when the namenode declared the node dead on missed heartbeats.
+  bool IsDeclaredDead(int node) const;
 
   int num_data_nodes() const { return options_.num_data_nodes; }
   int64_t block_size() const { return options_.block_size; }
+  /// Heartbeat intervals elapsed (Tick() calls so far).
+  int64_t heartbeat_tick() const;
 
  private:
   struct FileMeta {
@@ -136,10 +199,24 @@ class Dfs {
   struct DataNode {
     std::map<int64_t, std::string> blocks;
     bool up = true;
+    int64_t last_heartbeat_tick = -1;
+    bool declared_dead = false;
+  };
+  /// One replica of a block. The ordinal is assigned at creation and
+  /// never reused: write-time replicas get 0..replication-1, scrubber
+  /// copies continue from there. It keys the "dfs.block_corrupt" fault
+  /// point, so "corrupt the first-placed replica of every block" is
+  /// ArmFirstAttempts(point, 1) and never hits a re-replicated copy.
+  struct Replica {
+    int node = 0;
+    int ordinal = 0;
   };
   struct BlockMeta {
     int64_t length = 0;
-    std::vector<int> replicas;
+    std::vector<Replica> replicas;
+    /// CRC32C per checksum_chunk_bytes slice (HDFS block .meta analog).
+    std::vector<uint32_t> chunk_sums;
+    int next_ordinal = 0;
   };
 
   // Mutable read-path health state: reads are logically const but track
@@ -150,19 +227,47 @@ class Dfs {
   };
 
   Result<const FileMeta*> Meta(const std::string& path) const;
-  // Serves one block from the first healthy replica, recording failover
-  // telemetry. Returns nullptr when every replica failed.
+  // Serves one block from the first healthy, CRC-verified replica,
+  // recording failover telemetry and quarantining corrupt replicas.
+  // Returns nullptr when every replica failed. Takes health_mu_.
   const std::string* ReadBlockReplicas(int64_t block_id,
-                                       const BlockMeta& bm) const;
+                                       BlockMeta& bm) const;
+
+  std::vector<uint32_t> ChunkSums(std::string_view data) const;
+  bool ChunksMatch(const std::string& bytes,
+                   const std::vector<uint32_t>& sums) const;
+  // Injection + one-time CRC verification of replica `ri`. On
+  // corruption: counts the detection, quarantines the replica (erased
+  // from block map and node storage, `ri` now indexes the next replica),
+  // and returns false. Requires health_mu_.
+  bool VerifyReplicaLocked(int64_t block_id, BlockMeta* bm,
+                           size_t ri) const;
+  void QuarantineReplicaLocked(int64_t block_id, BlockMeta* bm,
+                               size_t ri) const;
+  // Scrubber: tops up every under-replicated block from a verified
+  // source replica onto live nodes. Requires health_mu_.
+  void ScrubLocked();
+  void RepairBlockLocked(int64_t block_id, BlockMeta* bm);
+  const std::string* HealthySourceLocked(int64_t block_id, BlockMeta* bm);
+  void RestartNodeLocked(int node);
 
   DfsOptions options_;
+  Status init_status_;
   DefaultPlacementPolicy default_policy_;
   std::map<std::string, FileMeta> files_;
-  std::map<int64_t, BlockMeta> blocks_;
-  std::vector<DataNode> nodes_;
   int64_t next_block_id_ = 1;
   FaultInjector* injector_ = nullptr;
   mutable std::mutex health_mu_;
+  // blocks_/nodes_ are mutable because the logically-const read path
+  // performs integrity bookkeeping: injected corruption flips stored
+  // bytes, detection quarantines replicas. Guarded by health_mu_.
+  mutable std::map<int64_t, BlockMeta> blocks_;
+  mutable std::vector<DataNode> nodes_;
+  // Replicas whose bytes already passed CRC verification, so repeated
+  // reads skip the checksum work (HDFS clients verify per read; we cache
+  // because the simulated "disk" cannot rot outside the fault point).
+  mutable std::set<std::pair<int64_t, int>> verified_;
+  int64_t tick_ = 0;
   mutable std::vector<NodeHealth> health_;
   mutable DfsStats stats_;
 };

@@ -196,4 +196,25 @@ FaultToleranceSummary SummarizeFaultTolerance(const JobCounters& counters,
   return out;
 }
 
+NodeFailureSummary SummarizeNodeFailures(const JobCounters& counters,
+                                         const DfsStats* dfs_stats) {
+  NodeFailureSummary out;
+  out.map_tasks_reexecuted = counters.Get("map_tasks_reexecuted");
+  out.map_outputs_lost_to_dead_nodes =
+      counters.Get("map_outputs_lost_to_dead_nodes");
+  out.shuffle_fetch_corruptions = counters.Get("shuffle_fetch_corruptions");
+  out.shuffle_partitions_verified =
+      counters.Get("shuffle_partitions_verified");
+  out.shuffle_checksummed_bytes = counters.Get("shuffle_checksummed_bytes");
+  if (dfs_stats != nullptr) {
+    out.corruptions_detected = dfs_stats->corruptions_detected;
+    out.replicas_quarantined = dfs_stats->replicas_quarantined;
+    out.blocks_re_replicated = dfs_stats->blocks_re_replicated;
+    out.bytes_re_replicated = dfs_stats->bytes_re_replicated;
+    out.nodes_declared_dead = dfs_stats->nodes_declared_dead;
+    out.node_restarts = dfs_stats->node_restarts;
+  }
+  return out;
+}
+
 }  // namespace gesall

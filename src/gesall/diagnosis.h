@@ -130,6 +130,40 @@ struct FaultToleranceSummary {
 FaultToleranceSummary SummarizeFaultTolerance(const JobCounters& counters,
                                               const DfsStats* dfs_stats);
 
+/// \brief Integrity and whole-node failure telemetry of one pipeline
+/// execution: corrupted replicas detected/quarantined/re-replicated by
+/// the DFS checksum + scrubber machinery, nodes declared dead on missed
+/// heartbeats, and the MR job master's lost-map-output re-executions —
+/// the recovery paths a chaos run must exercise to prove end-to-end
+/// byte-identical output under corruption and node loss.
+struct NodeFailureSummary {
+  // DFS integrity (block CRC32C verification + scrubber).
+  int64_t corruptions_detected = 0;
+  int64_t replicas_quarantined = 0;
+  int64_t blocks_re_replicated = 0;
+  int64_t bytes_re_replicated = 0;
+  // DFS liveness (heartbeat clock).
+  int64_t nodes_declared_dead = 0;
+  int64_t node_restarts = 0;
+  // MR lost-map-output re-execution.
+  int64_t map_tasks_reexecuted = 0;
+  int64_t map_outputs_lost_to_dead_nodes = 0;
+  int64_t shuffle_fetch_corruptions = 0;
+  int64_t shuffle_partitions_verified = 0;
+  int64_t shuffle_checksummed_bytes = 0;
+
+  /// True when any corruption/node-loss recovery mechanism fired.
+  bool any_node_failures_survived() const {
+    return corruptions_detected > 0 || blocks_re_replicated > 0 ||
+           nodes_declared_dead > 0 || map_tasks_reexecuted > 0;
+  }
+};
+
+/// \brief Extracts the integrity/node-failure telemetry from aggregated
+/// job counters plus (optionally) the DFS stats.
+NodeFailureSummary SummarizeNodeFailures(const JobCounters& counters,
+                                         const DfsStats* dfs_stats);
+
 }  // namespace gesall
 
 #endif  // GESALL_GESALL_DIAGNOSIS_H_

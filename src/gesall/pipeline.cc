@@ -623,6 +623,11 @@ JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
   cfg.speculative_execution = config_.speculative_execution;
   cfg.speculative_slow_task_ms = config_.speculative_slow_task_ms;
   cfg.skip_bad_records = config_.skip_bad_records;
+  // Node model: MR tasks run on the same simulated cluster the DFS
+  // replicates over, so "node.crash" kills both a node's replicas (on
+  // the next heartbeat Tick) and its map outputs (at reduce fetch).
+  cfg.num_nodes = dfs_ != nullptr ? dfs_->num_data_nodes() : 0;
+  cfg.max_map_reexecutions = config_.max_map_reexecutions;
   return cfg;
 }
 
@@ -631,6 +636,13 @@ FaultToleranceSummary GesallPipeline::SummarizeFaultTolerance() const {
   for (const auto& round : stats_) merged.Merge(round.counters);
   DfsStats dfs_stats = dfs_ != nullptr ? dfs_->stats() : DfsStats{};
   return gesall::SummarizeFaultTolerance(merged, &dfs_stats);
+}
+
+NodeFailureSummary GesallPipeline::SummarizeNodeFailures() const {
+  JobCounters merged;
+  for (const auto& round : stats_) merged.Merge(round.counters);
+  DfsStats dfs_stats = dfs_ != nullptr ? dfs_->stats() : DfsStats{};
+  return gesall::SummarizeNodeFailures(merged, &dfs_stats);
 }
 
 Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,
@@ -680,7 +692,9 @@ Status GesallPipeline::RunRound1Alignment() {
   }
   stats_.push_back({"round1_alignment", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
-  return Status::OK();
+  // One heartbeat interval per round: crashed nodes are declared dead
+  // and their blocks re-replicated before the next round reads them.
+  return dfs_->Tick();
 }
 
 Status GesallPipeline::RunRound2Cleaning() {
@@ -733,7 +747,7 @@ Status GesallPipeline::RunRound2Cleaning() {
   GESALL_RETURN_NOT_OK(WritePartitions(kCleanedDir, outputs));
   stats_.push_back({"round2_cleaning", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
-  return Status::OK();
+  return dfs_->Tick();
 }
 
 Result<std::string> GesallPipeline::BuildBloomFilter() {
@@ -818,7 +832,7 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
                                               : "round3_markdup_reg",
                     clock.ElapsedSeconds(), std::move(result.counters),
                     std::move(result.tasks)});
-  return Status::OK();
+  return dfs_->Tick();
 }
 
 Status GesallPipeline::RunRecalibrationRounds() {
@@ -872,7 +886,7 @@ Status GesallPipeline::RunRecalibrationRounds() {
   stats_.push_back({"round3.5_print_reads", apply_clock.ElapsedSeconds(),
                     std::move(apply_result.counters),
                     std::move(apply_result.tasks)});
-  return Status::OK();
+  return dfs_->Tick();
 }
 
 Status GesallPipeline::RunRound4Sort() {
@@ -930,7 +944,7 @@ Status GesallPipeline::RunRound4Sort() {
   }
   stats_.push_back({"round4_sort", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
-  return Status::OK();
+  return dfs_->Tick();
 }
 
 Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
@@ -1021,6 +1035,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
            : "round5_haplotype_caller",
        clock.ElapsedSeconds(), std::move(result.counters),
        std::move(result.tasks)});
+  GESALL_RETURN_NOT_OK(dfs_->Tick());
   return variants;
 }
 

@@ -101,6 +101,10 @@ struct PipelineConfig {
   bool speculative_execution = false;
   int speculative_slow_task_ms = 100;
   bool skip_bad_records = false;
+  /// Lost-map-output bound forwarded into every round's JobConfig (the
+  /// node model itself sizes from the DFS cluster: num_nodes =
+  /// dfs->num_data_nodes()).
+  int max_map_reexecutions = 2;
 };
 
 /// \brief Wall-clock and counter statistics of one executed round.
@@ -148,6 +152,11 @@ class GesallPipeline {
   /// plus the DFS failover stats into one FaultToleranceSummary, ready
   /// for GenerateDiagnosisReport.
   FaultToleranceSummary SummarizeFaultTolerance() const;
+
+  /// Aggregates the integrity/node-failure counters of every executed
+  /// round plus the DFS checksum/heartbeat stats into one
+  /// NodeFailureSummary, ready for GenerateDiagnosisReport.
+  NodeFailureSummary SummarizeNodeFailures() const;
 
  private:
   JobConfig MakeJobConfig(int reducers) const;

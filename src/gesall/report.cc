@@ -115,6 +115,34 @@ Result<DiagnosisReport> GenerateDiagnosisReport(
               : "- no recovery mechanism fired during this run\n\n";
   }
 
+  if (in.node_failures != nullptr) {
+    report.node_failures = *in.node_failures;
+    const NodeFailureSummary& nf = report.node_failures;
+    md += "## Node failures\n\n";
+    Append(&md, "- corrupt replicas: %lld detected, %lld quarantined\n",
+           static_cast<long long>(nf.corruptions_detected),
+           static_cast<long long>(nf.replicas_quarantined));
+    Append(&md, "- re-replication: %lld replicas (%lld bytes)\n",
+           static_cast<long long>(nf.blocks_re_replicated),
+           static_cast<long long>(nf.bytes_re_replicated));
+    Append(&md, "- heartbeat: %lld nodes declared dead, %lld restarts\n",
+           static_cast<long long>(nf.nodes_declared_dead),
+           static_cast<long long>(nf.node_restarts));
+    Append(&md, "- lost map outputs: %lld to dead nodes, %lld corrupt "
+                "fetches; %lld map tasks re-executed\n",
+           static_cast<long long>(nf.map_outputs_lost_to_dead_nodes),
+           static_cast<long long>(nf.shuffle_fetch_corruptions),
+           static_cast<long long>(nf.map_tasks_reexecuted));
+    Append(&md, "- shuffle integrity: %lld partitions verified "
+                "(%lld bytes checksummed)\n",
+           static_cast<long long>(nf.shuffle_partitions_verified),
+           static_cast<long long>(nf.shuffle_checksummed_bytes));
+    md += nf.any_node_failures_survived()
+              ? "- the output above survived corruption/node loss; "
+                "discordance verdicts already include their effect\n\n"
+              : "- no corruption or node loss observed during this run\n\n";
+  }
+
   if (in.truth != nullptr) {
     md += "## Truth-set scoring\n\n";
     Append(&md, "- serial:   precision %.4f, sensitivity %.4f\n",

@@ -29,6 +29,10 @@ struct DiagnosisReportInputs {
   /// speculation, DFS failover) — rendered as its own report section so
   /// a reviewer sees which recoveries the accepted output survived.
   const FaultToleranceSummary* fault_tolerance = nullptr;
+  /// Optional integrity/node-failure telemetry (checksum detections,
+  /// re-replication, heartbeat deaths, map re-executions) — rendered as
+  /// its own section alongside the fault-tolerance one.
+  const NodeFailureSummary* node_failures = nullptr;
 };
 
 /// \brief Computed report: the structured verdicts plus markdown text.
@@ -39,6 +43,7 @@ struct DiagnosisReport {
   PrecisionSensitivity serial_truth_score;    // zero when truth absent
   PrecisionSensitivity parallel_truth_score;
   FaultToleranceSummary fault_tolerance;      // zero when not supplied
+  NodeFailureSummary node_failures;           // zero when not supplied
 
   /// The paper's acceptance criteria (§4.5.2 conclusions).
   bool discordance_is_low_quality = false;  // weighted << raw D_count

@@ -62,6 +62,13 @@ Status ValidateJobConfig(const JobConfig& c, bool needs_reducers) {
     return Status::InvalidArgument(
         "speculative_win_margin_ms must be non-negative");
   }
+  if (c.num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  if (c.max_map_reexecutions < 0) {
+    return Status::InvalidArgument(
+        "max_map_reexecutions must be non-negative");
+  }
   return Status::OK();
 }
 
@@ -168,11 +175,11 @@ class MapContextImpl : public MapContext {
  public:
   MapContextImpl(const Partitioner* partitioner, int num_partitions,
                  int64_t sort_buffer_bytes, Combiner* combiner,
-                 MapTaskOutput* out)
+                 bool checksum, MapTaskOutput* out)
       : partitioner_(partitioner), num_partitions_(num_partitions),
         out_(out) {
     out_->shuffle = std::make_unique<ShuffleBuffer>(
-        num_partitions, sort_buffer_bytes, combiner);
+        num_partitions, sort_buffer_bytes, combiner, checksum);
   }
 
   void Emit(std::string key, std::string value) override {
@@ -217,6 +224,9 @@ class MapContextImpl : public MapContext {
       out_->counters.Add("combine_input_records", s.combine_input_records);
       out_->counters.Add("combine_output_records",
                          s.combine_output_records);
+    }
+    if (s.checksummed_bytes > 0) {
+      out_->counters.Add("shuffle_checksummed_bytes", s.checksummed_bytes);
     }
     return Status::OK();
   }
@@ -410,49 +420,162 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
 
   std::vector<MapTaskOutput> outputs(splits.size());
   Stopwatch job_clock;
+
+  // Node assignment of the whole-node failure model: locality-hinted
+  // tasks run on their preferred node, the rest round-robin.
+  const int num_nodes = config_.num_nodes;
+  std::vector<int> node_of(splits.size(), -1);
+  if (num_nodes > 0) {
+    for (size_t i = 0; i < splits.size(); ++i) {
+      const int preferred = splits[i].preferred_node;
+      node_of[i] =
+          (preferred >= 0 ? preferred : static_cast<int>(i)) % num_nodes;
+    }
+  }
+
+  // One full map task (all attempts + finalization) into *slot. Reused
+  // verbatim by the lost-map-output re-execution below, so a re-executed
+  // task goes through the same retry/speculation/skip machinery.
+  auto execute_map = [&](size_t i, MapTaskOutput* slot) {
+    auto run_attempt = [&, i](int attempt, MapTaskOutput* out) {
+      out->record.type = TaskRecord::Type::kMap;
+      out->record.index = static_cast<int>(i);
+      out->record.attempt = attempt;
+      out->record.start_seconds = job_clock.ElapsedSeconds();
+      auto input =
+          LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
+                           config_.fault_injector);
+      if (input.ok()) {
+        // Each attempt gets a fresh combiner instance so stateful
+        // combiners cannot leak state across attempts.
+        std::unique_ptr<Combiner> combiner;
+        if (config_.combiner_factory) {
+          combiner = config_.combiner_factory();
+        }
+        MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
+                           combiner.get(), config_.checksum_shuffle, out);
+        auto mapper = mapper_factory();
+        out->status = mapper->Map(input.ValueOrDie(), &ctx);
+        if (out->status.ok()) {
+          out->status = ctx.FinishTask();
+        } else {
+          ctx.FlushCounters();
+        }
+        out->record.input_bytes =
+            static_cast<int64_t>(input.ValueOrDie().size());
+        out->record.output_bytes =
+            out->counters.Get("map_output_bytes");
+      } else {
+        out->status = input.status();
+      }
+      out->record.end_seconds = job_clock.ElapsedSeconds();
+    };
+    AttemptStats stats;
+    RunTaskAttempts(config_, run_attempt, slot, &stats);
+    FinalizeMapTask(config_, stats, slot);
+    slot->record.node = node_of[i];
+  };
+
   {
     ThreadPool pool(config_.max_parallel_tasks);
     for (size_t i = 0; i < splits.size(); ++i) {
-      pool.Submit([&, i] {
-        auto run_attempt = [&, i](int attempt, MapTaskOutput* out) {
-          out->record.type = TaskRecord::Type::kMap;
-          out->record.index = static_cast<int>(i);
-          out->record.attempt = attempt;
-          out->record.start_seconds = job_clock.ElapsedSeconds();
-          auto input =
-              LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
-                               config_.fault_injector);
-          if (input.ok()) {
-            // Each attempt gets a fresh combiner instance so stateful
-            // combiners cannot leak state across attempts.
-            std::unique_ptr<Combiner> combiner;
-            if (config_.combiner_factory) {
-              combiner = config_.combiner_factory();
-            }
-            MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
-                               combiner.get(), out);
-            auto mapper = mapper_factory();
-            out->status = mapper->Map(input.ValueOrDie(), &ctx);
-            if (out->status.ok()) {
-              out->status = ctx.FinishTask();
-            } else {
-              ctx.FlushCounters();
-            }
-            out->record.input_bytes =
-                static_cast<int64_t>(input.ValueOrDie().size());
-            out->record.output_bytes =
-                out->counters.Get("map_output_bytes");
-          } else {
-            out->status = input.status();
-          }
-          out->record.end_seconds = job_clock.ElapsedSeconds();
-        };
-        AttemptStats stats;
-        RunTaskAttempts(config_, run_attempt, &outputs[i], &stats);
-        FinalizeMapTask(config_, stats, &outputs[i]);
-      });
+      pool.Submit([&, i] { execute_map(i, &outputs[i]); });
     }
     pool.Wait();
+  }
+
+  // Reduce-side fetch with Hadoop lost-map-output semantics. A map
+  // output is lost when its node died ("node.crash", attempt 0 = the
+  // heartbeat epoch the job observes), when the fetch itself is failed
+  // by "mr.shuffle_fetch" (key = map index, attempt = fetch epoch), or
+  // when a shuffle run's CRC32C no longer verifies. Lost outputs
+  // re-execute their COMPLETED map task on the next live node; each
+  // epoch re-fetches only the re-executed outputs, and a task lost more
+  // than max_map_reexecutions times fails the job.
+  JobCounters recovery_counters;
+  if (num_nodes > 0 || config_.checksum_shuffle) {
+    FaultInjector* injector = config_.fault_injector;
+    std::vector<bool> dead(num_nodes > 0 ? num_nodes : 0, false);
+    if (injector != nullptr) {
+      for (int n = 0; n < num_nodes; ++n) {
+        dead[n] = injector->ShouldFail(kFaultNodeCrash, n, 0);
+      }
+    }
+    std::vector<int> reexecutions(splits.size(), 0);
+    std::vector<size_t> fetch_pending(splits.size());
+    for (size_t i = 0; i < splits.size(); ++i) fetch_pending[i] = i;
+    for (int epoch = 0; !fetch_pending.empty(); ++epoch) {
+      std::vector<size_t> lost;
+      for (size_t i : fetch_pending) {
+        MapTaskOutput& out = outputs[i];
+        if (!out.status.ok() || out.skipped || out.shuffle == nullptr) {
+          continue;  // nothing fetchable; the status merge handles it
+        }
+        if (num_nodes > 0 && dead[node_of[i]]) {
+          recovery_counters.Add("map_outputs_lost_to_dead_nodes", 1);
+          lost.push_back(i);
+          continue;
+        }
+        if (injector != nullptr &&
+            injector->ShouldFail(kFaultShuffleFetch,
+                                 static_cast<int64_t>(i), epoch)) {
+          recovery_counters.Add("shuffle_fetch_corruptions", 1);
+          lost.push_back(i);
+          continue;
+        }
+        if (config_.checksum_shuffle) {
+          Status verify;
+          for (int p = 0;
+               verify.ok() && p < out.shuffle->num_partitions(); ++p) {
+            verify = out.shuffle->VerifyPartition(p);
+          }
+          if (!verify.ok()) {
+            recovery_counters.Add("shuffle_fetch_corruptions", 1);
+            lost.push_back(i);
+            continue;
+          }
+          recovery_counters.Add("shuffle_partitions_verified",
+                                out.shuffle->num_partitions());
+        }
+      }
+      if (lost.empty()) break;
+      for (size_t i : lost) {
+        if (++reexecutions[i] > config_.max_map_reexecutions) {
+          return Status::IOError(
+              "map output " + std::to_string(i) + " lost " +
+              std::to_string(reexecutions[i]) +
+              " times, exceeding max_map_reexecutions (" +
+              std::to_string(config_.max_map_reexecutions) + ")");
+        }
+        if (num_nodes > 0) {
+          int moved = -1;
+          for (int k = 1; k <= num_nodes; ++k) {
+            const int candidate = (node_of[i] + k) % num_nodes;
+            if (!dead[candidate]) {
+              moved = candidate;
+              break;
+            }
+          }
+          if (moved < 0) {
+            return Status::IOError("cannot re-execute map task " +
+                                   std::to_string(i) +
+                                   ": every compute node is dead");
+          }
+          node_of[i] = moved;
+        }
+        outputs[i] = MapTaskOutput{};  // no counter/record residue
+      }
+      {
+        ThreadPool pool(config_.max_parallel_tasks);
+        for (size_t i : lost) {
+          pool.Submit([&, i] { execute_map(i, &outputs[i]); });
+        }
+        pool.Wait();
+      }
+      recovery_counters.Add("map_tasks_reexecuted",
+                            static_cast<int64_t>(lost.size()));
+      fetch_pending = std::move(lost);
+    }
   }
 
   JobResult result;
@@ -462,6 +585,7 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
     result.counters.Merge(out.counters);
     result.tasks.push_back(out.record);
   }
+  result.counters.Merge(recovery_counters);
 
   // Shuffle + reduce (map outputs are stable across reduce attempts, so
   // a retried reducer re-merges the same frozen runs).

@@ -21,6 +21,14 @@
 // be skipped after exhausted retries (mapreduce.map.skip analog) instead
 // of failing the job. Wire a seeded FaultInjector into
 // JobConfig::fault_injector to exercise these paths reproducibly.
+//
+// Whole-node failure follows Hadoop's lost-map-output semantics: with
+// JobConfig::num_nodes set, every map task runs on a simulated node, and
+// before reducers fetch, the job master consults the "node.crash" fault
+// point. Map outputs on a dead node — or outputs whose shuffle-run
+// CRC32C no longer verifies, or fetches failed by "mr.shuffle_fetch" —
+// are lost, so their COMPLETED map tasks are re-executed on a live node,
+// bounded by JobConfig::max_map_reexecutions per task.
 
 #ifndef GESALL_MR_MAPREDUCE_H_
 #define GESALL_MR_MAPREDUCE_H_
@@ -199,6 +207,21 @@ struct JobConfig {
   bool skip_bad_records = false;
   /// Optional chaos source (not owned). nullptr disables injection.
   FaultInjector* fault_injector = nullptr;
+
+  // --- Whole-node failure model (lost-map-output re-execution) ---
+
+  /// Compute nodes of the simulated cluster. Map task i runs on node
+  /// (preferred_node >= 0 ? preferred_node : i) % num_nodes; the
+  /// "node.crash" fault point (key = node id, attempt = 0) decides which
+  /// nodes die before the reduce-side fetch. 0 disables the node model.
+  int num_nodes = 0;
+  /// Times one map task's output may be lost (dead node, corrupt run, or
+  /// injected fetch failure) and the task re-executed before the job
+  /// fails (mapreduce.reduce.shuffle fetch-failure limit analog).
+  int max_map_reexecutions = 2;
+  /// CRC32C every frozen shuffle run at spill time and verify it at
+  /// reduce-fetch time; a mismatch counts as a lost map output.
+  bool checksum_shuffle = true;
 };
 
 /// \brief Wall-clock record of one task, for progress plots (paper Fig 7).
@@ -214,6 +237,9 @@ struct TaskRecord {
   int attempt = 0;
   /// True when a speculative re-execution won over the original attempt.
   bool speculative = false;
+  /// Simulated compute node the winning attempt ran on (-1 without a
+  /// node model). A re-executed map records the node it moved to.
+  int node = -1;
 };
 
 /// \brief Result of a job: per-reducer emitted values + counters.

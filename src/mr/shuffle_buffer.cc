@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 #include <utility>
+
+#include "util/crc32c.h"
 
 namespace gesall {
 
 namespace {
+
+// Per-64KiB-chunk CRC32C sums over a partition arena's stored extents,
+// in block order — the spill-file byte stream under IFile-style chunk
+// checksums. Chunks never span extents, so verification recomputes the
+// identical chunking from the same arena. Returns the covered bytes.
+int64_t ComputeChunkCrcs(const Arena& arena, std::vector<uint32_t>* crcs) {
+  crcs->clear();
+  int64_t covered = 0;
+  for (const Arena::Extent& extent : arena.extents()) {
+    for (size_t off = 0; off < extent.size;
+         off += ShuffleBuffer::kChecksumChunkBytes) {
+      const size_t n = std::min(ShuffleBuffer::kChecksumChunkBytes,
+                                extent.size - off);
+      crcs->push_back(ExtendCrc32c(0, extent.data + off, n));
+      covered += static_cast<int64_t>(n);
+    }
+  }
+  return covered;
+}
 
 // Appends combiner output for one key group into the frozen run,
 // charging combined values to the partition arena.
@@ -32,9 +54,9 @@ class ArenaCombineEmitter : public CombineEmitter {
 }  // namespace
 
 ShuffleBuffer::ShuffleBuffer(int num_partitions, int64_t sort_buffer_bytes,
-                             Combiner* combiner)
+                             Combiner* combiner, bool checksum)
     : sort_buffer_bytes_(sort_buffer_bytes), combiner_(combiner),
-      parts_(num_partitions > 0 ? num_partitions : 0) {}
+      checksum_(checksum), parts_(num_partitions > 0 ? num_partitions : 0) {}
 
 Status ShuffleBuffer::Add(int p, std::string_view key,
                           std::string_view value) {
@@ -122,6 +144,35 @@ Status ShuffleBuffer::Finish() {
   GESALL_RETURN_NOT_OK(SpillAll());
   for (auto& part : parts_) {
     if (part.runs.size() > 1) MergePartition(&part);
+    // Seal after the merge: the merge reorders only the entry index, so
+    // the sums cover the final arena byte stream the reduce side reads.
+    if (checksum_) SealChecksums(&part);
+  }
+  return Status::OK();
+}
+
+void ShuffleBuffer::SealChecksums(Partition* part) {
+  part->sealed_bytes = ComputeChunkCrcs(part->arena, &part->chunk_crcs);
+  stats_.checksummed_bytes += part->sealed_bytes;
+}
+
+Status ShuffleBuffer::VerifyPartition(int p) const {
+  const Partition& part = parts_[p];
+  if (!checksum_ || part.sealed_bytes < 0) return Status::OK();
+  std::vector<uint32_t> actual;
+  const int64_t covered = ComputeChunkCrcs(part.arena, &actual);
+  if (covered != part.sealed_bytes || actual.size() != part.chunk_crcs.size()) {
+    return Status::Corruption(
+        "shuffle partition " + std::to_string(p) +
+        " changed size after sealing: " + std::to_string(covered) +
+        " bytes vs " + std::to_string(part.sealed_bytes) + " sealed");
+  }
+  for (size_t c = 0; c < actual.size(); ++c) {
+    if (actual[c] != part.chunk_crcs[c]) {
+      return Status::Corruption(
+          "shuffle chunk checksum mismatch: partition " + std::to_string(p) +
+          " chunk " + std::to_string(c));
+    }
   }
   return Status::OK();
 }

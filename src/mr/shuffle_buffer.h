@@ -202,6 +202,9 @@ struct ShuffleStats {
   int64_t merge_bytes = 0;
   int64_t combine_input_records = 0;
   int64_t combine_output_records = 0;
+  /// Arena bytes sealed under per-chunk CRC32C sums at Finish (0 with
+  /// checksumming disabled).
+  int64_t checksummed_bytes = 0;
 };
 
 /// \brief Per-map-task shuffle accumulator: per-partition arenas plus
@@ -213,12 +216,22 @@ struct ShuffleStats {
 /// the object is moved.
 class ShuffleBuffer {
  public:
+  /// Checksum granularity: one CRC32C per this many stored bytes, the
+  /// HDFS io.bytes.per.checksum analog (HDFS uses 512 B per chunk on
+  /// disk; in-memory we follow the DFS block metadata's 64 KiB chunks).
+  static constexpr size_t kChecksumChunkBytes = 64 * 1024;
+
   /// `sort_buffer_bytes` is the spill threshold over the buffered-record
   /// accounting (key + value + per-record overhead), the
   /// mapreduce.task.io.sort.mb analog. `combiner` (optional, not owned)
-  /// runs over every sorted spill run before it freezes.
+  /// runs over every sorted spill run before it freezes. With `checksum`
+  /// on, Finish() seals each partition's arena — the spill-file byte
+  /// stream — under per-64KiB-chunk CRC32C sums (the IFile checksum
+  /// analog) that VerifyPartition rechecks at fetch time. The map-side
+  /// merge reorders only the entry index, never arena bytes, so sealed
+  /// sums stay valid without recomputation.
   ShuffleBuffer(int num_partitions, int64_t sort_buffer_bytes,
-                Combiner* combiner = nullptr);
+                Combiner* combiner = nullptr, bool checksum = true);
 
   ShuffleBuffer(ShuffleBuffer&&) = default;
   ShuffleBuffer& operator=(ShuffleBuffer&&) = default;
@@ -232,8 +245,22 @@ class ShuffleBuffer {
   /// spill runs into one sorted run, charging merge bytes.
   Status Finish();
 
+  /// Recomputes partition `p`'s per-chunk CRC32C sums over its arena
+  /// extents and compares them against the sums sealed at Finish() — the
+  /// reduce-side fetch verification. Also rejects a partition whose
+  /// stored byte count changed after sealing (truncation / late append).
+  /// Corruption() on mismatch; OK when checksumming is disabled or the
+  /// partition is not yet sealed.
+  Status VerifyPartition(int p) const;
+
   int num_partitions() const { return static_cast<int>(parts_.size()); }
   const std::vector<ShuffleRun>& runs(int p) const { return parts_[p].runs; }
+  /// Sealed per-64KiB-chunk CRC32C sums of partition `p`'s arena bytes.
+  /// Empty when checksumming is disabled or before Finish().
+  const std::vector<uint32_t>& chunk_crcs(int p) const {
+    return parts_[p].chunk_crcs;
+  }
+  bool checksummed() const { return checksum_; }
   const ShuffleStats& stats() const { return stats_; }
 
  private:
@@ -241,15 +268,21 @@ class ShuffleBuffer {
     Arena arena;
     ShuffleRun pending;  // unsorted entries since the last spill
     std::vector<ShuffleRun> runs;
+    std::vector<uint32_t> chunk_crcs;  // sealed at Finish when checksummed
+    int64_t sealed_bytes = -1;         // arena bytes covered; -1 = unsealed
   };
 
   Status SpillAll();
   Status SpillPartition(Partition* part);
   void MergePartition(Partition* part);
+  // Seals the partition's arena under per-chunk sums; charges
+  // stats_.checksummed_bytes.
+  void SealChecksums(Partition* part);
 
   int64_t sort_buffer_bytes_;
   int64_t buffered_bytes_ = 0;
   Combiner* combiner_;
+  bool checksum_;
   ShuffleStats stats_;
   std::vector<Partition> parts_;
 };

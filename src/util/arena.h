@@ -22,6 +22,13 @@ class Arena {
  public:
   static constexpr size_t kDefaultBlockBytes = 1 << 20;
 
+  /// One stored byte range: a block's used prefix. Appends never span
+  /// blocks, so the extent list tiles exactly the stored payload.
+  struct Extent {
+    const char* data;
+    size_t size;
+  };
+
   explicit Arena(size_t block_bytes = kDefaultBlockBytes)
       : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
 
@@ -38,11 +45,14 @@ class Arena {
       // current block keeps accepting small appends.
       if (bytes.size() >= block_bytes_ / 2) {
         char* block = NewBlock(bytes.size());
+        used_.back() = bytes.size();
         std::memcpy(block, bytes.data(), bytes.size());
         bytes_used_ += bytes.size();
         return std::string_view(block, bytes.size());
       }
+      SealOpenBlock();
       head_ = NewBlock(block_bytes_);
+      open_block_ = blocks_.size() - 1;
       remaining_ = block_bytes_;
     }
     char* dst = head_;
@@ -61,9 +71,26 @@ class Arena {
     return static_cast<int64_t>(blocks_.size());
   }
 
+  /// The stored byte ranges, in block-creation order. Views returned by
+  /// Append alias these ranges; together the extents cover every stored
+  /// payload byte exactly once (a block's unused tail is excluded).
+  std::vector<Extent> extents() const {
+    std::vector<Extent> out;
+    out.reserve(blocks_.size());
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      size_t used = i == open_block_
+                        ? static_cast<size_t>(head_ - blocks_[i].get())
+                        : used_[i];
+      if (used > 0) out.push_back({blocks_[i].get(), used});
+    }
+    return out;
+  }
+
   /// Releases every block. Invalidates all previously returned views.
   void Clear() {
     blocks_.clear();
+    used_.clear();
+    open_block_ = SIZE_MAX;
     head_ = nullptr;
     remaining_ = 0;
     bytes_used_ = 0;
@@ -72,14 +99,25 @@ class Arena {
  private:
   char* NewBlock(size_t size) {
     blocks_.push_back(std::make_unique<char[]>(size));
+    used_.push_back(0);
     return blocks_.back().get();
+  }
+
+  void SealOpenBlock() {
+    if (open_block_ != SIZE_MAX) {
+      used_[open_block_] =
+          static_cast<size_t>(head_ - blocks_[open_block_].get());
+    }
   }
 
   size_t block_bytes_;
   char* head_ = nullptr;
   size_t remaining_ = 0;
+  size_t open_block_ = SIZE_MAX;
   int64_t bytes_used_ = 0;
   std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<size_t> used_;  // used bytes per block; open block tracked
+                              // via head_ until the next block opens
 };
 
 }  // namespace gesall

@@ -1,0 +1,175 @@
+#include "util/crc32c.h"
+
+#include <cstring>
+#include <mutex>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GESALL_CRC32C_HAS_SSE42 1
+#include <nmmintrin.h>
+#endif
+
+namespace gesall {
+
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+// Slice-by-8 lookup tables: table[t][b] advances the CRC by the byte b
+// seen t positions ahead, so eight bytes fold in with eight table loads
+// and no per-byte dependency chain.
+uint32_t g_table[8][256];
+std::once_flag g_table_once;
+
+void InitTables() {
+  for (int i = 0; i < 256; ++i) {
+    uint32_t c = static_cast<uint32_t>(i);
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (c >> 1) ^ kPolyReflected : c >> 1;
+    }
+    g_table[0][i] = c;
+  }
+  for (int t = 1; t < 8; ++t) {
+    for (int i = 0; i < 256; ++i) {
+      g_table[t][i] =
+          (g_table[t - 1][i] >> 8) ^ g_table[0][g_table[t - 1][i] & 0xFF];
+    }
+  }
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+#ifdef GESALL_CRC32C_HAS_SSE42
+// The single-lane crc32q loop is latency-bound: each step waits ~3
+// cycles on the previous CRC. Large buffers instead run three
+// independent lanes over adjacent kLaneBytes segments (one crc32q per
+// lane per cycle) and recombine with a precomputed "advance the CRC
+// register by kLaneBytes zero bytes" linear operator: for the reflected
+// CRC register, F(init, A||B) = Shift(F(init, A)) ^ F(0, B).
+constexpr size_t kLaneBytes = 4096;
+
+uint32_t g_lane_shift[4][256];
+std::once_flag g_lane_shift_once;
+
+void InitLaneShift() {
+  std::call_once(g_table_once, InitTables);
+  // Columns of the one-zero-byte register step, a GF(2)-linear map.
+  uint32_t col[32];
+  for (int i = 0; i < 32; ++i) {
+    uint32_t l = 1u << i;
+    col[i] = (l >> 8) ^ g_table[0][l & 0xFF];
+  }
+  auto apply = [](const uint32_t c[32], uint32_t x) {
+    uint32_t out = 0;
+    while (x != 0) {
+      out ^= c[__builtin_ctz(x)];
+      x &= x - 1;
+    }
+    return out;
+  };
+  // Square log2(kLaneBytes) times: one-byte step -> kLaneBytes step.
+  for (size_t span = 1; span < kLaneBytes; span *= 2) {
+    uint32_t next[32];
+    for (int i = 0; i < 32; ++i) next[i] = apply(col, col[i]);
+    std::memcpy(col, next, sizeof(col));
+  }
+  for (int t = 0; t < 4; ++t) {
+    for (int b = 0; b < 256; ++b) {
+      g_lane_shift[t][b] = apply(col, static_cast<uint32_t>(b) << (8 * t));
+    }
+  }
+}
+
+inline uint32_t LaneShift(uint32_t crc) {
+  return g_lane_shift[0][crc & 0xFF] ^ g_lane_shift[1][(crc >> 8) & 0xFF] ^
+         g_lane_shift[2][(crc >> 16) & 0xFF] ^ g_lane_shift[3][crc >> 24];
+}
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  uint64_t l = crc ^ 0xFFFFFFFFu;
+  if (n >= 3 * kLaneBytes) {
+    std::call_once(g_lane_shift_once, InitLaneShift);
+    do {
+      uint64_t c0 = l, c1 = 0, c2 = 0;
+      const uint8_t* p1 = p + kLaneBytes;
+      const uint8_t* p2 = p + 2 * kLaneBytes;
+      for (size_t i = 0; i < kLaneBytes; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, 8);
+        std::memcpy(&w1, p1 + i, 8);
+        std::memcpy(&w2, p2 + i, 8);
+        c0 = _mm_crc32_u64(c0, w0);
+        c1 = _mm_crc32_u64(c1, w1);
+        c2 = _mm_crc32_u64(c2, w2);
+      }
+      const uint32_t c01 =
+          LaneShift(static_cast<uint32_t>(c0)) ^ static_cast<uint32_t>(c1);
+      l = LaneShift(c01) ^ static_cast<uint32_t>(c2);
+      p += 3 * kLaneBytes;
+      n -= 3 * kLaneBytes;
+    } while (n >= 3 * kLaneBytes);
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    l = _mm_crc32_u64(l, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t l32 = static_cast<uint32_t>(l);
+  while (n > 0) {
+    l32 = _mm_crc32_u8(l32, *p++);
+    --n;
+  }
+  return l32 ^ 0xFFFFFFFFu;
+}
+#endif
+
+}  // namespace
+
+uint32_t ExtendCrc32cPortable(uint32_t crc, const void* data, size_t n) {
+  std::call_once(g_table_once, InitTables);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t l = crc ^ 0xFFFFFFFFu;
+  while (n >= 8) {
+    uint32_t a = l ^ LoadLe32(p);
+    uint32_t b = LoadLe32(p + 4);
+    l = g_table[7][a & 0xFF] ^ g_table[6][(a >> 8) & 0xFF] ^
+        g_table[5][(a >> 16) & 0xFF] ^ g_table[4][a >> 24] ^
+        g_table[3][b & 0xFF] ^ g_table[2][(b >> 8) & 0xFF] ^
+        g_table[1][(b >> 16) & 0xFF] ^ g_table[0][b >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    l = (l >> 8) ^ g_table[0][(l ^ *p++) & 0xFF];
+    --n;
+  }
+  return l ^ 0xFFFFFFFFu;
+}
+
+bool Crc32cHardwareAvailable() {
+#ifdef GESALL_CRC32C_HAS_SSE42
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+#ifdef GESALL_CRC32C_HAS_SSE42
+  if (Crc32cHardwareAvailable()) {
+    return ExtendHardware(crc, static_cast<const uint8_t*>(data), n);
+  }
+#endif
+  return ExtendCrc32cPortable(crc, data, n);
+}
+
+}  // namespace gesall

@@ -1,0 +1,39 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41), the checksum HDFS stores
+// per 512-byte (here: per-chunk) slice of every block and verifies on
+// each read. Hardware-accelerated via the SSE4.2 crc32 instruction when
+// the CPU supports it (runtime-dispatched, no build flags required),
+// with a portable slice-by-8 table fallback producing identical values.
+
+#ifndef GESALL_UTIL_CRC32C_H_
+#define GESALL_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gesall {
+
+/// \brief Extends a running CRC32C with `n` more bytes. Start from 0;
+/// ExtendCrc32c(ExtendCrc32c(0, a), b) == Crc32c(a + b).
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+/// \brief One-shot CRC32C of a byte range.
+inline uint32_t Crc32c(std::string_view data) {
+  return ExtendCrc32c(0, data.data(), data.size());
+}
+
+/// \brief Portable table implementation, bypassing the hardware
+/// dispatch. Exposed so tests and benchmarks can pin the software path;
+/// always returns the same value as ExtendCrc32c.
+uint32_t ExtendCrc32cPortable(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32cPortable(std::string_view data) {
+  return ExtendCrc32cPortable(0, data.data(), data.size());
+}
+
+/// \brief True when this process dispatches to the SSE4.2 instruction.
+bool Crc32cHardwareAvailable();
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_CRC32C_H_

@@ -30,6 +30,18 @@ inline constexpr char kFaultDfsReadReplica[] = "dfs.read_replica";
 inline constexpr char kFaultSplitLoad[] = "split.load";
 inline constexpr char kFaultMapAttempt[] = "mr.map_attempt";
 inline constexpr char kFaultReduceAttempt[] = "mr.reduce_attempt";
+/// Rots one byte of a stored DFS replica at read time (key = block id,
+/// attempt = write-time replica ordinal).
+inline constexpr char kFaultDfsBlockCorrupt[] = "dfs.block_corrupt";
+/// Whole-node crash/restart, consulted once per heartbeat interval by
+/// Dfs::Tick (key = node id, attempt = tick) and by the MR job master's
+/// shuffle with attempt = 0 (a node crashed at the start of the
+/// heartbeat epoch is dead for the job's fetch phase).
+inline constexpr char kFaultNodeCrash[] = "node.crash";
+inline constexpr char kFaultNodeRestart[] = "node.restart";
+/// Corrupts the reduce-side fetch of one map task's output (key = map
+/// task index, attempt = fetch epoch), forcing a map re-execution.
+inline constexpr char kFaultShuffleFetch[] = "mr.shuffle_fetch";
 
 /// \brief Seeded injector of failures and latency at named fault points.
 ///

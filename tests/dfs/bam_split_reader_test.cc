@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "formats/bam.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace gesall {
@@ -99,6 +100,36 @@ TEST_F(BamSplitReaderTest, PreferredNodesExposed) {
   for (const auto& s : splits) {
     EXPECT_FALSE(s.preferred_nodes.empty());
   }
+}
+
+TEST_F(BamSplitReaderTest, CorruptedBoundaryChunkFailsOverToHealthyReplica) {
+  // A split's trailing BGZF chunk spans into the next DFS block; if the
+  // replica holding that block is corrupted, the ranged read behind
+  // ReadBamSplit must detect it via block checksums and fail over to
+  // another replica, recovering byte-identical records. Replication 2 so
+  // a healthy copy of every block exists.
+  DfsOptions o;
+  o.block_size = 16 * 1024;
+  o.replication = 2;
+  o.num_data_nodes = 4;
+  Dfs dfs(o);
+  FaultInjector injector(13);
+  // Corrupt the first-placed replica of EVERY block — including each
+  // block a boundary-spanning trailing chunk reaches into.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsBlockCorrupt, 1).ok());
+  dfs.set_fault_injector(&injector);
+  ASSERT_TRUE(dfs.Write("/sample.bam", bam_).ok());
+
+  auto splits = ComputeBamSplits(dfs, "/sample.bam").ValueOrDie();
+  ASSERT_GT(splits.size(), 3u);
+  std::vector<SamRecord> recovered;
+  for (const auto& split : splits) {
+    auto part = ReadBamSplit(dfs, "/sample.bam", split).ValueOrDie();
+    recovered.insert(recovered.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(recovered, records_);
+  EXPECT_GT(dfs.stats().corruptions_detected, 0);
+  EXPECT_EQ(dfs.stats().reads_failed, 0);
 }
 
 TEST_F(BamSplitReaderTest, WorksWithLogicalPlacement) {

@@ -123,6 +123,41 @@ TEST(DfsFailoverTest, DownNodeCountsAsFailover) {
   EXPECT_GE(dfs.stats().blocks_failed_over, 1);
 }
 
+TEST(DfsFailoverTest, RecoveredNodeServesReadsWithoutDoubleCounting) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(1);
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsReadReplica, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  LogicalPartitionPlacementPolicy policy;
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/part", data, &policy).ok());
+  int primary = LogicalPartitionPlacementPolicy::PrimaryNodeFor("/part", 5);
+
+  // First blacklisting: 5 consecutive primary failures, counted once.
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  ASSERT_TRUE(dfs.IsBlacklisted(primary));
+  EXPECT_EQ(dfs.stats().nodes_blacklisted, 1);
+
+  // The recovered node serves reads again: with the injector disarmed a
+  // read needs no failover, so the primary replica answered it.
+  injector.DisarmAll();
+  ASSERT_TRUE(dfs.MarkNodeUp(primary).ok());
+  EXPECT_FALSE(dfs.IsBlacklisted(primary));
+  const int64_t failovers_before = dfs.stats().blocks_failed_over;
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  EXPECT_EQ(dfs.stats().blocks_failed_over, failovers_before);
+
+  // Second blacklisting after recovery: the counter advances once per
+  // transition — repeated reads against an already-blacklisted node do
+  // not double-count.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsReadReplica, 1).ok());
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  ASSERT_TRUE(dfs.IsBlacklisted(primary));
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+  EXPECT_EQ(dfs.stats().nodes_blacklisted, 2);
+}
+
 TEST(DfsFailoverTest, StatsAreZeroWithoutFaults) {
   Dfs dfs(SmallOptions());
   ASSERT_TRUE(dfs.Write("/f", RandomData(5000)).ok());

@@ -1,0 +1,244 @@
+// DFS data integrity and node-crash recovery: block CRC32C verification
+// detects a corrupted replica at read time, quarantines it, and fails
+// over; the scrubber re-replicates under-replicated blocks; the
+// heartbeat clock declares crashed nodes dead and re-replicates around
+// them; restarted nodes rejoin; invalid cluster options are rejected.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dfs/dfs.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+DfsOptions SmallOptions() {
+  DfsOptions o;
+  o.block_size = 1024;
+  o.replication = 2;
+  o.num_data_nodes = 5;
+  o.blacklist_threshold = 3;
+  o.checksum_chunk_bytes = 256;
+  o.heartbeat_miss_threshold = 2;
+  return o;
+}
+
+std::string RandomData(size_t n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>('a' + rng.Uniform(26));
+  return s;
+}
+
+TEST(DfsIntegrityTest, CorruptReplicaIsDetectedQuarantinedAndFailedOver) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(7);
+  // Corrupt the first-placed replica of every block.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsBlockCorrupt, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  std::string data = RandomData(5000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+
+  // The read still returns the exact written bytes, served by the
+  // healthy second replica of each of the 5 blocks.
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+  DfsStats stats = dfs.stats();
+  EXPECT_EQ(stats.corruptions_detected, 5);
+  EXPECT_EQ(stats.replicas_quarantined, 5);
+  EXPECT_EQ(stats.blocks_failed_over, 5);
+  EXPECT_EQ(stats.reads_failed, 0);
+  // Corruption is a media fault, not a node fault: nobody blacklisted.
+  EXPECT_EQ(stats.nodes_blacklisted, 0);
+
+  // Quarantine left every block under-replicated; one scrubber pass
+  // (Tick) restores full replication from the verified healthy copy.
+  ASSERT_TRUE(dfs.Tick().ok());
+  stats = dfs.stats();
+  EXPECT_EQ(stats.blocks_re_replicated, 5);
+  EXPECT_EQ(stats.bytes_re_replicated, 5000);
+  for (const auto& loc : dfs.Locate("/f").ValueOrDie()) {
+    EXPECT_EQ(loc.replicas.size(), 2u);
+  }
+
+  // The re-replicated copies carry fresh ordinals, so the armed
+  // "corrupt ordinal 0" fault never hits them: a re-read is clean.
+  dfs.ResetStats();
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+  EXPECT_EQ(dfs.stats().corruptions_detected, 0);
+  EXPECT_EQ(dfs.stats().blocks_failed_over, 0);
+}
+
+TEST(DfsIntegrityTest, AllReplicasCorruptSurfacesIOError) {
+  DfsOptions options = SmallOptions();
+  options.replication = 1;
+  Dfs dfs(options);
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsBlockCorrupt, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  ASSERT_TRUE(dfs.Write("/f", "payload").ok());
+  auto read = dfs.Read("/f");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIOError());
+  EXPECT_EQ(dfs.stats().corruptions_detected, 1);
+  EXPECT_GE(dfs.stats().reads_failed, 1);
+
+  // With no healthy source the scrubber cannot repair the block, and a
+  // later read still fails rather than serving rotted bytes.
+  ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_EQ(dfs.stats().blocks_re_replicated, 0);
+  EXPECT_FALSE(dfs.Read("/f").ok());
+}
+
+TEST(DfsIntegrityTest, CrashedNodeIsDeclaredDeadAndBlocksReReplicated) {
+  Dfs dfs(SmallOptions());
+  std::string data = RandomData(5000);
+  LogicalPartitionPlacementPolicy policy;
+  ASSERT_TRUE(dfs.Write("/part", data, &policy).ok());
+  const int primary =
+      LogicalPartitionPlacementPolicy::PrimaryNodeFor("/part", 5);
+  const int64_t stored = dfs.BytesStoredOn(primary);
+  ASSERT_GT(stored, 0);
+
+  ASSERT_TRUE(dfs.CrashNode(primary).ok());
+  // Crashed but not yet declared dead: heartbeat_miss_threshold = 2
+  // intervals must elapse first.
+  ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_FALSE(dfs.IsDeclaredDead(primary));
+  EXPECT_EQ(dfs.stats().nodes_declared_dead, 0);
+
+  ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_TRUE(dfs.IsDeclaredDead(primary));
+  DfsStats stats = dfs.stats();
+  EXPECT_EQ(stats.nodes_declared_dead, 1);
+  // The dead node's replicas were dropped and re-replicated onto live
+  // nodes in the same pass.
+  EXPECT_EQ(stats.blocks_re_replicated, 5);
+  EXPECT_EQ(dfs.BytesStoredOn(primary), 0);
+  for (const auto& loc : dfs.Locate("/part").ValueOrDie()) {
+    EXPECT_EQ(loc.replicas.size(), 2u);
+    for (int node : loc.replicas) EXPECT_NE(node, primary);
+  }
+  EXPECT_EQ(dfs.Read("/part").ValueOrDie(), data);
+}
+
+TEST(DfsIntegrityTest, RestartedNodeRejoinsAndHeartbeatsAgain) {
+  Dfs dfs(SmallOptions());
+  std::string data = RandomData(3000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+
+  ASSERT_TRUE(dfs.CrashNode(1).ok());
+  ASSERT_TRUE(dfs.Tick().ok());
+  ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_TRUE(dfs.IsDeclaredDead(1));
+
+  ASSERT_TRUE(dfs.RestartNode(1).ok());
+  EXPECT_FALSE(dfs.IsDeclaredDead(1));
+  EXPECT_EQ(dfs.stats().node_restarts, 1);
+  // Restarting an already-up node is a no-op, not a double restart.
+  ASSERT_TRUE(dfs.RestartNode(1).ok());
+  EXPECT_EQ(dfs.stats().node_restarts, 1);
+
+  // The rejoined node heartbeats: many more intervals pass without it
+  // being re-declared dead, and reads still verify.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_FALSE(dfs.IsDeclaredDead(1));
+  EXPECT_EQ(dfs.stats().nodes_declared_dead, 1);
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+}
+
+TEST(DfsIntegrityTest, InjectorDrivenCrashAndRestartViaTick) {
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(11);
+  // Node 2 crashes at tick 0 and restarts at tick 3.
+  injector.ArmSchedule(kFaultNodeCrash, 2, {0});
+  injector.ArmSchedule(kFaultNodeRestart, 2, {3});
+  dfs.set_fault_injector(&injector);
+
+  std::string data = RandomData(4000);
+  ASSERT_TRUE(dfs.Write("/f", data).ok());
+
+  ASSERT_TRUE(dfs.Tick().ok());  // tick 0: crash fires
+  ASSERT_TRUE(dfs.Tick().ok());  // tick 1: threshold reached, declared dead
+  ASSERT_TRUE(dfs.Tick().ok());  // tick 2: stays dead
+  EXPECT_TRUE(dfs.IsDeclaredDead(2));
+  EXPECT_EQ(dfs.stats().nodes_declared_dead, 1);
+
+  ASSERT_TRUE(dfs.Tick().ok());  // tick 3: restart fires
+  EXPECT_FALSE(dfs.IsDeclaredDead(2));
+  EXPECT_EQ(dfs.stats().node_restarts, 1);
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), data);
+  EXPECT_EQ(dfs.heartbeat_tick(), 4);
+}
+
+TEST(DfsIntegrityTest, ValidateOptionsRejectsInconsistentClusters) {
+  DfsOptions bad_replication = SmallOptions();
+  bad_replication.replication = 6;  // > num_data_nodes
+  EXPECT_TRUE(Dfs::ValidateOptions(bad_replication).IsInvalidArgument());
+
+  DfsOptions zero_replication = SmallOptions();
+  zero_replication.replication = 0;
+  EXPECT_TRUE(Dfs::ValidateOptions(zero_replication).IsInvalidArgument());
+
+  DfsOptions bad_block = SmallOptions();
+  bad_block.block_size = 0;
+  EXPECT_TRUE(Dfs::ValidateOptions(bad_block).IsInvalidArgument());
+
+  DfsOptions bad_threshold = SmallOptions();
+  bad_threshold.blacklist_threshold = 0;
+  EXPECT_TRUE(Dfs::ValidateOptions(bad_threshold).IsInvalidArgument());
+
+  DfsOptions bad_chunk = SmallOptions();
+  bad_chunk.checksum_chunk_bytes = 0;
+  EXPECT_TRUE(Dfs::ValidateOptions(bad_chunk).IsInvalidArgument());
+
+  DfsOptions bad_heartbeat = SmallOptions();
+  bad_heartbeat.heartbeat_miss_threshold = 0;
+  EXPECT_TRUE(Dfs::ValidateOptions(bad_heartbeat).IsInvalidArgument());
+
+  EXPECT_TRUE(Dfs::ValidateOptions(SmallOptions()).ok());
+  EXPECT_TRUE(Dfs::ValidateOptions(DfsOptions{}).ok());
+}
+
+TEST(DfsIntegrityTest, InvalidOptionsSurfaceFromEveryOperation) {
+  DfsOptions bad = SmallOptions();
+  bad.replication = 6;
+  Dfs dfs(bad);
+  EXPECT_TRUE(dfs.Write("/f", "x").IsInvalidArgument());
+  EXPECT_TRUE(dfs.Read("/f").status().IsInvalidArgument());
+  EXPECT_TRUE(dfs.Locate("/f").status().IsInvalidArgument());
+  EXPECT_TRUE(dfs.Delete("/f").IsInvalidArgument());
+  EXPECT_TRUE(dfs.Tick().IsInvalidArgument());
+  EXPECT_TRUE(dfs.MarkNodeDown(0).IsInvalidArgument());
+  EXPECT_FALSE(dfs.Exists("/f"));
+}
+
+TEST(DfsIntegrityTest, ScrubberTopsUpAfterDeleteAndRewrite) {
+  // Quarantine + delete + rewrite: stale verified-cache or block state
+  // must not leak across a path's regeneration.
+  Dfs dfs(SmallOptions());
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultDfsBlockCorrupt, 1).ok());
+  dfs.set_fault_injector(&injector);
+
+  std::string first = RandomData(2000, 1);
+  ASSERT_TRUE(dfs.Write("/f", first).ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), first);
+  EXPECT_EQ(dfs.stats().corruptions_detected, 2);
+
+  ASSERT_TRUE(dfs.Delete("/f").ok());
+  std::string second = RandomData(2000, 2);
+  ASSERT_TRUE(dfs.Write("/f", second).ok());
+  // New blocks, new ordinals: corruption fires again and is survived.
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), second);
+  EXPECT_EQ(dfs.stats().corruptions_detected, 4);
+  ASSERT_TRUE(dfs.Tick().ok());
+  EXPECT_EQ(dfs.Read("/f").ValueOrDie(), second);
+}
+
+}  // namespace
+}  // namespace gesall

@@ -90,5 +90,40 @@ TEST(ArenaTest, EmbeddedZerosPreserved) {
   EXPECT_EQ(std::string(view), binary);
 }
 
+TEST(ArenaTest, ExtentsTileStoredBytesExactly) {
+  // Small appends roll across blocks and an oversized payload lands in
+  // a dedicated block; the extents must cover every stored byte exactly
+  // once — unused block tails excluded — and every returned view must
+  // alias some extent.
+  Arena arena(/*block_bytes=*/64);
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 20; ++i) {
+    views.push_back(arena.Append("payload-" + std::to_string(i)));
+  }
+  views.push_back(arena.Append(std::string(200, 'x')));  // dedicated block
+  views.push_back(arena.Append("tail"));
+
+  int64_t covered = 0;
+  auto extents = arena.extents();
+  for (const auto& e : extents) covered += static_cast<int64_t>(e.size);
+  EXPECT_EQ(covered, arena.bytes_used());
+  for (std::string_view v : views) {
+    bool inside = false;
+    for (const auto& e : extents) {
+      inside |= v.data() >= e.data && v.data() + v.size() <= e.data + e.size;
+    }
+    EXPECT_TRUE(inside);
+  }
+}
+
+TEST(ArenaTest, ExtentsEmptyOnFreshAndCleared) {
+  Arena arena;
+  EXPECT_TRUE(arena.extents().empty());
+  arena.Append("data");
+  EXPECT_EQ(arena.extents().size(), 1u);
+  arena.Clear();
+  EXPECT_TRUE(arena.extents().empty());
+}
+
 }  // namespace
 }  // namespace gesall

@@ -1,0 +1,68 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gesall {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 §B.4 check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, PortableMatchesDispatch) {
+  // Lengths straddle every hardware-path regime: the byte/word tails,
+  // the single-lane loop, and the 3-way interleaved loop for buffers of
+  // 12 KiB and above (including non-multiples of the lane stride).
+  std::string data;
+  for (int i = 0; i < 100'000; ++i) {
+    data.push_back(static_cast<char>(i * 131 + (i >> 7)));
+  }
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u, 4096u, 12'287u,
+                     12'288u, 12'289u, 24'576u, 65'536u, 100'000u}) {
+    std::string_view slice(data.data(), len);
+    EXPECT_EQ(Crc32c(slice), Crc32cPortable(slice)) << "len=" << len;
+  }
+}
+
+TEST(Crc32cTest, ExtendComposesAcrossLargeBuffers) {
+  // A nonzero incoming CRC must thread through the interleaved lanes
+  // exactly as through the scalar loop.
+  std::string a(50'000, '\0'), b(40'000, '\0');
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<char>(i * 7);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<char>(i * 13 + 5);
+  uint32_t whole = ExtendCrc32c(Crc32c(a), b.data(), b.size());
+  uint32_t portable =
+      ExtendCrc32cPortable(Crc32cPortable(a), b.data(), b.size());
+  EXPECT_EQ(whole, portable);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data);
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t part = ExtendCrc32c(0, data.data(), cut);
+    part = ExtendCrc32c(part, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(part, whole) << "cut=" << cut;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data(257, 'g');
+  uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); i += 17) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(Crc32c(mutated), base) << "flip at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gesall

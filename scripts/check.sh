@@ -9,12 +9,15 @@
 # The sanitizer builds live in build-asan/ and build-ubsan/ so they
 # never pollute the regular build directory, and only build the suites
 # that exercise the risky machinery.
-#   - ASan (mr_test, util_test): arena lifetime bugs — views outliving a
-#     spill, combiner emits into a moved arena — are exactly what ASan
-#     catches and what the plain build can silently survive.
-#   - UBSan (dfs_test, mr_test): the integrity layer's checksum kernels
-#     (unaligned word loads, table folds, shift combines) and the
-#     fault-injection arithmetic must be free of undefined behavior, or
+#   - ASan (mr_test, util_test, align_test): arena lifetime bugs — views
+#     outliving a spill, combiner emits into a moved arena — are exactly
+#     what ASan catches and what the plain build can silently survive;
+#     the banded SIMD aligner's scratch-buffer reuse and unaligned vector
+#     loads get the same treatment via the differential suite.
+#   - UBSan (dfs_test, mr_test, align_test): the integrity layer's
+#     checksum kernels (unaligned word loads, table folds, shift
+#     combines), the fault-injection arithmetic, and the 16-bit
+#     saturating DP arithmetic must be free of undefined behavior, or
 #     corruption detection itself can't be trusted.
 
 set -euo pipefail
@@ -36,19 +39,21 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "=== asan: shuffle engine suites ==="
+  echo "=== asan: shuffle engine + aligner suites ==="
   cmake -B build-asan -S . -DGESALL_SANITIZE=address
-  cmake --build build-asan -j --target mr_test util_test
+  cmake --build build-asan -j --target mr_test util_test align_test
   ./build-asan/tests/mr_test
   ./build-asan/tests/util_test
+  ./build-asan/tests/align_test
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then
-  echo "=== ubsan: integrity + failure-model suites ==="
+  echo "=== ubsan: integrity + failure-model + aligner suites ==="
   cmake -B build-ubsan -S . -DGESALL_SANITIZE=undefined
-  cmake --build build-ubsan -j --target dfs_test mr_test
+  cmake --build build-ubsan -j --target dfs_test mr_test align_test
   ./build-ubsan/tests/dfs_test
   ./build-ubsan/tests/mr_test
+  ./build-ubsan/tests/align_test
 fi
 
 echo "=== check.sh: all green ==="

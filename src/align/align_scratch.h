@@ -1,0 +1,78 @@
+// Per-thread reusable state for the alignment hot path.
+//
+// Every container here grows to its high-water mark and is reused, never
+// shrunk, so a steady-state AlignReadInto/AlignPairs call performs zero
+// heap allocations per read. One AlignScratch per thread; nothing in this
+// header is safe to share across concurrent callers.
+
+#ifndef GESALL_ALIGN_ALIGN_SCRATCH_H_
+#define GESALL_ALIGN_ALIGN_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "align/smith_waterman.h"
+
+namespace gesall {
+
+struct Alignment;
+
+/// \brief A pool-backed list of Alignments. clear() only resets the live
+/// count; the pooled elements keep their Cigar capacity, so refilling the
+/// list allocates nothing once capacities have warmed up.
+class AlignmentList {
+ public:
+  /// Returns a recycled element reset to a default-constructed state
+  /// (Cigar emptied but its capacity kept).
+  Alignment& Append();
+
+  void clear() { count_ = 0; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Defined inline in aligner.h, where Alignment is a complete type.
+  Alignment* begin();
+  Alignment* end();
+  const Alignment* begin() const;
+  const Alignment* end() const;
+  Alignment& operator[](size_t i);
+  const Alignment& operator[](size_t i) const;
+
+  /// Drops elements past `n` back into the pool (used after compaction;
+  /// their buffers stay pooled).
+  void Truncate(size_t n) {
+    if (n < count_) count_ = n;
+  }
+
+ private:
+  std::vector<Alignment> items_;  // pool; [0, count_) are live
+  size_t count_ = 0;
+};
+
+/// \brief Scratch for ReadAligner::AlignReadInto. See file comment for the
+/// ownership/thread-safety contract.
+struct AlignScratch {
+  SwScratch sw;                // DP matrices + padded window + traceback
+  SwKernelStats stats;         // accumulated across calls; caller resets
+  std::string reverse_seq;     // reverse-complement buffer
+  std::vector<int64_t> starts;          // candidate start positions
+  std::vector<int> offsets;             // seed offsets within the read
+  std::vector<int64_t> locate_buf;      // FmIndex::LocateAllInto output
+  std::vector<std::pair<int64_t, int>> clusters;  // (start, votes)
+  SwAlignment sw_out;          // kernel result (Cigar capacity reused)
+};
+
+/// \brief Scratch for PairedEndAligner::AlignPairs: per-pair candidate
+/// lists plus the single-read scratch. Candidate lists are pooled the same
+/// way AlignmentList pools Alignments.
+struct PairedAlignScratch {
+  AlignScratch read;
+  std::vector<AlignmentList> cand1, cand2;  // [0, n_pairs) live per batch
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_ALIGN_SCRATCH_H_

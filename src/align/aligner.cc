@@ -10,42 +10,65 @@ namespace gesall {
 ReadAligner::ReadAligner(const GenomeIndex& index, AlignerOptions options)
     : index_(&index), options_(options) {}
 
+Alignment& AlignmentList::Append() {
+  if (count_ == items_.size()) items_.emplace_back();
+  Alignment& a = items_[count_++];
+  a.ref_id = -1;
+  a.pos = -1;
+  a.reverse = false;
+  a.cigar.clear();  // keeps capacity pooled
+  a.score = 0;
+  a.edit_distance = 0;
+  return a;
+}
+
 namespace {
 
 // Groups sorted candidate start positions that lie within `slack` of each
-// other; returns (representative_start, votes) pairs.
-std::vector<std::pair<int64_t, int>> ClusterStarts(
-    std::vector<int64_t>* starts, int64_t slack) {
-  std::vector<std::pair<int64_t, int>> clusters;
+// other, appending (representative_start, votes) pairs to `clusters`.
+void ClusterStartsInto(std::vector<int64_t>* starts, int64_t slack,
+                       std::vector<std::pair<int64_t, int>>* clusters) {
+  clusters->clear();
   std::sort(starts->begin(), starts->end());
   for (int64_t s : *starts) {
-    if (!clusters.empty() && s - clusters.back().first <= slack) {
-      ++clusters.back().second;
+    if (!clusters->empty() && s - clusters->back().first <= slack) {
+      ++clusters->back().second;
     } else {
-      clusters.emplace_back(s, 1);
+      clusters->emplace_back(s, 1);
     }
   }
-  return clusters;
 }
 
 }  // namespace
 
 std::vector<Alignment> ReadAligner::AlignRead(std::string_view seq) const {
+  AlignScratch scratch;
+  AlignmentList list;
+  AlignReadInto(seq, &scratch, &list);
+  return std::vector<Alignment>(std::make_move_iterator(list.begin()),
+                                std::make_move_iterator(list.end()));
+}
+
+void ReadAligner::AlignReadInto(std::string_view seq, AlignScratch* scratch,
+                                AlignmentList* out) const {
   const auto& opt = options_;
   const int len = static_cast<int>(seq.size());
-  std::vector<Alignment> alignments;
-  if (len < opt.seed_length) return alignments;
+  out->clear();
+  if (len < opt.seed_length) return;
 
-  std::string reverse_seq = ReverseComplement(std::string(seq));
+  ReverseComplementInto(seq, &scratch->reverse_seq);
   const int64_t total_len = index_->fm().text_length();
 
   for (int strand = 0; strand < 2; ++strand) {
     const bool reverse = strand == 1;
-    std::string_view s = reverse ? std::string_view(reverse_seq) : seq;
+    std::string_view s =
+        reverse ? std::string_view(scratch->reverse_seq) : seq;
 
     // Exact-match seeds at fixed stride (plus one flush-right seed).
-    std::vector<int64_t> starts;
-    std::vector<int> offsets;
+    std::vector<int64_t>& starts = scratch->starts;
+    std::vector<int>& offsets = scratch->offsets;
+    starts.clear();
+    offsets.clear();
     for (int o = 0; o + opt.seed_length <= len; o += opt.seed_stride) {
       offsets.push_back(o);
     }
@@ -55,19 +78,23 @@ std::vector<Alignment> ReadAligner::AlignRead(std::string_view seq) const {
     for (int o : offsets) {
       SaInterval hit = index_->fm().Search(s.substr(o, opt.seed_length));
       if (hit.empty() || hit.size() > opt.max_seed_hits) continue;
-      for (int64_t p : index_->fm().LocateAll(hit, opt.max_seed_hits)) {
-        starts.push_back(p - o);
-      }
+      std::vector<int64_t>& locs = scratch->locate_buf;
+      locs.clear();
+      index_->fm().LocateAllInto(hit, opt.max_seed_hits, &locs);
+      for (int64_t p : locs) starts.push_back(p - o);
     }
     if (starts.empty()) continue;
 
-    auto clusters = ClusterStarts(&starts, /*slack=*/16);
+    std::vector<std::pair<int64_t, int>>& clusters = scratch->clusters;
+    ClusterStartsInto(&starts, /*slack=*/16, &clusters);
     // Most-voted clusters first; ties by position for determinism.
-    std::stable_sort(clusters.begin(), clusters.end(),
-                     [](const auto& a, const auto& b) {
-                       if (a.second != b.second) return a.second > b.second;
-                       return a.first < b.first;
-                     });
+    // (Representative starts are unique, so this plain sort yields the
+    // same order a stable sort would — without its temp allocation.)
+    std::sort(clusters.begin(), clusters.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
     if (static_cast<int>(clusters.size()) > opt.max_candidates) {
       clusters.resize(opt.max_candidates);
     }
@@ -82,40 +109,58 @@ std::vector<Alignment> ReadAligner::AlignRead(std::string_view seq) const {
           index_->Window(chrom, pos - opt.window_pad,
                          len + 2 * opt.window_pad, &window_start);
       if (window.empty()) continue;
-      SwAlignment sw = SmithWaterman(s, window, opt.scoring);
+      // The seed pins the read to the diagonal `pos - window_start`
+      // (normally window_pad); band_pad absorbs cluster slack and indels.
+      SwBand band;
+      band.center = pos - window_start;
+      band.half_width = opt.band_pad;
+      SwAlignment& sw = scratch->sw_out;
+      SmithWatermanKernel(s, window, opt.scoring, band, opt.kernel,
+                          &scratch->sw, &sw, &scratch->stats);
       if (!sw.aligned || sw.score < opt.min_score) continue;
-      Alignment a;
+      Alignment& a = out->Append();
       a.ref_id = chrom;
       a.pos = window_start + sw.window_start;
       a.reverse = reverse;
-      a.cigar = std::move(sw.cigar);
+      a.cigar.swap(sw.cigar);  // hand the pooled capacity back and forth
       a.score = sw.score;
       a.edit_distance = sw.edit_distance;
-      alignments.push_back(std::move(a));
     }
   }
 
   // Dedupe by (ref, pos, strand), keeping the best score.
-  std::sort(alignments.begin(), alignments.end(),
+  std::sort(out->begin(), out->end(),
             [](const Alignment& a, const Alignment& b) {
               if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
               if (a.pos != b.pos) return a.pos < b.pos;
               if (a.reverse != b.reverse) return a.reverse < b.reverse;
               return a.score > b.score;
             });
-  alignments.erase(
-      std::unique(alignments.begin(), alignments.end(),
-                  [](const Alignment& a, const Alignment& b) {
-                    return a.ref_id == b.ref_id && a.pos == b.pos &&
-                           a.reverse == b.reverse;
-                  }),
-      alignments.end());
-  // Final order: by descending score, position-stable for determinism.
-  std::stable_sort(alignments.begin(), alignments.end(),
-                   [](const Alignment& a, const Alignment& b) {
-                     return a.score > b.score;
-                   });
-  return alignments;
+  // Swap-based compaction (unlike std::unique's move-assign, swapping
+  // keeps every pooled Cigar buffer alive for reuse).
+  size_t w = 0;
+  for (size_t r = 0; r < out->size(); ++r) {
+    if (w > 0) {
+      const Alignment& prev = (*out)[w - 1];
+      const Alignment& cur = (*out)[r];
+      if (prev.ref_id == cur.ref_id && prev.pos == cur.pos &&
+          prev.reverse == cur.reverse) {
+        continue;
+      }
+    }
+    if (w != r) std::swap((*out)[w], (*out)[r]);
+    ++w;
+  }
+  out->Truncate(w);
+  // Final order: descending score; ties by (ref, pos, strand), which are
+  // unique after deduping, so this matches the previous stable sort.
+  std::sort(out->begin(), out->end(),
+            [](const Alignment& a, const Alignment& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
+              if (a.pos != b.pos) return a.pos < b.pos;
+              return a.reverse < b.reverse;
+            });
 }
 
 PairedEndAligner::PairedEndAligner(const GenomeIndex& index,
@@ -132,19 +177,25 @@ SamHeader PairedEndAligner::MakeHeader() const {
   return header;
 }
 
-InsertStats PairedEndAligner::EstimateInsertStats(
-    const std::vector<std::vector<Alignment>>& cand1,
-    const std::vector<std::vector<Alignment>>& cand2) const {
+namespace {
+
+// Shared across the std::vector<Alignment> and pooled AlignmentList
+// candidate containers; `n` bounds the live pairs (a pooled container may
+// be larger than the current batch).
+template <typename Lists>
+InsertStats EstimateInsertStatsImpl(const Lists& cand1, const Lists& cand2,
+                                    size_t n,
+                                    const PairedAlignerOptions& options) {
   // Use only confidently, uniquely aligned proper-orientation pairs — the
   // same reads every batch would agree on — so the statistics drift only
   // through batch composition, as in BWA.
   RunningStats stats;
-  auto confident = [](const std::vector<Alignment>& c) {
+  auto confident = [](const auto& c) {
     if (c.empty()) return false;
     if (c.size() == 1) return true;
     return c[0].score - c[1].score >= 20;
   };
-  for (size_t i = 0; i < cand1.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (!confident(cand1[i]) || !confident(cand2[i])) continue;
     const Alignment& a = cand1[i][0];
     const Alignment& b = cand2[i][0];
@@ -158,13 +209,21 @@ InsertStats PairedEndAligner::EstimateInsertStats(
   InsertStats out;
   out.samples = stats.count();
   if (stats.count() < 32) {
-    out.mean = options_.fallback_insert_mean;
-    out.sd = options_.fallback_insert_sd;
+    out.mean = options.fallback_insert_mean;
+    out.sd = options.fallback_insert_sd;
   } else {
     out.mean = stats.mean();
     out.sd = std::max(1.0, stats.stddev());
   }
   return out;
+}
+
+}  // namespace
+
+InsertStats PairedEndAligner::EstimateInsertStats(
+    const std::vector<std::vector<Alignment>>& cand1,
+    const std::vector<std::vector<Alignment>>& cand2) const {
+  return EstimateInsertStatsImpl(cand1, cand2, cand1.size(), options_);
 }
 
 namespace {
@@ -240,16 +299,24 @@ SamRecord MakeRecord(const FastqRecord& read, const Alignment* aln,
 
 void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
                                   size_t begin, size_t end,
+                                  PairedAlignScratch* scratch,
                                   std::vector<SamRecord>* out) const {
   const size_t n_pairs = (end - begin) / 2;
-  std::vector<std::vector<Alignment>> cand1(n_pairs), cand2(n_pairs);
+  std::vector<AlignmentList>& cand1 = scratch->cand1;
+  std::vector<AlignmentList>& cand2 = scratch->cand2;
+  if (cand1.size() < n_pairs) {
+    cand1.resize(n_pairs);
+    cand2.resize(n_pairs);
+  }
   for (size_t i = 0; i < n_pairs; ++i) {
-    cand1[i] = read_aligner_.AlignRead(interleaved[begin + 2 * i].sequence);
-    cand2[i] =
-        read_aligner_.AlignRead(interleaved[begin + 2 * i + 1].sequence);
+    read_aligner_.AlignReadInto(interleaved[begin + 2 * i].sequence,
+                                &scratch->read, &cand1[i]);
+    read_aligner_.AlignReadInto(interleaved[begin + 2 * i + 1].sequence,
+                                &scratch->read, &cand2[i]);
   }
 
-  InsertStats stats = EstimateInsertStats(cand1, cand2);
+  InsertStats stats =
+      EstimateInsertStatsImpl(cand1, cand2, n_pairs, options_);
   const double lo = stats.mean - options_.proper_range_sds * stats.sd;
   const double hi = stats.mean + options_.proper_range_sds * stats.sd;
 
@@ -262,6 +329,8 @@ void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
   Rng rng(seed);
 
   const int k = options_.top_k;
+  std::vector<PairChoice> cobest;
+  cobest.reserve(static_cast<size_t>(k) * k + 2 * k);
   for (size_t i = 0; i < n_pairs; ++i) {
     const auto& c1 = cand1[i];
     const auto& c2 = cand2[i];
@@ -269,7 +338,7 @@ void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
     const int k2 = std::min<int>(k, static_cast<int>(c2.size()));
 
     // Enumerate pairings, including half-mapped options.
-    std::vector<PairChoice> cobest;
+    cobest.clear();
     int best = INT32_MIN, second = INT32_MIN;
     auto consider = [&](PairChoice choice) {
       if (choice.score > best) {
@@ -309,8 +378,7 @@ void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
     const bool ambiguous = cobest.size() > 1;
     const int pair_gap = (second == INT32_MIN) ? 60 : best - second;
 
-    auto mapq_for = [&](const std::vector<Alignment>& own,
-                        int idx) -> int {
+    auto mapq_for = [&](const AlignmentList& own, int idx) -> int {
       if (idx < 0) return 0;
       if (ambiguous) return 0;
       int own_best = own[0].score;
@@ -356,13 +424,20 @@ void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
 std::vector<SamRecord> PairedEndAligner::AlignPairs(
     const std::vector<FastqRecord>& interleaved) const {
   std::vector<SamRecord> out;
-  out.reserve(interleaved.size());
+  PairedAlignScratch scratch;
+  AlignPairs(interleaved, &scratch, &out);
+  return out;
+}
+
+void PairedEndAligner::AlignPairs(const std::vector<FastqRecord>& interleaved,
+                                  PairedAlignScratch* scratch,
+                                  std::vector<SamRecord>* out) const {
+  out->reserve(out->size() + interleaved.size());
   const size_t batch_reads = static_cast<size_t>(options_.batch_size) * 2;
   for (size_t begin = 0; begin < interleaved.size(); begin += batch_reads) {
     size_t end = std::min(interleaved.size(), begin + batch_reads);
-    AlignBatch(interleaved, begin, end, &out);
+    AlignBatch(interleaved, begin, end, scratch, out);
   }
-  return out;
 }
 
 }  // namespace gesall

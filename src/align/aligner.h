@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "align/align_scratch.h"
 #include "align/genome_index.h"
 #include "align/smith_waterman.h"
 #include "formats/fastq.h"
@@ -36,6 +37,17 @@ struct Alignment {
   int edit_distance = 0;
 };
 
+inline Alignment* AlignmentList::begin() { return items_.data(); }
+inline Alignment* AlignmentList::end() { return items_.data() + count_; }
+inline const Alignment* AlignmentList::begin() const { return items_.data(); }
+inline const Alignment* AlignmentList::end() const {
+  return items_.data() + count_;
+}
+inline Alignment& AlignmentList::operator[](size_t i) { return items_[i]; }
+inline const Alignment& AlignmentList::operator[](size_t i) const {
+  return items_[i];
+}
+
 /// \brief Single-read alignment parameters.
 struct AlignerOptions {
   int seed_length = 19;
@@ -48,6 +60,14 @@ struct AlignerOptions {
   SwScoring scoring;
   /// Alignments scoring below this are discarded.
   int min_score = 30;
+  /// Extension kernel (see smith_waterman.h). All modes produce identical
+  /// alignments for seed-anchored reads; kScalarFull forces the
+  /// full-rectangle oracle.
+  SwKernelMode kernel = SwKernelMode::kAuto;
+  /// Half-width of the banded DP around the seed-implied diagonal. Must
+  /// cover window_pad placement error + cluster slack + expected indels;
+  /// the default is window_pad (24) + cluster slack (16).
+  int band_pad = 40;
 };
 
 /// \brief Aligns individual reads against a GenomeIndex.
@@ -57,7 +77,14 @@ class ReadAligner {
 
   /// Returns candidate alignments sorted by descending score (deduped by
   /// position). Empty when the read is unalignable.
+  /// Convenience wrapper over AlignReadInto (allocates fresh scratch).
   std::vector<Alignment> AlignRead(std::string_view seq) const;
+
+  /// Allocation-free hot path: same results as AlignRead, written into a
+  /// pooled `out` using per-thread `scratch`. Kernel counters accumulate
+  /// into scratch->stats.
+  void AlignReadInto(std::string_view seq, AlignScratch* scratch,
+                     AlignmentList* out) const;
 
  private:
   const GenomeIndex* index_;
@@ -100,8 +127,16 @@ class PairedEndAligner {
                    PairedAlignerOptions options = {});
 
   /// Aligns all pairs, processing them in batches of batch_size.
+  /// Convenience wrapper over the scratch-reusing overload.
   std::vector<SamRecord> AlignPairs(
       const std::vector<FastqRecord>& interleaved) const;
+
+  /// Same, appending to `out` and reusing per-thread `scratch` so the
+  /// per-read alignment work allocates nothing in steady state. Kernel
+  /// counters accumulate into scratch->read.stats.
+  void AlignPairs(const std::vector<FastqRecord>& interleaved,
+                  PairedAlignScratch* scratch,
+                  std::vector<SamRecord>* out) const;
 
   /// Header matching the index's reference dictionary.
   SamHeader MakeHeader() const;
@@ -113,7 +148,8 @@ class PairedEndAligner {
 
  private:
   void AlignBatch(const std::vector<FastqRecord>& interleaved, size_t begin,
-                  size_t end, std::vector<SamRecord>* out) const;
+                  size_t end, PairedAlignScratch* scratch,
+                  std::vector<SamRecord>* out) const;
 
   const GenomeIndex* index_;
   PairedAlignerOptions options_;

@@ -125,12 +125,17 @@ int64_t FmIndex::Locate(int64_t sa_index) const {
 std::vector<int64_t> FmIndex::LocateAll(const SaInterval& interval,
                                         int64_t limit) const {
   std::vector<int64_t> out;
-  int64_t count = std::min<int64_t>(interval.size(), limit);
-  out.reserve(count);
-  for (int64_t i = 0; i < count; ++i) {
-    out.push_back(Locate(interval.lo + i));
-  }
+  out.reserve(std::min<int64_t>(interval.size(), limit));
+  LocateAllInto(interval, limit, &out);
   return out;
+}
+
+void FmIndex::LocateAllInto(const SaInterval& interval, int64_t limit,
+                            std::vector<int64_t>* out) const {
+  int64_t count = std::min<int64_t>(interval.size(), limit);
+  for (int64_t i = 0; i < count; ++i) {
+    out->push_back(Locate(interval.lo + i));
+  }
 }
 
 }  // namespace gesall

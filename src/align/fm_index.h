@@ -51,6 +51,11 @@ class FmIndex {
   std::vector<int64_t> LocateAll(const SaInterval& interval,
                                  int64_t limit) const;
 
+  /// Appends the same positions to `out` without allocating (beyond
+  /// `out`'s own growth) — the aligner hot path reuses one buffer.
+  void LocateAllInto(const SaInterval& interval, int64_t limit,
+                     std::vector<int64_t>* out) const;
+
  private:
   static int CharRank(char c);
 

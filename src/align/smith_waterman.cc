@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "align/sw_kernel_internal.h"
+
 namespace gesall {
 
 namespace {
@@ -11,7 +13,8 @@ constexpr int kNegInf = -(1 << 28);
 
 // Classic three-matrix affine-gap Smith-Waterman over the full
 // read x window rectangle (windows are small: read length + 2*pad).
-// Traceback is a state machine over the H/E/F matrices.
+// Traceback is a state machine over the H/E/F matrices. Kept verbatim as
+// the differential-test oracle for the banded/SIMD kernels below.
 SwAlignment SmithWaterman(std::string_view read, std::string_view window,
                           const SwScoring& sc) {
   const int m = static_cast<int>(read.size());
@@ -108,6 +111,364 @@ SwAlignment SmithWaterman(std::string_view read, std::string_view window,
   }
   if (best_i < m) out.cigar.push_back({'S', m - best_i});
   return out;
+}
+
+// ---------------------------------------------------------------------
+// Banded, runtime-dispatched kernel.
+//
+// All banded variants share one band-local storage layout (see
+// sw_kernel_internal.h) and one traceback, so for a fixed band they are
+// bit-identical by construction: the SIMD fill produces the same H/E/F
+// values as the scalar fill (the E state is computed from the E-free
+// row H' = max(0, diag, F), which equals the textbook recurrence
+// whenever gap_open <= gap_extend — opening a gap out of a gap never
+// beats extending it), and the traceback is the same state machine the
+// full-rectangle oracle runs.
+
+namespace {
+
+using sw_internal::FillRow16;
+using sw_internal::FillRow32;
+using sw_internal::kMax16;
+using sw_internal::kMin16;
+using sw_internal::kMin32;
+using sw_internal::kWinPad;
+using sw_internal::RowArgs16;
+using sw_internal::RowArgs32;
+using sw_internal::SwLayout;
+
+// Arithmetic policy matching how each lane width computed its matrices:
+// 16-bit lanes use saturating adds (so -inf stays pinned), 32-bit paths
+// use plain ints with the oracle's -inf.
+template <typename T>
+struct Ops;
+
+template <>
+struct Ops<int16_t> {
+  static constexpr int kMin = kMin16;
+  static int Add(int a, int b) {
+    return std::clamp(a + b, static_cast<int>(INT16_MIN),
+                      static_cast<int>(INT16_MAX));
+  }
+};
+
+template <>
+struct Ops<int32_t> {
+  static constexpr int kMin = kMin32;
+  static int Add(int a, int b) { return a + b; }
+};
+
+template <typename T>
+void ClearRow(T* h, T* e, T* f, int begin, int end) {
+  std::fill(h + begin, h + end, T{0});
+  std::fill(e + begin, e + end, static_cast<T>(Ops<T>::kMin));
+  std::fill(f + begin, f + end, static_cast<T>(Ops<T>::kMin));
+}
+
+// Scalar banded fill: the oracle's recurrence restricted to the band,
+// with out-of-band neighbors reading as H=0 / E=F=-inf via the cleared
+// guard cells.
+void FillBandedScalar(const SwLayout& L, std::string_view read,
+                      std::string_view window, const SwScoring& sc,
+                      int32_t* h, int32_t* e, int32_t* f, int* best,
+                      int* best_i, int* best_j) {
+  const int S = L.stride;
+  ClearRow(h, e, f, 0, S);
+  for (int i = 1; i <= L.m; ++i) {
+    int32_t* hr = h + static_cast<size_t>(i) * S;
+    int32_t* er = e + static_cast<size_t>(i) * S;
+    int32_t* fr = f + static_cast<size_t>(i) * S;
+    const int32_t* hp = hr - S;
+    const int32_t* fp = fr - S;
+    const int jlo = L.JLo(i);
+    const int jhi = L.JHi(i);
+    if (jlo > jhi) {
+      ClearRow(hr, er, fr, 0, S);
+      if (i + L.lo > L.n) break;  // band has left the window for good
+      continue;
+    }
+    const int slo = static_cast<int>(L.Col(i, jlo));
+    const int shi = static_cast<int>(L.Col(i, jhi));
+    ClearRow(hr, er, fr, 0, slo);
+    ClearRow(hr, er, fr, shi + 1, S);
+    for (int j = jlo; j <= jhi; ++j) {
+      const int s = slo + (j - jlo);
+      const int sub =
+          (read[i - 1] == window[j - 1]) ? sc.match : sc.mismatch;
+      const int diag = hp[s] + sub;
+      const int ev =
+          std::max(hr[s - 1] + sc.gap_open, er[s - 1] + sc.gap_extend);
+      const int fv =
+          std::max(hp[s + 1] + sc.gap_open, fp[s + 1] + sc.gap_extend);
+      const int v = std::max({0, diag, ev, fv});
+      hr[s] = v;
+      er[s] = ev;
+      fr[s] = fv;
+      if (v > *best) {
+        *best = v;
+        *best_i = i;
+        *best_j = j;
+      }
+    }
+  }
+}
+
+// Vectorized banded fill: FillRow computes H' = max(0, diag+sub, F) and
+// F for a whole row; the serial pass below resolves E as a decayed
+// running max over H' and finalizes H — cell for cell the same values
+// (and the same first-strict-improvement argmax) as the scalar fill.
+template <typename T, typename RowArgsT, void (*RowFill)(const RowArgsT&)>
+void FillBandedSimd(const SwLayout& L, std::string_view read,
+                    std::string_view window, const SwScoring& sc,
+                    const char* wpad, T* h, T* e, T* f, int* best,
+                    int* best_i, int* best_j) {
+  const int S = L.stride;
+  ClearRow(h, e, f, 0, S);
+  for (int i = 1; i <= L.m; ++i) {
+    T* hr = h + static_cast<size_t>(i) * S;
+    T* er = e + static_cast<size_t>(i) * S;
+    T* fr = f + static_cast<size_t>(i) * S;
+    const int jlo = L.JLo(i);
+    const int jhi = L.JHi(i);
+    if (jlo > jhi) {
+      ClearRow(hr, er, fr, 0, S);
+      if (i + L.lo > L.n) break;
+      continue;
+    }
+    const int slo = static_cast<int>(L.Col(i, jlo));
+    const int shi = static_cast<int>(L.Col(i, jhi));
+    RowArgsT args;
+    args.hp = hr - S;
+    args.fp = fr - S;
+    args.hr = hr;
+    args.fr = fr;
+    args.wpad = wpad;
+    args.woff = kWinPad + i + L.lo - 2;
+    args.s_lo = slo;
+    args.s_hi = shi;
+    args.read_char = read[i - 1];
+    args.match = sc.match;
+    args.mismatch = sc.mismatch;
+    args.gap_open = sc.gap_open;
+    args.gap_extend = sc.gap_extend;
+    RowFill(args);
+    // Serial pass: E[s] = P[s-1] with P[s] = max(H'[s]+open, P[s-1]+ext),
+    // seeded with the out-of-band boundary H=0 -> P = open.
+    int p = Ops<T>::Add(0, sc.gap_open);
+    for (int s = slo; s <= shi; ++s) {
+      const int h0 = hr[s];
+      const int ev = p;
+      const int v = std::max(h0, ev);
+      hr[s] = static_cast<T>(v);
+      er[s] = static_cast<T>(ev);
+      if (v > *best) {
+        *best = v;
+        *best_i = i;
+        *best_j = jlo + (s - slo);
+      }
+      p = std::max(Ops<T>::Add(h0, sc.gap_open),
+                   Ops<T>::Add(p, sc.gap_extend));
+    }
+    // The vector pass wrote garbage into lanes outside [slo, shi]; make
+    // them the out-of-band boundary again before the next row reads them.
+    ClearRow(hr, er, fr, 0, slo);
+    ClearRow(hr, er, fr, shi + 1, S);
+  }
+}
+
+// Shared traceback over the band-local matrices: the oracle's state
+// machine, with out-of-band reads resolving to the boundary values.
+template <typename T>
+void TracebackBanded(const SwLayout& L, const T* h, const T* e, const T* f,
+                     std::string_view read, std::string_view window,
+                     const SwScoring& sc, int best, int best_i, int best_j,
+                     SwScratch* scratch, SwAlignment* out) {
+  auto hat = [&](int i, int j) -> int {
+    return L.Valid(i, j) ? static_cast<int>(h[L.Idx(i, j)]) : 0;
+  };
+  auto eat = [&](int i, int j) -> int {
+    return L.Valid(i, j) ? static_cast<int>(e[L.Idx(i, j)]) : Ops<T>::kMin;
+  };
+  auto fat = [&](int i, int j) -> int {
+    return L.Valid(i, j) ? static_cast<int>(f[L.Idx(i, j)]) : Ops<T>::kMin;
+  };
+  Cigar& rev_ops = scratch->rev_ops;
+  rev_ops.clear();
+  auto push = [&rev_ops](char op) {
+    if (!rev_ops.empty() && rev_ops.back().op == op) {
+      ++rev_ops.back().len;
+    } else {
+      rev_ops.push_back({op, 1});
+    }
+  };
+  enum class State { kH, kE, kF };
+  State state = State::kH;
+  int i = best_i, j = best_j, edits = 0;
+  while (i > 0 || j > 0) {
+    if (state == State::kH) {
+      const int v = hat(i, j);
+      if (v == 0) break;
+      const int sub = (i > 0 && j > 0 && read[i - 1] == window[j - 1])
+                          ? sc.match
+                          : sc.mismatch;
+      if (i > 0 && j > 0 && v == Ops<T>::Add(hat(i - 1, j - 1), sub)) {
+        push('M');
+        if (read[i - 1] != window[j - 1]) ++edits;
+        --i;
+        --j;
+      } else if (v == eat(i, j)) {
+        state = State::kE;
+      } else {
+        state = State::kF;
+      }
+    } else if (state == State::kE) {
+      push('D');
+      ++edits;
+      if (eat(i, j) == Ops<T>::Add(eat(i, j - 1), sc.gap_extend)) {
+        --j;
+      } else {
+        --j;
+        state = State::kH;
+      }
+    } else {  // State::kF
+      push('I');
+      ++edits;
+      if (fat(i, j) == Ops<T>::Add(fat(i - 1, j), sc.gap_extend)) {
+        --i;
+      } else {
+        --i;
+        state = State::kH;
+      }
+    }
+  }
+
+  out->aligned = true;
+  out->score = best;
+  out->window_start = j;
+  out->window_end = best_j;
+  out->edit_distance = edits;
+  out->cigar.clear();
+  if (i > 0) out->cigar.push_back({'S', i});
+  for (auto it = rev_ops.rbegin(); it != rev_ops.rend(); ++it) {
+    out->cigar.push_back(*it);
+  }
+  if (best_i < L.m) out->cigar.push_back({'S', L.m - best_i});
+}
+
+// 16-bit lanes can represent any sane scoring scheme; reject extreme
+// parameters up front instead of relying on saturation mid-matrix.
+bool ScoringFits16(const SwScoring& sc) {
+  auto ok = [](int v) { return v >= -16000 && v <= 16000; };
+  return ok(sc.match) && ok(sc.mismatch) && ok(sc.gap_open) &&
+         ok(sc.gap_extend);
+}
+
+}  // namespace
+
+bool SwSimdAvailable() { return sw_internal::SimdRowFillAvailable(); }
+
+void SmithWatermanKernel(std::string_view read, std::string_view window,
+                         const SwScoring& sc, const SwBand& band,
+                         SwKernelMode mode, SwScratch* scratch,
+                         SwAlignment* out, SwKernelStats* stats) {
+  out->score = 0;
+  out->window_start = 0;
+  out->window_end = 0;
+  out->cigar.clear();
+  out->edit_distance = 0;
+  out->aligned = false;
+
+  const int m = static_cast<int>(read.size());
+  const int n = static_cast<int>(window.size());
+  SwKernelStats local;
+  local.calls = 1;
+  local.cells_full = static_cast<int64_t>(m) * n;
+  auto flush = [&] {
+    if (stats != nullptr) *stats += local;
+  };
+  if (m == 0 || n == 0) {
+    flush();
+    return;
+  }
+
+  const SwBand effective =
+      (mode == SwKernelMode::kScalarFull) ? SwBand::Full() : band;
+  const SwLayout L = SwLayout::Make(m, n, effective);
+  if (L.empty) {
+    flush();
+    return;
+  }
+  int64_t band_cells = 0;
+  for (int i = 1; i <= m; ++i) {
+    band_cells += std::max(0, L.JHi(i) - L.JLo(i) + 1);
+  }
+  local.cells_filled = band_cells;
+
+  const bool use_simd = (mode == SwKernelMode::kAuto ||
+                         mode == SwKernelMode::kBandedSimd) &&
+                        SwSimdAvailable() &&
+                        sc.gap_open <= sc.gap_extend && ScoringFits16(sc);
+
+  const size_t cells = L.Cells();
+  int best = 0, best_i = 0, best_j = 0;
+  if (use_simd) {
+    local.simd_calls = 1;
+    const size_t wneed = static_cast<size_t>(kWinPad) + n + 32;
+    if (scratch->window_pad.size() < wneed) scratch->window_pad.resize(wneed);
+    std::copy(window.begin(), window.end(),
+              scratch->window_pad.begin() + kWinPad);
+    if (scratch->h16.size() < cells) {
+      scratch->h16.resize(cells);
+      scratch->e16.resize(cells);
+      scratch->f16.resize(cells);
+    }
+    FillBandedSimd<int16_t, RowArgs16, FillRow16>(
+        L, read, window, sc, scratch->window_pad.data(), scratch->h16.data(),
+        scratch->e16.data(), scratch->f16.data(), &best, &best_i, &best_j);
+    if (best >= kMax16) {
+      // int16 saturated: the scores are untrustworthy — rerun the fill
+      // in 32-bit lanes (identical recurrence, no saturation).
+      local.overflow_reruns = 1;
+      local.cells_filled += band_cells;
+      if (scratch->h32.size() < cells) {
+        scratch->h32.resize(cells);
+        scratch->e32.resize(cells);
+        scratch->f32.resize(cells);
+      }
+      best = 0;
+      best_i = 0;
+      best_j = 0;
+      FillBandedSimd<int32_t, RowArgs32, FillRow32>(
+          L, read, window, sc, scratch->window_pad.data(),
+          scratch->h32.data(), scratch->e32.data(), scratch->f32.data(),
+          &best, &best_i, &best_j);
+      if (best > 0) {
+        TracebackBanded<int32_t>(L, scratch->h32.data(), scratch->e32.data(),
+                                 scratch->f32.data(), read, window, sc, best,
+                                 best_i, best_j, scratch, out);
+      }
+    } else if (best > 0) {
+      TracebackBanded<int16_t>(L, scratch->h16.data(), scratch->e16.data(),
+                               scratch->f16.data(), read, window, sc, best,
+                               best_i, best_j, scratch, out);
+    }
+  } else {
+    local.scalar_calls = 1;
+    if (scratch->h32.size() < cells) {
+      scratch->h32.resize(cells);
+      scratch->e32.resize(cells);
+      scratch->f32.resize(cells);
+    }
+    FillBandedScalar(L, read, window, sc, scratch->h32.data(),
+                     scratch->e32.data(), scratch->f32.data(), &best,
+                     &best_i, &best_j);
+    if (best > 0) {
+      TracebackBanded<int32_t>(L, scratch->h32.data(), scratch->e32.data(),
+                               scratch->f32.data(), read, window, sc, best,
+                               best_i, best_j, scratch, out);
+    }
+  }
+  flush();
 }
 
 }  // namespace gesall

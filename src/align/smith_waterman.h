@@ -1,12 +1,27 @@
 // Local alignment of a read against a reference window with affine gap
 // penalties, producing a soft-clipped CIGAR by traceback (the extension
 // stage of the seed-and-extend aligner).
+//
+// Three kernels produce bit-identical results for any fixed band:
+//
+//   kScalarFull   the original full-rectangle scalar DP (the oracle)
+//   kBanded       scalar DP restricted to a diagonal band around the
+//                 seed-implied diagonal (the seed already anchors the
+//                 read inside the window, so off-band cells cannot hold
+//                 the winning path)
+//   kBandedSimd   the banded DP with rows filled in SSE4.1/AVX2 16-bit
+//                 lanes, promoted to a 32-bit-lane rerun when a score
+//                 saturates int16
+//
+// Kernel choice is runtime-dispatched (util/cpu); scores, CIGARs and
+// tie-breaking never depend on which kernel ran.
 
 #ifndef GESALL_ALIGN_SMITH_WATERMAN_H_
 #define GESALL_ALIGN_SMITH_WATERMAN_H_
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "formats/cigar.h"
 
@@ -30,10 +45,81 @@ struct SwAlignment {
   bool aligned = false;
 };
 
+/// \brief Kernel selection for the extension DP.
+enum class SwKernelMode {
+  kScalarFull,  // full-rectangle scalar DP, ignores the band (oracle)
+  kBanded,      // banded scalar DP
+  kBandedSimd,  // banded SIMD DP; falls back to kBanded off-x86
+  kAuto,        // kBandedSimd when the CPU supports it, else kBanded
+};
+
+/// \brief Diagonal band for the banded kernels: only cells (i, j) with
+/// j - i in [center - half_width, center + half_width] are filled.
+/// half_width < 0 means unbanded (the full rectangle). Out-of-band
+/// neighbors read as empty alignments (H = 0), so a banded score is
+/// always <= the full-rectangle score and equal whenever the winning
+/// path stays inside the band.
+struct SwBand {
+  int64_t center = 0;
+  int64_t half_width = -1;
+
+  static SwBand Full() { return SwBand{}; }
+  bool IsFull() const { return half_width < 0; }
+};
+
+/// \brief Counters describing how the kernel executed (accumulated
+/// across calls; plumbed into round counters and BENCH_align.json).
+struct SwKernelStats {
+  int64_t calls = 0;
+  int64_t simd_calls = 0;      // rows filled with vector lanes
+  int64_t scalar_calls = 0;    // scalar fill (full or banded)
+  int64_t overflow_reruns = 0; // int16 saturation -> 32-bit lane rerun
+  int64_t cells_full = 0;      // read_len * window_len per call
+  int64_t cells_filled = 0;    // cells the chosen band actually touched
+
+  int64_t cells_skipped() const { return cells_full - cells_filled; }
+  SwKernelStats& operator+=(const SwKernelStats& o) {
+    calls += o.calls;
+    simd_calls += o.simd_calls;
+    scalar_calls += o.scalar_calls;
+    overflow_reruns += o.overflow_reruns;
+    cells_full += o.cells_full;
+    cells_filled += o.cells_filled;
+    return *this;
+  }
+};
+
+/// \brief Reusable DP buffers for the extension kernel. One instance per
+/// thread: the kernel grows the buffers to the high-water mark and never
+/// shrinks them, so steady-state calls perform zero heap allocations.
+/// Not thread-safe; never shared across concurrent callers.
+struct SwScratch {
+  std::vector<int16_t> h16, e16, f16;  // banded matrices, 16-bit lanes
+  std::vector<int32_t> h32, e32, f32;  // banded matrices, 32-bit
+  std::vector<char> window_pad;        // window copy with SIMD guard pads
+  Cigar rev_ops;                       // traceback run buffer
+};
+
+/// \brief True when this process dispatches alignment rows to SSE4.1 (or
+/// wider) vector lanes under kAuto/kBandedSimd.
+bool SwSimdAvailable();
+
 /// \brief Smith-Waterman with affine gaps; unaligned read ends become
 /// soft clips. Returns aligned=false when the best score is <= 0.
+/// Full-rectangle scalar kernel (kept as the differential-test oracle).
 SwAlignment SmithWaterman(std::string_view read, std::string_view window,
                           const SwScoring& scoring = SwScoring());
+
+/// \brief Banded, runtime-dispatched kernel. Writes the result through
+/// `out` so its Cigar capacity is reused across calls; `scratch` must
+/// outlive the call and may be reused serially. `stats` (optional) is
+/// accumulated, not reset. Results are bit-identical across modes for a
+/// fixed band; with SwBand::Full() they are bit-identical to
+/// SmithWaterman().
+void SmithWatermanKernel(std::string_view read, std::string_view window,
+                         const SwScoring& scoring, const SwBand& band,
+                         SwKernelMode mode, SwScratch* scratch,
+                         SwAlignment* out, SwKernelStats* stats = nullptr);
 
 }  // namespace gesall
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/logging.h"
+
 namespace gesall {
 
 // Prefix doubling: sort suffixes by their first 2^k characters, doubling k
@@ -40,7 +42,12 @@ std::vector<int32_t> BuildSuffixArray(const std::string& text) {
       if (sa[i] >= k) sa2[p++] = sa[i] - k;
     }
 
-    // Stable counting sort by first component.
+    // Stable counting sort by first component. Ranks are dense in [0, n)
+    // by construction of the re-rank step; a rank escaping that range
+    // would index count[] out of bounds, so fail loudly instead.
+    GESALL_CHECK(rank[sa[n - 1]] >= 0 && rank[sa[n - 1]] < n)
+        << "suffix array rank out of counting-sort bounds: "
+        << rank[sa[n - 1]] << " not in [0, " << n << ")";
     count.assign(n, 0);
     for (int32_t i = 0; i < n; ++i) ++count[rank[i]];
     std::partial_sum(count.begin(), count.end(), count.begin());

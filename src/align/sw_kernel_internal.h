@@ -1,0 +1,131 @@
+// Internal contract between the banded Smith-Waterman driver
+// (smith_waterman.cc) and the vectorized row-fill pass (sw_simd.cc).
+// Not installed; include only from src/align.
+//
+// Band-local storage: cell (i, j) lives at row i, column (j - i - lo) + 1
+// of a (m+1) x stride matrix, so the diagonal move (i-1, j-1) is the SAME
+// column of the previous row and the vertical move (i-1, j) is column + 1
+// — shifts the vector pass does with unaligned loads instead of shuffles.
+// Column 0 of every row is a guard holding the out-of-band boundary
+// (H = 0, E = F = -inf), and the tail of each row is cleared likewise, so
+// the fill passes never branch on band edges.
+
+#ifndef GESALL_ALIGN_SW_KERNEL_INTERNAL_H_
+#define GESALL_ALIGN_SW_KERNEL_INTERNAL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "align/smith_waterman.h"
+
+namespace gesall {
+namespace sw_internal {
+
+/// Guard bytes in front of the padded window copy; SIMD byte loads may
+/// start up to one vector before the first valid column.
+constexpr int kWinPad = 16;
+
+/// -inf for the 16-bit lanes: saturating adds pin it in place.
+constexpr int16_t kMin16 = INT16_MIN;
+/// Saturation ceiling; a best score reaching it triggers the 32-bit rerun.
+constexpr int kMax16 = INT16_MAX;
+/// -inf for the 32-bit paths (matches the full-rectangle oracle).
+constexpr int32_t kMin32 = -(1 << 28);
+
+/// \brief Geometry of one banded DP: diagonal range, band-local storage.
+struct SwLayout {
+  int m = 0;       // read length
+  int n = 0;       // window length
+  int64_t lo = 0;  // clamped diagonal band (j - i), inclusive
+  int64_t hi = 0;
+  int width = 0;   // hi - lo + 1
+  int stride = 0;  // row storage: width + guards, rounded for vector tails
+  bool empty = true;
+
+  static SwLayout Make(int m, int n, const SwBand& band) {
+    SwLayout l;
+    l.m = m;
+    l.n = n;
+    int64_t lo = 1 - static_cast<int64_t>(m);
+    int64_t hi = static_cast<int64_t>(n) - 1;
+    if (!band.IsFull()) {
+      lo = std::max(lo, band.center - band.half_width);
+      hi = std::min(hi, band.center + band.half_width);
+    }
+    l.lo = lo;
+    l.hi = hi;
+    l.empty = m == 0 || n == 0 || lo > hi;
+    if (l.empty) return l;
+    l.width = static_cast<int>(hi - lo + 1);
+    l.stride = (l.width + 2 + 31) / 32 * 32 + 32;
+    return l;
+  }
+
+  int JLo(int i) const {
+    return static_cast<int>(std::max<int64_t>(1, i + lo));
+  }
+  int JHi(int i) const {
+    return static_cast<int>(std::min<int64_t>(n, i + hi));
+  }
+  /// Band-local storage column of (i, j); valid only when Valid(i, j).
+  size_t Col(int i, int j) const {
+    return static_cast<size_t>(j - i - lo) + 1;
+  }
+  size_t Idx(int i, int j) const {
+    return static_cast<size_t>(i) * stride + Col(i, j);
+  }
+  bool Valid(int i, int j) const {
+    return i >= 1 && i <= m && j >= 1 && j <= n && j - i >= lo &&
+           j - i <= hi;
+  }
+  size_t Cells() const { return static_cast<size_t>(m + 1) * stride; }
+};
+
+/// \brief One row of the vectorized fill pass. Computes, over storage
+/// columns [s_begin, s_end) of the current row,
+///   F[s]  = max(Hprev[s+1] + gap_open, Fprev[s+1] + gap_extend)
+///   H0[s] = max(0, Hprev[s] + sub(read_char, window), F[s])
+/// i.e. the E-free part of the recurrence; the driver's scalar E-scan
+/// pass finishes the row. Lanes beyond the valid band compute garbage
+/// the driver clears afterwards.
+struct RowArgs16 {
+  const int16_t* hp;  // previous row H (final values)
+  const int16_t* fp;  // previous row F
+  int16_t* hr;        // out: H0
+  int16_t* fr;        // out: F
+  const char* wpad;   // padded window buffer
+  int64_t woff;       // window byte for storage column s is wpad[woff + s]
+  int s_lo;           // first valid storage column (inclusive)
+  int s_hi;           // last valid storage column (inclusive)
+  char read_char;
+  int16_t match, mismatch, gap_open, gap_extend;
+};
+
+struct RowArgs32 {
+  const int32_t* hp;
+  const int32_t* fp;
+  int32_t* hr;
+  int32_t* fr;
+  const char* wpad;
+  int64_t woff;
+  int s_lo;
+  int s_hi;
+  char read_char;
+  int32_t match, mismatch, gap_open, gap_extend;
+};
+
+/// True when SSE4.1 row fills are compiled in and the CPU executes them.
+bool SimdRowFillAvailable();
+
+/// Fills one row in 16-bit saturating lanes (AVX2 when available, else
+/// SSE4.1). Requires SimdRowFillAvailable().
+void FillRow16(const RowArgs16& args);
+
+/// Fills one row in 32-bit lanes (SSE4.1) for the overflow rerun.
+void FillRow32(const RowArgs32& args);
+
+}  // namespace sw_internal
+}  // namespace gesall
+
+#endif  // GESALL_ALIGN_SW_KERNEL_INTERNAL_H_

@@ -1,0 +1,141 @@
+// Vectorized row-fill pass of the banded Smith-Waterman kernel.
+//
+// Only the E-free half of the affine recurrence is vectorized here —
+// substitution scores, the diagonal add, and the vertical (F) gap state
+// are elementwise over a row once the previous row is final, while the
+// horizontal (E) state is a serial scan the driver finishes per row.
+// 16-bit lanes use saturating adds so -inf stays pinned at INT16_MIN and
+// positive overflow parks at INT16_MAX, where the driver detects it and
+// reruns the fill in 32-bit lanes (FillRow32).
+//
+// Runtime-dispatched like util/crc32c: AVX2 when the CPU has it, else
+// SSE4.1; no build flags, one binary per cluster.
+
+#include "align/sw_kernel_internal.h"
+
+#include "util/cpu.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GESALL_SW_HAS_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace gesall {
+namespace sw_internal {
+
+#ifdef GESALL_SW_HAS_SIMD
+
+namespace {
+
+__attribute__((target("sse4.1"))) void FillRow16Sse(const RowArgs16& a) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i rc = _mm_set1_epi8(a.read_char);
+  const __m128i mv = _mm_set1_epi16(a.match);
+  const __m128i mm = _mm_set1_epi16(a.mismatch);
+  const __m128i go = _mm_set1_epi16(a.gap_open);
+  const __m128i ge = _mm_set1_epi16(a.gap_extend);
+  const int s_begin = a.s_lo & ~7;
+  const int s_end = (a.s_hi + 8) & ~7;
+  for (int s = s_begin; s < s_end; s += 8) {
+    const __m128i hp_s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.hp + s));
+    const __m128i hp_s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.hp + s + 1));
+    const __m128i fp_s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.fp + s + 1));
+    const __m128i wb = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(a.wpad + a.woff + s));
+    const __m128i eq = _mm_cvtepi8_epi16(_mm_cmpeq_epi8(wb, rc));
+    const __m128i sub = _mm_blendv_epi8(mm, mv, eq);
+    const __m128i f = _mm_max_epi16(_mm_adds_epi16(hp_s1, go),
+                                    _mm_adds_epi16(fp_s1, ge));
+    __m128i h0 = _mm_max_epi16(_mm_adds_epi16(hp_s, sub), zero);
+    h0 = _mm_max_epi16(h0, f);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.hr + s), h0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.fr + s), f);
+  }
+}
+
+__attribute__((target("avx2"))) void FillRow16Avx2(const RowArgs16& a) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m128i rc = _mm_set1_epi8(a.read_char);
+  const __m256i mv = _mm256_set1_epi16(a.match);
+  const __m256i mm = _mm256_set1_epi16(a.mismatch);
+  const __m256i go = _mm256_set1_epi16(a.gap_open);
+  const __m256i ge = _mm256_set1_epi16(a.gap_extend);
+  const int s_begin = a.s_lo & ~15;
+  const int s_end = (a.s_hi + 16) & ~15;
+  for (int s = s_begin; s < s_end; s += 16) {
+    const __m256i hp_s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.hp + s));
+    const __m256i hp_s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.hp + s + 1));
+    const __m256i fp_s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.fp + s + 1));
+    const __m128i wb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a.wpad + a.woff + s));
+    const __m256i eq = _mm256_cvtepi8_epi16(_mm_cmpeq_epi8(wb, rc));
+    const __m256i sub = _mm256_blendv_epi8(mm, mv, eq);
+    const __m256i f = _mm256_max_epi16(_mm256_adds_epi16(hp_s1, go),
+                                       _mm256_adds_epi16(fp_s1, ge));
+    __m256i h0 = _mm256_max_epi16(_mm256_adds_epi16(hp_s, sub), zero);
+    h0 = _mm256_max_epi16(h0, f);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.hr + s), h0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.fr + s), f);
+  }
+}
+
+__attribute__((target("sse4.1"))) void FillRow32Sse(const RowArgs32& a) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i rc = _mm_set1_epi8(a.read_char);
+  const __m128i mv = _mm_set1_epi32(a.match);
+  const __m128i mm = _mm_set1_epi32(a.mismatch);
+  const __m128i go = _mm_set1_epi32(a.gap_open);
+  const __m128i ge = _mm_set1_epi32(a.gap_extend);
+  const int s_begin = a.s_lo & ~3;
+  const int s_end = (a.s_hi + 4) & ~3;
+  for (int s = s_begin; s < s_end; s += 4) {
+    const __m128i hp_s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.hp + s));
+    const __m128i hp_s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.hp + s + 1));
+    const __m128i fp_s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.fp + s + 1));
+    int32_t wword;
+    __builtin_memcpy(&wword, a.wpad + a.woff + s, 4);
+    const __m128i wb = _mm_cvtsi32_si128(wword);
+    const __m128i eq = _mm_cvtepi8_epi32(_mm_cmpeq_epi8(wb, rc));
+    const __m128i sub = _mm_blendv_epi8(mm, mv, eq);
+    const __m128i f = _mm_max_epi32(_mm_add_epi32(hp_s1, go),
+                                    _mm_add_epi32(fp_s1, ge));
+    __m128i h0 = _mm_max_epi32(_mm_add_epi32(hp_s, sub), zero);
+    h0 = _mm_max_epi32(h0, f);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.hr + s), h0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.fr + s), f);
+  }
+}
+
+}  // namespace
+
+bool SimdRowFillAvailable() { return CpuHasSse41(); }
+
+void FillRow16(const RowArgs16& args) {
+  if (CpuHasAvx2()) {
+    FillRow16Avx2(args);
+  } else {
+    FillRow16Sse(args);
+  }
+}
+
+void FillRow32(const RowArgs32& args) { FillRow32Sse(args); }
+
+#else  // !GESALL_SW_HAS_SIMD
+
+bool SimdRowFillAvailable() { return false; }
+void FillRow16(const RowArgs16&) {}
+void FillRow32(const RowArgs32&) {}
+
+#endif
+
+}  // namespace sw_internal
+}  // namespace gesall

@@ -100,4 +100,11 @@ std::string ReverseComplement(const std::string& seq) {
   return out;
 }
 
+void ReverseComplementInto(std::string_view seq, std::string* out) {
+  out->resize(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    (*out)[i] = ComplementBase(seq[seq.size() - 1 - i]);
+  }
+}
+
 }  // namespace gesall

@@ -60,6 +60,10 @@ char ComplementBase(char base);
 /// \brief Reverse complement of a sequence.
 std::string ReverseComplement(const std::string& seq);
 
+/// \brief Reverse complement written into `out` (resized, capacity
+/// reused) — allocation-free once `out` has warmed up.
+void ReverseComplementInto(std::string_view seq, std::string* out);
+
 }  // namespace gesall
 
 #endif  // GESALL_FORMATS_FASTA_H_

@@ -49,6 +49,16 @@ std::vector<std::string> ListBams(const Dfs& dfs, const std::string& dir) {
 // ---------------------------------------------------------------------
 // Round 1: map-only alignment (Bwa wrapper + SamToBam via "streaming").
 
+// Surfaces the extension-kernel counters (which kernel ran, how much of
+// the DP the band skipped) in the round's counter table.
+void EmitKernelCounters(MapContext* ctx, const SwKernelStats& s) {
+  ctx->IncrementCounter("align_kernel_calls", s.calls);
+  ctx->IncrementCounter("align_kernel_simd_calls", s.simd_calls);
+  ctx->IncrementCounter("align_kernel_scalar_calls", s.scalar_calls);
+  ctx->IncrementCounter("align_kernel_overflow_reruns", s.overflow_reruns);
+  ctx->IncrementCounter("align_band_cells_skipped", s.cells_skipped());
+}
+
 class AlignmentMapper : public Mapper {
  public:
   AlignmentMapper(const GenomeIndex* index, const PairedAlignerOptions& opt,
@@ -72,6 +82,7 @@ class AlignmentMapper : public Mapper {
         }));
     ctx->IncrementCounter("streaming_pipe_flushes", stats.pipe_flushes);
     ctx->IncrementCounter("streaming_bytes_out", stats.output_bytes);
+    EmitKernelCounters(ctx, bwa.kernel_stats());
     // Wrapped external program #2: SamToBam on the piped SAM text.
     GESALL_ASSIGN_OR_RETURN(std::string bam, RunWrappedProgram(ctx, [&] {
                               return SamTextToBam(sam_text);
@@ -89,8 +100,13 @@ class AlignmentMapper : public Mapper {
       GESALL_ASSIGN_OR_RETURN(reads, ParseFastq(input));
     }
     // Wrapped external program #1: bwa mem.
-    std::vector<SamRecord> records = RunWrappedProgram(
-        ctx, [&] { return aligner.AlignPairs(reads); });
+    PairedAlignScratch scratch;
+    std::vector<SamRecord> records = RunWrappedProgram(ctx, [&] {
+      std::vector<SamRecord> recs;
+      aligner.AlignPairs(reads, &scratch, &recs);
+      return recs;
+    });
+    EmitKernelCounters(ctx, scratch.read.stats);
     // Wrapped external program #2: SamToBam.
     GESALL_ASSIGN_OR_RETURN(std::string bam, RunWrappedProgram(ctx, [&] {
                               return SamToBam(aligner.MakeHeader(), records);

@@ -169,7 +169,8 @@ Status BwaStreamProgram::FlushBatch(const Emit& emit) {
     header_emitted_ = true;
   }
   if (pending_reads_.empty()) return Status::OK();
-  std::vector<SamRecord> records = aligner_.AlignPairs(pending_reads_);
+  std::vector<SamRecord> records;
+  aligner_.AlignPairs(pending_reads_, &scratch_, &records);
   pending_reads_.clear();
   for (const auto& r : records) {
     GESALL_RETURN_NOT_OK(emit(WriteSamLine(r, header_)));

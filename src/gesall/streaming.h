@@ -90,10 +90,14 @@ class BwaStreamProgram : public LineProgram {
   Status ConsumeLine(std::string_view line, const Emit& emit) override;
   Status Finish(const Emit& emit) override;
 
+  /// Extension-kernel counters accumulated over every aligned batch.
+  const SwKernelStats& kernel_stats() const { return scratch_.read.stats; }
+
  private:
   Status FlushBatch(const Emit& emit);
 
   PairedEndAligner aligner_;
+  PairedAlignScratch scratch_;  // reused across batches (single-threaded)
   SamHeader header_;
   bool header_emitted_ = false;
   size_t batch_pairs_;

@@ -1,0 +1,30 @@
+#include "util/cpu.h"
+
+namespace gesall {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+bool CpuHasSse41() {
+  static const bool available = __builtin_cpu_supports("sse4.1");
+  return available;
+}
+
+bool CpuHasSse42() {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+
+bool CpuHasAvx2() {
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+}
+
+#else
+
+bool CpuHasSse41() { return false; }
+bool CpuHasSse42() { return false; }
+bool CpuHasAvx2() { return false; }
+
+#endif
+
+}  // namespace gesall

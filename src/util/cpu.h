@@ -1,0 +1,24 @@
+// Runtime CPU feature detection, shared by every kernel that dispatches
+// between a portable implementation and a vectorized one (util/crc32c,
+// align/smith_waterman). Detection runs once per process; no build flags
+// are required, so a single binary adapts to the host it lands on — the
+// property that lets heterogeneous cluster nodes run one artifact.
+
+#ifndef GESALL_UTIL_CPU_H_
+#define GESALL_UTIL_CPU_H_
+
+namespace gesall {
+
+/// \brief True when the host CPU executes SSE4.1 (pmaxsw/pblendvb era
+/// vector ops used by the banded alignment kernel).
+bool CpuHasSse41();
+
+/// \brief True when the host CPU executes SSE4.2 (crc32 instruction).
+bool CpuHasSse42();
+
+/// \brief True when the host CPU executes AVX2 (256-bit integer lanes).
+bool CpuHasAvx2();
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_CPU_H_

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/cpu.h"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define GESALL_CRC32C_HAS_SSE42 1
 #include <nmmintrin.h>
@@ -156,8 +158,7 @@ uint32_t ExtendCrc32cPortable(uint32_t crc, const void* data, size_t n) {
 
 bool Crc32cHardwareAvailable() {
 #ifdef GESALL_CRC32C_HAS_SSE42
-  static const bool available = __builtin_cpu_supports("sse4.2");
-  return available;
+  return CpuHasSse42();
 #else
   return false;
 #endif

@@ -1,0 +1,262 @@
+// Differential tests pinning the banded/SIMD Smith-Waterman kernels to
+// the full-rectangle scalar oracle: for any fixed band all kernel modes
+// must produce bit-identical scores, CIGARs, positions, edit counts and
+// tie-breaks, and with a full band they must match SmithWaterman()
+// exactly. Runs under ASan/UBSan via scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/smith_waterman.h"
+#include "formats/cigar.h"
+#include "util/rng.h"
+
+namespace gesall {
+namespace {
+
+const char kBases[] = "ACGT";
+
+std::string RandomSeq(Rng& rng, int len) {
+  std::string s(len, 'A');
+  for (char& c : s) c = kBases[rng.Uniform(4)];
+  return s;
+}
+
+// A read sampled from `window` at `offset` with point mutations, small
+// indels, and (sometimes) a garbage low-quality tail.
+std::string MutatedRead(Rng& rng, std::string_view window, int offset,
+                        int len, int mutations, int indels,
+                        int garbage_tail) {
+  std::string read(window.substr(offset, len));
+  for (int i = 0; i < mutations && !read.empty(); ++i) {
+    read[rng.Uniform(read.size())] = kBases[rng.Uniform(4)];
+  }
+  for (int i = 0; i < indels && read.size() > 4; ++i) {
+    size_t at = rng.Uniform(read.size() - 2);
+    int indel_len = 1 + static_cast<int>(rng.Uniform(3));
+    if (rng.Uniform(2) == 0) {
+      read.erase(at, indel_len);
+    } else {
+      read.insert(at, RandomSeq(rng, indel_len));
+    }
+  }
+  for (int i = 0; i < garbage_tail && !read.empty(); ++i) {
+    read[read.size() - 1 - i] = kBases[rng.Uniform(4)];
+  }
+  return read;
+}
+
+void ExpectIdentical(const SwAlignment& want, const SwAlignment& got,
+                     const std::string& what) {
+  EXPECT_EQ(want.aligned, got.aligned) << what;
+  EXPECT_EQ(want.score, got.score) << what;
+  EXPECT_EQ(want.window_start, got.window_start) << what;
+  EXPECT_EQ(want.window_end, got.window_end) << what;
+  EXPECT_EQ(want.edit_distance, got.edit_distance) << what;
+  EXPECT_EQ(CigarToString(want.cigar), CigarToString(got.cigar)) << what;
+}
+
+SwAlignment RunKernel(std::string_view read, std::string_view window,
+                      const SwScoring& sc, const SwBand& band,
+                      SwKernelMode mode, SwKernelStats* stats = nullptr) {
+  SwScratch scratch;
+  SwAlignment out;
+  SmithWatermanKernel(read, window, sc, band, mode, &scratch, &out, stats);
+  return out;
+}
+
+constexpr SwKernelMode kAllModes[] = {
+    SwKernelMode::kScalarFull, SwKernelMode::kBanded,
+    SwKernelMode::kBandedSimd, SwKernelMode::kAuto};
+
+const char* ModeName(SwKernelMode m) {
+  switch (m) {
+    case SwKernelMode::kScalarFull: return "kScalarFull";
+    case SwKernelMode::kBanded: return "kBanded";
+    case SwKernelMode::kBandedSimd: return "kBandedSimd";
+    case SwKernelMode::kAuto: return "kAuto";
+  }
+  return "?";
+}
+
+TEST(SwDifferentialTest, FullBandAllModesMatchOracleOnRandomReads) {
+  Rng rng(20260807);
+  SwScoring sc;
+  for (int iter = 0; iter < 400; ++iter) {
+    const int n = 60 + static_cast<int>(rng.Uniform(120));
+    std::string window = RandomSeq(rng, n);
+    const int len = 20 + static_cast<int>(rng.Uniform(n - 25));
+    const int offset = static_cast<int>(rng.Uniform(n - len));
+    std::string read = MutatedRead(
+        rng, window, offset, len, static_cast<int>(rng.Uniform(6)),
+        static_cast<int>(rng.Uniform(3)), static_cast<int>(rng.Uniform(8)));
+    SwAlignment want = SmithWaterman(read, window, sc);
+    for (SwKernelMode mode : kAllModes) {
+      SwAlignment got = RunKernel(read, window, sc, SwBand::Full(), mode);
+      ExpectIdentical(want, got,
+                      std::string("iter ") + std::to_string(iter) + " " +
+                          ModeName(mode) + " read=" + read);
+    }
+  }
+}
+
+TEST(SwDifferentialTest, FixedBandScalarAndSimdAgree) {
+  Rng rng(7);
+  SwScoring sc;
+  for (int iter = 0; iter < 400; ++iter) {
+    const int n = 40 + static_cast<int>(rng.Uniform(150));
+    std::string window = RandomSeq(rng, n);
+    const int len = 15 + static_cast<int>(rng.Uniform(60));
+    std::string read = RandomSeq(rng, len);
+    SwBand band;
+    band.center = rng.UniformInt(-len, n);
+    band.half_width = rng.UniformInt(0, 64);
+    SwAlignment scalar = RunKernel(read, window, sc, band,
+                                   SwKernelMode::kBanded);
+    SwAlignment simd = RunKernel(read, window, sc, band,
+                                 SwKernelMode::kBandedSimd);
+    ExpectIdentical(scalar, simd,
+                    "iter " + std::to_string(iter) + " center=" +
+                        std::to_string(band.center) + " half=" +
+                        std::to_string(band.half_width));
+  }
+}
+
+TEST(SwDifferentialTest, SeedAnchoredBandMatchesFullRectangle) {
+  // The aligner's contract: when the band is centered on the seed-implied
+  // diagonal with the default half-width, banding never changes the
+  // alignment of a read whose indels fit in the band.
+  Rng rng(99);
+  SwScoring sc;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string window = RandomSeq(rng, 200);
+    const int offset = 24;  // aligner's window_pad placement
+    std::string read = MutatedRead(rng, window, offset, 100,
+                                   static_cast<int>(rng.Uniform(5)),
+                                   static_cast<int>(rng.Uniform(3)),
+                                   /*garbage_tail=*/0);
+    SwAlignment want = SmithWaterman(read, window, sc);
+    SwBand band;
+    band.center = offset;
+    band.half_width = 40;
+    for (SwKernelMode mode :
+         {SwKernelMode::kBanded, SwKernelMode::kBandedSimd}) {
+      SwAlignment got = RunKernel(read, window, sc, band, mode);
+      ExpectIdentical(want, got, std::string(ModeName(mode)) + " iter " +
+                                     std::to_string(iter));
+    }
+  }
+}
+
+TEST(SwDifferentialTest, EdgeCasesMatchOracle) {
+  SwScoring sc;
+  Rng rng(3);
+  const std::string window = RandomSeq(rng, 80);
+  const std::vector<std::string> reads = {
+      "",                              // empty read
+      std::string(40, 'N'),            // all-N (never matches ACGT)
+      RandomSeq(rng, 200),             // read longer than the window
+      window.substr(10, 30),           // exact match
+      std::string(window.rbegin(), window.rend()),
+  };
+  for (const std::string& read : reads) {
+    SwAlignment want = SmithWaterman(read, window, sc);
+    for (SwKernelMode mode : kAllModes) {
+      ExpectIdentical(want, RunKernel(read, window, sc, SwBand::Full(), mode),
+                      std::string(ModeName(mode)) + " len=" +
+                          std::to_string(read.size()));
+    }
+    // Empty window too.
+    SwAlignment got = RunKernel(read, "", sc, SwBand::Full(),
+                                SwKernelMode::kAuto);
+    EXPECT_FALSE(got.aligned);
+  }
+}
+
+TEST(SwDifferentialTest, TieBreakingIsBitIdentical) {
+  // A periodic window offers many equal-scoring placements; the kernels
+  // must pick the same one (first maximum in i-major, j-ascending order).
+  SwScoring sc;
+  std::string window;
+  for (int i = 0; i < 12; ++i) window += "ACGTACGT";
+  std::string read = "ACGTACGT";
+  SwAlignment want = SmithWaterman(read, window, sc);
+  for (SwKernelMode mode : kAllModes) {
+    SwAlignment got = RunKernel(read, window, sc, SwBand::Full(), mode);
+    ExpectIdentical(want, got, ModeName(mode));
+  }
+  EXPECT_TRUE(want.aligned);
+}
+
+TEST(SwDifferentialTest, OverflowPromotionRerunsIn32Bit) {
+  // A long high-identity read with a large match bonus saturates int16
+  // (400 * 200 >> 32767); the kernel must transparently rerun in 32-bit
+  // lanes and still match the oracle bit for bit.
+  Rng rng(41);
+  SwScoring sc;
+  sc.match = 200;
+  std::string window = RandomSeq(rng, 500);
+  std::string read(window.substr(20, 400));
+  read[100] = read[100] == 'A' ? 'C' : 'A';  // one mismatch for texture
+
+  SwAlignment want = SmithWaterman(read, window, sc);
+  ASSERT_TRUE(want.aligned);
+  ASSERT_GT(want.score, INT16_MAX);
+
+  SwKernelStats stats;
+  SwAlignment got = RunKernel(read, window, sc, SwBand::Full(),
+                              SwKernelMode::kBandedSimd, &stats);
+  ExpectIdentical(want, got, "overflow rerun");
+  EXPECT_EQ(stats.calls, 1);
+  if (SwSimdAvailable()) {
+    EXPECT_EQ(stats.simd_calls, 1);
+    EXPECT_EQ(stats.overflow_reruns, 1);
+  }
+}
+
+TEST(SwDifferentialTest, StatsCountSkippedCells) {
+  Rng rng(5);
+  std::string window = RandomSeq(rng, 148);
+  std::string read(window.substr(24, 100));
+  SwBand band;
+  band.center = 24;
+  band.half_width = 40;
+  SwKernelStats stats;
+  SwAlignment got =
+      RunKernel(read, window, SwScoring(), band, SwKernelMode::kAuto, &stats);
+  EXPECT_TRUE(got.aligned);
+  EXPECT_EQ(stats.calls, 1);
+  EXPECT_EQ(stats.cells_full, 100 * 148);
+  EXPECT_GT(stats.cells_filled, 0);
+  EXPECT_GT(stats.cells_skipped(), 0);
+  EXPECT_LT(stats.cells_filled, stats.cells_full);
+}
+
+TEST(SwDifferentialTest, ScratchReuseAcrossShrinkingInputs) {
+  // Buffers grow to the high-water mark; a large call followed by small
+  // ones must not leave stale state behind.
+  Rng rng(13);
+  SwScoring sc;
+  SwScratch scratch;
+  SwAlignment out;
+  std::string big_window = RandomSeq(rng, 300);
+  std::string big_read = RandomSeq(rng, 150);
+  SmithWatermanKernel(big_read, big_window, sc, SwBand::Full(),
+                      SwKernelMode::kAuto, &scratch, &out);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int n = 30 + static_cast<int>(rng.Uniform(100));
+    std::string window = RandomSeq(rng, n);
+    std::string read =
+        MutatedRead(rng, window, 0, std::min(n, 40), 2, 1, 0);
+    SwAlignment want = SmithWaterman(read, window, sc);
+    SmithWatermanKernel(read, window, sc, SwBand::Full(),
+                        SwKernelMode::kAuto, &scratch, &out);
+    ExpectIdentical(want, out, "iter " + std::to_string(iter));
+  }
+}
+
+}  // namespace
+}  // namespace gesall

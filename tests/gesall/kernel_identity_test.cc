@@ -1,0 +1,147 @@
+// End-to-end proof that the SIMD machinery is output-invisible: pipeline
+// round 1 run with the banded scalar kernel and with the banded SIMD
+// kernel (runtime dispatch, 16-bit lanes, overflow promotion) must
+// produce byte-identical BAM partitions and the same planted-truth
+// accuracy — vectorization is a pure performance switch. The
+// full-rectangle oracle is compared on counters only: its output may
+// legitimately differ from any banded kernel on repetitive windows where
+// the best local alignment leaves the band (DESIGN.md §8); per-call
+// agreement for seed-anchored reads is covered by
+// tests/align/sw_differential_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "align/smith_waterman.h"
+#include "formats/sam.h"
+#include "gesall/pipeline.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+
+namespace gesall {
+namespace {
+
+struct Round1Output {
+  std::vector<std::string> bam_paths;
+  std::vector<std::string> bam_bytes;
+  std::vector<SamRecord> records;
+  RoundStats stats;
+};
+
+class KernelIdentityTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ReferenceGeneratorOptions ro;
+    ro.num_chromosomes = 1;
+    ro.chromosome_length = 60'000;
+    ref_ = new ReferenceGenome(GenerateReference(ro));
+    donor_ = new DonorGenome(PlantVariants(*ref_, VariantPlanterOptions{}));
+    ReadSimulatorOptions so;
+    so.coverage = 4.0;
+    sample_ = new SimulatedSample(SimulateReads(*donor_, so));
+    index_ = new GenomeIndex(*ref_);
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete sample_;
+    delete donor_;
+    delete ref_;
+  }
+
+  static Round1Output RunRound1(SwKernelMode kernel) {
+    DfsOptions dopt;
+    dopt.block_size = 256 * 1024;
+    dopt.replication = 2;
+    dopt.num_data_nodes = 3;
+    Dfs dfs(dopt);
+    PipelineConfig config;
+    config.alignment_partitions = 3;
+    config.aligner.aligner.kernel = kernel;
+    GesallPipeline pipeline(*ref_, *index_, &dfs, config);
+    EXPECT_TRUE(pipeline.LoadSample(sample_->mate1, sample_->mate2).ok());
+    EXPECT_TRUE(pipeline.RunRound1Alignment().ok());
+
+    Round1Output out;
+    out.bam_paths = dfs.List("/gesall/aligned/");
+    for (const auto& path : out.bam_paths) {
+      out.bam_bytes.push_back(dfs.Read(path).ValueOrDie());
+    }
+    out.records = pipeline.ReadStageRecords("aligned").ValueOrDie();
+    EXPECT_FALSE(pipeline.stats().empty());
+    out.stats = pipeline.stats().back();
+    return out;
+  }
+
+  // Fraction of mapped first mates landing within 5 bp of their simulated
+  // origin (read names are "p<truth index>").
+  static double PlantedTruthAccuracy(const std::vector<SamRecord>& records) {
+    int64_t correct = 0, evaluated = 0;
+    for (const auto& r : records) {
+      if (!(r.flag & sam_flags::kFirstOfPair) || r.IsUnmapped()) continue;
+      const size_t i = std::strtoull(r.qname.c_str() + 1, nullptr, 10);
+      const ReadPairTruth& t = sample_->truth.at(i);
+      if (t.junk_mate2) continue;
+      ++evaluated;
+      if (r.ref_id == t.chrom && std::abs(r.pos - t.ref_start) <= 5) {
+        ++correct;
+      }
+    }
+    EXPECT_GT(evaluated, 100);
+    return correct / static_cast<double>(evaluated);
+  }
+
+  static ReferenceGenome* ref_;
+  static DonorGenome* donor_;
+  static SimulatedSample* sample_;
+  static GenomeIndex* index_;
+};
+
+ReferenceGenome* KernelIdentityTest::ref_ = nullptr;
+DonorGenome* KernelIdentityTest::donor_ = nullptr;
+SimulatedSample* KernelIdentityTest::sample_ = nullptr;
+GenomeIndex* KernelIdentityTest::index_ = nullptr;
+
+TEST_F(KernelIdentityTest, Round1BamBytesIdenticalAcrossKernels) {
+  Round1Output scalar = RunRound1(SwKernelMode::kBanded);
+  Round1Output simd = RunRound1(SwKernelMode::kAuto);
+
+  ASSERT_EQ(scalar.bam_paths, simd.bam_paths);
+  ASSERT_FALSE(scalar.bam_bytes.empty());
+  for (size_t i = 0; i < scalar.bam_bytes.size(); ++i) {
+    EXPECT_EQ(scalar.bam_bytes[i], simd.bam_bytes[i])
+        << "BAM partition " << scalar.bam_paths[i]
+        << " differs between kernels";
+  }
+
+  const double acc_scalar = PlantedTruthAccuracy(scalar.records);
+  const double acc_simd = PlantedTruthAccuracy(simd.records);
+  EXPECT_DOUBLE_EQ(acc_scalar, acc_simd);
+  EXPECT_GT(acc_simd, 0.9);
+}
+
+TEST_F(KernelIdentityTest, RoundCountersRecordKernelChoice) {
+  Round1Output oracle = RunRound1(SwKernelMode::kScalarFull);
+  Round1Output fast = RunRound1(SwKernelMode::kAuto);
+
+  EXPECT_GT(oracle.stats.counters.Get("align_kernel_calls"), 0);
+  EXPECT_EQ(oracle.stats.counters.Get("align_kernel_simd_calls"), 0);
+  EXPECT_GT(oracle.stats.counters.Get("align_kernel_scalar_calls"), 0);
+  // The oracle fills the full rectangle: nothing skipped.
+  EXPECT_EQ(oracle.stats.counters.Get("align_band_cells_skipped"), 0);
+
+  EXPECT_EQ(fast.stats.counters.Get("align_kernel_calls"),
+            oracle.stats.counters.Get("align_kernel_calls"));
+  // Banding skips most of the DP regardless of SIMD availability.
+  EXPECT_GT(fast.stats.counters.Get("align_band_cells_skipped"), 0);
+  if (SwSimdAvailable()) {
+    EXPECT_GT(fast.stats.counters.Get("align_kernel_simd_calls"), 0);
+    EXPECT_EQ(fast.stats.counters.Get("align_kernel_scalar_calls"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace gesall

@@ -11,7 +11,6 @@
 #include "gesall/diagnosis.h"
 #include "gesall/pipeline.h"
 #include "gesall/report.h"
-#include "gesall/serial_pipeline.h"
 #include "genome/read_simulator.h"
 #include "genome/reference_generator.h"
 

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "gesall/diagnosis.h"
-#include "gesall/serial_pipeline.h"
+#include "gesall/pipeline.h"
 #include "genome/read_simulator.h"
 #include "genome/reference_generator.h"
 

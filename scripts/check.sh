@@ -2,13 +2,14 @@
 # Tier-1 verification plus sanitizer passes over the failure-handling
 # hot spots.
 #
-#   scripts/check.sh                 # tier-1 + ASan + UBSan suites
+#   scripts/check.sh                 # tier-1 + ASan + UBSan + TSan suites
 #   scripts/check.sh --no-asan       # skip the ASan pass
+#   scripts/check.sh --no-tsan       # skip the TSan pass
 #   scripts/check.sh --no-sanitizers # tier-1 only
 #
-# The sanitizer builds live in build-asan/ and build-ubsan/ so they
-# never pollute the regular build directory, and only build the suites
-# that exercise the risky machinery.
+# The sanitizer builds live in build-asan/, build-ubsan/ and
+# build-tsan/ so they never pollute the regular build directory, and
+# only build the suites that exercise the risky machinery.
 #   - ASan (mr_test, util_test, align_test): arena lifetime bugs — views
 #     outliving a spill, combiner emits into a moved arena — are exactly
 #     what ASan catches and what the plain build can silently survive;
@@ -19,16 +20,22 @@
 #     combines), the fault-injection arithmetic, and the 16-bit
 #     saturating DP arithmetic must be free of undefined behavior, or
 #     corruption detection itself can't be trusted.
+#   - TSan (util_test, mr_test): the work-stealing executor (per-worker
+#     deques, steal-half transfers, TaskGroup helping waits) and the
+#     async MapReduce engine built on it are lock-ordering-sensitive by
+#     design; a data race here silently reorders round outputs.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=1
 run_ubsan=1
+run_tsan=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
-    --no-sanitizers) run_asan=0; run_ubsan=0 ;;
+    --no-tsan) run_tsan=0 ;;
+    --no-sanitizers) run_asan=0; run_ubsan=0; run_tsan=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -54,6 +61,14 @@ if [[ "$run_ubsan" == 1 ]]; then
   ./build-ubsan/tests/dfs_test
   ./build-ubsan/tests/mr_test
   ./build-ubsan/tests/align_test
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== tsan: executor + mapreduce suites ==="
+  cmake -B build-tsan -S . -DGESALL_SANITIZE=thread
+  cmake --build build-tsan -j --target util_test mr_test
+  ./build-tsan/tests/util_test
+  ./build-tsan/tests/mr_test
 fi
 
 echo "=== check.sh: all green ==="

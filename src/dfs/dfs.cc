@@ -1,8 +1,10 @@
 #include "dfs/dfs.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/crc32c.h"
+#include "util/executor.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 
@@ -72,11 +74,28 @@ Dfs::Dfs(DfsOptions options)
   health_.resize(options_.num_data_nodes);
 }
 
+namespace {
+// Chunk counts below this run serially: the executor round trip costs
+// more than a few CRC sweeps.
+constexpr size_t kMinParallelChunks = 4;
+}  // namespace
+
 std::vector<uint32_t> Dfs::ChunkSums(std::string_view data) const {
-  std::vector<uint32_t> sums;
   const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
-  for (size_t off = 0; off < data.size(); off += chunk) {
-    sums.push_back(Crc32c(data.substr(off, chunk)));
+  const size_t n = (data.size() + chunk - 1) / chunk;
+  std::vector<uint32_t> sums(n);
+  if (executor_ != nullptr && n >= kMinParallelChunks) {
+    TaskGroup group(executor_);
+    for (size_t i = 0; i < n; ++i) {
+      group.Submit([&sums, data, chunk, i] {
+        sums[i] = Crc32c(data.substr(i * chunk, chunk));
+      });
+    }
+    group.Wait();
+    return sums;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    sums[i] = Crc32c(data.substr(i * chunk, chunk));
   }
   return sums;
 }
@@ -85,11 +104,22 @@ bool Dfs::ChunksMatch(const std::string& bytes,
                       const std::vector<uint32_t>& sums) const {
   const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
   if (sums.size() != (bytes.size() + chunk - 1) / chunk) return false;
-  for (size_t i = 0; i < sums.size(); ++i) {
-    if (Crc32c(std::string_view(bytes).substr(i * chunk, chunk)) !=
-        sums[i]) {
-      return false;
+  std::string_view view(bytes);
+  if (executor_ != nullptr && sums.size() >= kMinParallelChunks) {
+    std::atomic<bool> match{true};
+    TaskGroup group(executor_);
+    for (size_t i = 0; i < sums.size(); ++i) {
+      group.Submit([&match, &sums, view, chunk, i] {
+        if (Crc32c(view.substr(i * chunk, chunk)) != sums[i]) {
+          match.store(false, std::memory_order_relaxed);
+        }
+      });
     }
+    group.Wait();
+    return match.load();
+  }
+  for (size_t i = 0; i < sums.size(); ++i) {
+    if (Crc32c(view.substr(i * chunk, chunk)) != sums[i]) return false;
   }
   return true;
 }
@@ -98,34 +128,50 @@ Status Dfs::Write(const std::string& path, std::string_view data,
                   BlockPlacementPolicy* policy) {
   GESALL_RETURN_NOT_OK(init_status_);
   if (policy == nullptr) policy = &default_policy_;
-  // Replace semantics: drop any existing file first.
-  if (Exists(path)) GESALL_RETURN_NOT_OK(Delete(path));
 
-  FileMeta meta;
-  meta.size = static_cast<int64_t>(data.size());
-  int64_t n_blocks =
-      (meta.size + options_.block_size - 1) / options_.block_size;
+  // Placement and checksums are pure in the input; compute them before
+  // taking the namenode lock so concurrent readers are not stalled
+  // behind CRC sweeps of a large file.
+  struct PendingBlock {
+    int64_t length = 0;
+    std::vector<int> placement;
+    std::string_view bytes;
+    std::vector<uint32_t> chunk_sums;
+  };
+  const int64_t size = static_cast<int64_t>(data.size());
+  int64_t n_blocks = (size + options_.block_size - 1) / options_.block_size;
   if (n_blocks == 0) n_blocks = 1;  // empty file still has a (empty) block
+  std::vector<PendingBlock> pending(static_cast<size_t>(n_blocks));
   for (int64_t b = 0; b < n_blocks; ++b) {
     int64_t off = b * options_.block_size;
-    int64_t len =
-        std::min<int64_t>(options_.block_size, meta.size - off);
+    int64_t len = std::min<int64_t>(options_.block_size, size - off);
     if (len < 0) len = 0;
-    std::vector<int> placement = policy->Place(
-        path, b, options_.num_data_nodes, options_.replication);
-    if (placement.empty()) {
+    PendingBlock& pb = pending[static_cast<size_t>(b)];
+    pb.length = len;
+    pb.placement = policy->Place(path, b, options_.num_data_nodes,
+                                 options_.replication);
+    if (pb.placement.empty()) {
       return Status::Internal("placement policy returned no nodes");
     }
-    int64_t id = next_block_id_++;
-    std::string_view block_bytes =
+    pb.bytes =
         data.substr(static_cast<size_t>(off), static_cast<size_t>(len));
+    pb.chunk_sums = ChunkSums(pb.bytes);
+  }
+
+  std::lock_guard<std::mutex> lock(health_mu_);
+  // Replace semantics: drop any existing file first.
+  if (files_.count(path) > 0) GESALL_RETURN_NOT_OK(DeleteLocked(path));
+  FileMeta meta;
+  meta.size = size;
+  for (PendingBlock& pb : pending) {
+    int64_t id = next_block_id_++;
     BlockMeta bm;
-    bm.length = len;
-    for (int node : placement) {
+    bm.length = pb.length;
+    for (int node : pb.placement) {
       bm.replicas.push_back({node, bm.next_ordinal++});
-      nodes_[node].blocks[id] = std::string(block_bytes);
+      nodes_[node].blocks[id] = std::string(pb.bytes);
     }
-    bm.chunk_sums = ChunkSums(block_bytes);
+    bm.chunk_sums = std::move(pb.chunk_sums);
     blocks_[id] = std::move(bm);
     meta.blocks.push_back(id);
   }
@@ -133,7 +179,7 @@ Status Dfs::Write(const std::string& path, std::string_view data,
   return Status::OK();
 }
 
-Result<const Dfs::FileMeta*> Dfs::Meta(const std::string& path) const {
+Result<const Dfs::FileMeta*> Dfs::MetaLocked(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return &it->second;
@@ -141,14 +187,22 @@ Result<const Dfs::FileMeta*> Dfs::Meta(const std::string& path) const {
 
 Result<std::string> Dfs::Read(const std::string& path) const {
   GESALL_RETURN_NOT_OK(init_status_);
-  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
-  return ReadRange(path, 0, meta->size);
+  std::lock_guard<std::mutex> lock(health_mu_);
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, MetaLocked(path));
+  return ReadRangeLocked(path, 0, meta->size);
 }
 
 Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
                                    int64_t length) const {
   GESALL_RETURN_NOT_OK(init_status_);
-  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return ReadRangeLocked(path, offset, length);
+}
+
+Result<std::string> Dfs::ReadRangeLocked(const std::string& path,
+                                         int64_t offset,
+                                         int64_t length) const {
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, MetaLocked(path));
   if (offset < 0 || offset + length > meta->size) {
     return Status::OutOfRange("read range outside file");
   }
@@ -160,7 +214,7 @@ Result<std::string> Dfs::ReadRange(const std::string& path, int64_t offset,
     int64_t intra = pos % options_.block_size;
     int64_t block_id = meta->blocks[block_index];
     BlockMeta& bm = blocks_.at(block_id);
-    const std::string* bytes = ReadBlockReplicas(block_id, bm);
+    const std::string* bytes = ReadBlockReplicasLocked(block_id, bm);
     if (bytes == nullptr) {
       return Status::IOError("all replicas of block " +
                              std::to_string(block_id) + " unavailable");
@@ -205,15 +259,14 @@ bool Dfs::VerifyReplicaLocked(int64_t block_id, BlockMeta* bm,
   return false;
 }
 
-const std::string* Dfs::ReadBlockReplicas(int64_t block_id,
-                                          BlockMeta& bm) const {
+const std::string* Dfs::ReadBlockReplicasLocked(int64_t block_id,
+                                                BlockMeta& bm) const {
   // HDFS read failover: walk the replica list in order, skipping nodes
   // that are down, dead, or blacklisted and replicas the injector fails
   // or whose bytes fail CRC verification; the first healthy replica
   // serves the block. Injector decisions are pure in (block, replica),
   // so one seed pins one consistent set of "bad" replicas across
   // repeated reads.
-  std::lock_guard<std::mutex> lock(health_mu_);
   int failures = 0;
   for (size_t ri = 0; ri < bm.replicas.size();) {
     int node = bm.replicas[ri].node;
@@ -357,7 +410,8 @@ Status Dfs::Tick() {
 Result<std::vector<BlockLocation>> Dfs::Locate(
     const std::string& path) const {
   GESALL_RETURN_NOT_OK(init_status_);
-  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  std::lock_guard<std::mutex> lock(health_mu_);
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, MetaLocked(path));
   std::vector<BlockLocation> out;
   int64_t off = 0;
   for (int64_t id : meta->blocks) {
@@ -375,16 +429,23 @@ Result<std::vector<BlockLocation>> Dfs::Locate(
 
 Result<int64_t> Dfs::FileSize(const std::string& path) const {
   GESALL_RETURN_NOT_OK(init_status_);
-  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, Meta(path));
+  std::lock_guard<std::mutex> lock(health_mu_);
+  GESALL_ASSIGN_OR_RETURN(const FileMeta* meta, MetaLocked(path));
   return meta->size;
 }
 
 bool Dfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
   return files_.count(path) > 0;
 }
 
 Status Dfs::Delete(const std::string& path) {
   GESALL_RETURN_NOT_OK(init_status_);
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return DeleteLocked(path);
+}
+
+Status Dfs::DeleteLocked(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   for (int64_t id : it->second.blocks) {
@@ -400,6 +461,7 @@ Status Dfs::Delete(const std::string& path) {
 }
 
 std::vector<std::string> Dfs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
   std::vector<std::string> out;
   for (const auto& [path, meta] : files_) {
     if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);

@@ -35,6 +35,7 @@
 
 namespace gesall {
 
+class Executor;
 class FaultInjector;
 
 /// \brief Cluster-level DFS parameters.
@@ -177,6 +178,11 @@ class Dfs {
   /// injection.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Executor for parallel checksum work (not owned): write-time chunk
+  /// sums fan out as tasks, and scrub/read CRC verification of large
+  /// blocks does too. Null keeps checksumming single-threaded.
+  void set_executor(Executor* executor) { executor_ = executor; }
+
   /// Snapshot of the read-path failover telemetry.
   DfsStats stats() const;
   void ResetStats();
@@ -226,13 +232,21 @@ class Dfs {
     bool blacklisted = false;
   };
 
-  Result<const FileMeta*> Meta(const std::string& path) const;
+  // Requires health_mu_.
+  Result<const FileMeta*> MetaLocked(const std::string& path) const;
+  Result<std::string> ReadRangeLocked(const std::string& path,
+                                      int64_t offset, int64_t length) const;
+  Status DeleteLocked(const std::string& path);
   // Serves one block from the first healthy, CRC-verified replica,
   // recording failover telemetry and quarantining corrupt replicas.
-  // Returns nullptr when every replica failed. Takes health_mu_.
-  const std::string* ReadBlockReplicas(int64_t block_id,
-                                       BlockMeta& bm) const;
+  // Returns nullptr when every replica failed. Requires health_mu_.
+  const std::string* ReadBlockReplicasLocked(int64_t block_id,
+                                             BlockMeta& bm) const;
 
+  // Pure CRC computations; parallelized over the executor when set
+  // (safe to call with health_mu_ held — the closures touch no Dfs
+  // state, and TaskGroup::Wait helps, so a saturated executor still
+  // makes progress).
   std::vector<uint32_t> ChunkSums(std::string_view data) const;
   bool ChunksMatch(const std::string& bytes,
                    const std::vector<uint32_t>& sums) const;
@@ -254,10 +268,16 @@ class Dfs {
   DfsOptions options_;
   Status init_status_;
   DefaultPlacementPolicy default_policy_;
+  FaultInjector* injector_ = nullptr;
+  Executor* executor_ = nullptr;
+  // One namenode-wide lock: every public operation acquires health_mu_
+  // once and runs *Locked internals, making concurrent reads, writes,
+  // and heartbeat ticks from overlapped pipeline rounds safe. Expensive
+  // pure work (chunk checksums) happens outside or fans out onto the
+  // executor.
+  mutable std::mutex health_mu_;
   std::map<std::string, FileMeta> files_;
   int64_t next_block_id_ = 1;
-  FaultInjector* injector_ = nullptr;
-  mutable std::mutex health_mu_;
   // blocks_/nodes_ are mutable because the logically-const read path
   // performs integrity bookkeeping: injected corruption flips stored
   // bytes, detection quarantines replicas. Guarded by health_mu_.

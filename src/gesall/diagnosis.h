@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "dfs/dfs.h"
@@ -163,6 +164,37 @@ struct NodeFailureSummary {
 /// job counters plus (optionally) the DFS stats.
 NodeFailureSummary SummarizeNodeFailures(const JobCounters& counters,
                                          const DfsStats* dfs_stats);
+
+/// \brief Wall span of one pipeline round, relative to the run start.
+struct RoundSpan {
+  std::string name;
+  double start_seconds = 0;
+  double end_seconds = 0;
+};
+
+/// \brief Execution-engine telemetry of one pipeline run on the shared
+/// work-stealing executor: task/steal/queue-wait counts (delta over the
+/// run), the per-round wall spans, and the duration-weighted critical
+/// path of the round DAG — the lower bound on wall time no amount of
+/// extra overlap can beat. overlap_seconds_saved compares the actual
+/// wall clock against the sum of round durations (what a fully
+/// barriered engine would have spent).
+struct ExecutionSummary {
+  // Executor telemetry (delta across the run).
+  int64_t tasks_executed = 0;
+  int64_t steals = 0;
+  int64_t tasks_stolen = 0;
+  double queue_wait_seconds = 0;
+
+  // Round-DAG accounting.
+  bool pipelined = false;
+  double wall_seconds = 0;
+  double serialized_round_seconds = 0;  // sum of round durations
+  double overlap_seconds_saved = 0;     // serialized - wall (>= 0)
+  double critical_path_seconds = 0;
+  std::vector<std::string> critical_path;  // round names along it
+  std::vector<RoundSpan> rounds;
+};
 
 }  // namespace gesall
 

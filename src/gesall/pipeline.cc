@@ -1,6 +1,8 @@
 #include "gesall/pipeline.h"
 
 #include <algorithm>
+#include <mutex>
+#include <optional>
 #include <set>
 
 #include "analysis/mark_duplicates.h"
@@ -9,6 +11,7 @@
 #include "dfs/bam_split_reader.h"
 #include "gesall/keys.h"
 #include "gesall/linear_index.h"
+#include "gesall/round_dag.h"
 #include "gesall/streaming.h"
 #include "gesall/transform.h"
 #include "util/bloom_filter.h"
@@ -610,6 +613,21 @@ class HaplotypeCallerMapper : public Mapper {
   HaplotypeCallerOptions options_;
 };
 
+// Serializes one reduce partition's record values into a BAM file body
+// (the write side every round shares, barriered or pipelined).
+Status BuildBamPartition(const SamHeader& header,
+                         const std::vector<std::string>& values,
+                         std::string* bam) {
+  BamWriter writer(bam);
+  GESALL_RETURN_NOT_OK(writer.WriteHeader(header));
+  for (const auto& v : values) {
+    size_t offset = 0;
+    GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
+    GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
+  }
+  return writer.Finish();
+}
+
 }  // namespace
 
 // -----------------------------------------------------------------------
@@ -625,6 +643,10 @@ GesallPipeline::GesallPipeline(const ReferenceGenome& reference,
   header_.programs.push_back("gesall");
   if (config_.fault_injector != nullptr && dfs_ != nullptr) {
     dfs_->set_fault_injector(config_.fault_injector);
+  }
+  if (dfs_ != nullptr) {
+    dfs_->set_executor(config_.executor != nullptr ? config_.executor
+                                                   : Executor::Shared());
   }
 }
 
@@ -644,6 +666,7 @@ JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
   // the next heartbeat Tick) and its map outputs (at reduce fetch).
   cfg.num_nodes = dfs_ != nullptr ? dfs_->num_data_nodes() : 0;
   cfg.max_map_reexecutions = config_.max_map_reexecutions;
+  cfg.executor = config_.executor;  // null selects Executor::Shared()
   return cfg;
 }
 
@@ -750,14 +773,7 @@ Status GesallPipeline::RunRound2Cleaning() {
   std::vector<std::string> outputs;
   for (auto& values : result.reducer_outputs) {
     std::string bam;
-    BamWriter writer(&bam);
-    GESALL_RETURN_NOT_OK(writer.WriteHeader(header_));
-    for (const auto& v : values) {
-      size_t offset = 0;
-      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
-      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
-    }
-    GESALL_RETURN_NOT_OK(writer.Finish());
+    GESALL_RETURN_NOT_OK(BuildBamPartition(header_, values, &bam));
     outputs.push_back(std::move(bam));
   }
   GESALL_RETURN_NOT_OK(WritePartitions(kCleanedDir, outputs));
@@ -833,14 +849,7 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
   std::vector<std::string> outputs;
   for (auto& values : result.reducer_outputs) {
     std::string bam;
-    BamWriter writer(&bam);
-    GESALL_RETURN_NOT_OK(writer.WriteHeader(header_));
-    for (const auto& v : values) {
-      size_t offset = 0;
-      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
-      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
-    }
-    GESALL_RETURN_NOT_OK(writer.Finish());
+    GESALL_RETURN_NOT_OK(BuildBamPartition(header_, values, &bam));
     outputs.push_back(std::move(bam));
   }
   GESALL_RETURN_NOT_OK(WritePartitions(kDedupDir, outputs));
@@ -936,14 +945,7 @@ Status GesallPipeline::RunRound4Sort() {
   std::vector<std::string> outputs;
   for (auto& values : result.reducer_outputs) {
     std::string bam;
-    BamWriter writer(&bam);
-    GESALL_RETURN_NOT_OK(writer.WriteHeader(sorted_header));
-    for (const auto& v : values) {
-      size_t offset = 0;
-      GESALL_ASSIGN_OR_RETURN(SamRecord rec, DecodeBamRecord(v, &offset));
-      GESALL_RETURN_NOT_OK(writer.WriteRecord(rec));
-    }
-    GESALL_RETURN_NOT_OK(writer.Finish());
+    GESALL_RETURN_NOT_OK(BuildBamPartition(sorted_header, values, &bam));
     outputs.push_back(std::move(bam));
   }
   GESALL_RETURN_NOT_OK(WritePartitions(kSortedDir, outputs));
@@ -1056,6 +1058,58 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
 }
 
 Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
+  Executor* executor =
+      config_.executor != nullptr ? config_.executor : Executor::Shared();
+  const ExecutorStats before = executor->stats();
+  const size_t first_round = stats_.size();
+  execution_ = ExecutionSummary{};
+  execution_.pipelined = config_.pipelined;
+  Stopwatch wall;
+  Result<std::vector<VariantRecord>> result =
+      config_.pipelined ? RunAllPipelined() : RunAllBarriered();
+  execution_.wall_seconds = wall.ElapsedSeconds();
+
+  const ExecutorStats after = executor->stats();
+  execution_.tasks_executed = after.tasks_executed - before.tasks_executed;
+  execution_.steals = after.steals - before.steals;
+  execution_.tasks_stolen = after.tasks_stolen - before.tasks_stolen;
+  execution_.queue_wait_seconds =
+      static_cast<double>(after.queue_wait_micros -
+                          before.queue_wait_micros) /
+      1e6;
+
+  // Barriered rounds execute back to back: derive their spans from the
+  // recorded round walls. The pipelined path records real spans itself.
+  if (!config_.pipelined) {
+    double at = 0;
+    for (size_t i = first_round; i < stats_.size(); ++i) {
+      execution_.rounds.push_back(
+          {stats_[i].name, at, at + stats_[i].wall_seconds});
+      at += stats_[i].wall_seconds;
+    }
+  }
+
+  // Round-level DAG: each recorded round depends on the previous one
+  // (the order rounds were awaited is the dependency spine), so the
+  // critical path is the serialized bound overlap is measured against.
+  RoundDag dag;
+  int prev = -1;
+  for (const auto& span : execution_.rounds) {
+    int node = dag.AddTask(span.name);
+    dag.RecordSpan(node, span.start_seconds, span.end_seconds);
+    if (prev >= 0) dag.AddDep(prev, node);
+    prev = node;
+    execution_.serialized_round_seconds +=
+        span.end_seconds - span.start_seconds;
+  }
+  execution_.critical_path = dag.CriticalPath();
+  execution_.critical_path_seconds = dag.CriticalPathSeconds();
+  execution_.overlap_seconds_saved = std::max(
+      0.0, execution_.serialized_round_seconds - execution_.wall_seconds);
+  return result;
+}
+
+Result<std::vector<VariantRecord>> GesallPipeline::RunAllBarriered() {
   GESALL_RETURN_NOT_OK(RunRound1Alignment());
   GESALL_RETURN_NOT_OK(RunRound2Cleaning());
   GESALL_RETURN_NOT_OK(RunRound3MarkDuplicates());
@@ -1064,6 +1118,477 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
   }
   GESALL_RETURN_NOT_OK(RunRound4Sort());
   return RunRound5VariantCalling();
+}
+
+Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
+  Executor* executor =
+      config_.executor != nullptr ? config_.executor : Executor::Shared();
+  // One shared admission throttle: max_parallel_tasks is a global task
+  // slot budget across the overlapped rounds, matching the barriered
+  // engine where only one round holds slots at a time.
+  auto throttle = std::make_shared<Throttle>(
+      executor, std::max(1, config_.max_parallel_tasks));
+  Stopwatch wall;
+
+  // ---- Round 1, barriered: split computation needs the input files.
+  GESALL_RETURN_NOT_OK(RunRound1Alignment());
+  execution_.rounds.push_back(
+      {"round1_alignment", 0.0, wall.ElapsedSeconds()});
+
+  const int R2 = std::max(1, config_.cleaning_reducers);
+  const int R3 = std::max(1, config_.markdup_reducers);
+  const int C = static_cast<int>(reference_->chromosomes.size());
+  Dfs* dfs = dfs_;
+
+  // Per-partition readiness edges between rounds. A downstream gated
+  // split is admitted the moment its upstream partition file is on DFS.
+  std::vector<std::shared_ptr<ReadySignal>> ev_cleaned;
+  std::vector<std::shared_ptr<ReadySignal>> ev_dedup;
+  std::vector<std::shared_ptr<ReadySignal>> ev_sorted;
+  for (int r = 0; r < R2; ++r) {
+    ev_cleaned.push_back(std::make_shared<ReadySignal>());
+  }
+  for (int r = 0; r < R3; ++r) {
+    ev_dedup.push_back(std::make_shared<ReadySignal>());
+  }
+  for (int c = 0; c < C + 1; ++c) {
+    ev_sorted.push_back(std::make_shared<ReadySignal>());
+  }
+
+  // Partition-output callbacks run on executor workers and cannot
+  // return a status; the first write failure is parked here and
+  // re-checked after every job completes.
+  auto cb_mu = std::make_shared<std::mutex>();
+  auto cb_error = std::make_shared<Status>(Status::OK());
+  auto record_cb = [cb_mu, cb_error](const Status& s) {
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(*cb_mu);
+    if (cb_error->ok()) *cb_error = s;
+  };
+  auto first_cb_error = [cb_mu, cb_error]() -> Status {
+    std::lock_guard<std::mutex> lock(*cb_mu);
+    return *cb_error;
+  };
+
+  std::optional<MapReduceJob::Handle> h2, h3a, h3, h4, h5;
+  // Error path: release every gate (so gated splits are admitted and
+  // their jobs can finish failing) and drain every outstanding handle —
+  // running tasks capture locals of this frame, so returning before
+  // they complete would be a use-after-free.
+  auto fail = [&](Status error) -> Status {
+    for (auto& e : ev_cleaned) e->Notify();
+    for (auto& e : ev_dedup) e->Notify();
+    for (auto& e : ev_sorted) e->Notify();
+    for (auto* h : {&h2, &h3a, &h3, &h4, &h5}) {
+      if (h->has_value()) {
+        (void)(*h)->Wait();
+        h->reset();
+      }
+    }
+    return error;
+  };
+
+  // ---- Round 2 cleaning: reduce partitions stream to DFS as they
+  // finish, each releasing the bloom pre-round's matching map split.
+  double t2_start = wall.ElapsedSeconds();
+  std::vector<InputSplit> splits2;
+  for (const auto& path : ListBams(*dfs_, kAlignedDir)) {
+    GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
+    for (const auto& bs : bam_splits) {
+      InputSplit s;
+      s.load = [dfs, path, bs]() {
+        return ReadBamSplitRecords(*dfs, path, bs);
+      };
+      s.preferred_node = bs.preferred_nodes.empty() ? -1
+                                                    : bs.preferred_nodes[0];
+      splits2.push_back(std::move(s));
+    }
+  }
+  JobConfig cfg2 = MakeJobConfig(R2);
+  cfg2.executor = executor;
+  cfg2.throttle = throttle;
+  if (config_.use_combiners) {
+    cfg2.combiner_factory = [] {
+      return std::make_unique<FixMateCombiner>();
+    };
+  }
+  {
+    SamHeader header_copy = header_;
+    auto evs = ev_cleaned;
+    cfg2.on_partition_output = [dfs, header_copy, evs, record_cb](
+                                   int r,
+                                   const std::vector<std::string>& values,
+                                   const JobCounters&) {
+      std::string bam;
+      Status s = BuildBamPartition(header_copy, values, &bam);
+      if (s.ok()) {
+        LogicalPartitionPlacementPolicy policy;
+        s = dfs->Write(PartPath(kCleanedDir, r) + ".bam", bam, &policy);
+      }
+      record_cb(s);
+      evs[static_cast<size_t>(r)]->Notify();
+    };
+  }
+  MapReduceJob job2(cfg2);
+  const SamHeader* header = &header_;
+  ReadGroup rg = config_.read_group;
+  h2 = job2.Start(
+      splits2,
+      [header, rg] { return std::make_unique<CleaningMapper>(header, rg); },
+      [] { return std::make_unique<FixMateReducer>(); });
+
+  // ---- Round 3 bloom pre-round, overlapped with round 2: each map
+  // split is gated on its cleaned partition.
+  double t3a_start = wall.ElapsedSeconds();
+  JobConfig cfg3a = MakeJobConfig(0);
+  cfg3a.executor = executor;
+  cfg3a.throttle = throttle;
+  MapReduceJob job3a(cfg3a);
+  if (config_.markdup_use_bloom) {
+    std::vector<InputSplit> splits3a;
+    for (int r = 0; r < R2; ++r) {
+      std::string path = PartPath(kCleanedDir, r) + ".bam";
+      InputSplit s;
+      s.load = [dfs, path]() { return dfs->Read(path); };
+      s.ready = ev_cleaned[static_cast<size_t>(r)];
+      splits3a.push_back(std::move(s));
+    }
+    size_t expected = config_.bloom_expected_items;
+    double fpr = config_.bloom_fpr;
+    h3a = job3a.StartMapOnly(splits3a, [expected, fpr] {
+      return std::make_unique<BloomMapper>(expected, fpr);
+    });
+  }
+
+  // ---- Await round 2.
+  {
+    Result<JobResult> out = h2->Wait();
+    h2.reset();
+    if (!out.ok()) return fail(out.status());
+    JobResult result = out.MoveValueUnsafe();
+    stats_.push_back({"round2_cleaning", wall.ElapsedSeconds() - t2_start,
+                      std::move(result.counters), std::move(result.tasks)});
+    execution_.rounds.push_back(
+        {"round2_cleaning", t2_start, wall.ElapsedSeconds()});
+  }
+  {
+    Status s = first_cb_error();
+    if (!s.ok()) return fail(s);
+  }
+  {
+    Status s = dfs_->Tick();
+    if (!s.ok()) return fail(s);
+  }
+
+  // ---- Await the bloom pre-round and merge the per-mapper filters.
+  std::unique_ptr<BloomFilter> bloom;
+  if (h3a.has_value()) {
+    Result<JobResult> out = h3a->Wait();
+    h3a.reset();
+    if (!out.ok()) return fail(out.status());
+    JobResult result = out.MoveValueUnsafe();
+    BloomFilter merged(config_.bloom_expected_items, config_.bloom_fpr);
+    for (const auto& part : result.reducer_outputs) {
+      for (const auto& v : part) {
+        Result<BloomFilter> f = BloomFilter::Deserialize(v);
+        if (!f.ok()) return fail(f.status());
+        Status s = merged.Union(f.ValueOrDie());
+        if (!s.ok()) return fail(s);
+      }
+    }
+    bloom = std::make_unique<BloomFilter>(std::move(merged));
+    stats_.push_back({"round3_bloom_preround",
+                      wall.ElapsedSeconds() - t3a_start,
+                      std::move(result.counters), std::move(result.tasks)});
+    execution_.rounds.push_back(
+        {"round3_bloom_preround", t3a_start, wall.ElapsedSeconds()});
+  }
+
+  // ---- Round 3 MarkDuplicates: reduce partitions release round 4's
+  // matching sort split as they land on DFS.
+  double t3_start = wall.ElapsedSeconds();
+  std::vector<InputSplit> splits3;
+  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+    InputSplit s;
+    s.load = [dfs, path]() { return dfs->Read(path); };
+    s.preferred_node = LogicalPartitionPlacementPolicy::PrimaryNodeFor(
+        path, dfs_->num_data_nodes());
+    splits3.push_back(std::move(s));
+  }
+  JobConfig cfg3 = MakeJobConfig(R3);
+  cfg3.executor = executor;
+  cfg3.throttle = throttle;
+  if (config_.use_combiners) {
+    cfg3.combiner_factory = [] {
+      return std::make_unique<MarkDupCombiner>();
+    };
+  }
+  {
+    SamHeader header_copy = header_;
+    auto evs = ev_dedup;
+    cfg3.on_partition_output = [dfs, header_copy, evs, record_cb](
+                                   int r,
+                                   const std::vector<std::string>& values,
+                                   const JobCounters&) {
+      std::string bam;
+      Status s = BuildBamPartition(header_copy, values, &bam);
+      if (s.ok()) {
+        LogicalPartitionPlacementPolicy policy;
+        s = dfs->Write(PartPath(kDedupDir, r) + ".bam", bam, &policy);
+      }
+      record_cb(s);
+      evs[static_cast<size_t>(r)]->Notify();
+    };
+  }
+  MapReduceJob job3(cfg3);
+  const BloomFilter* bloom_ptr = bloom.get();
+  h3 = job3.Start(
+      splits3,
+      [bloom_ptr] { return std::make_unique<MarkDupMapper>(bloom_ptr); },
+      [] { return std::make_unique<MarkDupReducer>(); });
+
+  // ---- Round 4 sort. Without recalibration it overlaps round 3: each
+  // map split is gated on its dedup partition. The recalibration rounds
+  // are driver-merged (the covariate table is global), so with them
+  // enabled rounds 3.5 run barriered and round 4 starts ungated after.
+  SamHeader sorted_header = header_;
+  sorted_header.sort_order = "coordinate";
+  std::vector<std::string> boundaries;
+  for (int c = 1; c < C; ++c) {
+    boundaries.push_back(EncodeCoordinateBoundary(c, 0));
+  }
+  boundaries.push_back("\x7f");  // unmapped records partition
+  RangePartitioner partitioner(boundaries);
+  JobConfig cfg4 = MakeJobConfig(C + 1);
+  cfg4.executor = executor;
+  cfg4.throttle = throttle;
+  {
+    auto evs = ev_sorted;
+    cfg4.on_partition_output = [dfs, sorted_header, evs, record_cb](
+                                   int c,
+                                   const std::vector<std::string>& values,
+                                   const JobCounters&) {
+      std::string bam;
+      Status s = BuildBamPartition(sorted_header, values, &bam);
+      if (s.ok()) {
+        LogicalPartitionPlacementPolicy policy;
+        s = dfs->Write(PartPath(kSortedDir, c) + ".bam", bam, &policy);
+        if (s.ok()) {
+          // "Sorting and building the BAM file index in the reducer"
+          // (§4.1): the linear index sidecar must be on DFS before the
+          // chromosome's HC split is released.
+          Result<LinearBamIndex> index = LinearBamIndex::Build(bam);
+          s = index.ok()
+                  ? dfs->Write(PartPath(kSortedDir, c) + ".bai",
+                               index.ValueOrDie().Serialize(), &policy)
+                  : index.status();
+        }
+      }
+      record_cb(s);
+      evs[static_cast<size_t>(c)]->Notify();
+    };
+  }
+  MapReduceJob job4(cfg4);
+  double t4_start = 0;
+  auto start_round4 = [&](const std::string& input_dir, bool gated) {
+    t4_start = wall.ElapsedSeconds();
+    std::vector<InputSplit> splits4;
+    if (gated) {
+      for (int r = 0; r < R3; ++r) {
+        std::string path = PartPath(input_dir, r) + ".bam";
+        InputSplit s;
+        s.load = [dfs, path]() { return dfs->Read(path); };
+        s.ready = ev_dedup[static_cast<size_t>(r)];
+        splits4.push_back(std::move(s));
+      }
+    } else {
+      for (const auto& path : ListBams(*dfs_, input_dir)) {
+        InputSplit s;
+        s.load = [dfs, path]() { return dfs->Read(path); };
+        splits4.push_back(std::move(s));
+      }
+    }
+    h4 = job4.Start(
+        splits4, [] { return std::make_unique<SortMapper>(); },
+        [] { return std::make_unique<IdentityReducer>(); }, &partitioner);
+  };
+
+  // ---- Round 5 variant calling, overlapped with round 4: the HC split
+  // (or all segment splits) of chromosome c waits only for round 4 to
+  // sort and index that chromosome's partition.
+  double t5_start = 0;
+  JobConfig cfg5 = MakeJobConfig(0);
+  cfg5.executor = executor;
+  cfg5.throttle = throttle;
+  MapReduceJob job5(cfg5);
+  auto start_round5 = [&] {
+    t5_start = wall.ElapsedSeconds();
+    std::vector<InputSplit> splits5;
+    for (int c = 0; c < C; ++c) {
+      std::string path = PartPath(kSortedDir, c) + ".bam";
+      int64_t chrom_len =
+          static_cast<int64_t>(reference_->chromosomes[c].sequence.size());
+      if (config_.hc_partitioning ==
+          PipelineConfig::HcPartitioning::kChromosome) {
+        InputSplit s;
+        s.load = [dfs, path, c, chrom_len]() -> Result<std::string> {
+          GESALL_ASSIGN_OR_RETURN(std::string bam, dfs->Read(path));
+          return EncodeHcEnvelope(c, 0, chrom_len, 0, chrom_len,
+                                  std::move(bam));
+        };
+        s.ready = ev_sorted[static_cast<size_t>(c)];
+        splits5.push_back(std::move(s));
+      } else {
+        const int S = std::max(1, config_.hc_segments_per_chromosome);
+        const int64_t overlap =
+            config_.hc.max_window + config_.hc.window_pad;
+        for (int seg = 0; seg < S; ++seg) {
+          int64_t emit_start = chrom_len * seg / S;
+          int64_t emit_end = chrom_len * (seg + 1) / S;
+          int64_t start = std::max<int64_t>(0, emit_start - overlap);
+          int64_t end = std::min(chrom_len, emit_end + overlap);
+          InputSplit s;
+          std::string index_path = PartPath(kSortedDir, c) + ".bai";
+          SamHeader split_header = header_;
+          s.load = [dfs, path, index_path, split_header, c, start, end,
+                    emit_start, emit_end]() -> Result<std::string> {
+            GESALL_ASSIGN_OR_RETURN(std::string bam, dfs->Read(path));
+            if (dfs->Exists(index_path)) {
+              GESALL_ASSIGN_OR_RETURN(std::string raw,
+                                      dfs->Read(index_path));
+              GESALL_ASSIGN_OR_RETURN(LinearBamIndex index,
+                                      LinearBamIndex::Deserialize(raw));
+              GESALL_ASSIGN_OR_RETURN(
+                  std::vector<SamRecord> region,
+                  ReadBamRegion(bam, index, start, end));
+              GESALL_ASSIGN_OR_RETURN(std::string subset,
+                                      WriteBam(split_header, region));
+              return EncodeHcEnvelope(c, start, end, emit_start, emit_end,
+                                      std::move(subset));
+            }
+            return EncodeHcEnvelope(c, start, end, emit_start, emit_end,
+                                    std::move(bam));
+          };
+          s.ready = ev_sorted[static_cast<size_t>(c)];
+          splits5.push_back(std::move(s));
+        }
+      }
+    }
+    const ReferenceGenome* reference = reference_;
+    MapperFactory factory;
+    if (config_.variant_caller ==
+        PipelineConfig::VariantCaller::kUnifiedGenotyper) {
+      GenotyperOptions ug = config_.ug;
+      factory = [reference, ug] {
+        return std::make_unique<UnifiedGenotyperMapper>(reference, ug);
+      };
+    } else {
+      HaplotypeCallerOptions hc = config_.hc;
+      factory = [reference, hc] {
+        return std::make_unique<HaplotypeCallerMapper>(reference, hc);
+      };
+    }
+    h5 = job5.StartMapOnly(splits5, factory);
+  };
+
+  if (!config_.run_recalibration) {
+    start_round4(kDedupDir, /*gated=*/true);
+    start_round5();
+  }
+
+  // ---- Await round 3.
+  {
+    Result<JobResult> out = h3->Wait();
+    h3.reset();
+    if (!out.ok()) return fail(out.status());
+    JobResult result = out.MoveValueUnsafe();
+    stats_.push_back({config_.markdup_use_bloom ? "round3_markdup_opt"
+                                                : "round3_markdup_reg",
+                      wall.ElapsedSeconds() - t3_start,
+                      std::move(result.counters), std::move(result.tasks)});
+    execution_.rounds.push_back({stats_.back().name, t3_start,
+                                 wall.ElapsedSeconds()});
+  }
+  {
+    Status s = first_cb_error();
+    if (!s.ok()) return fail(s);
+  }
+  {
+    Status s = dfs_->Tick();
+    if (!s.ok()) return fail(s);
+  }
+
+  // ---- Optional recalibration (barriered: the merged covariate table
+  // is a global barrier by construction), then the gated tail.
+  if (config_.run_recalibration) {
+    double recal_start = wall.ElapsedSeconds();
+    size_t before_recal = stats_.size();
+    Status s = RunRecalibrationRounds();
+    if (!s.ok()) return fail(s);
+    double at = recal_start;
+    for (size_t i = before_recal; i < stats_.size(); ++i) {
+      execution_.rounds.push_back(
+          {stats_[i].name, at, at + stats_[i].wall_seconds});
+      at += stats_[i].wall_seconds;
+    }
+    std::string input_dir =
+        ListBams(*dfs_, kRecalDir).empty() ? kDedupDir : kRecalDir;
+    start_round4(input_dir, /*gated=*/false);
+    start_round5();
+  }
+
+  // ---- Await round 4.
+  {
+    Result<JobResult> out = h4->Wait();
+    h4.reset();
+    if (!out.ok()) return fail(out.status());
+    JobResult result = out.MoveValueUnsafe();
+    stats_.push_back({"round4_sort", wall.ElapsedSeconds() - t4_start,
+                      std::move(result.counters), std::move(result.tasks)});
+    execution_.rounds.push_back(
+        {"round4_sort", t4_start, wall.ElapsedSeconds()});
+  }
+  {
+    Status s = first_cb_error();
+    if (!s.ok()) return fail(s);
+  }
+  {
+    Status s = dfs_->Tick();
+    if (!s.ok()) return fail(s);
+  }
+
+  // ---- Await round 5 and decode the calls.
+  std::vector<VariantRecord> variants;
+  {
+    Result<JobResult> out = h5->Wait();
+    h5.reset();
+    if (!out.ok()) return fail(out.status());
+    JobResult result = out.MoveValueUnsafe();
+    for (const auto& part : result.reducer_outputs) {
+      for (const auto& v : part) {
+        size_t offset = 0;
+        Result<VariantRecord> rec = DecodeVariantBinary(v, &offset);
+        if (!rec.ok()) return fail(rec.status());
+        variants.push_back(rec.MoveValueUnsafe());
+      }
+    }
+    std::sort(variants.begin(), variants.end(), VariantLess);
+    stats_.push_back(
+        {config_.variant_caller ==
+                 PipelineConfig::VariantCaller::kUnifiedGenotyper
+             ? "round5_unified_genotyper"
+             : "round5_haplotype_caller",
+         wall.ElapsedSeconds() - t5_start, std::move(result.counters),
+         std::move(result.tasks)});
+    execution_.rounds.push_back({stats_.back().name, t5_start,
+                                 wall.ElapsedSeconds()});
+  }
+  {
+    Status s = first_cb_error();
+    if (!s.ok()) return fail(s);
+  }
+  GESALL_RETURN_NOT_OK(dfs_->Tick());
+  return variants;
 }
 
 Status GesallPipeline::WritePartitions(

@@ -20,6 +20,7 @@
 #ifndef GESALL_GESALL_PIPELINE_H_
 #define GESALL_GESALL_PIPELINE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "formats/vcf.h"
 #include "gesall/diagnosis.h"
 #include "mr/mapreduce.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace gesall {
@@ -105,6 +107,18 @@ struct PipelineConfig {
   /// node model itself sizes from the DFS cluster: num_nodes =
   /// dfs->num_data_nodes()).
   int max_map_reexecutions = 2;
+
+  /// Overlap the five rounds in RunAll(): a round's map tasks start as
+  /// soon as the upstream partition they read is written (Round 5 HC for
+  /// a chromosome starts once Round 4 sorted that chromosome), instead
+  /// of barriering between rounds. Outputs, variant calls, and every
+  /// per-record counter are byte-identical either way — only wall-clock
+  /// scheduling changes. Off by default so seeded chaos runs keep their
+  /// historical round ordering.
+  bool pipelined = false;
+  /// Executor every round's tasks run on (not owned). Null selects the
+  /// process-wide Executor::Shared().
+  Executor* executor = nullptr;
 };
 
 /// \brief Wall-clock and counter statistics of one executed round.
@@ -158,11 +172,18 @@ class GesallPipeline {
   /// NodeFailureSummary, ready for GenerateDiagnosisReport.
   NodeFailureSummary SummarizeNodeFailures() const;
 
+  /// Execution-engine telemetry of the last RunAll(): executor
+  /// task/steal/queue-wait deltas, per-round wall spans, and the
+  /// critical path of the round DAG. Zero before RunAll() ran.
+  const ExecutionSummary& SummarizeExecution() const { return execution_; }
+
  private:
   JobConfig MakeJobConfig(int reducers) const;
   Status WritePartitions(const std::string& stage,
                          const std::vector<std::string>& bam_files);
   Result<std::string> BuildBloomFilter();
+  Result<std::vector<VariantRecord>> RunAllBarriered();
+  Result<std::vector<VariantRecord>> RunAllPipelined();
 
   const ReferenceGenome* reference_;
   const GenomeIndex* index_;
@@ -170,7 +191,54 @@ class GesallPipeline {
   PipelineConfig config_;
   SamHeader header_;
   std::vector<RoundStats> stats_;
+  ExecutionSummary execution_;
 };
+
+// ---------------------------------------------------------------------
+// Serial reference pipeline (the paper's single-node "gold standard",
+// GATK best practices): the same wrapped programs executed as a RoundDag
+// chain on a single-worker executor, plus hybrid tails used to compute
+// the discordant-impact (D_impact) measures of §4.5.2.
+
+/// \brief Serial pipeline configuration.
+struct SerialPipelineConfig {
+  PairedAlignerOptions aligner;
+  ReadGroup read_group{"rg1", "sample1", "lib1"};
+  HaplotypeCallerOptions hc;
+  /// Include BaseRecalibrator + PrintReads (Table 2 steps 11-12).
+  bool run_recalibration = false;
+};
+
+/// \brief Intermediate and final outputs of the serial pipeline (the R_i
+/// of the error-diagnosis formalism).
+struct SerialStageOutputs {
+  SamHeader header;
+  std::vector<SamRecord> aligned;
+  std::vector<SamRecord> cleaned;  // + read groups + fixed mates
+  std::vector<SamRecord> deduped;
+  std::vector<SamRecord> sorted;
+  std::vector<VariantRecord> variants;
+  std::map<std::string, double> step_seconds;  // per wrapped program
+};
+
+/// \brief Runs the full serial pipeline on interleaved FASTQ pairs.
+Result<SerialStageOutputs> RunSerialPipeline(
+    const ReferenceGenome& reference, const GenomeIndex& index,
+    const std::vector<FastqRecord>& interleaved,
+    const SerialPipelineConfig& config = {});
+
+/// \brief Hybrid tail for D_impact(P1): serial cleaning -> duplicates ->
+/// sort -> Haplotype Caller, starting from (possibly parallel-produced)
+/// alignment output grouped by read name.
+Result<std::vector<VariantRecord>> SerialTailFromAligned(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> aligned, const SerialPipelineConfig& config = {});
+
+/// \brief Hybrid tail for D_impact(P2): serial sort -> Haplotype Caller
+/// from duplicate-marked records.
+Result<std::vector<VariantRecord>> SerialTailFromDeduped(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> deduped, const SerialPipelineConfig& config = {});
 
 }  // namespace gesall
 

@@ -143,6 +143,35 @@ Result<DiagnosisReport> GenerateDiagnosisReport(
               : "- no corruption or node loss observed during this run\n\n";
   }
 
+  if (in.execution != nullptr) {
+    report.execution = *in.execution;
+    const ExecutionSummary& ex = report.execution;
+    md += "## Execution engine\n\n";
+    Append(&md, "- mode: %s rounds on the shared work-stealing executor\n",
+           ex.pipelined ? "pipelined (per-partition overlap)" : "barriered");
+    Append(&md, "- tasks executed: %lld (steals: %lld, tasks stolen: "
+                "%lld, queue wait: %.3fs)\n",
+           static_cast<long long>(ex.tasks_executed),
+           static_cast<long long>(ex.steals),
+           static_cast<long long>(ex.tasks_stolen), ex.queue_wait_seconds);
+    Append(&md, "- wall: %.3fs vs %.3fs serialized rounds "
+                "(overlap saved %.3fs)\n",
+           ex.wall_seconds, ex.serialized_round_seconds,
+           ex.overlap_seconds_saved);
+    std::string path;
+    for (const auto& name : ex.critical_path) {
+      if (!path.empty()) path += " -> ";
+      path += name;
+    }
+    Append(&md, "- critical path (%.3fs): %s\n", ex.critical_path_seconds,
+           path.c_str());
+    for (const auto& round : ex.rounds) {
+      Append(&md, "- round %s: [%.3fs, %.3fs]\n", round.name.c_str(),
+             round.start_seconds, round.end_seconds);
+    }
+    md += "\n";
+  }
+
   if (in.truth != nullptr) {
     md += "## Truth-set scoring\n\n";
     Append(&md, "- serial:   precision %.4f, sensitivity %.4f\n",

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "gesall/diagnosis.h"
-#include "gesall/serial_pipeline.h"
+#include "gesall/pipeline.h"
 
 namespace gesall {
 
@@ -33,6 +33,11 @@ struct DiagnosisReportInputs {
   /// re-replication, heartbeat deaths, map re-executions) — rendered as
   /// its own section alongside the fault-tolerance one.
   const NodeFailureSummary* node_failures = nullptr;
+  /// Optional execution-engine telemetry of the parallel run (executor
+  /// task/steal/queue-wait counts, per-round wall spans, critical path
+  /// of the round DAG) — rendered as its own section so a reviewer sees
+  /// where the wall-clock went and what bounds further overlap.
+  const ExecutionSummary* execution = nullptr;
 };
 
 /// \brief Computed report: the structured verdicts plus markdown text.
@@ -44,6 +49,7 @@ struct DiagnosisReport {
   PrecisionSensitivity parallel_truth_score;
   FaultToleranceSummary fault_tolerance;      // zero when not supplied
   NodeFailureSummary node_failures;           // zero when not supplied
+  ExecutionSummary execution;                 // zero when not supplied
 
   /// The paper's acceptance criteria (§4.5.2 conclusions).
   bool discordance_is_low_quality = false;  // weighted << raw D_count

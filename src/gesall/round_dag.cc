@@ -1,0 +1,216 @@
+#include "gesall/round_dag.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "util/stopwatch.h"
+
+namespace gesall {
+
+int RoundDag::AddTask(std::string name, std::function<Status()> fn) {
+  RoundDagNode node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void RoundDag::AddDep(int before, int after) {
+  nodes_[static_cast<size_t>(after)].deps.push_back(before);
+  nodes_[static_cast<size_t>(before)].succs.push_back(after);
+}
+
+namespace {
+
+// Shared scheduler state of one Run. Heap-held so executor tasks can't
+// outlive it (they hold the shared_ptr).
+struct RunState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> indegree;  // guarded by mu
+  int done = 0;               // guarded by mu
+  Status first_error;         // guarded by mu
+  Stopwatch clock;
+};
+
+}  // namespace
+
+Status RoundDag::Run(Executor* executor) {
+  const int n = static_cast<int>(nodes_.size());
+  if (n == 0) return Status::OK();
+
+  // Kahn pass up front: a cycle would otherwise hang the countdown.
+  {
+    std::vector<int> indeg(static_cast<size_t>(n), 0);
+    for (const auto& node : nodes_) {
+      for (int s : node.succs) ++indeg[static_cast<size_t>(s)];
+    }
+    std::vector<int> ready;
+    for (int i = 0; i < n; ++i) {
+      if (indeg[static_cast<size_t>(i)] == 0) ready.push_back(i);
+    }
+    int seen = 0;
+    while (!ready.empty()) {
+      int i = ready.back();
+      ready.pop_back();
+      ++seen;
+      for (int s : nodes_[static_cast<size_t>(i)].succs) {
+        if (--indeg[static_cast<size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+    if (seen != n) {
+      return Status::InvalidArgument("RoundDag contains a cycle");
+    }
+  }
+
+  auto state = std::make_shared<RunState>();
+  state->indegree.assign(static_cast<size_t>(n), 0);
+  for (const auto& node : nodes_) {
+    for (int s : node.succs) ++state->indegree[static_cast<size_t>(s)];
+  }
+
+  // Completion of node i: record, release successors, count down.
+  // Declared as a recursive lambda via TaskGroup-free direct submits;
+  // the executor owns the concurrency, this owns the ordering.
+  struct Scheduler {
+    RoundDag* dag;
+    Executor* executor;
+    std::shared_ptr<RunState> state;
+
+    void Launch(int i) {
+      executor->Submit([this_copy = *this, i]() mutable {
+        this_copy.RunNode(i);
+      });
+    }
+
+    void RunNode(int i) {
+      RoundDagNode& node = dag->nodes_[static_cast<size_t>(i)];
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        skip = !state->first_error.ok();
+      }
+      if (!skip && node.fn != nullptr) {
+        node.start_seconds = state->clock.ElapsedSeconds();
+        node.status = node.fn();
+        node.end_seconds = state->clock.ElapsedSeconds();
+        node.ran = true;
+      }
+      std::vector<int> ready;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!node.status.ok() && state->first_error.ok()) {
+          state->first_error = node.status;
+        }
+        for (int s : node.succs) {
+          if (--state->indegree[static_cast<size_t>(s)] == 0) {
+            ready.push_back(s);
+          }
+        }
+        if (++state->done == static_cast<int>(dag->nodes_.size())) {
+          state->cv.notify_all();
+        }
+      }
+      for (int s : ready) Launch(s);
+    }
+  };
+
+  Scheduler scheduler{this, executor, state};
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    if (state->indegree[static_cast<size_t>(i)] == 0) roots.push_back(i);
+  }
+  for (int i : roots) scheduler.Launch(i);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == n; });
+  return state->first_error;
+}
+
+void RoundDag::RecordSpan(int node, double start_seconds,
+                          double end_seconds) {
+  RoundDagNode& n = nodes_[static_cast<size_t>(node)];
+  n.start_seconds = start_seconds;
+  n.end_seconds = end_seconds;
+  n.ran = true;
+}
+
+std::vector<std::string> RoundDag::CriticalPath() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n == 0) return {};
+  // Longest-path DP over a topological order (durations as weights).
+  std::vector<int> indeg(static_cast<size_t>(n), 0);
+  for (const auto& node : nodes_) {
+    for (int s : node.succs) ++indeg[static_cast<size_t>(s)];
+  }
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    if (indeg[static_cast<size_t>(i)] == 0) order.push_back(i);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (int s : nodes_[static_cast<size_t>(order[head])].succs) {
+      if (--indeg[static_cast<size_t>(s)] == 0) order.push_back(s);
+    }
+  }
+  if (order.size() != static_cast<size_t>(n)) return {};  // cyclic
+  std::vector<double> dist(static_cast<size_t>(n), 0);
+  std::vector<int> prev(static_cast<size_t>(n), -1);
+  for (int i : order) {
+    const RoundDagNode& node = nodes_[static_cast<size_t>(i)];
+    dist[static_cast<size_t>(i)] += node.duration_seconds();
+    for (int s : node.succs) {
+      double candidate = dist[static_cast<size_t>(i)];
+      if (candidate > dist[static_cast<size_t>(s)]) {
+        dist[static_cast<size_t>(s)] = candidate;
+        prev[static_cast<size_t>(s)] = i;
+      }
+    }
+  }
+  int tail = 0;
+  for (int i = 1; i < n; ++i) {
+    if (dist[static_cast<size_t>(i)] > dist[static_cast<size_t>(tail)]) {
+      tail = i;
+    }
+  }
+  std::vector<std::string> path;
+  for (int i = tail; i >= 0; i = prev[static_cast<size_t>(i)]) {
+    path.push_back(nodes_[static_cast<size_t>(i)].name);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double RoundDag::CriticalPathSeconds() const {
+  const int n = static_cast<int>(nodes_.size());
+  if (n == 0) return 0;
+  std::vector<int> indeg(static_cast<size_t>(n), 0);
+  for (const auto& node : nodes_) {
+    for (int s : node.succs) ++indeg[static_cast<size_t>(s)];
+  }
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    if (indeg[static_cast<size_t>(i)] == 0) order.push_back(i);
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (int s : nodes_[static_cast<size_t>(order[head])].succs) {
+      if (--indeg[static_cast<size_t>(s)] == 0) order.push_back(s);
+    }
+  }
+  if (order.size() != static_cast<size_t>(n)) return 0;
+  std::vector<double> dist(static_cast<size_t>(n), 0);
+  double best = 0;
+  for (int i : order) {
+    const RoundDagNode& node = nodes_[static_cast<size_t>(i)];
+    dist[static_cast<size_t>(i)] += node.duration_seconds();
+    best = std::max(best, dist[static_cast<size_t>(i)]);
+    for (int s : node.succs) {
+      dist[static_cast<size_t>(s)] =
+          std::max(dist[static_cast<size_t>(s)], dist[static_cast<size_t>(i)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace gesall

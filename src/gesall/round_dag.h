@@ -1,0 +1,80 @@
+// Explicit DAG of pipeline work with executor-driven execution and
+// critical-path accounting.
+//
+// Two uses, one engine:
+//  - The serial reference pipeline runs its wrapped-program chain as a
+//    RoundDag on a single-worker executor (same code path as the
+//    distributed engine, minus parallelism).
+//  - The pipelined five-round run executes rounds as overlapped MR jobs
+//    whose per-partition readiness edges live in the jobs themselves
+//    (InputSplit::ready); the orchestrator mirrors the round-level
+//    structure into a RoundDag via RecordSpan so the report can show
+//    where the wall-clock went and which dependency chain bounds it.
+//
+// The critical path is the duration-weighted longest dependency chain —
+// the lower bound on wall time no amount of extra overlap can beat.
+
+#ifndef GESALL_GESALL_ROUND_DAG_H_
+#define GESALL_GESALL_ROUND_DAG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/executor.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief One node of a RoundDag: a named unit of work with a wall span.
+struct RoundDagNode {
+  std::string name;
+  /// Work to run when every dependency finished. Null marks a node that
+  /// is executed externally and only bookkept here (see RecordSpan).
+  std::function<Status()> fn;
+  std::vector<int> deps;
+  std::vector<int> succs;
+  /// Wall span, in seconds relative to the run start.
+  double start_seconds = 0;
+  double end_seconds = 0;
+  bool ran = false;
+  Status status;
+
+  double duration_seconds() const { return end_seconds - start_seconds; }
+};
+
+/// \brief Dependency-tracked task graph executed on an Executor.
+class RoundDag {
+ public:
+  /// Adds a node; returns its id. `fn` may be null for bookkeeping-only
+  /// nodes.
+  int AddTask(std::string name, std::function<Status()> fn = nullptr);
+
+  /// Declares that `before` must finish before `after` starts.
+  void AddDep(int before, int after);
+
+  /// Runs every node with fn on the executor in dependency order,
+  /// recording spans. The first error is returned; nodes not yet
+  /// started when it surfaces are skipped (ran stays false). Detects
+  /// cycles up front. Single-shot.
+  Status Run(Executor* executor);
+
+  /// Records the wall span of an externally-executed node.
+  void RecordSpan(int node, double start_seconds, double end_seconds);
+
+  const std::vector<RoundDagNode>& nodes() const { return nodes_; }
+
+  /// Node names along the duration-weighted longest dependency chain,
+  /// in execution order (empty for an empty dag).
+  std::vector<std::string> CriticalPath() const;
+
+  /// Total duration of that chain, in seconds.
+  double CriticalPathSeconds() const;
+
+ private:
+  std::vector<RoundDagNode> nodes_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_GESALL_ROUND_DAG_H_

@@ -1,0 +1,181 @@
+// Serial reference pipeline, folded onto the execution engine: the
+// wrapped-program chain (Table 2) runs as a linear RoundDag on a
+// single-worker executor — the same scheduling code path as the
+// distributed engine, minus parallelism. Node spans double as the
+// per-program step_seconds the diagnosis report consumes.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/genotyper.h"
+#include "analysis/mark_duplicates.h"
+#include "analysis/recalibration.h"
+#include "analysis/steps.h"
+#include "gesall/pipeline.h"
+#include "gesall/round_dag.h"
+#include "util/executor.h"
+
+namespace gesall {
+
+namespace {
+
+// Groups records by read name (pairs adjacent) without changing the
+// relative order of pairs — the precondition of FixMateInformation and
+// MarkDuplicates. Alignment output is already pair-adjacent; this guards
+// hybrid inputs assembled from partition files.
+void GroupByName(std::vector<SamRecord>* records) {
+  for (size_t i = 0; i + 1 < records->size(); i += 2) {
+    if ((*records)[i].qname != (*records)[i + 1].qname) {
+      std::stable_sort(records->begin(), records->end(),
+                       [](const SamRecord& a, const SamRecord& b) {
+                         return a.qname < b.qname;
+                       });
+      return;
+    }
+  }
+}
+
+// Mutable state threaded through the chain. The header is a local copy:
+// the sort updates its sort_order in-place, but callers' headers (and
+// SerialStageOutputs::header) keep the pre-sort value, matching the
+// historical by-value plumbing.
+struct ChainState {
+  const ReferenceGenome* reference = nullptr;
+  const SerialPipelineConfig* config = nullptr;
+  SamHeader header;
+  std::vector<SamRecord> records;
+  std::vector<VariantRecord> variants;
+  RecalibrationTable recal_table;
+};
+
+// Appends the cleaning -> markdup -> sort [-> recal] -> HC chain to
+// `dag` as a linear dependency spine. Optional snapshot pointers copy a
+// stage's output the moment it completes (the R_i of the diagnosis
+// formalism); from_deduped skips straight to the sort.
+void AppendTailChain(RoundDag* dag, ChainState* state, int head,
+                     bool from_deduped,
+                     std::vector<SamRecord>* cleaned_out,
+                     std::vector<SamRecord>* deduped_out,
+                     SamHeader* header_out,
+                     std::vector<SamRecord>* sorted_out) {
+  auto link = [dag, &head](int node) {
+    if (head >= 0) dag->AddDep(head, node);
+    head = node;
+  };
+  if (!from_deduped) {
+    link(dag->AddTask("add_replace_groups", [state] {
+      return AddReplaceReadGroups(state->config->read_group, &state->header,
+                                  &state->records);
+    }));
+    link(dag->AddTask("clean_sam", [state] {
+      CleanSam(state->header, &state->records);
+      return Status::OK();
+    }));
+    link(dag->AddTask("fix_mate_info", [state, cleaned_out, header_out] {
+      GESALL_RETURN_NOT_OK(FixMateInformation(&state->records));
+      if (cleaned_out != nullptr) *cleaned_out = state->records;
+      if (header_out != nullptr) *header_out = state->header;
+      return Status::OK();
+    }));
+    link(dag->AddTask("mark_duplicates", [state, deduped_out] {
+      GESALL_RETURN_NOT_OK(MarkDuplicates(&state->records).status());
+      if (deduped_out != nullptr) *deduped_out = state->records;
+      return Status::OK();
+    }));
+  }
+  link(dag->AddTask("sort_sam", [state] {
+    SortSamByCoordinate(&state->header, &state->records);
+    return Status::OK();
+  }));
+  if (state->config->run_recalibration) {
+    link(dag->AddTask("base_recalibrator", [state] {
+      state->recal_table =
+          BaseRecalibrator(*state->reference, state->records);
+      return Status::OK();
+    }));
+    link(dag->AddTask("print_reads", [state] {
+      PrintReads(state->recal_table, &state->records);
+      return Status::OK();
+    }));
+  }
+  link(dag->AddTask("haplotype_caller", [state, sorted_out] {
+    if (sorted_out != nullptr) *sorted_out = state->records;
+    HaplotypeCaller caller(*state->reference, state->config->hc);
+    state->variants = caller.CallAll(state->records);
+    return Status::OK();
+  }));
+}
+
+// Runs the dag on a private single-worker executor and folds node spans
+// into per-program timings (the step_seconds contract).
+Status RunChain(RoundDag* dag, std::map<std::string, double>* timings) {
+  Executor serial_executor(1);
+  GESALL_RETURN_NOT_OK(dag->Run(&serial_executor));
+  if (timings != nullptr) {
+    for (const auto& node : dag->nodes()) {
+      if (node.ran) (*timings)[node.name] += node.duration_seconds();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SerialStageOutputs> RunSerialPipeline(
+    const ReferenceGenome& reference, const GenomeIndex& index,
+    const std::vector<FastqRecord>& interleaved,
+    const SerialPipelineConfig& config) {
+  SerialStageOutputs out;
+  ChainState state;
+  state.reference = &reference;
+  state.config = &config;
+
+  RoundDag dag;
+  int head = dag.AddTask("bwa", [&] {
+    PairedEndAligner aligner(index, config.aligner);
+    state.records = aligner.AlignPairs(interleaved);
+    state.header = aligner.MakeHeader();
+    out.aligned = state.records;
+    return Status::OK();
+  });
+  AppendTailChain(&dag, &state, head, /*from_deduped=*/false, &out.cleaned,
+                  &out.deduped, &out.header, &out.sorted);
+  GESALL_RETURN_NOT_OK(RunChain(&dag, &out.step_seconds));
+  out.variants = std::move(state.variants);
+  return out;
+}
+
+Result<std::vector<VariantRecord>> SerialTailFromAligned(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> aligned, const SerialPipelineConfig& config) {
+  GroupByName(&aligned);
+  ChainState state;
+  state.reference = &reference;
+  state.config = &config;
+  state.header = header;
+  state.records = std::move(aligned);
+  RoundDag dag;
+  AppendTailChain(&dag, &state, /*head=*/-1, /*from_deduped=*/false,
+                  nullptr, nullptr, nullptr, nullptr);
+  GESALL_RETURN_NOT_OK(RunChain(&dag, nullptr));
+  return std::move(state.variants);
+}
+
+Result<std::vector<VariantRecord>> SerialTailFromDeduped(
+    const ReferenceGenome& reference, const SamHeader& header,
+    std::vector<SamRecord> deduped, const SerialPipelineConfig& config) {
+  ChainState state;
+  state.reference = &reference;
+  state.config = &config;
+  state.header = header;
+  state.records = std::move(deduped);
+  RoundDag dag;
+  AppendTailChain(&dag, &state, /*head=*/-1, /*from_deduped=*/true, nullptr,
+                  nullptr, nullptr, nullptr);
+  GESALL_RETURN_NOT_OK(RunChain(&dag, nullptr));
+  return std::move(state.variants);
+}
+
+}  // namespace gesall

@@ -8,10 +8,10 @@
 #include <thread>
 
 #include "mr/shuffle_buffer.h"
+#include "util/executor.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
-#include "util/thread_pool.h"
 
 namespace gesall {
 
@@ -352,158 +352,178 @@ void FinalizeMapTask(const JobConfig& cfg, const AttemptStats& stats,
 
 }  // namespace
 
-MapReduceJob::MapReduceJob(JobConfig config) : config_(std::move(config)) {}
+// Shared state of one asynchronously running job. Tasks hold it via
+// shared_ptr, so a caller may drop the Handle without waiting. Phase
+// transitions are single-threaded hand-offs (the last map task's
+// acq_rel countdown launches the master; the master launches reduces;
+// the last reduce task finalizes), so the per-task output slots never
+// see concurrent writers and need no lock of their own.
+namespace internal {
+struct JobState {
+  JobConfig config;
+  std::vector<InputSplit> splits;
+  MapperFactory mapper_factory;
+  ReducerFactory reducer_factory;
+  const Partitioner* partitioner = nullptr;
+  HashPartitioner default_partitioner;
+  bool map_only = false;
 
-Result<JobResult> MapReduceJob::RunMapOnly(
-    const std::vector<InputSplit>& splits,
-    const MapperFactory& mapper_factory) {
-  GESALL_RETURN_NOT_OK(ValidateJobConfig(config_, /*needs_reducers=*/false));
-  // A map-only job is a full job whose "reducers" are identity pass-
-  // throughs keyed by map task, so outputs stay per-task.
-  JobResult result;
-  result.reducer_outputs.resize(splits.size());
-  std::vector<MapOnlyTaskOutput> outputs(splits.size());
+  Executor* executor = nullptr;
+  std::shared_ptr<Throttle> throttle;
   Stopwatch job_clock;
+
+  std::vector<int> node_of;
+  std::vector<MapTaskOutput> map_outputs;
+  std::vector<MapOnlyTaskOutput> map_only_outputs;
+  std::vector<ReduceTaskOutput> reduce_outputs;
+  std::atomic<int> maps_remaining{0};
+  std::atomic<int> reduces_remaining{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;    // guarded by mu
+  bool waited = false;  // guarded by mu
+  Status error;         // guarded by mu until done
+  JobResult result;     // guarded by mu until done
+};
+}  // namespace internal
+
+namespace {
+
+using internal::JobState;
+
+void FinishJob(const std::shared_ptr<JobState>& s, Status st) {
   {
-    ThreadPool pool(config_.max_parallel_tasks);
-    for (size_t i = 0; i < splits.size(); ++i) {
-      pool.Submit([&, i] {
-        auto run_attempt = [&, i](int attempt, MapOnlyTaskOutput* out) {
-          out->record.type = TaskRecord::Type::kMap;
-          out->record.index = static_cast<int>(i);
-          out->record.attempt = attempt;
-          out->record.start_seconds = job_clock.ElapsedSeconds();
-          auto input =
-              LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
-                               config_.fault_injector);
-          if (input.ok()) {
-            MapOnlyContext ctx(&out->values, &out->counters);
-            auto mapper = mapper_factory();
-            out->status = mapper->Map(input.ValueOrDie(), &ctx);
-            ctx.FlushCounters();
-            out->record.input_bytes =
-                static_cast<int64_t>(input.ValueOrDie().size());
-            out->record.output_bytes =
-                out->counters.Get("map_output_bytes");
-          } else {
-            out->status = input.status();
-          }
-          out->record.end_seconds = job_clock.ElapsedSeconds();
-        };
-        AttemptStats stats;
-        RunTaskAttempts(config_, run_attempt, &outputs[i], &stats);
-        FinalizeMapTask(config_, stats, &outputs[i]);
-      });
-    }
-    pool.Wait();
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->error = std::move(st);
+    s->done = true;
   }
-  for (size_t i = 0; i < splits.size(); ++i) {
-    GESALL_RETURN_NOT_OK(outputs[i].status);
-    if (outputs[i].skipped) {
-      result.skipped_splits.push_back(static_cast<int>(i));
-    }
-    result.counters.Merge(outputs[i].counters);
-    result.tasks.push_back(outputs[i].record);
-    result.reducer_outputs[i] = std::move(outputs[i].values);
-  }
-  return result;
+  s->cv.notify_all();
 }
 
-Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
-                                    const MapperFactory& mapper_factory,
-                                    const ReducerFactory& reducer_factory,
-                                    const Partitioner* partitioner) {
-  GESALL_RETURN_NOT_OK(ValidateJobConfig(config_, /*needs_reducers=*/true));
-  HashPartitioner default_partitioner;
-  if (partitioner == nullptr) partitioner = &default_partitioner;
-  const int R = config_.num_reducers;
-
-  std::vector<MapTaskOutput> outputs(splits.size());
-  Stopwatch job_clock;
-
-  // Node assignment of the whole-node failure model: locality-hinted
-  // tasks run on their preferred node, the rest round-robin.
-  const int num_nodes = config_.num_nodes;
-  std::vector<int> node_of(splits.size(), -1);
-  if (num_nodes > 0) {
-    for (size_t i = 0; i < splits.size(); ++i) {
-      const int preferred = splits[i].preferred_node;
-      node_of[i] =
-          (preferred >= 0 ? preferred : static_cast<int>(i)) % num_nodes;
-    }
-  }
-
-  // One full map task (all attempts + finalization) into *slot. Reused
-  // verbatim by the lost-map-output re-execution below, so a re-executed
-  // task goes through the same retry/speculation/skip machinery.
-  auto execute_map = [&](size_t i, MapTaskOutput* slot) {
-    auto run_attempt = [&, i](int attempt, MapTaskOutput* out) {
-      out->record.type = TaskRecord::Type::kMap;
-      out->record.index = static_cast<int>(i);
-      out->record.attempt = attempt;
-      out->record.start_seconds = job_clock.ElapsedSeconds();
-      auto input =
-          LoadSplitAttempt(splits[i], static_cast<int>(i), attempt,
-                           config_.fault_injector);
-      if (input.ok()) {
-        // Each attempt gets a fresh combiner instance so stateful
-        // combiners cannot leak state across attempts.
-        std::unique_ptr<Combiner> combiner;
-        if (config_.combiner_factory) {
-          combiner = config_.combiner_factory();
-        }
-        MapContextImpl ctx(partitioner, R, config_.sort_buffer_bytes,
-                           combiner.get(), config_.checksum_shuffle, out);
-        auto mapper = mapper_factory();
-        out->status = mapper->Map(input.ValueOrDie(), &ctx);
-        if (out->status.ok()) {
-          out->status = ctx.FinishTask();
-        } else {
-          ctx.FlushCounters();
-        }
-        out->record.input_bytes =
-            static_cast<int64_t>(input.ValueOrDie().size());
-        out->record.output_bytes =
-            out->counters.Get("map_output_bytes");
+// One full map task of a full (map+reduce) job: all attempts plus
+// finalization into *slot. Reused verbatim by the master's lost-output
+// re-execution, so a re-executed task goes through the same
+// retry/speculation/skip machinery.
+void ExecuteMapFull(JobState* s, size_t i, MapTaskOutput* slot) {
+  const JobConfig& cfg = s->config;
+  auto run_attempt = [&](int attempt, MapTaskOutput* out) {
+    out->record.type = TaskRecord::Type::kMap;
+    out->record.index = static_cast<int>(i);
+    out->record.attempt = attempt;
+    out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    auto input = LoadSplitAttempt(s->splits[i], static_cast<int>(i),
+                                  attempt, cfg.fault_injector);
+    if (input.ok()) {
+      // Each attempt gets a fresh combiner instance so stateful
+      // combiners cannot leak state across attempts.
+      std::unique_ptr<Combiner> combiner;
+      if (cfg.combiner_factory) combiner = cfg.combiner_factory();
+      MapContextImpl ctx(s->partitioner, cfg.num_reducers,
+                         cfg.sort_buffer_bytes, combiner.get(),
+                         cfg.checksum_shuffle, out);
+      auto mapper = s->mapper_factory();
+      out->status = mapper->Map(input.ValueOrDie(), &ctx);
+      if (out->status.ok()) {
+        out->status = ctx.FinishTask();
       } else {
-        out->status = input.status();
+        ctx.FlushCounters();
       }
-      out->record.end_seconds = job_clock.ElapsedSeconds();
-    };
-    AttemptStats stats;
-    RunTaskAttempts(config_, run_attempt, slot, &stats);
-    FinalizeMapTask(config_, stats, slot);
-    slot->record.node = node_of[i];
-  };
-
-  {
-    ThreadPool pool(config_.max_parallel_tasks);
-    for (size_t i = 0; i < splits.size(); ++i) {
-      pool.Submit([&, i] { execute_map(i, &outputs[i]); });
+      out->record.input_bytes =
+          static_cast<int64_t>(input.ValueOrDie().size());
+      out->record.output_bytes = out->counters.Get("map_output_bytes");
+    } else {
+      out->status = input.status();
     }
-    pool.Wait();
-  }
+    out->record.end_seconds = s->job_clock.ElapsedSeconds();
+  };
+  AttemptStats stats;
+  RunTaskAttempts(cfg, run_attempt, slot, &stats);
+  FinalizeMapTask(cfg, stats, slot);
+  slot->record.node = s->node_of[i];
+}
 
-  // Reduce-side fetch with Hadoop lost-map-output semantics. A map
-  // output is lost when its node died ("node.crash", attempt 0 = the
-  // heartbeat epoch the job observes), when the fetch itself is failed
-  // by "mr.shuffle_fetch" (key = map index, attempt = fetch epoch), or
-  // when a shuffle run's CRC32C no longer verifies. Lost outputs
-  // re-execute their COMPLETED map task on the next live node; each
-  // epoch re-fetches only the re-executed outputs, and a task lost more
-  // than max_map_reexecutions times fails the job.
+void ExecuteMapOnly(JobState* s, size_t i, MapOnlyTaskOutput* slot) {
+  const JobConfig& cfg = s->config;
+  auto run_attempt = [&](int attempt, MapOnlyTaskOutput* out) {
+    out->record.type = TaskRecord::Type::kMap;
+    out->record.index = static_cast<int>(i);
+    out->record.attempt = attempt;
+    out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    auto input = LoadSplitAttempt(s->splits[i], static_cast<int>(i),
+                                  attempt, cfg.fault_injector);
+    if (input.ok()) {
+      MapOnlyContext ctx(&out->values, &out->counters);
+      auto mapper = s->mapper_factory();
+      out->status = mapper->Map(input.ValueOrDie(), &ctx);
+      ctx.FlushCounters();
+      out->record.input_bytes =
+          static_cast<int64_t>(input.ValueOrDie().size());
+      out->record.output_bytes = out->counters.Get("map_output_bytes");
+    } else {
+      out->status = input.status();
+    }
+    out->record.end_seconds = s->job_clock.ElapsedSeconds();
+  };
+  AttemptStats stats;
+  RunTaskAttempts(cfg, run_attempt, slot, &stats);
+  FinalizeMapTask(cfg, stats, slot);
+}
+
+void FinalizeMapOnlyJob(const std::shared_ptr<JobState>& s) {
+  JobResult result;
+  result.reducer_outputs.resize(s->splits.size());
+  for (size_t i = 0; i < s->splits.size(); ++i) {
+    MapOnlyTaskOutput& out = s->map_only_outputs[i];
+    if (!out.status.ok()) {
+      FinishJob(s, out.status);
+      return;
+    }
+    if (out.skipped) {
+      result.skipped_splits.push_back(static_cast<int>(i));
+    }
+    result.counters.Merge(out.counters);
+    result.tasks.push_back(out.record);
+    result.reducer_outputs[i] = std::move(out.values);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->result = std::move(result);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+void RunReduceTask(const std::shared_ptr<JobState>& s, int r);
+void FinalizeFullJob(const std::shared_ptr<JobState>& s);
+
+// The job master: reduce-side fetch with Hadoop lost-map-output
+// semantics, then the map-side result merge, then reduce launch. A map
+// output is lost when its node died ("node.crash", attempt 0 = the
+// heartbeat epoch the job observes), when the fetch itself is failed by
+// "mr.shuffle_fetch" (key = map index, attempt = fetch epoch), or when
+// a shuffle run's CRC32C no longer verifies. Lost outputs re-execute
+// their COMPLETED map task on the next live node; each epoch re-fetches
+// only the re-executed outputs, and a task lost more than
+// max_map_reexecutions times fails the job. Runs at kHigh priority —
+// recovery unblocks reduces, so it overtakes queued regular work — and
+// re-executed maps bypass the admission throttle for the same reason.
+void MasterVerifyAndReduce(const std::shared_ptr<JobState>& s) {
+  const JobConfig& cfg = s->config;
+  const int num_nodes = cfg.num_nodes;
+  auto& outputs = s->map_outputs;
   JobCounters recovery_counters;
-  if (num_nodes > 0 || config_.checksum_shuffle) {
-    FaultInjector* injector = config_.fault_injector;
+  if (num_nodes > 0 || cfg.checksum_shuffle) {
+    FaultInjector* injector = cfg.fault_injector;
     std::vector<bool> dead(num_nodes > 0 ? num_nodes : 0, false);
     if (injector != nullptr) {
       for (int n = 0; n < num_nodes; ++n) {
         dead[n] = injector->ShouldFail(kFaultNodeCrash, n, 0);
       }
     }
-    std::vector<int> reexecutions(splits.size(), 0);
-    std::vector<size_t> fetch_pending(splits.size());
-    for (size_t i = 0; i < splits.size(); ++i) fetch_pending[i] = i;
+    std::vector<int> reexecutions(s->splits.size(), 0);
+    std::vector<size_t> fetch_pending(s->splits.size());
+    for (size_t i = 0; i < s->splits.size(); ++i) fetch_pending[i] = i;
     for (int epoch = 0; !fetch_pending.empty(); ++epoch) {
       std::vector<size_t> lost;
       for (size_t i : fetch_pending) {
@@ -511,7 +531,7 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
         if (!out.status.ok() || out.skipped || out.shuffle == nullptr) {
           continue;  // nothing fetchable; the status merge handles it
         }
-        if (num_nodes > 0 && dead[node_of[i]]) {
+        if (num_nodes > 0 && dead[s->node_of[i]]) {
           recovery_counters.Add("map_outputs_lost_to_dead_nodes", 1);
           lost.push_back(i);
           continue;
@@ -523,7 +543,7 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
           lost.push_back(i);
           continue;
         }
-        if (config_.checksum_shuffle) {
+        if (cfg.checksum_shuffle) {
           Status verify;
           for (int p = 0;
                verify.ok() && p < out.shuffle->num_partitions(); ++p) {
@@ -540,37 +560,46 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
       }
       if (lost.empty()) break;
       for (size_t i : lost) {
-        if (++reexecutions[i] > config_.max_map_reexecutions) {
-          return Status::IOError(
-              "map output " + std::to_string(i) + " lost " +
-              std::to_string(reexecutions[i]) +
-              " times, exceeding max_map_reexecutions (" +
-              std::to_string(config_.max_map_reexecutions) + ")");
+        if (++reexecutions[i] > cfg.max_map_reexecutions) {
+          FinishJob(s, Status::IOError(
+                           "map output " + std::to_string(i) + " lost " +
+                           std::to_string(reexecutions[i]) +
+                           " times, exceeding max_map_reexecutions (" +
+                           std::to_string(cfg.max_map_reexecutions) +
+                           ")"));
+          return;
         }
         if (num_nodes > 0) {
           int moved = -1;
           for (int k = 1; k <= num_nodes; ++k) {
-            const int candidate = (node_of[i] + k) % num_nodes;
+            const int candidate = (s->node_of[i] + k) % num_nodes;
             if (!dead[candidate]) {
               moved = candidate;
               break;
             }
           }
           if (moved < 0) {
-            return Status::IOError("cannot re-execute map task " +
-                                   std::to_string(i) +
-                                   ": every compute node is dead");
+            FinishJob(s, Status::IOError(
+                             "cannot re-execute map task " +
+                             std::to_string(i) +
+                             ": every compute node is dead"));
+            return;
           }
-          node_of[i] = moved;
+          s->node_of[i] = moved;
         }
         outputs[i] = MapTaskOutput{};  // no counter/record residue
       }
       {
-        ThreadPool pool(config_.max_parallel_tasks);
+        // TaskGroup, not the throttle: the helping Wait() keeps the
+        // master making progress even when every worker (and slot) is
+        // occupied by another overlapped round's tasks.
+        TaskGroup group(s->executor, Executor::Priority::kHigh);
+        JobState* raw = s.get();
         for (size_t i : lost) {
-          pool.Submit([&, i] { execute_map(i, &outputs[i]); });
+          group.Submit(
+              [raw, i] { ExecuteMapFull(raw, i, &raw->map_outputs[i]); });
         }
-        pool.Wait();
+        group.Wait();
       }
       recovery_counters.Add("map_tasks_reexecuted",
                             static_cast<int64_t>(lost.size()));
@@ -578,115 +607,295 @@ Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
     }
   }
 
+  // Map-side merge. A map error fails the job before any reducer runs,
+  // matching the barriered engine's phase semantics.
   JobResult result;
   for (auto& out : outputs) {
-    GESALL_RETURN_NOT_OK(out.status);
+    if (!out.status.ok()) {
+      FinishJob(s, out.status);
+      return;
+    }
     if (out.skipped) result.skipped_splits.push_back(out.record.index);
     result.counters.Merge(out.counters);
     result.tasks.push_back(out.record);
   }
   result.counters.Merge(recovery_counters);
-
-  // Shuffle + reduce (map outputs are stable across reduce attempts, so
-  // a retried reducer re-merges the same frozen runs).
-  result.reducer_outputs.resize(R);
-  std::vector<ReduceTaskOutput> reduce_outputs(R);
   {
-    ThreadPool pool(config_.max_parallel_tasks);
-    for (int r = 0; r < R; ++r) {
-      pool.Submit([&, r] {
-        auto run_attempt = [&, r](int attempt, ReduceTaskOutput* out) {
-          out->record.type = TaskRecord::Type::kReduce;
-          out->record.index = r;
-          out->record.attempt = attempt;
-          out->record.start_seconds = job_clock.ElapsedSeconds();
-          FaultInjector* injector = config_.fault_injector;
-          if (injector != nullptr) {
-            int latency = injector->LatencyMs(kFaultReduceAttempt, r,
-                                              attempt);
-            if (latency > 0) {
-              std::this_thread::sleep_for(
-                  std::chrono::milliseconds(latency));
-            }
-            out->status = injector->MaybeFail(kFaultReduceAttempt, r,
-                                              attempt);
-            if (!out->status.ok()) {
-              out->record.end_seconds = job_clock.ElapsedSeconds();
-              return;
-            }
-          }
-          // Gather this partition's frozen run from every map task (each
-          // task has at most one run per partition after the map-side
-          // merge) and merge the entry indexes, stable by map task
-          // index. No key/value bytes are copied: entries are views into
-          // the map tasks' arenas.
-          std::vector<const ShuffleRun*> runs;
-          int64_t shuffle_bytes = 0, shuffle_records = 0;
-          for (const auto& map_out : outputs) {
-            if (map_out.shuffle == nullptr) continue;  // skipped split
-            if (r >= map_out.shuffle->num_partitions()) continue;
-            for (const auto& run : map_out.shuffle->runs(r)) {
-              runs.push_back(&run);
-              shuffle_records += static_cast<int64_t>(run.size());
-              for (const auto& e : run) {
-                shuffle_bytes +=
-                    static_cast<int64_t>(e.key.size() + e.value.size());
-              }
-            }
-          }
-          out->counters.Add("reduce_shuffle_bytes", shuffle_bytes);
-          out->counters.Add("reduce_shuffle_records", shuffle_records);
+    // Parked in state until the last reduce task appends its side; the
+    // launch → dequeue chain orders this against the finalizer.
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->result = std::move(result);
+  }
 
-          ShuffleRunMerger merger(runs);
-          ReduceContextImpl ctx(&out->values, &out->counters);
-          auto reducer = reducer_factory();
-          const ShuffleEntry* current = nullptr;
-          std::vector<std::string_view> values;
-          auto flush = [&]() -> Status {
-            if (current == nullptr) return Status::OK();
-            return reducer->ReduceViews(current->key, values, &ctx);
-          };
-          Status st;
-          for (const ShuffleEntry* e = merger.Next();
-               e != nullptr && st.ok(); e = merger.Next()) {
-            if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
-              st = flush();
-              current = e;  // stable: frozen runs never reallocate
-              values.clear();
-            }
-            values.push_back(e->value);
-          }
-          if (st.ok()) st = flush();
-          ctx.FlushCounters();
-          out->status = st;
-          out->record.end_seconds = job_clock.ElapsedSeconds();
-          out->record.input_bytes = shuffle_bytes;
-          out->record.output_bytes =
-              out->counters.Get("reduce_output_bytes");
-        };
-        AttemptStats stats;
-        RunTaskAttempts(config_, run_attempt, &reduce_outputs[r], &stats);
-        if (stats.retries > 0) {
-          reduce_outputs[r].counters.Add("reduce_task_retries",
-                                         stats.retries);
-        }
-        if (stats.speculative_launched) {
-          reduce_outputs[r].counters.Add("speculative_launches", 1);
-        }
-        if (stats.speculative_won) {
-          reduce_outputs[r].counters.Add("speculative_wins", 1);
-        }
-      });
-    }
-    pool.Wait();
-  }
+  const int R = cfg.num_reducers;
+  s->reduce_outputs.resize(static_cast<size_t>(R));
+  s->reduces_remaining.store(R, std::memory_order_release);
   for (int r = 0; r < R; ++r) {
-    GESALL_RETURN_NOT_OK(reduce_outputs[r].status);
-    result.counters.Merge(reduce_outputs[r].counters);
-    result.tasks.push_back(reduce_outputs[r].record);
-    result.reducer_outputs[r] = std::move(reduce_outputs[r].values);
+    s->throttle->Submit([s, r] {
+      RunReduceTask(s, r);
+      if (s->reduces_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        FinalizeFullJob(s);
+      }
+    });
   }
-  return result;
+}
+
+// Shuffle + reduce of one partition (map outputs are stable across
+// reduce attempts, so a retried reducer re-merges the same frozen runs).
+void RunReduceTask(const std::shared_ptr<JobState>& s, int r) {
+  const JobConfig& cfg = s->config;
+  auto run_attempt = [&](int attempt, ReduceTaskOutput* out) {
+    out->record.type = TaskRecord::Type::kReduce;
+    out->record.index = r;
+    out->record.attempt = attempt;
+    out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    FaultInjector* injector = cfg.fault_injector;
+    if (injector != nullptr) {
+      int latency = injector->LatencyMs(kFaultReduceAttempt, r, attempt);
+      if (latency > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(latency));
+      }
+      out->status = injector->MaybeFail(kFaultReduceAttempt, r, attempt);
+      if (!out->status.ok()) {
+        out->record.end_seconds = s->job_clock.ElapsedSeconds();
+        return;
+      }
+    }
+    // Gather this partition's frozen run from every map task (each task
+    // has at most one run per partition after the map-side merge) and
+    // merge the entry indexes, stable by map task index. No key/value
+    // bytes are copied: entries are views into the map tasks' arenas.
+    std::vector<const ShuffleRun*> runs;
+    int64_t shuffle_bytes = 0, shuffle_records = 0;
+    for (const auto& map_out : s->map_outputs) {
+      if (map_out.shuffle == nullptr) continue;  // skipped split
+      if (r >= map_out.shuffle->num_partitions()) continue;
+      for (const auto& run : map_out.shuffle->runs(r)) {
+        runs.push_back(&run);
+        shuffle_records += static_cast<int64_t>(run.size());
+        for (const auto& e : run) {
+          shuffle_bytes +=
+              static_cast<int64_t>(e.key.size() + e.value.size());
+        }
+      }
+    }
+    out->counters.Add("reduce_shuffle_bytes", shuffle_bytes);
+    out->counters.Add("reduce_shuffle_records", shuffle_records);
+
+    ShuffleRunMerger merger(runs);
+    ReduceContextImpl ctx(&out->values, &out->counters);
+    auto reducer = s->reducer_factory();
+    const ShuffleEntry* current = nullptr;
+    std::vector<std::string_view> values;
+    auto flush = [&]() -> Status {
+      if (current == nullptr) return Status::OK();
+      return reducer->ReduceViews(current->key, values, &ctx);
+    };
+    Status st;
+    for (const ShuffleEntry* e = merger.Next(); e != nullptr && st.ok();
+         e = merger.Next()) {
+      if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
+        st = flush();
+        current = e;  // stable: frozen runs never reallocate
+        values.clear();
+      }
+      values.push_back(e->value);
+    }
+    if (st.ok()) st = flush();
+    ctx.FlushCounters();
+    out->status = st;
+    out->record.end_seconds = s->job_clock.ElapsedSeconds();
+    out->record.input_bytes = shuffle_bytes;
+    out->record.output_bytes = out->counters.Get("reduce_output_bytes");
+  };
+  ReduceTaskOutput& slot = s->reduce_outputs[static_cast<size_t>(r)];
+  AttemptStats stats;
+  RunTaskAttempts(cfg, run_attempt, &slot, &stats);
+  if (stats.retries > 0) {
+    slot.counters.Add("reduce_task_retries", stats.retries);
+  }
+  if (stats.speculative_launched) {
+    slot.counters.Add("speculative_launches", 1);
+  }
+  if (stats.speculative_won) slot.counters.Add("speculative_wins", 1);
+  if (slot.status.ok() && cfg.on_partition_output) {
+    // Per-partition readiness edge: downstream rounds may start on this
+    // partition now, while sibling reduces are still running.
+    cfg.on_partition_output(r, slot.values, slot.counters);
+  }
+}
+
+void FinalizeFullJob(const std::shared_ptr<JobState>& s) {
+  JobResult result;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    result = std::move(s->result);
+  }
+  const int R = s->config.num_reducers;
+  result.reducer_outputs.resize(static_cast<size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    ReduceTaskOutput& out = s->reduce_outputs[static_cast<size_t>(r)];
+    if (!out.status.ok()) {
+      FinishJob(s, out.status);
+      return;
+    }
+    result.counters.Merge(out.counters);
+    result.tasks.push_back(out.record);
+    result.reducer_outputs[static_cast<size_t>(r)] =
+        std::move(out.values);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->result = std::move(result);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+// Admits every map task: gated splits register on their ReadySignal and
+// only enter the admission throttle once the upstream partition lands
+// (a waiting split holds no task slot). The last map to finish launches
+// the continuation at kHigh priority.
+void SubmitMaps(const std::shared_ptr<JobState>& s) {
+  const size_t n = s->splits.size();
+  for (size_t i = 0; i < n; ++i) {
+    std::function<void()> task = [s, i] {
+      if (s->map_only) {
+        ExecuteMapOnly(s.get(), i, &s->map_only_outputs[i]);
+      } else {
+        ExecuteMapFull(s.get(), i, &s->map_outputs[i]);
+      }
+      if (s->maps_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        s->executor->Submit(
+            [s] {
+              if (s->map_only) {
+                FinalizeMapOnlyJob(s);
+              } else {
+                MasterVerifyAndReduce(s);
+              }
+            },
+            Executor::Priority::kHigh);
+      }
+    };
+    const std::shared_ptr<ReadySignal>& gate = s->splits[i].ready;
+    if (gate != nullptr) {
+      gate->OnReady([s, task = std::move(task)] {
+        s->throttle->Submit(std::move(task));
+      });
+    } else {
+      s->throttle->Submit(std::move(task));
+    }
+  }
+}
+
+std::shared_ptr<JobState> StartJob(const JobConfig& config,
+                                   const std::vector<InputSplit>& splits,
+                                   const MapperFactory& mapper_factory,
+                                   const ReducerFactory& reducer_factory,
+                                   const Partitioner* partitioner,
+                                   bool map_only) {
+  auto s = std::make_shared<JobState>();
+  s->config = config;
+  s->splits = splits;
+  s->mapper_factory = mapper_factory;
+  s->reducer_factory = reducer_factory;
+  s->partitioner =
+      partitioner != nullptr ? partitioner : &s->default_partitioner;
+  s->map_only = map_only;
+  Status valid = ValidateJobConfig(config, /*needs_reducers=*/!map_only);
+  if (!valid.ok()) {
+    FinishJob(s, std::move(valid));
+    return s;
+  }
+  s->executor =
+      config.executor != nullptr ? config.executor : Executor::Shared();
+  s->throttle = config.throttle != nullptr
+                    ? config.throttle
+                    : std::make_shared<Throttle>(s->executor,
+                                                 config.max_parallel_tasks,
+                                                 config.priority);
+  const size_t n = splits.size();
+  if (config.num_nodes > 0) {
+    // Node assignment of the whole-node failure model: locality-hinted
+    // tasks run on their preferred node, the rest round-robin.
+    s->node_of.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const int preferred = splits[i].preferred_node;
+      s->node_of[i] =
+          (preferred >= 0 ? preferred : static_cast<int>(i)) %
+          config.num_nodes;
+    }
+  } else {
+    s->node_of.assign(n, -1);
+  }
+  if (map_only) {
+    s->map_only_outputs.resize(n);
+  } else {
+    s->map_outputs.resize(n);
+  }
+  s->maps_remaining.store(static_cast<int>(n),
+                          std::memory_order_release);
+  if (n == 0) {
+    // No countdown will fire; run the continuation directly.
+    if (map_only) {
+      FinalizeMapOnlyJob(s);
+    } else {
+      s->executor->Submit([s] { MasterVerifyAndReduce(s); },
+                          Executor::Priority::kHigh);
+    }
+    return s;
+  }
+  SubmitMaps(s);
+  return s;
+}
+
+}  // namespace
+
+Result<JobResult> MapReduceJob::Handle::Wait() {
+  JobState& s = *state_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv.wait(lock, [&s] { return s.done; });
+  if (s.waited) {
+    return Status::Internal("MapReduceJob::Handle waited twice");
+  }
+  s.waited = true;
+  if (!s.error.ok()) return s.error;
+  return std::move(s.result);
+}
+
+MapReduceJob::MapReduceJob(JobConfig config) : config_(std::move(config)) {}
+
+MapReduceJob::Handle MapReduceJob::Start(
+    const std::vector<InputSplit>& splits,
+    const MapperFactory& mapper_factory,
+    const ReducerFactory& reducer_factory,
+    const Partitioner* partitioner) {
+  return Handle(StartJob(config_, splits, mapper_factory, reducer_factory,
+                         partitioner, /*map_only=*/false));
+}
+
+MapReduceJob::Handle MapReduceJob::StartMapOnly(
+    const std::vector<InputSplit>& splits,
+    const MapperFactory& mapper_factory) {
+  return Handle(StartJob(config_, splits, mapper_factory,
+                         /*reducer_factory=*/nullptr, /*partitioner=*/nullptr,
+                         /*map_only=*/true));
+}
+
+Result<JobResult> MapReduceJob::Run(const std::vector<InputSplit>& splits,
+                                    const MapperFactory& mapper_factory,
+                                    const ReducerFactory& reducer_factory,
+                                    const Partitioner* partitioner) {
+  return Start(splits, mapper_factory, reducer_factory, partitioner)
+      .Wait();
+}
+
+Result<JobResult> MapReduceJob::RunMapOnly(
+    const std::vector<InputSplit>& splits,
+    const MapperFactory& mapper_factory) {
+  return StartMapOnly(splits, mapper_factory).Wait();
 }
 
 }  // namespace gesall

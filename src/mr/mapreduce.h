@@ -42,11 +42,16 @@
 #include <vector>
 
 #include "mr/shuffle_buffer.h"
+#include "util/executor.h"
 #include "util/status.h"
 
 namespace gesall {
 
 class FaultInjector;
+
+namespace internal {
+struct JobState;
+}  // namespace internal
 
 /// \brief Named job counters (Hadoop-counter analog).
 class JobCounters {
@@ -161,6 +166,12 @@ class RangePartitioner : public Partitioner {
 struct InputSplit {
   std::function<Result<std::string>()> load;
   int preferred_node = -1;
+  /// Optional readiness gate: the map task for this split is not even
+  /// admitted to the job's task slots until the signal fires (it holds
+  /// no slot while waiting). This is the per-partition edge of the
+  /// pipeline's round DAG — e.g. "sort partition c is on the DFS" gates
+  /// the variant-calling split for chromosome c. Null = ready now.
+  std::shared_ptr<ReadySignal> ready;
 };
 
 /// \brief Wraps in-memory bytes as a split.
@@ -169,8 +180,36 @@ InputSplit InlineSplit(std::string data);
 /// \brief Job-level configuration (Hadoop-parameter analogs).
 struct JobConfig {
   int num_reducers = 4;
-  /// Concurrent tasks (threads) — the cluster's task slots.
+  /// Concurrent tasks — the cluster's task slots. Enforced by a Throttle
+  /// over the executor, not by pool width: the executor is shared and
+  /// persistent, the slot cap is per job (or per throttle, see below).
   int max_parallel_tasks = 4;
+
+  // --- Execution engine ---
+
+  /// Executor the job's tasks run on (not owned). nullptr uses the
+  /// process-wide Executor::Shared(). A job run never constructs an
+  /// executor of its own.
+  Executor* executor = nullptr;
+  /// Priority of the job's map/reduce tasks on the executor. Job-master
+  /// coordination (shuffle verification, lost-output re-execution) always
+  /// runs at kHigh so recovery overtakes queued regular work.
+  Executor::Priority priority = Executor::Priority::kNormal;
+  /// Optional shared admission throttle. When several jobs overlap (the
+  /// pipelined round DAG), pointing them at one Throttle makes
+  /// max_parallel_tasks a global cap across the overlapping rounds
+  /// instead of multiplying slots per job. Null = private throttle of
+  /// max_parallel_tasks slots.
+  std::shared_ptr<Throttle> throttle;
+  /// Fires once per reduce partition, from the worker thread, as soon as
+  /// that partition's reduce task succeeds — before the job-level merge,
+  /// while other partitions may still be running. This is what lets a
+  /// downstream round start per-partition work ahead of the job barrier.
+  /// Full (map+reduce) jobs only; arguments are the partition index, its
+  /// output values, and that reduce task's counters.
+  std::function<void(int partition, const std::vector<std::string>& values,
+                     const JobCounters& counters)>
+      on_partition_output;
   /// Map-side sort buffer; exceeding it spills a sorted run to "disk".
   int64_t sort_buffer_bytes = 64LL << 20;
   /// Fraction of maps that must finish before reducers start (recorded in
@@ -254,21 +293,51 @@ struct JobResult {
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
-/// \brief Executes MapReduce jobs on a thread pool.
+/// \brief Executes MapReduce jobs as dependency-tracked tasks on a
+/// shared persistent executor (see JobConfig::executor).
 class MapReduceJob {
  public:
+  /// Completion token of an asynchronously started job.
+  class Handle {
+   public:
+    /// Blocks until the job finishes and moves the result out.
+    /// Single-consume: a second Wait() returns an error status.
+    Result<JobResult> Wait();
+
+   private:
+    friend class MapReduceJob;
+    explicit Handle(std::shared_ptr<internal::JobState> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<internal::JobState> state_;
+  };
+
   explicit MapReduceJob(JobConfig config = {});
 
-  /// Full map-shuffle-reduce round.
+  /// Full map-shuffle-reduce round (Start + Wait).
   Result<JobResult> Run(const std::vector<InputSplit>& splits,
                         const MapperFactory& mapper_factory,
                         const ReducerFactory& reducer_factory,
                         const Partitioner* partitioner = nullptr);
 
   /// Map-only round (paper Round 1): reducer_outputs[i] holds the values
-  /// emitted by map task i, in emission order.
+  /// emitted by map task i, in emission order (Start + Wait).
   Result<JobResult> RunMapOnly(const std::vector<InputSplit>& splits,
                                const MapperFactory& mapper_factory);
+
+  /// Starts a full round asynchronously and returns immediately; the job
+  /// runs as executor tasks (maps gated on their splits' ready signals,
+  /// throttled by the admission cap, verified and re-executed by a
+  /// high-priority master task, reduces firing on_partition_output as
+  /// they land). Splits and factories are copied; a caller-provided
+  /// partitioner must outlive the job.
+  Handle Start(const std::vector<InputSplit>& splits,
+               const MapperFactory& mapper_factory,
+               const ReducerFactory& reducer_factory,
+               const Partitioner* partitioner = nullptr);
+
+  /// Map-only variant of Start().
+  Handle StartMapOnly(const std::vector<InputSplit>& splits,
+                      const MapperFactory& mapper_factory);
 
  private:
   JobConfig config_;

@@ -12,7 +12,6 @@
 
 #include "gesall/pipeline.h"
 #include "gesall/report.h"
-#include "gesall/serial_pipeline.h"
 #include "genome/read_simulator.h"
 #include "genome/reference_generator.h"
 #include "util/fault_injection.h"

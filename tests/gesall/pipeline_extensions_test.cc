@@ -12,7 +12,6 @@
 #include "gesall/diagnosis.h"
 #include "gesall/linear_index.h"
 #include "gesall/pipeline.h"
-#include "gesall/serial_pipeline.h"
 #include "genome/read_simulator.h"
 #include "genome/reference_generator.h"
 

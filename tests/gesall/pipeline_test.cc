@@ -11,7 +11,6 @@
 #include "analysis/mark_duplicates.h"
 #include "formats/bam.h"
 #include "gesall/diagnosis.h"
-#include "gesall/serial_pipeline.h"
 #include "genome/read_simulator.h"
 #include "genome/reference_generator.h"
 

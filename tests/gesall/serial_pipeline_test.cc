@@ -1,4 +1,4 @@
-#include "gesall/serial_pipeline.h"
+#include "gesall/pipeline.h"
 
 #include <gtest/gtest.h>
 

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 namespace gesall {
 namespace {
@@ -242,6 +246,109 @@ TEST(RangePartitionerTest, BoundariesRespected) {
 TEST(RangePartitionerTest, ClampsToNumPartitions) {
   RangePartitioner p({"b", "c", "d"});
   EXPECT_EQ(p.Partition("z", 2), 1);
+}
+
+// Regression guard for the per-phase pool churn: a job run must execute
+// entirely on the shared persistent executor — zero Executor
+// constructions per run (the old engine built four pools per job).
+TEST(MapReduceTest, OneSharedExecutorPerJobRun) {
+  Executor::Shared();  // force the singleton into existence first
+  const int64_t before = Executor::instances_created();
+  MapReduceJob job;
+  auto result = job.Run(
+                       {InlineSplit("a b a"), InlineSplit("b c")},
+                       [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  EXPECT_EQ(result.counters.Get("map_output_records"), 5);
+  EXPECT_EQ(Executor::instances_created(), before);
+  auto map_only =
+      job.RunMapOnly({InlineSplit("x")},
+                     [] { return std::make_unique<WordCountMapper>(); })
+          .ValueOrDie();
+  EXPECT_EQ(map_only.reducer_outputs.size(), 1u);
+  EXPECT_EQ(Executor::instances_created(), before);
+}
+
+TEST(MapReduceTest, StartReturnsSameResultAsRun) {
+  std::vector<InputSplit> splits = {InlineSplit("a b a"),
+                                    InlineSplit("b c")};
+  auto mapper = [] { return std::make_unique<WordCountMapper>(); };
+  auto reducer = [] { return std::make_unique<SumReducer>(); };
+  MapReduceJob job;
+  auto sync = job.Run(splits, mapper, reducer).ValueOrDie();
+  auto handle = job.Start(splits, mapper, reducer);
+  auto async = handle.Wait().ValueOrDie();
+  EXPECT_EQ(async.reducer_outputs, sync.reducer_outputs);
+  EXPECT_EQ(async.counters.values(), sync.counters.values());
+}
+
+TEST(MapReduceTest, HandleWaitIsSingleConsume) {
+  MapReduceJob job;
+  auto handle =
+      job.StartMapOnly({InlineSplit("a")}, [] {
+        return std::make_unique<WordCountMapper>();
+      });
+  EXPECT_TRUE(handle.Wait().ok());
+  EXPECT_FALSE(handle.Wait().ok());
+}
+
+// A gated split must not run (nor hold a task slot) until its
+// ReadySignal fires; the job completes only after every gate opens.
+TEST(MapReduceTest, GatedSplitWaitsForReadySignal) {
+  std::atomic<bool> gate_open{false};
+  std::atomic<bool> gated_ran{false};
+  auto gate = std::make_shared<ReadySignal>();
+  InputSplit gated;
+  gated.load = [&]() -> Result<std::string> {
+    gated_ran = true;
+    EXPECT_TRUE(gate_open.load());  // must not load before Notify
+    return std::string("late");
+  };
+  gated.ready = gate;
+  MapReduceJob job;
+  auto handle = job.StartMapOnly(
+      {InlineSplit("early"), gated},
+      [] { return std::make_unique<WordCountMapper>(); });
+  // Give the ungated split ample time to run; the gated one must not.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(gated_ran.load());
+  gate_open = true;
+  gate->Notify();
+  auto result = handle.Wait().ValueOrDie();
+  EXPECT_TRUE(gated_ran.load());
+  ASSERT_EQ(result.reducer_outputs.size(), 2u);
+  // WordCountMapper emits one "1" per word of the gated split.
+  EXPECT_EQ(result.reducer_outputs[1], (std::vector<std::string>{"1"}));
+}
+
+// on_partition_output must fire once per reduce partition with that
+// partition's final values, before the job-level barrier.
+TEST(MapReduceTest, PartitionOutputCallbackFiresPerReducer) {
+  JobConfig config;
+  config.num_reducers = 3;
+  std::mutex mu;
+  std::map<int, std::vector<std::string>> seen;
+  config.on_partition_output =
+      [&](int partition, const std::vector<std::string>& values,
+          const JobCounters& counters) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_EQ(seen.count(partition), 0u);  // once per partition
+        seen[partition] = values;
+        EXPECT_EQ(counters.Get("reduce_output_records"),
+                  static_cast<int64_t>(values.size()));
+      };
+  MapReduceJob job(config);
+  auto result = job.Run(
+                       {InlineSplit("a b c d e f"), InlineSplit("a c e")},
+                       [] { return std::make_unique<WordCountMapper>(); },
+                       [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(seen[r], result.reducer_outputs[r]) << "partition " << r;
+  }
 }
 
 }  // namespace

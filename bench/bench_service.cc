@@ -1,0 +1,386 @@
+// gesalld service benchmark: seeded open-loop arrivals from three
+// tenants driven through GesallService in three phases.
+//
+//  1. solo      — each tenant's sample through a private pipeline, for
+//                 byte-identity baselines.
+//  2. overload  — arrivals faster than the service drains against a
+//                 small queue: admission control must shed (nonzero
+//                 shed rate) while every admitted job completes, and
+//                 executor time must stay fair across tenants (Jain
+//                 index).
+//  3. chaos     — the same multi-tenant mix run twice, clean vs with a
+//                 node crash + block corruption armed against one
+//                 tenant's job. Gated: the victim recovers (nonzero
+//                 recovered counter), every output stays byte-identical
+//                 to solo, and the UNAFFECTED tenants' p99 job latency
+//                 degrades at most 1.5x versus the clean run.
+//
+// Writes BENCH_service.json; exits non-zero if any gate fails.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "service/service.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace gesall {
+namespace {
+
+constexpr uint64_t kSeed = 6021;
+constexpr int kNumTenants = 3;
+constexpr int kJobsPerTenantLatency = 3;
+const char* const kTenants[kNumTenants] = {"victim", "tenant-b", "tenant-c"};
+
+struct Fixture {
+  ReferenceGenome reference;
+  DonorGenome donor;
+  std::unique_ptr<GenomeIndex> index;
+  SimulatedSample samples[kNumTenants];
+  std::vector<std::string> baselines[kNumTenants];
+  double solo_seconds[kNumTenants] = {};
+};
+
+std::vector<std::string> VariantKeys(const std::vector<VariantRecord>& vs) {
+  std::vector<std::string> keys;
+  keys.reserve(vs.size());
+  for (const auto& v : vs) {
+    std::ostringstream os;
+    os << v.Key() << "@" << v.qual;
+    keys.push_back(os.str());
+  }
+  return keys;
+}
+
+DfsOptions MakeDfsOptions() {
+  DfsOptions dopt;
+  dopt.block_size = 64 * 1024;
+  dopt.replication = 3;
+  dopt.num_data_nodes = 4;
+  dopt.heartbeat_miss_threshold = 1;
+  dopt.blacklist_threshold = 1 << 20;
+  return dopt;
+}
+
+PipelineConfig MakePipelineConfig() {
+  PipelineConfig config;
+  config.alignment_partitions = 2;
+  config.max_parallel_tasks = 2;
+  return config;
+}
+
+JobSpec MakeJob(const Fixture& fx, int tenant) {
+  JobSpec spec;
+  spec.tenant = kTenants[tenant];
+  spec.mate1 = fx.samples[tenant].mate1;
+  spec.mate2 = fx.samples[tenant].mate2;
+  spec.pipeline = MakePipelineConfig();
+  return spec;
+}
+
+Fixture MakeFixture() {
+  Fixture fx;
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 1;
+  ro.chromosome_length = 25'000;
+  fx.reference = GenerateReference(ro);
+  fx.donor = PlantVariants(fx.reference, VariantPlanterOptions{});
+  fx.index = std::make_unique<GenomeIndex>(fx.reference);
+  for (int i = 0; i < kNumTenants; ++i) {
+    ReadSimulatorOptions so;
+    so.coverage = 6.0;
+    so.seed = MixSeeds(kSeed, static_cast<uint64_t>(i));
+    fx.samples[i] = SimulateReads(fx.donor, so);
+    Dfs dfs(MakeDfsOptions());
+    GesallPipeline solo(fx.reference, *fx.index, &dfs, MakePipelineConfig());
+    GESALL_CHECK(solo.LoadSample(fx.samples[i].mate1, fx.samples[i].mate2)
+                     .ok());
+    Stopwatch clock;
+    auto variants = solo.RunAll();
+    GESALL_CHECK(variants.ok()) << variants.status().ToString();
+    fx.solo_seconds[i] = clock.ElapsedSeconds();
+    fx.baselines[i] = VariantKeys(variants.ValueOrDie());
+  }
+  return fx;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double JainIndex(const std::vector<double>& xs) {
+  double sum = 0, sum_sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+// --- Phase 2: seeded open-loop overload -----------------------------
+
+struct OverloadResult {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  double shed_rate = 0;
+  double wall_seconds = 0;
+  double throughput_jobs_per_s = 0;
+  double p99_total_seconds = 0;
+  double jain_fairness = 1.0;
+  bool all_admitted_ok = true;
+  bool all_byte_identical = true;
+};
+
+OverloadResult RunOverload(const Fixture& fx) {
+  Dfs dfs(MakeDfsOptions());
+  ServiceConfig config;
+  config.max_running_jobs = 2;
+  config.max_queue_depth = 3;
+  config.default_quota.max_queued_jobs = 2;
+  config.heartbeat_interval_ms = 2;
+  GesallService service(fx.reference, *fx.index, &dfs, config);
+
+  // Open loop: 24 arrivals on a fixed seeded schedule, uniformly mixed
+  // across tenants, paced well below the service's drain rate so the
+  // queue overflows and admission control must shed.
+  Rng rng(kSeed);
+  std::vector<std::pair<JobId, int>> admitted;
+  Stopwatch clock;
+  for (int n = 0; n < 24; ++n) {
+    const int tenant = static_cast<int>(rng.Uniform(kNumTenants));
+    auto id = service.Submit(MakeJob(fx, tenant));
+    if (id.ok()) admitted.push_back({id.ValueOrDie(), tenant});
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1 + static_cast<int>(rng.Uniform(4))));
+  }
+
+  OverloadResult r;
+  std::map<int, double> busy_by_tenant;
+  std::vector<double> totals;
+  for (auto [id, tenant] : admitted) {
+    auto out = service.Wait(id);
+    GESALL_CHECK(out.ok()) << out.status().ToString();
+    const JobOutput& job = out.ValueOrDie();
+    r.all_admitted_ok &= job.status.ok();
+    if (job.status.ok()) {
+      r.all_byte_identical &=
+          VariantKeys(job.variants) == fx.baselines[tenant];
+      busy_by_tenant[tenant] += static_cast<double>(job.busy_micros);
+      totals.push_back(job.total_seconds);
+    }
+  }
+  r.wall_seconds = clock.ElapsedSeconds();
+  ServiceStats stats = service.stats();
+  r.submitted = stats.submitted;
+  r.admitted = stats.admitted;
+  r.shed = stats.shed;
+  r.shed_rate = stats.submitted > 0
+                    ? static_cast<double>(stats.shed) /
+                          static_cast<double>(stats.submitted)
+                    : 0;
+  r.throughput_jobs_per_s =
+      r.wall_seconds > 0
+          ? static_cast<double>(stats.completed) / r.wall_seconds
+          : 0;
+  r.p99_total_seconds = Percentile(totals, 0.99);
+  std::vector<double> busy;
+  for (const auto& [tenant, micros] : busy_by_tenant) busy.push_back(micros);
+  r.jain_fairness = busy.size() > 1 ? JainIndex(busy) : 1.0;
+  return r;
+}
+
+// --- Phase 3: chaos vs clean latency --------------------------------
+
+struct LatencyResult {
+  // Per-tenant p99 of run_seconds (execution latency, queueing
+  // excluded: jobs serialize on one runner in both runs so queue waits
+  // reflect schedule position, not interference).
+  double p99_run_seconds[kNumTenants] = {};
+  int64_t recovered_jobs = 0;
+  bool all_ok = true;
+  bool all_byte_identical = true;
+  bool victim_recovered = false;
+};
+
+LatencyResult RunLatencyMix(const Fixture& fx, FaultInjector* chaos) {
+  Dfs dfs(MakeDfsOptions());
+  // Installed before the service starts so the tick-0 node crash fires
+  // deterministically; block corruption is cluster-wide blast radius.
+  if (chaos != nullptr) dfs.set_fault_injector(chaos);
+  ServiceConfig config;
+  // One runner: execution latencies are contention-free and comparable
+  // between the clean and chaos runs; multi-tenancy shows up in
+  // admission + scheduling, chaos in the shared DFS underneath.
+  config.max_running_jobs = 1;
+  config.max_queue_depth = kNumTenants * kJobsPerTenantLatency;
+  config.default_quota.max_queued_jobs = kJobsPerTenantLatency;
+  config.heartbeat_interval_ms = 1;
+  GesallService service(fx.reference, *fx.index, &dfs, config);
+
+  std::vector<std::pair<JobId, int>> ids;
+  for (int round = 0; round < kJobsPerTenantLatency; ++round) {
+    for (int tenant = 0; tenant < kNumTenants; ++tenant) {
+      JobSpec spec = MakeJob(fx, tenant);
+      if (chaos != nullptr && tenant == 0 && round == 0) {
+        // The victim job additionally fails every map task's first
+        // attempt, so its recovery counters fire deterministically.
+        spec.pipeline.fault_injector = chaos;
+        spec.pipeline.max_task_attempts = 6;
+      }
+      auto id = service.Submit(std::move(spec));
+      GESALL_CHECK(id.ok()) << id.status().ToString();
+      ids.push_back({id.ValueOrDie(), tenant});
+    }
+  }
+
+  LatencyResult r;
+  std::vector<double> runs[kNumTenants];
+  for (auto [id, tenant] : ids) {
+    auto out = service.Wait(id);
+    GESALL_CHECK(out.ok()) << out.status().ToString();
+    const JobOutput& job = out.ValueOrDie();
+    r.all_ok &= job.status.ok();
+    if (job.status.ok()) {
+      r.all_byte_identical &=
+          VariantKeys(job.variants) == fx.baselines[tenant];
+      runs[tenant].push_back(job.run_seconds);
+      if (tenant == 0 && job.recovered) r.victim_recovered = true;
+    }
+  }
+  for (int t = 0; t < kNumTenants; ++t) {
+    r.p99_run_seconds[t] = Percentile(runs[t], 0.99);
+  }
+  r.recovered_jobs = service.stats().recovered_jobs;
+  return r;
+}
+
+void PrintJson(std::FILE* f, const OverloadResult& ov,
+               const LatencyResult& clean, const LatencyResult& chaos,
+               double worst_unaffected_degradation) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"gesalld_service\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"tenants\": %d,\n", kNumTenants);
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f, "    \"submitted\": %lld,\n",
+               static_cast<long long>(ov.submitted));
+  std::fprintf(f, "    \"admitted\": %lld,\n",
+               static_cast<long long>(ov.admitted));
+  std::fprintf(f, "    \"shed\": %lld,\n", static_cast<long long>(ov.shed));
+  std::fprintf(f, "    \"shed_rate\": %.3f,\n", ov.shed_rate);
+  std::fprintf(f, "    \"throughput_jobs_per_s\": %.3f,\n",
+               ov.throughput_jobs_per_s);
+  std::fprintf(f, "    \"p99_total_seconds\": %.4f,\n", ov.p99_total_seconds);
+  std::fprintf(f, "    \"jain_fairness\": %.4f\n", ov.jain_fairness);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"chaos\": {\n");
+  std::fprintf(f, "    \"recovered_jobs\": %lld,\n",
+               static_cast<long long>(chaos.recovered_jobs));
+  std::fprintf(f, "    \"victim_recovered\": %s,\n",
+               chaos.victim_recovered ? "true" : "false");
+  std::fprintf(f, "    \"clean_p99_run_seconds\": [%.4f, %.4f, %.4f],\n",
+               clean.p99_run_seconds[0], clean.p99_run_seconds[1],
+               clean.p99_run_seconds[2]);
+  std::fprintf(f, "    \"chaos_p99_run_seconds\": [%.4f, %.4f, %.4f],\n",
+               chaos.p99_run_seconds[0], chaos.p99_run_seconds[1],
+               chaos.p99_run_seconds[2]);
+  std::fprintf(f, "    \"worst_unaffected_p99_degradation\": %.3f\n",
+               worst_unaffected_degradation);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  bench::Title("gesalld: multi-tenant service under overload and chaos");
+  bench::Note("3 tenants; seeded open-loop arrivals; node crash + block "
+              "corruption armed against one tenant's job");
+
+  Fixture fx = MakeFixture();
+
+  OverloadResult ov = RunOverload(fx);
+  std::printf("  overload: %lld submitted, %lld shed (%.0f%%), "
+              "%.2f jobs/s, p99 %.3fs, jain %.3f\n",
+              static_cast<long long>(ov.submitted),
+              static_cast<long long>(ov.shed), 100.0 * ov.shed_rate,
+              ov.throughput_jobs_per_s, ov.p99_total_seconds,
+              ov.jain_fairness);
+
+  LatencyResult clean = RunLatencyMix(fx, nullptr);
+
+  FaultInjector injector(kSeed);
+  GESALL_CHECK(injector.ArmFirstAttempts(kFaultDfsBlockCorrupt, 1).ok());
+  GESALL_CHECK(injector.ArmFirstAttempts(kFaultMapAttempt, 1).ok());
+  const int crash_node =
+      LogicalPartitionPlacementPolicy::PrimaryNodeFor("/bench/probe", 4);
+  injector.ArmSchedule(kFaultNodeCrash, crash_node, {0});
+  LatencyResult chaos = RunLatencyMix(fx, &injector);
+
+  double worst_degradation = 0;
+  for (int t = 1; t < kNumTenants; ++t) {  // tenant 0 is the victim
+    if (clean.p99_run_seconds[t] <= 0) continue;
+    worst_degradation =
+        std::max(worst_degradation,
+                 chaos.p99_run_seconds[t] / clean.p99_run_seconds[t]);
+  }
+  std::printf("  chaos: victim recovered=%s, unaffected p99 "
+              "degradation %.2fx (clean [%.3f %.3f %.3f] -> "
+              "chaos [%.3f %.3f %.3f])\n",
+              chaos.victim_recovered ? "yes" : "no", worst_degradation,
+              clean.p99_run_seconds[0], clean.p99_run_seconds[1],
+              clean.p99_run_seconds[2], chaos.p99_run_seconds[0],
+              chaos.p99_run_seconds[1], chaos.p99_run_seconds[2]);
+
+  bool ok = true;
+  ok &= bench::Check(ov.shed > 0,
+                     "overload sheds submissions (admission control)");
+  ok &= bench::Check(ov.all_admitted_ok,
+                     "every admitted job completes despite shedding");
+  ok &= bench::Check(ov.all_byte_identical && clean.all_byte_identical &&
+                         chaos.all_byte_identical,
+                     "every completed output byte-identical to solo");
+  ok &= bench::Check(ov.jain_fairness > 0.5,
+                     "executor time spread fairly across tenants");
+  ok &= bench::Check(chaos.all_ok && clean.all_ok,
+                     "all jobs complete under chaos");
+  ok &= bench::Check(chaos.victim_recovered && chaos.recovered_jobs > 0,
+                     "victim job recovered (nonzero recovered counter)");
+  ok &= bench::Check(worst_degradation <= 1.5,
+                     "unaffected-tenant p99 degradation <= 1.5x");
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    PrintJson(f, ov, clean, chaos, worst_degradation);
+    std::fclose(f);
+    bench::Note(std::string("wrote ") + out_path);
+  } else {
+    bench::Check(false, std::string("failed to open ") + out_path);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gesall
+
+int main(int argc, char** argv) { return gesall::Main(argc, argv); }

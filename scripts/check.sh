@@ -20,10 +20,14 @@
 #     combines), the fault-injection arithmetic, and the 16-bit
 #     saturating DP arithmetic must be free of undefined behavior, or
 #     corruption detection itself can't be trusted.
-#   - TSan (util_test, mr_test): the work-stealing executor (per-worker
-#     deques, steal-half transfers, TaskGroup helping waits) and the
-#     async MapReduce engine built on it are lock-ordering-sensitive by
-#     design; a data race here silently reorders round outputs.
+#   - TSan (util_test, mr_test, service_test): the work-stealing
+#     executor (per-worker deques, steal-half transfers, TaskGroup
+#     helping waits, the shutdown/submit race) and the async MapReduce
+#     engine built on it are lock-ordering-sensitive by design; a data
+#     race here silently reorders round outputs. The service suite adds
+#     the job-manager threads (runners, watchdog, heartbeat) racing
+#     admission, cancellation and drain, including the multi-tenant
+#     chaos test over a shared DFS.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,7 +47,7 @@ done
 echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure --timeout 1200
 
 if [[ "$run_asan" == 1 ]]; then
   echo "=== asan: shuffle engine + aligner suites ==="
@@ -64,11 +68,12 @@ if [[ "$run_ubsan" == 1 ]]; then
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "=== tsan: executor + mapreduce suites ==="
+  echo "=== tsan: executor + mapreduce + service suites ==="
   cmake -B build-tsan -S . -DGESALL_SANITIZE=thread
-  cmake --build build-tsan -j --target util_test mr_test
+  cmake --build build-tsan -j --target util_test mr_test service_test
   ./build-tsan/tests/util_test
   ./build-tsan/tests/mr_test
+  ./build-tsan/tests/service_test
 fi
 
 echo "=== check.sh: all green ==="

@@ -84,8 +84,9 @@ std::vector<uint32_t> Dfs::ChunkSums(std::string_view data) const {
   const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
   const size_t n = (data.size() + chunk - 1) / chunk;
   std::vector<uint32_t> sums(n);
-  if (executor_ != nullptr && n >= kMinParallelChunks) {
-    TaskGroup group(executor_);
+  Executor* executor = executor_.load(std::memory_order_acquire);
+  if (executor != nullptr && n >= kMinParallelChunks) {
+    TaskGroup group(executor);
     for (size_t i = 0; i < n; ++i) {
       group.Submit([&sums, data, chunk, i] {
         sums[i] = Crc32c(data.substr(i * chunk, chunk));
@@ -105,9 +106,10 @@ bool Dfs::ChunksMatch(const std::string& bytes,
   const size_t chunk = static_cast<size_t>(options_.checksum_chunk_bytes);
   if (sums.size() != (bytes.size() + chunk - 1) / chunk) return false;
   std::string_view view(bytes);
-  if (executor_ != nullptr && sums.size() >= kMinParallelChunks) {
+  Executor* executor = executor_.load(std::memory_order_acquire);
+  if (executor != nullptr && sums.size() >= kMinParallelChunks) {
     std::atomic<bool> match{true};
-    TaskGroup group(executor_);
+    TaskGroup group(executor);
     for (size_t i = 0; i < sums.size(); ++i) {
       group.Submit([&match, &sums, view, chunk, i] {
         if (Crc32c(view.substr(i * chunk, chunk)) != sums[i]) {
@@ -241,8 +243,9 @@ bool Dfs::VerifyReplicaLocked(int64_t block_id, BlockMeta* bm,
                               size_t ri) const {
   const Replica rep = bm->replicas[ri];
   std::string& bytes = nodes_[rep.node].blocks.at(block_id);
-  if (injector_ != nullptr && !bytes.empty() &&
-      injector_->ShouldFail(kFaultDfsBlockCorrupt, block_id, rep.ordinal)) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector != nullptr && !bytes.empty() &&
+      injector->ShouldFail(kFaultDfsBlockCorrupt, block_id, rep.ordinal)) {
     // Lazy corruption: rot one byte of the stored replica the moment it
     // is read. Detection quarantines the replica immediately, so the
     // point cannot re-fire for it and toggle the byte back.
@@ -268,13 +271,14 @@ const std::string* Dfs::ReadBlockReplicasLocked(int64_t block_id,
   // so one seed pins one consistent set of "bad" replicas across
   // repeated reads.
   int failures = 0;
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
   for (size_t ri = 0; ri < bm.replicas.size();) {
     int node = bm.replicas[ri].node;
     bool failed = !nodes_[node].up || nodes_[node].declared_dead ||
                   health_[node].blacklisted;
-    if (!failed && injector_ != nullptr &&
-        injector_->ShouldFail(kFaultDfsReadReplica, block_id,
-                              static_cast<int>(ri))) {
+    if (!failed && injector != nullptr &&
+        injector->ShouldFail(kFaultDfsReadReplica, block_id,
+                             static_cast<int>(ri))) {
       failed = true;
       // Injected replica failure counts against the node's health;
       // blacklist it after blacklist_threshold consecutive failures.
@@ -381,15 +385,16 @@ Status Dfs::Tick() {
   GESALL_RETURN_NOT_OK(init_status_);
   std::lock_guard<std::mutex> lock(health_mu_);
   const int64_t tick = tick_++;
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
   for (int n = 0; n < options_.num_data_nodes; ++n) {
     DataNode& dn = nodes_[n];
-    if (injector_ != nullptr && !dn.up &&
-        injector_->ShouldFail(kFaultNodeRestart, n,
-                              static_cast<int>(tick))) {
+    if (injector != nullptr && !dn.up &&
+        injector->ShouldFail(kFaultNodeRestart, n,
+                             static_cast<int>(tick))) {
       RestartNodeLocked(n);
     }
-    if (injector_ != nullptr && dn.up &&
-        injector_->ShouldFail(kFaultNodeCrash, n, static_cast<int>(tick))) {
+    if (injector != nullptr && dn.up &&
+        injector->ShouldFail(kFaultNodeCrash, n, static_cast<int>(tick))) {
       dn.up = false;  // crash: stops serving and heartbeating; storage
                       // survives until the node is declared dead
     }

@@ -21,6 +21,7 @@
 #ifndef GESALL_DFS_DFS_H_
 #define GESALL_DFS_DFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -176,12 +177,18 @@ class Dfs {
   /// replica ordinal — stable, so re-replicated copies are never
   /// re-corrupted by ArmFirstAttempts). Not owned; nullptr disables
   /// injection.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// Atomic: pipelines install their injector at construction while the
+  /// heartbeat driver may be mid-Tick on another thread.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
 
   /// Executor for parallel checksum work (not owned): write-time chunk
   /// sums fan out as tasks, and scrub/read CRC verification of large
   /// blocks does too. Null keeps checksumming single-threaded.
-  void set_executor(Executor* executor) { executor_ = executor; }
+  void set_executor(Executor* executor) {
+    executor_.store(executor, std::memory_order_release);
+  }
 
   /// Snapshot of the read-path failover telemetry.
   DfsStats stats() const;
@@ -268,8 +275,8 @@ class Dfs {
   DfsOptions options_;
   Status init_status_;
   DefaultPlacementPolicy default_policy_;
-  FaultInjector* injector_ = nullptr;
-  Executor* executor_ = nullptr;
+  std::atomic<FaultInjector*> injector_{nullptr};
+  std::atomic<Executor*> executor_{nullptr};
   // One namenode-wide lock: every public operation acquires health_mu_
   // once and runs *Locked internals, making concurrent reads, writes,
   // and heartbeat ticks from overlapped pipeline rounds safe. Expensive

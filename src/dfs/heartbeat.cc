@@ -1,0 +1,69 @@
+#include "dfs/heartbeat.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gesall {
+
+void HeartbeatDriver::Start(int interval_ms) {
+  if (interval_ms < 1) interval_ms = 1;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this, interval_ms] { Loop(interval_ms); });
+}
+
+void HeartbeatDriver::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+Status HeartbeatDriver::TickNow(int n) {
+  Status first;
+  for (int i = 0; i < n; ++i) {
+    Status s = dfs_->Tick();
+    RecordTick(s);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+Status HeartbeatDriver::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void HeartbeatDriver::Loop(int interval_ms) {
+  const auto interval = std::chrono::milliseconds(interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    RecordTick(dfs_->Tick());
+  }
+}
+
+void HeartbeatDriver::RecordTick(const Status& status) {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) first_error_ = status;
+  }
+}
+
+}  // namespace gesall

@@ -1,0 +1,81 @@
+// Continuous heartbeat driver: decouples Dfs::Tick from pipeline rounds.
+//
+// Historically the pipeline advanced the DFS heartbeat clock once at the
+// end of each round, which meant an idle cluster (service jobs queued,
+// nothing running) never declared silent nodes dead and never scrubbed —
+// dead-node detection only made progress while a round happened to be
+// finishing. The driver owns a background thread that ticks the namenode
+// on a fixed cadence independent of any pipeline, so failure detection
+// and re-replication run continuously, matching how a real namenode's
+// recheck interval is wall-clock-driven rather than job-driven.
+//
+// The cadence is a *logical* clock: tests that need determinism keep the
+// driver stopped and advance it manually with TickNow(n); the service
+// keeps it running. Either way every tick is Dfs::Tick, serialized by
+// the namenode's own health lock, so driver ticks and (legacy) per-round
+// ticks compose safely.
+
+#ifndef GESALL_DFS_HEARTBEAT_H_
+#define GESALL_DFS_HEARTBEAT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "dfs/dfs.h"
+#include "util/status.h"
+
+namespace gesall {
+
+/// \brief Background driver advancing one Dfs's heartbeat clock.
+class HeartbeatDriver {
+ public:
+  /// Does not take ownership; `dfs` must outlive the driver.
+  explicit HeartbeatDriver(Dfs* dfs) : dfs_(dfs) {}
+  ~HeartbeatDriver() { Stop(); }
+
+  HeartbeatDriver(const HeartbeatDriver&) = delete;
+  HeartbeatDriver& operator=(const HeartbeatDriver&) = delete;
+
+  /// Starts the background thread ticking every `interval_ms`. No-op if
+  /// already running.
+  void Start(int interval_ms);
+
+  /// Stops and joins the background thread promptly (the sleep is a
+  /// timed condition wait, not a bare sleep). Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Advances the clock `n` ticks synchronously on the calling thread —
+  /// the deterministic path for tests (driver may be stopped). Returns
+  /// the first tick error, if any.
+  Status TickNow(int n = 1);
+
+  /// Ticks issued by this driver (background + TickNow).
+  int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// First non-OK status any tick returned (background tick errors would
+  /// otherwise vanish); OK while clean.
+  Status last_error() const;
+
+ private:
+  void Loop(int interval_ms);
+  void RecordTick(const Status& status);
+
+  Dfs* dfs_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> ticks_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // guarded by mu_
+  Status first_error_;           // guarded by mu_
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_DFS_HEARTBEAT_H_

@@ -22,12 +22,13 @@ namespace gesall {
 
 namespace {
 
-constexpr char kInputDir[] = "/gesall/input/";
-constexpr char kAlignedDir[] = "/gesall/aligned/";
-constexpr char kCleanedDir[] = "/gesall/cleaned/";
-constexpr char kDedupDir[] = "/gesall/dedup/";
-constexpr char kRecalDir[] = "/gesall/recal/";
-constexpr char kSortedDir[] = "/gesall/sorted/";
+// Stage directory under the pipeline's DFS namespace root. Historically
+// these were process-wide constants ("/gesall/input/", ...); they are
+// per-instance now so the service layer can run concurrent pipelines on
+// one Dfs without their stages colliding.
+std::string StageDir(const std::string& root, const char* stage) {
+  return root + "/" + stage + "/";
+}
 
 std::string PartPath(const std::string& dir, int index) {
   char buf[16];
@@ -636,6 +637,12 @@ GesallPipeline::GesallPipeline(const ReferenceGenome& reference,
                                const GenomeIndex& index, Dfs* dfs,
                                PipelineConfig config)
     : reference_(&reference), index_(&index), dfs_(dfs), config_(config) {
+  input_dir_ = StageDir(config_.dfs_root, "input");
+  aligned_dir_ = StageDir(config_.dfs_root, "aligned");
+  cleaned_dir_ = StageDir(config_.dfs_root, "cleaned");
+  dedup_dir_ = StageDir(config_.dfs_root, "dedup");
+  recal_dir_ = StageDir(config_.dfs_root, "recal");
+  sorted_dir_ = StageDir(config_.dfs_root, "sorted");
   for (const auto& c : reference.chromosomes) {
     header_.refs.push_back({c.name, static_cast<int64_t>(c.sequence.size())});
   }
@@ -667,7 +674,27 @@ JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
   cfg.num_nodes = dfs_ != nullptr ? dfs_->num_data_nodes() : 0;
   cfg.max_map_reexecutions = config_.max_map_reexecutions;
   cfg.executor = config_.executor;  // null selects Executor::Shared()
+  cfg.cancel = config_.cancel;
   return cfg;
+}
+
+Status GesallPipeline::MaybeTick() {
+  // The heartbeat clock historically advanced once per round here; with
+  // auto_tick off an external HeartbeatDriver owns the clock so an idle
+  // cluster still detects dead nodes (and a busy round doesn't
+  // double-count intervals).
+  if (!config_.auto_tick) return Status::OK();
+  return dfs_->Tick();
+}
+
+void GesallPipeline::RemoveStageOutputs() {
+  for (const std::string* dir :
+       {&aligned_dir_, &cleaned_dir_, &dedup_dir_, &recal_dir_,
+        &sorted_dir_}) {
+    for (const auto& path : dfs_->List(*dir)) {
+      (void)dfs_->Delete(path);
+    }
+  }
 }
 
 FaultToleranceSummary GesallPipeline::SummarizeFaultTolerance() const {
@@ -697,14 +724,14 @@ Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,
     std::vector<FastqRecord> part(interleaved.begin() + begin,
                                   interleaved.begin() + end);
     GESALL_RETURN_NOT_OK(
-        dfs_->Write(PartPath(kInputDir, p), WriteFastq(part), &policy));
+        dfs_->Write(PartPath(input_dir_, p), WriteFastq(part), &policy));
   }
   return Status::OK();
 }
 
 Status GesallPipeline::RunRound1Alignment() {
   Stopwatch clock;
-  std::vector<std::string> inputs = dfs_->List(kInputDir);
+  std::vector<std::string> inputs = dfs_->List(input_dir_);
   if (inputs.empty()) return Status::InvalidArgument("no input partitions");
   std::vector<InputSplit> splits;
   for (const auto& path : inputs) {
@@ -726,14 +753,14 @@ Status GesallPipeline::RunRound1Alignment() {
   for (size_t i = 0; i < result.reducer_outputs.size(); ++i) {
     if (result.reducer_outputs[i].empty()) continue;
     GESALL_RETURN_NOT_OK(
-        dfs_->Write(PartPath(kAlignedDir, static_cast<int>(i)) + ".bam",
+        dfs_->Write(PartPath(aligned_dir_, static_cast<int>(i)) + ".bam",
                     result.reducer_outputs[i][0], &policy));
   }
   stats_.push_back({"round1_alignment", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
   // One heartbeat interval per round: crashed nodes are declared dead
   // and their blocks re-replicated before the next round reads them.
-  return dfs_->Tick();
+  return MaybeTick();
 }
 
 Status GesallPipeline::RunRound2Cleaning() {
@@ -741,7 +768,7 @@ Status GesallPipeline::RunRound2Cleaning() {
   // Map input: DFS block splits of every aligned partition (the custom
   // RecordReader path of §3.1).
   std::vector<InputSplit> splits;
-  for (const auto& path : ListBams(*dfs_, kAlignedDir)) {
+  for (const auto& path : ListBams(*dfs_, aligned_dir_)) {
     GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
     for (const auto& bs : bam_splits) {
       InputSplit s;
@@ -776,15 +803,15 @@ Status GesallPipeline::RunRound2Cleaning() {
     GESALL_RETURN_NOT_OK(BuildBamPartition(header_, values, &bam));
     outputs.push_back(std::move(bam));
   }
-  GESALL_RETURN_NOT_OK(WritePartitions(kCleanedDir, outputs));
+  GESALL_RETURN_NOT_OK(WritePartitions(cleaned_dir_, outputs));
   stats_.push_back({"round2_cleaning", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
-  return dfs_->Tick();
+  return MaybeTick();
 }
 
 Result<std::string> GesallPipeline::BuildBloomFilter() {
   std::vector<InputSplit> splits;
-  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+  for (const auto& path : ListBams(*dfs_, cleaned_dir_)) {
     InputSplit s;
     Dfs* dfs = dfs_;
     s.load = [dfs, path]() { return dfs->Read(path); };
@@ -822,7 +849,7 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
   // Logical partition inputs: whole cleaned files (map benefits from the
   // read-name grouping of the previous round, Appendix A.2).
   std::vector<InputSplit> splits;
-  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+  for (const auto& path : ListBams(*dfs_, cleaned_dir_)) {
     InputSplit s;
     Dfs* dfs = dfs_;
     s.load = [dfs, path]() { return dfs->Read(path); };
@@ -852,19 +879,19 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
     GESALL_RETURN_NOT_OK(BuildBamPartition(header_, values, &bam));
     outputs.push_back(std::move(bam));
   }
-  GESALL_RETURN_NOT_OK(WritePartitions(kDedupDir, outputs));
+  GESALL_RETURN_NOT_OK(WritePartitions(dedup_dir_, outputs));
   stats_.push_back({config_.markdup_use_bloom ? "round3_markdup_opt"
                                               : "round3_markdup_reg",
                     clock.ElapsedSeconds(), std::move(result.counters),
                     std::move(result.tasks)});
-  return dfs_->Tick();
+  return MaybeTick();
 }
 
 Status GesallPipeline::RunRecalibrationRounds() {
   Stopwatch clock;
   auto make_splits = [this] {
     std::vector<InputSplit> splits;
-    for (const auto& path : ListBams(*dfs_, kDedupDir)) {
+    for (const auto& path : ListBams(*dfs_, dedup_dir_)) {
       InputSplit s;
       Dfs* dfs = dfs_;
       s.load = [dfs, path]() { return dfs->Read(path); };
@@ -907,18 +934,18 @@ Status GesallPipeline::RunRecalibrationRounds() {
   for (auto& out : apply_result.reducer_outputs) {
     if (!out.empty()) outputs.push_back(std::move(out[0]));
   }
-  GESALL_RETURN_NOT_OK(WritePartitions(kRecalDir, outputs));
+  GESALL_RETURN_NOT_OK(WritePartitions(recal_dir_, outputs));
   stats_.push_back({"round3.5_print_reads", apply_clock.ElapsedSeconds(),
                     std::move(apply_result.counters),
                     std::move(apply_result.tasks)});
-  return dfs_->Tick();
+  return MaybeTick();
 }
 
 Status GesallPipeline::RunRound4Sort() {
   Stopwatch clock;
   // Input: recalibrated partitions when the optional rounds ran.
   std::string input_dir =
-      ListBams(*dfs_, kRecalDir).empty() ? kDedupDir : kRecalDir;
+      ListBams(*dfs_, recal_dir_).empty() ? dedup_dir_ : recal_dir_;
   std::vector<InputSplit> splits;
   for (const auto& path : ListBams(*dfs_, input_dir)) {
     InputSplit s;
@@ -948,7 +975,7 @@ Status GesallPipeline::RunRound4Sort() {
     GESALL_RETURN_NOT_OK(BuildBamPartition(sorted_header, values, &bam));
     outputs.push_back(std::move(bam));
   }
-  GESALL_RETURN_NOT_OK(WritePartitions(kSortedDir, outputs));
+  GESALL_RETURN_NOT_OK(WritePartitions(sorted_dir_, outputs));
   // "Sorting and building the BAM file index in the reducer" (§4.1):
   // a linear index sidecar per sorted partition, used by the
   // overlapping-segment Round 5 to read only the relevant chunk ranges.
@@ -957,12 +984,12 @@ Status GesallPipeline::RunRound4Sort() {
     GESALL_ASSIGN_OR_RETURN(LinearBamIndex index,
                             LinearBamIndex::Build(outputs[i]));
     GESALL_RETURN_NOT_OK(
-        dfs_->Write(PartPath(kSortedDir, static_cast<int>(i)) + ".bai",
+        dfs_->Write(PartPath(sorted_dir_, static_cast<int>(i)) + ".bai",
                     index.Serialize(), &policy));
   }
   stats_.push_back({"round4_sort", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
-  return dfs_->Tick();
+  return MaybeTick();
 }
 
 Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
@@ -970,7 +997,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
   const int C = static_cast<int>(reference_->chromosomes.size());
   std::vector<InputSplit> splits;
   for (int c = 0; c < C; ++c) {
-    std::string path = PartPath(kSortedDir, c) + ".bam";
+    std::string path = PartPath(sorted_dir_, c) + ".bam";
     if (!dfs_->Exists(path)) continue;
     int64_t chrom_len =
         static_cast<int64_t>(reference_->chromosomes[c].sequence.size());
@@ -993,7 +1020,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
         int64_t start = std::max<int64_t>(0, emit_start - overlap);
         int64_t end = std::min(chrom_len, emit_end + overlap);
         InputSplit s;
-        std::string index_path = PartPath(kSortedDir, c) + ".bai";
+        std::string index_path = PartPath(sorted_dir_, c) + ".bai";
         SamHeader header = header_;
         s.load = [dfs, path, index_path, header, c, start, end, emit_start,
                   emit_end]() -> Result<std::string> {
@@ -1053,7 +1080,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
            : "round5_haplotype_caller",
        clock.ElapsedSeconds(), std::move(result.counters),
        std::move(result.tasks)});
-  GESALL_RETURN_NOT_OK(dfs_->Tick());
+  GESALL_RETURN_NOT_OK(MaybeTick());
   return variants;
 }
 
@@ -1068,6 +1095,13 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
   Result<std::vector<VariantRecord>> result =
       config_.pipelined ? RunAllPipelined() : RunAllBarriered();
   execution_.wall_seconds = wall.ElapsedSeconds();
+  if (!result.ok() && result.status().IsCancelled()) {
+    // Cancelled runs must leave no partial stage outputs visible: a
+    // later Restart() (or a diagnosis pass) reading half-written stages
+    // would silently truncate the sample. Inputs stay loaded so the job
+    // can re-run from the top.
+    RemoveStageOutputs();
+  }
 
   const ExecutorStats after = executor->stats();
   execution_.tasks_executed = after.tasks_executed - before.tasks_executed;
@@ -1192,7 +1226,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   // finish, each releasing the bloom pre-round's matching map split.
   double t2_start = wall.ElapsedSeconds();
   std::vector<InputSplit> splits2;
-  for (const auto& path : ListBams(*dfs_, kAlignedDir)) {
+  for (const auto& path : ListBams(*dfs_, aligned_dir_)) {
     GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
     for (const auto& bs : bam_splits) {
       InputSplit s;
@@ -1215,7 +1249,8 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   {
     SamHeader header_copy = header_;
     auto evs = ev_cleaned;
-    cfg2.on_partition_output = [dfs, header_copy, evs, record_cb](
+    std::string out_dir = cleaned_dir_;
+    cfg2.on_partition_output = [dfs, header_copy, evs, record_cb, out_dir](
                                    int r,
                                    const std::vector<std::string>& values,
                                    const JobCounters&) {
@@ -1223,7 +1258,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
       Status s = BuildBamPartition(header_copy, values, &bam);
       if (s.ok()) {
         LogicalPartitionPlacementPolicy policy;
-        s = dfs->Write(PartPath(kCleanedDir, r) + ".bam", bam, &policy);
+        s = dfs->Write(PartPath(out_dir, r) + ".bam", bam, &policy);
       }
       record_cb(s);
       evs[static_cast<size_t>(r)]->Notify();
@@ -1247,7 +1282,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   if (config_.markdup_use_bloom) {
     std::vector<InputSplit> splits3a;
     for (int r = 0; r < R2; ++r) {
-      std::string path = PartPath(kCleanedDir, r) + ".bam";
+      std::string path = PartPath(cleaned_dir_, r) + ".bam";
       InputSplit s;
       s.load = [dfs, path]() { return dfs->Read(path); };
       s.ready = ev_cleaned[static_cast<size_t>(r)];
@@ -1276,7 +1311,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     if (!s.ok()) return fail(s);
   }
   {
-    Status s = dfs_->Tick();
+    Status s = MaybeTick();
     if (!s.ok()) return fail(s);
   }
 
@@ -1308,7 +1343,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   // matching sort split as they land on DFS.
   double t3_start = wall.ElapsedSeconds();
   std::vector<InputSplit> splits3;
-  for (const auto& path : ListBams(*dfs_, kCleanedDir)) {
+  for (const auto& path : ListBams(*dfs_, cleaned_dir_)) {
     InputSplit s;
     s.load = [dfs, path]() { return dfs->Read(path); };
     s.preferred_node = LogicalPartitionPlacementPolicy::PrimaryNodeFor(
@@ -1326,7 +1361,8 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   {
     SamHeader header_copy = header_;
     auto evs = ev_dedup;
-    cfg3.on_partition_output = [dfs, header_copy, evs, record_cb](
+    std::string out_dir = dedup_dir_;
+    cfg3.on_partition_output = [dfs, header_copy, evs, record_cb, out_dir](
                                    int r,
                                    const std::vector<std::string>& values,
                                    const JobCounters&) {
@@ -1334,7 +1370,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
       Status s = BuildBamPartition(header_copy, values, &bam);
       if (s.ok()) {
         LogicalPartitionPlacementPolicy policy;
-        s = dfs->Write(PartPath(kDedupDir, r) + ".bam", bam, &policy);
+        s = dfs->Write(PartPath(out_dir, r) + ".bam", bam, &policy);
       }
       record_cb(s);
       evs[static_cast<size_t>(r)]->Notify();
@@ -1364,7 +1400,9 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   cfg4.throttle = throttle;
   {
     auto evs = ev_sorted;
-    cfg4.on_partition_output = [dfs, sorted_header, evs, record_cb](
+    std::string out_dir = sorted_dir_;
+    cfg4.on_partition_output = [dfs, sorted_header, evs, record_cb,
+                                out_dir](
                                    int c,
                                    const std::vector<std::string>& values,
                                    const JobCounters&) {
@@ -1372,14 +1410,14 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
       Status s = BuildBamPartition(sorted_header, values, &bam);
       if (s.ok()) {
         LogicalPartitionPlacementPolicy policy;
-        s = dfs->Write(PartPath(kSortedDir, c) + ".bam", bam, &policy);
+        s = dfs->Write(PartPath(out_dir, c) + ".bam", bam, &policy);
         if (s.ok()) {
           // "Sorting and building the BAM file index in the reducer"
           // (§4.1): the linear index sidecar must be on DFS before the
           // chromosome's HC split is released.
           Result<LinearBamIndex> index = LinearBamIndex::Build(bam);
           s = index.ok()
-                  ? dfs->Write(PartPath(kSortedDir, c) + ".bai",
+                  ? dfs->Write(PartPath(out_dir, c) + ".bai",
                                index.ValueOrDie().Serialize(), &policy)
                   : index.status();
         }
@@ -1425,7 +1463,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     t5_start = wall.ElapsedSeconds();
     std::vector<InputSplit> splits5;
     for (int c = 0; c < C; ++c) {
-      std::string path = PartPath(kSortedDir, c) + ".bam";
+      std::string path = PartPath(sorted_dir_, c) + ".bam";
       int64_t chrom_len =
           static_cast<int64_t>(reference_->chromosomes[c].sequence.size());
       if (config_.hc_partitioning ==
@@ -1448,7 +1486,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
           int64_t start = std::max<int64_t>(0, emit_start - overlap);
           int64_t end = std::min(chrom_len, emit_end + overlap);
           InputSplit s;
-          std::string index_path = PartPath(kSortedDir, c) + ".bai";
+          std::string index_path = PartPath(sorted_dir_, c) + ".bai";
           SamHeader split_header = header_;
           s.load = [dfs, path, index_path, split_header, c, start, end,
                     emit_start, emit_end]() -> Result<std::string> {
@@ -1492,7 +1530,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   };
 
   if (!config_.run_recalibration) {
-    start_round4(kDedupDir, /*gated=*/true);
+    start_round4(dedup_dir_, /*gated=*/true);
     start_round5();
   }
 
@@ -1514,7 +1552,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     if (!s.ok()) return fail(s);
   }
   {
-    Status s = dfs_->Tick();
+    Status s = MaybeTick();
     if (!s.ok()) return fail(s);
   }
 
@@ -1532,7 +1570,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
       at += stats_[i].wall_seconds;
     }
     std::string input_dir =
-        ListBams(*dfs_, kRecalDir).empty() ? kDedupDir : kRecalDir;
+        ListBams(*dfs_, recal_dir_).empty() ? dedup_dir_ : recal_dir_;
     start_round4(input_dir, /*gated=*/false);
     start_round5();
   }
@@ -1553,7 +1591,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     if (!s.ok()) return fail(s);
   }
   {
-    Status s = dfs_->Tick();
+    Status s = MaybeTick();
     if (!s.ok()) return fail(s);
   }
 
@@ -1587,7 +1625,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     Status s = first_cb_error();
     if (!s.ok()) return fail(s);
   }
-  GESALL_RETURN_NOT_OK(dfs_->Tick());
+  GESALL_RETURN_NOT_OK(MaybeTick());
   return variants;
 }
 
@@ -1604,7 +1642,7 @@ Status GesallPipeline::WritePartitions(
 
 Result<std::vector<SamRecord>> GesallPipeline::ReadStageRecords(
     const std::string& stage) const {
-  std::string dir = "/gesall/" + stage + "/";
+  std::string dir = StageDir(config_.dfs_root, stage.c_str());
   std::vector<std::string> paths = ListBams(*dfs_, dir);
   if (paths.empty()) return Status::NotFound("no partitions in " + dir);
   std::sort(paths.begin(), paths.end());

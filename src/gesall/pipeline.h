@@ -33,6 +33,7 @@
 #include "formats/vcf.h"
 #include "gesall/diagnosis.h"
 #include "mr/mapreduce.h"
+#include "util/cancel.h"
 #include "util/executor.h"
 #include "util/status.h"
 
@@ -119,6 +120,23 @@ struct PipelineConfig {
   /// Executor every round's tasks run on (not owned). Null selects the
   /// process-wide Executor::Shared().
   Executor* executor = nullptr;
+
+  /// DFS namespace root for every stage directory ("<root>/input/",
+  /// "<root>/aligned/", ...). The service layer gives each job its own
+  /// root ("/jobs/<tenant>/<id>") so concurrent pipelines on one Dfs
+  /// never collide; the default keeps the historical single-job layout.
+  std::string dfs_root = "/gesall";
+  /// Advance the DFS heartbeat clock once at the end of every round
+  /// (the historical coupling). The service layer turns this off and
+  /// ticks continuously through a HeartbeatDriver instead, so dead-node
+  /// detection does not stall while a cluster sits idle between jobs.
+  bool auto_tick = true;
+  /// Optional cooperative cancellation, forwarded into every round's
+  /// JobConfig. Once flipped, the running round fails fast with
+  /// Status::Cancelled, no further round starts, and RunAll() deletes
+  /// the job's partial stage outputs from the DFS before returning (the
+  /// loaded input partitions under dfs_root stay).
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// \brief Wall-clock and counter statistics of one executed round.
@@ -179,6 +197,12 @@ class GesallPipeline {
 
  private:
   JobConfig MakeJobConfig(int reducers) const;
+  /// End-of-round heartbeat: Dfs::Tick when config_.auto_tick, else a
+  /// no-op (an external HeartbeatDriver owns the clock).
+  Status MaybeTick();
+  /// Deletes every stage output under dfs_root except the loaded input
+  /// partitions — the cancelled-run cleanup.
+  void RemoveStageOutputs();
   Status WritePartitions(const std::string& stage,
                          const std::vector<std::string>& bam_files);
   Result<std::string> BuildBloomFilter();
@@ -189,6 +213,13 @@ class GesallPipeline {
   const GenomeIndex* index_;
   Dfs* dfs_;
   PipelineConfig config_;
+  // Stage directories under config_.dfs_root, precomputed once.
+  std::string input_dir_;
+  std::string aligned_dir_;
+  std::string cleaned_dir_;
+  std::string dedup_dir_;
+  std::string recal_dir_;
+  std::string sorted_dir_;
   SamHeader header_;
   std::vector<RoundStats> stats_;
   ExecutionSummary execution_;

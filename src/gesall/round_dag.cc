@@ -37,9 +37,12 @@ struct RunState {
 
 }  // namespace
 
-Status RoundDag::Run(Executor* executor) {
+Status RoundDag::Run(Executor* executor,
+                     std::shared_ptr<CancelToken> cancel) {
   const int n = static_cast<int>(nodes_.size());
-  if (n == 0) return Status::OK();
+  if (n == 0) {
+    return cancel != nullptr ? cancel->status() : Status::OK();
+  }
 
   // Kahn pass up front: a cycle would otherwise hang the countdown.
   {
@@ -78,6 +81,7 @@ Status RoundDag::Run(Executor* executor) {
     RoundDag* dag;
     Executor* executor;
     std::shared_ptr<RunState> state;
+    std::shared_ptr<CancelToken> cancel;
 
     void Launch(int i) {
       executor->Submit([this_copy = *this, i]() mutable {
@@ -87,6 +91,15 @@ Status RoundDag::Run(Executor* executor) {
 
     void RunNode(int i) {
       RoundDagNode& node = dag->nodes_[static_cast<size_t>(i)];
+      // A flipped token poisons the run exactly like a node error:
+      // first_error latches Cancelled, every not-yet-started node skips
+      // its body, and the countdown still reaches n so Run() returns.
+      if (cancel != nullptr && cancel->cancelled()) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->first_error.ok()) {
+          state->first_error = cancel->status();
+        }
+      }
       bool skip;
       {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -117,7 +130,7 @@ Status RoundDag::Run(Executor* executor) {
     }
   };
 
-  Scheduler scheduler{this, executor, state};
+  Scheduler scheduler{this, executor, state, std::move(cancel)};
   std::vector<int> roots;
   for (int i = 0; i < n; ++i) {
     if (state->indegree[static_cast<size_t>(i)] == 0) roots.push_back(i);

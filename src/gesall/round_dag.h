@@ -18,9 +18,11 @@
 #define GESALL_GESALL_ROUND_DAG_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/cancel.h"
 #include "util/executor.h"
 #include "util/status.h"
 
@@ -57,7 +59,14 @@ class RoundDag {
   /// recording spans. The first error is returned; nodes not yet
   /// started when it surfaces are skipped (ran stays false). Detects
   /// cycles up front. Single-shot.
-  Status Run(Executor* executor);
+  ///
+  /// `cancel` (optional) is polled before each node runs: once the
+  /// token flips, no further node bodies start (already-running bodies
+  /// finish — cancellation is cooperative), remaining nodes keep
+  /// ran == false, and Run returns Status::Cancelled carrying the
+  /// token's cause unless a node failed first.
+  Status Run(Executor* executor,
+             std::shared_ptr<CancelToken> cancel = nullptr);
 
   /// Records the wall span of an externally-executed node.
   void RecordSpan(int node, double start_seconds, double end_seconds);

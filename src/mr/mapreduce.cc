@@ -133,6 +133,12 @@ void RunTaskAttempts(const JobConfig& cfg, const Fn& run_attempt,
     }
     TaskOut attempt_out{};
     run_attempt(attempt, &attempt_out);
+    if (attempt_out.status.IsCancelled()) {
+      // Cancellation is terminal, not a fault: retrying or launching a
+      // speculative backup would just re-observe the flipped token.
+      *out = std::move(attempt_out);
+      return;
+    }
     if (attempt_out.status.ok()) {
       double seconds = attempt_out.record.end_seconds -
                        attempt_out.record.start_seconds;
@@ -332,7 +338,11 @@ Result<std::string> LoadSplitAttempt(const InputSplit& split, int index,
 template <typename TaskOut>
 void FinalizeMapTask(const JobConfig& cfg, const AttemptStats& stats,
                      TaskOut* out) {
-  if (!out->status.ok() && cfg.skip_bad_records) {
+  // A cancelled task is not a poison split: isolating it would let the
+  // job "succeed" with a silently truncated output instead of failing
+  // fast with the cancellation cause.
+  if (!out->status.ok() && cfg.skip_bad_records &&
+      !out->status.IsCancelled()) {
     // Poison split: drop the failed attempt's partial output and
     // counters so job-level counter invariants still hold.
     TaskRecord record = out->record;
@@ -412,6 +422,11 @@ void ExecuteMapFull(JobState* s, size_t i, MapTaskOutput* slot) {
     out->record.index = static_cast<int>(i);
     out->record.attempt = attempt;
     out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      out->status = cfg.cancel->status();
+      out->record.end_seconds = s->job_clock.ElapsedSeconds();
+      return;
+    }
     auto input = LoadSplitAttempt(s->splits[i], static_cast<int>(i),
                                   attempt, cfg.fault_injector);
     if (input.ok()) {
@@ -450,6 +465,11 @@ void ExecuteMapOnly(JobState* s, size_t i, MapOnlyTaskOutput* slot) {
     out->record.index = static_cast<int>(i);
     out->record.attempt = attempt;
     out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      out->status = cfg.cancel->status();
+      out->record.end_seconds = s->job_clock.ElapsedSeconds();
+      return;
+    }
     auto input = LoadSplitAttempt(s->splits[i], static_cast<int>(i),
                                   attempt, cfg.fault_injector);
     if (input.ok()) {
@@ -510,6 +530,11 @@ void FinalizeFullJob(const std::shared_ptr<JobState>& s);
 // re-executed maps bypass the admission throttle for the same reason.
 void MasterVerifyAndReduce(const std::shared_ptr<JobState>& s) {
   const JobConfig& cfg = s->config;
+  if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+    // Don't start recovery or reduces for a job nobody wants anymore.
+    FinishJob(s, cfg.cancel->status());
+    return;
+  }
   const int num_nodes = cfg.num_nodes;
   auto& outputs = s->map_outputs;
   JobCounters recovery_counters;
@@ -650,6 +675,11 @@ void RunReduceTask(const std::shared_ptr<JobState>& s, int r) {
     out->record.index = r;
     out->record.attempt = attempt;
     out->record.start_seconds = s->job_clock.ElapsedSeconds();
+    if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      out->status = cfg.cancel->status();
+      out->record.end_seconds = s->job_clock.ElapsedSeconds();
+      return;
+    }
     FaultInjector* injector = cfg.fault_injector;
     if (injector != nullptr) {
       int latency = injector->LatencyMs(kFaultReduceAttempt, r, attempt);
@@ -784,6 +814,15 @@ void SubmitMaps(const std::shared_ptr<JobState>& s) {
       gate->OnReady([s, task = std::move(task)] {
         s->throttle->Submit(std::move(task));
       });
+      if (s->config.cancel != nullptr) {
+        // A cancelled upstream round may never notify this gate; fire it
+        // on cancellation so the map task runs (and fails fast with
+        // Cancelled) instead of stranding the countdown — otherwise
+        // Handle::Wait() on a cancelled pipelined job would hang. Notify
+        // is idempotent, so racing with the real readiness edge is fine;
+        // the callback holds only the gate, not the job state.
+        s->config.cancel->OnCancel([gate] { gate->Notify(); });
+      }
     } else {
       s->throttle->Submit(std::move(task));
     }

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "mr/shuffle_buffer.h"
+#include "util/cancel.h"
 #include "util/executor.h"
 #include "util/status.h"
 
@@ -246,6 +247,12 @@ struct JobConfig {
   bool skip_bad_records = false;
   /// Optional chaos source (not owned). nullptr disables injection.
   FaultInjector* fault_injector = nullptr;
+  /// Optional cooperative cancellation. Once the token flips, no new
+  /// task attempt starts (in-flight attempts finish), cancelled attempts
+  /// are never retried or skip-isolated, gated splits are released
+  /// instead of waiting on signals that may never fire, and the job
+  /// completes with Status::Cancelled carrying the token's cause.
+  std::shared_ptr<CancelToken> cancel;
 
   // --- Whole-node failure model (lost-map-output re-execution) ---
 

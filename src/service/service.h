@@ -1,0 +1,268 @@
+// gesalld: the long-lived multi-tenant pipeline service (ROADMAP item 1).
+//
+// The paper's evaluation assumes one batch job owning the whole cluster;
+// a genome center runs the opposite: many concurrent samples from many
+// tenants flowing through one shared executor and one DFS, where one
+// tenant's crash, corruption, or overload must not take down the rest.
+// GesallService composes the existing machinery into that service:
+//
+//  - Admission control: a bounded job queue (depth + in-flight input
+//    bytes + per-tenant quota). Over-limit submissions are shed with
+//    Status::Unavailable carrying a retry-after hint instead of queueing
+//    without bound — overload degrades into explicit rejections, not
+//    collapse.
+//  - Weighted-fair scheduling: runners pick the eligible tenant with the
+//    least consumed executor time per unit weight (measured via per-job
+//    task tags, Executor::TagScope), then the earliest deadline /
+//    highest priority / oldest job within that tenant.
+//  - Online planning: a job with a deadline is passed through
+//    PipelineOptimizer::Optimize at admission, and the chosen plan's
+//    knobs (partition counts, MarkDup variant, slot budget) configure
+//    that job's pipeline.
+//  - Isolation: every job runs in its own DFS namespace
+//    ("<prefix>/<tenant>/job-<id>") with its own CancelToken; timeouts
+//    and client cancellation propagate through the MR state machine so a
+//    stuck or unwanted job releases its slots.
+//  - Continuous heartbeats: a HeartbeatDriver ticks the DFS clock
+//    independently of pipeline rounds, so dead-node detection and
+//    re-replication keep running while the service sits idle.
+//  - Graceful drain: Drain() stops admission and returns once in-flight
+//    jobs finished; queued jobs stay checkpointed in the queue and
+//    resume — against the same Dfs — after Restart().
+//
+// State machine: kAccepting --Drain()--> kDraining --last job-->
+// kDrained --Restart()--> kAccepting. Submissions during kDraining /
+// kDrained are shed with Unavailable("draining").
+
+#ifndef GESALL_SERVICE_SERVICE_H_
+#define GESALL_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dfs/heartbeat.h"
+#include "gesall/pipeline.h"
+#include "sim/optimizer.h"
+#include "util/cancel.h"
+#include "util/executor.h"
+#include "util/stopwatch.h"
+
+namespace gesall {
+
+using JobId = uint64_t;
+
+/// \brief Per-tenant scheduling weight and queue quota.
+struct TenantQuota {
+  /// Weighted-fair share: a tenant with weight 2 may consume twice the
+  /// executor time of a weight-1 tenant before losing scheduling
+  /// preference.
+  double weight = 1.0;
+  /// Queued (not yet running) jobs this tenant may hold; submissions
+  /// beyond it are shed even when the global queue has room.
+  int max_queued_jobs = 4;
+};
+
+/// \brief Service-wide limits and wiring.
+struct ServiceConfig {
+  /// Concurrent pipelines (runner threads). Each runs one job end to
+  /// end on the shared executor.
+  int max_running_jobs = 2;
+  /// Global bound on queued jobs; submissions beyond it are shed.
+  int max_queue_depth = 8;
+  /// Bound on the summed input-byte estimate of queued + running jobs.
+  int64_t max_in_flight_bytes = 1LL << 30;
+  /// Retry-after hint embedded in shed responses, milliseconds.
+  int retry_after_ms = 50;
+  /// Default quota for tenants absent from `tenants`.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenants;
+  /// Wall-clock budget for a job from admission to completion; jobs
+  /// exceeding it are cancelled with a timeout cause. 0 disables.
+  double default_timeout_seconds = 0;
+  /// HeartbeatDriver cadence. 0 keeps the driver stopped (tests then
+  /// advance the clock manually via heartbeat()->TickNow()).
+  int heartbeat_interval_ms = 2;
+  /// Watchdog scan cadence for timeouts (milliseconds).
+  int watchdog_interval_ms = 5;
+  /// DFS namespace prefix; jobs run under "<prefix>/<tenant>/job-<id>".
+  std::string dfs_root_prefix = "/jobs";
+  /// Executor jobs run on (not owned). Null = Executor::Shared().
+  Executor* executor = nullptr;
+};
+
+/// \brief One submitted sample plus its service-level requirements.
+struct JobSpec {
+  std::string tenant = "default";
+  std::vector<FastqRecord> mate1;
+  std::vector<FastqRecord> mate2;
+  /// Higher runs earlier within the tenant (after deadline order).
+  int priority = 0;
+  /// Turnaround requirement, seconds from submission. >0 enables both
+  /// EDF ordering and the online planner (PipelineOptimizer) for this
+  /// job. Purely advisory for completion: exceeding a deadline does not
+  /// kill the job (use timeout_seconds for that).
+  double deadline_seconds = 0;
+  /// Per-job override of ServiceConfig::default_timeout_seconds
+  /// (0 = inherit).
+  double timeout_seconds = 0;
+  /// Base pipeline configuration (fault injector, partition counts,
+  /// ...). The service overrides dfs_root, executor, auto_tick, and
+  /// cancel; the planner may override partition/slot knobs.
+  PipelineConfig pipeline;
+};
+
+/// \brief Everything a completed (or failed) job reports back.
+struct JobOutput {
+  JobId id = 0;
+  std::string tenant;
+  /// OK with variants on success; Cancelled / error status otherwise.
+  Status status;
+  std::vector<VariantRecord> variants;
+  double queue_seconds = 0;
+  double run_seconds = 0;
+  double total_seconds = 0;
+  /// True when any recovery machinery fired inside this job (task
+  /// retries, lost-map-output re-execution, replica failover) — from
+  /// the job's own round counters, not cluster-wide DFS stats.
+  bool recovered = false;
+  /// Executor time consumed by this job's tagged tasks, microseconds.
+  int64_t busy_micros = 0;
+  /// The optimizer's plan when deadline_seconds > 0 (planned == true).
+  bool planned = false;
+  PipelinePlan plan;
+  JobCounters counters;
+};
+
+/// \brief Monotonic service counters.
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;  // all admission rejections
+  int64_t shed_queue_depth = 0;
+  int64_t shed_bytes = 0;
+  int64_t shed_tenant_quota = 0;
+  int64_t shed_draining = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  /// Completed jobs whose output reported recovered == true.
+  int64_t recovered_jobs = 0;
+  int64_t drains = 0;
+  int64_t restarts = 0;
+  std::map<std::string, int64_t> completed_by_tenant;
+};
+
+/// \brief The long-lived multi-tenant pipeline service.
+class GesallService {
+ public:
+  enum class State { kAccepting, kDraining, kDrained };
+
+  /// Reference/index/dfs are borrowed and must outlive the service.
+  GesallService(const ReferenceGenome& reference, const GenomeIndex& index,
+                Dfs* dfs, ServiceConfig config = {});
+  /// Drains (cancelling queued jobs so waiters unblock) and joins every
+  /// service thread.
+  ~GesallService();
+
+  GesallService(const GesallService&) = delete;
+  GesallService& operator=(const GesallService&) = delete;
+
+  /// Admission control: returns the job id, or Status::Unavailable with
+  /// a retry-after hint when shedding (queue depth, byte budget, tenant
+  /// quota, or draining).
+  Result<JobId> Submit(JobSpec spec);
+
+  /// Blocks until the job finishes and returns its output (the output's
+  /// own `status` carries failure/cancellation). NotFound for unknown
+  /// ids. May be called from any thread, repeatedly.
+  Result<JobOutput> Wait(JobId id);
+
+  /// Cancels a queued job immediately or flips a running job's token
+  /// (its pipeline unwinds cooperatively). No-op on finished jobs.
+  Status Cancel(JobId id, std::string cause);
+
+  /// Stops admission and blocks until every running job finished.
+  /// Queued jobs stay checkpointed and resume after Restart().
+  void Drain();
+
+  /// Resumes admission and scheduling against the same Dfs.
+  void Restart();
+
+  State state() const;
+  ServiceStats stats() const;
+  int queue_depth() const;
+  int running_jobs() const;
+  /// The continuous tick driver (for tests: TickNow on a stopped
+  /// driver).
+  HeartbeatDriver* heartbeat() { return &heartbeat_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobSpec spec;
+    std::shared_ptr<CancelToken> cancel;
+    int64_t input_bytes = 0;
+    double submitted_at = 0;  // service clock, seconds
+    double deadline_at = 0;   // absolute; infinity when none
+    double timeout_at = 0;    // absolute; infinity when none
+    bool running = false;
+    bool done = false;
+    JobOutput output;
+  };
+  struct Tenant {
+    TenantQuota quota;
+    int queued = 0;
+    int running = 0;
+    /// Tagged executor time already charged, for weighted fairness.
+    int64_t consumed_micros = 0;
+  };
+
+  void RunnerLoop();
+  void WatchdogLoop();
+  /// Picks the next job id per the weighted-fair policy; 0 when none
+  /// eligible. Caller holds mu_.
+  JobId PickNextJobLocked();
+  Tenant& TenantEntryLocked(const std::string& name);
+  void FinishJobLocked(const std::shared_ptr<Job>& job, JobOutput output);
+  void RunJob(const std::shared_ptr<Job>& job);
+  /// Maps the optimizer's plan onto the job's PipelineConfig.
+  void PlanJob(Job* job, PipelineConfig* cfg, JobOutput* out) const;
+
+  const ReferenceGenome* reference_;
+  const GenomeIndex* index_;
+  Dfs* dfs_;
+  ServiceConfig config_;
+  Executor* executor_;
+  HeartbeatDriver heartbeat_;
+  Stopwatch clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_sched_;  // runners + drain waiters
+  std::condition_variable cv_done_;   // Wait()ers
+  std::condition_variable cv_waiters_;  // destructor draining Wait()ers
+  State state_ = State::kAccepting;   // guarded by mu_
+  bool stop_ = false;                 // guarded by mu_
+  JobId next_id_ = 1;                 // guarded by mu_
+  std::map<JobId, std::shared_ptr<Job>> jobs_;      // guarded by mu_
+  std::deque<JobId> queue_;                         // guarded by mu_
+  std::map<std::string, Tenant> tenants_;           // guarded by mu_
+  int running_count_ = 0;                           // guarded by mu_
+  int waiters_ = 0;                                 // guarded by mu_
+  int64_t in_flight_bytes_ = 0;                     // guarded by mu_
+  ServiceStats stats_;                              // guarded by mu_
+
+  std::vector<std::thread> runners_;
+  std::thread watchdog_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_SERVICE_SERVICE_H_

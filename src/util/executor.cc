@@ -18,8 +18,19 @@ int64_t NowMicros() {
 // Worker threads submit to their own deque; external threads round-robin.
 thread_local Executor* tls_executor = nullptr;
 thread_local int tls_worker_index = -1;
+// Accounting tag inherited by every Submit from this thread. Workers set
+// it to the running task's tag so nested submits charge the same job.
+thread_local uint64_t tls_tag = 0;
 
 }  // namespace
+
+Executor::TagScope::TagScope(uint64_t tag) : prev_(tls_tag) {
+  tls_tag = tag;
+}
+
+Executor::TagScope::~TagScope() { tls_tag = prev_; }
+
+uint64_t Executor::CurrentTag() { return tls_tag; }
 
 Executor::Executor(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -50,9 +61,15 @@ Executor::~Executor() {
 }
 
 void Executor::Submit(std::function<void()> fn, Priority priority) {
+  Submit(std::move(fn), priority, tls_tag);
+}
+
+void Executor::Submit(std::function<void()> fn, Priority priority,
+                      uint64_t tag) {
   Task task;
   task.fn = std::move(fn);
   task.enqueue_micros = NowMicros();
+  task.tag = tag;
   int target;
   if (tls_executor == this && tls_worker_index >= 0) {
     target = tls_worker_index;
@@ -66,6 +83,15 @@ void Executor::Submit(std::function<void()> fn, Priority priority) {
     w.queues[static_cast<int>(priority)].push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  // Waiters evaluate their predicate on pending_ while holding idle_mu_
+  // and only then block. pending_ was bumped outside the mutex, so a
+  // bare notify could land in the window between a waiter's predicate
+  // check (saw the old count) and its block — a lost wakeup that leaves
+  // a worker (or the destructor's drain wait) asleep with work queued.
+  // Passing through the mutex, even empty-handed, closes the window: the
+  // waiter either already blocked (the notify reaches it) or has not yet
+  // locked and will re-read the new count.
+  { std::lock_guard<std::mutex> lock(idle_mu_); }
   idle_cv_.notify_all();
 }
 
@@ -141,10 +167,30 @@ void Executor::WorkerLoop(int self) {
       // the destructor's drain wait can't return while a task is queued.
       const int64_t left =
           pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-      task.fn();
+      {
+        TagScope scope(task.tag);
+        if (task.tag != 0) {
+          const int64_t begin = NowMicros();
+          task.fn();
+          const int64_t busy = NowMicros() - begin;
+          std::lock_guard<std::mutex> lock(tag_mu_);
+          TagStats& ts = tag_stats_[task.tag];
+          ++ts.tasks_executed;
+          ts.busy_micros += busy;
+        } else {
+          task.fn();
+        }
+      }
       task.fn = nullptr;
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
-      if (left == 0) idle_cv_.notify_all();
+      if (left == 0) {
+        // Same lost-wakeup hazard as Submit, mirrored: the destructor's
+        // drain predicate reads pending_ under idle_mu_; pass through
+        // the mutex so this notify can't slip into its check-then-block
+        // window.
+        { std::lock_guard<std::mutex> lock(idle_mu_); }
+        idle_cv_.notify_all();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mu_);
@@ -154,6 +200,12 @@ void Executor::WorkerLoop(int self) {
     });
     if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
   }
+}
+
+TagStats Executor::tag_stats(uint64_t tag) const {
+  std::lock_guard<std::mutex> lock(tag_mu_);
+  auto it = tag_stats_.find(tag);
+  return it == tag_stats_.end() ? TagStats{} : it->second;
 }
 
 ExecutorStats Executor::stats() const {
@@ -236,14 +288,14 @@ Throttle::Throttle(Executor* executor, int max_in_flight,
 
 void Throttle::Launch(const std::shared_ptr<State>& state,
                       Executor* executor, Executor::Priority priority,
-                      std::function<void()> fn) {
+                      std::function<void()> fn, uint64_t tag) {
   executor->Submit(
       [state, executor, priority, fn = std::move(fn)]() mutable {
         fn();
         fn = nullptr;
         // Keep the slot if work is pending: chain straight into the
         // next task rather than releasing and re-acquiring.
-        std::function<void()> next;
+        PendingTask next;
         {
           std::lock_guard<std::mutex> lock(state->mu);
           if (state->pending.empty()) {
@@ -253,21 +305,22 @@ void Throttle::Launch(const std::shared_ptr<State>& state,
           next = std::move(state->pending.front());
           state->pending.pop_front();
         }
-        Launch(state, executor, priority, std::move(next));
+        Launch(state, executor, priority, std::move(next.fn), next.tag);
       },
-      priority);
+      priority, tag);
 }
 
 void Throttle::Submit(std::function<void()> fn) {
+  const uint64_t tag = Executor::CurrentTag();
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->in_flight >= max_in_flight_) {
-      state_->pending.push_back(std::move(fn));
+      state_->pending.push_back(PendingTask{std::move(fn), tag});
       return;
     }
     ++state_->in_flight;
   }
-  Launch(state_, executor_, priority_, std::move(fn));
+  Launch(state_, executor_, priority_, std::move(fn), tag);
 }
 
 void ReadySignal::Notify() {

@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace gesall {
@@ -51,6 +52,15 @@ struct ExecutorStats {
   int64_t tasks_stolen = 0;
   /// Total submit-to-dequeue latency across tasks.
   int64_t queue_wait_micros = 0;
+};
+
+/// \brief Per-tag accounting (see Executor::TagScope): how much executor
+/// capacity the tasks carrying one tag have consumed. The service layer
+/// tags every job's tasks with the job id and charges busy_micros against
+/// the owning tenant's quota for weighted-fair scheduling.
+struct TagStats {
+  int64_t tasks_executed = 0;
+  int64_t busy_micros = 0;
 };
 
 /// \brief Fixed-size work-stealing thread pool with task priorities.
@@ -70,9 +80,35 @@ class Executor {
 
   void Submit(std::function<void()> fn,
               Priority priority = Priority::kNormal);
+  /// Submit with an explicit accounting tag instead of the calling
+  /// thread's current one — used by Throttle, whose queued tasks launch
+  /// from whichever worker frees a slot, not from the submitter.
+  void Submit(std::function<void()> fn, Priority priority, uint64_t tag);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
   ExecutorStats stats() const;
+
+  /// Accounting consumed by tasks tagged `tag` on this executor (tag 0,
+  /// the default, is not tracked). Tasks submitted while a TagScope is
+  /// active inherit its tag, including nested submits from inside a
+  /// tagged task — the tag follows the work across workers and steals.
+  TagStats tag_stats(uint64_t tag) const;
+
+  /// The calling thread's current accounting tag (0 outside any scope).
+  static uint64_t CurrentTag();
+
+  /// \brief RAII accounting scope: tasks submitted (transitively) by
+  /// this thread while the scope is live carry `tag`.
+  class TagScope {
+   public:
+    explicit TagScope(uint64_t tag);
+    ~TagScope();
+    TagScope(const TagScope&) = delete;
+    TagScope& operator=(const TagScope&) = delete;
+
+   private:
+    uint64_t prev_;
+  };
 
   /// The process-lifetime executor (max(4, hardware_concurrency)
   /// workers), created on first use and intentionally never destroyed.
@@ -86,6 +122,7 @@ class Executor {
   struct Task {
     std::function<void()> fn;
     int64_t enqueue_micros = 0;
+    uint64_t tag = 0;
   };
   struct Worker {
     std::mutex mu;
@@ -108,6 +145,9 @@ class Executor {
   std::atomic<int64_t> steals_{0};
   std::atomic<int64_t> tasks_stolen_{0};
   std::atomic<int64_t> queue_wait_micros_{0};
+
+  mutable std::mutex tag_mu_;
+  std::unordered_map<uint64_t, TagStats> tag_stats_;  // guarded by tag_mu_
 };
 
 /// \brief Completion token for a batch of executor tasks.
@@ -166,14 +206,22 @@ class Throttle {
   int max_in_flight() const { return max_in_flight_; }
 
  private:
+  // Pending tasks keep the accounting tag captured at Submit() time:
+  // a queued task launches from whichever worker frees a slot (possibly
+  // running a differently-tagged job), so the submitter's tag must
+  // travel with the closure instead of being re-read from the launcher.
+  struct PendingTask {
+    std::function<void()> fn;
+    uint64_t tag = 0;
+  };
   struct State {
     std::mutex mu;
-    std::deque<std::function<void()>> pending;
+    std::deque<PendingTask> pending;
     int in_flight = 0;
   };
   static void Launch(const std::shared_ptr<State>& state,
                      Executor* executor, Executor::Priority priority,
-                     std::function<void()> fn);
+                     std::function<void()> fn, uint64_t tag);
 
   std::shared_ptr<State> state_;
   Executor* executor_;

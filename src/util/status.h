@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kCancelled,
+  kUnavailable,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("IOError", ...).
@@ -73,6 +74,11 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// Transient overload shed: the caller should back off and retry
+  /// (the service layer's admission-control rejection).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -88,6 +94,8 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Renders like "IOError: disk unreachable" (or "OK").
   std::string ToString() const;

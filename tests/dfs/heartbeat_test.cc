@@ -1,0 +1,102 @@
+// HeartbeatDriver: the DFS failure-detection clock decoupled from
+// pipeline rounds. The regression this guards: before the driver, Tick
+// only ran at round boundaries, so a node that crashed on an idle
+// cluster was never declared dead and its blocks never re-replicated
+// until the next job happened to run.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "dfs/dfs.h"
+#include "dfs/heartbeat.h"
+#include "util/fault_injection.h"
+
+namespace gesall {
+namespace {
+
+DfsOptions MakeOptions() {
+  DfsOptions dopt;
+  dopt.block_size = 1024;
+  dopt.replication = 2;
+  dopt.num_data_nodes = 4;
+  dopt.heartbeat_miss_threshold = 1;
+  return dopt;
+}
+
+std::string Blob(size_t n) { return std::string(n, 'x'); }
+
+TEST(HeartbeatDriverTest, IdleClusterStillDetectsCrashedNodes) {
+  Dfs dfs(MakeOptions());
+  ASSERT_TRUE(dfs.Write("/data/file", Blob(8 * 1024)).ok());
+  ASSERT_TRUE(dfs.CrashNode(1).ok());
+
+  // No pipeline, no reads, no writes: only the driver's clock runs.
+  HeartbeatDriver driver(&dfs);
+  ASSERT_TRUE(driver.TickNow(3).ok());
+  EXPECT_EQ(driver.ticks(), 3);
+  EXPECT_TRUE(driver.last_error().ok());
+
+  DfsStats stats = dfs.stats();
+  EXPECT_EQ(stats.nodes_declared_dead, 1);
+  // The scrubber restored replication for the dead node's blocks.
+  EXPECT_GT(stats.blocks_re_replicated, 0);
+  // And the data stayed readable throughout.
+  auto data = dfs.Read("/data/file");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.ValueOrDie().size(), 8u * 1024);
+}
+
+TEST(HeartbeatDriverTest, HealthyIdleClusterIsNeverDeclaredDead) {
+  Dfs dfs(MakeOptions());
+  ASSERT_TRUE(dfs.Write("/data/file", Blob(4 * 1024)).ok());
+  HeartbeatDriver driver(&dfs);
+  // An idle node is NOT a silent node: healthy nodes heartbeat on every
+  // tick, so an arbitrarily long idle period declares nobody dead.
+  ASSERT_TRUE(driver.TickNow(50).ok());
+  EXPECT_EQ(dfs.stats().nodes_declared_dead, 0);
+  EXPECT_EQ(dfs.stats().blocks_re_replicated, 0);
+}
+
+TEST(HeartbeatDriverTest, ScheduledCrashFiresFromDriverTicksAlone) {
+  FaultInjector injector(7);
+  Dfs dfs(MakeOptions());
+  dfs.set_fault_injector(&injector);
+  ASSERT_TRUE(dfs.Write("/data/file", Blob(8 * 1024)).ok());
+  injector.ArmSchedule(kFaultNodeCrash, 2, {0});
+
+  HeartbeatDriver driver(&dfs);
+  ASSERT_TRUE(driver.TickNow(2).ok());
+  EXPECT_EQ(dfs.stats().nodes_declared_dead, 1);
+  dfs.set_fault_injector(nullptr);
+}
+
+TEST(HeartbeatDriverTest, BackgroundThreadTicksUntilStopped) {
+  Dfs dfs(MakeOptions());
+  HeartbeatDriver driver(&dfs);
+  EXPECT_FALSE(driver.running());
+  driver.Start(1);
+  EXPECT_TRUE(driver.running());
+  // Idempotent start.
+  driver.Start(1);
+  while (driver.ticks() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  driver.Stop();
+  EXPECT_FALSE(driver.running());
+  const int64_t frozen = driver.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(driver.ticks(), frozen);
+  EXPECT_TRUE(driver.last_error().ok());
+  // Restartable after Stop.
+  driver.Start(1);
+  while (driver.ticks() <= frozen) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  driver.Stop();
+}
+
+}  // namespace
+}  // namespace gesall

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -320,6 +321,102 @@ TEST(ExecutorTest, SharedIsSingletonAndCountsInstances) {
     Executor local(1);
     EXPECT_EQ(Executor::instances_created(), before + 1);
   }
+}
+
+// Shutdown-race regression (run under TSan in the sanitizer matrix):
+// destruction while producers are still submitting and ReadySignal
+// waiters are pending must drain every accepted task exactly once. The
+// original bug: Submit bumped the atomic pending_ counter and notified
+// idle_cv_ without passing through idle_mu_, so a drain waiter that had
+// just evaluated its predicate could miss the wake-up and block forever.
+TEST(ExecutorTest, ShutdownRacesWithSubmittersAndSignalWaiters) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    auto signal = std::make_shared<ReadySignal>();
+    {
+      Executor executor(3);
+      // Tasks queued behind a ReadySignal callback chain.
+      for (int i = 0; i < 8; ++i) {
+        signal->OnReady([&executed] { executed.fetch_add(1); });
+      }
+      // Concurrent producers racing the destructor's drain.
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&executor, &executed, &accepted, signal] {
+          for (int i = 0; i < 40; ++i) {
+            executor.Submit([&executed] { executed.fetch_add(1); });
+            accepted.fetch_add(1);
+          }
+          signal->Notify();
+        });
+      }
+      for (auto& t : producers) t.join();
+      // Destructor runs here with a full queue and fired signal.
+    }
+    EXPECT_EQ(executed.load(), accepted.load() + 8) << "round " << round;
+  }
+}
+
+TEST(ExecutorTest, TagScopeChargesWorkToTheTag) {
+  Executor executor(2);
+  constexpr uint64_t kTag = 42;
+  EXPECT_EQ(Executor::CurrentTag(), 0u);
+  std::atomic<int> done{0};
+  {
+    Executor::TagScope scope(kTag);
+    EXPECT_EQ(Executor::CurrentTag(), kTag);
+    for (int i = 0; i < 10; ++i) {
+      executor.Submit([&done] {
+        // Tag inheritance: work submitted from inside a tagged task is
+        // charged to the same tag.
+        EXPECT_EQ(Executor::CurrentTag(), 42u);
+        std::this_thread::sleep_for(milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(Executor::CurrentTag(), 0u);
+  while (done.load() < 10) std::this_thread::yield();
+  // Untagged work is not charged anywhere.
+  std::atomic<bool> fenced{false};
+  executor.Submit([&fenced] { fenced = true; });
+  while (!fenced.load()) std::this_thread::yield();
+  TagStats stats = executor.tag_stats(kTag);
+  EXPECT_EQ(stats.tasks_executed, 10);
+  EXPECT_GT(stats.busy_micros, 0);
+  EXPECT_EQ(executor.tag_stats(7777).tasks_executed, 0);
+}
+
+TEST(ThrottleTest, QueuedTasksKeepTheSubmittersTag) {
+  Executor executor(2);
+  Throttle throttle(&executor, 1);
+  std::atomic<int> done{0};
+  // Saturate the single slot from tag 1; the queued tasks launch later
+  // from whichever worker frees the slot, but must still be charged to
+  // the tag captured at Throttle::Submit time.
+  {
+    Executor::TagScope scope(1);
+    for (int i = 0; i < 6; ++i) {
+      throttle.Submit([&done] {
+        EXPECT_EQ(Executor::CurrentTag(), 1u);
+        std::this_thread::sleep_for(milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }
+  {
+    Executor::TagScope scope(2);
+    for (int i = 0; i < 6; ++i) {
+      throttle.Submit([&done] {
+        EXPECT_EQ(Executor::CurrentTag(), 2u);
+        done.fetch_add(1);
+      });
+    }
+  }
+  while (done.load() < 12) std::this_thread::yield();
+  EXPECT_EQ(executor.tag_stats(1).tasks_executed, 6);
+  EXPECT_EQ(executor.tag_stats(2).tasks_executed, 6);
 }
 
 TEST(ExecutorTest, StatsCountQueueWaitAndExecution) {

@@ -1,0 +1,456 @@
+// Durability/recovery benchmark: what does crash safety cost, and what
+// does a restart cost? Three phases:
+//
+//  1. journal   — JournaledStore replay time vs mutation count
+//                 (1k/10k/50k records), full-journal vs
+//                 snapshot-compacted. Gated: compaction bounds replayed
+//                 records by the snapshot interval and both paths
+//                 recover identical state.
+//  2. dfs       — a durable DFS holding a few hundred files is killed
+//                 (SimulateCrash) and rebuilt from fsimage + editlog.
+//                 Gated: every file byte-identical after recovery.
+//  3. service   — the paper pipeline through gesalld, killed after
+//                 rounds 1-2 sealed their DFS manifests, then rebuilt.
+//                 Gated: resumed output byte-identical to a crash-free
+//                 run, sealed rounds skipped (alignment kernel never
+//                 re-runs), and the resumed leg cheaper than a cold run.
+//
+// Writes BENCH_recovery.json; exits non-zero if any gate fails.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report.h"
+#include "genome/read_simulator.h"
+#include "genome/reference_generator.h"
+#include "service/service.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/wal.h"
+
+namespace gesall {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+constexpr uint64_t kSeed = 7103;
+
+std::string TempRoot(const std::string& leaf) {
+  return (stdfs::temp_directory_path() / ("gesall_bench_recovery_" + leaf))
+      .string();
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: journal replay scaling.
+
+struct ReplayPoint {
+  int64_t records_appended = 0;
+  double append_seconds = 0;
+  double replay_seconds = 0;
+  int64_t records_replayed = 0;
+  int64_t snapshots = 0;
+  uint64_t state = 0;  // recovered accumulator, for cross-checking
+};
+
+// Accumulator state machine: each record adds its decimal payload into
+// a running sum; the snapshot is the sum itself. Deliberately trivial so
+// the measurement isolates framing + fsync + replay I/O.
+ReplayPoint RunJournalPoint(int64_t num_records, int snapshot_every) {
+  ReplayPoint point;
+  const std::string dir =
+      TempRoot("journal_" + std::to_string(num_records) + "_" +
+               std::to_string(snapshot_every));
+  stdfs::remove_all(dir);
+
+  DurabilityOptions options;
+  options.root_dir = dir;
+  options.snapshot_every_records = snapshot_every;
+  options.fsync_every_records = 64;  // batched: measuring replay, not fsync
+
+  uint64_t sum = 0;
+  auto load = [&sum](std::string_view payload) {
+    sum = std::stoull(std::string(payload));
+    return Status::OK();
+  };
+  auto apply = [&sum](std::string_view payload) {
+    sum += std::stoull(std::string(payload));
+    return Status::OK();
+  };
+
+  {
+    JournaledStore store(dir, options);
+    if (!store.Recover(load, apply).ok()) return point;
+    Stopwatch timer;
+    Rng rng(kSeed + static_cast<uint64_t>(num_records));
+    for (int64_t i = 0; i < num_records; ++i) {
+      const uint64_t value = rng.Next() % 1000;
+      sum += value;
+      if (!store.Append(std::to_string(value)).ok()) return point;
+      if (store.ShouldCheckpoint()) {
+        if (!store.Checkpoint(std::to_string(sum)).ok()) return point;
+      }
+    }
+    if (!store.Sync().ok()) return point;
+    point.append_seconds = timer.ElapsedSeconds();
+    point.records_appended = num_records;
+    point.snapshots = store.snapshots_written();
+  }
+
+  const uint64_t written_sum = sum;
+  sum = 0;
+  JournaledStore store(dir, options);
+  Stopwatch timer;
+  if (!store.Recover(load, apply).ok()) return point;
+  point.replay_seconds = timer.ElapsedSeconds();
+  point.records_replayed = store.replay_stats().records;
+  point.state = sum;
+  if (sum != written_sum) point.records_appended = 0;  // poison the gate
+  stdfs::remove_all(dir);
+  return point;
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: DFS kill-and-restart.
+
+struct DfsPoint {
+  int files = 0;
+  int64_t bytes = 0;
+  double write_seconds = 0;
+  double recover_seconds = 0;
+  int64_t journal_replayed = 0;
+  bool identical = false;
+};
+
+DfsPoint RunDfsPoint(int num_files, int file_bytes) {
+  DfsPoint point;
+  const std::string dir = TempRoot("dfs");
+  stdfs::remove_all(dir);
+
+  DfsOptions options;
+  options.block_size = 64 * 1024;
+  options.replication = 2;
+  options.num_data_nodes = 4;
+  options.durability.root_dir = dir;
+  Dfs dfs(options);
+
+  Rng rng(kSeed);
+  std::vector<std::string> paths;
+  std::vector<std::string> payloads;
+  Stopwatch timer;
+  for (int i = 0; i < num_files; ++i) {
+    std::string data(static_cast<size_t>(file_bytes), '\0');
+    for (char& c : data) c = static_cast<char>('A' + rng.Next() % 26);
+    std::string path = "/bench/file-" + std::to_string(i);
+    if (!dfs.Write(path, data).ok()) return point;
+    paths.push_back(std::move(path));
+    payloads.push_back(std::move(data));
+    point.bytes += file_bytes;
+  }
+  point.write_seconds = timer.ElapsedSeconds();
+  point.files = num_files;
+
+  if (!dfs.SimulateCrash().ok()) return point;
+  timer.Restart();
+  // SimulateCrash already rebuilt from disk; measure a second cold
+  // rebuild so the number covers exactly the recovery path.
+  if (!dfs.SimulateCrash().ok()) return point;
+  point.recover_seconds = timer.ElapsedSeconds();
+  point.journal_replayed = dfs.recovery_stats().journal_records_replayed;
+
+  point.identical = true;
+  for (int i = 0; i < num_files; ++i) {
+    auto read = dfs.Read(paths[static_cast<size_t>(i)]);
+    if (!read.ok() ||
+        read.ValueOrDie() != payloads[static_cast<size_t>(i)]) {
+      point.identical = false;
+      break;
+    }
+  }
+  stdfs::remove_all(dir);
+  return point;
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: service kill-and-restart at round granularity.
+
+std::vector<std::string> VariantKeys(const std::vector<VariantRecord>& vs) {
+  std::vector<std::string> keys;
+  keys.reserve(vs.size());
+  for (const auto& v : vs) {
+    std::ostringstream os;
+    os << v.Key() << "@" << v.qual;
+    keys.push_back(os.str());
+  }
+  return keys;
+}
+
+struct ServicePoint {
+  double cold_seconds = 0;     // crash-free run through the service
+  double resume_seconds = 0;   // restart-to-completion after the kill
+  int64_t rounds_skipped = 0;
+  int64_t align_calls_on_resume = 0;
+  int64_t jobs_recovered = 0;
+  bool identical = false;
+  bool ok = false;
+};
+
+ServicePoint RunServicePoint(const ReferenceGenome& ref,
+                             const GenomeIndex& index,
+                             const SimulatedSample& sample,
+                             const std::vector<std::string>& baseline_keys) {
+  ServicePoint point;
+  const std::string root = TempRoot("service");
+  stdfs::remove_all(root);
+
+  DfsOptions dopt;
+  dopt.block_size = 64 * 1024;
+  dopt.replication = 2;
+  dopt.num_data_nodes = 4;
+  dopt.durability.root_dir = root + "/dfs";
+  Dfs dfs(dopt);
+
+  auto make_job = [&sample] {
+    JobSpec spec;
+    spec.tenant = "bench";
+    spec.mate1 = sample.mate1;
+    spec.mate2 = sample.mate2;
+    spec.pipeline.alignment_partitions = 2;
+    spec.pipeline.max_parallel_tasks = 2;
+    return spec;
+  };
+
+  // Cold leg: an identical durable service runs the job crash-free.
+  {
+    ServiceConfig config;
+    config.max_running_jobs = 1;
+    config.durability.root_dir = root + "/cold";
+    GesallService service(ref, index, &dfs, config);
+    if (!service.recovery_status().ok()) return point;
+    auto id = service.Submit(make_job());
+    if (!id.ok()) return point;
+    Stopwatch timer;
+    auto out = service.Wait(id.ValueOrDie());
+    if (!out.ok() || !out.ValueOrDie().status.ok()) return point;
+    point.cold_seconds = timer.ElapsedSeconds();
+    if (VariantKeys(out.ValueOrDie().variants) != baseline_keys) return point;
+  }
+
+  // Crash leg: hold the pipeline between rounds 2 and 3, kill, rebuild.
+  std::mutex hook_mu;
+  std::condition_variable hook_cv;
+  bool reached_round2 = false;
+  bool crash_landed = false;
+
+  ServiceConfig config;
+  config.max_running_jobs = 1;
+  config.durability.root_dir = root + "/svc";
+  config.round_complete_hook = [&](JobId, int round_index,
+                                   const std::string&) {
+    if (round_index != kRoundCleaning) return;
+    std::unique_lock<std::mutex> lock(hook_mu);
+    reached_round2 = true;
+    hook_cv.notify_all();
+    hook_cv.wait(lock, [&] { return crash_landed; });
+  };
+
+  JobId job = 0;
+  {
+    GesallService service(ref, index, &dfs, config);
+    if (!service.recovery_status().ok()) return point;
+    auto id = service.Submit(make_job());
+    if (!id.ok()) return point;
+    job = id.ValueOrDie();
+    {
+      std::unique_lock<std::mutex> lock(hook_mu);
+      hook_cv.wait(lock, [&] { return reached_round2; });
+    }
+    std::thread crasher([&] { (void)service.SimulateCrash(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    {
+      std::lock_guard<std::mutex> lock(hook_mu);
+      crash_landed = true;
+    }
+    hook_cv.notify_all();
+    crasher.join();
+  }
+
+  if (!dfs.SimulateCrash().ok()) return point;
+  ServiceConfig fresh;
+  fresh.max_running_jobs = 1;
+  fresh.durability.root_dir = root + "/svc";
+  Stopwatch timer;
+  GesallService service(ref, index, &dfs, fresh);
+  if (!service.recovery_status().ok()) return point;
+  point.jobs_recovered = service.recovery_stats().jobs_recovered;
+  auto out = service.Wait(job);
+  point.resume_seconds = timer.ElapsedSeconds();
+  if (!out.ok() || !out.ValueOrDie().status.ok()) return point;
+  const JobOutput& resumed = out.ValueOrDie();
+  point.rounds_skipped = resumed.counters.Get("round_skipped_on_resume");
+  point.align_calls_on_resume = resumed.counters.Get("align_kernel_calls");
+  point.identical = VariantKeys(resumed.variants) == baseline_keys;
+  point.ok = true;
+  stdfs::remove_all(root);
+  return point;
+}
+
+// ---------------------------------------------------------------------
+
+void PrintJson(std::FILE* f, const std::vector<ReplayPoint>& full,
+               const std::vector<ReplayPoint>& compacted,
+               const DfsPoint& dfs, const ServicePoint& svc) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"recovery\",\n");
+  std::fprintf(f, "  \"journal\": [\n");
+  auto row = [f](const ReplayPoint& p, const char* mode, bool last) {
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"records\": %lld, "
+                 "\"append_seconds\": %.4f, \"replay_seconds\": %.4f, "
+                 "\"records_replayed\": %lld, \"snapshots\": %lld}%s\n",
+                 mode, static_cast<long long>(p.records_appended),
+                 p.append_seconds, p.replay_seconds,
+                 static_cast<long long>(p.records_replayed),
+                 static_cast<long long>(p.snapshots), last ? "" : ",");
+  };
+  for (size_t i = 0; i < full.size(); ++i) row(full[i], "full", false);
+  for (size_t i = 0; i < compacted.size(); ++i)
+    row(compacted[i], "compacted", i + 1 == compacted.size());
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"dfs\": {\"files\": %d, \"bytes\": %lld, "
+               "\"write_seconds\": %.4f, \"recover_seconds\": %.4f, "
+               "\"journal_replayed\": %lld, \"identical\": %s},\n",
+               dfs.files, static_cast<long long>(dfs.bytes),
+               dfs.write_seconds, dfs.recover_seconds,
+               static_cast<long long>(dfs.journal_replayed),
+               dfs.identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"service\": {\"cold_seconds\": %.4f, "
+               "\"resume_seconds\": %.4f, \"rounds_skipped\": %lld, "
+               "\"align_calls_on_resume\": %lld, \"jobs_recovered\": %lld, "
+               "\"identical\": %s}\n",
+               svc.cold_seconds, svc.resume_seconds,
+               static_cast<long long>(svc.rounds_skipped),
+               static_cast<long long>(svc.align_calls_on_resume),
+               static_cast<long long>(svc.jobs_recovered),
+               svc.identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  bench::Title("recovery: journal replay, DFS rebuild, round-level resume");
+
+  // Phase 1 ------------------------------------------------------------
+  bench::Note("phase 1: journal replay scaling (full vs compacted)");
+  const int64_t kCounts[] = {1'000, 10'000, 50'000};
+  std::vector<ReplayPoint> full;
+  std::vector<ReplayPoint> compacted;
+  for (int64_t n : kCounts) {
+    full.push_back(RunJournalPoint(n, /*snapshot_every=*/0));
+    compacted.push_back(RunJournalPoint(n, /*snapshot_every=*/1024));
+    std::printf("  %6lld records: full replay %.1f ms (%lld recs), "
+                "compacted %.1f ms (%lld recs, %lld snapshots)\n",
+                static_cast<long long>(n), full.back().replay_seconds * 1e3,
+                static_cast<long long>(full.back().records_replayed),
+                compacted.back().replay_seconds * 1e3,
+                static_cast<long long>(compacted.back().records_replayed),
+                static_cast<long long>(compacted.back().snapshots));
+  }
+
+  // Phase 2 ------------------------------------------------------------
+  bench::Note("phase 2: DFS kill-and-restart (400 files x 8 KiB)");
+  const DfsPoint dfs = RunDfsPoint(/*num_files=*/400, /*file_bytes=*/8192);
+  std::printf("  wrote %d files (%.1f MiB) in %.1f ms, recovered in "
+              "%.1f ms (%lld journal records)\n",
+              dfs.files, static_cast<double>(dfs.bytes) / (1 << 20),
+              dfs.write_seconds * 1e3, dfs.recover_seconds * 1e3,
+              static_cast<long long>(dfs.journal_replayed));
+
+  // Phase 3 ------------------------------------------------------------
+  bench::Note("phase 3: service kill after round 2, resume from manifests");
+  ReferenceGeneratorOptions ro;
+  ro.num_chromosomes = 1;
+  ro.chromosome_length = 20'000;
+  ReferenceGenome ref = GenerateReference(ro);
+  DonorGenome donor = PlantVariants(ref, VariantPlanterOptions{});
+  ReadSimulatorOptions so;
+  so.coverage = 5.0;
+  SimulatedSample sample = SimulateReads(donor, so);
+  GenomeIndex index(ref);
+
+  std::vector<std::string> baseline_keys;
+  {
+    Dfs mem(DfsOptions{});
+    PipelineConfig config;
+    config.alignment_partitions = 2;
+    config.max_parallel_tasks = 2;
+    GesallPipeline baseline(ref, index, &mem, config);
+    if (!baseline.LoadSample(sample.mate1, sample.mate2).ok()) return 1;
+    auto variants = baseline.RunAll();
+    if (!variants.ok()) return 1;
+    baseline_keys = VariantKeys(variants.ValueOrDie());
+  }
+  const ServicePoint svc = RunServicePoint(ref, index, sample, baseline_keys);
+  std::printf("  cold run %s, resumed leg %s (skipped %lld rounds, "
+              "%lld jobs recovered)\n",
+              bench::Hms(svc.cold_seconds).c_str(),
+              bench::Hms(svc.resume_seconds).c_str(),
+              static_cast<long long>(svc.rounds_skipped),
+              static_cast<long long>(svc.jobs_recovered));
+
+  // Gates --------------------------------------------------------------
+  bool ok = true;
+  bool journal_ok = true;
+  for (size_t i = 0; i < full.size(); ++i) {
+    journal_ok &= full[i].records_appended == kCounts[i] &&
+                  full[i].records_replayed == kCounts[i];
+    journal_ok &= compacted[i].records_appended == kCounts[i] &&
+                  compacted[i].records_replayed <= 1024 &&
+                  (kCounts[i] < 1024 || compacted[i].snapshots > 0);
+    journal_ok &= full[i].state == compacted[i].state;
+  }
+  ok &= bench::Check(journal_ok,
+                     "snapshot compaction bounds replay to <= one snapshot "
+                     "interval with identical recovered state");
+  ok &= bench::Check(
+      full.back().replay_seconds < full.back().append_seconds * 4 + 1.0,
+      "replay of 50k records stays within 4x append cost (+1s slack)");
+  ok &= bench::Check(dfs.identical && dfs.files == 400,
+                     "all 400 DFS files byte-identical after kill-restart");
+  ok &= bench::Check(svc.ok && svc.identical,
+                     "resumed job output byte-identical to crash-free run");
+  ok &= bench::Check(svc.rounds_skipped >= 2 &&
+                         svc.align_calls_on_resume == 0,
+                     "sealed rounds skipped on resume (alignment kernel "
+                     "never re-ran)");
+  ok &= bench::Check(svc.jobs_recovered == 1,
+                     "job log recovered exactly the mid-flight job");
+  ok &= bench::Check(svc.resume_seconds < svc.cold_seconds + 0.5,
+                     "resumed leg no slower than a cold run (+0.5s slack)");
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_recovery.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    PrintJson(f, full, compacted, dfs, svc);
+    std::fclose(f);
+    bench::Note(std::string("wrote ") + out_path);
+  } else {
+    bench::Check(false, std::string("failed to open ") + out_path);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gesall
+
+int main(int argc, char** argv) { return gesall::Main(argc, argv); }

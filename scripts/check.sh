@@ -10,11 +10,15 @@
 # The sanitizer builds live in build-asan/, build-ubsan/ and
 # build-tsan/ so they never pollute the regular build directory, and
 # only build the suites that exercise the risky machinery.
-#   - ASan (mr_test, util_test, align_test): arena lifetime bugs — views
-#     outliving a spill, combiner emits into a moved arena — are exactly
-#     what ASan catches and what the plain build can silently survive;
-#     the banded SIMD aligner's scratch-buffer reuse and unaligned vector
-#     loads get the same treatment via the differential suite.
+#   - ASan (mr_test, util_test, align_test, dfs_test, service_test):
+#     arena lifetime bugs — views outliving a spill, combiner emits into
+#     a moved arena — are exactly what ASan catches and what the plain
+#     build can silently survive; the banded SIMD aligner's
+#     scratch-buffer reuse and unaligned vector loads get the same
+#     treatment via the differential suite. The dfs and service suites
+#     cover the durability layer: journal replay over torn tails,
+#     SimulateCrash teardown/rebuild, and job-log recovery all juggle
+#     raw FILE* handles and buffers whose misuse ASan surfaces.
 #   - UBSan (dfs_test, mr_test, align_test): the integrity layer's
 #     checksum kernels (unaligned word loads, table folds, shift
 #     combines), the fault-injection arithmetic, and the 16-bit
@@ -50,12 +54,15 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure --timeout 1200
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "=== asan: shuffle engine + aligner suites ==="
+  echo "=== asan: shuffle engine + aligner + durability suites ==="
   cmake -B build-asan -S . -DGESALL_SANITIZE=address
-  cmake --build build-asan -j --target mr_test util_test align_test
+  cmake --build build-asan -j --target mr_test util_test align_test \
+    dfs_test service_test
   ./build-asan/tests/mr_test
   ./build-asan/tests/util_test
   ./build-asan/tests/align_test
+  ./build-asan/tests/dfs_test
+  ./build-asan/tests/service_test
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <system_error>
 
 #include "util/crc32c.h"
 #include "util/executor.h"
 #include "util/fault_injection.h"
+#include "util/io.h"
 #include "util/rng.h"
 
 namespace gesall {
@@ -64,6 +67,7 @@ Status Dfs::ValidateOptions(const DfsOptions& o) {
   if (o.heartbeat_miss_threshold < 1) {
     return Status::InvalidArgument("heartbeat_miss_threshold must be >= 1");
   }
+  GESALL_RETURN_NOT_OK(ValidateDurabilityOptions(o.durability));
   return Status::OK();
 }
 
@@ -72,12 +76,23 @@ Dfs::Dfs(DfsOptions options)
   if (!init_status_.ok()) return;
   nodes_.resize(options_.num_data_nodes);
   health_.resize(options_.num_data_nodes);
+  if (options_.durability.enabled()) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    init_status_ = RecoverLocked();
+  }
 }
 
 namespace {
 // Chunk counts below this run serially: the executor round trip costs
 // more than a few CRC sweeps.
 constexpr size_t kMinParallelChunks = 4;
+
+// Namespace journal opcodes (HDFS editlog analog). Values are on-disk
+// format; never renumber.
+constexpr uint8_t kOpCreateFile = 1;
+constexpr uint8_t kOpDeleteFile = 2;
+constexpr uint8_t kOpAddReplica = 3;
+constexpr uint8_t kOpRemoveReplica = 4;
 }  // namespace
 
 std::vector<uint32_t> Dfs::ChunkSums(std::string_view data) const {
@@ -178,6 +193,25 @@ Status Dfs::Write(const std::string& path, std::string_view data,
     meta.blocks.push_back(id);
   }
   files_[path] = std::move(meta);
+  if (store_ != nullptr) {
+    // Durability order: payload files land (fsync'd) before the create
+    // record. A crash in between leaves orphan payloads (harmless); the
+    // reverse order would let replay resurrect a file without bytes.
+    const FileMeta& fm = files_.at(path);
+    for (size_t b = 0; b < fm.blocks.size(); ++b) {
+      GESALL_RETURN_NOT_OK(
+          WriteDurableFile(BlockPayloadPath(fm.blocks[b]), pending[b].bytes));
+    }
+    std::string rec;
+    BufferWriter w(&rec);
+    w.PutU8(kOpCreateFile);
+    w.PutString(path);
+    w.PutI64(size);
+    w.PutU32(static_cast<uint32_t>(fm.blocks.size()));
+    for (int64_t id : fm.blocks) EncodeBlock(&w, id, blocks_.at(id));
+    GESALL_RETURN_NOT_OK(JournalLocked(rec));
+    MaybeCheckpointLocked();
+  }
   return Status::OK();
 }
 
@@ -237,6 +271,18 @@ void Dfs::QuarantineReplicaLocked(int64_t block_id, BlockMeta* bm,
   verified_.erase({block_id, node});
   bm->replicas.erase(bm->replicas.begin() + static_cast<int64_t>(ri));
   ++stats_.replicas_quarantined;
+  if (store_ != nullptr) {
+    // Best-effort: the canonical payload file is never rotted (injected
+    // corruption flips in-memory replica bytes only), so a lost
+    // quarantine record merely resurrects a replica that re-verifies
+    // clean from its payload on recovery.
+    std::string rec;
+    BufferWriter w(&rec);
+    w.PutU8(kOpRemoveReplica);
+    w.PutI64(block_id);
+    w.PutI32(node);
+    JournalBestEffortLocked(rec);
+  }
 }
 
 bool Dfs::VerifyReplicaLocked(int64_t block_id, BlockMeta* bm,
@@ -338,6 +384,14 @@ void Dfs::RepairBlockLocked(int64_t block_id, BlockMeta* bm) {
       nodes_[node].blocks.erase(block_id);
       verified_.erase({block_id, node});
       bm->replicas.erase(bm->replicas.begin() + static_cast<int64_t>(i));
+      if (store_ != nullptr) {
+        std::string rec;
+        BufferWriter w(&rec);
+        w.PutU8(kOpRemoveReplica);
+        w.PutI64(block_id);
+        w.PutI32(node);
+        JournalBestEffortLocked(rec);
+      }
     } else {
       ++i;
     }
@@ -365,6 +419,17 @@ void Dfs::RepairBlockLocked(int64_t block_id, BlockMeta* bm) {
     verified_.insert({block_id, dest});
     ++stats_.blocks_re_replicated;
     stats_.bytes_re_replicated += bm->length;
+    if (store_ != nullptr) {
+      // The clone shares the canonical payload file; only the replica
+      // mapping needs to go durable.
+      std::string rec;
+      BufferWriter w(&rec);
+      w.PutU8(kOpAddReplica);
+      w.PutI64(block_id);
+      w.PutI32(dest);
+      w.PutI32(bm->replicas.back().ordinal);
+      JournalBestEffortLocked(rec);
+    }
   }
 }
 
@@ -409,6 +474,7 @@ Status Dfs::Tick() {
     }
   }
   ScrubLocked();
+  MaybeCheckpointLocked();
   return Status::OK();
 }
 
@@ -447,12 +513,24 @@ bool Dfs::Exists(const std::string& path) const {
 Status Dfs::Delete(const std::string& path) {
   GESALL_RETURN_NOT_OK(init_status_);
   std::lock_guard<std::mutex> lock(health_mu_);
-  return DeleteLocked(path);
+  GESALL_RETURN_NOT_OK(DeleteLocked(path));
+  MaybeCheckpointLocked();
+  return Status::OK();
 }
 
 Status Dfs::DeleteLocked(const std::string& path) {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (store_ != nullptr) {
+    // The delete record goes durable before payload files disappear: a
+    // crash in between leaves orphan payloads, never a live file whose
+    // bytes are gone.
+    std::string rec;
+    BufferWriter w(&rec);
+    w.PutU8(kOpDeleteFile);
+    w.PutString(path);
+    GESALL_RETURN_NOT_OK(JournalLocked(rec));
+  }
   for (int64_t id : it->second.blocks) {
     const BlockMeta& bm = blocks_.at(id);
     for (const Replica& r : bm.replicas) {
@@ -460,6 +538,10 @@ Status Dfs::DeleteLocked(const std::string& path) {
       verified_.erase({id, r.node});
     }
     blocks_.erase(id);
+    if (store_ != nullptr) {
+      std::error_code ec;
+      std::filesystem::remove(BlockPayloadPath(id), ec);
+    }
   }
   files_.erase(it);
   return Status::OK();
@@ -544,6 +626,289 @@ int64_t Dfs::BytesStoredOn(int node) const {
     n += static_cast<int64_t>(bytes.size());
   }
   return n;
+}
+
+// ---------------------------------------------------------------------
+// Durability: namespace journal + snapshots + block payload files.
+
+std::string Dfs::BlockPayloadPath(int64_t block_id) const {
+  return blocks_dir_ + "/blk_" + std::to_string(block_id);
+}
+
+Status Dfs::JournalLocked(std::string_view record) const {
+  GESALL_RETURN_NOT_OK(store_->Append(record));
+  ++stats_.journal_records_appended;
+  return Status::OK();
+}
+
+void Dfs::JournalBestEffortLocked(std::string_view record) const {
+  if (!JournalLocked(record).ok()) ++stats_.journal_append_failures;
+}
+
+void Dfs::MaybeCheckpointLocked() {
+  if (store_ == nullptr || !store_->ShouldCheckpoint()) return;
+  if (store_->Checkpoint(EncodeSnapshotLocked()).ok()) {
+    ++stats_.snapshots_written;
+  } else {
+    ++stats_.journal_append_failures;
+  }
+}
+
+void Dfs::EncodeBlock(BufferWriter* w, int64_t id, const BlockMeta& bm) {
+  w->PutI64(id);
+  w->PutI64(bm.length);
+  w->PutI32(bm.next_ordinal);
+  w->PutU32(static_cast<uint32_t>(bm.chunk_sums.size()));
+  for (uint32_t s : bm.chunk_sums) w->PutU32(s);
+  w->PutU32(static_cast<uint32_t>(bm.replicas.size()));
+  for (const Replica& r : bm.replicas) {
+    w->PutI32(r.node);
+    w->PutI32(r.ordinal);
+  }
+}
+
+Status Dfs::DecodeBlock(BufferReader* r, int64_t* id, BlockMeta* bm) {
+  GESALL_RETURN_NOT_OK(r->GetI64(id));
+  GESALL_RETURN_NOT_OK(r->GetI64(&bm->length));
+  int32_t next_ordinal = 0;
+  GESALL_RETURN_NOT_OK(r->GetI32(&next_ordinal));
+  bm->next_ordinal = next_ordinal;
+  uint32_t n_sums = 0;
+  GESALL_RETURN_NOT_OK(r->GetU32(&n_sums));
+  bm->chunk_sums.resize(n_sums);
+  for (uint32_t i = 0; i < n_sums; ++i) {
+    GESALL_RETURN_NOT_OK(r->GetU32(&bm->chunk_sums[i]));
+  }
+  uint32_t n_replicas = 0;
+  GESALL_RETURN_NOT_OK(r->GetU32(&n_replicas));
+  bm->replicas.resize(n_replicas);
+  for (uint32_t i = 0; i < n_replicas; ++i) {
+    int32_t node = 0;
+    int32_t ordinal = 0;
+    GESALL_RETURN_NOT_OK(r->GetI32(&node));
+    GESALL_RETURN_NOT_OK(r->GetI32(&ordinal));
+    bm->replicas[i] = {node, ordinal};
+  }
+  return Status::OK();
+}
+
+std::string Dfs::EncodeSnapshotLocked() const {
+  std::string out;
+  BufferWriter w(&out);
+  w.PutU32(static_cast<uint32_t>(files_.size()));
+  for (const auto& [path, fm] : files_) {
+    w.PutString(path);
+    w.PutI64(fm.size);
+    w.PutU32(static_cast<uint32_t>(fm.blocks.size()));
+    for (int64_t id : fm.blocks) w.PutI64(id);
+  }
+  w.PutU32(static_cast<uint32_t>(blocks_.size()));
+  for (const auto& [id, bm] : blocks_) EncodeBlock(&w, id, bm);
+  w.PutI64(next_block_id_);
+  w.PutI64(tick_);
+  return out;
+}
+
+Status Dfs::ApplySnapshotLocked(std::string_view payload) {
+  BufferReader r(payload);
+  uint32_t n_files = 0;
+  GESALL_RETURN_NOT_OK(r.GetU32(&n_files));
+  for (uint32_t i = 0; i < n_files; ++i) {
+    std::string path;
+    GESALL_RETURN_NOT_OK(r.GetString(&path));
+    FileMeta fm;
+    GESALL_RETURN_NOT_OK(r.GetI64(&fm.size));
+    uint32_t n_blocks = 0;
+    GESALL_RETURN_NOT_OK(r.GetU32(&n_blocks));
+    fm.blocks.resize(n_blocks);
+    for (uint32_t b = 0; b < n_blocks; ++b) {
+      GESALL_RETURN_NOT_OK(r.GetI64(&fm.blocks[b]));
+    }
+    files_[path] = std::move(fm);
+  }
+  uint32_t n_blocks = 0;
+  GESALL_RETURN_NOT_OK(r.GetU32(&n_blocks));
+  for (uint32_t b = 0; b < n_blocks; ++b) {
+    int64_t id = 0;
+    BlockMeta bm;
+    GESALL_RETURN_NOT_OK(DecodeBlock(&r, &id, &bm));
+    blocks_[id] = std::move(bm);
+  }
+  GESALL_RETURN_NOT_OK(r.GetI64(&next_block_id_));
+  GESALL_RETURN_NOT_OK(r.GetI64(&tick_));
+  return Status::OK();
+}
+
+Status Dfs::ApplyJournalRecordLocked(std::string_view record) {
+  BufferReader r(record);
+  uint8_t op = 0;
+  GESALL_RETURN_NOT_OK(r.GetU8(&op));
+  switch (op) {
+    case kOpCreateFile: {
+      std::string path;
+      GESALL_RETURN_NOT_OK(r.GetString(&path));
+      FileMeta fm;
+      GESALL_RETURN_NOT_OK(r.GetI64(&fm.size));
+      uint32_t n_blocks = 0;
+      GESALL_RETURN_NOT_OK(r.GetU32(&n_blocks));
+      // Replace any stale entry (the journaled delete precedes the
+      // create, so this is purely defensive).
+      auto stale = files_.find(path);
+      if (stale != files_.end()) {
+        for (int64_t id : stale->second.blocks) blocks_.erase(id);
+        files_.erase(stale);
+      }
+      for (uint32_t b = 0; b < n_blocks; ++b) {
+        int64_t id = 0;
+        BlockMeta bm;
+        GESALL_RETURN_NOT_OK(DecodeBlock(&r, &id, &bm));
+        next_block_id_ = std::max(next_block_id_, id + 1);
+        blocks_[id] = std::move(bm);
+        fm.blocks.push_back(id);
+      }
+      files_[path] = std::move(fm);
+      return Status::OK();
+    }
+    case kOpDeleteFile: {
+      std::string path;
+      GESALL_RETURN_NOT_OK(r.GetString(&path));
+      auto it = files_.find(path);
+      if (it == files_.end()) return Status::OK();  // idempotent
+      for (int64_t id : it->second.blocks) blocks_.erase(id);
+      files_.erase(it);
+      return Status::OK();
+    }
+    case kOpAddReplica: {
+      int64_t id = 0;
+      int32_t node = 0;
+      int32_t ordinal = 0;
+      GESALL_RETURN_NOT_OK(r.GetI64(&id));
+      GESALL_RETURN_NOT_OK(r.GetI32(&node));
+      GESALL_RETURN_NOT_OK(r.GetI32(&ordinal));
+      auto it = blocks_.find(id);
+      if (it == blocks_.end()) return Status::OK();  // file since deleted
+      for (const Replica& rep : it->second.replicas) {
+        if (rep.node == node) return Status::OK();
+      }
+      it->second.replicas.push_back({node, ordinal});
+      it->second.next_ordinal =
+          std::max(it->second.next_ordinal, ordinal + 1);
+      return Status::OK();
+    }
+    case kOpRemoveReplica: {
+      int64_t id = 0;
+      int32_t node = 0;
+      GESALL_RETURN_NOT_OK(r.GetI64(&id));
+      GESALL_RETURN_NOT_OK(r.GetI32(&node));
+      auto it = blocks_.find(id);
+      if (it == blocks_.end()) return Status::OK();
+      auto& replicas = it->second.replicas;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        if (replicas[i].node == node) {
+          replicas.erase(replicas.begin() + static_cast<int64_t>(i));
+          break;
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown DFS journal opcode " +
+                                std::to_string(op));
+  }
+}
+
+Status Dfs::RecoverLocked() {
+  const std::string& root = options_.durability.root_dir;
+  blocks_dir_ = root + "/blocks";
+  std::error_code ec;
+  std::filesystem::create_directories(blocks_dir_, ec);
+  if (ec) {
+    return Status::IOError("creating block directory '" + blocks_dir_ +
+                           "': " + ec.message());
+  }
+  store_ = std::make_unique<JournaledStore>(root + "/namespace",
+                                            options_.durability);
+  recovery_ = DfsRecoveryStats{};
+  recovery_.recovered = true;
+  GESALL_RETURN_NOT_OK(store_->Recover(
+      [this](std::string_view p) { return ApplySnapshotLocked(p); },
+      [this](std::string_view p) { return ApplyJournalRecordLocked(p); }));
+  recovery_.snapshot_loaded = store_->snapshot_loaded();
+  recovery_.journal_records_replayed = store_->replay_stats().records;
+  recovery_.torn_tail = store_->replay_stats().torn_tail;
+
+  // Load canonical payloads. A block whose payload file is missing or
+  // mis-sized condemns its whole file: the create record went durable
+  // but the payload never fully landed, so the file never existed as a
+  // readable whole.
+  std::map<int64_t, std::string> payloads;
+  std::set<int64_t> bad_blocks;
+  for (const auto& [id, bm] : blocks_) {
+    Result<std::string> data = ReadFileToString(BlockPayloadPath(id));
+    if (!data.ok() ||
+        static_cast<int64_t>(data.ValueOrDie().size()) != bm.length) {
+      bad_blocks.insert(id);
+    } else {
+      payloads[id] = data.MoveValueUnsafe();
+    }
+  }
+  for (auto it = files_.begin(); it != files_.end();) {
+    bool damaged = false;
+    for (int64_t id : it->second.blocks) damaged |= bad_blocks.count(id) > 0;
+    if (damaged) {
+      for (int64_t id : it->second.blocks) {
+        blocks_.erase(id);
+        payloads.erase(id);
+      }
+      it = files_.erase(it);
+      ++recovery_.files_dropped;
+    } else {
+      ++recovery_.files_recovered;
+      ++it;
+    }
+  }
+  // Populate node storage from the canonical payloads; replicas naming
+  // nodes outside the (possibly re-sized) cluster are dropped.
+  for (auto& [id, bm] : blocks_) {
+    auto& replicas = bm.replicas;
+    for (size_t i = 0; i < replicas.size();) {
+      const int node = replicas[i].node;
+      if (node < 0 || node >= options_.num_data_nodes) {
+        replicas.erase(replicas.begin() + static_cast<int64_t>(i));
+        continue;
+      }
+      nodes_[node].blocks[id] = payloads[id];
+      ++i;
+    }
+  }
+  recovery_.blocks_recovered = static_cast<int64_t>(blocks_.size());
+  return Status::OK();
+}
+
+Status Dfs::SimulateCrash() {
+  GESALL_RETURN_NOT_OK(init_status_);
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "SimulateCrash requires DfsOptions::durability.root_dir");
+  }
+  // Kill: every in-memory structure dies with the process image; the
+  // store's file handles close without a checkpoint.
+  store_.reset();
+  files_.clear();
+  blocks_.clear();
+  verified_.clear();
+  nodes_.assign(static_cast<size_t>(options_.num_data_nodes), DataNode{});
+  health_.assign(static_cast<size_t>(options_.num_data_nodes), NodeHealth{});
+  next_block_id_ = 1;
+  tick_ = 0;
+  // Restart: reconstruct from the durable root alone.
+  return RecoverLocked();
+}
+
+DfsRecoveryStats Dfs::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return recovery_;
 }
 
 }  // namespace gesall

@@ -33,9 +33,12 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/wal.h"
 
 namespace gesall {
 
+class BufferReader;
+class BufferWriter;
 class Executor;
 class FaultInjector;
 
@@ -55,6 +58,14 @@ struct DfsOptions {
   /// and its blocks are re-replicated (dfs.namenode.heartbeat
   /// recheck-interval analog, in Tick() units).
   int heartbeat_miss_threshold = 2;
+  /// Namenode durability (HDFS fsimage/editlog analog). When
+  /// durability.root_dir is set, block payloads persist as files under
+  /// "<root>/blocks/", namespace mutations (create/delete/re-replicate/
+  /// quarantine) are journaled under "<root>/namespace/" with periodic
+  /// snapshots, and construction replays journal + snapshot — so a new
+  /// Dfs on the same root (or SimulateCrash) reconstructs every file.
+  /// Empty root_dir keeps the historical in-memory-only behavior.
+  DurabilityOptions durability;
 };
 
 /// \brief Read-path fault-tolerance and integrity telemetry.
@@ -79,6 +90,28 @@ struct DfsStats {
   int64_t nodes_declared_dead = 0;
   /// Nodes brought back via RestartNode or the "node.restart" point.
   int64_t node_restarts = 0;
+  /// Namespace mutations appended to the durability journal.
+  int64_t journal_records_appended = 0;
+  /// fsimage-style snapshots written by checkpointing.
+  int64_t snapshots_written = 0;
+  /// Best-effort journal appends (read-path quarantine, scrubber) that
+  /// failed; write-path journal failures surface as IOError instead.
+  int64_t journal_append_failures = 0;
+};
+
+/// \brief What the last recovery (construction or SimulateCrash) rebuilt.
+struct DfsRecoveryStats {
+  /// True when this Dfs ran durable recovery at all.
+  bool recovered = false;
+  bool snapshot_loaded = false;
+  int64_t journal_records_replayed = 0;
+  /// A torn journal tail (crash mid-append) was discarded.
+  bool torn_tail = false;
+  int64_t files_recovered = 0;
+  int64_t blocks_recovered = 0;
+  /// Files dropped because a block payload was missing on disk (journal
+  /// record durable, payload write lost — the file never fully landed).
+  int64_t files_dropped = 0;
 };
 
 /// \brief Location metadata of one stored block.
@@ -190,6 +223,16 @@ class Dfs {
     executor_.store(executor, std::memory_order_release);
   }
 
+  /// Crash harness: drops every in-memory structure (namespace, block
+  /// maps, node storage, health, heartbeat clock) and reconstructs the
+  /// Dfs from the durable root, exactly as a fresh process would.
+  /// InvalidArgument when durability is off.
+  Status SimulateCrash();
+
+  /// Outcome of the last durable recovery (all-zero when durability is
+  /// off or nothing was recovered).
+  DfsRecoveryStats recovery_stats() const;
+
   /// Snapshot of the read-path failover telemetry.
   DfsStats stats() const;
   void ResetStats();
@@ -272,6 +315,28 @@ class Dfs {
   const std::string* HealthySourceLocked(int64_t block_id, BlockMeta* bm);
   void RestartNodeLocked(int node);
 
+  // --- Durability (no-ops when options_.durability is off). ---
+  // Opens the journaled store, replays snapshot + journal into the
+  // (empty) in-memory maps, and loads block payloads from disk.
+  // Requires health_mu_.
+  Status RecoverLocked();
+  std::string BlockPayloadPath(int64_t block_id) const;
+  // Journals one namespace mutation; IOError on append failure.
+  // Requires health_mu_.
+  Status JournalLocked(std::string_view record) const;
+  // Best-effort variant for the logically-const read path (quarantine)
+  // and the scrubber: failures land in stats_.journal_append_failures.
+  void JournalBestEffortLocked(std::string_view record) const;
+  // Checkpoints (snapshot + journal reset) when the store says so.
+  void MaybeCheckpointLocked();
+  std::string EncodeSnapshotLocked() const;
+  Status ApplySnapshotLocked(std::string_view payload);
+  Status ApplyJournalRecordLocked(std::string_view record);
+  // Block metadata codec shared by the create-file journal record and
+  // the snapshot.
+  static void EncodeBlock(BufferWriter* w, int64_t id, const BlockMeta& bm);
+  static Status DecodeBlock(BufferReader* r, int64_t* id, BlockMeta* bm);
+
   DfsOptions options_;
   Status init_status_;
   DefaultPlacementPolicy default_policy_;
@@ -297,6 +362,11 @@ class Dfs {
   int64_t tick_ = 0;
   mutable std::vector<NodeHealth> health_;
   mutable DfsStats stats_;
+  // Durable namespace store (null when durability is off). Mutable with
+  // stats_: the logically-const read path journals quarantines.
+  mutable std::unique_ptr<JournaledStore> store_;
+  std::string blocks_dir_;
+  DfsRecoveryStats recovery_;
 };
 
 }  // namespace gesall

@@ -643,6 +643,8 @@ GesallPipeline::GesallPipeline(const ReferenceGenome& reference,
   dedup_dir_ = StageDir(config_.dfs_root, "dedup");
   recal_dir_ = StageDir(config_.dfs_root, "recal");
   sorted_dir_ = StageDir(config_.dfs_root, "sorted");
+  manifests_dir_ = StageDir(config_.dfs_root, "manifests");
+  variants_dir_ = StageDir(config_.dfs_root, "variants");
   for (const auto& c : reference.chromosomes) {
     header_.refs.push_back({c.name, static_cast<int64_t>(c.sequence.size())});
   }
@@ -690,11 +692,75 @@ Status GesallPipeline::MaybeTick() {
 void GesallPipeline::RemoveStageOutputs() {
   for (const std::string* dir :
        {&aligned_dir_, &cleaned_dir_, &dedup_dir_, &recal_dir_,
-        &sorted_dir_}) {
+        &sorted_dir_, &manifests_dir_, &variants_dir_}) {
     for (const auto& path : dfs_->List(*dir)) {
       (void)dfs_->Delete(path);
     }
   }
+}
+
+const std::string& GesallPipeline::RoundOutputDir(int round_index) const {
+  switch (round_index) {
+    case kRoundAlignment: return aligned_dir_;
+    case kRoundCleaning: return cleaned_dir_;
+    case kRoundMarkDuplicates: return dedup_dir_;
+    case kRoundRecalibration: return recal_dir_;
+    case kRoundSort: return sorted_dir_;
+    default: return variants_dir_;
+  }
+}
+
+std::string GesallPipeline::ManifestPath(int round_index) const {
+  return manifests_dir_ + "round-" + std::to_string(round_index);
+}
+
+bool GesallPipeline::RoundComplete(int round_index) const {
+  Result<std::string> raw = dfs_->Read(ManifestPath(round_index));
+  if (!raw.ok()) return false;
+  BufferReader reader(raw.ValueOrDie());
+  std::string name;
+  uint32_t n = 0;
+  if (!reader.GetString(&name).ok() || !reader.GetU32(&n).ok()) return false;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string path;
+    int64_t size = 0;
+    if (!reader.GetString(&path).ok() || !reader.GetI64(&size).ok()) {
+      return false;
+    }
+    Result<int64_t> actual = dfs_->FileSize(path);
+    if (!actual.ok() || actual.ValueOrDie() != size) return false;
+  }
+  return true;
+}
+
+Status GesallPipeline::SealRound(int round_index, const std::string& name) {
+  if (config_.write_manifests) {
+    // The round's outputs are already durable in the DFS; the manifest
+    // write is the commit point that marks the round sealed. A crash
+    // before it replays the round from scratch; after it, resume skips.
+    std::vector<std::string> outputs = dfs_->List(RoundOutputDir(round_index));
+    std::string manifest;
+    BufferWriter writer(&manifest);
+    writer.PutString(name);
+    writer.PutU32(static_cast<uint32_t>(outputs.size()));
+    for (const auto& path : outputs) {
+      GESALL_ASSIGN_OR_RETURN(int64_t size, dfs_->FileSize(path));
+      writer.PutString(path);
+      writer.PutI64(size);
+    }
+    GESALL_RETURN_NOT_OK(dfs_->Write(ManifestPath(round_index), manifest));
+  }
+  if (config_.on_round_complete) config_.on_round_complete(round_index, name);
+  return Status::OK();
+}
+
+bool GesallPipeline::SkipIfSealed(int round_index, const std::string& name) {
+  if (!config_.resume || !RoundComplete(round_index)) return false;
+  JobCounters counters;
+  counters.Add("round_skipped_on_resume", 1);
+  stats_.push_back({name, 0.0, std::move(counters), {}});
+  if (config_.on_round_complete) config_.on_round_complete(round_index, name);
+  return true;
 }
 
 FaultToleranceSummary GesallPipeline::SummarizeFaultTolerance() const {
@@ -730,6 +796,7 @@ Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,
 }
 
 Status GesallPipeline::RunRound1Alignment() {
+  if (SkipIfSealed(kRoundAlignment, "round1_alignment")) return MaybeTick();
   Stopwatch clock;
   std::vector<std::string> inputs = dfs_->List(input_dir_);
   if (inputs.empty()) return Status::InvalidArgument("no input partitions");
@@ -758,12 +825,14 @@ Status GesallPipeline::RunRound1Alignment() {
   }
   stats_.push_back({"round1_alignment", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
+  GESALL_RETURN_NOT_OK(SealRound(kRoundAlignment, "round1_alignment"));
   // One heartbeat interval per round: crashed nodes are declared dead
   // and their blocks re-replicated before the next round reads them.
   return MaybeTick();
 }
 
 Status GesallPipeline::RunRound2Cleaning() {
+  if (SkipIfSealed(kRoundCleaning, "round2_cleaning")) return MaybeTick();
   Stopwatch clock;
   // Map input: DFS block splits of every aligned partition (the custom
   // RecordReader path of §3.1).
@@ -806,6 +875,7 @@ Status GesallPipeline::RunRound2Cleaning() {
   GESALL_RETURN_NOT_OK(WritePartitions(cleaned_dir_, outputs));
   stats_.push_back({"round2_cleaning", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
+  GESALL_RETURN_NOT_OK(SealRound(kRoundCleaning, "round2_cleaning"));
   return MaybeTick();
 }
 
@@ -837,6 +907,10 @@ Result<std::string> GesallPipeline::BuildBloomFilter() {
 }
 
 Status GesallPipeline::RunRound3MarkDuplicates() {
+  const std::string round3_name = config_.markdup_use_bloom
+                                      ? "round3_markdup_opt"
+                                      : "round3_markdup_reg";
+  if (SkipIfSealed(kRoundMarkDuplicates, round3_name)) return MaybeTick();
   Stopwatch clock;
   std::unique_ptr<BloomFilter> bloom;
   if (config_.markdup_use_bloom) {
@@ -880,14 +954,16 @@ Status GesallPipeline::RunRound3MarkDuplicates() {
     outputs.push_back(std::move(bam));
   }
   GESALL_RETURN_NOT_OK(WritePartitions(dedup_dir_, outputs));
-  stats_.push_back({config_.markdup_use_bloom ? "round3_markdup_opt"
-                                              : "round3_markdup_reg",
-                    clock.ElapsedSeconds(), std::move(result.counters),
-                    std::move(result.tasks)});
+  stats_.push_back({round3_name, clock.ElapsedSeconds(),
+                    std::move(result.counters), std::move(result.tasks)});
+  GESALL_RETURN_NOT_OK(SealRound(kRoundMarkDuplicates, round3_name));
   return MaybeTick();
 }
 
 Status GesallPipeline::RunRecalibrationRounds() {
+  if (SkipIfSealed(kRoundRecalibration, "round3.5_print_reads")) {
+    return MaybeTick();
+  }
   Stopwatch clock;
   auto make_splits = [this] {
     std::vector<InputSplit> splits;
@@ -938,10 +1014,13 @@ Status GesallPipeline::RunRecalibrationRounds() {
   stats_.push_back({"round3.5_print_reads", apply_clock.ElapsedSeconds(),
                     std::move(apply_result.counters),
                     std::move(apply_result.tasks)});
+  GESALL_RETURN_NOT_OK(
+      SealRound(kRoundRecalibration, "round3.5_print_reads"));
   return MaybeTick();
 }
 
 Status GesallPipeline::RunRound4Sort() {
+  if (SkipIfSealed(kRoundSort, "round4_sort")) return MaybeTick();
   Stopwatch clock;
   // Input: recalibrated partitions when the optional rounds ran.
   std::string input_dir =
@@ -989,10 +1068,36 @@ Status GesallPipeline::RunRound4Sort() {
   }
   stats_.push_back({"round4_sort", clock.ElapsedSeconds(),
                     std::move(result.counters), std::move(result.tasks)});
+  GESALL_RETURN_NOT_OK(SealRound(kRoundSort, "round4_sort"));
   return MaybeTick();
 }
 
 Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
+  const std::string round5_name =
+      config_.variant_caller == PipelineConfig::VariantCaller::kUnifiedGenotyper
+          ? "round5_unified_genotyper"
+          : "round5_haplotype_caller";
+  if (config_.resume && RoundComplete(kRoundVariants)) {
+    // The sealed round persisted its calls under variants/: reload them
+    // instead of re-running the callers.
+    GESALL_ASSIGN_OR_RETURN(std::string raw,
+                            dfs_->Read(variants_dir_ + "calls.bin"));
+    std::vector<VariantRecord> variants;
+    size_t offset = 0;
+    while (offset < raw.size()) {
+      GESALL_ASSIGN_OR_RETURN(VariantRecord rec,
+                              DecodeVariantBinary(raw, &offset));
+      variants.push_back(std::move(rec));
+    }
+    JobCounters counters;
+    counters.Add("round_skipped_on_resume", 1);
+    stats_.push_back({round5_name, 0.0, std::move(counters), {}});
+    if (config_.on_round_complete) {
+      config_.on_round_complete(kRoundVariants, round5_name);
+    }
+    GESALL_RETURN_NOT_OK(MaybeTick());
+    return variants;
+  }
   Stopwatch clock;
   const int C = static_cast<int>(reference_->chromosomes.size());
   std::vector<InputSplit> splits;
@@ -1073,13 +1178,16 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunRound5VariantCalling() {
     }
   }
   std::sort(variants.begin(), variants.end(), VariantLess);
-  stats_.push_back(
-      {config_.variant_caller ==
-               PipelineConfig::VariantCaller::kUnifiedGenotyper
-           ? "round5_unified_genotyper"
-           : "round5_haplotype_caller",
-       clock.ElapsedSeconds(), std::move(result.counters),
-       std::move(result.tasks)});
+  stats_.push_back({round5_name, clock.ElapsedSeconds(),
+                    std::move(result.counters), std::move(result.tasks)});
+  if (config_.write_manifests) {
+    // Variants are otherwise in-memory only; persist them so a resumed
+    // job whose final round already finished returns identical calls.
+    std::string blob;
+    for (const auto& v : variants) blob += EncodeVariantBinary(v);
+    GESALL_RETURN_NOT_OK(dfs_->Write(variants_dir_ + "calls.bin", blob));
+  }
+  GESALL_RETURN_NOT_OK(SealRound(kRoundVariants, round5_name));
   GESALL_RETURN_NOT_OK(MaybeTick());
   return variants;
 }
@@ -1089,17 +1197,22 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
       config_.executor != nullptr ? config_.executor : Executor::Shared();
   const ExecutorStats before = executor->stats();
   const size_t first_round = stats_.size();
+  // Resume consults manifests at round barriers, so a resumed run always
+  // executes barriered even when the config asks for overlap.
+  const bool pipelined_run = config_.pipelined && !config_.resume;
   execution_ = ExecutionSummary{};
-  execution_.pipelined = config_.pipelined;
+  execution_.pipelined = pipelined_run;
   Stopwatch wall;
   Result<std::vector<VariantRecord>> result =
-      config_.pipelined ? RunAllPipelined() : RunAllBarriered();
+      pipelined_run ? RunAllPipelined() : RunAllBarriered();
   execution_.wall_seconds = wall.ElapsedSeconds();
-  if (!result.ok() && result.status().IsCancelled()) {
+  if (!result.ok() && result.status().IsCancelled() &&
+      !config_.preserve_outputs_on_cancel) {
     // Cancelled runs must leave no partial stage outputs visible: a
     // later Restart() (or a diagnosis pass) reading half-written stages
     // would silently truncate the sample. Inputs stay loaded so the job
-    // can re-run from the top.
+    // can re-run from the top. Durable jobs opt out: their sealed-round
+    // outputs are exactly what a post-crash resume picks up from.
     RemoveStageOutputs();
   }
 
@@ -1114,7 +1227,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
 
   // Barriered rounds execute back to back: derive their spans from the
   // recorded round walls. The pipelined path records real spans itself.
-  if (!config_.pipelined) {
+  if (!pipelined_run) {
     double at = 0;
     for (size_t i = first_round; i < stats_.size(); ++i) {
       execution_.rounds.push_back(

@@ -20,6 +20,7 @@
 #ifndef GESALL_GESALL_PIPELINE_H_
 #define GESALL_GESALL_PIPELINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,6 +41,17 @@
 namespace gesall {
 
 class FaultInjector;
+
+/// \brief Stable round indices used by durable round manifests and the
+/// on_round_complete hook (values are on-disk format; never renumber).
+enum PipelineRound : int {
+  kRoundAlignment = 1,
+  kRoundCleaning = 2,
+  kRoundMarkDuplicates = 3,
+  kRoundRecalibration = 4,
+  kRoundSort = 5,
+  kRoundVariants = 6,
+};
 
 /// \brief Pipeline configuration (the paper's tunables: logical partition
 /// granularity, degree of parallelism, MarkDup variant, HC partitioning).
@@ -135,8 +147,33 @@ struct PipelineConfig {
   /// JobConfig. Once flipped, the running round fails fast with
   /// Status::Cancelled, no further round starts, and RunAll() deletes
   /// the job's partial stage outputs from the DFS before returning (the
-  /// loaded input partitions under dfs_root stay).
+  /// loaded input partitions under dfs_root stay) — unless
+  /// preserve_outputs_on_cancel keeps them for a later resume.
   std::shared_ptr<CancelToken> cancel;
+
+  /// Durable round manifests: after a round's outputs land in DFS, a
+  /// manifest listing them (paths + sizes) is written under
+  /// "<dfs_root>/manifests/round-<k>", and Round 5's variant calls are
+  /// additionally persisted under "<dfs_root>/variants/". On a durable
+  /// Dfs the manifests survive a crash, marking the round as sealed.
+  bool write_manifests = false;
+  /// Consult manifests at the start of every round and skip rounds whose
+  /// listed outputs are all present with matching sizes (the skipped
+  /// round records a RoundStats entry whose only counter is
+  /// "round_skipped_on_resume"). Deterministic rounds make re-execution
+  /// and skipping byte-equivalent. Resume executes barriered: a
+  /// pipelined config falls back to the barriered path for that run.
+  bool resume = false;
+  /// Keep stage outputs and manifests on a cancelled RunAll() instead of
+  /// deleting them. The durable service layer sets this so a
+  /// crash-cancelled job can resume from its sealed rounds; partials are
+  /// confined to the job's dfs_root namespace either way.
+  bool preserve_outputs_on_cancel = false;
+  /// Fired after each round completes — executed or skipped on resume —
+  /// with the PipelineRound index and the round's stats name. The
+  /// durable service journals round completion through this hook.
+  std::function<void(int round_index, const std::string& round_name)>
+      on_round_complete;
 };
 
 /// \brief Wall-clock and counter statistics of one executed round.
@@ -203,6 +240,18 @@ class GesallPipeline {
   /// Deletes every stage output under dfs_root except the loaded input
   /// partitions — the cancelled-run cleanup.
   void RemoveStageOutputs();
+  /// DFS directory whose files a round's manifest seals.
+  const std::string& RoundOutputDir(int round_index) const;
+  std::string ManifestPath(int round_index) const;
+  /// True when the round's manifest exists and every listed output is
+  /// present in DFS with a matching size.
+  bool RoundComplete(int round_index) const;
+  /// Writes the round's manifest (when write_manifests) and fires
+  /// on_round_complete.
+  Status SealRound(int round_index, const std::string& name);
+  /// Resume check: when the round is already sealed, records a skipped
+  /// RoundStats entry + fires the hook and returns true.
+  bool SkipIfSealed(int round_index, const std::string& name);
   Status WritePartitions(const std::string& stage,
                          const std::vector<std::string>& bam_files);
   Result<std::string> BuildBloomFilter();
@@ -220,6 +269,8 @@ class GesallPipeline {
   std::string dedup_dir_;
   std::string recal_dir_;
   std::string sorted_dir_;
+  std::string manifests_dir_;
+  std::string variants_dir_;
   SamHeader header_;
   std::vector<RoundStats> stats_;
   ExecutionSummary execution_;

@@ -5,10 +5,120 @@
 #include <chrono>
 #include <limits>
 
+#include "util/io.h"
+
 namespace gesall {
 namespace {
 
 constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+// Job-log opcodes (on-disk format; never renumber).
+constexpr uint8_t kOpSubmit = 1;
+constexpr uint8_t kOpStart = 2;
+constexpr uint8_t kOpRound = 3;
+constexpr uint8_t kOpFinish = 4;
+
+void EncodeFastq(BufferWriter* w, const std::vector<FastqRecord>& reads) {
+  w->PutU32(static_cast<uint32_t>(reads.size()));
+  for (const FastqRecord& r : reads) {
+    w->PutString(r.name);
+    w->PutString(r.sequence);
+    w->PutString(r.quality);
+  }
+}
+
+Status DecodeFastq(BufferReader* r, std::vector<FastqRecord>* out) {
+  uint32_t n = 0;
+  GESALL_RETURN_NOT_OK(r->GetU32(&n));
+  out->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GESALL_RETURN_NOT_OK(r->GetString(&(*out)[i].name));
+    GESALL_RETURN_NOT_OK(r->GetString(&(*out)[i].sequence));
+    GESALL_RETURN_NOT_OK(r->GetString(&(*out)[i].quality));
+  }
+  return Status::OK();
+}
+
+// The durable subset of a job: identity, service-level requirements, the
+// sample itself, and the pipeline knobs that change outputs. The
+// aligner/caller option structs are not persisted — a recovered job runs
+// them at their defaults.
+void EncodeJobPayload(BufferWriter* w, JobId id, const JobSpec& spec) {
+  w->PutU64(id);
+  w->PutString(spec.tenant);
+  w->PutI64(spec.priority);
+  w->PutF64(spec.deadline_seconds);
+  w->PutF64(spec.timeout_seconds);
+  EncodeFastq(w, spec.mate1);
+  EncodeFastq(w, spec.mate2);
+  const PipelineConfig& p = spec.pipeline;
+  w->PutI64(p.alignment_partitions);
+  w->PutI64(p.cleaning_reducers);
+  w->PutI64(p.markdup_reducers);
+  w->PutU8(p.markdup_use_bloom ? 1 : 0);
+  w->PutI64(p.max_parallel_tasks);
+  w->PutU8(p.use_combiners ? 1 : 0);
+  w->PutString(p.read_group.id);
+  w->PutString(p.read_group.sample);
+  w->PutString(p.read_group.library);
+  w->PutU8(p.use_streaming_alignment ? 1 : 0);
+  w->PutU8(static_cast<uint8_t>(p.hc_partitioning));
+  w->PutI64(p.hc_segments_per_chromosome);
+  w->PutU8(static_cast<uint8_t>(p.variant_caller));
+  w->PutU8(p.run_recalibration ? 1 : 0);
+  w->PutU64(p.bloom_expected_items);
+  w->PutF64(p.bloom_fpr);
+  w->PutU8(p.pipelined ? 1 : 0);
+}
+
+Status DecodeJobPayload(BufferReader* r, JobId* id, JobSpec* spec) {
+  uint64_t raw_id = 0;
+  GESALL_RETURN_NOT_OK(r->GetU64(&raw_id));
+  *id = raw_id;
+  GESALL_RETURN_NOT_OK(r->GetString(&spec->tenant));
+  int64_t priority = 0;
+  GESALL_RETURN_NOT_OK(r->GetI64(&priority));
+  spec->priority = static_cast<int>(priority);
+  GESALL_RETURN_NOT_OK(r->GetF64(&spec->deadline_seconds));
+  GESALL_RETURN_NOT_OK(r->GetF64(&spec->timeout_seconds));
+  GESALL_RETURN_NOT_OK(DecodeFastq(r, &spec->mate1));
+  GESALL_RETURN_NOT_OK(DecodeFastq(r, &spec->mate2));
+  PipelineConfig& p = spec->pipeline;
+  int64_t i64 = 0;
+  uint64_t u64 = 0;
+  uint8_t u8 = 0;
+  GESALL_RETURN_NOT_OK(r->GetI64(&i64));
+  p.alignment_partitions = static_cast<int>(i64);
+  GESALL_RETURN_NOT_OK(r->GetI64(&i64));
+  p.cleaning_reducers = static_cast<int>(i64);
+  GESALL_RETURN_NOT_OK(r->GetI64(&i64));
+  p.markdup_reducers = static_cast<int>(i64);
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.markdup_use_bloom = u8 != 0;
+  GESALL_RETURN_NOT_OK(r->GetI64(&i64));
+  p.max_parallel_tasks = static_cast<int>(i64);
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.use_combiners = u8 != 0;
+  GESALL_RETURN_NOT_OK(r->GetString(&p.read_group.id));
+  GESALL_RETURN_NOT_OK(r->GetString(&p.read_group.sample));
+  GESALL_RETURN_NOT_OK(r->GetString(&p.read_group.library));
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.use_streaming_alignment = u8 != 0;
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.hc_partitioning = static_cast<PipelineConfig::HcPartitioning>(u8);
+  GESALL_RETURN_NOT_OK(r->GetI64(&i64));
+  p.hc_segments_per_chromosome = static_cast<int>(i64);
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.variant_caller = static_cast<PipelineConfig::VariantCaller>(u8);
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.run_recalibration = u8 != 0;
+  GESALL_RETURN_NOT_OK(r->GetU64(&u64));
+  p.bloom_expected_items = static_cast<size_t>(u64);
+  GESALL_RETURN_NOT_OK(r->GetF64(&p.bloom_fpr));
+  GESALL_RETURN_NOT_OK(r->GetU8(&u8));
+  p.pipelined = u8 != 0;
+  return Status::OK();
+}
 
 /// Job ids double as executor tags, and tag statistics live for the
 /// process (Executor::Shared()): each service instance takes a disjoint
@@ -60,6 +170,7 @@ GesallService::GesallService(const ReferenceGenome& reference,
                                             : Executor::Shared()),
       heartbeat_(dfs) {
   next_id_ = g_next_id_base.fetch_add(uint64_t{1} << 20);
+  if (config_.durability.enabled()) RecoverJobs();
   if (config_.heartbeat_interval_ms > 0) {
     heartbeat_.Start(config_.heartbeat_interval_ms);
   }
@@ -87,7 +198,9 @@ GesallService::~GesallService() {
       out.status = Status::Cancelled("service shutdown");
       out.queue_seconds = clock_.ElapsedSeconds() - it->second->submitted_at;
       out.total_seconds = out.queue_seconds;
-      FinishJobLocked(it->second, std::move(out));
+      // journal=false: a durable log keeps queued jobs across a graceful
+      // shutdown so the next incarnation requeues them.
+      FinishJobLocked(it->second, std::move(out), /*journal=*/false);
     }
     cv_sched_.notify_all();
     cv_done_.notify_all();
@@ -105,6 +218,12 @@ Result<JobId> GesallService::Submit(JobSpec spec) {
   const int64_t bytes = EstimateInputBytes(spec);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.submitted++;
+  if (!recovery_status_.ok()) {
+    // A broken durable log fails loudly rather than accepting work it
+    // cannot journal.
+    stats_.shed++;
+    return recovery_status_;
+  }
   const std::string retry =
       "; retry after " + std::to_string(config_.retry_after_ms) + "ms";
   if (state_ != State::kAccepting || stop_) {
@@ -150,6 +269,33 @@ Result<JobId> GesallService::Submit(JobSpec spec) {
   tenant.queued++;
   in_flight_bytes_ += bytes;
   stats_.admitted++;
+  if (config_.durability.enabled()) {
+    // The submit record is the admission commit point: if it cannot be
+    // made durable the admission rolls back and the caller sees the
+    // IOError (an accepted-but-forgettable job would violate the
+    // recovery contract).
+    std::string record;
+    BufferWriter writer(&record);
+    writer.PutU8(kOpSubmit);
+    EncodeJobPayload(&writer, id, job->spec);
+    Status journaled;
+    {
+      std::lock_guard<std::mutex> jlock(journal_mu_);
+      journaled = store_ != nullptr ? store_->Append(record)
+                                    : Status::Internal("job log missing");
+    }
+    if (!journaled.ok()) {
+      journal_failures_++;
+      jobs_.erase(id);
+      queue_.pop_back();
+      tenant.queued--;
+      in_flight_bytes_ -= bytes;
+      stats_.admitted--;
+      return journaled;
+    }
+    journal_appends_++;
+    MaybeCheckpointLocked();
+  }
   cv_sched_.notify_all();
   return id;
 }
@@ -224,7 +370,16 @@ GesallService::State GesallService::state() const {
 
 ServiceStats GesallService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats out = stats_;
+  out.journal_records_appended = journal_appends_.load();
+  out.journal_append_failures = journal_failures_.load();
+  return out;
+}
+
+Status GesallService::recovery_status() const { return recovery_status_; }
+
+ServiceRecoveryStats GesallService::recovery_stats() const {
+  return recovery_;
 }
 
 int GesallService::queue_depth() const {
@@ -306,6 +461,13 @@ void GesallService::RunnerLoop() {
     job->running = true;
     running_count_++;
     lock.unlock();
+    {
+      std::string record;
+      BufferWriter writer(&record);
+      writer.PutU8(kOpStart);
+      writer.PutU64(job->id);
+      JournalBestEffort(record);
+    }
     RunJob(job);
     lock.lock();
   }
@@ -352,6 +514,31 @@ void GesallService::RunJob(const std::shared_ptr<Job>& job) {
   cfg.cancel = job->cancel;
   if (cfg.executor == nullptr) cfg.executor = executor_;
   if (job->spec.deadline_seconds > 0) PlanJob(job.get(), &cfg, &out);
+  const bool durable = config_.durability.enabled();
+  if (durable) {
+    // Rounds seal manifests in the job's DFS namespace, completed rounds
+    // are skipped on a post-crash re-run, and a crash-cancelled job
+    // keeps its sealed outputs for that resume.
+    cfg.write_manifests = true;
+    cfg.resume = true;
+    cfg.preserve_outputs_on_cancel = true;
+  }
+  if (durable || config_.round_complete_hook) {
+    const JobId id = job->id;
+    cfg.on_round_complete = [this, id](int round_index,
+                                       const std::string& round_name) {
+      std::string record;
+      BufferWriter writer(&record);
+      writer.PutU8(kOpRound);
+      writer.PutU64(id);
+      writer.PutI64(round_index);
+      writer.PutString(round_name);
+      JournalBestEffort(record);
+      if (config_.round_complete_hook) {
+        config_.round_complete_hook(id, round_index, round_name);
+      }
+    };
+  }
 
   {
     // Every task this pipeline submits inherits the job id as its
@@ -382,7 +569,7 @@ void GesallService::RunJob(const std::shared_ptr<Job>& job) {
 }
 
 void GesallService::FinishJobLocked(const std::shared_ptr<Job>& job,
-                                    JobOutput output) {
+                                    JobOutput output, bool journal) {
   Tenant& tenant = TenantEntryLocked(job->spec.tenant);
   if (job->running) {
     tenant.running--;
@@ -404,10 +591,204 @@ void GesallService::FinishJobLocked(const std::shared_ptr<Job>& job,
   } else {
     stats_.failed++;
   }
+  if (journal && !crashed_) {
+    std::string record;
+    BufferWriter writer(&record);
+    writer.PutU8(kOpFinish);
+    writer.PutU64(job->id);
+    writer.PutI64(static_cast<int64_t>(output.status.code()));
+    JournalBestEffort(record);
+    MaybeCheckpointLocked();
+  }
   job->output = std::move(output);
   job->done = true;
   cv_done_.notify_all();
   cv_sched_.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Durable job log.
+
+void GesallService::RecoverJobs() {
+  recovery_status_ = ValidateDurabilityOptions(config_.durability);
+  if (!recovery_status_.ok()) return;
+
+  struct Pending {
+    JobId id = 0;
+    JobSpec spec;
+  };
+  std::vector<Pending> pending;  // original submit order (id order)
+  JobId max_id = 0;
+  auto add = [&](BufferReader* reader) -> Status {
+    Pending p;
+    GESALL_RETURN_NOT_OK(DecodeJobPayload(reader, &p.id, &p.spec));
+    max_id = std::max(max_id, p.id);
+    pending.push_back(std::move(p));
+    return Status::OK();
+  };
+  auto load_snapshot = [&](std::string_view snapshot) -> Status {
+    BufferReader reader(snapshot);
+    uint32_t n = 0;
+    GESALL_RETURN_NOT_OK(reader.GetU32(&n));
+    for (uint32_t i = 0; i < n; ++i) GESALL_RETURN_NOT_OK(add(&reader));
+    return Status::OK();
+  };
+  auto apply = [&](std::string_view record) -> Status {
+    BufferReader reader(record);
+    uint8_t op = 0;
+    GESALL_RETURN_NOT_OK(reader.GetU8(&op));
+    switch (op) {
+      case kOpSubmit:
+        return add(&reader);
+      case kOpStart:
+      case kOpRound:
+        // Round-level progress is recovered from the DFS manifests, not
+        // the job log; these records exist for observability.
+        return Status::OK();
+      case kOpFinish: {
+        uint64_t id = 0;
+        GESALL_RETURN_NOT_OK(reader.GetU64(&id));
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+          if (it->id == id) {
+            pending.erase(it);
+            break;
+          }
+        }
+        return Status::OK();
+      }
+      default:
+        return Status::Corruption("unknown job-log opcode " +
+                                  std::to_string(op));
+    }
+  };
+  auto store = std::make_unique<JournaledStore>(
+      config_.durability.root_dir + "/service", config_.durability);
+  recovery_status_ = store->Recover(load_snapshot, apply);
+  if (!recovery_status_.ok()) return;
+
+  // Requeue every unfinished job, bypassing admission control: recovered
+  // work was already admitted once and is never shed, even if quotas
+  // shrank meanwhile. Submit order (= id order) is preserved, and the
+  // per-tenant queued counts plus the in-flight byte ledger are rebuilt
+  // from the requeued set. Fairness state (consumed_micros) restarts at
+  // zero — a deliberate reset, matching the process the crash killed.
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = clock_.ElapsedSeconds();
+  for (Pending& p : pending) {
+    auto job = std::make_shared<Job>();
+    job->id = p.id;
+    job->spec = std::move(p.spec);
+    job->cancel = std::make_shared<CancelToken>();
+    job->input_bytes = EstimateInputBytes(job->spec);
+    job->submitted_at = now;  // service clocks restart with the process
+    job->deadline_at = job->spec.deadline_seconds > 0
+                           ? now + job->spec.deadline_seconds
+                           : kNoDeadline;
+    const double timeout = job->spec.timeout_seconds > 0
+                               ? job->spec.timeout_seconds
+                               : config_.default_timeout_seconds;
+    job->timeout_at = timeout > 0 ? now + timeout : 0;
+    jobs_[job->id] = job;
+    queue_.push_back(job->id);
+    TenantEntryLocked(job->spec.tenant).queued++;
+    in_flight_bytes_ += job->input_bytes;
+  }
+  if (max_id >= next_id_) next_id_ = max_id + 1;
+  recovery_.recovered = true;
+  recovery_.snapshot_loaded = store->snapshot_loaded();
+  recovery_.journal_records_replayed = store->replay_stats().records;
+  recovery_.torn_tail = store->replay_stats().torn_tail;
+  recovery_.jobs_recovered = static_cast<int64_t>(pending.size());
+  std::lock_guard<std::mutex> jlock(journal_mu_);
+  store_ = std::move(store);
+}
+
+void GesallService::JournalBestEffort(std::string_view record) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (store_ == nullptr) return;
+  if (store_->Append(record).ok()) {
+    journal_appends_++;
+  } else {
+    journal_failures_++;
+  }
+}
+
+void GesallService::MaybeCheckpointLocked() {
+  std::lock_guard<std::mutex> jlock(journal_mu_);
+  if (store_ == nullptr || !store_->ShouldCheckpoint()) return;
+  // A failed checkpoint is not fatal: the journal stays authoritative
+  // and recovery simply replays more records.
+  if (store_->Checkpoint(EncodeSnapshotLocked()).ok()) {
+    stats_.snapshots_written++;
+  }
+}
+
+std::string GesallService::EncodeSnapshotLocked() const {
+  std::string snapshot;
+  BufferWriter writer(&snapshot);
+  uint32_t live = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!job->done) live++;
+  }
+  writer.PutU32(live);
+  // Running jobs are still unfinished — a crash loses their in-memory
+  // progress, so the snapshot carries them for requeue exactly like
+  // queued ones (their sealed rounds skip on resume).
+  for (const auto& [id, job] : jobs_) {
+    if (job->done) continue;
+    EncodeJobPayload(&writer, id, job->spec);
+  }
+  return snapshot;
+}
+
+Status GesallService::SimulateCrash() {
+  if (!config_.durability.enabled()) {
+    return Status::InvalidArgument(
+        "SimulateCrash requires ServiceConfig::durability");
+  }
+  std::vector<std::shared_ptr<CancelToken>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return Status::OK();
+    crashed_ = true;
+    stop_ = true;
+    // Queued jobs die with the process. Their waiters unblock with
+    // Unavailable, but nothing is journaled: the log still names them
+    // unfinished, which is exactly what the next incarnation recovers.
+    std::vector<JobId> queued(queue_.begin(), queue_.end());
+    const double now = clock_.ElapsedSeconds();
+    for (JobId id : queued) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      JobOutput out;
+      out.id = id;
+      out.tenant = it->second->spec.tenant;
+      out.status = Status::Unavailable("simulated crash");
+      out.queue_seconds = now - it->second->submitted_at;
+      out.total_seconds = out.queue_seconds;
+      FinishJobLocked(it->second, std::move(out), /*journal=*/false);
+    }
+    for (const auto& [id, job] : jobs_) {
+      if (job->running && !job->done) to_cancel.push_back(job->cancel);
+    }
+    cv_sched_.notify_all();
+  }
+  // Flip outside mu_ (cancel callbacks run inline) and wait for the
+  // runners to unwind their pipelines cooperatively.
+  for (auto& token : to_cancel) token->Cancel("simulated crash");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return running_count_ == 0; });
+  }
+  for (std::thread& t : runners_) t.join();
+  runners_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+  heartbeat_.Stop();
+  // Drop the log handle with no checkpoint and no farewell record: the
+  // on-disk state is exactly what a power loss leaves behind.
+  std::lock_guard<std::mutex> jlock(journal_mu_);
+  store_.reset();
+  return Status::OK();
 }
 
 void GesallService::WatchdogLoop() {

@@ -37,9 +37,11 @@
 #ifndef GESALL_SERVICE_SERVICE_H_
 #define GESALL_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,6 +55,7 @@
 #include "util/cancel.h"
 #include "util/executor.h"
 #include "util/stopwatch.h"
+#include "util/wal.h"
 
 namespace gesall {
 
@@ -95,6 +98,19 @@ struct ServiceConfig {
   std::string dfs_root_prefix = "/jobs";
   /// Executor jobs run on (not owned). Null = Executor::Shared().
   Executor* executor = nullptr;
+  /// Durable job log. When enabled (root_dir set), every submission,
+  /// start, round completion, and finish is journaled under
+  /// "<root_dir>/service", jobs run with durable round manifests in
+  /// their DFS namespace, and a fresh service constructed on the same
+  /// root requeues every unfinished job — resuming mid-flight ones from
+  /// their last sealed round. Pair it with a Dfs whose DfsOptions
+  /// carry the same root so the manifests themselves survive.
+  DurabilityOptions durability;
+  /// Test hook: fired (without service locks) after a running job seals
+  /// or skips a pipeline round, right after the round is journaled.
+  std::function<void(JobId id, int round_index,
+                     const std::string& round_name)>
+      round_complete_hook;
 };
 
 /// \brief One submitted sample plus its service-level requirements.
@@ -158,6 +174,21 @@ struct ServiceStats {
   int64_t drains = 0;
   int64_t restarts = 0;
   std::map<std::string, int64_t> completed_by_tenant;
+  /// Durable-log activity (0 when durability is off).
+  int64_t journal_records_appended = 0;
+  int64_t journal_append_failures = 0;
+  int64_t snapshots_written = 0;
+};
+
+/// \brief What the constructor recovered from a durable job log.
+struct ServiceRecoveryStats {
+  bool recovered = false;
+  bool snapshot_loaded = false;
+  int64_t journal_records_replayed = 0;
+  bool torn_tail = false;
+  /// Unfinished jobs requeued (in original submit order, bypassing
+  /// admission control — recovered work is never shed).
+  int64_t jobs_recovered = 0;
 };
 
 /// \brief The long-lived multi-tenant pipeline service.
@@ -196,6 +227,20 @@ class GesallService {
   /// Resumes admission and scheduling against the same Dfs.
   void Restart();
 
+  /// Chaos hook: as-if kill -9. Stops admission, cancels running jobs,
+  /// joins every service thread, and drops the journal handle WITHOUT
+  /// checkpointing or journaling the synthetic cancellations — exactly
+  /// the state a power loss leaves behind. The instance is dead
+  /// afterwards (only Wait/stats work); construct a fresh service on the
+  /// same durability root to recover. InvalidArgument when durability is
+  /// off.
+  Status SimulateCrash();
+
+  /// OK, or why the durable log could not be recovered at construction
+  /// (the error also fails every Submit, so a broken log is loud).
+  Status recovery_status() const;
+  ServiceRecoveryStats recovery_stats() const;
+
   State state() const;
   ServiceStats stats() const;
   int queue_depth() const;
@@ -227,11 +272,24 @@ class GesallService {
 
   void RunnerLoop();
   void WatchdogLoop();
+  /// Builds the JournaledStore, replays the job log, and requeues every
+  /// unfinished job in submit order (admission bypassed). Runs in the
+  /// constructor before any service thread starts.
+  void RecoverJobs();
+  /// Appends one record; failures land in journal_append_failures (the
+  /// service keeps running — the log degrades, never the data path).
+  void JournalBestEffort(std::string_view record);
+  void MaybeCheckpointLocked();
+  std::string EncodeSnapshotLocked() const;
   /// Picks the next job id per the weighted-fair policy; 0 when none
   /// eligible. Caller holds mu_.
   JobId PickNextJobLocked();
   Tenant& TenantEntryLocked(const std::string& name);
-  void FinishJobLocked(const std::shared_ptr<Job>& job, JobOutput output);
+  /// `journal=false` skips the finish record — used for the synthetic
+  /// shutdown/crash cancellations, which a durable log must NOT record
+  /// (those jobs are exactly the ones the next incarnation recovers).
+  void FinishJobLocked(const std::shared_ptr<Job>& job, JobOutput output,
+                       bool journal = true);
   void RunJob(const std::shared_ptr<Job>& job);
   /// Maps the optimizer's plan onto the job's PipelineConfig.
   void PlanJob(Job* job, PipelineConfig* cfg, JobOutput* out) const;
@@ -250,6 +308,7 @@ class GesallService {
   std::condition_variable cv_waiters_;  // destructor draining Wait()ers
   State state_ = State::kAccepting;   // guarded by mu_
   bool stop_ = false;                 // guarded by mu_
+  bool crashed_ = false;              // guarded by mu_
   JobId next_id_ = 1;                 // guarded by mu_
   std::map<JobId, std::shared_ptr<Job>> jobs_;      // guarded by mu_
   std::deque<JobId> queue_;                         // guarded by mu_
@@ -258,6 +317,18 @@ class GesallService {
   int waiters_ = 0;                                 // guarded by mu_
   int64_t in_flight_bytes_ = 0;                     // guarded by mu_
   ServiceStats stats_;                              // guarded by mu_
+
+  // Durable job log. journal_mu_ guards the store_ pointer itself
+  // (SimulateCrash drops it while round hooks may be appending);
+  // JournaledStore serializes its own operations. Lock order: mu_ may
+  // be held when taking journal_mu_, never the reverse.
+  mutable std::mutex journal_mu_;
+  std::unique_ptr<JournaledStore> store_;       // guarded by journal_mu_
+  /// Atomic because the round hook appends without holding mu_.
+  std::atomic<int64_t> journal_appends_{0};
+  std::atomic<int64_t> journal_failures_{0};
+  Status recovery_status_ = Status::OK();       // set in ctor, then const
+  ServiceRecoveryStats recovery_;               // set in ctor, then const
 
   std::vector<std::thread> runners_;
   std::thread watchdog_;

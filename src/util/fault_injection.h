@@ -42,6 +42,14 @@ inline constexpr char kFaultNodeRestart[] = "node.restart";
 /// Corrupts the reduce-side fetch of one map task's output (key = map
 /// task index, attempt = fetch epoch), forcing a map re-execution.
 inline constexpr char kFaultShuffleFetch[] = "mr.shuffle_fetch";
+/// Cuts a write-ahead-journal frame short on disk (key = records already
+/// appended to that journal, attempt = 0), simulating a crash mid-write:
+/// the append fails with IOError and the file ends in a torn frame that
+/// replay must discard.
+inline constexpr char kFaultFsShortWrite[] = "fs.short_write";
+/// Fails the fsync of a journal batch or snapshot with IOError (key =
+/// records appended / snapshot payload size, attempt = 0).
+inline constexpr char kFaultFsSyncFail[] = "fs.sync_fail";
 
 /// \brief Seeded injector of failures and latency at named fault points.
 ///

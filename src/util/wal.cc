@@ -1,0 +1,362 @@
+#include "util/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/crc32c.h"
+#include "util/fault_injection.h"
+#include "util/io.h"
+
+namespace gesall {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+Status IOErrorFromErrno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " failed for '" + path +
+                         "': " + std::strerror(errno));
+}
+
+// fflush + fsync of a stdio stream; every durable write funnels through
+// here so the fs.sync_fail point covers them all.
+Status FlushAndSync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return IOErrorFromErrno("fflush", path);
+  if (::fsync(fileno(f)) != 0) return IOErrorFromErrno("fsync", path);
+  return Status::OK();
+}
+
+std::string FrameRecord(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  BufferWriter w(&frame);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32c(payload));
+  w.PutBytes(payload);
+  return frame;
+}
+
+}  // namespace
+
+Status ValidateDurabilityOptions(const DurabilityOptions& options) {
+  if (!options.enabled()) return Status::OK();
+  if (options.snapshot_every_records < 0) {
+    return Status::InvalidArgument(
+        "DurabilityOptions: snapshot_every_records must be >= 0 (0 = never)");
+  }
+  if (options.fsync_every_records < 1) {
+    return Status::InvalidArgument(
+        "DurabilityOptions: fsync_every_records must be >= 1");
+  }
+  if (options.fsync_every_bytes < 0) {
+    return Status::InvalidArgument(
+        "DurabilityOptions: fsync_every_bytes must be >= 0 (0 = off)");
+  }
+  return Status::OK();
+}
+
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply) {
+  JournalReplayStats stats;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return stats;  // missing journal = empty
+  GESALL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  BufferReader r(data);
+  while (r.remaining() >= kFrameHeaderBytes) {
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    GESALL_RETURN_NOT_OK(r.GetU32(&len));
+    GESALL_RETURN_NOT_OK(r.GetU32(&crc));
+    if (len > r.remaining()) break;  // torn: frame extends past the file
+    std::string_view payload;
+    GESALL_RETURN_NOT_OK(r.GetBytes(len, &payload));
+    if (Crc32c(payload) != crc) break;  // torn or bit-rotted tail
+    GESALL_RETURN_NOT_OK(apply(payload));
+    ++stats.records;
+    stats.valid_bytes = static_cast<int64_t>(r.position());
+  }
+  stats.torn_tail = stats.valid_bytes < static_cast<int64_t>(data.size());
+  return stats;
+}
+
+JournalWriter::JournalWriter(std::string path,
+                             const DurabilityOptions& options,
+                             FaultInjector* injector, std::FILE* file)
+    : path_(std::move(path)),
+      options_(options),
+      injector_(injector),
+      file_(file) {}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    if (pending_records_ > 0) (void)FlushAndSync(file_, path_);
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, const DurabilityOptions& options,
+    FaultInjector* injector) {
+  // Truncate any torn tail left by a prior crash, so appended frames
+  // always follow valid ones and replay sees one contiguous valid run.
+  GESALL_ASSIGN_OR_RETURN(
+      JournalReplayStats scan,
+      ReplayJournal(path, [](std::string_view) { return Status::OK(); }));
+  std::error_code ec;
+  if (scan.torn_tail) {
+    fs::resize_file(path, static_cast<uint64_t>(scan.valid_bytes), ec);
+    if (ec) {
+      return Status::IOError("truncating torn journal tail of '" + path +
+                             "': " + ec.message());
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return IOErrorFromErrno("open", path);
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, options, injector, f));
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  std::string frame = FrameRecord(payload);
+  if (injector_ != nullptr &&
+      injector_->ShouldFail(kFaultFsShortWrite, records_appended_,
+                            /*attempt=*/0)) {
+    // Simulated crash mid-write: only a prefix of the frame reaches the
+    // file (header plus half the payload), then the write "fails". The
+    // file now ends in a torn frame; replay must stop before it.
+    size_t cut = kFrameHeaderBytes + payload.size() / 2;
+    std::fwrite(frame.data(), 1, cut, file_);
+    std::fflush(file_);
+    return Status::IOError("injected fault at " +
+                           std::string(kFaultFsShortWrite) + " for '" + path_ +
+                           "' (frame cut to " + std::to_string(cut) +
+                           " bytes)");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return IOErrorFromErrno("write", path_);
+  }
+  ++records_appended_;
+  ++pending_records_;
+  pending_bytes_ += static_cast<int64_t>(frame.size());
+  if (pending_records_ >= options_.fsync_every_records ||
+      (options_.fsync_every_bytes > 0 &&
+       pending_bytes_ >= options_.fsync_every_bytes)) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  if (pending_records_ == 0 && pending_bytes_ == 0) return Status::OK();
+  if (injector_ != nullptr &&
+      injector_->ShouldFail(kFaultFsSyncFail, records_appended_,
+                            /*attempt=*/0)) {
+    return Status::IOError("injected fault at " +
+                           std::string(kFaultFsSyncFail) + " for '" + path_ +
+                           "'");
+  }
+  GESALL_RETURN_NOT_OK(FlushAndSync(file_, path_));
+  pending_records_ = 0;
+  pending_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WriteDurableFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IOErrorFromErrno("open", path);
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    Status s = IOErrorFromErrno("write", path);
+    std::fclose(f);
+    return s;
+  }
+  Status synced = FlushAndSync(f, path);
+  std::fclose(f);
+  return synced;
+}
+
+Status WriteSnapshotFile(const std::string& path, std::string_view payload,
+                         FaultInjector* injector) {
+  const std::string tmp = path + ".tmp";
+  std::string frame = FrameRecord(payload);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return IOErrorFromErrno("open", tmp);
+  if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size()) {
+    Status s = IOErrorFromErrno("write", tmp);
+    std::fclose(f);
+    return s;
+  }
+  if (injector != nullptr &&
+      injector->ShouldFail(kFaultFsSyncFail,
+                           /*key=*/static_cast<int64_t>(payload.size()),
+                           /*attempt=*/0)) {
+    std::fclose(f);
+    return Status::IOError("injected fault at " +
+                           std::string(kFaultFsSyncFail) + " for '" + tmp +
+                           "'");
+  }
+  Status synced = FlushAndSync(f, tmp);
+  std::fclose(f);
+  GESALL_RETURN_NOT_OK(synced);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("renaming snapshot '" + tmp + "' -> '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadSnapshotFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("no snapshot at '" + path + "'");
+  }
+  GESALL_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  BufferReader r(data);
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!r.GetU32(&len).ok() || !r.GetU32(&crc).ok() || len != r.remaining()) {
+    return Status::Corruption("snapshot '" + path + "' is malformed");
+  }
+  std::string_view payload;
+  GESALL_RETURN_NOT_OK(r.GetBytes(len, &payload));
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("snapshot '" + path + "' fails its checksum");
+  }
+  return std::string(payload);
+}
+
+JournaledStore::JournaledStore(std::string dir, DurabilityOptions options,
+                               FaultInjector* injector)
+    : dir_(std::move(dir)), options_(std::move(options)), injector_(injector) {}
+
+JournaledStore::~JournaledStore() = default;
+
+std::string JournaledStore::SnapshotPath() const {
+  return dir_ + "/snapshot.img";
+}
+
+std::string JournaledStore::JournalPath(int64_t epoch) const {
+  return dir_ + "/journal-" + std::to_string(epoch) + ".log";
+}
+
+Status JournaledStore::Recover(
+    const std::function<Status(std::string_view)>& load_snapshot,
+    const std::function<Status(std::string_view)>& apply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("creating store directory '" + dir_ +
+                           "': " + ec.message());
+  }
+  epoch_ = 0;
+  snapshot_loaded_ = false;
+  Result<std::string> snap = ReadSnapshotFile(SnapshotPath());
+  if (snap.ok()) {
+    BufferReader r(snap.ValueOrDie());
+    int64_t epoch = 0;
+    std::string state;
+    if (!r.GetI64(&epoch).ok() || !r.GetString(&state).ok() || !r.AtEnd()) {
+      return Status::Corruption("snapshot in '" + dir_ +
+                                "' has a malformed envelope");
+    }
+    GESALL_RETURN_NOT_OK(load_snapshot(state));
+    epoch_ = epoch;
+    snapshot_loaded_ = true;
+  } else if (!snap.status().IsNotFound()) {
+    return snap.status();
+  }
+  GESALL_ASSIGN_OR_RETURN(replay_stats_,
+                          ReplayJournal(JournalPath(epoch_), apply));
+  GESALL_ASSIGN_OR_RETURN(
+      journal_, JournalWriter::Open(JournalPath(epoch_), options_, injector_));
+  records_since_snapshot_ = replay_stats_.records;
+  // A crash between "snapshot(E+1) written" and "journal-E deleted"
+  // leaves a stale journal from the prior epoch; sweep it now.
+  const std::string current = JournalPath(epoch_);
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string p = entry.path().string();
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("journal-", 0) == 0 && p != current) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  recovered_ = true;
+  return Status::OK();
+}
+
+Status JournaledStore::Append(std::string_view record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) {
+    return Status::Internal("JournaledStore: Append before Recover");
+  }
+  GESALL_RETURN_NOT_OK(journal_->Append(record));
+  ++records_since_snapshot_;
+  return Status::OK();
+}
+
+bool JournaledStore::ShouldCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_ && options_.snapshot_every_records > 0 &&
+         records_since_snapshot_ >= options_.snapshot_every_records;
+}
+
+Status JournaledStore::Checkpoint(std::string_view snapshot_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) {
+    return Status::Internal("JournaledStore: Checkpoint before Recover");
+  }
+  const int64_t new_epoch = epoch_ + 1;
+  std::string envelope;
+  BufferWriter w(&envelope);
+  w.PutI64(new_epoch);
+  w.PutString(snapshot_payload);
+  // Order matters: the snapshot lands (atomically, carrying the new
+  // epoch) before the journal switches. A crash before the rename keeps
+  // the old snapshot + old journal; after it, recovery replays the new
+  // epoch's (possibly absent = empty) journal.
+  GESALL_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(), envelope, injector_));
+  GESALL_ASSIGN_OR_RETURN(
+      std::unique_ptr<JournalWriter> fresh,
+      JournalWriter::Open(JournalPath(new_epoch), options_, injector_));
+  const std::string old_journal = JournalPath(epoch_);
+  journal_ = std::move(fresh);
+  epoch_ = new_epoch;
+  records_since_snapshot_ = 0;
+  ++snapshots_written_;
+  std::error_code ec;
+  fs::remove(old_journal, ec);  // best-effort; recovery sweeps stragglers
+  return Status::OK();
+}
+
+Status JournaledStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) return Status::OK();
+  return journal_->Sync();
+}
+
+int64_t JournaledStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t JournaledStore::records_since_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_since_snapshot_;
+}
+
+int64_t JournaledStore::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_written_;
+}
+
+}  // namespace gesall

@@ -1,0 +1,205 @@
+// Durable state substrate: a CRC-framed, fsync-batched write-ahead
+// journal plus an atomic snapshot codec, composed into a JournaledStore
+// that follows the HDFS namenode's fsimage/editlog protocol (the
+// mechanism GESALL inherits for namenode survival — §2.1 of the paper
+// assumes it; this reproduction had nothing under it until now).
+//
+// Journal framing, per record:
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload bytes]
+//
+// Replay is torn-tail tolerant: it stops at the first short or
+// CRC-mismatched frame and reports the valid prefix length, so a crash
+// mid-append loses at most the record being written — never yields a
+// partial record to the application. A writer opened on a torn journal
+// truncates the tail first, keeping the "journal = valid frames only"
+// invariant for subsequent appends.
+//
+// Snapshots are written atomically: CRC-framed payload to a temp file,
+// fsync, then rename over the target. A crash at any point leaves either
+// the old snapshot or the new one, never a hybrid.
+//
+// JournaledStore composes the two exactly like fsimage + edits_NNN:
+// snapshot.img carries an epoch number E and the journal lives in
+// journal-E.log. Checkpoint(state) writes snapshot(E+1), opens
+// journal-(E+1).log, then deletes journal-E.log — crash-safe in every
+// window because recovery prefers the snapshot's epoch and replays only
+// that epoch's journal.
+
+#ifndef GESALL_UTIL_WAL_H_
+#define GESALL_UTIL_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gesall {
+
+class FaultInjector;
+
+/// \brief Knobs of the durability layer, validated like DfsOptions.
+/// An empty root_dir disables durability entirely (the historical
+/// in-memory behavior); every durable component embeds one of these.
+struct DurabilityOptions {
+  /// Filesystem directory holding journal, snapshots, and payloads.
+  /// Empty = durability off.
+  std::string root_dir;
+  /// Checkpoint (snapshot + journal reset) after this many journal
+  /// records since the last snapshot. 0 = never snapshot (journal grows
+  /// without bound; replay cost is linear in total mutations).
+  int snapshot_every_records = 1024;
+  /// fsync the journal after every N appended records (1 = every record,
+  /// the HDFS editlog default; larger batches trade the durability
+  /// window for throughput).
+  int fsync_every_records = 1;
+  /// Additionally fsync once this many bytes are pending, regardless of
+  /// record count. 0 = no byte-based trigger.
+  int64_t fsync_every_bytes = 0;
+
+  bool enabled() const { return !root_dir.empty(); }
+};
+
+/// \brief Range/consistency validation; call before constructing any
+/// durable component. OK when disabled (root_dir empty).
+Status ValidateDurabilityOptions(const DurabilityOptions& options);
+
+/// \brief Outcome of replaying one journal file.
+struct JournalReplayStats {
+  /// Valid records applied.
+  int64_t records = 0;
+  /// Byte length of the valid prefix (where the next append would go).
+  int64_t valid_bytes = 0;
+  /// True when trailing bytes past the valid prefix were discarded (a
+  /// torn append from a crash mid-write).
+  bool torn_tail = false;
+};
+
+/// \brief Replays every valid record of `path` through `apply`, in
+/// order. A missing file is an empty journal (0 records, OK). Stops
+/// cleanly at the first torn or corrupt frame; an `apply` error aborts
+/// the replay with that error.
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply);
+
+/// \brief Appends CRC-framed records to one journal file with batched
+/// fsync. Not thread-safe; callers serialize (JournaledStore does).
+class JournalWriter {
+ public:
+  /// Opens `path` for appending, truncating any torn tail left by a
+  /// prior crash so new frames always follow valid ones. `injector`
+  /// (optional, not owned) arms the fs.short_write / fs.sync_fail
+  /// fault points.
+  static Result<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, const DurabilityOptions& options,
+      FaultInjector* injector = nullptr);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Frames and appends one record, fsyncing when the batch thresholds
+  /// are reached. Under an armed fs.short_write point the frame is cut
+  /// short on disk (simulating a crash mid-write) and IOError returns.
+  Status Append(std::string_view payload);
+
+  /// Forces any pending bytes to disk (fsync). Under an armed
+  /// fs.sync_fail point the sync is skipped and IOError returns.
+  Status Sync();
+
+  int64_t records_appended() const { return records_appended_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::string path, const DurabilityOptions& options,
+                FaultInjector* injector, std::FILE* file);
+
+  std::string path_;
+  DurabilityOptions options_;
+  FaultInjector* injector_;
+  std::FILE* file_;
+  int64_t records_appended_ = 0;
+  int pending_records_ = 0;
+  int64_t pending_bytes_ = 0;
+};
+
+/// \brief Writes `payload` CRC-framed to `path` atomically (temp file +
+/// fsync + rename). Surfaces IOError on any filesystem failure.
+Status WriteSnapshotFile(const std::string& path, std::string_view payload,
+                         FaultInjector* injector = nullptr);
+
+/// \brief Plain durable write: `data` to `path` (replacing), fsync'd
+/// before returning. Not framed and not atomic — used for bulk payloads
+/// (DFS block files) whose existence is gated by a journal record.
+Status WriteDurableFile(const std::string& path, std::string_view data);
+
+/// \brief Reads and verifies a snapshot written by WriteSnapshotFile.
+/// NotFound when the file does not exist; Corruption on CRC mismatch.
+Result<std::string> ReadSnapshotFile(const std::string& path);
+
+/// \brief fsimage/editlog-style durable store: one snapshot file plus an
+/// epoch-numbered journal, with crash-safe checkpointing. Thread-safe.
+class JournaledStore {
+ public:
+  /// `dir` is created on Recover. `injector` is optional, not owned.
+  JournaledStore(std::string dir, DurabilityOptions options,
+                 FaultInjector* injector = nullptr);
+  ~JournaledStore();
+
+  /// Loads the snapshot (if any) through `load_snapshot`, replays the
+  /// current epoch's journal through `apply`, and opens the journal for
+  /// appending. Must be called (successfully) before Append/Checkpoint.
+  Status Recover(const std::function<Status(std::string_view)>& load_snapshot,
+                 const std::function<Status(std::string_view)>& apply);
+
+  /// Appends one journal record (fsync-batched per options).
+  Status Append(std::string_view record);
+
+  /// True once snapshot_every_records journal records accumulated since
+  /// the last snapshot — the caller should serialize its state and call
+  /// Checkpoint soon.
+  bool ShouldCheckpoint() const;
+
+  /// Writes `snapshot_payload` as the new snapshot (epoch+1), switches
+  /// to a fresh journal for that epoch, and removes the old journal.
+  Status Checkpoint(std::string_view snapshot_payload);
+
+  /// Forces pending journal bytes to disk.
+  Status Sync();
+
+  /// True when the last Recover loaded a snapshot file.
+  bool snapshot_loaded() const { return snapshot_loaded_; }
+  /// Journal replay outcome of the last Recover.
+  const JournalReplayStats& replay_stats() const { return replay_stats_; }
+  int64_t epoch() const;
+  int64_t records_since_snapshot() const;
+  int64_t snapshots_written() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string SnapshotPath() const;
+  std::string JournalPath(int64_t epoch) const;
+
+  const std::string dir_;
+  const DurabilityOptions options_;
+  FaultInjector* const injector_;
+
+  mutable std::mutex mu_;
+  bool recovered_ = false;
+  int64_t epoch_ = 0;
+  int64_t records_since_snapshot_ = 0;
+  int64_t snapshots_written_ = 0;
+  bool snapshot_loaded_ = false;
+  JournalReplayStats replay_stats_;
+  std::unique_ptr<JournalWriter> journal_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_WAL_H_

@@ -1,0 +1,392 @@
+// Durability substrate tests: journal framing, torn-tail replay,
+// injected short-write/sync failures, atomic snapshots, and the
+// fsimage/editlog checkpoint protocol of JournaledStore — including the
+// snapshot-compaction equivalence replay(snapshot + tail) ==
+// replay(full journal) over randomized op sequences.
+
+#include "util/wal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault_injection.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace gesall {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("gesall_wal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Appends `payloads` to a fresh journal at `name` and closes it.
+  void WriteJournal(const std::string& name,
+                    const std::vector<std::string>& payloads,
+                    const DurabilityOptions& options = {}) {
+    auto writer = JournalWriter::Open(Path(name), options);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const auto& p : payloads) {
+      ASSERT_TRUE(writer.ValueOrDie()->Append(p).ok());
+    }
+  }
+
+  std::vector<std::string> Replayed(const std::string& name,
+                                    JournalReplayStats* stats = nullptr) {
+    std::vector<std::string> out;
+    auto result = ReplayJournal(Path(name), [&](std::string_view payload) {
+      out.emplace_back(payload);
+      return Status::OK();
+    });
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (stats != nullptr && result.ok()) *stats = result.ValueOrDie();
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalTest, ValidateOptions) {
+  DurabilityOptions off;  // disabled: anything goes
+  off.snapshot_every_records = -5;
+  EXPECT_TRUE(ValidateDurabilityOptions(off).ok());
+
+  DurabilityOptions on;
+  on.root_dir = Path("store");
+  EXPECT_TRUE(ValidateDurabilityOptions(on).ok());
+
+  on.snapshot_every_records = -1;
+  EXPECT_TRUE(ValidateDurabilityOptions(on).IsInvalidArgument());
+  on.snapshot_every_records = 0;  // 0 = never snapshot, legal
+  EXPECT_TRUE(ValidateDurabilityOptions(on).ok());
+
+  on.fsync_every_records = 0;
+  EXPECT_TRUE(ValidateDurabilityOptions(on).IsInvalidArgument());
+  on.fsync_every_records = 8;
+  on.fsync_every_bytes = -1;
+  EXPECT_TRUE(ValidateDurabilityOptions(on).IsInvalidArgument());
+  on.fsync_every_bytes = 1 << 20;
+  EXPECT_TRUE(ValidateDurabilityOptions(on).ok());
+}
+
+TEST_F(WalTest, RoundTripAndMissingJournal) {
+  JournalReplayStats stats;
+  EXPECT_TRUE(Replayed("absent.log", &stats).empty());
+  EXPECT_EQ(stats.records, 0);
+  EXPECT_FALSE(stats.torn_tail);
+
+  std::vector<std::string> payloads = {"alpha", "", std::string(5000, 'x'),
+                                       std::string("\0\xff\x01", 3)};
+  WriteJournal("j.log", payloads);
+  EXPECT_EQ(Replayed("j.log", &stats), payloads);
+  EXPECT_EQ(stats.records, 4);
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+// The satellite's torn-write contract: a journal truncated mid-record
+// recovers to the last durable prefix — never a partial record.
+TEST_F(WalTest, TornTailTruncationRecoversPrefix) {
+  std::vector<std::string> payloads = {"first-record", "second-record",
+                                       "third-record"};
+  WriteJournal("j.log", payloads);
+  const auto full_size = fs::file_size(Path("j.log"));
+  // Cut the file at every byte length from full down to zero: replay
+  // must always yield an exact prefix of the appended records.
+  for (uint64_t cut = full_size; cut > 0; --cut) {
+    fs::resize_file(Path("j.log"), cut - 1);
+    JournalReplayStats stats;
+    auto got = Replayed("j.log", &stats);
+    ASSERT_LE(got.size(), payloads.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], payloads[i]) << "cut=" << cut - 1;
+    }
+    ASSERT_EQ(stats.torn_tail,
+              stats.valid_bytes != static_cast<int64_t>(cut) - 1);
+  }
+}
+
+TEST_F(WalTest, CorruptMiddleByteStopsReplayAtPriorRecord) {
+  WriteJournal("j.log", {"aaaa", "bbbb", "cccc"});
+  auto data = ReadFileToString(Path("j.log")).ValueOrDie();
+  data[8 + 4 + 8 + 1] ^= 0x40;  // flip a bit inside record 2's payload
+  ASSERT_TRUE(WriteStringToFile(Path("j.log"), data).ok());
+  JournalReplayStats stats;
+  auto got = Replayed("j.log", &stats);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "aaaa");
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+// Opening a writer on a torn journal truncates the tail, so appended
+// records extend the valid prefix instead of hiding behind the tear.
+TEST_F(WalTest, OpenTruncatesTornTailBeforeAppending) {
+  WriteJournal("j.log", {"kept", "torn-away"});
+  fs::resize_file(Path("j.log"), fs::file_size(Path("j.log")) - 3);
+  WriteJournal("j.log", {"appended"});
+  JournalReplayStats stats;
+  EXPECT_EQ(Replayed("j.log", &stats),
+            (std::vector<std::string>{"kept", "appended"}));
+  EXPECT_FALSE(stats.torn_tail);
+}
+
+TEST_F(WalTest, InjectedShortWriteLeavesTornTail) {
+  FaultInjector injector(7);
+  injector.ArmSchedule(kFaultFsShortWrite, /*key=*/2, {0});
+  DurabilityOptions options;
+  auto writer = JournalWriter::Open(Path("j.log"), options, &injector);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(writer.ValueOrDie()->Append("one").ok());
+  EXPECT_TRUE(writer.ValueOrDie()->Append("two").ok());
+  Status torn = writer.ValueOrDie()->Append("three-cut-short");
+  EXPECT_TRUE(torn.IsIOError()) << torn.ToString();
+  writer = Status::IOError("closed");  // drop the writer, flushing
+  EXPECT_EQ(injector.fires(kFaultFsShortWrite), 1);
+
+  JournalReplayStats stats;
+  EXPECT_EQ(Replayed("j.log", &stats),
+            (std::vector<std::string>{"one", "two"}));
+  EXPECT_TRUE(stats.torn_tail);
+}
+
+TEST_F(WalTest, InjectedSyncFailureSurfacesIOError) {
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultFsSyncFail, 1).ok());
+  DurabilityOptions options;  // fsync_every_records = 1: sync per append
+  auto writer = JournalWriter::Open(Path("j.log"), options, &injector);
+  ASSERT_TRUE(writer.ok());
+  Status st = writer.ValueOrDie()->Append("payload");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_GE(injector.fires(kFaultFsSyncFail), 1);
+}
+
+TEST_F(WalTest, FsyncBatchingCountsRecords) {
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmProbability(kFaultFsSyncFail, 1.0).ok());
+  DurabilityOptions options;
+  options.fsync_every_records = 3;
+  auto writer = JournalWriter::Open(Path("j.log"), options, &injector);
+  ASSERT_TRUE(writer.ok());
+  // With a batch of 3, the armed sync failure only fires on the third
+  // append; the first two buffer without syncing.
+  EXPECT_TRUE(writer.ValueOrDie()->Append("a").ok());
+  EXPECT_TRUE(writer.ValueOrDie()->Append("b").ok());
+  EXPECT_TRUE(writer.ValueOrDie()->Append("c").IsIOError());
+}
+
+TEST_F(WalTest, SnapshotRoundTripAndCorruptionDetection) {
+  const std::string payload(10'000, 's');
+  ASSERT_TRUE(WriteSnapshotFile(Path("snap"), payload).ok());
+  auto read = ReadSnapshotFile(Path("snap"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), payload);
+
+  EXPECT_TRUE(ReadSnapshotFile(Path("absent")).status().IsNotFound());
+
+  auto raw = ReadFileToString(Path("snap")).ValueOrDie();
+  raw[raw.size() / 2] ^= 1;
+  ASSERT_TRUE(WriteStringToFile(Path("snap"), raw).ok());
+  EXPECT_TRUE(ReadSnapshotFile(Path("snap")).status().IsCorruption());
+}
+
+TEST_F(WalTest, SnapshotWriteIsAtomicUnderSyncFailure) {
+  ASSERT_TRUE(WriteSnapshotFile(Path("snap"), "old-state").ok());
+  FaultInjector injector(7);
+  ASSERT_TRUE(injector.ArmProbability(kFaultFsSyncFail, 1.0).ok());
+  Status st = WriteSnapshotFile(Path("snap"), "new-state", &injector);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  // The failed write never replaced the durable snapshot.
+  EXPECT_EQ(ReadSnapshotFile(Path("snap")).ValueOrDie(), "old-state");
+}
+
+// ---------------------------------------------------------------------
+// JournaledStore: fsimage/editlog protocol.
+
+struct CounterState {
+  int64_t sum = 0;
+  int64_t records = 0;
+
+  std::string Encode() const {
+    std::string out;
+    BufferWriter w(&out);
+    w.PutI64(sum);
+    w.PutI64(records);
+    return out;
+  }
+  Status Load(std::string_view payload) {
+    BufferReader r(payload);
+    GESALL_RETURN_NOT_OK(r.GetI64(&sum));
+    return r.GetI64(&records);
+  }
+  Status Apply(std::string_view payload) {
+    BufferReader r(payload);
+    int64_t delta = 0;
+    GESALL_RETURN_NOT_OK(r.GetI64(&delta));
+    sum += delta;
+    ++records;
+    return Status::OK();
+  }
+};
+
+std::string EncodeDelta(int64_t delta) {
+  std::string out;
+  BufferWriter w(&out);
+  w.PutI64(delta);
+  return out;
+}
+
+TEST_F(WalTest, StoreRecoversAcrossCheckpointsAndReopen) {
+  DurabilityOptions options;
+  options.root_dir = Path("store");
+  options.snapshot_every_records = 4;
+
+  CounterState state;
+  auto load = [&state](std::string_view p) { return state.Load(p); };
+  auto apply = [&state](std::string_view p) { return state.Apply(p); };
+
+  int64_t expect_sum = 0;
+  {
+    JournaledStore store(options.root_dir, options);
+    ASSERT_TRUE(store.Recover(load, apply).ok());
+    EXPECT_FALSE(store.snapshot_loaded());
+    for (int64_t d = 1; d <= 10; ++d) {
+      ASSERT_TRUE(store.Append(EncodeDelta(d)).ok());
+      state.sum += d;
+      ++state.records;
+      expect_sum += d;
+      if (store.ShouldCheckpoint()) {
+        ASSERT_TRUE(store.Checkpoint(state.Encode()).ok());
+      }
+    }
+    EXPECT_GE(store.snapshots_written(), 2);
+    EXPECT_GE(store.epoch(), 2);
+  }
+
+  // Reopen: snapshot + current-epoch journal reconstruct the state.
+  CounterState recovered;
+  JournaledStore store(options.root_dir, options);
+  ASSERT_TRUE(store
+                  .Recover([&](std::string_view p) { return recovered.Load(p); },
+                           [&](std::string_view p) { return recovered.Apply(p); })
+                  .ok());
+  EXPECT_TRUE(store.snapshot_loaded());
+  EXPECT_EQ(recovered.sum, expect_sum);
+  EXPECT_EQ(recovered.records, 10);
+  // Only the current epoch's journal survives checkpointing.
+  int journals = 0;
+  for (const auto& e : fs::directory_iterator(options.root_dir)) {
+    journals += e.path().filename().string().rfind("journal-", 0) == 0;
+  }
+  EXPECT_EQ(journals, 1);
+}
+
+// Satellite: snapshot-compaction correctness over randomized op
+// sequences — a store that checkpoints (replaying snapshot + journal
+// tail) must recover the exact state of a never-snapshotting store that
+// replays its full journal.
+TEST_F(WalTest, SnapshotCompactionEquivalenceRandomized) {
+  std::mt19937_64 rng(20260809);
+  for (int trial = 0; trial < 8; ++trial) {
+    DurabilityOptions with_snap;
+    with_snap.root_dir = Path("snap_store_" + std::to_string(trial));
+    with_snap.snapshot_every_records =
+        1 + static_cast<int>(rng() % 7);  // aggressive, varied cadence
+    DurabilityOptions no_snap;
+    no_snap.root_dir = Path("flat_store_" + std::to_string(trial));
+    no_snap.snapshot_every_records = 0;  // full journal, never compacts
+
+    CounterState a, b;
+    {
+      JournaledStore sa(with_snap.root_dir, with_snap);
+      JournaledStore sb(no_snap.root_dir, no_snap);
+      ASSERT_TRUE(
+          sa.Recover([&](std::string_view p) { return a.Load(p); },
+                     [&](std::string_view p) { return a.Apply(p); })
+              .ok());
+      ASSERT_TRUE(
+          sb.Recover([&](std::string_view p) { return b.Load(p); },
+                     [&](std::string_view p) { return b.Apply(p); })
+              .ok());
+      const int ops = 20 + static_cast<int>(rng() % 60);
+      for (int i = 0; i < ops; ++i) {
+        const auto delta = static_cast<int64_t>(rng() % 1000) - 500;
+        const std::string rec = EncodeDelta(delta);
+        ASSERT_TRUE(sa.Append(rec).ok());
+        ASSERT_TRUE(sb.Append(rec).ok());
+        a.sum += delta;
+        ++a.records;
+        if (sa.ShouldCheckpoint()) {
+          ASSERT_TRUE(sa.Checkpoint(a.Encode()).ok());
+        }
+      }
+    }
+    CounterState ra, rb;
+    JournaledStore sa(with_snap.root_dir, with_snap);
+    JournaledStore sb(no_snap.root_dir, no_snap);
+    ASSERT_TRUE(sa.Recover([&](std::string_view p) { return ra.Load(p); },
+                           [&](std::string_view p) { return ra.Apply(p); })
+                    .ok());
+    ASSERT_TRUE(sb.Recover([&](std::string_view p) { return rb.Load(p); },
+                           [&](std::string_view p) { return rb.Apply(p); })
+                    .ok());
+    EXPECT_TRUE(sa.snapshot_loaded());
+    EXPECT_FALSE(sb.snapshot_loaded());
+    EXPECT_EQ(ra.sum, rb.sum) << "trial " << trial;
+    EXPECT_EQ(ra.records, rb.records) << "trial " << trial;
+  }
+}
+
+TEST_F(WalTest, StoreSurvivesTornTailOnRecover) {
+  DurabilityOptions options;
+  options.root_dir = Path("store");
+  options.snapshot_every_records = 0;
+  CounterState state;
+  {
+    JournaledStore store(options.root_dir, options);
+    ASSERT_TRUE(store
+                    .Recover([&](std::string_view p) { return state.Load(p); },
+                             [&](std::string_view p) { return state.Apply(p); })
+                    .ok());
+    for (int64_t d = 0; d < 5; ++d) {
+      ASSERT_TRUE(store.Append(EncodeDelta(1)).ok());
+    }
+  }
+  // Tear the journal mid-record, as a crash would.
+  const std::string journal = options.root_dir + "/journal-0.log";
+  fs::resize_file(journal, fs::file_size(journal) - 5);
+
+  CounterState recovered;
+  JournaledStore store(options.root_dir, options);
+  ASSERT_TRUE(
+      store
+          .Recover([&](std::string_view p) { return recovered.Load(p); },
+                   [&](std::string_view p) { return recovered.Apply(p); })
+          .ok());
+  EXPECT_EQ(recovered.records, 4);
+  EXPECT_TRUE(store.replay_stats().torn_tail);
+  // And the store keeps accepting appends after the tear.
+  ASSERT_TRUE(store.Append(EncodeDelta(1)).ok());
+}
+
+}  // namespace
+}  // namespace gesall

@@ -18,7 +18,14 @@
 #     treatment via the differential suite. The dfs and service suites
 #     cover the durability layer: journal replay over torn tails,
 #     SimulateCrash teardown/rebuild, and job-log recovery all juggle
-#     raw FILE* handles and buffers whose misuse ASan surfaces.
+#     raw FILE* handles and buffers whose misuse ASan surfaces. The
+#     compressed data path rides the same suites: the bgzf codec and its
+#     torn/corrupt-block decodes (util_test), lazy-decompress merge
+#     cursors whose entries die on Advance (mr_test
+#     shuffle_compression_test), and compressed DFS parts under
+#     quarantine/repair and crash-restart (dfs_test
+#     dfs_compression_test) are all scratch-buffer-reuse machinery
+#     where an overread is silent without ASan.
 #   - UBSan (dfs_test, mr_test, align_test): the integrity layer's
 #     checksum kernels (unaligned word loads, table folds, shift
 #     combines), the fault-injection arithmetic, and the 16-bit

@@ -44,7 +44,12 @@ Result<int64_t> FindChunkBoundary(const Dfs& dfs, const std::string& path,
     GESALL_ASSIGN_OR_RETURN(std::string window,
                             dfs.ReadRange(path, base, take));
     for (size_t i = 0; i + kBgzfHeaderSize <= window.size(); ++i) {
-      if (window.compare(i, 4, "GBZ1") != 0) continue;
+      // Either codec method ('1' deflate, '0' stored fallback) starts a
+      // valid chunk.
+      if (window.compare(i, 3, "GBZ") != 0 ||
+          (window[i + 3] != '1' && window[i + 3] != '0')) {
+        continue;
+      }
       auto size = BgzfPeekBlockSize(std::string_view(window).substr(i));
       if (!size.ok()) continue;
       int64_t candidate = base + static_cast<int64_t>(i);

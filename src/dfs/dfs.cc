@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "util/bgzf.h"
 #include "util/crc32c.h"
 #include "util/executor.h"
 #include "util/fault_injection.h"
@@ -66,6 +67,9 @@ Status Dfs::ValidateOptions(const DfsOptions& o) {
   }
   if (o.heartbeat_miss_threshold < 1) {
     return Status::InvalidArgument("heartbeat_miss_threshold must be >= 1");
+  }
+  if (o.compress_level < -1 || o.compress_level > 9) {
+    return Status::InvalidArgument("compress_level must be -1..9");
   }
   GESALL_RETURN_NOT_OK(ValidateDurabilityOptions(o.durability));
   return Status::OK();
@@ -146,13 +150,17 @@ Status Dfs::Write(const std::string& path, std::string_view data,
   GESALL_RETURN_NOT_OK(init_status_);
   if (policy == nullptr) policy = &default_policy_;
 
-  // Placement and checksums are pure in the input; compute them before
-  // taking the namenode lock so concurrent readers are not stalled
-  // behind CRC sweeps of a large file.
+  // Placement, compression, and checksums are pure in the input; compute
+  // them before taking the namenode lock so concurrent readers are not
+  // stalled behind deflate or CRC sweeps of a large file.
   struct PendingBlock {
-    int64_t length = 0;
+    int64_t length = 0;  // logical (uncompressed) length
     std::vector<int> placement;
-    std::string_view bytes;
+    std::string_view bytes;       // raw payload
+    std::string stored;           // BGZF frames when compressing
+    std::string_view store_view;  // bytes that land on data nodes/disk
+    bool compressed = false;
+    int64_t compress_micros = 0;
     std::vector<uint32_t> chunk_sums;
   };
   const int64_t size = static_cast<int64_t>(data.size());
@@ -172,7 +180,19 @@ Status Dfs::Write(const std::string& path, std::string_view data,
     }
     pb.bytes =
         data.substr(static_cast<size_t>(off), static_cast<size_t>(len));
-    pb.chunk_sums = ChunkSums(pb.bytes);
+    if (options_.compress_parts && len > 0) {
+      BgzfWriter writer(&pb.stored, options_.compress_level);
+      GESALL_RETURN_NOT_OK(writer.Append(pb.bytes));
+      GESALL_RETURN_NOT_OK(writer.Flush());
+      pb.compressed = true;
+      pb.compress_micros = writer.stats().compress_micros;
+      pb.store_view = pb.stored;
+    } else {
+      pb.store_view = pb.bytes;
+    }
+    // Checksums cover the stored bytes: corruption is detected before
+    // any decompress attempt, exactly as HDFS checksums sit under codecs.
+    pb.chunk_sums = ChunkSums(pb.store_view);
   }
 
   std::lock_guard<std::mutex> lock(health_mu_);
@@ -184,13 +204,18 @@ Status Dfs::Write(const std::string& path, std::string_view data,
     int64_t id = next_block_id_++;
     BlockMeta bm;
     bm.length = pb.length;
+    bm.stored_length = static_cast<int64_t>(pb.store_view.size());
+    bm.compressed = pb.compressed;
     for (int node : pb.placement) {
       bm.replicas.push_back({node, bm.next_ordinal++});
-      nodes_[node].blocks[id] = std::string(pb.bytes);
+      nodes_[node].blocks[id] = std::string(pb.store_view);
     }
     bm.chunk_sums = std::move(pb.chunk_sums);
     blocks_[id] = std::move(bm);
     meta.blocks.push_back(id);
+    stats_.bytes_written_raw += pb.length;
+    stats_.bytes_written_stored += static_cast<int64_t>(pb.store_view.size());
+    stats_.compress_micros += pb.compress_micros;
   }
   files_[path] = std::move(meta);
   if (store_ != nullptr) {
@@ -199,8 +224,8 @@ Status Dfs::Write(const std::string& path, std::string_view data,
     // reverse order would let replay resurrect a file without bytes.
     const FileMeta& fm = files_.at(path);
     for (size_t b = 0; b < fm.blocks.size(); ++b) {
-      GESALL_RETURN_NOT_OK(
-          WriteDurableFile(BlockPayloadPath(fm.blocks[b]), pending[b].bytes));
+      GESALL_RETURN_NOT_OK(WriteDurableFile(BlockPayloadPath(fm.blocks[b]),
+                                            pending[b].store_view));
     }
     std::string rec;
     BufferWriter w(&rec);
@@ -256,8 +281,18 @@ Result<std::string> Dfs::ReadRangeLocked(const std::string& path,
                              std::to_string(block_id) + " unavailable");
     }
     int64_t take = std::min<int64_t>(length, bm.length - intra);
-    out.append(*bytes, static_cast<size_t>(intra),
-               static_cast<size_t>(take));
+    if (bm.compressed) {
+      // Lazy decode: only the 64 KiB BGZF sub-blocks covering
+      // [intra, intra+take) inflate; the rest are skipped by header walk.
+      int64_t micros = 0;
+      GESALL_RETURN_NOT_OK(BgzfReadRange(*bytes, static_cast<size_t>(intra),
+                                         static_cast<size_t>(take), &out,
+                                         &micros));
+      stats_.decompress_micros += micros;
+    } else {
+      out.append(*bytes, static_cast<size_t>(intra),
+                 static_cast<size_t>(take));
+    }
     pos += take;
     length -= take;
   }
@@ -418,7 +453,7 @@ void Dfs::RepairBlockLocked(int64_t block_id, BlockMeta* bm) {
     bm->replicas.push_back({dest, bm->next_ordinal++});
     verified_.insert({block_id, dest});
     ++stats_.blocks_re_replicated;
-    stats_.bytes_re_replicated += bm->length;
+    stats_.bytes_re_replicated += bm->stored_length;
     if (store_ != nullptr) {
       // The clone shares the canonical payload file; only the replica
       // mapping needs to go durable.
@@ -657,6 +692,8 @@ void Dfs::MaybeCheckpointLocked() {
 void Dfs::EncodeBlock(BufferWriter* w, int64_t id, const BlockMeta& bm) {
   w->PutI64(id);
   w->PutI64(bm.length);
+  w->PutI64(bm.stored_length);
+  w->PutU8(bm.compressed ? 1 : 0);
   w->PutI32(bm.next_ordinal);
   w->PutU32(static_cast<uint32_t>(bm.chunk_sums.size()));
   for (uint32_t s : bm.chunk_sums) w->PutU32(s);
@@ -670,6 +707,10 @@ void Dfs::EncodeBlock(BufferWriter* w, int64_t id, const BlockMeta& bm) {
 Status Dfs::DecodeBlock(BufferReader* r, int64_t* id, BlockMeta* bm) {
   GESALL_RETURN_NOT_OK(r->GetI64(id));
   GESALL_RETURN_NOT_OK(r->GetI64(&bm->length));
+  GESALL_RETURN_NOT_OK(r->GetI64(&bm->stored_length));
+  uint8_t compressed = 0;
+  GESALL_RETURN_NOT_OK(r->GetU8(&compressed));
+  bm->compressed = compressed != 0;
   int32_t next_ordinal = 0;
   GESALL_RETURN_NOT_OK(r->GetI32(&next_ordinal));
   bm->next_ordinal = next_ordinal;
@@ -846,7 +887,7 @@ Status Dfs::RecoverLocked() {
   for (const auto& [id, bm] : blocks_) {
     Result<std::string> data = ReadFileToString(BlockPayloadPath(id));
     if (!data.ok() ||
-        static_cast<int64_t>(data.ValueOrDie().size()) != bm.length) {
+        static_cast<int64_t>(data.ValueOrDie().size()) != bm.stored_length) {
       bad_blocks.insert(id);
     } else {
       payloads[id] = data.MoveValueUnsafe();

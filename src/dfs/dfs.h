@@ -58,6 +58,15 @@ struct DfsOptions {
   /// and its blocks are re-replicated (dfs.namenode.heartbeat
   /// recheck-interval analog, in Tick() units).
   int heartbeat_miss_threshold = 2;
+  /// Store block payloads as BGZF-framed compressed blocks
+  /// (mapreduce intermediate-compression analog for DFS round parts).
+  /// Transparent to readers: ReadRange decompresses lazily, one 64 KiB
+  /// block at a time, so a small range never inflates a whole DFS block.
+  /// Replication, per-chunk CRC32C sums, corruption quarantine, and
+  /// durable payload files all operate on the stored (compressed) bytes.
+  bool compress_parts = false;
+  /// zlib level for compress_parts (-1 = zlib default, else 0..9).
+  int compress_level = -1;
   /// Namenode durability (HDFS fsimage/editlog analog). When
   /// durability.root_dir is set, block payloads persist as files under
   /// "<root>/blocks/", namespace mutations (create/delete/re-replicate/
@@ -97,6 +106,16 @@ struct DfsStats {
   /// Best-effort journal appends (read-path quarantine, scrubber) that
   /// failed; write-path journal failures surface as IOError instead.
   int64_t journal_append_failures = 0;
+  /// Logical (pre-compression) payload bytes written. Equal to
+  /// bytes_written_stored when compress_parts is off.
+  int64_t bytes_written_raw = 0;
+  /// On-disk payload bytes written (per replica copies not included —
+  /// this is the canonical-copy size, the Fig-10 "disk bytes" axis).
+  int64_t bytes_written_stored = 0;
+  /// CPU time in deflate at write time (compress_parts only).
+  int64_t compress_micros = 0;
+  /// CPU time in inflate on the read path (compress_parts only).
+  int64_t decompress_micros = 0;
 };
 
 /// \brief What the last recovery (construction or SimulateCrash) rebuilt.
@@ -268,9 +287,15 @@ class Dfs {
     int ordinal = 0;
   };
   struct BlockMeta {
+    /// Logical (uncompressed) length — what Locate/FileSize report.
     int64_t length = 0;
+    /// On-disk length of the stored bytes (== length when !compressed).
+    int64_t stored_length = 0;
+    /// Stored bytes are a BGZF stream; reads decompress lazily.
+    bool compressed = false;
     std::vector<Replica> replicas;
-    /// CRC32C per checksum_chunk_bytes slice (HDFS block .meta analog).
+    /// CRC32C per checksum_chunk_bytes slice of the *stored* bytes
+    /// (HDFS block .meta analog) — compression is under the checksum.
     std::vector<uint32_t> chunk_sums;
     int next_ordinal = 0;
   };

@@ -217,4 +217,21 @@ NodeFailureSummary SummarizeNodeFailures(const JobCounters& counters,
   return out;
 }
 
+StorageSummary SummarizeStorage(const JobCounters& counters,
+                                const DfsStats* dfs_stats) {
+  StorageSummary out;
+  out.shuffle_bytes_raw = counters.Get("shuffle_spill_bytes_raw");
+  out.shuffle_bytes_compressed =
+      counters.Get("shuffle_spill_bytes_compressed");
+  out.shuffle_compress_micros = counters.Get("shuffle_compress_micros");
+  out.shuffle_decompress_micros = counters.Get("shuffle_decompress_micros");
+  if (dfs_stats != nullptr) {
+    out.dfs_bytes_raw = dfs_stats->bytes_written_raw;
+    out.dfs_bytes_compressed = dfs_stats->bytes_written_stored;
+    out.dfs_compress_micros = dfs_stats->compress_micros;
+    out.dfs_decompress_micros = dfs_stats->decompress_micros;
+  }
+  return out;
+}
+
 }  // namespace gesall

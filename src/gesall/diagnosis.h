@@ -165,6 +165,45 @@ struct NodeFailureSummary {
 NodeFailureSummary SummarizeNodeFailures(const JobCounters& counters,
                                          const DfsStats* dfs_stats);
 
+/// \brief Disk-byte and compression telemetry of one pipeline execution:
+/// raw vs on-disk bytes on the shuffle-spill and DFS-part paths plus the
+/// codec cpu time — both axes of the Fig. 10 disk-utilization study, so
+/// a reviewer sees what compression bought and what it cost.
+struct StorageSummary {
+  // Shuffle spill path (JobConfig::compress_shuffle).
+  int64_t shuffle_bytes_raw = 0;
+  int64_t shuffle_bytes_compressed = 0;
+  int64_t shuffle_compress_micros = 0;
+  int64_t shuffle_decompress_micros = 0;
+  // DFS part path (DfsOptions::compress_parts). Raw == stored when
+  // compression is off; both are canonical-copy sizes (replication not
+  // multiplied in).
+  int64_t dfs_bytes_raw = 0;
+  int64_t dfs_bytes_compressed = 0;
+  int64_t dfs_compress_micros = 0;
+  int64_t dfs_decompress_micros = 0;
+
+  static double Ratio(int64_t raw, int64_t stored) {
+    return stored > 0 ? static_cast<double>(raw) / static_cast<double>(stored)
+                      : 1.0;
+  }
+  double shuffle_ratio() const {
+    return Ratio(shuffle_bytes_raw, shuffle_bytes_compressed);
+  }
+  double dfs_ratio() const { return Ratio(dfs_bytes_raw, dfs_bytes_compressed); }
+  /// True when either path actually shrank bytes on disk.
+  bool any_compression_active() const {
+    return (shuffle_bytes_compressed > 0 &&
+            shuffle_bytes_compressed < shuffle_bytes_raw) ||
+           (dfs_bytes_compressed > 0 && dfs_bytes_compressed < dfs_bytes_raw);
+  }
+};
+
+/// \brief Extracts the disk-byte/compression telemetry from aggregated
+/// job counters plus (optionally) the DFS stats.
+StorageSummary SummarizeStorage(const JobCounters& counters,
+                                const DfsStats* dfs_stats);
+
 /// \brief Wall span of one pipeline round, relative to the run start.
 struct RoundSpan {
   std::string name;

@@ -670,6 +670,8 @@ JobConfig GesallPipeline::MakeJobConfig(int reducers) const {
   cfg.speculative_execution = config_.speculative_execution;
   cfg.speculative_slow_task_ms = config_.speculative_slow_task_ms;
   cfg.skip_bad_records = config_.skip_bad_records;
+  cfg.compress_shuffle = config_.compress_shuffle;
+  cfg.shuffle_compress_level = config_.shuffle_compress_level;
   // Node model: MR tasks run on the same simulated cluster the DFS
   // replicates over, so "node.crash" kills both a node's replicas (on
   // the next heartbeat Tick) and its map outputs (at reduce fetch).
@@ -775,6 +777,13 @@ NodeFailureSummary GesallPipeline::SummarizeNodeFailures() const {
   for (const auto& round : stats_) merged.Merge(round.counters);
   DfsStats dfs_stats = dfs_ != nullptr ? dfs_->stats() : DfsStats{};
   return gesall::SummarizeNodeFailures(merged, &dfs_stats);
+}
+
+StorageSummary GesallPipeline::SummarizeStorage() const {
+  JobCounters merged;
+  for (const auto& round : stats_) merged.Merge(round.counters);
+  DfsStats dfs_stats = dfs_ != nullptr ? dfs_->stats() : DfsStats{};
+  return gesall::SummarizeStorage(merged, &dfs_stats);
 }
 
 Status GesallPipeline::LoadSample(const std::vector<FastqRecord>& mate1,

@@ -67,6 +67,14 @@ struct PipelineConfig {
   int max_parallel_tasks = 4;
   /// Map-side sort buffer (mapreduce.task.io.sort.mb analog).
   int64_t sort_buffer_bytes = 64LL << 20;
+  /// Compress map-side spill runs with the BGZF codec
+  /// (mapreduce.map.output.compress analog), forwarded into every
+  /// round's JobConfig. Merged reduce input — and thus every output —
+  /// is byte-identical either way; only disk bytes and codec cpu move
+  /// (reported through SummarizeStorage).
+  bool compress_shuffle = false;
+  /// zlib level for compress_shuffle (-1 = zlib default, else 0..9).
+  int shuffle_compress_level = -1;
   /// Arm the map-side combiners of rounds 2 and 3 (Hadoop combiner
   /// analog). Combiners are output-preserving: variant calls and every
   /// per-record counter are identical either way; only map-side work
@@ -226,6 +234,11 @@ class GesallPipeline {
   /// round plus the DFS checksum/heartbeat stats into one
   /// NodeFailureSummary, ready for GenerateDiagnosisReport.
   NodeFailureSummary SummarizeNodeFailures() const;
+
+  /// Aggregates the raw-vs-compressed disk-byte counters of every
+  /// executed round plus the DFS codec stats into one StorageSummary,
+  /// ready for GenerateDiagnosisReport.
+  StorageSummary SummarizeStorage() const;
 
   /// Execution-engine telemetry of the last RunAll(): executor
   /// task/steal/queue-wait deltas, per-round wall spans, and the

@@ -38,6 +38,10 @@ struct DiagnosisReportInputs {
   /// of the round DAG) — rendered as its own section so a reviewer sees
   /// where the wall-clock went and what bounds further overlap.
   const ExecutionSummary* execution = nullptr;
+  /// Optional disk-byte/compression telemetry (raw vs on-disk bytes on
+  /// the shuffle and DFS paths, codec cpu time) — rendered as its own
+  /// "Disk bytes" section, the Fig. 10 disk-utilization axes.
+  const StorageSummary* storage = nullptr;
 };
 
 /// \brief Computed report: the structured verdicts plus markdown text.
@@ -50,6 +54,7 @@ struct DiagnosisReport {
   FaultToleranceSummary fault_tolerance;      // zero when not supplied
   NodeFailureSummary node_failures;           // zero when not supplied
   ExecutionSummary execution;                 // zero when not supplied
+  StorageSummary storage;                     // zero when not supplied
 
   /// The paper's acceptance criteria (§4.5.2 conclusions).
   bool discordance_is_low_quality = false;  // weighted << raw D_count

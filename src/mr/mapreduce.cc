@@ -69,6 +69,10 @@ Status ValidateJobConfig(const JobConfig& c, bool needs_reducers) {
     return Status::InvalidArgument(
         "max_map_reexecutions must be non-negative");
   }
+  if (c.shuffle_compress_level < -1 || c.shuffle_compress_level > 9) {
+    return Status::InvalidArgument(
+        "shuffle_compress_level must be -1..9");
+  }
   return Status::OK();
 }
 
@@ -179,13 +183,15 @@ void RunTaskAttempts(const JobConfig& cfg, const Fn& run_attempt,
 
 class MapContextImpl : public MapContext {
  public:
-  MapContextImpl(const Partitioner* partitioner, int num_partitions,
-                 int64_t sort_buffer_bytes, Combiner* combiner,
-                 bool checksum, MapTaskOutput* out)
-      : partitioner_(partitioner), num_partitions_(num_partitions),
+  MapContextImpl(const Partitioner* partitioner, const JobConfig& cfg,
+                 Combiner* combiner, Executor* executor, MapTaskOutput* out)
+      : partitioner_(partitioner), num_partitions_(cfg.num_reducers),
         out_(out) {
     out_->shuffle = std::make_unique<ShuffleBuffer>(
-        num_partitions, sort_buffer_bytes, combiner, checksum);
+        cfg.num_reducers, cfg.sort_buffer_bytes, combiner,
+        cfg.checksum_shuffle, cfg.compress_shuffle,
+        cfg.shuffle_compress_level,
+        cfg.compress_shuffle ? executor : nullptr);
   }
 
   void Emit(std::string key, std::string value) override {
@@ -233,6 +239,15 @@ class MapContextImpl : public MapContext {
     }
     if (s.checksummed_bytes > 0) {
       out_->counters.Add("shuffle_checksummed_bytes", s.checksummed_bytes);
+    }
+    if (s.spill_bytes_raw > 0) {
+      out_->counters.Add("shuffle_spill_bytes_raw", s.spill_bytes_raw);
+      out_->counters.Add("shuffle_spill_bytes_compressed",
+                         s.spill_bytes_compressed);
+      out_->counters.Add("shuffle_compress_micros", s.compress_micros);
+      if (s.decompress_micros > 0) {
+        out_->counters.Add("shuffle_decompress_micros", s.decompress_micros);
+      }
     }
     return Status::OK();
   }
@@ -434,9 +449,8 @@ void ExecuteMapFull(JobState* s, size_t i, MapTaskOutput* slot) {
       // combiners cannot leak state across attempts.
       std::unique_ptr<Combiner> combiner;
       if (cfg.combiner_factory) combiner = cfg.combiner_factory();
-      MapContextImpl ctx(s->partitioner, cfg.num_reducers,
-                         cfg.sort_buffer_bytes, combiner.get(),
-                         cfg.checksum_shuffle, out);
+      MapContextImpl ctx(s->partitioner, cfg, combiner.get(), s->executor,
+                         out);
       auto mapper = s->mapper_factory();
       out->status = mapper->Map(input.ValueOrDie(), &ctx);
       if (out->status.ok()) {
@@ -694,13 +708,28 @@ void RunReduceTask(const std::shared_ptr<JobState>& s, int r) {
     }
     // Gather this partition's frozen run from every map task (each task
     // has at most one run per partition after the map-side merge) and
-    // merge the entry indexes, stable by map task index. No key/value
-    // bytes are copied: entries are views into the map tasks' arenas.
+    // merge the entry indexes, stable by map task index. Uncompressed
+    // runs cost no key/value copies: entries are views into the map
+    // tasks' arenas. Compressed runs merge through lazy cursors that
+    // inflate one 64 KiB block at a time.
     std::vector<const ShuffleRun*> runs;
-    int64_t shuffle_bytes = 0, shuffle_records = 0;
+    std::vector<std::unique_ptr<CompressedShuffleRunReader>> readers;
+    std::vector<ShuffleRunReader*> reader_ptrs;
+    int64_t shuffle_bytes = 0, shuffle_records = 0, compressed_bytes = 0;
     for (const auto& map_out : s->map_outputs) {
       if (map_out.shuffle == nullptr) continue;  // skipped split
       if (r >= map_out.shuffle->num_partitions()) continue;
+      if (map_out.shuffle->compressed()) {
+        for (const auto& crun : map_out.shuffle->compressed_runs(r)) {
+          readers.push_back(
+              std::make_unique<CompressedShuffleRunReader>(crun.bytes));
+          reader_ptrs.push_back(readers.back().get());
+          shuffle_records += crun.records;
+          shuffle_bytes += crun.raw_bytes;
+          compressed_bytes += static_cast<int64_t>(crun.bytes.size());
+        }
+        continue;
+      }
       for (const auto& run : map_out.shuffle->runs(r)) {
         runs.push_back(&run);
         shuffle_records += static_cast<int64_t>(run.size());
@@ -712,27 +741,80 @@ void RunReduceTask(const std::shared_ptr<JobState>& s, int r) {
     }
     out->counters.Add("reduce_shuffle_bytes", shuffle_bytes);
     out->counters.Add("reduce_shuffle_records", shuffle_records);
+    if (compressed_bytes > 0) {
+      out->counters.Add("reduce_shuffle_bytes_compressed", compressed_bytes);
+    }
 
-    ShuffleRunMerger merger(runs);
+    ShuffleRunMerger merger(runs, reader_ptrs);
     ReduceContextImpl ctx(&out->values, &out->counters);
     auto reducer = s->reducer_factory();
-    const ShuffleEntry* current = nullptr;
-    std::vector<std::string_view> values;
-    auto flush = [&]() -> Status {
-      if (current == nullptr) return Status::OK();
-      return reducer->ReduceViews(current->key, values, &ctx);
-    };
     Status st;
-    for (const ShuffleEntry* e = merger.Next(); e != nullptr && st.ok();
-         e = merger.Next()) {
-      if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
-        st = flush();
-        current = e;  // stable: frozen runs never reallocate
-        values.clear();
+    if (readers.empty()) {
+      // Zero-copy grouping: entries and their views are stable for the
+      // lifetime of the frozen runs, so a whole key group accumulates as
+      // views with no copies.
+      const ShuffleEntry* current = nullptr;
+      std::vector<std::string_view> values;
+      auto flush = [&]() -> Status {
+        if (current == nullptr) return Status::OK();
+        return reducer->ReduceViews(current->key, values, &ctx);
+      };
+      for (const ShuffleEntry* e = merger.Next(); e != nullptr && st.ok();
+           e = merger.Next()) {
+        if (current == nullptr || !ShuffleKeyEqual(*e, *current)) {
+          st = flush();
+          current = e;  // stable: frozen runs never reallocate
+          values.clear();
+        }
+        values.push_back(e->value);
       }
-      values.push_back(e->value);
+      if (st.ok()) st = flush();
+    } else {
+      // Streaming grouping: a lazy cursor's entry dies on the next
+      // Next(), but ReduceViews needs the whole group at once — so the
+      // current key and the group's value bytes accumulate in reused
+      // owned buffers (cleared per group, capacity kept, so the steady
+      // state allocates nothing).
+      std::string current_key;
+      uint64_t cur_prefix = 0, cur_prefix2 = 0;
+      bool has_group = false;
+      std::string group_buf;
+      std::vector<std::pair<size_t, size_t>> spans;
+      std::vector<std::string_view> values;
+      auto flush = [&]() -> Status {
+        if (!has_group) return Status::OK();
+        values.clear();
+        const std::string_view buf = group_buf;
+        for (const auto& [off, len] : spans) {
+          values.push_back(buf.substr(off, len));
+        }
+        return reducer->ReduceViews(current_key, values, &ctx);
+      };
+      for (const ShuffleEntry* e = merger.Next(); e != nullptr && st.ok();
+           e = merger.Next()) {
+        if (!has_group || e->prefix != cur_prefix ||
+            e->prefix2 != cur_prefix2 || e->key != current_key) {
+          st = flush();
+          current_key.assign(e->key);
+          cur_prefix = e->prefix;
+          cur_prefix2 = e->prefix2;
+          group_buf.clear();
+          spans.clear();
+          has_group = true;
+        }
+        spans.emplace_back(group_buf.size(), e->value.size());
+        group_buf.append(e->value);
+      }
+      if (st.ok()) st = flush();
+      int64_t decompress_micros = 0;
+      for (const auto& reader : readers) {
+        // A mid-stream decode failure drains its cursor silently; the
+        // status check here is what fails (and retries) the attempt.
+        if (st.ok() && !reader->status().ok()) st = reader->status();
+        decompress_micros += reader->decompress_micros();
+      }
+      out->counters.Add("shuffle_decompress_micros", decompress_micros);
     }
-    if (st.ok()) st = flush();
     ctx.FlushCounters();
     out->status = st;
     out->record.end_seconds = s->job_clock.ElapsedSeconds();

@@ -268,6 +268,18 @@ struct JobConfig {
   /// CRC32C every frozen shuffle run at spill time and verify it at
   /// reduce-fetch time; a mismatch counts as a lost map output.
   bool checksum_shuffle = true;
+
+  // --- Compressed shuffle (mapreduce.map.output.compress analog) ---
+
+  /// Serialize every sealed spill run through the BGZF codec and release
+  /// its raw arena bytes; reduce-side merge cursors decompress lazily,
+  /// one 64 KiB block at a time. Output is byte-identical to the
+  /// uncompressed path (same stable sort, same run-index tie-breaks).
+  /// Raw-vs-compressed byte and codec cpu-time counters land in
+  /// shuffle_spill_bytes_{raw,compressed} / shuffle_{com,decom}press_micros.
+  bool compress_shuffle = false;
+  /// zlib level of the spill codec (-1 = zlib default; 0..9 otherwise).
+  int shuffle_compress_level = -1;
 };
 
 /// \brief Wall-clock record of one task, for progress plots (paper Fig 7).

@@ -1,15 +1,24 @@
 #include "mr/shuffle_buffer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <queue>
 #include <string>
 #include <utility>
 
 #include "util/crc32c.h"
+#include "util/executor.h"
 
 namespace gesall {
 
 namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Per-64KiB-chunk CRC32C sums over a partition arena's stored extents,
 // in block order — the spill-file byte stream under IFile-style chunk
@@ -28,6 +37,42 @@ int64_t ComputeChunkCrcs(const Arena& arena, std::vector<uint32_t>* crcs) {
     }
   }
   return covered;
+}
+
+// Compressed-mode analog: per-64KiB-chunk sums over each sealed run's
+// compressed frame, in run order. Chunks never span runs.
+int64_t ComputeCompressedChunkCrcs(
+    const std::vector<CompressedShuffleRun>& cruns,
+    std::vector<uint32_t>* crcs) {
+  crcs->clear();
+  int64_t covered = 0;
+  for (const CompressedShuffleRun& crun : cruns) {
+    std::string_view bytes = crun.bytes;
+    for (size_t off = 0; off < bytes.size();
+         off += ShuffleBuffer::kChecksumChunkBytes) {
+      const size_t n = std::min(ShuffleBuffer::kChecksumChunkBytes,
+                                bytes.size() - off);
+      crcs->push_back(ExtendCrc32c(0, bytes.data() + off, n));
+      covered += static_cast<int64_t>(n);
+    }
+  }
+  return covered;
+}
+
+// [u32 klen][u32 vlen][key][value], little-endian lengths — the record
+// framing of compressed spill runs. Records may straddle BGZF blocks.
+Status AppendFramedRecord(BgzfWriter* w, std::string_view key,
+                          std::string_view value) {
+  char hdr[8];
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  const uint32_t vlen = static_cast<uint32_t>(value.size());
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<char>((klen >> (8 * i)) & 0xff);
+    hdr[4 + i] = static_cast<char>((vlen >> (8 * i)) & 0xff);
+  }
+  GESALL_RETURN_NOT_OK(w->Append(std::string_view(hdr, 8)));
+  GESALL_RETURN_NOT_OK(w->Append(key));
+  return w->Append(value);
 }
 
 // Appends combiner output for one key group into the frozen run,
@@ -53,10 +98,107 @@ class ArenaCombineEmitter : public CombineEmitter {
 
 }  // namespace
 
+bool CompressedShuffleRunReader::NextBlock() {
+  if (file_off_ >= data_.size()) return false;
+  size_t consumed = 0;
+  const int64_t t0 = NowMicros();
+  status_ = BgzfDecompressBlockInto(data_.substr(file_off_), file_off_,
+                                    &scratch_, &consumed);
+  decompress_micros_ += NowMicros() - t0;
+  if (!status_.ok()) return false;
+  file_off_ += consumed;
+  pos_ = 0;
+  return true;
+}
+
+bool CompressedShuffleRunReader::ReadBytes(size_t n, char* dst) {
+  while (n > 0) {
+    if (pos_ == scratch_.size()) {
+      if (!NextBlock()) {
+        if (status_.ok()) {
+          status_ = Status::Corruption(
+              "truncated record in compressed shuffle run at stream offset " +
+              std::to_string(file_off_));
+        }
+        return false;
+      }
+      continue;
+    }
+    const size_t take = std::min(n, scratch_.size() - pos_);
+    std::memcpy(dst, scratch_.data() + pos_, take);
+    pos_ += take;
+    dst += take;
+    n -= take;
+  }
+  return true;
+}
+
+bool CompressedShuffleRunReader::ReadSpan(size_t n, std::string_view* out) {
+  if (scratch_.size() - pos_ >= n) {
+    *out = std::string_view(scratch_).substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  // Straddles the block cut: stitch through the carry buffer. The whole
+  // span lands in carry_, so the key/value views inside it survive the
+  // scratch_ reloads below (until the next Advance()).
+  carry_.clear();
+  carry_.reserve(n);
+  while (n > 0) {
+    if (pos_ == scratch_.size()) {
+      if (!NextBlock()) {
+        if (status_.ok()) {
+          status_ = Status::Corruption(
+              "truncated record in compressed shuffle run at stream offset " +
+              std::to_string(file_off_));
+        }
+        return false;
+      }
+      continue;
+    }
+    const size_t take = std::min(n, scratch_.size() - pos_);
+    carry_.append(scratch_, pos_, take);
+    pos_ += take;
+    n -= take;
+  }
+  *out = carry_;
+  return true;
+}
+
+const ShuffleEntry* CompressedShuffleRunReader::Advance() {
+  if (!status_.ok()) return nullptr;
+  if (pos_ == scratch_.size() && file_off_ >= data_.size()) {
+    return nullptr;  // clean end between records
+  }
+  // The 8-byte header is parsed into locals so a header straddling a
+  // block cut never shares the carry buffer with the payload span.
+  char hdr[8];
+  if (!ReadBytes(8, hdr)) return nullptr;
+  uint32_t klen = 0, vlen = 0;
+  for (int i = 0; i < 4; ++i) {
+    klen |= static_cast<uint32_t>(static_cast<unsigned char>(hdr[i]))
+            << (8 * i);
+    vlen |= static_cast<uint32_t>(static_cast<unsigned char>(hdr[4 + i]))
+            << (8 * i);
+  }
+  // Key and value are served as ONE span, so reading the value can never
+  // reload the block under the key's view.
+  std::string_view span;
+  if (!ReadSpan(static_cast<size_t>(klen) + vlen, &span)) return nullptr;
+  entry_.key = span.substr(0, klen);
+  entry_.value = span.substr(klen);
+  entry_.prefix = ShuffleKeyWord(entry_.key, 0);
+  entry_.prefix2 = ShuffleKeyWord(entry_.key, 8);
+  return &entry_;
+}
+
 ShuffleBuffer::ShuffleBuffer(int num_partitions, int64_t sort_buffer_bytes,
-                             Combiner* combiner, bool checksum)
+                             Combiner* combiner, bool checksum, bool compress,
+                             int compress_level, Executor* executor)
     : sort_buffer_bytes_(sort_buffer_bytes), combiner_(combiner),
-      checksum_(checksum), parts_(num_partitions > 0 ? num_partitions : 0) {}
+      checksum_(checksum), compress_(compress),
+      compress_level_(compress_level), executor_(executor),
+      parts_(num_partitions > 0 ? num_partitions : 0) {}
 
 Status ShuffleBuffer::Add(int p, std::string_view key,
                           std::string_view value) {
@@ -72,14 +214,49 @@ Status ShuffleBuffer::Add(int p, std::string_view key,
 }
 
 Status ShuffleBuffer::SpillAll() {
-  bool any = false;
+  std::vector<Partition*> dirty;
   for (auto& part : parts_) {
-    if (part.pending.empty()) continue;
-    any = true;
-    GESALL_RETURN_NOT_OK(SpillPartition(&part));
+    if (!part.pending.empty()) dirty.push_back(&part);
   }
-  if (any) ++stats_.spills;
   buffered_bytes_ = 0;
+  if (dirty.empty()) return Status::OK();
+  ++stats_.spills;
+  // Compressed spills are cpu-bound (sort + deflate) and touch only
+  // their own partition, so fan them out when an executor is armed. A
+  // shared combiner instance is not thread-safe — combining stays
+  // serial.
+  if (compress_ && executor_ != nullptr && combiner_ == nullptr &&
+      dirty.size() > 1) {
+    std::vector<Status> statuses(dirty.size());
+    TaskGroup group(executor_);
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      Partition* part = dirty[i];
+      Status* st = &statuses[i];
+      group.Submit([this, part, st] { *st = SpillPartition(part); });
+    }
+    group.Wait();
+    for (const Status& st : statuses) GESALL_RETURN_NOT_OK(st);
+    return Status::OK();
+  }
+  for (Partition* part : dirty) GESALL_RETURN_NOT_OK(SpillPartition(part));
+  return Status::OK();
+}
+
+Status ShuffleBuffer::CompressRun(Partition* part, const ShuffleRun& run) {
+  CompressedShuffleRun crun;
+  BgzfWriter w(&crun.bytes, compress_level_);
+  for (const ShuffleEntry& e : run) {
+    GESALL_RETURN_NOT_OK(AppendFramedRecord(&w, e.key, e.value));
+  }
+  GESALL_RETURN_NOT_OK(w.Flush());
+  crun.records = static_cast<int64_t>(run.size());
+  crun.raw_bytes = w.stats().raw_bytes;
+  part->codec.raw_bytes += w.stats().raw_bytes;
+  part->codec.stored_bytes += w.stats().stored_bytes;
+  part->codec.blocks += w.stats().blocks;
+  part->codec.stored_blocks += w.stats().stored_blocks;
+  part->codec.compress_micros += w.stats().compress_micros;
+  part->cruns.push_back(std::move(crun));
   return Status::OK();
 }
 
@@ -89,6 +266,14 @@ Status ShuffleBuffer::SpillPartition(Partition* part) {
   std::stable_sort(part->pending.begin(), part->pending.end(),
                    ShuffleKeyLess);
   if (combiner_ == nullptr) {
+    if (compress_) {
+      GESALL_RETURN_NOT_OK(CompressRun(part, part->pending));
+      part->pending.clear();
+      // The raw bytes now live only in the compressed frame; releasing
+      // the arena is the memory win of compressed spills.
+      part->arena.Clear();
+      return Status::OK();
+    }
     part->runs.push_back(std::move(part->pending));
     part->pending.clear();
     return Status::OK();
@@ -108,6 +293,12 @@ Status ShuffleBuffer::SpillPartition(Partition* part) {
                              &stats_.combine_output_records);
     GESALL_RETURN_NOT_OK(combiner_->Combine(run[i].key, values, &emit));
     i = j;
+  }
+  if (compress_) {
+    GESALL_RETURN_NOT_OK(CompressRun(part, combined));
+    part->pending.clear();
+    part->arena.Clear();
+    return Status::OK();
   }
   part->runs.push_back(std::move(combined));
   part->pending.clear();
@@ -140,19 +331,74 @@ void ShuffleBuffer::MergePartition(Partition* part) {
   runs.push_back(std::move(merged));
 }
 
+Status ShuffleBuffer::MergeCompressedPartition(Partition* part) {
+  // Stream-merge through lazy cursors and re-serialize — the Fig. 5(b)
+  // merge rewrite, but over compressed frames: at no point is a whole
+  // run inflated.
+  std::vector<std::unique_ptr<CompressedShuffleRunReader>> readers;
+  std::vector<ShuffleRunReader*> reader_ptrs;
+  readers.reserve(part->cruns.size());
+  for (const CompressedShuffleRun& crun : part->cruns) {
+    readers.push_back(
+        std::make_unique<CompressedShuffleRunReader>(crun.bytes));
+    reader_ptrs.push_back(readers.back().get());
+  }
+  CompressedShuffleRun merged;
+  BgzfWriter w(&merged.bytes, compress_level_);
+  ShuffleRunMerger merger(reader_ptrs);
+  for (const ShuffleEntry* e = merger.Next(); e != nullptr;
+       e = merger.Next()) {
+    stats_.merge_bytes += static_cast<int64_t>(e->key.size() +
+                                               e->value.size());
+    GESALL_RETURN_NOT_OK(AppendFramedRecord(&w, e->key, e->value));
+    ++merged.records;
+  }
+  for (const auto& reader : readers) {
+    GESALL_RETURN_NOT_OK(reader->status());
+    part->decompress_micros += reader->decompress_micros();
+  }
+  GESALL_RETURN_NOT_OK(w.Flush());
+  merged.raw_bytes = w.stats().raw_bytes;
+  part->codec.raw_bytes += w.stats().raw_bytes;
+  part->codec.stored_bytes += w.stats().stored_bytes;
+  part->codec.blocks += w.stats().blocks;
+  part->codec.stored_blocks += w.stats().stored_blocks;
+  part->codec.compress_micros += w.stats().compress_micros;
+  part->cruns.clear();
+  part->cruns.push_back(std::move(merged));
+  return Status::OK();
+}
+
 Status ShuffleBuffer::Finish() {
   GESALL_RETURN_NOT_OK(SpillAll());
   for (auto& part : parts_) {
-    if (part.runs.size() > 1) MergePartition(&part);
-    // Seal after the merge: the merge reorders only the entry index, so
-    // the sums cover the final arena byte stream the reduce side reads.
+    if (compress_) {
+      if (part.cruns.size() > 1) {
+        GESALL_RETURN_NOT_OK(MergeCompressedPartition(&part));
+      }
+    } else if (part.runs.size() > 1) {
+      MergePartition(&part);
+    }
+    // Seal after the merge: the merge reorders only the entry index (or
+    // rewrites the compressed frame), so the sums cover the final spill
+    // byte stream the reduce side reads.
     if (checksum_) SealChecksums(&part);
+    // Fold the partition-local codec accounting (kept local so parallel
+    // spills never contend) into the task stats.
+    stats_.spill_bytes_raw += part.codec.raw_bytes;
+    stats_.spill_bytes_compressed += part.codec.stored_bytes;
+    stats_.compress_micros += part.codec.compress_micros;
+    stats_.decompress_micros += part.decompress_micros;
+    part.codec = BgzfCodecStats{};
+    part.decompress_micros = 0;
   }
   return Status::OK();
 }
 
 void ShuffleBuffer::SealChecksums(Partition* part) {
-  part->sealed_bytes = ComputeChunkCrcs(part->arena, &part->chunk_crcs);
+  part->sealed_bytes =
+      compress_ ? ComputeCompressedChunkCrcs(part->cruns, &part->chunk_crcs)
+                : ComputeChunkCrcs(part->arena, &part->chunk_crcs);
   stats_.checksummed_bytes += part->sealed_bytes;
 }
 
@@ -160,7 +406,9 @@ Status ShuffleBuffer::VerifyPartition(int p) const {
   const Partition& part = parts_[p];
   if (!checksum_ || part.sealed_bytes < 0) return Status::OK();
   std::vector<uint32_t> actual;
-  const int64_t covered = ComputeChunkCrcs(part.arena, &actual);
+  const int64_t covered =
+      compress_ ? ComputeCompressedChunkCrcs(part.cruns, &actual)
+                : ComputeChunkCrcs(part.arena, &actual);
   if (covered != part.sealed_bytes || actual.size() != part.chunk_crcs.size()) {
     return Status::Corruption(
         "shuffle partition " + std::to_string(p) +

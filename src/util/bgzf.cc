@@ -2,6 +2,7 @@
 
 #include <zlib.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "util/io.h"
@@ -9,20 +10,73 @@
 namespace gesall {
 
 namespace {
-constexpr char kMagic[4] = {'G', 'B', 'Z', '1'};
 
-Status CheckMagic(std::string_view data) {
-  if (data.size() < kBgzfHeaderSize) {
-    return Status::Corruption("truncated BGZF block header");
-  }
-  if (std::memcmp(data.data(), kMagic, 4) != 0) {
-    return Status::Corruption("bad BGZF magic");
+// First three magic bytes; the fourth is the method byte.
+constexpr char kMagic[3] = {'G', 'B', 'Z'};
+constexpr char kMethodDeflate = '1';
+constexpr char kMethodStored = '0';
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status CheckLevel(int level) {
+  if (level < -1 || level > 9) {
+    return Status::InvalidArgument("BGZF compression level must be -1..9, got " +
+                                   std::to_string(level));
   }
   return Status::OK();
 }
+
+// Validates magic + method of the block header at `data` (which must be
+// at least kBgzfHeaderSize long — callers check length first so truncated
+// headers get their own message).
+Status CheckMagic(std::string_view data, size_t file_offset) {
+  if (data.size() < kBgzfHeaderSize) {
+    return Status::Corruption("truncated BGZF block header at offset " +
+                              std::to_string(file_offset) + ": " +
+                              std::to_string(data.size()) + " of " +
+                              std::to_string(kBgzfHeaderSize) + " bytes");
+  }
+  if (std::memcmp(data.data(), kMagic, 3) != 0 ||
+      (data[3] != kMethodDeflate && data[3] != kMethodStored)) {
+    return Status::Corruption("bad BGZF magic at offset " +
+                              std::to_string(file_offset));
+  }
+  return Status::OK();
+}
+
+Result<BgzfBlockInfo> PeekBlockAt(std::string_view data, size_t file_offset) {
+  GESALL_RETURN_NOT_OK(CheckMagic(data, file_offset));
+  BufferReader r(data.substr(4));
+  uint32_t csize = 0, usize = 0;
+  GESALL_RETURN_NOT_OK(r.GetU32(&csize));
+  GESALL_RETURN_NOT_OK(r.GetU32(&usize));
+  BgzfBlockInfo info;
+  info.block_size = kBgzfHeaderSize + static_cast<size_t>(csize);
+  info.raw_size = static_cast<size_t>(usize);
+  info.stored = data[3] == kMethodStored;
+  if (info.raw_size > kBgzfBlockSize) {
+    return Status::Corruption(
+        "BGZF block at offset " + std::to_string(file_offset) +
+        " declares uncompressed size " + std::to_string(usize) +
+        " > block limit " + std::to_string(kBgzfBlockSize));
+  }
+  if (info.stored && csize != usize) {
+    return Status::Corruption(
+        "stored BGZF block at offset " + std::to_string(file_offset) +
+        " has mismatched sizes (" + std::to_string(csize) + " vs " +
+        std::to_string(usize) + ")");
+  }
+  return info;
+}
+
 }  // namespace
 
-Result<std::string> BgzfCompressBlock(std::string_view data) {
+Result<std::string> BgzfCompressBlock(std::string_view data, int level) {
+  GESALL_RETURN_NOT_OK(CheckLevel(level));
   if (data.size() > kBgzfBlockSize) {
     return Status::InvalidArgument("BGZF block payload too large");
   }
@@ -30,51 +84,115 @@ Result<std::string> BgzfCompressBlock(std::string_view data) {
   std::string payload(bound, '\0');
   int rc = compress2(reinterpret_cast<Bytef*>(payload.data()), &bound,
                      reinterpret_cast<const Bytef*>(data.data()),
-                     static_cast<uLong>(data.size()), Z_DEFAULT_COMPRESSION);
-  if (rc != Z_OK) return Status::Internal("zlib compress failed");
+                     static_cast<uLong>(data.size()), level);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress failed (rc=" + std::to_string(rc) +
+                            ") on " + std::to_string(data.size()) +
+                            "-byte BGZF block");
+  }
   payload.resize(bound);
 
+  // Incompressible fallback: when deflate does not shrink the payload,
+  // store it verbatim so decode is a memcpy and the frame never grows
+  // past raw size + header.
+  const bool stored = payload.size() >= data.size();
   std::string block;
-  block.reserve(kBgzfHeaderSize + payload.size());
-  block.append(kMagic, 4);
+  const std::string_view out_payload = stored ? data : std::string_view(payload);
+  block.reserve(kBgzfHeaderSize + out_payload.size());
+  block.append(kMagic, 3);
+  block.push_back(stored ? kMethodStored : kMethodDeflate);
   BufferWriter w(&block);
-  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(static_cast<uint32_t>(out_payload.size()));
   w.PutU32(static_cast<uint32_t>(data.size()));
-  block.append(payload);
+  block.append(out_payload);
   return block;
 }
 
 Result<size_t> BgzfPeekBlockSize(std::string_view data) {
-  GESALL_RETURN_NOT_OK(CheckMagic(data));
-  BufferReader r(data.substr(4));
-  uint32_t csize;
-  GESALL_RETURN_NOT_OK(r.GetU32(&csize));
-  return kBgzfHeaderSize + static_cast<size_t>(csize);
+  GESALL_ASSIGN_OR_RETURN(BgzfBlockInfo info, PeekBlockAt(data, 0));
+  return info.block_size;
+}
+
+Result<BgzfBlockInfo> BgzfPeekBlock(std::string_view data) {
+  return PeekBlockAt(data, 0);
+}
+
+Status BgzfDecompressBlockInto(std::string_view data, size_t file_offset,
+                               std::string* out, size_t* consumed) {
+  GESALL_ASSIGN_OR_RETURN(BgzfBlockInfo info, PeekBlockAt(data, file_offset));
+  const size_t csize = info.block_size - kBgzfHeaderSize;
+  if (data.size() < info.block_size) {
+    return Status::Corruption("truncated BGZF block payload at offset " +
+                              std::to_string(file_offset) + ": " +
+                              std::to_string(data.size() - kBgzfHeaderSize) +
+                              " of " + std::to_string(csize) + " bytes");
+  }
+  if (info.stored) {
+    out->assign(data.data() + kBgzfHeaderSize, csize);
+  } else {
+    out->resize(info.raw_size);
+    uLongf out_len = static_cast<uLongf>(info.raw_size);
+    int rc = uncompress(
+        reinterpret_cast<Bytef*>(out->data()), &out_len,
+        reinterpret_cast<const Bytef*>(data.data() + kBgzfHeaderSize),
+        static_cast<uLong>(csize));
+    if (rc != Z_OK || out_len != info.raw_size) {
+      return Status::Corruption(
+          "zlib uncompress failed (rc=" + std::to_string(rc) +
+          ") in BGZF block at offset " + std::to_string(file_offset));
+    }
+  }
+  if (consumed != nullptr) *consumed = info.block_size;
+  return Status::OK();
 }
 
 Result<std::string> BgzfDecompressBlock(std::string_view data,
                                         size_t* consumed) {
-  GESALL_RETURN_NOT_OK(CheckMagic(data));
-  BufferReader r(data.substr(4));
-  uint32_t csize, usize;
-  GESALL_RETURN_NOT_OK(r.GetU32(&csize));
-  GESALL_RETURN_NOT_OK(r.GetU32(&usize));
-  if (data.size() < kBgzfHeaderSize + csize) {
-    return Status::Corruption("truncated BGZF block payload");
-  }
-  if (usize > kBgzfBlockSize) {
-    return Status::Corruption("BGZF block uncompressed size too large");
-  }
-  std::string out(usize, '\0');
-  uLongf out_len = usize;
-  int rc = uncompress(
-      reinterpret_cast<Bytef*>(out.data()), &out_len,
-      reinterpret_cast<const Bytef*>(data.data() + kBgzfHeaderSize), csize);
-  if (rc != Z_OK || out_len != usize) {
-    return Status::Corruption("zlib uncompress failed");
-  }
-  if (consumed != nullptr) *consumed = kBgzfHeaderSize + csize;
+  std::string out;
+  GESALL_RETURN_NOT_OK(BgzfDecompressBlockInto(data, 0, &out, consumed));
   return out;
+}
+
+Status BgzfReadRange(std::string_view compressed, size_t offset,
+                     size_t length, std::string* out,
+                     int64_t* decompress_micros) {
+  size_t off = 0;       // file offset of the next block header
+  size_t raw_pos = 0;   // uncompressed position of that block's first byte
+  std::string scratch;
+  while (length > 0 && off < compressed.size()) {
+    GESALL_ASSIGN_OR_RETURN(BgzfBlockInfo info,
+                            PeekBlockAt(compressed.substr(off), off));
+    if (off + info.block_size > compressed.size()) {
+      return Status::Corruption("truncated BGZF block payload at offset " +
+                                std::to_string(off));
+    }
+    if (raw_pos + info.raw_size > offset) {
+      // Covering block: this is the only case that pays for inflate.
+      const int64_t t0 = NowMicros();
+      GESALL_RETURN_NOT_OK(BgzfDecompressBlockInto(compressed.substr(off),
+                                                   off, &scratch, nullptr));
+      if (decompress_micros != nullptr) {
+        *decompress_micros += NowMicros() - t0;
+      }
+      if (scratch.size() != info.raw_size) {
+        return Status::Corruption(
+            "BGZF block at offset " + std::to_string(off) + " inflated to " +
+            std::to_string(scratch.size()) + " bytes, header declared " +
+            std::to_string(info.raw_size));
+      }
+      const size_t intra = offset > raw_pos ? offset - raw_pos : 0;
+      const size_t take = std::min(length, scratch.size() - intra);
+      out->append(scratch, intra, take);
+      offset += take;
+      length -= take;
+    }
+    raw_pos += info.raw_size;
+    off += info.block_size;
+  }
+  if (length > 0) {
+    return Status::OutOfRange("BGZF range read past end of stream");
+  }
+  return Status::OK();
 }
 
 uint64_t BgzfWriter::Tell() const {
@@ -97,7 +215,14 @@ Status BgzfWriter::Append(std::string_view data) {
 
 Status BgzfWriter::Flush() {
   if (pending_.empty()) return Status::OK();
-  GESALL_ASSIGN_OR_RETURN(std::string block, BgzfCompressBlock(pending_));
+  const int64_t t0 = NowMicros();
+  GESALL_ASSIGN_OR_RETURN(std::string block,
+                          BgzfCompressBlock(pending_, level_));
+  stats_.compress_micros += NowMicros() - t0;
+  stats_.raw_bytes += static_cast<int64_t>(pending_.size());
+  stats_.stored_bytes += static_cast<int64_t>(block.size());
+  ++stats_.blocks;
+  if (block.size() >= 4 && block[3] == kMethodStored) ++stats_.stored_blocks;
   out_->append(block);
   pending_.clear();
   return Status::OK();
@@ -128,8 +253,8 @@ uint64_t BgzfReader::Tell() const {
 Status BgzfReader::EnsureBlock() {
   if (loaded_) return Status::OK();
   size_t consumed = 0;
-  GESALL_ASSIGN_OR_RETURN(
-      block_, BgzfDecompressBlock(data_.substr(block_offset_), &consumed));
+  GESALL_RETURN_NOT_OK(BgzfDecompressBlockInto(
+      data_.substr(block_offset_), block_offset_, &block_, &consumed));
   next_offset_ = block_offset_ + consumed;
   loaded_ = true;
   return Status::OK();
@@ -169,13 +294,13 @@ Result<std::vector<std::pair<size_t, size_t>>> BgzfListBlocks(
   std::vector<std::pair<size_t, size_t>> spans;
   size_t off = 0;
   while (off < compressed.size()) {
-    GESALL_ASSIGN_OR_RETURN(size_t sz,
-                            BgzfPeekBlockSize(compressed.substr(off)));
-    if (off + sz > compressed.size()) {
+    GESALL_ASSIGN_OR_RETURN(BgzfBlockInfo info,
+                            PeekBlockAt(compressed.substr(off), off));
+    if (off + info.block_size > compressed.size()) {
       return Status::Corruption("truncated trailing BGZF block");
     }
-    spans.emplace_back(off, sz);
-    off += sz;
+    spans.emplace_back(off, info.block_size);
+    off += info.block_size;
   }
   return spans;
 }

@@ -5,10 +5,19 @@
 // storage substrate relies on to split BAM files into DFS blocks (paper
 // §3.1). This implementation mirrors the real BGZF container: each block is
 //
-//   magic "GBZ1" | u32 compressed_size | u32 uncompressed_size | payload
+//   magic "GBZ" | method | u32 compressed_size | u32 uncompressed_size | payload
 //
-// with payload deflated via zlib (raw deflate). Virtual offsets pack
+// where method '1' deflates the payload via zlib and method '0' stores it
+// verbatim — the incompressible-block fallback, chosen automatically when
+// deflate would not shrink the payload (real BGZF burns cycles on such
+// blocks; we skip them and keep decode a memcpy). Virtual offsets pack
 // (block file offset << 16 | intra-block offset) exactly like samtools.
+//
+// The codec is the storage substrate for every compressed byte path:
+// DFS intermediate parts (DfsOptions::compress_parts), shuffle spill runs
+// (JobConfig::compress_shuffle), and the BAM container itself. All of
+// them share the zlib-level knob and the per-writer BgzfCodecStats that
+// feed the raw-vs-compressed disk-byte counters.
 
 #ifndef GESALL_UTIL_BGZF_H_
 #define GESALL_UTIL_BGZF_H_
@@ -25,39 +34,91 @@ namespace gesall {
 /// Maximum uncompressed payload per BGZF block (64 KiB, as in samtools).
 inline constexpr size_t kBgzfBlockSize = 64 * 1024;
 
-/// Byte size of the per-block header (magic + two u32 sizes).
+/// Byte size of the per-block header (magic + method + two u32 sizes).
 inline constexpr size_t kBgzfHeaderSize = 12;
 
+/// Default zlib level (Z_DEFAULT_COMPRESSION). Valid levels are -1 and
+/// 0..9; every entry point below rejects anything else.
+inline constexpr int kBgzfDefaultLevel = -1;
+
+/// \brief Header fields of one block, readable without decompressing.
+struct BgzfBlockInfo {
+  size_t block_size = 0;  // total on-disk size (header + payload)
+  size_t raw_size = 0;    // uncompressed payload size
+  bool stored = false;    // method '0': payload stored verbatim
+};
+
+/// \brief Cumulative codec accounting of one writer (or one range read).
+struct BgzfCodecStats {
+  int64_t raw_bytes = 0;       // payload bytes in
+  int64_t stored_bytes = 0;    // on-disk bytes out, headers included
+  int64_t blocks = 0;          // blocks emitted
+  int64_t stored_blocks = 0;   // blocks that took the verbatim fallback
+  int64_t compress_micros = 0; // cpu time spent in deflate
+};
+
 /// \brief Compresses `data` into one BGZF block (must fit kBgzfBlockSize).
-Result<std::string> BgzfCompressBlock(std::string_view data);
+/// Falls back to a stored (method '0') block when deflate does not shrink
+/// the payload.
+Result<std::string> BgzfCompressBlock(std::string_view data,
+                                      int level = kBgzfDefaultLevel);
 
 /// \brief Decompresses exactly one block starting at `data`.
 /// On success sets `*consumed` to the block's total on-disk size.
 Result<std::string> BgzfDecompressBlock(std::string_view data,
                                         size_t* consumed);
 
+/// \brief Scratch-reuse decode: decompresses the block starting at `data`
+/// into `*out` (replacing its contents, keeping its capacity).
+/// `file_offset` is the block's position in the enclosing stream, used
+/// only for error context; zlib failures surface as Corruption naming it.
+Status BgzfDecompressBlockInto(std::string_view data, size_t file_offset,
+                               std::string* out, size_t* consumed);
+
 /// \brief Returns the total on-disk size of the block starting at `data`,
 /// without decompressing. Fails if `data` is shorter than a header.
 Result<size_t> BgzfPeekBlockSize(std::string_view data);
+
+/// \brief Reads all header fields of the block starting at `data` without
+/// decompressing — the skip primitive of lazy range reads.
+Result<BgzfBlockInfo> BgzfPeekBlock(std::string_view data);
+
+/// \brief Lazy range decode over a concatenation of BGZF blocks:
+/// appends uncompressed bytes [offset, offset+length) to `*out`,
+/// decompressing only the blocks that cover the range (blocks before it
+/// are skipped by header walk, blocks after it are never touched).
+/// `decompress_micros`, when non-null, accumulates inflate cpu time.
+Status BgzfReadRange(std::string_view compressed, size_t offset,
+                     size_t length, std::string* out,
+                     int64_t* decompress_micros = nullptr);
 
 /// \brief Streaming writer that packs appended bytes into BGZF blocks.
 class BgzfWriter {
  public:
   /// Appended bytes never straddle a block if `Flush()` is called between
   /// logical chunks; otherwise blocks are cut at kBgzfBlockSize.
-  explicit BgzfWriter(std::string* out) : out_(out) {}
+  /// `level` is the zlib level (kBgzfDefaultLevel = zlib's default).
+  explicit BgzfWriter(std::string* out, int level = kBgzfDefaultLevel)
+      : out_(out), level_(level) {}
 
   /// Returns the virtual offset (coffset<<16 | uoffset) of the next byte.
   uint64_t Tell() const;
 
+  /// Appending nothing is a no-op (no empty block is ever emitted).
   Status Append(std::string_view data);
 
-  /// Compresses and emits the pending partial block, if any.
+  /// Compresses and emits the pending partial block, if any. Idempotent:
+  /// a second Flush with nothing pending emits nothing.
   Status Flush();
+
+  /// Cumulative raw/stored byte and deflate-time accounting.
+  const BgzfCodecStats& stats() const { return stats_; }
 
  private:
   std::string* out_;
+  int level_;
   std::string pending_;
+  BgzfCodecStats stats_;
 };
 
 /// \brief Reader over a concatenation of BGZF blocks.

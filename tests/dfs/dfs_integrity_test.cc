@@ -60,7 +60,8 @@ TEST(DfsIntegrityTest, CorruptReplicaIsDetectedQuarantinedAndFailedOver) {
   stats = dfs.stats();
   EXPECT_EQ(stats.blocks_re_replicated, 5);
   EXPECT_EQ(stats.bytes_re_replicated, 5000);
-  for (const auto& loc : dfs.Locate("/f").ValueOrDie()) {
+  const auto locations = dfs.Locate("/f").ValueOrDie();
+  for (const auto& loc : locations) {
     EXPECT_EQ(loc.replicas.size(), 2u);
   }
 
@@ -119,7 +120,8 @@ TEST(DfsIntegrityTest, CrashedNodeIsDeclaredDeadAndBlocksReReplicated) {
   // nodes in the same pass.
   EXPECT_EQ(stats.blocks_re_replicated, 5);
   EXPECT_EQ(dfs.BytesStoredOn(primary), 0);
-  for (const auto& loc : dfs.Locate("/part").ValueOrDie()) {
+  const auto locations = dfs.Locate("/part").ValueOrDie();
+  for (const auto& loc : locations) {
     EXPECT_EQ(loc.replicas.size(), 2u);
     for (int node : loc.replicas) EXPECT_NE(node, primary);
   }

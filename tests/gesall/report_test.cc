@@ -91,6 +91,33 @@ TEST_F(ReportTest, TruthSectionOptional) {
   EXPECT_TRUE(report.truth_scores_match);  // vacuously true
 }
 
+TEST_F(ReportTest, DiskBytesSectionRendersStorageSummary) {
+  DiagnosisReportInputs inputs;
+  inputs.reference = ref_;
+  inputs.serial = serial_;
+  inputs.parallel_aligned = &serial_->aligned;
+  inputs.parallel_deduped = &serial_->deduped;
+  inputs.parallel_variants = &serial_->variants;
+
+  // Without a storage summary the section is omitted entirely.
+  auto plain = GenerateDiagnosisReport(inputs).ValueOrDie();
+  EXPECT_EQ(plain.markdown.find("Disk bytes"), std::string::npos);
+
+  StorageSummary storage;
+  storage.shuffle_bytes_raw = 4'000'000;
+  storage.shuffle_bytes_compressed = 1'000'000;
+  storage.shuffle_compress_micros = 120'000;
+  storage.dfs_bytes_raw = 2'000'000;
+  storage.dfs_bytes_compressed = 500'000;
+  inputs.storage = &storage;
+  auto report = GenerateDiagnosisReport(inputs).ValueOrDie();
+  EXPECT_NE(report.markdown.find("## Disk bytes"), std::string::npos);
+  EXPECT_NE(report.markdown.find("4.00x"), std::string::npos);
+  EXPECT_NE(report.markdown.find("round-trips byte-identically"),
+            std::string::npos);
+  EXPECT_EQ(report.storage.shuffle_bytes_raw, 4'000'000);
+}
+
 TEST_F(ReportTest, CorruptedVariantsTriggerReview) {
   // Feed a parallel variant set missing 20% of calls and carrying junk
   // high-quality extras: the verdict must flip to REVIEW.

@@ -243,6 +243,10 @@ TEST_F(ServiceRecoveryTest, GracefulShutdownRequeuesQueuedJobs) {
     queued2 = id2.ValueOrDie();
     // Let the first job finish cleanly (journaled as finished); the
     // destructor then cancels the two still queued without journaling.
+    // Drain first: once the runner delivers the first job's output it
+    // would otherwise race this scope's exit to pick up a queued job
+    // (weighted-fair prefers the idle tenant) and run it to completion.
+    service.Drain();
     auto out = service.Wait(running);
     ASSERT_TRUE(out.ok());
     ASSERT_TRUE(out.ValueOrDie().status.ok())

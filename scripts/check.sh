@@ -31,14 +31,19 @@
 #     combines), the fault-injection arithmetic, and the 16-bit
 #     saturating DP arithmetic must be free of undefined behavior, or
 #     corruption detection itself can't be trusted.
-#   - TSan (util_test, mr_test, service_test): the work-stealing
-#     executor (per-worker deques, steal-half transfers, TaskGroup
-#     helping waits, the shutdown/submit race) and the async MapReduce
-#     engine built on it are lock-ordering-sensitive by design; a data
-#     race here silently reorders round outputs. The service suite adds
-#     the job-manager threads (runners, watchdog, heartbeat) racing
-#     admission, cancellation and drain, including the multi-tenant
-#     chaos test over a shared DFS.
+#   - TSan (util_test, mr_test, service_test, plus the streaming
+#     node-graph suite): the work-stealing executor (per-worker deques,
+#     steal-half transfers, TaskGroup helping waits, the shutdown/submit
+#     race) and the async MapReduce engine built on it are
+#     lock-ordering-sensitive by design; a data race here silently
+#     reorders round outputs. The service suite adds the job-manager
+#     threads (runners, watchdog, heartbeat) racing admission,
+#     cancellation and drain, including the multi-tenant chaos test over
+#     a shared DFS. The PipelineNodeTest filter exercises the pipeline
+#     node graph's pump/park state machine — one-shot queue wake-ups
+#     racing the idle transition, abort racing parked callbacks — which
+#     is exactly the machinery TSan exists for (util_test covers the
+#     BoundedQueue underneath it).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -84,10 +89,12 @@ fi
 if [[ "$run_tsan" == 1 ]]; then
   echo "=== tsan: executor + mapreduce + service suites ==="
   cmake -B build-tsan -S . -DGESALL_SANITIZE=thread
-  cmake --build build-tsan -j --target util_test mr_test service_test
+  cmake --build build-tsan -j --target util_test mr_test service_test \
+    gesall_test
   ./build-tsan/tests/util_test
   ./build-tsan/tests/mr_test
   ./build-tsan/tests/service_test
+  ./build-tsan/tests/gesall_test --gtest_filter='PipelineNodeTest.*'
 fi
 
 echo "=== check.sh: all green ==="

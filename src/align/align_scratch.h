@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,55 @@ class AlignmentList {
   size_t count_ = 0;
 };
 
+/// \brief One pending Smith-Waterman extension of a read against a
+/// candidate reference window: produced by ReadAligner::CollectExtensions,
+/// extended by the (possibly batched) kernel into `result`, and resolved
+/// into an Alignment by ReadAligner::FinishRead. The views point into the
+/// caller's read storage and the genome index; both must outlive the job.
+struct ExtensionJob {
+  int32_t ref_id = -1;
+  int64_t window_start = 0;  // genome position of window[0]
+  bool reverse = false;      // query is the reverse-complemented read
+  std::string_view query;
+  std::string_view window;
+  SwBand band;
+  SwAlignment result;  // pooled: Cigar capacity survives recycling
+};
+
+/// \brief Pool-backed list of ExtensionJobs (same recycling discipline as
+/// AlignmentList: clear() resets the live count, capacities persist).
+class ExtensionJobList {
+ public:
+  ExtensionJob& Append() {
+    if (count_ == items_.size()) items_.emplace_back();
+    ExtensionJob& j = items_[count_++];
+    j.ref_id = -1;
+    j.window_start = 0;
+    j.reverse = false;
+    j.query = {};
+    j.window = {};
+    j.band = SwBand{};
+    j.result.score = 0;
+    j.result.window_start = 0;
+    j.result.window_end = 0;
+    j.result.cigar.clear();
+    j.result.edit_distance = 0;
+    j.result.aligned = false;
+    return j;
+  }
+
+  void clear() { count_ = 0; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  ExtensionJob* begin() { return items_.data(); }
+  ExtensionJob* end() { return items_.data() + count_; }
+  ExtensionJob& operator[](size_t i) { return items_[i]; }
+
+ private:
+  std::vector<ExtensionJob> items_;  // pool; [0, count_) are live
+  size_t count_ = 0;
+};
+
 /// \brief Scratch for ReadAligner::AlignReadInto. See file comment for the
 /// ownership/thread-safety contract.
 struct AlignScratch {
@@ -63,14 +113,27 @@ struct AlignScratch {
   std::vector<int64_t> locate_buf;      // FmIndex::LocateAllInto output
   std::vector<std::pair<int64_t, int>> clusters;  // (start, votes)
   SwAlignment sw_out;          // kernel result (Cigar capacity reused)
+  ExtensionJobList jobs;       // per-read extension jobs
 };
 
 /// \brief Scratch for PairedEndAligner::AlignPairs: per-pair candidate
 /// lists plus the single-read scratch. Candidate lists are pooled the same
-/// way AlignmentList pools Alignments.
+/// way AlignmentList pools Alignments. The batch members feed the
+/// cross-read vertical SIMD kernel: all extension jobs of one batch are
+/// flattened into `batch_jobs` and extended with one SmithWatermanBatch
+/// call before any pairing happens.
 struct PairedAlignScratch {
   AlignScratch read;
   std::vector<AlignmentList> cand1, cand2;  // [0, n_pairs) live per batch
+  /// Reverse-complement buffer per read of the batch. Pre-sized before
+  /// any ExtensionJob takes a view into an element: short strings store
+  /// their bytes inline (SSO), so growing the vector mid-batch would
+  /// move them out from under the views.
+  std::vector<std::string> rev_seqs;
+  ExtensionJobList batch_jobs;  // all jobs of the batch, read-major
+  std::vector<std::pair<uint32_t, uint32_t>> job_ranges;  // per read
+  std::vector<SwBatchJob> batch_refs;  // view/slot table for the kernel
+  SwBatchScratch batch;                // lane-interleaved DP buffers
 };
 
 }  // namespace gesall

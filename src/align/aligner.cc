@@ -51,18 +51,33 @@ std::vector<Alignment> ReadAligner::AlignRead(std::string_view seq) const {
 
 void ReadAligner::AlignReadInto(std::string_view seq, AlignScratch* scratch,
                                 AlignmentList* out) const {
+  out->clear();
+  if (static_cast<int>(seq.size()) < options_.seed_length) return;
+  ReverseComplementInto(seq, &scratch->reverse_seq);
+  ExtensionJobList& jobs = scratch->jobs;
+  jobs.clear();
+  CollectExtensions(seq, scratch->reverse_seq, scratch, &jobs);
+  for (ExtensionJob& job : jobs) {
+    SmithWatermanKernel(job.query, job.window, options_.scoring, job.band,
+                        options_.kernel, &scratch->sw, &job.result,
+                        &scratch->stats);
+  }
+  FinishRead(jobs.begin(), jobs.size(), out);
+}
+
+void ReadAligner::CollectExtensions(std::string_view seq,
+                                    std::string_view reverse_seq,
+                                    AlignScratch* scratch,
+                                    ExtensionJobList* jobs) const {
   const auto& opt = options_;
   const int len = static_cast<int>(seq.size());
-  out->clear();
   if (len < opt.seed_length) return;
 
-  ReverseComplementInto(seq, &scratch->reverse_seq);
   const int64_t total_len = index_->fm().text_length();
 
   for (int strand = 0; strand < 2; ++strand) {
     const bool reverse = strand == 1;
-    std::string_view s =
-        reverse ? std::string_view(scratch->reverse_seq) : seq;
+    std::string_view s = reverse ? reverse_seq : seq;
 
     // Exact-match seeds at fixed stride (plus one flush-right seed).
     std::vector<int64_t>& starts = scratch->starts;
@@ -111,21 +126,32 @@ void ReadAligner::AlignReadInto(std::string_view seq, AlignScratch* scratch,
       if (window.empty()) continue;
       // The seed pins the read to the diagonal `pos - window_start`
       // (normally window_pad); band_pad absorbs cluster slack and indels.
-      SwBand band;
-      band.center = pos - window_start;
-      band.half_width = opt.band_pad;
-      SwAlignment& sw = scratch->sw_out;
-      SmithWatermanKernel(s, window, opt.scoring, band, opt.kernel,
-                          &scratch->sw, &sw, &scratch->stats);
-      if (!sw.aligned || sw.score < opt.min_score) continue;
-      Alignment& a = out->Append();
-      a.ref_id = chrom;
-      a.pos = window_start + sw.window_start;
-      a.reverse = reverse;
-      a.cigar.swap(sw.cigar);  // hand the pooled capacity back and forth
-      a.score = sw.score;
-      a.edit_distance = sw.edit_distance;
+      ExtensionJob& job = jobs->Append();
+      job.ref_id = chrom;
+      job.window_start = window_start;
+      job.reverse = reverse;
+      job.query = s;
+      job.window = window;
+      job.band.center = pos - window_start;
+      job.band.half_width = opt.band_pad;
     }
+  }
+}
+
+void ReadAligner::FinishRead(ExtensionJob* jobs, size_t n_jobs,
+                             AlignmentList* out) const {
+  out->clear();
+  for (size_t k = 0; k < n_jobs; ++k) {
+    ExtensionJob& job = jobs[k];
+    SwAlignment& sw = job.result;
+    if (!sw.aligned || sw.score < options_.min_score) continue;
+    Alignment& a = out->Append();
+    a.ref_id = job.ref_id;
+    a.pos = job.window_start + sw.window_start;
+    a.reverse = job.reverse;
+    a.cigar.swap(sw.cigar);  // hand the pooled capacity back and forth
+    a.score = sw.score;
+    a.edit_distance = sw.edit_distance;
   }
 
   // Dedupe by (ref, pos, strand), keeping the best score.
@@ -302,17 +328,51 @@ void PairedEndAligner::AlignBatch(const std::vector<FastqRecord>& interleaved,
                                   PairedAlignScratch* scratch,
                                   std::vector<SamRecord>* out) const {
   const size_t n_pairs = (end - begin) / 2;
+  const size_t n_reads = end - begin;
   std::vector<AlignmentList>& cand1 = scratch->cand1;
   std::vector<AlignmentList>& cand2 = scratch->cand2;
   if (cand1.size() < n_pairs) {
     cand1.resize(n_pairs);
     cand2.resize(n_pairs);
   }
+
+  // Phase A: seed + cluster every read of the batch, pooling the pending
+  // Smith-Waterman extensions. rev_seqs must reach full size before any
+  // job takes a view into an element (see PairedAlignScratch).
+  std::vector<std::string>& rev_seqs = scratch->rev_seqs;
+  if (rev_seqs.size() < n_reads) rev_seqs.resize(n_reads);
+  ExtensionJobList& jobs = scratch->batch_jobs;
+  jobs.clear();
+  std::vector<std::pair<uint32_t, uint32_t>>& ranges = scratch->job_ranges;
+  ranges.clear();
+  for (size_t r = 0; r < n_reads; ++r) {
+    const std::string& seq = interleaved[begin + r].sequence;
+    const uint32_t job_begin = static_cast<uint32_t>(jobs.size());
+    ReverseComplementInto(seq, &rev_seqs[r]);
+    read_aligner_.CollectExtensions(seq, rev_seqs[r], &scratch->read, &jobs);
+    ranges.emplace_back(job_begin, static_cast<uint32_t>(jobs.size()));
+  }
+
+  // Phase B: extend every job in one batched kernel pass — jobs sharing
+  // a band geometry run one-per-SIMD-lane (bit-identical to per-read
+  // kernel calls; see SmithWatermanBatch). Built only after phase A so
+  // no Append can move a job out from under its slot pointer.
+  std::vector<SwBatchJob>& refs = scratch->batch_refs;
+  refs.clear();
+  refs.reserve(jobs.size());
+  for (ExtensionJob& job : jobs) {
+    refs.push_back({job.query, job.window, job.band, &job.result});
+  }
+  SmithWatermanBatch(refs.data(), refs.size(), options_.aligner.scoring,
+                     options_.aligner.kernel, &scratch->read.sw,
+                     &scratch->batch, &scratch->read.stats);
+
+  // Phase C: per-read candidate resolution, in the original read order.
   for (size_t i = 0; i < n_pairs; ++i) {
-    read_aligner_.AlignReadInto(interleaved[begin + 2 * i].sequence,
-                                &scratch->read, &cand1[i]);
-    read_aligner_.AlignReadInto(interleaved[begin + 2 * i + 1].sequence,
-                                &scratch->read, &cand2[i]);
+    const auto [b1, e1] = ranges[2 * i];
+    read_aligner_.FinishRead(jobs.begin() + b1, e1 - b1, &cand1[i]);
+    const auto [b2, e2] = ranges[2 * i + 1];
+    read_aligner_.FinishRead(jobs.begin() + b2, e2 - b2, &cand2[i]);
   }
 
   InsertStats stats =

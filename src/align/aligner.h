@@ -82,9 +82,27 @@ class ReadAligner {
 
   /// Allocation-free hot path: same results as AlignRead, written into a
   /// pooled `out` using per-thread `scratch`. Kernel counters accumulate
-  /// into scratch->stats.
+  /// into scratch->stats. Equivalent to CollectExtensions + per-job
+  /// SmithWatermanKernel + FinishRead (it is implemented that way).
   void AlignReadInto(std::string_view seq, AlignScratch* scratch,
                      AlignmentList* out) const;
+
+  /// Phase 1 of AlignReadInto: seeding + clustering. Appends one
+  /// ExtensionJob per candidate window to `jobs` — query views point
+  /// into `seq` / `reverse_seq` (the read's reverse complement, computed
+  /// by the caller), window views into the genome index; all must stay
+  /// alive until FinishRead. Appends nothing for unseedable reads.
+  /// Exposed so batch callers can pool jobs across reads and extend them
+  /// with the vertical SIMD kernel (SmithWatermanBatch).
+  void CollectExtensions(std::string_view seq, std::string_view reverse_seq,
+                         AlignScratch* scratch, ExtensionJobList* jobs) const;
+
+  /// Phase 3 of AlignReadInto: filters extended jobs by min_score and
+  /// resolves them into `out` (dedupe by position, sort by score). The
+  /// jobs' `result` slots must already be filled by a kernel; their
+  /// Cigars are swapped out (capacity flows between pools).
+  void FinishRead(ExtensionJob* jobs, size_t n_jobs,
+                  AlignmentList* out) const;
 
  private:
   const GenomeIndex* index_;

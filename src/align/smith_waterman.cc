@@ -278,19 +278,26 @@ void FillBandedSimd(const SwLayout& L, std::string_view read,
 
 // Shared traceback over the band-local matrices: the oracle's state
 // machine, with out-of-band reads resolving to the boundary values.
+// `lanes`/`lane` address lane-interleaved matrices from the vertical
+// batch fill (cell (i, j) of lane l at Idx(i, j) * lanes + l); the
+// per-read matrices are the degenerate lanes = 1 case.
 template <typename T>
 void TracebackBanded(const SwLayout& L, const T* h, const T* e, const T* f,
                      std::string_view read, std::string_view window,
                      const SwScoring& sc, int best, int best_i, int best_j,
-                     SwScratch* scratch, SwAlignment* out) {
+                     SwScratch* scratch, SwAlignment* out, int lanes = 1,
+                     int lane = 0) {
   auto hat = [&](int i, int j) -> int {
-    return L.Valid(i, j) ? static_cast<int>(h[L.Idx(i, j)]) : 0;
+    return L.Valid(i, j) ? static_cast<int>(h[L.Idx(i, j) * lanes + lane])
+                         : 0;
   };
   auto eat = [&](int i, int j) -> int {
-    return L.Valid(i, j) ? static_cast<int>(e[L.Idx(i, j)]) : Ops<T>::kMin;
+    return L.Valid(i, j) ? static_cast<int>(e[L.Idx(i, j) * lanes + lane])
+                         : Ops<T>::kMin;
   };
   auto fat = [&](int i, int j) -> int {
-    return L.Valid(i, j) ? static_cast<int>(f[L.Idx(i, j)]) : Ops<T>::kMin;
+    return L.Valid(i, j) ? static_cast<int>(f[L.Idx(i, j) * lanes + lane])
+                         : Ops<T>::kMin;
   };
   Cigar& rev_ops = scratch->rev_ops;
   rev_ops.clear();
@@ -469,6 +476,209 @@ void SmithWatermanKernel(std::string_view read, std::string_view window,
     }
   }
   flush();
+}
+
+// ---------------------------------------------------------------------
+// Vertical batched kernel: jobs sharing one band geometry run one-per-
+// lane through sw_vertical.cc's fill. Identity with the per-read kernel
+// holds lane by lane: the vertical fill computes E directly from final H
+// (E = max(H[s-1]+open, E[s-1]+ext)), which under saturating adds equals
+// the per-read serial pass's E-free form whenever gap_open <= gap_extend
+// — exactly the gate that admits the 16-bit path in the first place —
+// and best tracking uses the same strict-improvement (i asc, j asc)
+// order. Saturated lanes repeat the per-read 32-bit overflow rerun.
+
+namespace {
+
+int64_t BandCells(const sw_internal::SwLayout& L) {
+  int64_t cells = 0;
+  for (int i = 1; i <= L.m; ++i) {
+    cells += std::max(0, L.JHi(i) - L.JLo(i) + 1);
+  }
+  return cells;
+}
+
+// Runs exactly `lanes` jobs (idx[0..lanes)) that share layout L through
+// one vertical fill, then finalizes each lane the way the per-read
+// kernel would have: traceback on >0 scores, 32-bit rerun on saturation,
+// identical stats accounting.
+void RunVerticalChunk(SwBatchJob* jobs, const uint32_t* idx, int lanes,
+                      const sw_internal::SwLayout& L, int64_t band_cells,
+                      const SwScoring& sc, SwScratch* scratch,
+                      SwBatchScratch* batch, SwKernelStats* stats) {
+  const int m = L.m;
+  const int n = L.n;
+  const size_t need = L.Cells() * lanes;
+  if (batch->h.size() < need) {
+    batch->h.resize(need);
+    batch->e.resize(need);
+    batch->f.resize(need);
+  }
+  const size_t rneed = static_cast<size_t>(m) * lanes;
+  const size_t wneed = static_cast<size_t>(n) * lanes;
+  if (batch->reads.size() < rneed) batch->reads.resize(rneed);
+  if (batch->windows.size() < wneed) batch->windows.resize(wneed);
+  batch->best.resize(lanes);
+  batch->besti.resize(lanes);
+  batch->bestj.resize(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    const SwBatchJob& job = jobs[idx[l]];
+    for (int i = 0; i < m; ++i) batch->reads[i * lanes + l] = job.read[i];
+    for (int t = 0; t < n; ++t) {
+      batch->windows[t * lanes + l] = job.window[t];
+    }
+  }
+
+  sw_internal::VerticalArgs16 args;
+  args.layout = &L;
+  args.reads = batch->reads.data();
+  args.wins = batch->windows.data();
+  args.h = batch->h.data();
+  args.e = batch->e.data();
+  args.f = batch->f.data();
+  args.match = static_cast<int16_t>(sc.match);
+  args.mismatch = static_cast<int16_t>(sc.mismatch);
+  args.gap_open = static_cast<int16_t>(sc.gap_open);
+  args.gap_extend = static_cast<int16_t>(sc.gap_extend);
+  args.best = batch->best.data();
+  args.besti = batch->besti.data();
+  args.bestj = batch->bestj.data();
+  sw_internal::FillBandedVertical16(args);
+
+  for (int l = 0; l < lanes; ++l) {
+    const SwBatchJob& job = jobs[idx[l]];
+    SwAlignment* out = job.out;
+    out->score = 0;
+    out->window_start = 0;
+    out->window_end = 0;
+    out->cigar.clear();
+    out->edit_distance = 0;
+    out->aligned = false;
+
+    SwKernelStats local;
+    local.calls = 1;
+    local.simd_calls = 1;
+    local.cells_full = static_cast<int64_t>(m) * n;
+    local.cells_filled = band_cells;
+    int best = batch->best[l];
+    int best_i = batch->besti[l];
+    int best_j = batch->bestj[l];
+    if (best >= kMax16) {
+      // This lane saturated int16: rerun just this job in 32-bit lanes,
+      // the same promotion the per-read kernel performs.
+      local.overflow_reruns = 1;
+      local.cells_filled += band_cells;
+      const size_t wpad_need = static_cast<size_t>(kWinPad) + n + 32;
+      if (scratch->window_pad.size() < wpad_need) {
+        scratch->window_pad.resize(wpad_need);
+      }
+      std::copy(job.window.begin(), job.window.end(),
+                scratch->window_pad.begin() + kWinPad);
+      const size_t cells = L.Cells();
+      if (scratch->h32.size() < cells) {
+        scratch->h32.resize(cells);
+        scratch->e32.resize(cells);
+        scratch->f32.resize(cells);
+      }
+      best = 0;
+      best_i = 0;
+      best_j = 0;
+      FillBandedSimd<int32_t, RowArgs32, FillRow32>(
+          L, job.read, job.window, sc, scratch->window_pad.data(),
+          scratch->h32.data(), scratch->e32.data(), scratch->f32.data(),
+          &best, &best_i, &best_j);
+      if (best > 0) {
+        TracebackBanded<int32_t>(L, scratch->h32.data(), scratch->e32.data(),
+                                 scratch->f32.data(), job.read, job.window,
+                                 sc, best, best_i, best_j, scratch, out);
+      }
+    } else if (best > 0) {
+      TracebackBanded<int16_t>(L, batch->h.data(), batch->e.data(),
+                               batch->f.data(), job.read, job.window, sc,
+                               best, best_i, best_j, scratch, out, lanes, l);
+    }
+    if (stats != nullptr) *stats += local;
+  }
+}
+
+}  // namespace
+
+void SmithWatermanBatch(SwBatchJob* jobs, size_t n_jobs, const SwScoring& sc,
+                        SwKernelMode mode, SwScratch* scratch,
+                        SwBatchScratch* batch, SwKernelStats* stats) {
+  const int lanes = sw_internal::VerticalLanes();
+  const bool vertical_ok =
+      lanes > 0 &&
+      (mode == SwKernelMode::kAuto || mode == SwKernelMode::kBandedSimd) &&
+      SwSimdAvailable() && sc.gap_open <= sc.gap_extend && ScoringFits16(sc);
+  if (!vertical_ok) {
+    for (size_t k = 0; k < n_jobs; ++k) {
+      SmithWatermanKernel(jobs[k].read, jobs[k].window, sc, jobs[k].band,
+                          mode, scratch, jobs[k].out, stats);
+    }
+    return;
+  }
+
+  // Group jobs by band geometry so each vector chunk shares one layout.
+  // The index tie-break keeps the grouping deterministic; results are
+  // order-independent anyway since every job owns its output slot.
+  std::vector<uint32_t>& order = batch->order;
+  order.resize(n_jobs);
+  for (size_t k = 0; k < n_jobs; ++k) order[k] = static_cast<uint32_t>(k);
+  std::sort(order.begin(), order.end(), [jobs](uint32_t a, uint32_t b) {
+    const SwBatchJob& ja = jobs[a];
+    const SwBatchJob& jb = jobs[b];
+    if (ja.read.size() != jb.read.size()) {
+      return ja.read.size() < jb.read.size();
+    }
+    if (ja.window.size() != jb.window.size()) {
+      return ja.window.size() < jb.window.size();
+    }
+    if (ja.band.center != jb.band.center) {
+      return ja.band.center < jb.band.center;
+    }
+    if (ja.band.half_width != jb.band.half_width) {
+      return ja.band.half_width < jb.band.half_width;
+    }
+    return a < b;
+  });
+  auto same_geometry = [jobs](uint32_t a, uint32_t b) {
+    const SwBatchJob& ja = jobs[a];
+    const SwBatchJob& jb = jobs[b];
+    return ja.read.size() == jb.read.size() &&
+           ja.window.size() == jb.window.size() &&
+           ja.band.center == jb.band.center &&
+           ja.band.half_width == jb.band.half_width;
+  };
+
+  size_t g = 0;
+  while (g < n_jobs) {
+    size_t ge = g + 1;
+    while (ge < n_jobs && same_geometry(order[g], order[ge])) ++ge;
+    const SwBatchJob& j0 = jobs[order[g]];
+    const int m = static_cast<int>(j0.read.size());
+    const int n = static_cast<int>(j0.window.size());
+    const sw_internal::SwLayout L = sw_internal::SwLayout::Make(m, n, j0.band);
+    // The int16 argmax lanes carry best_i/best_j; keep the vertical path
+    // to dimensions they can represent (real reads/windows are far
+    // smaller) and degenerate layouts on the scalar driver.
+    const bool can_vertical = !L.empty && m < 32000 && n < 32000;
+    size_t k = g;
+    if (can_vertical) {
+      const int64_t band_cells = BandCells(L);
+      for (; k + static_cast<size_t>(lanes) <= ge;
+           k += static_cast<size_t>(lanes)) {
+        RunVerticalChunk(jobs, order.data() + k, lanes, L, band_cells, sc,
+                         scratch, batch, stats);
+      }
+    }
+    for (; k < ge; ++k) {
+      const SwBatchJob& job = jobs[order[k]];
+      SmithWatermanKernel(job.read, job.window, sc, job.band, mode, scratch,
+                          job.out, stats);
+    }
+    g = ge;
+  }
 }
 
 }  // namespace gesall

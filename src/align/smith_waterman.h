@@ -19,6 +19,7 @@
 #ifndef GESALL_ALIGN_SMITH_WATERMAN_H_
 #define GESALL_ALIGN_SMITH_WATERMAN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -100,6 +101,26 @@ struct SwScratch {
   Cigar rev_ops;                       // traceback run buffer
 };
 
+/// \brief One alignment job for the batched kernel: views into the
+/// caller's read/window storage (which must outlive the call) plus the
+/// result slot to fill.
+struct SwBatchJob {
+  std::string_view read;
+  std::string_view window;
+  SwBand band;
+  SwAlignment* out = nullptr;
+};
+
+/// \brief Reusable lane-interleaved buffers for SmithWatermanBatch.
+/// Same ownership discipline as SwScratch: one per thread, grows to the
+/// high-water mark, never shared across concurrent callers.
+struct SwBatchScratch {
+  std::vector<int16_t> h, e, f;       // lane-interleaved banded matrices
+  std::vector<char> reads, windows;   // lane-interleaved input chars
+  std::vector<int16_t> best, besti, bestj;  // per-lane fill results
+  std::vector<uint32_t> order;        // geometry-grouped job order
+};
+
 /// \brief True when this process dispatches alignment rows to SSE4.1 (or
 /// wider) vector lanes under kAuto/kBandedSimd.
 bool SwSimdAvailable();
@@ -120,6 +141,22 @@ void SmithWatermanKernel(std::string_view read, std::string_view window,
                          const SwScoring& scoring, const SwBand& band,
                          SwKernelMode mode, SwScratch* scratch,
                          SwAlignment* out, SwKernelStats* stats = nullptr);
+
+/// \brief Vertical (cross-read) batched kernel: aligns `n_jobs` jobs,
+/// packing jobs that share one band geometry 8/16 to a vector register
+/// so the whole affine recurrence runs in SIMD lanes — one job per lane
+/// — instead of vectorizing along single-read rows. Groups jobs by
+/// (read length, window length, band), runs full lanes through the
+/// vertical fill and everything else (group remainders, empty bands,
+/// no-SIMD builds, scoring that breaks the 16-bit gate) through
+/// SmithWatermanKernel. Every job's result and stats accounting is
+/// bit-identical to calling SmithWatermanKernel(job) directly with the
+/// same mode, including the per-lane 32-bit overflow rerun. Jobs may be
+/// reordered internally; outputs land in each job's `out` regardless.
+void SmithWatermanBatch(SwBatchJob* jobs, size_t n_jobs,
+                        const SwScoring& scoring, SwKernelMode mode,
+                        SwScratch* scratch, SwBatchScratch* batch,
+                        SwKernelStats* stats = nullptr);
 
 }  // namespace gesall
 

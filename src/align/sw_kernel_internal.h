@@ -115,6 +115,43 @@ struct RowArgs32 {
   int32_t match, mismatch, gap_open, gap_extend;
 };
 
+/// \brief Vertical (cross-read) 16-bit fill: `lanes` alignment jobs that
+/// share one SwLayout geometry run in parallel, one job per vector lane
+/// (sw_vertical.cc). Storage is lane-interleaved: cell (i, s) of lane l
+/// lives at ((i * stride) + s) * lanes + l, read char i of lane l at
+/// reads[(i-1) * lanes + l], window char t at wins[t * lanes + l].
+/// Computes, sequentially in s within each row (so the horizontal E
+/// state needs no scan pass — lanes are independent),
+///   E = max(H[s-1] + open, E[s-1] + ext)        (final H; equal to the
+///                                               per-read kernel's
+///                                               E-free form whenever
+///                                               gap_open <= gap_extend)
+///   F = max(Hup + open, Fup + ext)
+///   H = max(0, Hdiag + sub, E, F)
+/// in saturating 16-bit lanes, tracking each lane's first strict
+/// best-score improvement in (i asc, j asc) order — bit-identical per
+/// lane to the per-read 16-bit fill.
+struct VerticalArgs16 {
+  const SwLayout* layout;
+  const char* reads;  // interleaved strand-oriented read chars
+  const char* wins;   // interleaved window chars (no guard padding)
+  int16_t* h;         // interleaved matrices, layout->Cells() * lanes
+  int16_t* e;
+  int16_t* f;
+  int16_t match, mismatch, gap_open, gap_extend;
+  int16_t* best;   // [lanes] out: per-lane best score (0 = unaligned)
+  int16_t* besti;  // [lanes] out: per-lane argmax row
+  int16_t* bestj;  // [lanes] out: per-lane argmax window column
+};
+
+/// Lanes the vertical fill packs per vector pass: 16 with AVX2, 8 with
+/// SSE4.1, 0 when no SIMD is compiled in / supported by this CPU.
+int VerticalLanes();
+
+/// Runs the vertical fill at exactly VerticalLanes() lanes. Requires
+/// VerticalLanes() > 0.
+void FillBandedVertical16(const VerticalArgs16& args);
+
 /// True when SSE4.1 row fills are compiled in and the CPU executes them.
 bool SimdRowFillAvailable();
 

@@ -1,0 +1,226 @@
+// Vertical (cross-read) vectorization of the banded Smith-Waterman
+// 16-bit fill: one alignment job per vector lane, dorado/minimap-style.
+//
+// Where sw_simd.cc vectorizes ALONG a row of one DP matrix (and leaves
+// the horizontal E state to a scalar scan), this pass vectorizes ACROSS
+// jobs: every lane is an independent (read, window) pair sharing one
+// band geometry, so the full affine recurrence — E included — runs in
+// one sequential sweep over storage columns with no cross-lane
+// dependency. Saturating adds pin -inf at INT16_MIN and park positive
+// overflow at INT16_MAX per lane, where the batch driver
+// (smith_waterman.cc) reruns just that lane in 32-bit.
+//
+// Runtime-dispatched like sw_simd.cc: 16 lanes on AVX2, 8 on SSE4.1.
+
+#include "align/sw_kernel_internal.h"
+
+#include "util/cpu.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GESALL_SW_HAS_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace gesall {
+namespace sw_internal {
+
+#ifdef GESALL_SW_HAS_SIMD
+
+namespace {
+
+// Boundary-clear for rows/guard columns: H = 0, E = F = -inf across all
+// lanes of storage columns [s_begin, s_end). Standalone functions (GCC
+// lambdas do not inherit the enclosing target attribute).
+__attribute__((target("avx2"))) void ClearAvx2(const VerticalArgs16& a,
+                                               int i, int s_begin,
+                                               int s_end) {
+  constexpr int kL = 16;
+  const int S = a.layout->stride;
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vmin = _mm256_set1_epi16(kMin16);
+  for (int s = s_begin; s < s_end; ++s) {
+    const size_t at = (static_cast<size_t>(i) * S + s) * kL;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.h + at), vzero);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.e + at), vmin);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.f + at), vmin);
+  }
+}
+
+__attribute__((target("sse4.1"))) void ClearSse(const VerticalArgs16& a,
+                                                int i, int s_begin,
+                                                int s_end) {
+  constexpr int kL = 8;
+  const int S = a.layout->stride;
+  const __m128i vzero = _mm_setzero_si128();
+  const __m128i vmin = _mm_set1_epi16(kMin16);
+  for (int s = s_begin; s < s_end; ++s) {
+    const size_t at = (static_cast<size_t>(i) * S + s) * kL;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.h + at), vzero);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.e + at), vmin);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a.f + at), vmin);
+  }
+}
+
+__attribute__((target("avx2"))) void FillVerticalAvx2(
+    const VerticalArgs16& a) {
+  constexpr int kL = 16;
+  const SwLayout& L = *a.layout;
+  const int S = L.stride;
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vmatch = _mm256_set1_epi16(a.match);
+  const __m256i vmis = _mm256_set1_epi16(a.mismatch);
+  const __m256i vgo = _mm256_set1_epi16(a.gap_open);
+  const __m256i vge = _mm256_set1_epi16(a.gap_extend);
+  const __m256i vone = _mm256_set1_epi16(1);
+
+  ClearAvx2(a, 0, 0, S);
+  __m256i vbest = vzero, vbesti = vzero, vbestj = vzero;
+  for (int i = 1; i <= L.m; ++i) {
+    const int jlo = L.JLo(i);
+    const int jhi = L.JHi(i);
+    if (jlo > jhi) {
+      ClearAvx2(a, i, 0, S);
+      if (i + L.lo > L.n) break;  // band has left the window for good
+      continue;
+    }
+    const int slo = static_cast<int>(L.Col(i, jlo));
+    const int shi = static_cast<int>(L.Col(i, jhi));
+    ClearAvx2(a, i, 0, slo);
+    ClearAvx2(a, i, shi + 1, S);
+    const __m128i rc = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a.reads + (i - 1) * kL));
+    // Window char index for storage column s is t = i + lo - 2 + s.
+    const int64_t tbase = i + L.lo - 2;
+    __m256i p = vgo;  // E seed: out-of-band boundary H = 0 -> 0 + open
+    __m256i vj = _mm256_set1_epi16(static_cast<int16_t>(jlo));
+    const __m256i vi = _mm256_set1_epi16(static_cast<int16_t>(i));
+    const size_t prow = (static_cast<size_t>(i - 1) * S) * kL;
+    const size_t row = (static_cast<size_t>(i) * S) * kL;
+    for (int s = slo; s <= shi; ++s) {
+      const __m256i hdiag = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.h + prow + s * kL));
+      const __m256i hup = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.h + prow + (s + 1) * kL));
+      const __m256i fup = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.f + prow + (s + 1) * kL));
+      const __m128i wb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          a.wins + (tbase + s) * kL));
+      const __m256i eq = _mm256_cvtepi8_epi16(_mm_cmpeq_epi8(wb, rc));
+      const __m256i sub = _mm256_blendv_epi8(vmis, vmatch, eq);
+      const __m256i diag = _mm256_adds_epi16(hdiag, sub);
+      const __m256i fv = _mm256_max_epi16(_mm256_adds_epi16(hup, vgo),
+                                          _mm256_adds_epi16(fup, vge));
+      const __m256i ev = p;
+      __m256i v = _mm256_max_epi16(_mm256_max_epi16(vzero, diag),
+                                   _mm256_max_epi16(ev, fv));
+      const size_t at = row + s * kL;
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.h + at), v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.e + at), ev);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.f + at), fv);
+      const __m256i gt = _mm256_cmpgt_epi16(v, vbest);
+      vbest = _mm256_blendv_epi8(vbest, v, gt);
+      vbesti = _mm256_blendv_epi8(vbesti, vi, gt);
+      vbestj = _mm256_blendv_epi8(vbestj, vj, gt);
+      p = _mm256_max_epi16(_mm256_adds_epi16(v, vgo),
+                           _mm256_adds_epi16(p, vge));
+      vj = _mm256_add_epi16(vj, vone);
+    }
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.best), vbest);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.besti), vbesti);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.bestj), vbestj);
+}
+
+__attribute__((target("sse4.1"))) void FillVerticalSse(
+    const VerticalArgs16& a) {
+  constexpr int kL = 8;
+  const SwLayout& L = *a.layout;
+  const int S = L.stride;
+  const __m128i vzero = _mm_setzero_si128();
+  const __m128i vmatch = _mm_set1_epi16(a.match);
+  const __m128i vmis = _mm_set1_epi16(a.mismatch);
+  const __m128i vgo = _mm_set1_epi16(a.gap_open);
+  const __m128i vge = _mm_set1_epi16(a.gap_extend);
+  const __m128i vone = _mm_set1_epi16(1);
+
+  ClearSse(a, 0, 0, S);
+  __m128i vbest = vzero, vbesti = vzero, vbestj = vzero;
+  for (int i = 1; i <= L.m; ++i) {
+    const int jlo = L.JLo(i);
+    const int jhi = L.JHi(i);
+    if (jlo > jhi) {
+      ClearSse(a, i, 0, S);
+      if (i + L.lo > L.n) break;
+      continue;
+    }
+    const int slo = static_cast<int>(L.Col(i, jlo));
+    const int shi = static_cast<int>(L.Col(i, jhi));
+    ClearSse(a, i, 0, slo);
+    ClearSse(a, i, shi + 1, S);
+    const __m128i rc = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(a.reads + (i - 1) * kL));
+    const int64_t tbase = i + L.lo - 2;
+    __m128i p = vgo;
+    __m128i vj = _mm_set1_epi16(static_cast<int16_t>(jlo));
+    const __m128i vi = _mm_set1_epi16(static_cast<int16_t>(i));
+    const size_t prow = (static_cast<size_t>(i - 1) * S) * kL;
+    const size_t row = (static_cast<size_t>(i) * S) * kL;
+    for (int s = slo; s <= shi; ++s) {
+      const __m128i hdiag = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a.h + prow + s * kL));
+      const __m128i hup = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a.h + prow + (s + 1) * kL));
+      const __m128i fup = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(a.f + prow + (s + 1) * kL));
+      const __m128i wb = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+          a.wins + (tbase + s) * kL));
+      const __m128i eq = _mm_cvtepi8_epi16(_mm_cmpeq_epi8(wb, rc));
+      const __m128i sub = _mm_blendv_epi8(vmis, vmatch, eq);
+      const __m128i diag = _mm_adds_epi16(hdiag, sub);
+      const __m128i fv = _mm_max_epi16(_mm_adds_epi16(hup, vgo),
+                                       _mm_adds_epi16(fup, vge));
+      const __m128i ev = p;
+      __m128i v = _mm_max_epi16(_mm_max_epi16(vzero, diag),
+                                _mm_max_epi16(ev, fv));
+      const size_t at = row + s * kL;
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.h + at), v);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.e + at), ev);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.f + at), fv);
+      const __m128i gt = _mm_cmpgt_epi16(v, vbest);
+      vbest = _mm_blendv_epi8(vbest, v, gt);
+      vbesti = _mm_blendv_epi8(vbesti, vi, gt);
+      vbestj = _mm_blendv_epi8(vbestj, vj, gt);
+      p = _mm_max_epi16(_mm_adds_epi16(v, vgo), _mm_adds_epi16(p, vge));
+      vj = _mm_add_epi16(vj, vone);
+    }
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(a.best), vbest);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(a.besti), vbesti);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(a.bestj), vbestj);
+}
+
+}  // namespace
+
+int VerticalLanes() {
+  if (CpuHasAvx2()) return 16;
+  if (CpuHasSse41()) return 8;
+  return 0;
+}
+
+void FillBandedVertical16(const VerticalArgs16& args) {
+  if (CpuHasAvx2()) {
+    FillVerticalAvx2(args);
+  } else {
+    FillVerticalSse(args);
+  }
+}
+
+#else  // !GESALL_SW_HAS_SIMD
+
+int VerticalLanes() { return 0; }
+void FillBandedVertical16(const VerticalArgs16&) {}
+
+#endif
+
+}  // namespace sw_internal
+}  // namespace gesall

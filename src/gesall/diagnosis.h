@@ -227,6 +227,14 @@ struct ExecutionSummary {
 
   // Round-DAG accounting.
   bool pipelined = false;
+  // Rounds 1+2 ran fused through the streaming node graph (no aligned
+  // stage on the DFS); see PipelineConfig::streaming.
+  bool streaming = false;
+  // Process peak RSS sampled at the end of the run (0 where the
+  // platform exposes none). The streaming path's headline claim —
+  // memory bounded by queue capacity, not partition depth — is gated
+  // on this number in the pipeline bench.
+  int64_t peak_rss_bytes = 0;
   double wall_seconds = 0;
   double serialized_round_seconds = 0;  // sum of round durations
   double overlap_seconds_saved = 0;     // serialized - wall (>= 0)

@@ -11,11 +11,13 @@
 #include "dfs/bam_split_reader.h"
 #include "gesall/keys.h"
 #include "gesall/linear_index.h"
+#include "gesall/pipeline_node.h"
 #include "gesall/round_dag.h"
 #include "gesall/streaming.h"
 #include "gesall/transform.h"
 #include "util/bloom_filter.h"
 #include "util/io.h"
+#include "util/mem.h"
 #include "util/stopwatch.h"
 
 namespace gesall {
@@ -62,6 +64,43 @@ void EmitKernelCounters(MapContext* ctx, const SwKernelStats& s) {
   ctx->IncrementCounter("align_kernel_overflow_reruns", s.overflow_reruns);
   ctx->IncrementCounter("align_band_cells_skipped", s.cells_skipped());
 }
+
+// Flushes a fused streamed round's telemetry into the task's counters:
+// the kernel stats plus CleanSam tallies (matching the barriered
+// rounds' names), and the per-edge queue depth/stall and per-node
+// pump/park numbers the streaming bench plots. Depth/stall counters
+// sum across map tasks, like every other job counter.
+void EmitStreamCounters(MapContext* ctx, const AlignCleanStreamStats& s) {
+  EmitKernelCounters(ctx, s.kernel);
+  ctx->IncrementCounter("cleansam_clipped", s.clean_clipped);
+  ctx->IncrementCounter("cleansam_dropped", s.clean_dropped);
+  ctx->IncrementCounter("stream_batches", s.batches);
+  ctx->IncrementCounter("stream_reads", s.reads);
+  for (const auto& e : s.edges) {
+    const std::string p = "stream_queue_" + e.name;
+    ctx->IncrementCounter(p + "_max_depth", e.queue.max_depth);
+    ctx->IncrementCounter(p + "_push_stalls", e.queue.push_stalls);
+    ctx->IncrementCounter(p + "_pop_stalls", e.queue.pop_stalls);
+    ctx->IncrementCounter(p + "_push_stall_micros", e.queue.push_stall_micros);
+    ctx->IncrementCounter(p + "_pop_stall_micros", e.queue.pop_stall_micros);
+  }
+  for (const auto& n : s.nodes) {
+    const std::string p = "stream_node_" + n.name;
+    ctx->IncrementCounter(p + "_pumps", n.pumps);
+    ctx->IncrementCounter(p + "_parks", n.parks);
+  }
+}
+
+// Mapper factory placeholder for the fused streamed round: every split
+// carries a stream fn, so the engine never instantiates a mapper.
+// Reaching Map here means an engine regression, not bad data.
+class StreamedRoundMapper : public Mapper {
+ public:
+  Status Map(const std::string&, MapContext*) override {
+    return Status::Internal(
+        "streamed round instantiated a mapper for a non-streamed split");
+  }
+};
 
 class AlignmentMapper : public Mapper {
  public:
@@ -1211,6 +1250,7 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
   const bool pipelined_run = config_.pipelined && !config_.resume;
   execution_ = ExecutionSummary{};
   execution_.pipelined = pipelined_run;
+  execution_.streaming = pipelined_run && config_.streaming;
   Stopwatch wall;
   Result<std::vector<VariantRecord>> result =
       pipelined_run ? RunAllPipelined() : RunAllBarriered();
@@ -1233,6 +1273,10 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAll() {
       static_cast<double>(after.queue_wait_micros -
                           before.queue_wait_micros) /
       1e6;
+  // High-water mark over the whole process (cumulative, so streaming
+  // vs barriered comparisons need separate processes or the resettable
+  // allocator hooks in util/mem.h).
+  execution_.peak_rss_bytes = PeakRssBytes();
 
   // Barriered rounds execute back to back: derive their spans from the
   // recorded round walls. The pipelined path records real spans itself.
@@ -1286,10 +1330,15 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
       executor, std::max(1, config_.max_parallel_tasks));
   Stopwatch wall;
 
-  // ---- Round 1, barriered: split computation needs the input files.
-  GESALL_RETURN_NOT_OK(RunRound1Alignment());
-  execution_.rounds.push_back(
-      {"round1_alignment", 0.0, wall.ElapsedSeconds()});
+  // ---- Round 1. Streaming fuses it into the round-2 job below (the
+  // aligned stage never exists on the DFS); otherwise it runs barriered
+  // first, since round 2's split computation needs the aligned files.
+  const bool streaming = config_.streaming;
+  if (!streaming) {
+    GESALL_RETURN_NOT_OK(RunRound1Alignment());
+    execution_.rounds.push_back(
+        {"round1_alignment", 0.0, wall.ElapsedSeconds()});
+  }
 
   const int R2 = std::max(1, config_.cleaning_reducers);
   const int R3 = std::max(1, config_.markdup_reducers);
@@ -1348,16 +1397,70 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   // finish, each releasing the bloom pre-round's matching map split.
   double t2_start = wall.ElapsedSeconds();
   std::vector<InputSplit> splits2;
-  for (const auto& path : ListBams(*dfs_, aligned_dir_)) {
-    GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
-    for (const auto& bs : bam_splits) {
+  if (streaming) {
+    // Fused rounds 1+2: each map task pumps its FASTQ partition through
+    // the bounded-queue node graph (align + clean) and emits cleaned
+    // records straight into the qname shuffle. Batch slicing matches
+    // AlignPairs' own boundaries, so the shuffled records — and every
+    // downstream stage — are byte-identical to the barriered path's.
+    std::vector<std::string> inputs = dfs_->List(input_dir_);
+    if (inputs.empty()) {
+      return Status::InvalidArgument("no input partitions");
+    }
+    const GenomeIndex* index = index_;
+    PairedAlignerOptions opt = config_.aligner;
+    const SamHeader* hdr = &header_;
+    ReadGroup stream_rg = config_.read_group;
+    std::shared_ptr<CancelToken> cancel = config_.cancel;
+    for (const auto& path : inputs) {
       InputSplit s;
-      s.load = [dfs, path, bs]() {
-        return ReadBamSplitRecords(*dfs, path, bs);
+      s.stream = [dfs, path, index, opt, hdr, stream_rg, cancel,
+                  executor](MapContext* ctx) -> Status {
+        GESALL_ASSIGN_OR_RETURN(std::string text, dfs->Read(path));
+        ctx->IncrementCounter("map_input_bytes",
+                              static_cast<int64_t>(text.size()));
+        std::vector<FastqRecord> reads;
+        {
+          CounterTimer timer(ctx, kTransformMicros);
+          GESALL_ASSIGN_OR_RETURN(reads, ParseFastq(text));
+        }
+        text.clear();
+        text.shrink_to_fit();
+        AlignCleanStreamOptions sopts;
+        sopts.executor = executor;
+        sopts.cancel = cancel;
+        sopts.clean = true;
+        sopts.header = hdr;
+        sopts.read_group = stream_rg;
+        AlignCleanStreamStats sstats;
+        GESALL_RETURN_NOT_OK(RunAlignCleanStream(
+            *index, opt, std::move(reads), sopts,
+            [ctx](RecordBatch* batch) {
+              CounterTimer timer(ctx, kTransformMicros);
+              for (const auto& r : batch->records) {
+                ctx->EmitView(r.qname, EncodeBamRecord(r));
+              }
+              return Status::OK();
+            },
+            &sstats));
+        EmitStreamCounters(ctx, sstats);
+        return Status::OK();
       };
-      s.preferred_node = bs.preferred_nodes.empty() ? -1
-                                                    : bs.preferred_nodes[0];
       splits2.push_back(std::move(s));
+    }
+  } else {
+    for (const auto& path : ListBams(*dfs_, aligned_dir_)) {
+      GESALL_ASSIGN_OR_RETURN(auto bam_splits, ComputeBamSplits(*dfs_, path));
+      for (const auto& bs : bam_splits) {
+        InputSplit s;
+        s.load = [dfs, path, bs]() {
+          return ReadBamSplitRecords(*dfs, path, bs);
+        };
+        s.preferred_node = bs.preferred_nodes.empty()
+                               ? -1
+                               : bs.preferred_nodes[0];
+        splits2.push_back(std::move(s));
+      }
     }
   }
   JobConfig cfg2 = MakeJobConfig(R2);
@@ -1389,10 +1492,18 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
   MapReduceJob job2(cfg2);
   const SamHeader* header = &header_;
   ReadGroup rg = config_.read_group;
-  h2 = job2.Start(
-      splits2,
-      [header, rg] { return std::make_unique<CleaningMapper>(header, rg); },
-      [] { return std::make_unique<FixMateReducer>(); });
+  MapperFactory map2;
+  if (streaming) {
+    map2 = []() -> std::unique_ptr<Mapper> {
+      return std::make_unique<StreamedRoundMapper>();
+    };
+  } else {
+    map2 = [header, rg]() -> std::unique_ptr<Mapper> {
+      return std::make_unique<CleaningMapper>(header, rg);
+    };
+  }
+  h2 = job2.Start(splits2, map2,
+                  [] { return std::make_unique<FixMateReducer>(); });
 
   // ---- Round 3 bloom pre-round, overlapped with round 2: each map
   // split is gated on its cleaned partition.
@@ -1423,10 +1534,12 @@ Result<std::vector<VariantRecord>> GesallPipeline::RunAllPipelined() {
     h2.reset();
     if (!out.ok()) return fail(out.status());
     JobResult result = out.MoveValueUnsafe();
-    stats_.push_back({"round2_cleaning", wall.ElapsedSeconds() - t2_start,
+    const std::string round2_name =
+        streaming ? "round1_2_streamed" : "round2_cleaning";
+    stats_.push_back({round2_name, wall.ElapsedSeconds() - t2_start,
                       std::move(result.counters), std::move(result.tasks)});
     execution_.rounds.push_back(
-        {"round2_cleaning", t2_start, wall.ElapsedSeconds()});
+        {round2_name, t2_start, wall.ElapsedSeconds()});
   }
   {
     Status s = first_cb_error();

@@ -137,6 +137,18 @@ struct PipelineConfig {
   /// scheduling changes. Off by default so seeded chaos runs keep their
   /// historical round ordering.
   bool pipelined = false;
+  /// Fuse rounds 1+2 into one streamed job (effective only when
+  /// `pipelined` and not resuming): every map task pumps its FASTQ
+  /// partition through the bounded-queue node graph of pipeline_node.h
+  /// (FastqSource -> Align -> Clean -> shuffle emit), so the aligned
+  /// stage is never materialized on the DFS and the map-side memory
+  /// high-water mark is O(queue capacity * batch) instead of
+  /// O(partition). Outputs, variant calls, and per-record counters are
+  /// byte-identical to the barriered rounds 1+2 (batch boundaries match
+  /// AlignPairs' own); the fused round always uses the native aligner.
+  /// The fused round is not sealed, so a crashed streaming run resumes
+  /// from the top of the sample rather than a round boundary.
+  bool streaming = false;
   /// Executor every round's tasks run on (not owned). Null selects the
   /// process-wide Executor::Shared().
   Executor* executor = nullptr;

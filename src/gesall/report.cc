@@ -148,7 +148,14 @@ Result<DiagnosisReport> GenerateDiagnosisReport(
     const ExecutionSummary& ex = report.execution;
     md += "## Execution engine\n\n";
     Append(&md, "- mode: %s rounds on the shared work-stealing executor\n",
-           ex.pipelined ? "pipelined (per-partition overlap)" : "barriered");
+           ex.streaming
+               ? "streaming (rounds 1+2 fused through bounded-queue nodes)"
+               : ex.pipelined ? "pipelined (per-partition overlap)"
+                              : "barriered");
+    if (ex.peak_rss_bytes > 0) {
+      Append(&md, "- peak RSS: %.1f MiB\n",
+             static_cast<double>(ex.peak_rss_bytes) / (1024.0 * 1024.0));
+    }
     Append(&md, "- tasks executed: %lld (steals: %lld, tasks stolen: "
                 "%lld, queue wait: %.3fs)\n",
            static_cast<long long>(ex.tasks_executed),

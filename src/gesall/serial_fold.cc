@@ -14,6 +14,7 @@
 #include "analysis/recalibration.h"
 #include "analysis/steps.h"
 #include "gesall/pipeline.h"
+#include "gesall/pipeline_node.h"
 #include "gesall/round_dag.h"
 #include "util/executor.h"
 
@@ -44,6 +45,10 @@ void GroupByName(std::vector<SamRecord>* records) {
 struct ChainState {
   const ReferenceGenome* reference = nullptr;
   const SerialPipelineConfig* config = nullptr;
+  // The chain's own single-worker executor, set by RunChain before the
+  // dag runs: nodes that pump a NodeGraph (the alignment head) run it
+  // on the same worker their dag task occupies.
+  Executor* chain_executor = nullptr;
   SamHeader header;
   std::vector<SamRecord> records;
   std::vector<VariantRecord> variants;
@@ -110,8 +115,10 @@ void AppendTailChain(RoundDag* dag, ChainState* state, int head,
 
 // Runs the dag on a private single-worker executor and folds node spans
 // into per-program timings (the step_seconds contract).
-Status RunChain(RoundDag* dag, std::map<std::string, double>* timings) {
+Status RunChain(RoundDag* dag, ChainState* state,
+                std::map<std::string, double>* timings) {
   Executor serial_executor(1);
+  state->chain_executor = &serial_executor;
   GESALL_RETURN_NOT_OK(dag->Run(&serial_executor));
   if (timings != nullptr) {
     for (const auto& node : dag->nodes()) {
@@ -134,15 +141,29 @@ Result<SerialStageOutputs> RunSerialPipeline(
 
   RoundDag dag;
   int head = dag.AddTask("bwa", [&] {
-    PairedEndAligner aligner(index, config.aligner);
-    state.records = aligner.AlignPairs(interleaved);
-    state.header = aligner.MakeHeader();
+    // Alignment runs through the same streaming node graph as the fused
+    // distributed round (pipeline_node.h), pumped on the chain's single
+    // worker — outputs are bit-identical to a monolithic AlignPairs,
+    // and every serial run doubles as a liveness check of the graph's
+    // park/wake protocol with no second thread to help.
+    state.header = PairedEndAligner(index, config.aligner).MakeHeader();
+    AlignCleanStreamOptions sopts;
+    sopts.executor = state.chain_executor;
+    sopts.clean = false;
+    AlignCleanStreamStats sstats;
+    GESALL_RETURN_NOT_OK(RunAlignCleanStream(
+        index, config.aligner, interleaved, sopts,
+        [&state](RecordBatch* b) {
+          for (auto& r : b->records) state.records.push_back(std::move(r));
+          return Status::OK();
+        },
+        &sstats));
     out.aligned = state.records;
     return Status::OK();
   });
   AppendTailChain(&dag, &state, head, /*from_deduped=*/false, &out.cleaned,
                   &out.deduped, &out.header, &out.sorted);
-  GESALL_RETURN_NOT_OK(RunChain(&dag, &out.step_seconds));
+  GESALL_RETURN_NOT_OK(RunChain(&dag, &state, &out.step_seconds));
   out.variants = std::move(state.variants);
   return out;
 }
@@ -159,7 +180,7 @@ Result<std::vector<VariantRecord>> SerialTailFromAligned(
   RoundDag dag;
   AppendTailChain(&dag, &state, /*head=*/-1, /*from_deduped=*/false,
                   nullptr, nullptr, nullptr, nullptr);
-  GESALL_RETURN_NOT_OK(RunChain(&dag, nullptr));
+  GESALL_RETURN_NOT_OK(RunChain(&dag, &state, nullptr));
   return std::move(state.variants);
 }
 
@@ -174,7 +195,7 @@ Result<std::vector<VariantRecord>> SerialTailFromDeduped(
   RoundDag dag;
   AppendTailChain(&dag, &state, /*head=*/-1, /*from_deduped=*/true, nullptr,
                   nullptr, nullptr, nullptr);
-  GESALL_RETURN_NOT_OK(RunChain(&dag, nullptr));
+  GESALL_RETURN_NOT_OK(RunChain(&dag, &state, nullptr));
   return std::move(state.variants);
 }
 

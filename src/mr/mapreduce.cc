@@ -347,6 +347,25 @@ Result<std::string> LoadSplitAttempt(const InputSplit& split, int index,
   return input;
 }
 
+// Fault-injection points for a streamed split, bracketing the stream
+// call the way LoadSplitAttempt brackets split.load(): the split-load
+// point (plus injected latency) fires before the stream starts, the
+// map-attempt point after it returns, so chaos tests exercise streamed
+// map tasks through the same retry machinery as loaded ones.
+Status PreStreamFaults(int index, int attempt, FaultInjector* injector) {
+  if (injector == nullptr) return Status::OK();
+  int latency = injector->LatencyMs(kFaultMapAttempt, index, attempt);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency));
+  }
+  return injector->MaybeFail(kFaultSplitLoad, index, attempt);
+}
+
+Status PostStreamFaults(int index, int attempt, FaultInjector* injector) {
+  if (injector == nullptr) return Status::OK();
+  return injector->MaybeFail(kFaultMapAttempt, index, attempt);
+}
+
 // Folds per-task attempt bookkeeping into the task's own counters and
 // applies skip-bad-records isolation to a map task that exhausted its
 // attempts. TaskOut is one of the map-side outputs.
@@ -442,6 +461,34 @@ void ExecuteMapFull(JobState* s, size_t i, MapTaskOutput* slot) {
       out->record.end_seconds = s->job_clock.ElapsedSeconds();
       return;
     }
+    if (s->splits[i].stream) {
+      // Streamed split: the stream drives emits through the context
+      // itself; no whole-split string ever materializes.
+      Status st =
+          PreStreamFaults(static_cast<int>(i), attempt, cfg.fault_injector);
+      if (st.ok()) {
+        std::unique_ptr<Combiner> combiner;
+        if (cfg.combiner_factory) combiner = cfg.combiner_factory();
+        MapContextImpl ctx(s->partitioner, cfg, combiner.get(), s->executor,
+                           out);
+        out->status = s->splits[i].stream(&ctx);
+        if (out->status.ok()) {
+          out->status = PostStreamFaults(static_cast<int>(i), attempt,
+                                         cfg.fault_injector);
+        }
+        if (out->status.ok()) {
+          out->status = ctx.FinishTask();
+        } else {
+          ctx.FlushCounters();
+        }
+        out->record.input_bytes = out->counters.Get("map_input_bytes");
+        out->record.output_bytes = out->counters.Get("map_output_bytes");
+      } else {
+        out->status = st;
+      }
+      out->record.end_seconds = s->job_clock.ElapsedSeconds();
+      return;
+    }
     auto input = LoadSplitAttempt(s->splits[i], static_cast<int>(i),
                                   attempt, cfg.fault_injector);
     if (input.ok()) {
@@ -481,6 +528,25 @@ void ExecuteMapOnly(JobState* s, size_t i, MapOnlyTaskOutput* slot) {
     out->record.start_seconds = s->job_clock.ElapsedSeconds();
     if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
       out->status = cfg.cancel->status();
+      out->record.end_seconds = s->job_clock.ElapsedSeconds();
+      return;
+    }
+    if (s->splits[i].stream) {
+      Status st =
+          PreStreamFaults(static_cast<int>(i), attempt, cfg.fault_injector);
+      if (st.ok()) {
+        MapOnlyContext ctx(&out->values, &out->counters);
+        out->status = s->splits[i].stream(&ctx);
+        if (out->status.ok()) {
+          out->status = PostStreamFaults(static_cast<int>(i), attempt,
+                                         cfg.fault_injector);
+        }
+        ctx.FlushCounters();
+        out->record.input_bytes = out->counters.Get("map_input_bytes");
+        out->record.output_bytes = out->counters.Get("map_output_bytes");
+      } else {
+        out->status = st;
+      }
       out->record.end_seconds = s->job_clock.ElapsedSeconds();
       return;
     }

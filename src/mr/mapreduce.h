@@ -166,6 +166,18 @@ class RangePartitioner : public Partitioner {
 /// \brief Lazily-loaded input split with optional locality hint.
 struct InputSplit {
   std::function<Result<std::string>()> load;
+  /// Streaming alternative to `load`: when set, the map task never
+  /// materializes the split's bytes as one string — the engine invokes
+  /// `stream` with the task's MapContext and the function drives emits
+  /// itself (e.g. a pipeline node graph pumping bounded batches from a
+  /// source, with shuffle spills interleaving with compute). `load` is
+  /// ignored when `stream` is set. Retry/speculation/skip semantics and
+  /// the split-load / map-attempt fault-injection points are identical
+  /// to loaded splits, so a retried streamed attempt MUST be able to
+  /// restart the stream from the beginning. The task record's
+  /// input_bytes comes from the "map_input_bytes" counter the stream is
+  /// expected to increment.
+  std::function<Status(MapContext*)> stream;
   int preferred_node = -1;
   /// Optional readiness gate: the map task for this split is not even
   /// admitted to the job's task slots until the signal fires (it holds

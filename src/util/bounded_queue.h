@@ -1,0 +1,316 @@
+// Capacity-bounded MPMC queue: the backpressure edge of the streaming
+// pipeline node graph (gesall/pipeline_node.h).
+//
+// Two usage styles share one queue:
+//
+//   * Blocking Push/Pop for dedicated producer/consumer threads. A full
+//     queue blocks the producer (backpressure); an empty queue blocks
+//     the consumer. Close() lets consumers drain what remains and then
+//     fail; a CancelToken unblocks BOTH ends immediately.
+//   * Non-blocking TryPush/TryPop plus one-shot OnSpace/OnItem parking
+//     callbacks for cooperative pumps that must never block an executor
+//     worker. A pump that fails TryPush registers OnSpace and yields;
+//     the callback fires exactly once when space appears (or the queue
+//     closes/cancels), mirroring ReadySignal's exactly-once contract.
+//
+// Every stall (blocked wait or parked callback) is timed into the stats
+// so the pipeline can report where the streaming path waits.
+
+#ifndef GESALL_UTIL_BOUNDED_QUEUE_H_
+#define GESALL_UTIL_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/cancel.h"
+
+namespace gesall {
+
+/// \brief Occupancy and stall telemetry of one BoundedQueue.
+struct BoundedQueueStats {
+  int64_t pushed = 0;
+  int64_t popped = 0;
+  int64_t max_depth = 0;          // high-water occupancy
+  int64_t push_stalls = 0;        // producer found the queue full
+  int64_t pop_stalls = 0;         // consumer found the queue empty
+  int64_t push_stall_micros = 0;  // producer time blocked or parked
+  int64_t pop_stall_micros = 0;   // consumer time blocked or parked
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `cancel` (optional) must outlive the queue's shared state; a flip
+  /// unblocks every waiter and fires any parked callbacks.
+  explicit BoundedQueue(size_t capacity,
+                        std::shared_ptr<CancelToken> cancel = nullptr)
+      : state_(std::make_shared<State>()) {
+    state_->capacity = capacity == 0 ? 1 : capacity;
+    if (cancel != nullptr) {
+      // The token may outlive this queue: the callback holds only a
+      // weak_ptr to the shared state, so a late Cancel() is a no-op.
+      std::weak_ptr<State> weak = state_;
+      cancel->OnCancel([weak] {
+        if (auto s = weak.lock()) CancelState(s.get());
+      });
+    }
+  }
+
+  /// Blocks while full. Returns false (item dropped) once closed or
+  /// cancelled.
+  bool Push(T item) {
+    State* s = state_.get();
+    std::function<void()> cb;
+    {
+      std::unique_lock<std::mutex> lock(s->mu);
+      if (s->queue.size() >= s->capacity && !s->closed && !s->cancelled) {
+        ++s->stats.push_stalls;
+        auto t0 = std::chrono::steady_clock::now();
+        s->not_full.wait(lock, [s] {
+          return s->queue.size() < s->capacity || s->closed || s->cancelled;
+        });
+        s->stats.push_stall_micros += MicrosSince(t0);
+      }
+      if (s->closed || s->cancelled) return false;
+      s->queue.push_back(std::move(item));
+      ++s->stats.pushed;
+      s->stats.max_depth = std::max<int64_t>(
+          s->stats.max_depth, static_cast<int64_t>(s->queue.size()));
+      cb = std::move(s->on_item);
+      s->on_item = nullptr;
+    }
+    s->not_empty.notify_one();
+    if (cb) cb();
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns false once closed-and-drained
+  /// or cancelled.
+  bool Pop(T* out) {
+    State* s = state_.get();
+    std::function<void()> cb;
+    {
+      std::unique_lock<std::mutex> lock(s->mu);
+      if (s->queue.empty() && !s->closed && !s->cancelled) {
+        ++s->stats.pop_stalls;
+        auto t0 = std::chrono::steady_clock::now();
+        s->not_empty.wait(lock, [s] {
+          return !s->queue.empty() || s->closed || s->cancelled;
+        });
+        s->stats.pop_stall_micros += MicrosSince(t0);
+      }
+      if (s->cancelled || s->queue.empty()) return false;
+      *out = std::move(s->queue.front());
+      s->queue.pop_front();
+      ++s->stats.popped;
+      cb = std::move(s->on_space);
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_one();
+    if (cb) cb();
+    return true;
+  }
+
+  /// Non-blocking push; false when full, closed or cancelled. Use
+  /// closed()/cancelled() to tell backpressure from shutdown.
+  bool TryPush(T&& item) {
+    State* s = state_.get();
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->closed || s->cancelled || s->queue.size() >= s->capacity) {
+        return false;
+      }
+      s->queue.push_back(std::move(item));
+      ++s->stats.pushed;
+      s->stats.max_depth = std::max<int64_t>(
+          s->stats.max_depth, static_cast<int64_t>(s->queue.size()));
+      cb = std::move(s->on_item);
+      s->on_item = nullptr;
+    }
+    s->not_empty.notify_one();
+    if (cb) cb();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty (even if more items are coming),
+  /// closed-and-drained, or cancelled.
+  bool TryPop(T* out) {
+    State* s = state_.get();
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->cancelled || s->queue.empty()) return false;
+      *out = std::move(s->queue.front());
+      s->queue.pop_front();
+      ++s->stats.popped;
+      cb = std::move(s->on_space);
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_one();
+    if (cb) cb();
+    return true;
+  }
+
+  /// Parks `fn` until the queue has space; runs inline when it already
+  /// does (or is closed/cancelled — shutdown must unpark pumps). At most
+  /// one parked producer callback at a time; a new registration replaces
+  /// the old one. Fires exactly once per registration.
+  void OnSpace(std::function<void()> fn) {
+    State* s = state_.get();
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->queue.size() >= s->capacity && !s->closed && !s->cancelled) {
+        ++s->stats.push_stalls;
+        s->push_parked_at = std::chrono::steady_clock::now();
+        s->on_space = WrapTimed(s, &s->stats.push_stall_micros,
+                                &s->push_parked_at, std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+  /// Parks `fn` until an item is available; runs inline when one already
+  /// is (or the queue is closed/cancelled).
+  void OnItem(std::function<void()> fn) {
+    State* s = state_.get();
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->queue.empty() && !s->closed && !s->cancelled) {
+        ++s->stats.pop_stalls;
+        s->pop_parked_at = std::chrono::steady_clock::now();
+        s->on_item = WrapTimed(s, &s->stats.pop_stall_micros,
+                               &s->pop_parked_at, std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+  /// No more pushes; pops drain what remains. Idempotent.
+  void Close() {
+    State* s = state_.get();
+    std::function<void()> item_cb, space_cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->closed) return;
+      s->closed = true;
+      item_cb = std::move(s->on_item);
+      space_cb = std::move(s->on_space);
+      s->on_item = nullptr;
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_all();
+    s->not_empty.notify_all();
+    if (item_cb) item_cb();
+    if (space_cb) space_cb();
+  }
+
+  /// Abort: drops queued items and unblocks both ends (used when a
+  /// downstream node fails — draining would be wasted work).
+  void CloseAbort() {
+    State* s = state_.get();
+    std::function<void()> item_cb, space_cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->closed = true;
+      s->cancelled = true;
+      s->queue.clear();
+      item_cb = std::move(s->on_item);
+      space_cb = std::move(s->on_space);
+      s->on_item = nullptr;
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_all();
+    s->not_empty.notify_all();
+    if (item_cb) item_cb();
+    if (space_cb) space_cb();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->closed;
+  }
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->cancelled;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->queue.size();
+  }
+  size_t capacity() const { return state_->capacity; }
+
+  BoundedQueueStats stats() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->stats;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable not_full, not_empty;
+    std::deque<T> queue;
+    size_t capacity = 1;
+    bool closed = false;
+    bool cancelled = false;
+    std::function<void()> on_item;   // parked consumer (at most one)
+    std::function<void()> on_space;  // parked producer (at most one)
+    std::chrono::steady_clock::time_point push_parked_at, pop_parked_at;
+    BoundedQueueStats stats;
+  };
+
+  static int64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  // Wraps a parked callback so the parked duration is charged to the
+  // right stall counter when it finally fires. The duration is read
+  // under the lock right before the wrapper is invoked (all invocation
+  // sites move the callback out under s->mu, then call it outside).
+  static std::function<void()> WrapTimed(
+      State* s, int64_t* micros,
+      std::chrono::steady_clock::time_point* parked_at,
+      std::function<void()> fn) {
+    auto t0 = *parked_at;
+    return [s, micros, t0, fn = std::move(fn)] {
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        *micros += MicrosSince(t0);
+      }
+      fn();
+    };
+  }
+
+  static void CancelState(State* s) {
+    std::function<void()> item_cb, space_cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cancelled = true;
+      item_cb = std::move(s->on_item);
+      space_cb = std::move(s->on_space);
+      s->on_item = nullptr;
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_all();
+    s->not_empty.notify_all();
+    if (item_cb) item_cb();
+    if (space_cb) space_cb();
+  }
+
+  // shared_ptr so a CancelToken callback can outlive the queue object.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace gesall
+
+#endif  // GESALL_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,51 @@
+// Opt-in global operator new/delete overrides feeding the util/mem
+// allocation high-water mark. Add this FILE to a binary's own source
+// list to activate tracking there — never to a library target: several
+// bench binaries define their own global operator new, and linking two
+// definitions into one executable is an ODR violation.
+
+#include <cstdlib>
+#include <new>
+
+#include "util/mem.h"
+
+#if defined(__GLIBC__) || __has_include(<malloc.h>)
+#include <malloc.h>
+#define GESALL_MEM_USABLE_SIZE 1
+#endif
+
+namespace {
+
+inline size_t BlockSize(void* p, size_t requested) {
+#if defined(GESALL_MEM_USABLE_SIZE)
+  (void)requested;
+  return malloc_usable_size(p);
+#else
+  (void)p;
+  return requested;
+#endif
+}
+
+void* TrackedAlloc(size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  gesall::memhooks::RecordAlloc(BlockSize(p, size));
+  return p;
+}
+
+void TrackedFree(void* p, size_t requested) noexcept {
+  if (p == nullptr) return;
+  gesall::memhooks::RecordFree(BlockSize(p, requested));
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return TrackedAlloc(size); }
+void* operator new[](size_t size) { return TrackedAlloc(size); }
+void operator delete(void* p) noexcept { TrackedFree(p, 0); }
+void operator delete[](void* p) noexcept { TrackedFree(p, 0); }
+void operator delete(void* p, size_t size) noexcept { TrackedFree(p, size); }
+void operator delete[](void* p, size_t size) noexcept {
+  TrackedFree(p, size);
+}

@@ -235,6 +235,107 @@ TEST(SwDifferentialTest, StatsCountSkippedCells) {
   EXPECT_LT(stats.cells_filled, stats.cells_full);
 }
 
+TEST(SwDifferentialTest, BatchKernelBitIdenticalToPerReadKernel) {
+  // The vertical batched kernel packs same-geometry jobs one per SIMD
+  // lane; every job must come out bit-identical to the per-read kernel,
+  // including stats accounting, across uniform geometry (full lanes),
+  // mixed geometry (grouping + remainders), and empty/degenerate jobs.
+  Rng rng(20260809);
+  SwScoring sc;
+  for (int iter = 0; iter < 20; ++iter) {
+    const bool uniform = iter % 2 == 0;
+    const int n_jobs = 1 + static_cast<int>(rng.Uniform(70));
+    std::vector<std::string> reads(n_jobs), windows(n_jobs);
+    std::vector<SwBand> bands(n_jobs);
+    const int base_n = 100 + static_cast<int>(rng.Uniform(80));
+    const int base_len = 40 + static_cast<int>(rng.Uniform(40));
+    for (int k = 0; k < n_jobs; ++k) {
+      const int n = uniform ? base_n
+                            : 40 + static_cast<int>(rng.Uniform(140));
+      const int len = uniform
+                          ? base_len
+                          : 10 + static_cast<int>(rng.Uniform(n - 15));
+      windows[k] = RandomSeq(rng, n);
+      const int offset = static_cast<int>(rng.Uniform(n - len + 1));
+      reads[k] = MutatedRead(rng, windows[k], offset, len,
+                             static_cast<int>(rng.Uniform(5)),
+                             static_cast<int>(rng.Uniform(3)),
+                             static_cast<int>(rng.Uniform(6)));
+      bands[k].center = uniform ? 24 : rng.UniformInt(-len, n);
+      bands[k].half_width = uniform ? 40 : rng.UniformInt(0, 64);
+    }
+    if (iter == 5 && n_jobs > 2) reads[1].clear();  // empty-read job
+
+    std::vector<SwAlignment> want(n_jobs), got(n_jobs);
+    SwScratch scratch;
+    SwKernelStats want_stats;
+    for (int k = 0; k < n_jobs; ++k) {
+      SmithWatermanKernel(reads[k], windows[k], sc, bands[k],
+                          SwKernelMode::kAuto, &scratch, &want[k],
+                          &want_stats);
+    }
+    std::vector<SwBatchJob> jobs(n_jobs);
+    for (int k = 0; k < n_jobs; ++k) {
+      jobs[k] = {reads[k], windows[k], bands[k], &got[k]};
+    }
+    SwBatchScratch batch;
+    SwKernelStats got_stats;
+    SmithWatermanBatch(jobs.data(), jobs.size(), sc, SwKernelMode::kAuto,
+                       &scratch, &batch, &got_stats);
+    for (int k = 0; k < n_jobs; ++k) {
+      ExpectIdentical(want[k], got[k],
+                      "iter " + std::to_string(iter) + " job " +
+                          std::to_string(k));
+    }
+    EXPECT_EQ(want_stats.calls, got_stats.calls);
+    EXPECT_EQ(want_stats.simd_calls, got_stats.simd_calls);
+    EXPECT_EQ(want_stats.scalar_calls, got_stats.scalar_calls);
+    EXPECT_EQ(want_stats.overflow_reruns, got_stats.overflow_reruns);
+    EXPECT_EQ(want_stats.cells_full, got_stats.cells_full);
+    EXPECT_EQ(want_stats.cells_filled, got_stats.cells_filled);
+  }
+}
+
+TEST(SwDifferentialTest, BatchKernelHandlesPerLaneOverflow) {
+  // One saturating job inside a full vector chunk must promote only that
+  // lane to the 32-bit rerun and leave its neighbors untouched.
+  Rng rng(17);
+  SwScoring sc;
+  sc.match = 200;
+  const int kJobs = 20;
+  std::vector<std::string> reads(kJobs), windows(kJobs);
+  for (int k = 0; k < kJobs; ++k) {
+    windows[k] = RandomSeq(rng, 500);
+    if (k == 7) {
+      reads[k] = windows[k].substr(20, 400);  // saturates: 400 * 200
+    } else {
+      reads[k] = MutatedRead(rng, windows[k], 20, 60, 3, 1, 2);
+    }
+    // Same geometry only when lengths match; force uniform sizes so the
+    // saturating job shares a chunk with non-saturating neighbors.
+    reads[k].resize(400, 'N');
+  }
+  std::vector<SwAlignment> want(kJobs), got(kJobs);
+  SwScratch scratch;
+  for (int k = 0; k < kJobs; ++k) {
+    SmithWatermanKernel(reads[k], windows[k], sc, SwBand::Full(),
+                        SwKernelMode::kAuto, &scratch, &want[k]);
+  }
+  std::vector<SwBatchJob> jobs(kJobs);
+  for (int k = 0; k < kJobs; ++k) {
+    jobs[k] = {reads[k], windows[k], SwBand::Full(), &got[k]};
+  }
+  SwBatchScratch batch;
+  SwKernelStats stats;
+  SmithWatermanBatch(jobs.data(), jobs.size(), sc, SwKernelMode::kAuto,
+                     &scratch, &batch, &stats);
+  for (int k = 0; k < kJobs; ++k) {
+    ExpectIdentical(want[k], got[k], "job " + std::to_string(k));
+  }
+  EXPECT_GT(want[7].score, INT16_MAX);
+  if (SwSimdAvailable()) EXPECT_EQ(stats.overflow_reruns, 1);
+}
+
 TEST(SwDifferentialTest, ScratchReuseAcrossShrinkingInputs) {
   // Buffers grow to the high-water mark; a large call followed by small
   // ones must not leave stale state behind.

@@ -1,0 +1,172 @@
+// Tests for streamed input splits (InputSplit::stream): the map task
+// drives emits through its context instead of materializing the split's
+// bytes, the path the fused streaming pipeline rounds ride on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mr/mapreduce.h"
+#include "util/fault_injection.h"
+
+namespace gesall {
+namespace {
+
+class WordCountMapper : public Mapper {
+ public:
+  Status Map(const std::string& input, MapContext* ctx) override {
+    std::istringstream in(input);
+    std::string word;
+    while (in >> word) ctx->Emit(word, "1");
+    return Status::OK();
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  Status Reduce(const std::string& key,
+                const std::vector<std::string>& values,
+                ReduceContext* ctx) override {
+    ctx->Emit(key + ":" + std::to_string(values.size()));
+    return Status::OK();
+  }
+};
+
+// A streamed split equivalent to InlineSplit(data) under WordCountMapper:
+// same emits, plus the map_input_bytes counter the engine folds into the
+// task record. `attempts` (optional) counts stream invocations.
+InputSplit StreamedWordSplit(std::string data,
+                             std::atomic<int>* attempts = nullptr) {
+  InputSplit split;
+  split.stream = [data = std::move(data), attempts](MapContext* ctx) {
+    if (attempts != nullptr) attempts->fetch_add(1);
+    ctx->IncrementCounter("map_input_bytes",
+                          static_cast<int64_t>(data.size()));
+    std::istringstream in(data);
+    std::string word;
+    while (in >> word) ctx->Emit(word, "1");
+    return Status::OK();
+  };
+  return split;
+}
+
+MapperFactory NeverCalledMapper() {
+  return [] {
+    class Fail : public Mapper {
+     public:
+      Status Map(const std::string&, MapContext*) override {
+        return Status::Internal("mapper invoked for a streamed split");
+      }
+    };
+    return std::make_unique<Fail>();
+  };
+}
+
+std::map<std::string, int> CollectCounts(const JobResult& result) {
+  std::map<std::string, int> counts;
+  for (const auto& out : result.reducer_outputs) {
+    for (const auto& v : out) {
+      auto colon = v.rfind(':');
+      counts[v.substr(0, colon)] = std::stoi(v.substr(colon + 1));
+    }
+  }
+  return counts;
+}
+
+TEST(MapReduceStreamTest, StreamedSplitMatchesLoadedSplit) {
+  const std::vector<std::string> data = {"a b a", "b c", "a"};
+  std::vector<InputSplit> loaded, streamed;
+  for (const auto& d : data) {
+    loaded.push_back(InlineSplit(d));
+    streamed.push_back(StreamedWordSplit(d));
+  }
+  MapReduceJob job;
+  auto from_loaded =
+      job.Run(
+             loaded, [] { return std::make_unique<WordCountMapper>(); },
+             [] { return std::make_unique<SumReducer>(); })
+          .ValueOrDie();
+  MapReduceJob job2;
+  auto from_streamed = job2.Run(streamed, NeverCalledMapper(),
+                                [] { return std::make_unique<SumReducer>(); })
+                           .ValueOrDie();
+  EXPECT_EQ(from_streamed.reducer_outputs, from_loaded.reducer_outputs);
+  EXPECT_EQ(from_streamed.counters.Get("map_output_records"),
+            from_loaded.counters.Get("map_output_records"));
+  EXPECT_EQ(from_streamed.counters.Get("reduce_shuffle_records"),
+            from_loaded.counters.Get("reduce_shuffle_records"));
+}
+
+TEST(MapReduceStreamTest, InputBytesComeFromCounter) {
+  std::vector<InputSplit> splits = {StreamedWordSplit("alpha beta"),
+                                    StreamedWordSplit("gamma")};
+  MapReduceJob job;
+  auto result = job.Run(splits, NeverCalledMapper(),
+                        [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  int64_t input_bytes = 0;
+  for (const auto& task : result.tasks) {
+    if (task.type == TaskRecord::Type::kMap) input_bytes += task.input_bytes;
+  }
+  EXPECT_EQ(input_bytes, 10 + 5);
+  EXPECT_EQ(result.counters.Get("map_input_bytes"), 10 + 5);
+}
+
+TEST(MapReduceStreamTest, MapOnlyStreamedSplit) {
+  std::vector<InputSplit> splits = {StreamedWordSplit("x y"),
+                                    StreamedWordSplit("z")};
+  MapReduceJob job;
+  auto result = job.RunMapOnly(splits, NeverCalledMapper()).ValueOrDie();
+  ASSERT_EQ(result.reducer_outputs.size(), 2u);
+  EXPECT_EQ(result.reducer_outputs[0], (std::vector<std::string>{"1", "1"}));
+  EXPECT_EQ(result.reducer_outputs[1], (std::vector<std::string>{"1"}));
+  EXPECT_EQ(result.counters.Get("map_input_bytes"), 3 + 1);
+}
+
+TEST(MapReduceStreamTest, RetriedStreamRestartsFromScratch) {
+  FaultInjector injector(1);
+  // Every map task fails its first attempt after the stream ran; the
+  // retry must re-run the stream from the beginning with no residue.
+  ASSERT_TRUE(injector.ArmFirstAttempts(kFaultMapAttempt, 1).ok());
+  std::atomic<int> attempts{0};
+  std::vector<InputSplit> splits = {StreamedWordSplit("a b a", &attempts),
+                                    StreamedWordSplit("b c", &attempts)};
+  JobConfig cfg;
+  cfg.max_task_attempts = 2;
+  cfg.fault_injector = &injector;
+  MapReduceJob job(cfg);
+  auto result = job.Run(splits, NeverCalledMapper(),
+                        [] { return std::make_unique<SumReducer>(); })
+                    .ValueOrDie();
+  EXPECT_EQ(attempts.load(), 4);  // two splits, two attempts each
+  EXPECT_EQ(result.counters.Get("map_task_retries"), 2);
+  auto counts = CollectCounts(result);
+  EXPECT_EQ(counts["a"], 2);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+  // Failed attempts leave no counter residue.
+  EXPECT_EQ(result.counters.Get("map_output_records"), 5);
+  EXPECT_EQ(result.counters.Get("map_input_bytes"), 5 + 3);
+}
+
+TEST(MapReduceStreamTest, StreamErrorFailsJob) {
+  InputSplit bad;
+  bad.stream = [](MapContext*) {
+    return Status::Corruption("stream source truncated");
+  };
+  std::vector<InputSplit> splits;
+  splits.push_back(std::move(bad));
+  MapReduceJob job;
+  auto result = job.Run(splits, NeverCalledMapper(),
+                        [] { return std::make_unique<SumReducer>(); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gesall

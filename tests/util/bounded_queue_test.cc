@@ -1,0 +1,241 @@
+#include "util/bounded_queue.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/cancel.h"
+
+namespace gesall {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(BoundedQueueTest, TryPushFailsAtCapacity) {
+  BoundedQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.TryPush(std::move(a)));
+  EXPECT_TRUE(q.TryPush(std::move(b)));
+  EXPECT_FALSE(q.TryPush(std::move(c)));  // full: backpressure
+  int v = 0;
+  EXPECT_TRUE(q.TryPop(&v));
+  int d = 3;
+  EXPECT_TRUE(q.TryPush(std::move(d)));
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducerUntilConsumed) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(0));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(1));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer must be stalled while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  int v = -1;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 0);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_GE(q.stats().push_stalls, 1);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenFails) {
+  BoundedQueue<std::string> q(4);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_TRUE(q.Push("b"));
+  q.Close();
+  EXPECT_FALSE(q.Push("c"));  // closed: rejected
+  std::string v;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, "a");
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, "b");
+  EXPECT_FALSE(q.Pop(&v));  // drained
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> pop_returned{false};
+  std::thread consumer([&] {
+    int v;
+    EXPECT_FALSE(q.Pop(&v));  // empty + closed -> false
+    pop_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pop_returned.load());
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(pop_returned.load());
+}
+
+TEST(BoundedQueueTest, CancellationUnblocksBothEnds) {
+  auto cancel = std::make_shared<CancelToken>();
+  BoundedQueue<int> q(1, cancel);
+  EXPECT_TRUE(q.Push(0));  // now full
+  std::atomic<int> unblocked{0};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(1));  // blocked on full, released by cancel
+    unblocked.fetch_add(1);
+  });
+  BoundedQueue<int> empty_q(1, cancel);
+  std::thread consumer([&] {
+    int v;
+    EXPECT_FALSE(empty_q.Pop(&v));  // blocked on empty, released by cancel
+    unblocked.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(unblocked.load(), 0);
+  cancel->Cancel("test cancel");
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(unblocked.load(), 2);
+  // A cancelled queue refuses further traffic on both ends.
+  int v;
+  EXPECT_FALSE(q.Pop(&v));
+  EXPECT_FALSE(q.Push(2));
+}
+
+TEST(BoundedQueueTest, CancelAfterQueueDestroyedIsSafe) {
+  auto cancel = std::make_shared<CancelToken>();
+  { BoundedQueue<int> q(2, cancel); }
+  cancel->Cancel("queue already gone");  // must not touch freed state
+}
+
+TEST(BoundedQueueTest, OnItemFiresOnceWhenItemArrives) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> fired{0};
+  q.OnItem([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 0);  // parked: queue empty
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(q.Push(2));  // no second registration: no second fire
+  EXPECT_EQ(fired.load(), 1);
+  // With an item available, registration fires inline.
+  q.OnItem([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(BoundedQueueTest, OnSpaceFiresWhenConsumerPops) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<int> fired{0};
+  q.OnSpace([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 0);  // parked: queue full
+  int v;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_GE(q.stats().push_stalls, 1);
+}
+
+TEST(BoundedQueueTest, ParkedCallbacksReleasedByClose) {
+  BoundedQueue<int> q(1);
+  std::atomic<int> fired{0};
+  q.OnItem([&] { fired.fetch_add(1); });  // parked: empty
+  EXPECT_TRUE(q.Push(1));                 // fires OnItem
+  q.OnSpace([&] { fired.fetch_add(1); });  // parked: full
+  q.Close();                               // shutdown must unpark pumps
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(BoundedQueueTest, ParkedCallbacksReleasedByCancel) {
+  auto cancel = std::make_shared<CancelToken>();
+  BoundedQueue<int> q(1, cancel);
+  std::atomic<int> fired{0};
+  q.OnItem([&] { fired.fetch_add(1); });
+  cancel->Cancel("stop");
+  EXPECT_EQ(fired.load(), 1);
+  // Registrations after cancel fire inline (never park forever).
+  q.OnSpace([&] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(BoundedQueueTest, StatsTrackDepthAndCounts) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  int v;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.Pop(&v));
+  BoundedQueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 5);
+  EXPECT_EQ(s.popped, 3);
+  EXPECT_EQ(s.max_depth, 5);
+}
+
+// Multi-producer multi-consumer stress: every pushed value is popped
+// exactly once, no deadlock on shutdown, TSan-clean.
+TEST(BoundedQueueTest, MpmcStressDrainsWithoutDeadlock) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::atomic<int64_t> sum_popped{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        sum_popped.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();  // consumers drain the tail, then exit
+  for (auto& t : consumers) t.join();
+  constexpr int64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum_popped.load(), kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(q.stats().pushed, kTotal);
+  EXPECT_EQ(q.stats().popped, kTotal);
+}
+
+// Mid-stream cancellation under concurrency: producers and consumers
+// blocked at either end must all return promptly.
+TEST(BoundedQueueTest, MpmcCancelMidStream) {
+  auto cancel = std::make_shared<CancelToken>();
+  BoundedQueue<int> q(2, cancel);
+  std::vector<std::thread> threads;
+  std::atomic<int> finished{0};
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      int i = 0;
+      while (q.Push(i)) ++i;  // eventually blocks, then cancel releases
+      finished.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cancel->Cancel("mid-stream");
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(finished.load(), 3);
+  int v;
+  EXPECT_FALSE(q.Pop(&v));
+}
+
+}  // namespace
+}  // namespace gesall

@@ -129,9 +129,18 @@ Status NodeGraph::Run() {
         SetError(cancel_->status());
       } else {
         // Quiescent with live nodes and no wake-up in flight: every
-        // parked pump waits on an edge nothing will ever fire.
-        SetError(Status::Internal(
-            "pipeline node graph stalled with parked nodes"));
+        // parked pump waits on an edge nothing will ever fire. Record
+        // that this error is a stall diagnosis, not a node failure: if
+        // the cancel token turns out to have flipped concurrently (it
+        // wakes parked nodes through the queue callbacks, so the graph
+        // was never truly stuck), the final status below reports the
+        // cancellation instead of a misleading Internal error.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (error_.ok()) {
+          error_ = Status::Internal(
+              "pipeline node graph stalled with parked nodes");
+          stall_errored_ = true;
+        }
       }
       Abort();
       last_terminal = static_cast<size_t>(-1);
@@ -151,7 +160,11 @@ Status NodeGraph::Run() {
   std::lock_guard<std::mutex> lock(mu_);
   // Nodes that observed the flipped token finish without recording a
   // status of their own; the run still must report the cancellation.
-  if (error_.ok() && cancel_ != nullptr && cancel_->cancelled()) {
+  // A stall diagnosis is likewise overridden: a token that flipped in
+  // the window between the quiescence check and the stall SetError
+  // means the run was cancelled, not wedged.
+  if ((error_.ok() || stall_errored_) && cancel_ != nullptr &&
+      cancel_->cancelled()) {
     return cancel_->status();
   }
   return error_;
@@ -177,6 +190,8 @@ Status RunAlignCleanStream(
     return Status::InvalidArgument(
         "RunAlignCleanStream: clean requires a header");
   }
+  AlignCleanStreamStats discarded;  // sinkhole when the caller passes null
+  if (stats == nullptr) stats = &discarded;
   Executor* executor =
       opts.executor != nullptr ? opts.executor : Executor::Shared();
   NodeGraph graph(executor, opts.cancel);
@@ -242,14 +257,20 @@ Status RunAlignCleanStream(
       if (q_aligned.cancelled()) return PumpResult::Done();
       return PumpResult::BlockedOnSpace(&q_aligned);
     }
+    // TryPopState decides empty-vs-drained under the queue mutex: a
+    // bare TryPop + closed() pair would race with the source pushing
+    // its final batch and closing in the gap, dropping the tail.
     ReadBatch in;
-    if (!q_reads.TryPop(&in)) {
-      if (q_reads.cancelled()) return PumpResult::Done();
-      if (q_reads.closed()) {
+    switch (q_reads.TryPopState(&in)) {
+      case QueuePopState::kCancelled:
+        return PumpResult::Done();
+      case QueuePopState::kDrained:
         q_aligned.Close();
         return PumpResult::Done();
-      }
-      return PumpResult::BlockedOnItem(&q_reads);
+      case QueuePopState::kEmpty:
+        return PumpResult::BlockedOnItem(&q_reads);
+      case QueuePopState::kItem:
+        break;
     }
     RecordBatch out;
     out.index = in.index;
@@ -276,13 +297,16 @@ Status RunAlignCleanStream(
         return PumpResult::BlockedOnSpace(&q_cleaned);
       }
       RecordBatch in;
-      if (!q_aligned.TryPop(&in)) {
-        if (q_aligned.cancelled()) return PumpResult::Done();
-        if (q_aligned.closed()) {
+      switch (q_aligned.TryPopState(&in)) {
+        case QueuePopState::kCancelled:
+          return PumpResult::Done();
+        case QueuePopState::kDrained:
           q_cleaned.Close();
           return PumpResult::Done();
-        }
-        return PumpResult::BlockedOnItem(&q_aligned);
+        case QueuePopState::kEmpty:
+          return PumpResult::BlockedOnItem(&q_aligned);
+        case QueuePopState::kItem:
+          break;
       }
       SamHeader local = *opts.header;
       Status s =
@@ -301,11 +325,14 @@ Status RunAlignCleanStream(
   // left in rounds 1+2 is the qname shuffle behind this call.
   graph.AddNode("sink", [&]() -> PumpResult {
     RecordBatch in;
-    if (!sink_in->TryPop(&in)) {
-      if (sink_in->cancelled() || sink_in->closed()) {
+    switch (sink_in->TryPopState(&in)) {
+      case QueuePopState::kCancelled:
+      case QueuePopState::kDrained:
         return PumpResult::Done();
-      }
-      return PumpResult::BlockedOnItem(sink_in);
+      case QueuePopState::kEmpty:
+        return PumpResult::BlockedOnItem(sink_in);
+      case QueuePopState::kItem:
+        break;
     }
     Status s = sink(&in);
     if (!s.ok()) return PumpResult::Error(std::move(s));

@@ -158,7 +158,8 @@ class NodeGraph {
   std::atomic<bool> aborting_{false};
   std::atomic<size_t> terminal_{0};
   mutable std::mutex mu_;
-  Status error_;  // guarded by mu_
+  Status error_;               // guarded by mu_
+  bool stall_errored_ = false;  // error_ is a stall diagnosis; guarded by mu_
 };
 
 /// \brief Per-edge queue telemetry of one RunAlignCleanStream call,
@@ -201,7 +202,8 @@ struct AlignCleanStreamOptions {
 /// queues between the nodes. `interleaved` is consumed (records are
 /// moved into batches). `sink` is called once per RecordBatch, in batch
 /// order, from executor workers but never concurrently; a non-OK sink
-/// status aborts the graph and is returned. Output records are
+/// status aborts the graph and is returned. `stats` may be null, in
+/// which case the run's telemetry is discarded. Output records are
 /// bit-identical to AlignPairs over the whole vector (and, with clean
 /// set, to the barriered round-2 map transform applied to them).
 Status RunAlignCleanStream(

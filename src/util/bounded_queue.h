@@ -43,6 +43,19 @@ struct BoundedQueueStats {
   int64_t pop_stall_micros = 0;   // consumer time blocked or parked
 };
 
+/// \brief Outcome of BoundedQueue::TryPopState. Unlike TryPop's bool,
+/// it distinguishes — atomically, under the queue mutex — an empty
+/// queue that may still receive items (kEmpty) from one that never
+/// will (kDrained). Consumers that check closed() *after* a failed
+/// TryPop race with a producer pushing a final item and closing in the
+/// gap, silently dropping the tail; TryPopState has no such window.
+enum class QueuePopState {
+  kItem,       // *out holds the popped item
+  kEmpty,      // empty but open: park on OnItem
+  kDrained,    // closed and empty: no item will ever arrive
+  kCancelled,  // aborted: any queued items were discarded
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -156,6 +169,30 @@ class BoundedQueue {
     s->not_full.notify_one();
     if (cb) cb();
     return true;
+  }
+
+  /// Non-blocking pop that reports, under one lock acquisition, why no
+  /// item was returned. This is the only race-free way for a pump to
+  /// decide between parking (kEmpty) and terminating (kDrained): the
+  /// closed flag and the emptiness are read atomically together.
+  QueuePopState TryPopState(T* out) {
+    State* s = state_.get();
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (s->cancelled) return QueuePopState::kCancelled;
+      if (s->queue.empty()) {
+        return s->closed ? QueuePopState::kDrained : QueuePopState::kEmpty;
+      }
+      *out = std::move(s->queue.front());
+      s->queue.pop_front();
+      ++s->stats.popped;
+      cb = std::move(s->on_space);
+      s->on_space = nullptr;
+    }
+    s->not_full.notify_one();
+    if (cb) cb();
+    return QueuePopState::kItem;
   }
 
   /// Parks `fn` until the queue has space; runs inline when it already

@@ -178,6 +178,59 @@ TEST(BoundedQueueTest, StatsTrackDepthAndCounts) {
   EXPECT_EQ(s.max_depth, 5);
 }
 
+TEST(BoundedQueueTest, TryPopStateDistinguishesEmptyDrainedCancelled) {
+  BoundedQueue<int> q(2);
+  int v = -1;
+  EXPECT_EQ(q.TryPopState(&v), QueuePopState::kEmpty);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_EQ(q.TryPopState(&v), QueuePopState::kItem);
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.Push(8));
+  q.Close();
+  // Closed but not drained: the queued item must still come out.
+  EXPECT_EQ(q.TryPopState(&v), QueuePopState::kItem);
+  EXPECT_EQ(v, 8);
+  EXPECT_EQ(q.TryPopState(&v), QueuePopState::kDrained);
+
+  auto cancel = std::make_shared<CancelToken>();
+  BoundedQueue<int> aborted(2, cancel);
+  EXPECT_TRUE(aborted.Push(1));
+  cancel->Cancel("stop");
+  EXPECT_EQ(aborted.TryPopState(&v), QueuePopState::kCancelled);
+}
+
+// Regression for the pump TOCTOU race: a consumer that checked closed()
+// after a failed TryPop could observe the close issued *between* the
+// two calls and terminate with the producer's final items still queued.
+// TryPopState reads emptiness and closed under one lock, so a kDrained
+// verdict guarantees every pushed item was already popped.
+TEST(BoundedQueueTest, TryPopStateNeverDropsTailOnConcurrentClose) {
+  constexpr int kRounds = 200;
+  constexpr int kItems = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> q(kItems);
+    std::thread producer([&] {
+      for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.Push(i));
+      q.Close();  // the race window: close right behind the last push
+    });
+    int popped = 0, v = -1;
+    for (;;) {
+      QueuePopState st = q.TryPopState(&v);
+      if (st == QueuePopState::kItem) {
+        EXPECT_EQ(v, popped);
+        ++popped;
+      } else if (st == QueuePopState::kDrained) {
+        break;
+      } else {
+        ASSERT_EQ(st, QueuePopState::kEmpty);
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+    EXPECT_EQ(popped, kItems);  // the tail is never dropped
+  }
+}
+
 // Multi-producer multi-consumer stress: every pushed value is popped
 // exactly once, no deadlock on shutdown, TSan-clean.
 TEST(BoundedQueueTest, MpmcStressDrainsWithoutDeadlock) {
